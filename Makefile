@@ -1,0 +1,40 @@
+# Offline, stdlib-only Go module — every target works without network.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine/ ./internal/anna/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/recommender
+	$(GO) run ./examples/imagesearch
+	$(GO) run ./examples/batchserving
+	$(GO) run ./examples/serving
+
+# Regenerate the paper's evaluation section (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/annabench -exp all -scale full -out results_full.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,202 @@
+package anna
+
+// One benchmark per table/figure of the paper's evaluation, each
+// regenerating its experiment at the quick scale (see
+// internal/harness.QuickScale and DESIGN.md's per-experiment index).
+// `cmd/annabench -scale full` runs the same experiments at reproduction
+// scale.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"anna/internal/harness"
+)
+
+// benchH is a shared quick-scale harness so dataset and index builds are
+// amortised across benchmark iterations (they are training cost, not the
+// experiment under measurement).
+var (
+	benchOnce sync.Once
+	benchHarn *harness.Harness
+	benchWd   harness.WorkloadDef
+	benchWds  []harness.WorkloadDef
+	benchCmp  []harness.Compression
+)
+
+func benchSetup(b *testing.B) *harness.Harness {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchHarn = harness.New(harness.QuickScale(), io.Discard)
+		benchWd, _ = harness.WorkloadByKey("SIFT1B")
+		m, _ := harness.WorkloadByKey("SIFT1M")
+		benchWds = []harness.WorkloadDef{m, benchWd}
+		c, _ := harness.CompressionByName("4:1")
+		benchCmp = []harness.Compression{c}
+		// Pre-build the cached artifacts outside the timed region.
+		for _, wd := range benchWds {
+			benchHarn.GroundTruth(wd)
+			for _, ks := range []int{16, 256} {
+				benchHarn.Index(wd, c, ks)
+			}
+		}
+	})
+	return benchHarn
+}
+
+// BenchmarkFig8ThroughputRecall regenerates the Figure 8 curves
+// (throughput vs recall) for one million- and one billion-scale dataset
+// at 4:1 compression.
+func BenchmarkFig8ThroughputRecall(b *testing.B) {
+	h := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plots := h.RunFig8(benchWds, benchCmp)
+		if len(plots) != 2 {
+			b.Fatalf("%d plots", len(plots))
+		}
+	}
+}
+
+// BenchmarkFig9Latency regenerates the Figure 9 latency comparison.
+func BenchmarkFig9Latency(b *testing.B) {
+	h := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := h.RunFig9(benchWds)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig10Energy regenerates the Figure 10 energy-efficiency
+// comparison.
+func BenchmarkFig10Energy(b *testing.B) {
+	h := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := h.RunFig10(benchWds)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTable1AreaPower regenerates the Table I breakdown.
+func BenchmarkTable1AreaPower(b *testing.B) {
+	h := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := h.RunTable1()
+		if br.TotalArea <= 0 {
+			b.Fatal("no breakdown")
+		}
+	}
+}
+
+// BenchmarkTrafficOptimization regenerates the Section V-B memory
+// traffic optimization speedups (simulated baseline vs batched).
+func BenchmarkTrafficOptimization(b *testing.B) {
+	h := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := h.RunTraffic(benchWds, benchCmp, 8)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkExactFootnotes regenerates the exhaustive-search QPS footnotes
+// under the Figure 8 plots.
+func BenchmarkExactFootnotes(b *testing.B) {
+	h := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := h.RunExact(benchWds)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkRelatedWork regenerates the Section VI comparisons.
+func BenchmarkRelatedWork(b *testing.B) {
+	h := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := h.RunRelated()
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkFig7Timeline regenerates the Figure 7 steady-state timeline
+// trace.
+func BenchmarkFig7Timeline(b *testing.B) {
+	h := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spans := h.RunTimeline(benchWd, 4)
+		if len(spans) == 0 {
+			b.Fatal("no spans")
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the DESIGN.md design-space studies.
+func BenchmarkAblations(b *testing.B) {
+	h := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := h.RunAblations(benchWd)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkEndToEndSearch measures the public API's software search path
+// (build once, search repeatedly) — the library-user view.
+func BenchmarkEndToEndSearch(b *testing.B) {
+	base := clusteredVectors(20000, 64, 32, 1)
+	idx, err := BuildIndex(base, L2, BuildOptions{
+		NClusters: 64, M: 16, Ks: 16, TrainIters: 5, MaxTrain: 5000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := clusteredVectors(1, 64, 32, 2)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Search(q, 8, 100)
+	}
+}
+
+// BenchmarkSimulatedSearch measures the accelerator simulator's cost per
+// simulated batch (timing-only).
+func BenchmarkSimulatedSearch(b *testing.B) {
+	base := clusteredVectors(20000, 64, 32, 1)
+	idx, err := BuildIndex(base, L2, BuildOptions{
+		NClusters: 64, M: 16, Ks: 16, TrainIters: 5, MaxTrain: 5000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultAcceleratorConfig()
+	cfg.TopK = 100
+	acc, err := NewAccelerator(idx, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := clusteredVectors(32, 64, 32, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := acc.Simulate(queries, SimParams{W: 8, K: 100, TimingOnly: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command annabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	annabench -exp fig8                 # throughput vs recall, all datasets
+//	annabench -exp fig9 -datasets SIFT1B,Deep1B
+//	annabench -exp all -scale full      # the complete evaluation section
+//
+// Experiments: fig8, fig9, fig10, table1, traffic, exact, related,
+// timeline, ablation, all. Scales: quick (seconds-to-minutes), full
+// (reproduction scale). See DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"anna"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (fig8|fig9|fig10|table1|traffic|exact|related|timeline|ablation|all)")
+		scale    = flag.String("scale", "quick", "workload scale: quick or full")
+		datasets = flag.String("datasets", "", "comma-separated dataset filter (SIFT1M,Deep1M,GloVe1M,SIFT1B,Deep1B,TTI1B); empty = all")
+		out      = flag.String("out", "", "write the report to this file instead of stdout")
+	)
+	flag.Parse()
+
+	var sc anna.ExperimentScale
+	switch *scale {
+	case "quick":
+		sc = anna.ScaleQuick
+	case "full":
+		sc = anna.ScaleFull
+	default:
+		fatalf("unknown scale %q (quick|full)", *scale)
+	}
+
+	var filter []string
+	if *datasets != "" {
+		filter = strings.Split(*datasets, ",")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = anna.Experiments()
+	}
+	runner := anna.NewExperimentRunner(sc, w)
+	for _, name := range names {
+		fmt.Fprintf(w, "\n########## experiment: %s (scale=%s) ##########\n", name, *scale)
+		if err := runner.Run(name, filter); err != nil {
+			fatalf("experiment %s: %v", name, err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "annabench: "+format+"\n", args...)
+	os.Exit(1)
+}

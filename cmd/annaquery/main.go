@@ -1,0 +1,128 @@
+// Command annaquery loads an index built by annatrain and answers
+// queries, either on the software engine or through the simulated ANNA
+// accelerator.
+//
+// Usage:
+//
+//	annaquery -index sift.anna -queries sift_query.fvecs -w 32 -k 10
+//	annaquery -index sift.anna -random 8 -backend anna -w 32 -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"anna"
+	"anna/internal/dataset"
+)
+
+func main() {
+	var (
+		indexPath = flag.String("index", "index.anna", "index file from annatrain")
+		queries   = flag.String("queries", "", "fvecs file with query vectors")
+		maxRows   = flag.Int("maxrows", 0, "cap on queries read (0 = all)")
+		random    = flag.Int("random", 0, "instead of -queries, sample this many random indexed-space queries")
+		w         = flag.Int("w", 32, "clusters inspected W")
+		k         = flag.Int("k", 10, "results per query")
+		backend   = flag.String("backend", "software", "software | anna (simulated accelerator)")
+		rerank    = flag.Int("rerank", 0, "re-rank factor (>0 refines top-k*factor candidates; index must be trained with -rerank)")
+		show      = flag.Int("show", 5, "results printed per query")
+		seed      = flag.Int64("seed", 7, "seed for -random")
+	)
+	flag.Parse()
+
+	idx, err := anna.LoadIndexFile(*indexPath)
+	if err != nil {
+		fatalf("loading index: %v", err)
+	}
+	fmt.Printf("index: %d vectors, dim %d, %d clusters, metric %v\n",
+		idx.Len(), idx.Dim(), idx.NClusters(), idx.Metric())
+
+	var qs [][]float32
+	switch {
+	case *queries != "":
+		mtx, err := dataset.LoadFvecsFile(*queries, *maxRows)
+		if err != nil {
+			fatalf("reading queries: %v", err)
+		}
+		if mtx.Cols != idx.Dim() {
+			fatalf("query dim %d, index dim %d", mtx.Cols, idx.Dim())
+		}
+		qs = make([][]float32, mtx.Rows)
+		for i := range qs {
+			qs[i] = mtx.Row(i)
+		}
+	case *random > 0:
+		rng := rand.New(rand.NewSource(*seed))
+		qs = make([][]float32, *random)
+		for i := range qs {
+			v := make([]float32, idx.Dim())
+			for j := range v {
+				v[j] = float32(rng.NormFloat64())
+			}
+			qs[i] = v
+		}
+	default:
+		fatalf("provide -queries or -random")
+	}
+
+	var results [][]anna.Result
+	switch {
+	case *rerank > 0:
+		results = make([][]anna.Result, len(qs))
+		for i, q := range qs {
+			rs, err := idx.SearchRerank(q, *w, *k, *rerank)
+			if err != nil {
+				fatalf("reranked search: %v", err)
+			}
+			results[i] = rs
+		}
+		fmt.Printf("software engine with %dx re-ranking\n", *rerank)
+	case *backend == "software":
+		rep, err := idx.SearchBatch(qs, anna.SearchOptions{
+			W: *w, K: *k, Mode: anna.ClusterMajor,
+		})
+		if err != nil {
+			fatalf("searching: %v", err)
+		}
+		results = rep.Results
+		fmt.Printf("software engine: %.0f QPS measured, %d vectors scanned\n",
+			rep.QPS, rep.ScannedVectors)
+	case *backend == "anna":
+		cfg := anna.DefaultAcceleratorConfig()
+		if *k > cfg.TopK {
+			cfg.TopK = *k
+		}
+		acc, err := anna.NewAccelerator(idx, cfg)
+		if err != nil {
+			fatalf("configuring accelerator: %v", err)
+		}
+		rep, err := acc.Simulate(qs, anna.SimParams{W: *w, K: *k})
+		if err != nil {
+			fatalf("simulating: %v", err)
+		}
+		results = rep.Results
+		fmt.Printf("simulated ANNA: %d cycles, %.0f QPS, %.3f ms latency, %d B traffic\n",
+			rep.Cycles, rep.QPS, rep.MeanLatencySeconds*1e3, rep.TrafficBytes)
+	default:
+		fatalf("unknown backend %q", *backend)
+	}
+
+	for qi, rs := range results {
+		fmt.Printf("query %d:", qi)
+		for i, r := range rs {
+			if i >= *show {
+				break
+			}
+			fmt.Printf("  (%d, %.4f)", r.ID, r.Score)
+		}
+		fmt.Println()
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "annaquery: "+format+"\n", args...)
+	os.Exit(1)
+}

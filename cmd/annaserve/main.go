@@ -1,0 +1,59 @@
+// Command annaserve exposes an index built by annatrain as an HTTP JSON
+// similarity-search service.
+//
+// Usage:
+//
+//	annaserve -index sift.anna -addr :8080
+//
+// Endpoints:
+//
+//	POST /search  {"queries": [[...]], "w": 32, "k": 10}
+//	POST /add     {"vectors": [[...]]}
+//	GET  /stats
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"anna"
+)
+
+func main() {
+	var (
+		indexPath = flag.String("index", "index.anna", "index file from annatrain")
+		addr      = flag.String("addr", ":8080", "listen address")
+		defaultW  = flag.Int("w", 32, "default clusters inspected per query")
+		defaultK  = flag.Int("k", 10, "default results per query")
+		maxBatch  = flag.Int("maxbatch", 1024, "maximum queries per request")
+		withAccel = flag.Bool("accel", false, `also serve the simulated ANNA backend (requests with "backend":"anna")`)
+	)
+	flag.Parse()
+
+	idx, err := anna.LoadIndexFile(*indexPath)
+	if err != nil {
+		log.Fatalf("annaserve: loading index: %v", err)
+	}
+	srv := anna.NewServer(idx)
+	srv.DefaultW = *defaultW
+	srv.DefaultK = *defaultK
+	srv.MaxBatch = *maxBatch
+	if *withAccel {
+		cfg := anna.DefaultAcceleratorConfig()
+		if *defaultK > cfg.TopK {
+			cfg.TopK = *defaultK
+		}
+		acc, err := anna.NewAccelerator(idx, cfg)
+		if err != nil {
+			log.Fatalf("annaserve: configuring accelerator: %v", err)
+		}
+		srv.Accelerator = acc
+	}
+
+	fmt.Printf("annaserve: %d vectors (dim %d, %v) on %s\n",
+		idx.Len(), idx.Dim(), idx.Metric(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

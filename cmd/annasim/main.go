@@ -1,0 +1,170 @@
+// Command annasim runs one detailed simulation of the ANNA accelerator
+// on a synthetic workload and prints results, cycle counts, per-stream
+// memory traffic, energy, the Table I silicon breakdown, and (with
+// -timeline) the Figure 7 execution trace.
+//
+// Usage:
+//
+//	annasim -n 50000 -c 100 -ks 256 -w 16 -b 64
+//	annasim -timeline -mode batched
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"anna"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 50000, "database vectors")
+		d        = flag.Int("d", 128, "dimensionality")
+		c        = flag.Int("c", 100, "coarse clusters |C|")
+		m        = flag.Int("m", 64, "PQ sub-spaces M")
+		ks       = flag.Int("ks", 256, "codebook size k* (16 or 256)")
+		metric   = flag.String("metric", "l2", "metric: l2 or ip")
+		b        = flag.Int("b", 64, "query batch size B")
+		w        = flag.Int("w", 16, "clusters inspected W")
+		k        = flag.Int("k", 100, "results per query")
+		mode     = flag.String("mode", "batched", "execution mode: batched or baseline")
+		scmq     = flag.Int("scmq", 0, "SCMs per query (0 = paper heuristic)")
+		timeline = flag.Bool("timeline", false, "print the execution timeline")
+		spans    = flag.Int("spans", 48, "timeline spans to print")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	met := anna.L2
+	if *metric == "ip" {
+		met = anna.InnerProduct
+	}
+
+	fmt.Printf("building synthetic workload: N=%d D=%d |C|=%d M=%d k*=%d %v\n",
+		*n, *d, *c, *m, *ks, met)
+	base := synth(*n, *d, *seed)
+	queries := synth(*b, *d, *seed+1)
+
+	idx, err := anna.BuildIndex(base, met, anna.BuildOptions{
+		NClusters: *c, M: *m, Ks: *ks, TrainIters: 6,
+		MaxTrain: 20000, Seed: *seed, HardwareFaithful: true,
+	})
+	if err != nil {
+		fatalf("building index: %v", err)
+	}
+	st := idx.Stats()
+	fmt.Printf("index: %d vectors, %d clusters, %d B/code, %.1f:1 compression\n",
+		st.Vectors, st.Clusters, st.CodeBytesPerVector, st.CompressionRatio)
+
+	cfg := anna.DefaultAcceleratorConfig()
+	cfg.Trace = *timeline
+	if *k > cfg.TopK {
+		cfg.TopK = *k
+	}
+	acc, err := anna.NewAccelerator(idx, cfg)
+	if err != nil {
+		fatalf("configuring accelerator: %v", err)
+	}
+
+	params := anna.SimParams{W: *w, K: *k, SCMsPerQuery: *scmq}
+	var rep *anna.SimReport
+	switch *mode {
+	case "batched":
+		rep, err = acc.Simulate(queries, params)
+	case "baseline":
+		rep, err = acc.SimulateBaseline(queries, params)
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fatalf("simulating: %v", err)
+	}
+
+	fmt.Printf("\n--- simulation result (%s mode) ---\n", *mode)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "cycles\t%d\n", rep.Cycles)
+	fmt.Fprintf(tw, "time\t%.6f s\n", rep.Seconds)
+	fmt.Fprintf(tw, "throughput\t%.0f QPS\n", rep.QPS)
+	fmt.Fprintf(tw, "mean latency\t%.3f ms\n", rep.MeanLatencySeconds*1e3)
+	fmt.Fprintf(tw, "memory traffic\t%d B\n", rep.TrafficBytes)
+	fmt.Fprintf(tw, "chip energy\t%.3f mJ (%.3f mJ/query)\n",
+		rep.ChipEnergyJ*1e3, rep.ChipEnergyJ*1e3/float64(*b))
+	fmt.Fprintf(tw, "DRAM energy\t%.3f mJ\n", rep.DRAMEnergyJ*1e3)
+	tw.Flush()
+
+	fmt.Println("\nper-phase busy cycles:")
+	for _, ph := range []string{"filter", "lut", "scan", "merge"} {
+		fmt.Printf("  %-8s %d\n", ph, rep.PhaseCycles[ph])
+	}
+
+	fmt.Println("\nper-stream traffic:")
+	keys := make([]string, 0, len(rep.TrafficByStream))
+	for s := range rep.TrafficByStream {
+		keys = append(keys, s)
+	}
+	sort.Strings(keys)
+	for _, s := range keys {
+		fmt.Printf("  %-12s %d B\n", s, rep.TrafficByStream[s])
+	}
+
+	si := acc.Silicon()
+	fmt.Println("\nsilicon (TSMC 40nm, 1 GHz):")
+	for _, mrow := range si.Modules {
+		fmt.Printf("  %-40s %6.2f mm^2  %6.3f W\n", mrow.Name, mrow.AreaMM2, mrow.PeakW)
+	}
+	fmt.Printf("  %-40s %6.2f mm^2  %6.3f W\n", "total", si.TotalAreaMM2, si.TotalPeakW)
+
+	if len(rep.Results) > 0 {
+		fmt.Printf("\nquery 0 top-5: ")
+		for i, r := range rep.Results[0] {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("(%d, %.3f) ", r.ID, r.Score)
+		}
+		fmt.Println()
+	}
+
+	if *timeline {
+		fmt.Printf("\n--- execution timeline (first %d spans; Figure 7 overlap) ---\n", *spans)
+		for i, sp := range rep.Timeline {
+			if i >= *spans {
+				break
+			}
+			fmt.Printf("  [%8d .. %8d] %-6s %s\n", sp.Start, sp.End, sp.Unit, sp.Work)
+		}
+		fmt.Printf("\n--- gantt view ---\n%s", anna.RenderTimeline(rep.Timeline, 100))
+	}
+}
+
+// synth generates clustered Gaussian vectors.
+func synth(n, d int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	const groups = 32
+	centers := make([][]float32, groups)
+	for i := range centers {
+		centers[i] = make([]float32, d)
+		for j := range centers[i] {
+			centers[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	out := make([][]float32, n)
+	for i := range out {
+		ctr := centers[rng.Intn(groups)]
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = ctr[j] + float32(rng.NormFloat64())*0.25
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "annasim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command annatrain builds an IVF-PQ index and saves it to disk.
+//
+// The database can come from an fvecs file (the standard format of the
+// SIFT/Deep/GloVe benchmark suites) or from a built-in synthetic
+// generator when no real data is available.
+//
+// Usage:
+//
+//	annatrain -fvecs sift_base.fvecs -c 250 -m 64 -ks 256 -o sift.anna
+//	annatrain -synthetic sift -n 100000 -c 250 -o synth.anna
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"anna"
+	"anna/internal/dataset"
+)
+
+func main() {
+	var (
+		fvecs     = flag.String("fvecs", "", "fvecs file with database vectors")
+		maxRows   = flag.Int("maxrows", 0, "cap on vectors read from the fvecs file (0 = all)")
+		synthetic = flag.String("synthetic", "", "synthetic generator: sift, deep, glove or tti")
+		n         = flag.Int("n", 100000, "synthetic database size")
+		c         = flag.Int("c", 250, "coarse clusters |C|")
+		m         = flag.Int("m", 64, "PQ sub-spaces M")
+		ks        = flag.Int("ks", 256, "codebook size k* (ANNA supports 16 and 256)")
+		metric    = flag.String("metric", "", "l2 or ip (defaults to the generator's metric; l2 for fvecs)")
+		iters     = flag.Int("iters", 15, "k-means iterations")
+		maxTrain  = flag.Int("maxtrain", 50000, "training sample cap (0 = all)")
+		seed      = flag.Int64("seed", 42, "training seed")
+		hw        = flag.Bool("hw", true, "hardware-faithful f16 rounding of the trained model")
+		rotate    = flag.Bool("opq", false, "OPQ-style random rotation preconditioning")
+		eta       = flag.Float64("eta", 0, "ScaNN-style anisotropic encoding weight (>1 enables; MIPS)")
+		rerank    = flag.Bool("rerank", false, "retain 8-bit reconstructions for re-ranking (D bytes/vector)")
+		out       = flag.String("o", "index.anna", "output index path")
+	)
+	flag.Parse()
+
+	var vectors [][]float32
+	met := anna.L2
+
+	switch {
+	case *fvecs != "":
+		mtx, err := dataset.LoadFvecsFile(*fvecs, *maxRows)
+		if err != nil {
+			fatalf("reading %s: %v", *fvecs, err)
+		}
+		vectors = make([][]float32, mtx.Rows)
+		for i := range vectors {
+			vectors[i] = mtx.Row(i)
+		}
+		fmt.Printf("loaded %d vectors of dim %d from %s\n", mtx.Rows, mtx.Cols, *fvecs)
+	case *synthetic != "":
+		var spec dataset.Spec
+		switch *synthetic {
+		case "sift":
+			spec = dataset.SIFTLike(*n, 1, *seed)
+		case "deep":
+			spec = dataset.DeepLike(*n, 1, *seed)
+		case "glove":
+			spec = dataset.GloVeLike(*n, 1, *seed)
+			met = anna.InnerProduct
+		case "tti":
+			spec = dataset.TTILike(*n, 1, *seed)
+			met = anna.InnerProduct
+		default:
+			fatalf("unknown synthetic generator %q", *synthetic)
+		}
+		ds := dataset.Generate(spec)
+		vectors = make([][]float32, ds.N())
+		for i := range vectors {
+			vectors[i] = ds.Base.Row(i)
+		}
+		fmt.Printf("generated %d synthetic %s-like vectors of dim %d\n", ds.N(), *synthetic, ds.D())
+	default:
+		fatalf("provide -fvecs or -synthetic (see -h)")
+	}
+
+	switch *metric {
+	case "":
+	case "l2":
+		met = anna.L2
+	case "ip":
+		met = anna.InnerProduct
+	default:
+		fatalf("unknown metric %q", *metric)
+	}
+
+	start := time.Now()
+	idx, err := anna.BuildIndex(vectors, met, anna.BuildOptions{
+		NClusters: *c, M: *m, Ks: *ks,
+		TrainIters: *iters, MaxTrain: *maxTrain,
+		Seed: *seed, HardwareFaithful: *hw,
+		OPQRotation:     *rotate,
+		AnisotropicEta:  float32(*eta),
+		RetainForRerank: *rerank,
+	})
+	if err != nil {
+		fatalf("building index: %v", err)
+	}
+	st := idx.Stats()
+	fmt.Printf("trained in %v: %d clusters (lists %d..%d), %d B/code, %.1f:1 compression\n",
+		time.Since(start).Round(time.Millisecond),
+		st.Clusters, st.MinListLen, st.MaxListLen,
+		st.CodeBytesPerVector, st.CompressionRatio)
+
+	if err := idx.SaveFile(*out); err != nil {
+		fatalf("saving: %v", err)
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		fatalf("stat: %v", err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, fi.Size())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "annatrain: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+// Package anna is a from-scratch reproduction of ANNA (Approximate
+// Nearest Neighbor search Accelerator), the specialized architecture for
+// product-quantization-based approximate nearest neighbor search
+// published at HPCA 2022.
+//
+// The package provides three layers:
+//
+//   - A complete software ANNS stack: two-level product quantization
+//     (IVF-PQ) index building, training (k-means / k-means++), encoding
+//     with packed 4-bit or 8-bit codes, and multi-threaded search for
+//     both inner-product (MIPS) and L2 similarity — the role Facebook
+//     Faiss and Google ScaNN play in the paper.
+//
+//   - A cycle-level simulator of the ANNA accelerator: the
+//     Cluster/Codebook Processing Module, Encoded Vector Fetch Module,
+//     Similarity Computation Modules with P-heap top-k units, the memory
+//     system, and the Section-IV memory-traffic-optimized batch
+//     scheduler. Simulated searches return real results (bit-identical
+//     to the half-precision software reference) along with cycle counts,
+//     memory traffic, and energy.
+//
+//   - An experiment harness that regenerates every table and figure of
+//     the paper's evaluation; see the Experiment functions and
+//     cmd/annabench.
+//
+// Quick start:
+//
+//	idx, err := anna.BuildIndex(vectors, anna.L2, anna.BuildOptions{
+//		NClusters: 250, M: 64, Ks: 256,
+//	})
+//	...
+//	results := idx.Search(query, 32, 10) // top-10, probing 32 clusters
+//
+// To run the same search on the simulated accelerator:
+//
+//	acc, err := anna.NewAccelerator(idx, anna.DefaultAcceleratorConfig())
+//	...
+//	rep, err := acc.Simulate(queries, anna.SimParams{W: 32, K: 10})
+//	fmt.Println(rep.QPS, rep.Results[0])
+package anna

@@ -1,0 +1,132 @@
+package anna_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anna"
+)
+
+// demoVectors builds a small deterministic clustered dataset.
+func demoVectors(n, d int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, 8)
+	for i := range centers {
+		centers[i] = make([]float32, d)
+		for j := range centers[i] {
+			centers[i][j] = float32(rng.NormFloat64()) * 2
+		}
+	}
+	out := make([][]float32, n)
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = c[j] + float32(rng.NormFloat64())*0.3
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func ExampleBuildIndex() {
+	vectors := demoVectors(2000, 16, 1)
+	idx, err := anna.BuildIndex(vectors, anna.L2, anna.BuildOptions{
+		NClusters: 16, M: 4, Ks: 16, TrainIters: 6, Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	st := idx.Stats()
+	fmt.Printf("%d vectors in %d clusters, %d bytes per code\n",
+		st.Vectors, st.Clusters, st.CodeBytesPerVector)
+	// Output:
+	// 2000 vectors in 16 clusters, 2 bytes per code
+}
+
+func ExampleIndex_Search() {
+	vectors := demoVectors(2000, 16, 1)
+	idx, err := anna.BuildIndex(vectors, anna.L2, anna.BuildOptions{
+		NClusters: 16, M: 4, Ks: 16, TrainIters: 6, Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Query with a database vector: it ranks first (distance ~0).
+	results := idx.Search(vectors[7], 16, 3)
+	fmt.Printf("top result: id=%d\n", results[0].ID)
+	// Output:
+	// top result: id=7
+}
+
+func ExampleAccelerator_Simulate() {
+	vectors := demoVectors(2000, 16, 1)
+	idx, err := anna.BuildIndex(vectors, anna.L2, anna.BuildOptions{
+		NClusters: 16, M: 4, Ks: 16, TrainIters: 6, Seed: 42,
+		HardwareFaithful: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cfg := anna.DefaultAcceleratorConfig()
+	cfg.TopK = 100
+	acc, err := anna.NewAccelerator(idx, cfg)
+	if err != nil {
+		panic(err)
+	}
+	queries := [][]float32{vectors[7]}
+	rep, err := acc.Simulate(queries, anna.SimParams{W: 4, K: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("top result id=%d, traffic > 0: %v, cycles > 0: %v\n",
+		rep.Results[0][0].ID, rep.TrafficBytes > 0, rep.Cycles > 0)
+	// Output:
+	// top result id=7, traffic > 0: true, cycles > 0: true
+}
+
+func ExampleIndex_SearchRerank() {
+	vectors := demoVectors(2000, 16, 1)
+	idx, err := anna.BuildIndex(vectors, anna.L2, anna.BuildOptions{
+		NClusters: 16, M: 4, Ks: 16, TrainIters: 6, Seed: 42,
+		RetainForRerank: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Re-score the top-3*4 PQ candidates with 8-bit reconstructions.
+	refined, err := idx.SearchRerank(vectors[7], 16, 3, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("refined top result: id=%d\n", refined[0].ID)
+	// Output:
+	// refined top result: id=7
+}
+
+func ExampleIndex_TuneW() {
+	vectors := demoVectors(2000, 16, 1)
+	idx, err := anna.BuildIndex(vectors, anna.L2, anna.BuildOptions{
+		NClusters: 16, M: 4, Ks: 16, TrainIters: 6, Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	queries := demoVectors(8, 16, 2)
+	w, recall, ok, err := idx.TuneW(vectors, queries, 5, 50, 0.8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("target met: %v, recall >= 0.80: %v, W in range: %v\n",
+		ok, recall >= 0.8, w >= 1 && w <= 16)
+	// Output:
+	// target met: true, recall >= 0.80: true, W in range: true
+}
+
+func ExampleRecall() {
+	truth := []int64{1, 2, 3, 4}
+	got := []anna.Result{{ID: 1, Score: 9}, {ID: 9, Score: 8}, {ID: 3, Score: 7}}
+	fmt.Println(anna.Recall(4, 3, truth, got))
+	// Output:
+	// 0.5
+}

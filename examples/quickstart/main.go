@@ -1,0 +1,99 @@
+// Quickstart: build an IVF-PQ index over synthetic vectors, search it,
+// check the answers against exact search, and run the same query batch
+// through the simulated ANNA accelerator.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"anna"
+)
+
+func main() {
+	const (
+		n, d    = 20000, 64
+		queries = 8
+	)
+
+	// Synthetic clustered data: 32 Gaussian groups.
+	rng := rand.New(rand.NewSource(1))
+	base := gaussians(rng, n, d)
+	qs := gaussians(rng, queries, d)
+
+	// 1. Build the two-level PQ index: 64 coarse clusters, residuals
+	// encoded with M=16 sub-spaces of k*=16 codewords (4-bit codes).
+	idx, err := anna.BuildIndex(base, anna.L2, anna.BuildOptions{
+		NClusters: 64, M: 16, Ks: 16,
+		TrainIters: 8, Seed: 42, HardwareFaithful: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := idx.Stats()
+	fmt.Printf("index: %d vectors -> %d bytes/vector (%.0f:1 compression)\n",
+		st.Vectors, st.CodeBytesPerVector, st.CompressionRatio)
+
+	// 2. Search: probe the 8 nearest clusters, return top-5.
+	for qi, q := range qs[:2] {
+		approx := idx.Search(q, 8, 5)
+		exact, err := anna.ExactSearch(base, anna.L2, q, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %d: approx top-1 = %d (%.2f), exact top-1 = %d (%.2f)\n",
+			qi, approx[0].ID, approx[0].Score, exact[0].ID, exact[0].Score)
+	}
+
+	// 3. Measure recall 5@50 across the batch.
+	var recall float64
+	for _, q := range qs {
+		exact, _ := anna.ExactSearch(base, anna.L2, q, 5)
+		truth := make([]int64, len(exact))
+		for i, r := range exact {
+			truth[i] = r.ID
+		}
+		recall += anna.Recall(5, 50, truth, idx.Search(q, 8, 50))
+	}
+	fmt.Printf("mean recall 5@50 at W=8: %.2f\n", recall/float64(len(qs)))
+
+	// 4. Run the same batch on the simulated ANNA accelerator.
+	cfg := anna.DefaultAcceleratorConfig()
+	cfg.TopK = 100
+	acc, err := anna.NewAccelerator(idx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := acc.Simulate(qs, anna.SimParams{W: 8, K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated ANNA: %d cycles, %.0f QPS, %.1f KB memory traffic, %.3f mJ\n",
+		rep.Cycles, rep.QPS, float64(rep.TrafficBytes)/1024, rep.ChipEnergyJ*1e3)
+	fmt.Printf("accelerator top-1 for query 0: %d (matches software: %v)\n",
+		rep.Results[0][0].ID, rep.Results[0][0].ID == idx.Search(qs[0], 8, 5)[0].ID)
+}
+
+func gaussians(rng *rand.Rand, n, d int) [][]float32 {
+	const groups = 32
+	centers := make([][]float32, groups)
+	for i := range centers {
+		centers[i] = make([]float32, d)
+		for j := range centers[i] {
+			centers[i][j] = float32(rng.NormFloat64()) * 2
+		}
+	}
+	out := make([][]float32, n)
+	for i := range out {
+		ctr := centers[rng.Intn(groups)]
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = ctr[j] + float32(rng.NormFloat64())*0.3
+		}
+		out[i] = v
+	}
+	return out
+}

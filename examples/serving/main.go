@@ -1,0 +1,139 @@
+// Serving: run the HTTP similarity-search service in-process and
+// exercise it as a client — build an index, serve it, add vectors over
+// the wire, and query with JSON. This is the deployment shape of the
+// recommender/semantic-search backends the paper's introduction
+// motivates.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"anna"
+)
+
+func main() {
+	// Build a small catalog.
+	rng := rand.New(rand.NewSource(3))
+	base := vectors(rng, 10000, 48)
+	idx, err := anna.BuildIndex(base, anna.L2, anna.BuildOptions{
+		NClusters: 64, M: 12, Ks: 16, TrainIters: 6, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve on an ephemeral port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: anna.NewServer(idx).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("serving %d vectors on %s\n", idx.Len(), baseURL)
+
+	// Stats.
+	var stats map[string]any
+	getJSON(baseURL+"/stats", &stats)
+	fmt.Printf("stats: %v vectors, %v clusters, compression %.0f:1\n",
+		stats["vectors"], stats["clusters"], stats["compression_ratio"])
+
+	// Search with a known vector.
+	var sr struct {
+		Results [][]struct {
+			ID    int64   `json:"id"`
+			Score float32 `json:"score"`
+		} `json:"results"`
+	}
+	postJSON(baseURL+"/search", map[string]any{
+		"queries": [][]float32{base[42]}, "w": 16, "k": 3,
+	}, &sr)
+	fmt.Printf("search for vector 42: top hit id=%d score=%.3f\n",
+		sr.Results[0][0].ID, sr.Results[0][0].Score)
+
+	// Add new vectors over the wire, then find one of them.
+	newVecs := vectors(rng, 5, 48)
+	var ar struct {
+		FirstID int64 `json:"first_id"`
+		Count   int   `json:"count"`
+	}
+	postJSON(baseURL+"/add", map[string]any{"vectors": newVecs}, &ar)
+	fmt.Printf("added %d vectors starting at id %d\n", ar.Count, ar.FirstID)
+
+	postJSON(baseURL+"/search", map[string]any{
+		"queries": [][]float32{newVecs[2]}, "w": 64, "k": 3,
+	}, &sr)
+	fmt.Printf("search for just-added vector: top hit id=%d (want %d)\n",
+		sr.Results[0][0].ID, ar.FirstID+2)
+
+	// A small latency measurement through the full HTTP stack.
+	start := time.Now()
+	const probes = 50
+	for i := 0; i < probes; i++ {
+		postJSON(baseURL+"/search", map[string]any{
+			"queries": [][]float32{base[i]}, "w": 8, "k": 10,
+		}, &sr)
+	}
+	fmt.Printf("end-to-end HTTP search latency: %.2f ms/query\n",
+		float64(time.Since(start).Milliseconds())/probes)
+}
+
+func postJSON(url string, body, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func vectors(rng *rand.Rand, n, d int) [][]float32 {
+	const groups = 24
+	centers := make([][]float32, groups)
+	for i := range centers {
+		centers[i] = make([]float32, d)
+		for j := range centers[i] {
+			centers[i][j] = float32(rng.NormFloat64()) * 2
+		}
+	}
+	out := make([][]float32, n)
+	for i := range out {
+		c := centers[rng.Intn(groups)]
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = c[j] + float32(rng.NormFloat64())*0.25
+		}
+		out[i] = v
+	}
+	return out
+}

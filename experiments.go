@@ -1,0 +1,132 @@
+package anna
+
+import (
+	"fmt"
+	"io"
+
+	"anna/internal/harness"
+)
+
+// ExperimentScale selects the scaled-workload size for experiment runs.
+type ExperimentScale int
+
+const (
+	// ScaleQuick is small enough for tests and `go test -bench`.
+	ScaleQuick ExperimentScale = iota
+	// ScaleFull is the default reproduction scale (minutes per figure).
+	ScaleFull
+)
+
+func (s ExperimentScale) scale() harness.Scale {
+	if s == ScaleFull {
+		return harness.FullScale()
+	}
+	return harness.QuickScale()
+}
+
+// Experiments lists the runnable experiment identifiers for
+// RunExperiment, each mapping to a table or figure of the paper.
+func Experiments() []string {
+	return []string{
+		"fig8",     // throughput vs recall, all datasets x compressions
+		"fig9",     // single-query latency at 4:1
+		"fig10",    // normalized energy efficiency at 4:1, W=32
+		"table1",   // area and peak power breakdown
+		"traffic",  // Section V-B memory traffic optimization speedups
+		"exact",    // exhaustive-search QPS footnotes
+		"related",  // Section VI related-work comparisons
+		"timeline", // Figure 7 steady-state execution timeline
+		"ablation", // DESIGN.md design-space studies
+		"graph",    // graph-based (HNSW) vs compression-based comparison
+		"headline", // the abstract's three claims, paper vs measured
+	}
+}
+
+// ExperimentRunner executes experiments against one shared harness, so
+// datasets, ground truth and trained indexes are built once and reused
+// across experiments (fig9 and fig10 reuse fig8's models, exactly as the
+// paper's evaluation reuses one trained model per configuration).
+type ExperimentRunner struct {
+	h *harness.Harness
+}
+
+// NewExperimentRunner returns a runner writing reports to out.
+func NewExperimentRunner(scale ExperimentScale, out io.Writer) *ExperimentRunner {
+	return &ExperimentRunner{h: harness.New(scale.scale(), out)}
+}
+
+// RunExperiment regenerates one of the paper's tables or figures,
+// writing a textual report to out. workloads filters to the named
+// datasets (nil = all; keys: SIFT1M, Deep1M, GloVe1M, SIFT1B, Deep1B,
+// TTI1B). For multiple experiments prefer one ExperimentRunner, which
+// caches trained models across calls.
+func RunExperiment(name string, scale ExperimentScale, workloads []string, out io.Writer) error {
+	return NewExperimentRunner(scale, out).Run(name, workloads)
+}
+
+// Run executes one experiment by id (see Experiments).
+func (r *ExperimentRunner) Run(name string, workloads []string) error {
+	h := r.h
+
+	var defs []harness.WorkloadDef
+	if workloads != nil {
+		for _, key := range workloads {
+			wd, err := harness.WorkloadByKey(key)
+			if err != nil {
+				return err
+			}
+			defs = append(defs, wd)
+		}
+	}
+	one := func() (harness.WorkloadDef, error) {
+		if len(defs) > 0 {
+			return defs[0], nil
+		}
+		return harness.WorkloadByKey("SIFT1B")
+	}
+
+	switch name {
+	case "fig8":
+		h.PrintFig8(h.RunFig8(defs, nil))
+	case "fig9":
+		h.PrintFig9(h.RunFig9(defs))
+	case "fig10":
+		h.PrintFig10(h.RunFig10(defs))
+	case "table1":
+		h.PrintTable1(h.RunTable1())
+	case "traffic":
+		h.PrintTraffic(h.RunTraffic(defs, nil, 0))
+	case "exact":
+		h.PrintExact(h.RunExact(defs))
+	case "related":
+		h.PrintRelated(h.RunRelated())
+	case "timeline":
+		wd, err := one()
+		if err != nil {
+			return err
+		}
+		h.PrintTimeline(h.RunTimeline(wd, 8), 60)
+	case "ablation":
+		wd, err := one()
+		if err != nil {
+			return err
+		}
+		h.PrintAblations(h.RunAblations(wd))
+	case "graph":
+		// Graph comparison defaults to a million-scale dataset — the
+		// regime where HNSW is competitive.
+		wd, err := harness.WorkloadByKey("SIFT1M")
+		if len(defs) > 0 {
+			wd, err = defs[0], nil
+		}
+		if err != nil {
+			return err
+		}
+		h.PrintGraph(h.RunGraph(wd))
+	case "headline":
+		h.PrintHeadline(h.RunHeadline(defs))
+	default:
+		return fmt.Errorf("anna: unknown experiment %q (have %v)", name, Experiments())
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package anna
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAddVectorsPublicAPI(t *testing.T) {
+	idx, base, _ := buildTestIndex(t, L2, 16)
+	before := idx.Len()
+
+	extra := clusteredVectors(100, 32, 24, 99)
+	first, err := idx.Add(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != int64(before) || idx.Len() != before+100 {
+		t.Fatalf("first=%d len=%d", first, idx.Len())
+	}
+	// An added vector is retrievable.
+	res := idx.Search(extra[3], idx.NClusters(), 5)
+	found := false
+	for _, r := range res {
+		if r.ID == first+3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("added vector not retrieved: %+v", res)
+	}
+	// Old vectors still retrievable.
+	res = idx.Search(base[0], idx.NClusters(), 5)
+	if len(res) == 0 {
+		t.Fatal("no results after Add")
+	}
+
+	// Error paths.
+	if _, err := idx.Add(nil); err == nil {
+		t.Error("empty Add accepted")
+	}
+	if _, err := idx.Add([][]float32{{1, 2}}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestOPQRotationPublicAPI(t *testing.T) {
+	base := clusteredVectors(2000, 32, 16, 21)
+	queries := clusteredVectors(8, 32, 16, 22)
+	plain, err := BuildIndex(base, L2, BuildOptions{
+		NClusters: 16, M: 8, Ks: 16, TrainIters: 5, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := BuildIndex(base, L2, BuildOptions{
+		NClusters: 16, M: 8, Ks: 16, TrainIters: 5, Seed: 4, OPQRotation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recall comparable with and without rotation (rotation is an
+	// isometry; queries are rotated transparently).
+	recallOf := func(idx *Index) float64 {
+		var total float64
+		for _, q := range queries {
+			ex, _ := ExactSearch(base, L2, q, 10)
+			truth := make([]int64, len(ex))
+			for i, r := range ex {
+				truth[i] = r.ID
+			}
+			total += Recall(10, 100, truth, idx.Search(q, 16, 100))
+		}
+		return total / float64(len(queries))
+	}
+	rp, rr := recallOf(plain), recallOf(rotated)
+	if rr < rp-0.25 {
+		t.Errorf("rotation destroyed recall: %.2f vs %.2f", rr, rp)
+	}
+
+	// The simulated accelerator handles rotated indexes transparently.
+	cfg := DefaultAcceleratorConfig()
+	cfg.TopK = 100
+	acc, err := NewAccelerator(rotated, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := acc.Simulate(queries, SimParams{W: 8, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := rotated.SearchBatch(queries, SearchOptions{
+		W: 8, K: 10, Mode: QueryAtATime, HardwareFaithful: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range rep.Results {
+		for i := range rep.Results[qi] {
+			if rep.Results[qi][i].Score != sw.Results[qi][i].Score {
+				t.Fatalf("rotated accel/software mismatch q%d rank %d", qi, i)
+			}
+		}
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, InnerProduct, 16)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.anna")
+	if err := idx.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("stat: %v size %d", err, fi.Size())
+	}
+	loaded, err := LoadIndexFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := idx.Search(queries[0], 4, 5)
+	b := loaded.Search(queries[0], 4, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("file round trip differs at %d", i)
+		}
+	}
+	if _, err := LoadIndexFile(filepath.Join(dir, "missing.anna")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// A cluster larger than the encoded vector buffer exercises the EVB
+// chunking / re-streaming path of both execution modes.
+func TestAcceleratorOversizedCluster(t *testing.T) {
+	// One dominant cluster: nearly all vectors in one blob.
+	base := clusteredVectors(6000, 32, 1, 31)
+	idx, err := BuildIndex(base, L2, BuildOptions{
+		NClusters: 4, M: 8, Ks: 16, TrainIters: 4, Seed: 5, HardwareFaithful: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := clusteredVectors(24, 32, 1, 32)
+	cfg := DefaultAcceleratorConfig()
+	cfg.TopK = 100
+	cfg.EVBBytes = 512 // force chunking: lists are ~ thousands of bytes
+	acc, err := NewAccelerator(idx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := acc.Simulate(queries, SimParams{W: 4, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := idx.SearchBatch(queries, SearchOptions{
+		W: 4, K: 10, Mode: QueryAtATime, HardwareFaithful: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range rep.Results {
+		for i := range rep.Results[qi] {
+			if rep.Results[qi][i].Score != sw.Results[qi][i].Score {
+				t.Fatalf("oversized-cluster mismatch q%d rank %d", qi, i)
+			}
+		}
+	}
+	// Multiple passes over an oversized list re-stream it: code traffic
+	// must exceed the one-shot sum of visited lists.
+	var visited int64
+	st := idx.Stats()
+	_ = st
+	codes := rep.TrafficByStream["codes"]
+	for c := 0; c < idx.NClusters(); c++ {
+		visited += int64(idx.inner.Lists[c].Len() * idx.inner.PQ.CodeBytes())
+	}
+	if codes <= visited/2 {
+		t.Errorf("expected re-streaming traffic, codes=%d visited-once=%d", codes, visited)
+	}
+}
+
+func TestSearchRerankPublicAPI(t *testing.T) {
+	base := clusteredVectors(3000, 32, 24, 41)
+	idx, err := BuildIndex(base, L2, BuildOptions{
+		NClusters: 24, M: 8, Ks: 16, TrainIters: 6, Seed: 3,
+		RetainForRerank: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := base[100]
+	refined, err := idx.SearchRerank(q, idx.NClusters(), 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refined) != 5 {
+		t.Fatalf("%d results", len(refined))
+	}
+	// A self-query re-ranked with near-exact scores puts the planted
+	// vector first (SQ8 error is far below data spacing here).
+	if refined[0].ID != 100 {
+		t.Errorf("refined top-1 = %d, want 100", refined[0].ID)
+	}
+
+	// Error paths.
+	plain, err := BuildIndex(base[:500], L2, BuildOptions{
+		NClusters: 8, M: 8, Ks: 16, TrainIters: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.SearchRerank(q, 4, 5, 4); err == nil {
+		t.Error("rerank without storage accepted")
+	}
+	if _, err := idx.SearchRerank([]float32{1}, 4, 5, 4); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestDeleteCompactPublicAPI(t *testing.T) {
+	idx, base, _ := buildTestIndex(t, L2, 16)
+	total := idx.Len()
+	if n := idx.Delete(10, 11, 10); n != 2 {
+		t.Fatalf("Delete returned %d", n)
+	}
+	if idx.Live() != total-2 {
+		t.Errorf("Live = %d", idx.Live())
+	}
+	res := idx.Search(base[10], idx.NClusters(), 20)
+	for _, r := range res {
+		if r.ID == 10 {
+			t.Fatal("deleted vector surfaced")
+		}
+	}
+	// The simulated accelerator also filters tombstones.
+	cfg := DefaultAcceleratorConfig()
+	cfg.TopK = 100
+	acc, err := NewAccelerator(idx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := acc.Simulate([][]float32{base[10]}, SimParams{W: idx.NClusters(), K: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results[0] {
+		if r.ID == 10 {
+			t.Fatal("accelerator surfaced a tombstoned ID")
+		}
+	}
+	if removed := idx.Compact(); removed != 2 {
+		t.Fatalf("Compact removed %d", removed)
+	}
+	if idx.Len() != total-2 || idx.Live() != total-2 {
+		t.Errorf("post-compact Len=%d Live=%d", idx.Len(), idx.Live())
+	}
+	// Adds after compact get fresh IDs.
+	first, err := idx.Add(clusteredVectors(3, 32, 24, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != int64(total) {
+		t.Errorf("Add after compact assigned %d, want %d", first, total)
+	}
+}
+
+func TestQueryLatenciesAndPercentile(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, L2, 16)
+	cfg := DefaultAcceleratorConfig()
+	cfg.TopK = 100
+	acc, err := NewAccelerator(idx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := acc.SimulateBaseline(queries, SimParams{W: 4, K: 5, TimingOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.QueryLatencies) != len(queries) {
+		t.Fatalf("%d latencies for %d queries", len(rep.QueryLatencies), len(queries))
+	}
+	p50 := LatencyPercentile(rep.QueryLatencies, 50)
+	p99 := LatencyPercentile(rep.QueryLatencies, 99)
+	if p50 <= 0 || p99 < p50 {
+		t.Errorf("p50=%v p99=%v", p50, p99)
+	}
+	// Batched mode reports no per-query latencies (all finish together).
+	b, err := acc.Simulate(queries, SimParams{W: 4, K: 5, TimingOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.QueryLatencies != nil {
+		t.Error("batched mode reported per-query latencies")
+	}
+
+	// Percentile helper edge cases.
+	if LatencyPercentile(nil, 50) != 0 {
+		t.Error("empty sample percentile")
+	}
+	s := []float64{3, 1, 2}
+	if LatencyPercentile(s, 0) != 1 || LatencyPercentile(s, 100) != 3 {
+		t.Errorf("percentile bounds: %v %v", LatencyPercentile(s, 0), LatencyPercentile(s, 100))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad percentile did not panic")
+		}
+	}()
+	LatencyPercentile(s, 101)
+}
+
+func TestBatchReportQPSPositive(t *testing.T) {
+	idx, _, queries := buildTestIndex(t, L2, 16)
+	rep, err := idx.SearchBatch(queries, SearchOptions{W: 4, K: 10, Mode: ClusterMajor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QPS <= 0 {
+		t.Errorf("QPS = %v", rep.QPS)
+	}
+}

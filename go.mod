@@ -1,0 +1,3 @@
+module anna
+
+go 1.22

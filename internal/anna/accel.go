@@ -1,0 +1,284 @@
+package anna
+
+import (
+	"fmt"
+
+	"anna/internal/dram"
+	"anna/internal/ivf"
+	"anna/internal/pq"
+	"anna/internal/sim"
+	"anna/internal/topk"
+	"anna/internal/vecmath"
+)
+
+// Accelerator is one configured ANNA instance bound to a trained index
+// (the host has already placed centroids and encoded vectors in ANNA
+// main memory and the codebook in on-chip SRAM, Section III-A).
+type Accelerator struct {
+	cfg Config
+	idx *ivf.Index
+}
+
+// New returns an accelerator. It panics on invalid configuration or if
+// the index's codebook exceeds the codebook SRAM the configuration
+// implies (2·k*·D bytes).
+func New(cfg Config, idx *ivf.Index) *Accelerator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if idx.PQ.Ks != 16 && idx.PQ.Ks != 256 {
+		panic(fmt.Sprintf("anna: hardware supports k* of 16 or 256, index has %d", idx.PQ.Ks))
+	}
+	return &Accelerator{cfg: cfg, idx: idx}
+}
+
+// Config returns the accelerator's configuration.
+func (a *Accelerator) Config() Config { return a.cfg }
+
+// Index returns the bound index.
+func (a *Accelerator) Index() *ivf.Index { return a.idx }
+
+// Params control one search command.
+type Params struct {
+	// W is the number of clusters inspected per query.
+	W int
+	// K is the number of results returned per query (<= Config.K).
+	K int
+	// SCMsPerQuery selects intra-query parallelism in batched mode:
+	// each query's cluster scan is split across this many SCMs.
+	// 0 selects the paper's heuristic N_SCM·|C|/(B·W), clamped to
+	// [1, N_SCM] (Section IV-A).
+	SCMsPerQuery int
+	// SkipFunctional runs the timing model only (cluster filtering still
+	// executes — the schedule depends on which lists are visited — but
+	// list scans are not computed and PerQuery results are nil). Used
+	// for large parameter sweeps.
+	SkipFunctional bool
+}
+
+func (p Params) validate(a *Accelerator) error {
+	if p.W <= 0 {
+		return fmt.Errorf("anna: W must be positive, got %d", p.W)
+	}
+	if p.K <= 0 || p.K > a.cfg.K {
+		return fmt.Errorf("anna: K must be in 1..%d, got %d", a.cfg.K, p.K)
+	}
+	return nil
+}
+
+// Result reports one search command's outcome and cost.
+type Result struct {
+	// PerQuery holds each query's top-k (descending similarity); nil
+	// when SkipFunctional was set.
+	PerQuery [][]topk.Result
+	// Queries is the batch size B.
+	Queries int
+	// Cycles is the makespan of the command.
+	Cycles sim.Cycles
+	// Seconds is Cycles at the configured clock.
+	Seconds float64
+	// QPS is Queries/Seconds.
+	QPS float64
+	// MeanLatencySeconds is the average per-query latency: per-query
+	// completion time in baseline mode, the batch makespan in batched
+	// mode (a query is not done until its last cluster pass).
+	MeanLatencySeconds float64
+	// QueryLatencies holds each query's latency in seconds (baseline
+	// mode only; nil in batched mode, where all queries complete with
+	// the batch).
+	QueryLatencies []float64
+	// Traffic is per-stream memory bytes; TotalTrafficBytes their sum.
+	Traffic           map[dram.StreamClass]int64
+	TotalTrafficBytes int64
+	// Busy cycles per module class, for utilisation and energy.
+	CPMBusy  sim.Cycles
+	SCMBusy  sim.Cycles // summed over all SCMs
+	DRAMBusy sim.Cycles
+	// TopKOffered counts inputs consumed by top-k units (energy model).
+	TopKOffered int64
+	// Phases breaks busy cycles down by search phase.
+	Phases PhaseCycles
+	// Trace holds timeline spans when Config.Trace is set.
+	Trace []sim.Span
+}
+
+func (m *machine) finishResult(r *Result) {
+	r.Cycles = m.eng.Makespan()
+	r.Seconds = m.seconds(r.Cycles)
+	if r.Seconds > 0 {
+		r.QPS = float64(r.Queries) / r.Seconds
+	}
+	r.Traffic = m.ch.TrafficByClass()
+	r.TotalTrafficBytes = m.ch.TotalTraffic()
+	r.CPMBusy = m.cpm.Busy()
+	for _, s := range m.scms {
+		r.SCMBusy += s.Busy()
+	}
+	r.DRAMBusy = m.ch.Busy()
+	r.Phases = m.phases
+	if m.cfg.Trace {
+		r.Trace = m.eng.Trace()
+	}
+}
+
+// SearchBaseline processes the batch one query at a time — the
+// conventional execution on the left of Figure 5. Each query streams
+// the centroids, selects W clusters, and scans each selected cluster's
+// encoded vectors, fetching them from main memory with no cross-query
+// reuse. All N_SCM SCMs cooperate on the single in-flight query
+// (intra-query parallelism), and double buffering overlaps LUT
+// construction, code fetch and similarity computation per Figure 7.
+func (a *Accelerator) SearchBaseline(queries *vecmath.Matrix, p Params) *Result {
+	if err := p.validate(a); err != nil {
+		panic(err)
+	}
+	queries = a.idx.PrepQueries(queries) // OPQ rotation, when trained with one
+	m := newMachine(a.cfg, a.idx)
+	res := &Result{Queries: queries.Rows}
+	if !p.SkipFunctional {
+		res.PerQuery = make([][]topk.Result, queries.Rows)
+	}
+
+	lut := pq.NewLUT(a.idx.PQ)
+	scratch := make([]float32, a.idx.D)
+	codeBuf := make([]byte, a.idx.PQ.M)
+	var totalLatency float64
+
+	var t sim.Cycles // current query's earliest issue time
+	for qi := 0; qi < queries.Rows; qi++ {
+		q := queries.Row(qi)
+		qStart := t
+
+		// Step 1: cluster filtering. Centroids stream from memory while
+		// the CPM computes; the top-|W| unit absorbs results at line rate.
+		dataAt := m.ch.Read(qStart, m.centroidBytes(), dram.Centroids, "filter:centroids")
+		_, compEnd := m.cpm.Schedule(qStart, m.filterCycles(), "filter")
+		m.phases.Filter += m.filterCycles()
+		filterEnd := sim.Max(dataAt, compEnd)
+		clusters := a.idx.SelectClusters(q, p.W)
+
+		// The EFM can prefetch all selected clusters' metadata as soon as
+		// the selection is known.
+		metaAt := m.ch.Read(filterEnd, int64(len(clusters))*ClusterMetaBytes,
+			dram.ClusterMeta, "efm:meta")
+
+		ph := topk.NewPHeap(p.K)
+
+		// Inner-product LUT is filled once per query (Section II-C).
+		lutReady := filterEnd
+		if a.idx.Metric == pq.InnerProduct {
+			_, lutReady = m.cpm.Schedule(filterEnd, m.lutFillCycles(), "lut:ip")
+			m.phases.LUT += m.lutFillCycles()
+			if !p.SkipFunctional {
+				a.idx.PQ.FillIP(lut, q)
+				lut.RoundF16()
+			}
+		}
+
+		// scanEnds[j] is when the scan of the j-th selected cluster
+		// finished; double buffering lets fill/fetch for cluster j start
+		// once cluster j-2 released its buffer copy.
+		scanEnds := make([]sim.Cycles, 0, len(clusters))
+		bufFree := func(j int) sim.Cycles {
+			back := 2
+			if !m.cfg.DoubleBuffer {
+				back = 1
+			}
+			if j-back < 0 {
+				return 0
+			}
+			return scanEnds[j-back]
+		}
+
+		for j, c := range clusters {
+			ready := sim.Max(metaAt, bufFree(j))
+
+			// L2: reload the centroid, compute the residual, refill the
+			// LUT for this cluster (Section III-A, L2 path).
+			clusterLUTReady := lutReady
+			if a.idx.Metric == pq.L2 {
+				cAt := m.ch.Read(ready, m.oneCentroidBytes(), dram.Centroids, "lut:centroid")
+				_, rEnd := m.cpm.Schedule(sim.Max(cAt, ready), m.residualCycles(), "resid")
+				_, clusterLUTReady = m.cpm.Schedule(rEnd, m.lutFillCycles(), "lut:l2")
+				m.phases.LUT += m.residualCycles() + m.lutFillCycles()
+			}
+
+			// EFM code fetch, chunked by the encoded vector buffer size.
+			n := a.idx.Lists[c].Len()
+			bytes := m.listBytes(c)
+			first := bytes
+			if first > m.cfg.EVBBytes {
+				first = m.cfg.EVBBytes
+			}
+			firstAt := m.ch.Read(ready, first, dram.Codes, "efm:codes")
+			lastAt := firstAt
+			if rest := bytes - first; rest > 0 {
+				lastAt = m.ch.Read(firstAt, rest, dram.Codes, "efm:codes+")
+			}
+
+			// Scan split across all SCMs (intra-query parallelism).
+			per := (n + m.cfg.NSCM - 1) / m.cfg.NSCM
+			var scanEnd sim.Cycles
+			for s := 0; s < m.cfg.NSCM && s*per < n; s++ {
+				cnt := per
+				if rem := n - s*per; cnt > rem {
+					cnt = rem
+				}
+				_, e := m.scms[s].Schedule(sim.Max(clusterLUTReady, firstAt),
+					m.scanCycles(cnt), "scan")
+				m.phases.Scan += m.scanCycles(cnt)
+				scanEnd = sim.Max(scanEnd, e)
+			}
+			scanEnd = sim.Max(scanEnd, lastAt) // cannot outrun the data
+			scanEnds = append(scanEnds, scanEnd)
+
+			if !p.SkipFunctional {
+				if a.idx.Metric == pq.L2 {
+					a.idx.BuildLUT(lut, q, c, scratch, true)
+				} else {
+					a.idx.RebiasLUT(lut, q, c, true)
+				}
+				scanListPHeap(a.idx, ph, lut, c, codeBuf)
+			}
+		}
+
+		queryEnd := filterEnd
+		if len(scanEnds) > 0 {
+			queryEnd = scanEnds[len(scanEnds)-1]
+		}
+		// Merge the per-SCM partial top-k lists, then write results back.
+		_, mergeEnd := m.scms[0].Schedule(queryEnd, m.mergeCycles(m.cfg.NSCM, p.K), "merge")
+		m.phases.Merge += m.mergeCycles(m.cfg.NSCM, p.K)
+		queryEnd = m.ch.Write(mergeEnd, topk.FlushBytes(p.K), dram.Results, "results")
+
+		if !p.SkipFunctional {
+			res.PerQuery[qi] = ph.Flush()
+			res.TopKOffered += ph.Offered()
+		}
+		lat := m.seconds(queryEnd - qStart)
+		res.QueryLatencies = append(res.QueryLatencies, lat)
+		totalLatency += lat
+		t = queryEnd // queries processed strictly one at a time
+	}
+
+	res.MeanLatencySeconds = totalLatency / float64(queries.Rows)
+	m.finishResult(res)
+	return res
+}
+
+// scanListPHeap is the functional datapath of one SCM pass over cluster
+// c: unpack codes, LUT-reduce with f16 score rounding, feed the P-heap.
+// Tombstoned IDs are filtered the way the host-side result collection
+// would drop them.
+func scanListPHeap(idx *ivf.Index, ph *topk.PHeap, lut *pq.LUT, c int, codeBuf []byte) {
+	lst := &idx.Lists[c]
+	cb := idx.PQ.CodeBytes()
+	filtered := idx.HasDeletions()
+	for i := 0; i < lst.Len(); i++ {
+		if filtered && idx.Deleted(lst.IDs[i]) {
+			continue
+		}
+		idx.PQ.Unpack(codeBuf, lst.Codes[i*cb:])
+		ph.Offer(lst.IDs[i], lut.ADCf16(codeBuf))
+	}
+}

@@ -1,0 +1,155 @@
+package anna
+
+import (
+	"math"
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/ivf"
+	"anna/internal/pq"
+)
+
+// paperGeometry is SIFT1B at 4:1 with k*=256: N=1B, D=128, M=64, |C|=10000.
+func paperGeometry() Geometry {
+	return Geometry{N: 1_000_000_000, D: 128, M: 64, Ks: 256, C: 10000, Metric: pq.L2}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	g := paperGeometry()
+	if g.CodeBytes() != 64 {
+		t.Errorf("CodeBytes = %d", g.CodeBytes())
+	}
+	if g.AvgList() != 100000 {
+		t.Errorf("AvgList = %v", g.AvgList())
+	}
+	g16 := Geometry{N: 1, D: 128, M: 128, Ks: 16, C: 1}
+	if g16.CodeBytes() != 64 {
+		t.Errorf("k*=16 CodeBytes = %d", g16.CodeBytes())
+	}
+}
+
+func TestAnalyticBillionScaleBallparks(t *testing.T) {
+	r := Analytic(DefaultConfig(), paperGeometry(), 1000, 32, 1000, 0)
+	// Memory floor: the batch must move at least the visited lists
+	// (~61 GB) at 64 GB/s -> close to 1 s; with overheads the QPS lands
+	// in the hundreds-to-low-thousands, matching Figure 8's ANNA curves.
+	if r.QPS < 200 || r.QPS > 5000 {
+		t.Errorf("billion-scale QPS = %.0f, outside plausible band", r.QPS)
+	}
+	// Paper: ANNA reaches 0.9+ recall at sub-ms latency on billion-scale
+	// datasets; W=32 is well past that recall there.
+	if r.LatencySeconds > 5e-3 {
+		t.Errorf("latency = %.3f ms, expected low single-digit ms", r.LatencySeconds*1e3)
+	}
+	if r.LatencySeconds < 100e-6 {
+		t.Errorf("latency = %v suspiciously low", r.LatencySeconds)
+	}
+	// Traffic optimization: baseline traffic must exceed batched.
+	if r.BaselineTrafficBytes <= r.TrafficBytes {
+		t.Errorf("baseline traffic %d <= batched %d", r.BaselineTrafficBytes, r.TrafficBytes)
+	}
+}
+
+func TestAnalyticTrafficReductionNearWorkedExample(t *testing.T) {
+	// Section IV: B=1000, |C|=10000, W=128 -> 12.8x fewer list bytes.
+	g := paperGeometry()
+	r := Analytic(DefaultConfig(), g, 1000, 128, 1000, 0)
+	ratio := float64(r.BaselineTrafficBytes) / float64(r.TrafficBytes)
+	// Top-k save/restore and query lists eat into the ideal 12.8x.
+	if ratio < 6 || ratio > 13 {
+		t.Errorf("traffic reduction = %.1fx, want within [6,13] of the 12.8x ideal", ratio)
+	}
+}
+
+func TestAnalyticSCMHeuristic(t *testing.T) {
+	g := paperGeometry()
+	// B=1000, |C|=10000, W=40 -> 4 queries/cluster -> 4 SCMs per query
+	// (the paper's worked example).
+	r := Analytic(DefaultConfig(), g, 1000, 40, 1000, 0)
+	if r.SCMsPerQuery != 4 {
+		t.Errorf("SCMsPerQuery = %d, paper example says 4", r.SCMsPerQuery)
+	}
+	// Dense visiting -> inter-query mode.
+	r = Analytic(DefaultConfig(), g, 10000, 128, 1000, 0)
+	if r.SCMsPerQuery != 1 {
+		t.Errorf("dense batch SCMsPerQuery = %d, want 1", r.SCMsPerQuery)
+	}
+	// Explicit override respected and clamped.
+	r = Analytic(DefaultConfig(), g, 1000, 32, 1000, 64)
+	if r.SCMsPerQuery != 16 {
+		t.Errorf("clamp: %d", r.SCMsPerQuery)
+	}
+}
+
+func TestAnalyticMonotonicInW(t *testing.T) {
+	g := paperGeometry()
+	prev := math.Inf(1)
+	for _, w := range []int{4, 16, 64, 256} {
+		r := Analytic(DefaultConfig(), g, 1000, w, 1000, 0)
+		if r.QPS > prev*1.001 {
+			t.Errorf("QPS increased with W=%d: %.0f > %.0f", w, r.QPS, prev)
+		}
+		prev = r.QPS
+	}
+}
+
+func TestAnalyticBandwidthScaling(t *testing.T) {
+	g := paperGeometry()
+	slow := DefaultConfig()
+	fast := DefaultConfig()
+	fast.DRAM.BandwidthBytesPerCycle = 128
+	rs := Analytic(slow, g, 1000, 64, 1000, 0)
+	rf := Analytic(fast, g, 1000, 64, 1000, 0)
+	if rf.QPS <= rs.QPS {
+		t.Errorf("double bandwidth did not help a memory-bound point: %.0f vs %.0f", rf.QPS, rs.QPS)
+	}
+}
+
+func TestMultiInstanceQPS(t *testing.T) {
+	g := paperGeometry()
+	r := Analytic(DefaultConfig(), g, 1000, 32, 1000, 0)
+	if got := MultiInstanceQPS(r, 12); math.Abs(got-12*r.QPS) > 1e-9 {
+		t.Errorf("x12 QPS = %v", got)
+	}
+}
+
+// The event-driven simulator and the closed-form model must agree on a
+// scaled workload with realistically long inverted lists (steady state
+// dominating) — this pins the billion-scale extrapolation methodology.
+func TestAnalyticMatchesSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("index build too heavy for -short")
+	}
+	spec := dataset.SIFTLike(20000, 16, 1)
+	spec.D = 32
+	ds := dataset.Generate(spec)
+	idx := ivf.Build(ds.Base, pq.L2, ivf.Config{
+		NClusters: 20, M: 8, Ks: 16, CoarseIters: 5, PQIters: 5, Seed: 2,
+		MaxTrain: 5000,
+	})
+	cfg := smallConfig()
+	acc := New(cfg, idx)
+	p := Params{W: 8, K: 10, SkipFunctional: true, SCMsPerQuery: 1}
+	simRes := acc.SearchBatched(ds.Queries, p)
+
+	g := Geometry{N: idx.NTotal, D: idx.D, M: idx.PQ.M, Ks: idx.PQ.Ks,
+		C: idx.NClusters(), Metric: idx.Metric}
+	ana := Analytic(cfg, g, ds.Queries.Rows, 8, 10, 1)
+
+	ratio := ana.BatchSeconds / simRes.Seconds
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("analytic vs simulated runtime ratio = %.2f (ana %.3gs, sim %.3gs)",
+			ratio, ana.BatchSeconds, simRes.Seconds)
+	}
+	tRatio := float64(ana.TrafficBytes) / float64(simRes.TotalTrafficBytes)
+	if tRatio < 0.6 || tRatio > 1.6 {
+		t.Errorf("analytic/simulated traffic ratio = %.2f", tRatio)
+	}
+
+	base := acc.SearchBaseline(ds.Queries, p)
+	lRatio := ana.LatencySeconds / base.MeanLatencySeconds
+	if lRatio < 0.4 || lRatio > 2.5 {
+		t.Errorf("analytic/simulated latency ratio = %.2f (ana %.3g, sim %.3g)",
+			lRatio, ana.LatencySeconds, base.MeanLatencySeconds)
+	}
+}

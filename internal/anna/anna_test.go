@@ -1,0 +1,404 @@
+package anna
+
+import (
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/dram"
+	"anna/internal/ivf"
+	"anna/internal/pq"
+	"anna/internal/topk"
+	"anna/internal/vecmath"
+)
+
+// testIndex builds a small deterministic index shared by the tests.
+func testIndex(t testing.TB, metric pq.Metric, ks int) (*ivf.Index, *dataset.Dataset) {
+	t.Helper()
+	spec := dataset.SIFTLike(3000, 16, 1)
+	spec.D = 32
+	spec.Metric = metric
+	ds := dataset.Generate(spec)
+	idx := ivf.Build(ds.Base, metric, ivf.Config{
+		NClusters: 25, M: 8, Ks: ks, CoarseIters: 6, PQIters: 6, Seed: 2, F16: true,
+	})
+	return idx, ds
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.K = 64 // small top-k keeps tests fast
+	return cfg
+}
+
+func sameResults(t *testing.T, label string, a, b [][]topk.Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: query counts %d vs %d", label, len(a), len(b))
+	}
+	for qi := range a {
+		if len(a[qi]) != len(b[qi]) {
+			t.Fatalf("%s q%d: lengths %d vs %d", label, qi, len(a[qi]), len(b[qi]))
+		}
+		for i := range a[qi] {
+			if a[qi][i] != b[qi][i] {
+				t.Fatalf("%s q%d rank %d: %+v vs %+v", label, qi, i, a[qi][i], b[qi][i])
+			}
+		}
+	}
+}
+
+// The accelerator's functional datapath must return exactly what the
+// software reference computes with hardware f16 rounding enabled.
+func TestBaselineMatchesSoftwareReference(t *testing.T) {
+	for _, metric := range []pq.Metric{pq.L2, pq.InnerProduct} {
+		idx, ds := testIndex(t, metric, 16)
+		acc := New(smallConfig(), idx)
+		res := acc.SearchBaseline(ds.Queries, Params{W: 6, K: 10})
+
+		want := make([][]topk.Result, ds.Queries.Rows)
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			want[qi] = idx.Search(ds.Queries.Row(qi), ivf.SearchParams{W: 6, K: 10, HWF16: true})
+		}
+		sameResults(t, metric.String(), res.PerQuery, want)
+	}
+}
+
+// sameResultsTies compares result lists rank-by-rank on scores only;
+// differing IDs are accepted when their scores tie (top-k under equal
+// scores is non-unique, and the Section IV reordering changes which of
+// two equal-scoring vectors is retained).
+func sameResultsTies(t *testing.T, label string, a, b [][]topk.Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: query counts %d vs %d", label, len(a), len(b))
+	}
+	for qi := range a {
+		if len(a[qi]) != len(b[qi]) {
+			t.Fatalf("%s q%d: lengths %d vs %d", label, qi, len(a[qi]), len(b[qi]))
+		}
+		for i := range a[qi] {
+			if a[qi][i].Score != b[qi][i].Score {
+				t.Fatalf("%s q%d rank %d: score %v vs %v",
+					label, qi, i, a[qi][i].Score, b[qi][i].Score)
+			}
+		}
+	}
+}
+
+// The batch-optimized execution must be functionally identical to the
+// baseline: the Section IV reordering may not change any answer (up to
+// which of two equal-scoring vectors is kept).
+func TestBatchedMatchesBaseline(t *testing.T) {
+	for _, metric := range []pq.Metric{pq.L2, pq.InnerProduct} {
+		idx, ds := testIndex(t, metric, 16)
+		acc := New(smallConfig(), idx)
+		base := acc.SearchBaseline(ds.Queries, Params{W: 6, K: 10})
+		for _, s := range []int{0, 1, 4, 16} {
+			batch := acc.SearchBatched(ds.Queries, Params{W: 6, K: 10, SCMsPerQuery: s})
+			sameResultsTies(t, metric.String(), batch.PerQuery, base.PerQuery)
+		}
+	}
+}
+
+func TestCycleFormulas(t *testing.T) {
+	idx, _ := testIndex(t, pq.L2, 16)
+	cfg := smallConfig()
+	m := newMachine(cfg, idx)
+
+	// D=32, |C|=25, N_cu=96: ceil(32*25/96) = 9.
+	if got := m.filterCycles(); got != 9 {
+		t.Errorf("filterCycles = %d, want 9", got)
+	}
+	// ceil(32/96) = 1.
+	if got := m.residualCycles(); got != 1 {
+		t.Errorf("residualCycles = %d, want 1", got)
+	}
+	// ceil(32*16/96) = 6.
+	if got := m.lutFillCycles(); got != 6 {
+		t.Errorf("lutFillCycles = %d, want 6", got)
+	}
+	// M=8, N_u=64: 100 vectors -> ceil(800/64)=13, but top-k rate limit
+	// floors at 100.
+	if got := m.scanCycles(100); got != 100 {
+		t.Errorf("scanCycles rate-limited = %d, want 100", got)
+	}
+	cfg.TopKRateLimit = false
+	m2 := newMachine(cfg, idx)
+	if got := m2.scanCycles(100); got != 13 {
+		t.Errorf("scanCycles unclamped = %d, want 13", got)
+	}
+	// Paper example: M=128, N_u=64 -> 2 cycles per vector.
+	idx.PQ.M = 128
+	if got := m2.scanCycles(1); got != 2 {
+		t.Errorf("scanCycles(1) with M=128 = %d, want 2", got)
+	}
+	idx.PQ.M = 8
+}
+
+func TestBaselineCodeTrafficIsBWLists(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	const w = 6
+	res := acc.SearchBaseline(ds.Queries, Params{W: w, K: 10, SkipFunctional: true})
+
+	var want int64
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		for _, c := range idx.SelectClusters(ds.Queries.Row(qi), w) {
+			want += idx.ListBytes(c)
+		}
+	}
+	if got := res.Traffic[dram.Codes]; got != want {
+		t.Errorf("baseline code traffic = %d, want %d", got, want)
+	}
+}
+
+func TestBatchedCodeTrafficIsVisitedListsOnce(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	cfg := smallConfig()
+	acc := New(cfg, idx)
+	const w = 6
+	// Inter-query mode with queries/cluster <= N_SCM: one pass per
+	// cluster, each visited list fetched exactly once.
+	res := acc.SearchBatched(ds.Queries, Params{W: w, K: 10, SCMsPerQuery: 1, SkipFunctional: true})
+
+	visited := map[int]bool{}
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		for _, c := range idx.SelectClusters(ds.Queries.Row(qi), w) {
+			visited[c] = true
+		}
+	}
+	var want int64
+	for c := range visited {
+		want += idx.ListBytes(c)
+	}
+	if got := res.Traffic[dram.Codes]; got != want {
+		t.Errorf("batched code traffic = %d, want %d", got, want)
+	}
+	if res.Traffic[dram.Codes] >= New(cfg, idx).SearchBaseline(ds.Queries,
+		Params{W: w, K: 10, SkipFunctional: true}).Traffic[dram.Codes] {
+		t.Errorf("optimization did not reduce code traffic")
+	}
+}
+
+func TestBatchedFasterThanBaselineAtScale(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	p := Params{W: 8, K: 10, SkipFunctional: true}
+	base := acc.SearchBaseline(ds.Queries, p)
+	opt := acc.SearchBatched(ds.Queries, p)
+	if opt.Cycles >= base.Cycles {
+		t.Errorf("batched %d cycles >= baseline %d", opt.Cycles, base.Cycles)
+	}
+	if opt.QPS <= base.QPS {
+		t.Errorf("batched QPS %v <= baseline %v", opt.QPS, base.QPS)
+	}
+}
+
+func TestDoubleBufferingHelps(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	on := smallConfig()
+	off := smallConfig()
+	off.DoubleBuffer = false
+	p := Params{W: 8, K: 10, SkipFunctional: true}
+	rOn := New(on, idx).SearchBaseline(ds.Queries, p)
+	rOff := New(off, idx).SearchBaseline(ds.Queries, p)
+	if rOn.Cycles > rOff.Cycles {
+		t.Errorf("double buffering slower: %d vs %d", rOn.Cycles, rOff.Cycles)
+	}
+	// Functional results unaffected by the ablation.
+	a := New(on, idx).SearchBaseline(ds.Queries, Params{W: 4, K: 5})
+	b := New(off, idx).SearchBaseline(ds.Queries, Params{W: 4, K: 5})
+	sameResults(t, "doublebuffer", a.PerQuery, b.PerQuery)
+}
+
+func TestTopKSaveRestoreTraffic(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	cfg := smallConfig()
+	acc := New(cfg, idx)
+	res := acc.SearchBatched(ds.Queries, Params{W: 6, K: 10, SCMsPerQuery: 1, SkipFunctional: true})
+	// Every pass moves 2*activeSCMs*k*5 bytes; with 16 queries and W=6
+	// there are B*W (query,cluster) pairs, each restored+saved once.
+	wantPairs := int64(ds.Queries.Rows * 6)
+	want := 2 * wantPairs * topk.FlushBytes(10)
+	if got := res.Traffic[dram.TopK]; got != want {
+		t.Errorf("topk traffic = %d, want %d", got, want)
+	}
+}
+
+func TestIntraQueryIncreasesTopKTraffic(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	inter := acc.SearchBatched(ds.Queries, Params{W: 6, K: 10, SCMsPerQuery: 1, SkipFunctional: true})
+	intra := acc.SearchBatched(ds.Queries, Params{W: 6, K: 10, SCMsPerQuery: 8, SkipFunctional: true})
+	if intra.Traffic[dram.TopK] <= inter.Traffic[dram.TopK] {
+		t.Errorf("intra-query topk traffic %d <= inter %d (paper says it increases)",
+			intra.Traffic[dram.TopK], inter.Traffic[dram.TopK])
+	}
+}
+
+func TestTrafficModelPaperExample(t *testing.T) {
+	// Section IV: B=1000, |C|=10000, |W|=128 -> 12.8x reduction.
+	idx := &ivf.Index{Lists: make([]ivf.List, 10000),
+		Centroids: vecmath.NewMatrix(10000, 1)}
+	for c := range idx.Lists {
+		idx.Lists[c].Codes = make([]byte, 100) // uniform lists
+	}
+	base, opt := TrafficModel(idx, 1000, 128)
+	if ratio := float64(base) / float64(opt); ratio != 12.8 {
+		t.Errorf("traffic reduction = %v, want 12.8", ratio)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	for _, p := range []Params{{W: 0, K: 10}, {W: 4, K: 0}, {W: 4, K: 100000}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", p)
+				}
+			}()
+			acc.SearchBaseline(ds.Queries, p)
+		}()
+	}
+	// Bad hardware config.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for bad config")
+			}
+		}()
+		New(Config{}, idx)
+	}()
+	// Unsupported k*.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for unsupported k*")
+			}
+		}()
+		bad := *idx
+		badPQ := *idx.PQ
+		badPQ.Ks = 32
+		bad.PQ = &badPQ
+		New(smallConfig(), &bad)
+	}()
+}
+
+func TestTraceRecorded(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	cfg := smallConfig()
+	cfg.Trace = true
+	res := New(cfg, idx).SearchBaseline(ds.Queries, Params{W: 2, K: 5, SkipFunctional: true})
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	seen := map[string]bool{}
+	for _, sp := range res.Trace {
+		seen[sp.Resource] = true
+		if sp.End < sp.Start {
+			t.Fatalf("span ends before start: %+v", sp)
+		}
+	}
+	for _, r := range []string{"cpm", "scm00", "dram"} {
+		if !seen[r] {
+			t.Errorf("resource %s missing from trace", r)
+		}
+	}
+}
+
+func TestPhaseCyclesAccounting(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	for _, mode := range []string{"baseline", "batched"} {
+		var res *Result
+		if mode == "baseline" {
+			res = acc.SearchBaseline(ds.Queries, Params{W: 6, K: 10, SkipFunctional: true})
+		} else {
+			res = acc.SearchBatched(ds.Queries, Params{W: 6, K: 10, SkipFunctional: true})
+		}
+		ph := res.Phases
+		if ph.Filter <= 0 || ph.LUT <= 0 || ph.Scan <= 0 {
+			t.Errorf("%s: phases %+v have zero entries", mode, ph)
+		}
+		// CPM phases must sum to the CPM busy time; SCM phases to SCM busy.
+		if ph.Filter+ph.LUT != res.CPMBusy {
+			t.Errorf("%s: filter+lut %d != CPM busy %d", mode, ph.Filter+ph.LUT, res.CPMBusy)
+		}
+		if ph.Scan+ph.Merge != res.SCMBusy {
+			t.Errorf("%s: scan+merge %d != SCM busy %d", mode, ph.Scan+ph.Merge, res.SCMBusy)
+		}
+	}
+}
+
+func TestSkipFunctionalSameTiming(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	a := acc.SearchBatched(ds.Queries, Params{W: 4, K: 5})
+	b := acc.SearchBatched(ds.Queries, Params{W: 4, K: 5, SkipFunctional: true})
+	if a.Cycles != b.Cycles || a.TotalTrafficBytes != b.TotalTrafficBytes {
+		t.Errorf("timing depends on SkipFunctional: %d/%d vs %d/%d",
+			a.Cycles, a.TotalTrafficBytes, b.Cycles, b.TotalTrafficBytes)
+	}
+	if b.PerQuery != nil {
+		t.Error("SkipFunctional returned results")
+	}
+}
+
+func TestKs256Supported(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 256)
+	acc := New(smallConfig(), idx)
+	res := acc.SearchBaseline(ds.Queries, Params{W: 4, K: 10})
+	want := make([][]topk.Result, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		want[qi] = idx.Search(ds.Queries.Row(qi), ivf.SearchParams{W: 4, K: 10, HWF16: true})
+	}
+	sameResults(t, "ks256", res.PerQuery, want)
+}
+
+func TestMoreBandwidthNotSlower(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	slow := smallConfig()
+	slow.DRAM.BandwidthBytesPerCycle = 8
+	fast := smallConfig()
+	fast.DRAM.BandwidthBytesPerCycle = 256
+	p := Params{W: 8, K: 10, SkipFunctional: true}
+	rs := New(slow, idx).SearchBatched(ds.Queries, p)
+	rf := New(fast, idx).SearchBatched(ds.Queries, p)
+	if rf.Cycles > rs.Cycles {
+		t.Errorf("more bandwidth slower: %d vs %d", rf.Cycles, rs.Cycles)
+	}
+}
+
+func TestMeanLatencyBaselineVsBatch(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	p := Params{W: 4, K: 5, SkipFunctional: true}
+	base := acc.SearchBaseline(ds.Queries, p)
+	opt := acc.SearchBatched(ds.Queries, p)
+	// Baseline per-query latency is far below the batch makespan; the
+	// batched mode trades latency for throughput.
+	if base.MeanLatencySeconds >= opt.MeanLatencySeconds {
+		t.Errorf("baseline latency %v >= batched %v",
+			base.MeanLatencySeconds, opt.MeanLatencySeconds)
+	}
+}
+
+func BenchmarkBaselineTiming(b *testing.B) {
+	idx, ds := testIndex(b, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.SearchBaseline(ds.Queries, Params{W: 8, K: 10, SkipFunctional: true})
+	}
+}
+
+func BenchmarkBatchedTiming(b *testing.B) {
+	idx, ds := testIndex(b, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.SearchBatched(ds.Queries, Params{W: 8, K: 10, SkipFunctional: true})
+	}
+}

@@ -1,0 +1,276 @@
+package anna
+
+import (
+	"anna/internal/dram"
+	"anna/internal/ivf"
+	"anna/internal/pq"
+	"anna/internal/sim"
+	"anna/internal/topk"
+	"anna/internal/vecmath"
+)
+
+// SearchBatched processes the batch with the Section-IV memory traffic
+// optimization (the right of Figure 5): cluster filtering runs first for
+// every query, the per-cluster query lists are materialised in memory,
+// and then each visited cluster's encoded vectors are loaded once and
+// reused by all queries visiting it, with N_SCM SCMs working in parallel
+// and intermediate top-k state saved/restored around each pass
+// (Figure 7 steady state).
+func (a *Accelerator) SearchBatched(queries *vecmath.Matrix, p Params) *Result {
+	if err := p.validate(a); err != nil {
+		panic(err)
+	}
+	queries = a.idx.PrepQueries(queries) // OPQ rotation, when trained with one
+	m := newMachine(a.cfg, a.idx)
+	res := &Result{Queries: queries.Rows}
+	B := queries.Rows
+
+	// --- Phase 1: cluster filtering for all queries -------------------
+	//
+	// The CPM buffers QueryGroupSize queries and computes their centroid
+	// similarities on one streaming pass over C, so centroid traffic is
+	// amortised across the group (see Config.QueryGroupSize).
+	perQueryClusters := make([][]int, B)
+	var filterEnd sim.Cycles
+	g := m.cfg.QueryGroupSize
+	for lo := 0; lo < B; lo += g {
+		hi := lo + g
+		if hi > B {
+			hi = B
+		}
+		dataAt := m.ch.Read(filterEnd, m.centroidBytes(), dram.Centroids, "filter:centroids")
+		_, compEnd := m.cpm.Schedule(filterEnd, sim.Cycles(int64(hi-lo))*m.filterCycles(), "filter")
+		m.phases.Filter += sim.Cycles(int64(hi-lo)) * m.filterCycles()
+		filterEnd = sim.Max(dataAt, compEnd)
+		for qi := lo; qi < hi; qi++ {
+			perQueryClusters[qi] = a.idx.SelectClusters(queries.Row(qi), p.W)
+		}
+	}
+
+	// Record the queries visiting each cluster: one masked write per
+	// (query, selected cluster) into the array-of-arrays (Section IV-A).
+	clusterQueries := make([][]int, a.idx.NClusters())
+	var pairs int64
+	for qi, cs := range perQueryClusters {
+		for _, c := range cs {
+			clusterQueries[c] = append(clusterQueries[c], qi)
+			pairs++
+		}
+	}
+	listsWritten := m.ch.Write(filterEnd, pairs*QueryIDBytes, dram.QueryLists, "querylists:w")
+
+	// --- SCM allocation (Section IV-A) --------------------------------
+	s := p.SCMsPerQuery
+	if s <= 0 {
+		s = scmAlloc(m.cfg.NSCM, float64(B)*float64(p.W)/float64(a.idx.NClusters()))
+	}
+	if s > m.cfg.NSCM {
+		s = m.cfg.NSCM
+	}
+	queriesPerPass := m.cfg.NSCM / s
+	if queriesPerPass < 1 {
+		queriesPerPass = 1
+	}
+
+	// --- Phase 2: cluster-major scanning -------------------------------
+	nonEmpty := make([]int, 0, a.idx.NClusters())
+	for c, qs := range clusterQueries {
+		if len(qs) > 0 {
+			nonEmpty = append(nonEmpty, c)
+		}
+	}
+
+	var (
+		lut     *pq.LUT
+		scratch []float32
+		codeBuf []byte
+		states  map[int][]topk.Result // per-query intermediate top-k
+	)
+	if !p.SkipFunctional {
+		lut = pq.NewLUT(a.idx.PQ)
+		scratch = make([]float32, a.idx.D)
+		codeBuf = make([]byte, a.idx.PQ.M)
+		states = make(map[int][]topk.Result, B)
+	}
+	ph := topk.NewPHeap(p.K)
+
+	// Pass-granularity double buffering history (LUT copies) and
+	// cluster-granularity EVB history.
+	var passEnds []sim.Cycles
+	passBufFree := func(i int) sim.Cycles {
+		back := 2
+		if !m.cfg.DoubleBuffer {
+			back = 1
+		}
+		if i-back < 0 {
+			return 0
+		}
+		return passEnds[i-back]
+	}
+	clusterEnds := make([]sim.Cycles, 0, len(nonEmpty))
+	evbFree := func(i int) sim.Cycles {
+		back := 2
+		if !m.cfg.DoubleBuffer {
+			back = 1
+		}
+		if i-back < 0 {
+			return 0
+		}
+		return clusterEnds[i-back]
+	}
+
+	passIdx := 0
+	for ci, c := range nonEmpty {
+		qs := clusterQueries[c]
+		n := a.idx.Lists[c].Len()
+		bytes := m.listBytes(c)
+		fits := bytes <= m.cfg.EVBBytes
+
+		ready := sim.Max(listsWritten, evbFree(ci))
+		// Cluster metadata, then the query-ID list for this cluster.
+		metaAt := m.ch.Read(ready, ClusterMetaBytes, dram.ClusterMeta, "efm:meta")
+		qlAt := m.ch.Read(ready, int64(len(qs))*QueryIDBytes, dram.QueryLists, "querylists:r")
+
+		// First code fetch (or the whole list if it fits the EVB).
+		first := bytes
+		if first > m.cfg.EVBBytes {
+			first = m.cfg.EVBBytes
+		}
+		firstAt := m.ch.Read(sim.Max(metaAt, ready), first, dram.Codes, "efm:codes")
+		lastAt := firstAt
+		if rest := bytes - first; rest > 0 {
+			lastAt = m.ch.Read(firstAt, rest, dram.Codes, "efm:codes+")
+		}
+		fetchedOnce := false
+
+		var clusterEnd sim.Cycles
+		for lo := 0; lo < len(qs); lo += queriesPerPass {
+			hi := lo + queriesPerPass
+			if hi > len(qs) {
+				hi = len(qs)
+			}
+			passQs := qs[lo:hi]
+			ready := sim.Max(qlAt, passBufFree(passIdx))
+
+			// Oversized lists must be re-streamed on every pass after the
+			// first (the EVB cannot hold them across passes).
+			codesFirst, codesLast := firstAt, lastAt
+			if !fits && fetchedOnce {
+				codesFirst = m.ch.Read(ready, m.cfg.EVBBytes, dram.Codes, "efm:codes(re)")
+				codesLast = m.ch.Read(codesFirst, bytes-m.cfg.EVBBytes, dram.Codes, "efm:codes(re)+")
+			}
+			fetchedOnce = true
+
+			// Intermediate top-k restore for the pass's queries (one unit
+			// per active SCM), overlapped with the previous pass by the
+			// unit's double-buffered SRAM.
+			activeSCMs := len(passQs) * s
+			if activeSCMs > m.cfg.NSCM {
+				activeSCMs = m.cfg.NSCM
+			}
+			restoreBytes := int64(activeSCMs) * topk.FlushBytes(p.K)
+			restoreAt := m.ch.Read(ready, restoreBytes, dram.TopK, "topk:restore")
+
+			// CPM work per pass: for L2, a residual and a full LUT fill
+			// per query (Figure 7: N_scm·k*·D/N_cu). For IP the table
+			// contents are cluster-invariant, but the pass's SCM LUT
+			// SRAMs are time-shared across rotating queries, so the CPM
+			// re-materialises them (same fill cost, plus the q·c bias
+			// dot product at the residual's D/N_cu cost); the CPM is
+			// never the bottleneck for IP either way.
+			cAt := m.ch.Read(ready, m.oneCentroidBytes(), dram.Centroids, "lut:centroid")
+			cpmCycles := sim.Cycles(int64(len(passQs))) * (m.residualCycles() + m.lutFillCycles())
+			_, lutEnd := m.cpm.Schedule(sim.Max(cAt, ready), cpmCycles, "lut:"+a.idx.Metric.String())
+			m.phases.LUT += cpmCycles
+
+			// Scans: with intra-query parallelism each of the s SCMs
+			// assigned to a query covers n/s vectors; with inter-query
+			// parallelism each SCM covers the full list for its query.
+			per := (n + s - 1) / s
+			scanReady := sim.Max(sim.Max(lutEnd, codesFirst), restoreAt)
+			var passEnd sim.Cycles
+			scm := 0
+			for range passQs {
+				for part := 0; part < s && part*per < n; part++ {
+					cnt := per
+					if rem := n - part*per; cnt > rem {
+						cnt = rem
+					}
+					_, e := m.scms[scm%m.cfg.NSCM].Schedule(scanReady, m.scanCycles(cnt), "scan")
+					m.phases.Scan += m.scanCycles(cnt)
+					passEnd = sim.Max(passEnd, e)
+					scm++
+				}
+			}
+			passEnd = sim.Max(passEnd, codesLast)
+
+			// Save the pass's intermediate top-k state.
+			m.ch.Write(passEnd, restoreBytes, dram.TopK, "topk:save")
+
+			if !p.SkipFunctional {
+				for _, qi := range passQs {
+					a.idx.BuildLUT(lut, queries.Row(qi), c, scratch, true)
+					ph.ResetStats()
+					ph.Init(states[qi])
+					scanListPHeap(a.idx, ph, lut, c, codeBuf)
+					res.TopKOffered += ph.Offered()
+					states[qi] = ph.Flush()
+				}
+			}
+
+			passEnds = append(passEnds, passEnd)
+			passIdx++
+			clusterEnd = sim.Max(clusterEnd, passEnd)
+		}
+		clusterEnds = append(clusterEnds, clusterEnd)
+	}
+
+	var end sim.Cycles
+	if len(clusterEnds) > 0 {
+		end = clusterEnds[len(clusterEnds)-1]
+	} else {
+		end = listsWritten
+	}
+	// Intra-query parallelism epilogue: merge each query's s partial
+	// lists through top-k units (pipelined across SCMs).
+	if s > 1 {
+		var mergeEnd sim.Cycles
+		perSCM := (B + m.cfg.NSCM - 1) / m.cfg.NSCM
+		for i := 0; i < m.cfg.NSCM && i*perSCM < B; i++ {
+			cnt := perSCM
+			if rem := B - i*perSCM; cnt > rem {
+				cnt = rem
+			}
+			_, e := m.scms[i].Schedule(end, sim.Cycles(int64(cnt))*m.mergeCycles(s, p.K), "merge")
+			m.phases.Merge += sim.Cycles(int64(cnt)) * m.mergeCycles(s, p.K)
+			mergeEnd = sim.Max(mergeEnd, e)
+		}
+		end = mergeEnd
+	}
+	// Final result writeback for the whole batch.
+	end = m.ch.Write(end, int64(B)*topk.FlushBytes(p.K), dram.Results, "results")
+
+	if !p.SkipFunctional {
+		res.PerQuery = make([][]topk.Result, B)
+		for qi := 0; qi < B; qi++ {
+			res.PerQuery[qi] = states[qi]
+		}
+	}
+	res.MeanLatencySeconds = m.seconds(end)
+	m.finishResult(res)
+	return res
+}
+
+// TrafficModel returns the closed-form worst-case code traffic of the two
+// execution modes for a batch of B queries (Section IV's 12.8× example):
+// baseline loads B·W lists, batched loads at most every non-empty list
+// once per EVB-resident pass.
+func TrafficModel(idx *ivf.Index, b, w int) (baselineBytes, batchedBytes int64) {
+	var mean int64
+	for c := range idx.Lists {
+		mean += idx.ListBytes(c)
+	}
+	baselineBytes = int64(b) * int64(w) * mean / int64(idx.NClusters())
+	batchedBytes = mean // all lists once, worst case
+	return baselineBytes, batchedBytes
+}

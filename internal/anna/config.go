@@ -1,0 +1,115 @@
+// Package anna models the ANNA accelerator (Sections III and IV of the
+// paper): the Cluster/Codebook Processing Module (CPM), the Encoded
+// Vector Fetch Module (EFM), the Similarity Computation Modules (SCMs)
+// with their P-heap top-k units, the Memory Access Interface, and the
+// Section-IV memory-traffic-optimized batch scheduler.
+//
+// The model is both functional and timed: a search returns the actual
+// top-k vector IDs (computed through the same f16-rounded LUT datapath
+// the hardware would use, and tested to match the software reference)
+// together with cycle counts, per-stream memory traffic, and per-module
+// busy counters. Cycle costs use the paper's closed forms:
+//
+//	cluster filtering   D·|C|/N_cu     cycles on the CPM
+//	residual (L2)       D/N_cu         cycles on the CPM
+//	LUT fill            D·k*/N_cu      cycles on the CPM (per cluster for
+//	                                   L2, once per query for IP)
+//	list scan           |C_i|·M/N_u    cycles on an SCM
+//	top-k save/restore  2·k·5 B        memory traffic per query handoff
+//
+// scheduled on serial resources with the double-buffering overlaps of
+// Figure 7 (LUT and encoded-vector buffers each have two copies).
+package anna
+
+import (
+	"fmt"
+
+	"anna/internal/dram"
+)
+
+// Config is the hardware configuration of one ANNA instance.
+type Config struct {
+	// NCU is the number of compute units in the CPM (N_cu, 96 in the
+	// paper's evaluation).
+	NCU int
+	// NU is the number of LUT entries one SCM sum-reduces per cycle
+	// (N_u, 64 in the paper).
+	NU int
+	// NSCM is the number of Similarity Computation Modules (16).
+	NSCM int
+	// K is the capacity of each top-k selection unit (1000).
+	K int
+	// FreqGHz is the clock (1.0 in the paper; TSMC 40 nm synthesis).
+	FreqGHz float64
+	// EVBBytes is the size of ONE encoded vector buffer copy (1 MB);
+	// two copies exist for double buffering.
+	EVBBytes int64
+	// QueryGroupSize is how many queries the CPM filters per streaming
+	// pass over the centroids in batched mode. The paper does not
+	// specify this amortisation; the default of 64 keeps the query
+	// buffer at 16 KB for D=128. Set to 1 to model a fully
+	// re-streaming CPM. (Ablated in the harness.)
+	QueryGroupSize int
+	// TopKRateLimit caps an SCM's scan throughput at one vector per
+	// cycle (the top-k unit takes one input per cycle, Section III-B).
+	// Disabling it reproduces the paper's unclamped |C_i|·M/N_u form
+	// even when M < N_u. Default on.
+	TopKRateLimit bool
+	// DoubleBuffer enables the two-copy LUT/EVB overlap of Figure 7.
+	// Disabling it serialises LUT fill, fetch and scan (an ablation).
+	DoubleBuffer bool
+	// DRAM is the memory system (64 GB/s per instance in the paper).
+	DRAM dram.Config
+	// Trace records per-module spans for timeline output.
+	Trace bool
+}
+
+// DefaultConfig returns the paper's evaluated design point:
+// N_cu=96, N_u=64, N_SCM=16, k=1000, 1 MB encoded vector buffer,
+// 1 GHz, 64 GB/s memory.
+func DefaultConfig() Config {
+	return Config{
+		NCU:            96,
+		NU:             64,
+		NSCM:           16,
+		K:              1000,
+		FreqGHz:        1.0,
+		EVBBytes:       1 << 20,
+		QueryGroupSize: 64,
+		TopKRateLimit:  true,
+		DoubleBuffer:   true,
+		DRAM:           dram.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NCU <= 0:
+		return fmt.Errorf("anna: NCU must be positive, got %d", c.NCU)
+	case c.NU <= 0:
+		return fmt.Errorf("anna: NU must be positive, got %d", c.NU)
+	case c.NSCM <= 0:
+		return fmt.Errorf("anna: NSCM must be positive, got %d", c.NSCM)
+	case c.K <= 0:
+		return fmt.Errorf("anna: K must be positive, got %d", c.K)
+	case c.FreqGHz <= 0:
+		return fmt.Errorf("anna: FreqGHz must be positive, got %v", c.FreqGHz)
+	case c.EVBBytes <= 0:
+		return fmt.Errorf("anna: EVBBytes must be positive, got %d", c.EVBBytes)
+	case c.QueryGroupSize <= 0:
+		return fmt.Errorf("anna: QueryGroupSize must be positive, got %d", c.QueryGroupSize)
+	case c.DRAM.BandwidthBytesPerCycle <= 0:
+		return fmt.Errorf("anna: DRAM bandwidth must be positive")
+	}
+	return nil
+}
+
+// ClusterMetaBytes is the size of one cluster's metadata record in main
+// memory: 8 B start address + 4 B size, padded to one 16 B row.
+const ClusterMetaBytes = 16
+
+// QueryIDBytes is the size of one query ID in the batch optimization's
+// array-of-arrays (Section IV-A records 3 B counts; IDs are stored as
+// 4 B words for alignment).
+const QueryIDBytes = 4

@@ -1,0 +1,128 @@
+package anna
+
+import (
+	"fmt"
+
+	"anna/internal/dram"
+	"anna/internal/ivf"
+	"anna/internal/sim"
+)
+
+// machine wires one ANNA instance's resources onto a fresh sim engine.
+// A machine is built per search call; the Accelerator owning it is
+// reusable and stateless across searches.
+type machine struct {
+	cfg Config
+	idx *ivf.Index
+
+	eng  *sim.Engine
+	cpm  *sim.Resource   // compute units of the CPM (serial, N_cu wide internally)
+	scms []*sim.Resource // one per SCM
+	ch   *dram.Channel
+
+	phases PhaseCycles
+}
+
+// PhaseCycles breaks module busy time down by search phase — the
+// utilisation view behind the paper's "actual power (2-3W) is lower than
+// peak" observation and the annasim per-phase report.
+type PhaseCycles struct {
+	// Filter is CPM time in cluster filtering (step 1).
+	Filter sim.Cycles
+	// LUT is CPM time in residual + lookup-table construction (step 2).
+	LUT sim.Cycles
+	// Scan is summed SCM time in similarity computation (step 3).
+	Scan sim.Cycles
+	// Merge is SCM time merging per-SCM top-k lists.
+	Merge sim.Cycles
+}
+
+func newMachine(cfg Config, idx *ivf.Index) *machine {
+	m := &machine{cfg: cfg, idx: idx, eng: sim.NewEngine(cfg.Trace)}
+	m.cpm = m.eng.NewResource("cpm")
+	m.scms = make([]*sim.Resource, cfg.NSCM)
+	for i := range m.scms {
+		m.scms[i] = m.eng.NewResource(fmt.Sprintf("scm%02d", i))
+	}
+	m.ch = dram.NewChannel(m.eng, cfg.DRAM)
+	return m
+}
+
+// --- CPM cycle formulas (Section III-B, module (1)) ---
+
+// filterCycles is Mode 1: similarity of one query against all |C|
+// centroids, D·|C|/N_cu cycles.
+func (m *machine) filterCycles() sim.Cycles {
+	d, c := int64(m.idx.D), int64(m.idx.NClusters())
+	return sim.Cycles(sim.CeilDiv(d*c, int64(m.cfg.NCU)))
+}
+
+// residualCycles is Mode 2: vector subtraction q−c, D/N_cu cycles.
+func (m *machine) residualCycles() sim.Cycles {
+	return sim.Cycles(sim.CeilDiv(int64(m.idx.D), int64(m.cfg.NCU)))
+}
+
+// lutFillCycles is Mode 3: filling one full set of M lookup tables,
+// D·k*/N_cu cycles.
+func (m *machine) lutFillCycles() sim.Cycles {
+	d, ks := int64(m.idx.D), int64(m.idx.PQ.Ks)
+	return sim.Cycles(sim.CeilDiv(d*ks, int64(m.cfg.NCU)))
+}
+
+// --- SCM cycle formula (Section III-B, module (3)) ---
+
+// scanCycles is the similarity computation over n encoded vectors:
+// n·M/N_u cycles, optionally floored at one vector per cycle by the
+// top-k unit's input rate.
+func (m *machine) scanCycles(n int) sim.Cycles {
+	cyc := sim.CeilDiv(int64(n)*int64(m.idx.PQ.M), int64(m.cfg.NU))
+	if m.cfg.TopKRateLimit && cyc < int64(n) {
+		cyc = int64(n)
+	}
+	return sim.Cycles(cyc)
+}
+
+// mergeCycles is the cost of merging s per-SCM top-k lists of k entries
+// through a top-k unit at one entry per cycle (intra-query parallelism
+// epilogue).
+func (m *machine) mergeCycles(s, k int) sim.Cycles {
+	if s <= 1 {
+		return 0
+	}
+	return sim.Cycles(int64(s) * int64(k))
+}
+
+// --- memory sizes ---
+
+// centroidBytes is the streaming footprint of all centroids (f16).
+func (m *machine) centroidBytes() int64 {
+	return 2 * int64(m.idx.NClusters()) * int64(m.idx.D)
+}
+
+// oneCentroidBytes is a single centroid vector (f16).
+func (m *machine) oneCentroidBytes() int64 { return 2 * int64(m.idx.D) }
+
+// listBytes is cluster c's packed code bytes.
+func (m *machine) listBytes(c int) int64 { return m.idx.ListBytes(c) }
+
+// seconds converts cycles to wall-clock seconds at the configured clock.
+func (m *machine) seconds(c sim.Cycles) float64 {
+	return float64(c) / (m.cfg.FreqGHz * 1e9)
+}
+
+// scmAlloc implements the Section IV-A allocation heuristic: with
+// `expected` queries visiting each cluster on average, give each query
+// about N_SCM/expected SCMs so the SCM array stays full. The result is
+// rounded down to a power of two so N_SCM (itself a power of two in the
+// evaluated design) divides evenly into query groups.
+func scmAlloc(nSCM int, expected float64) int {
+	if expected < 1 {
+		expected = 1
+	}
+	target := float64(nSCM) / expected
+	s := 1
+	for s*2 <= nSCM && float64(s*2) <= target {
+		s *= 2
+	}
+	return s
+}

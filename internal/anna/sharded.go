@@ -1,0 +1,85 @@
+package anna
+
+import (
+	"sync"
+
+	"anna/internal/dram"
+	"anna/internal/topk"
+	"anna/internal/vecmath"
+)
+
+// SearchSharded models the paper's multi-instance configuration (ANNA
+// ×12, each instance paired with its own memory system): the query batch
+// is partitioned round-robin across n independent accelerators, each
+// holding a replica of the index, and the batch completes when the
+// slowest shard does. Traffic, busy counters and energy-relevant
+// statistics are summed across instances.
+func (a *Accelerator) SearchSharded(queries *vecmath.Matrix, p Params, n int) *Result {
+	if n <= 1 {
+		return a.SearchBatched(queries, p)
+	}
+	if err := p.validate(a); err != nil {
+		panic(err)
+	}
+
+	// Partition queries round-robin.
+	shards := make([]*vecmath.Matrix, 0, n)
+	owners := make([][]int, 0, n) // original query index per shard row
+	for s := 0; s < n; s++ {
+		var rows []int
+		for qi := s; qi < queries.Rows; qi += n {
+			rows = append(rows, qi)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		m := vecmath.NewMatrix(len(rows), queries.Cols)
+		for i, qi := range rows {
+			m.SetRow(i, queries.Row(qi))
+		}
+		shards = append(shards, m)
+		owners = append(owners, rows)
+	}
+
+	results := make([]*Result, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = a.SearchBatched(shards[i], p)
+		}(i)
+	}
+	wg.Wait()
+
+	agg := &Result{Queries: queries.Rows, Traffic: map[dram.StreamClass]int64{}}
+	if !p.SkipFunctional {
+		agg.PerQuery = make([][]topk.Result, queries.Rows)
+	}
+	for i, r := range results {
+		if r.Cycles > agg.Cycles {
+			agg.Cycles = r.Cycles
+		}
+		if r.MeanLatencySeconds > agg.MeanLatencySeconds {
+			agg.MeanLatencySeconds = r.MeanLatencySeconds
+		}
+		for cls, b := range r.Traffic {
+			agg.Traffic[cls] += b
+		}
+		agg.TotalTrafficBytes += r.TotalTrafficBytes
+		agg.CPMBusy += r.CPMBusy
+		agg.SCMBusy += r.SCMBusy
+		agg.DRAMBusy += r.DRAMBusy
+		agg.TopKOffered += r.TopKOffered
+		if !p.SkipFunctional {
+			for j, rs := range r.PerQuery {
+				agg.PerQuery[owners[i][j]] = rs
+			}
+		}
+	}
+	agg.Seconds = float64(agg.Cycles) / (a.cfg.FreqGHz * 1e9)
+	if agg.Seconds > 0 {
+		agg.QPS = float64(queries.Rows) / agg.Seconds
+	}
+	return agg
+}

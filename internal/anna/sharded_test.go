@@ -1,0 +1,106 @@
+package anna
+
+import (
+	"testing"
+
+	"anna/internal/pq"
+)
+
+func TestShardedMatchesSingleResults(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	p := Params{W: 6, K: 10}
+	single := acc.SearchBatched(ds.Queries, p)
+	sharded := acc.SearchSharded(ds.Queries, p, 4)
+	// Sharding only partitions queries; per-query answers are identical
+	// (no cross-query interaction in the functional datapath).
+	sameResultsTies(t, "sharded", sharded.PerQuery, single.PerQuery)
+}
+
+func TestShardedSpeedsUpThroughput(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	p := Params{W: 8, K: 10, SkipFunctional: true}
+	one := acc.SearchSharded(ds.Queries, p, 1)
+	twelve := acc.SearchSharded(ds.Queries, p, 12)
+	if twelve.QPS <= one.QPS {
+		t.Errorf("12 instances %.0f QPS <= 1 instance %.0f", twelve.QPS, one.QPS)
+	}
+	// Aggregate traffic grows (each instance streams centroids and its
+	// shard's lists), never shrinks.
+	if twelve.TotalTrafficBytes < one.TotalTrafficBytes {
+		t.Errorf("sharded traffic %d < single %d", twelve.TotalTrafficBytes, one.TotalTrafficBytes)
+	}
+}
+
+func TestShardedOneInstanceIsBatched(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	p := Params{W: 4, K: 5, SkipFunctional: true}
+	a := acc.SearchSharded(ds.Queries, p, 1)
+	b := acc.SearchBatched(ds.Queries, p)
+	if a.Cycles != b.Cycles || a.TotalTrafficBytes != b.TotalTrafficBytes {
+		t.Errorf("n=1 sharding changed the schedule")
+	}
+}
+
+func TestShardedMoreInstancesThanQueries(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	acc := New(smallConfig(), idx)
+	res := acc.SearchSharded(ds.Queries, Params{W: 4, K: 5}, 100)
+	if len(res.PerQuery) != ds.Queries.Rows {
+		t.Fatalf("%d results", len(res.PerQuery))
+	}
+	for qi, rs := range res.PerQuery {
+		if len(rs) == 0 {
+			t.Fatalf("query %d lost", qi)
+		}
+	}
+}
+
+// Figure 7's defining property: in batched steady state, CPM LUT
+// construction for the next pass overlaps SCM scanning of the current
+// one, and EFM prefetch overlaps both.
+func TestSteadyStateOverlap(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2, 16)
+	cfg := smallConfig()
+	cfg.Trace = true
+	// Narrow the channel so code fetches take long enough to observe
+	// against the (tiny) scaled cluster scans.
+	cfg.DRAM.BandwidthBytesPerCycle = 2
+	acc := New(cfg, idx)
+	res := acc.SearchBatched(ds.Queries, Params{W: 8, K: 10, SkipFunctional: true})
+
+	type span struct{ start, end int64 }
+	var luts, scans, fetches []span
+	for _, sp := range res.Trace {
+		s := span{int64(sp.Start), int64(sp.End)}
+		switch {
+		case sp.Resource == "cpm" && sp.Label == "lut:l2":
+			luts = append(luts, s)
+		case sp.Label == "scan":
+			scans = append(scans, s)
+		case sp.Label == "efm:codes":
+			fetches = append(fetches, s)
+		}
+	}
+	if len(luts) == 0 || len(scans) == 0 || len(fetches) == 0 {
+		t.Fatalf("trace incomplete: %d luts, %d scans, %d fetches", len(luts), len(scans), len(fetches))
+	}
+	overlap := func(a, b []span) bool {
+		for _, x := range a {
+			for _, y := range b {
+				if x.start < y.end && y.start < x.end {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !overlap(luts, scans) {
+		t.Error("no CPM-LUT / SCM-scan overlap — double buffering broken")
+	}
+	if !overlap(fetches, scans) {
+		t.Error("no EFM-fetch / SCM-scan overlap — prefetching broken")
+	}
+}

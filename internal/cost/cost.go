@@ -1,0 +1,361 @@
+// Package cost provides analytic performance/energy models of the
+// paper's software baselines: Google ScaNN and Facebook Faiss running
+// PQ-based ANNS on the evaluated Intel i7-7820X (Skylake-X, 8 cores,
+// AVX-512, 64 GB/s) and NVIDIA V100 (80 SMs, 900 GB/s, 32 GB HBM2).
+//
+// The paper measures these systems directly; this repository cannot (no
+// x86 AVX-512 Faiss build, no V100), so it models them from the paper's
+// own bottleneck analysis (Section II-D):
+//
+//   - CPU k*=16 configurations pin 16-entry LUTs in vector registers
+//     (PSHUFB) and are usually memory-bandwidth-bound on the encoded
+//     vector stream, which has no reuse.
+//   - CPU k*=256 configurations cannot keep 256-entry LUTs in registers
+//     and fall back to L1-resident gathers, becoming compute-bound.
+//   - Faiss16 (CPU) processes batches cluster-major — "similar to ANNA
+//     memory traffic optimization" — so its list traffic is amortised
+//     across the batch; ScaNN16 and Faiss256 are query-major.
+//   - The V100 scan kernel is occupancy-limited to 3 thread blocks/SM by
+//     its 32 KB shared-memory LUT, wasting memory-level parallelism, and
+//     the k-selection kernel has a small grid and ~4% FMA utilisation.
+//
+// Constants are calibrated so the paper's headline ratios against ANNA
+// hold (2.3–61.6× throughput, 24.0–620.8× latency, ≥97× energy
+// efficiency); EXPERIMENTS.md records paper-vs-model for every figure.
+package cost
+
+import (
+	"fmt"
+
+	"anna/internal/energy"
+	"anna/internal/ivf"
+	"anna/internal/pq"
+)
+
+// Platform identifies one software baseline configuration.
+type Platform int
+
+const (
+	// ScaNN16CPU is Google ScaNN with k*=16 on the 8-core CPU.
+	ScaNN16CPU Platform = iota
+	// Faiss16CPU is Facebook Faiss with k*=16 on the 8-core CPU.
+	Faiss16CPU
+	// Faiss256CPU is Facebook Faiss with k*=256 on the 8-core CPU.
+	Faiss256CPU
+	// Faiss256GPU is Facebook Faiss with k*=256 on the V100 GPU.
+	Faiss256GPU
+)
+
+func (p Platform) String() string {
+	switch p {
+	case ScaNN16CPU:
+		return "ScaNN16(CPU)"
+	case Faiss16CPU:
+		return "Faiss16(CPU)"
+	case Faiss256CPU:
+		return "Faiss256(CPU)"
+	case Faiss256GPU:
+		return "Faiss256(GPU)"
+	default:
+		return fmt.Sprintf("Platform(%d)", int(p))
+	}
+}
+
+// Ks returns the platform's codebook size (the paper: implementations are
+// tightly coupled to a specific k*).
+func (p Platform) Ks() int {
+	if p == Faiss256CPU || p == Faiss256GPU {
+		return 256
+	}
+	return 16
+}
+
+// IsGPU reports whether the platform is the V100 configuration.
+func (p Platform) IsGPU() bool { return p == Faiss256GPU }
+
+// PowerW returns the platform's measured package power (Section V-C).
+func (p Platform) PowerW() float64 {
+	switch p {
+	case ScaNN16CPU:
+		return energy.ScaNNCPUPowerW
+	case Faiss256GPU:
+		return energy.GPUPowerW
+	default:
+		return energy.FaissCPUPowerW
+	}
+}
+
+// CPU machine constants (Intel i7-7820X).
+const (
+	cpuMemBW = 64e9 // bytes/s
+	// cpuMACRate is the effective f32 multiply-accumulate rate for dense
+	// kernels (coarse quantization, LUT builds): 8 cores × 4 GHz ×
+	// 32 MAC/cycle at ~65% efficiency.
+	cpuMACRate = 6.6e11
+	// cpuLookup16 is the LUT-scan rate for k*=16: 16 parallel in-register
+	// shuffles + adds per cycle per core across 8 cores at 4 GHz.
+	cpuLookup16 = 8 * 4e9 * 16
+	// cpuLookup256 is the LUT-scan rate for k*=256: ~0.75 effective lookups per
+	// cycle per core: gathers, VPSRLW unpacking and dependent adds (the
+	// paper's sub-byte/gather bottleneck analysis).
+	cpuLookup256 = 8 * 4e9 * 0.75
+	// cpuSelectRate is candidate→top-k filtering throughput.
+	cpuSelectRate = 1.6e10
+	// cpuMemEff is the fraction of peak bandwidth the scan loop sustains
+	// with all threads live: list streams interleave with LUT and top-k
+	// accesses, so the achieved bandwidth sits well below STREAM peak.
+	// This is why ANNA's dataflow pipeline beats even the cluster-major
+	// Faiss16 despite equal raw bandwidth (Figure 8's low-end 2.3×).
+	cpuMemEff = 0.55
+	// cpuSingleQueryBWFrac is the fraction of peak bandwidth ONE query
+	// achieves: Faiss and ScaNN parallelise across queries, so a single
+	// query runs on one core (the basis of the paper's 24×+ latency gap).
+	cpuSingleQueryBWFrac = 0.125
+	// cpuSingleQueryParEff is single-query core scaling: one of 8 cores.
+	cpuSingleQueryParEff = 0.125
+	// cpuFixedOverheadSec is per-batch dispatch overhead.
+	cpuFixedOverheadSec = 30e-6
+)
+
+// GPU machine constants (NVIDIA V100).
+const (
+	gpuMemBW = 900e9
+	// gpuOccupancyUtil is the achieved fraction of peak bandwidth with
+	// only 3 resident blocks/SM (the 32 KB shared-memory LUT limit).
+	gpuOccupancyUtil = 0.55
+	// gpuLookupRate is shared-memory LUT lookup+add throughput at the
+	// occupancy-limited concurrency.
+	gpuLookupRate = 1.1e12
+	// gpuMACRate is dense GEMM-style throughput for coarse quantization.
+	gpuMACRate = 3.5e12
+	// gpuSelectRate is the k-selection kernel's candidate throughput
+	// (small grid, ~4% FMA utilisation per the paper's profile).
+	gpuSelectRate = 1.2e10
+	// gpuFixedOverheadSec covers kernel launches and result transfers.
+	gpuFixedOverheadSec = 80e-6
+	// gpuSingleQueryUtilFrac scales throughput for tiny batches: a
+	// single query cannot fill 80 SMs, and the k-selection kernel's
+	// small grid parallelism collapses entirely.
+	gpuSingleQueryUtilFrac = 0.03
+	// gpuSaturationBatch is the batch size at which the GPU reaches its
+	// steady-state rates.
+	gpuSaturationBatch = 512.0
+)
+
+// Workload captures everything the models need about one search setting.
+type Workload struct {
+	N, D, M, Ks, C int
+	B, W, K        int
+	Metric         pq.Metric
+	// CodeBytes is the packed bytes per encoded vector.
+	CodeBytes int
+	// ScannedVectors is the total (query, vector) pairs scanned by the
+	// batch (B·W·avg list length when uniform).
+	ScannedVectors int64
+	// QueryMajorBytes is the list traffic without reuse: every query
+	// re-reads its W lists.
+	QueryMajorBytes int64
+	// ClusterMajorBytes is the list traffic with batch reuse: each
+	// visited list read once.
+	ClusterMajorBytes int64
+}
+
+// FromSelections derives a Workload from per-query cluster selections
+// (as returned by ivf.Index.SelectClusters for each query).
+func FromSelections(idx *ivf.Index, selections [][]int, k int) Workload {
+	wl := Workload{
+		N: idx.NTotal, D: idx.D, M: idx.PQ.M, Ks: idx.PQ.Ks,
+		C: idx.NClusters(), B: len(selections), K: k,
+		Metric:    idx.Metric,
+		CodeBytes: idx.PQ.CodeBytes(),
+	}
+	visited := make(map[int]struct{})
+	for _, cs := range selections {
+		if len(cs) > wl.W {
+			wl.W = len(cs)
+		}
+		for _, c := range cs {
+			n := int64(idx.Lists[c].Len())
+			wl.ScannedVectors += n
+			wl.QueryMajorBytes += idx.ListBytes(c)
+			visited[c] = struct{}{}
+		}
+	}
+	for c := range visited {
+		wl.ClusterMajorBytes += idx.ListBytes(c)
+	}
+	return wl
+}
+
+// Uniform builds a Workload analytically from geometry, assuming uniform
+// cluster sizes — the right tool for extrapolating to the paper's full
+// billion-scale datasets.
+func Uniform(n, d, m, ks, c, b, w, k int, metric pq.Metric) Workload {
+	bits := 0
+	for 1<<bits < ks {
+		bits++
+	}
+	codeBytes := (m*bits + 7) / 8
+	avgList := float64(n) / float64(c)
+	scanned := int64(float64(b*w) * avgList)
+	qm := scanned * int64(codeBytes)
+	visited := float64(c) * (1 - powNoE(1-1/float64(c), b*w))
+	cm := int64(visited * avgList * float64(codeBytes))
+	if cm > qm {
+		cm = qm
+	}
+	return Workload{
+		N: n, D: d, M: m, Ks: ks, C: c, B: b, W: w, K: k, Metric: metric,
+		CodeBytes: codeBytes, ScannedVectors: scanned,
+		QueryMajorBytes: qm, ClusterMajorBytes: cm,
+	}
+}
+
+// powNoE computes x^n for integer n >= 0 without importing math for a
+// hot path this cold; precision is ample for the occupancy estimate.
+func powNoE(x float64, n int) float64 {
+	r := 1.0
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			r *= x
+		}
+		x *= x
+	}
+	return r
+}
+
+// Estimate is a modeled performance/energy projection.
+type Estimate struct {
+	Platform       Platform
+	Seconds        float64 // batch runtime
+	QPS            float64
+	LatencySeconds float64 // single-query latency
+	PowerW         float64
+	EnergyJ        float64 // batch energy at package power
+	TrafficBytes   int64
+	// ComputeBound reports whether compute (rather than memory
+	// bandwidth) limited the batch runtime.
+	ComputeBound bool
+}
+
+// Model produces the platform's projection for a workload.
+func Model(p Platform, wl Workload) Estimate {
+	if p.IsGPU() {
+		return gpuModel(p, wl)
+	}
+	return cpuModel(p, wl)
+}
+
+func cpuModel(p Platform, wl Workload) Estimate {
+	// Compute side.
+	coarse := float64(wl.B) * float64(wl.C) * float64(wl.D) / cpuMACRate
+	lutBuilds := float64(wl.B)
+	if wl.Metric == pq.L2 {
+		lutBuilds = float64(wl.B) * float64(wl.W) // rebuilt per cluster
+	}
+	lut := lutBuilds * float64(wl.Ks) * float64(wl.D) / cpuMACRate
+	lookupRate := cpuLookup16
+	if p.Ks() == 256 {
+		lookupRate = cpuLookup256
+	}
+	scan := float64(wl.ScannedVectors) * float64(wl.M) / lookupRate
+	sel := float64(wl.ScannedVectors) / cpuSelectRate
+	compute := coarse + lut + scan + sel
+
+	// Memory side: centroid stream + list traffic (discipline-dependent).
+	listBytes := wl.QueryMajorBytes
+	if p == Faiss16CPU {
+		listBytes = wl.ClusterMajorBytes
+	}
+	// The centroid table (|C|·D f16, ~2.5 MB at billion-scale settings)
+	// fits in the CPU's LLC, so it hits DRAM roughly once per batch.
+	centroidBytes := int64(wl.C) * int64(wl.D) * 2
+	traffic := listBytes + centroidBytes
+	mem := float64(traffic) / (cpuMemBW * cpuMemEff)
+
+	seconds := maxf(compute, mem) + cpuFixedOverheadSec
+	est := Estimate{
+		Platform: p, Seconds: seconds,
+		QPS:          float64(wl.B) / seconds,
+		PowerW:       p.PowerW(),
+		TrafficBytes: traffic,
+		ComputeBound: compute > mem,
+	}
+	est.EnergyJ = est.PowerW * est.Seconds
+
+	// Single-query latency: one query's compute at reduced parallel
+	// efficiency vs one query's traffic at the single-query bandwidth.
+	perQ := scaleWorkload(wl)
+	qCompute := (coarse + lut + scan + sel) * perQ / cpuSingleQueryParEff
+	qBytes := float64(wl.QueryMajorBytes) * perQ
+	qMem := qBytes / (cpuMemBW * cpuSingleQueryBWFrac)
+	est.LatencySeconds = maxf(qCompute, qMem) + cpuFixedOverheadSec
+	return est
+}
+
+func gpuModel(p Platform, wl Workload) Estimate {
+	coarse := float64(wl.B) * float64(wl.C) * float64(wl.D) / gpuMACRate
+	// Faiss-GPU builds per-(query,cluster) distance tables on device;
+	// table math rides the same dense units as coarse.
+	lut := float64(wl.B) * float64(wl.W) * float64(wl.Ks) * float64(wl.D) / gpuMACRate
+	scan := float64(wl.ScannedVectors) * float64(wl.M) / gpuLookupRate
+	sel := float64(wl.ScannedVectors) / gpuSelectRate
+	compute := coarse + lut + scan + sel
+
+	// Query-major traffic at occupancy-limited bandwidth.
+	traffic := wl.QueryMajorBytes
+	mem := float64(traffic) / (gpuMemBW * gpuOccupancyUtil)
+
+	// Small batches cannot fill the machine; rates ramp up to steady
+	// state around gpuSaturationBatch queries.
+	batchUtil := gpuSingleQueryUtilFrac + float64(wl.B)/gpuSaturationBatch
+	if batchUtil > 1 {
+		batchUtil = 1
+	}
+	seconds := maxf(compute, mem)/batchUtil + gpuFixedOverheadSec
+	est := Estimate{
+		Platform: p, Seconds: seconds,
+		QPS:          float64(wl.B) / seconds,
+		PowerW:       p.PowerW(),
+		TrafficBytes: traffic,
+		ComputeBound: compute > mem,
+	}
+	est.EnergyJ = est.PowerW * est.Seconds
+
+	perQ := scaleWorkload(wl)
+	util := gpuSingleQueryUtilFrac
+	qCompute := compute * perQ / util
+	qMem := float64(wl.QueryMajorBytes) * perQ / (gpuMemBW * gpuOccupancyUtil * util)
+	est.LatencySeconds = maxf(qCompute, qMem) + gpuFixedOverheadSec
+	return est
+}
+
+// scaleWorkload returns the per-query fraction of batch quantities.
+func scaleWorkload(wl Workload) float64 {
+	if wl.B <= 0 {
+		return 1
+	}
+	return 1 / float64(wl.B)
+}
+
+// ExactQPS models the exhaustive exact-search baselines quoted under
+// each Figure 8 plot: a full scan of N D-dimensional f16 vectors per
+// query. gpu selects the V100.
+func ExactQPS(n, d, b int, gpu bool) float64 {
+	bytes := 2 * float64(n) * float64(d) * float64(b)
+	macs := float64(n) * float64(d) * float64(b)
+	var sec float64
+	if gpu {
+		sec = maxf(bytes/gpuMemBW, macs/gpuMACRate) + gpuFixedOverheadSec
+	} else {
+		sec = maxf(bytes/cpuMemBW, macs/cpuMACRate) + cpuFixedOverheadSec
+	}
+	return float64(b) / sec
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/ivf"
+	"anna/internal/pq"
+)
+
+// billionScale is the paper's billion-scale SIFT1B setting at 4:1
+// compression with k*=256 (M=D/2) and |C|=10000, B=1000, W=32.
+func billionScale(ks int) Workload {
+	m := 64
+	if ks == 16 {
+		m = 128
+	}
+	return Uniform(1_000_000_000, 128, m, ks, 10000, 1000, 32, 1000, pq.L2)
+}
+
+func TestUniformGeometry(t *testing.T) {
+	wl := billionScale(256)
+	if wl.CodeBytes != 64 {
+		t.Errorf("CodeBytes = %d, want 64 (M=64, 8-bit)", wl.CodeBytes)
+	}
+	// B*W*avgList = 1000*32*100000.
+	if wl.ScannedVectors != 3_200_000_000 {
+		t.Errorf("ScannedVectors = %d", wl.ScannedVectors)
+	}
+	if wl.QueryMajorBytes != wl.ScannedVectors*64 {
+		t.Errorf("QueryMajorBytes = %d", wl.QueryMajorBytes)
+	}
+	// Cluster-major: nearly all 10000 clusters are visited once by the
+	// batch, so reuse caps traffic near B·W/|C| = 3.2x below query-major
+	// (the Section IV worked example's 12.8x uses W=128).
+	if ratio := float64(wl.QueryMajorBytes) / float64(wl.ClusterMajorBytes); ratio < 3 || ratio > 3.4 {
+		t.Errorf("cluster-major reduction = %.2fx, want ~3.2x", ratio)
+	}
+	if wl.ClusterMajorBytes > int64(wl.N)*int64(wl.CodeBytes) {
+		t.Errorf("ClusterMajorBytes exceeds database size")
+	}
+	// k*=16 at 4:1 uses M=D=128 at 4 bits -> also 64 B.
+	if got := billionScale(16).CodeBytes; got != 64 {
+		t.Errorf("k*=16 CodeBytes = %d, want 64", got)
+	}
+}
+
+func TestFromSelectionsMatchesHandCount(t *testing.T) {
+	spec := dataset.SIFTLike(2000, 8, 1)
+	spec.D = 32
+	ds := dataset.Generate(spec)
+	idx := ivf.Build(ds.Base, pq.L2, ivf.Config{
+		NClusters: 10, M: 8, Ks: 16, CoarseIters: 5, PQIters: 5, Seed: 1,
+	})
+	sel := make([][]int, ds.Queries.Rows)
+	for qi := range sel {
+		sel[qi] = idx.SelectClusters(ds.Queries.Row(qi), 3)
+	}
+	wl := FromSelections(idx, sel, 100)
+
+	var scanned, qm int64
+	visited := map[int]bool{}
+	for _, cs := range sel {
+		for _, c := range cs {
+			scanned += int64(idx.Lists[c].Len())
+			qm += idx.ListBytes(c)
+			visited[c] = true
+		}
+	}
+	var cm int64
+	for c := range visited {
+		cm += idx.ListBytes(c)
+	}
+	if wl.ScannedVectors != scanned || wl.QueryMajorBytes != qm || wl.ClusterMajorBytes != cm {
+		t.Errorf("FromSelections = %+v, hand counts %d/%d/%d", wl, scanned, qm, cm)
+	}
+	if wl.B != 8 || wl.W != 3 || wl.Ks != 16 {
+		t.Errorf("geometry: %+v", wl)
+	}
+}
+
+// Paper, Figure 8 discussion: Faiss256 (CPU) is the slowest CPU config
+// (no in-register LUTs); Faiss16 beats ScaNN16 (cluster-major reuse).
+func TestCPUOrderingMatchesPaper(t *testing.T) {
+	scann := Model(ScaNN16CPU, billionScale(16))
+	faiss16 := Model(Faiss16CPU, billionScale(16))
+	faiss256 := Model(Faiss256CPU, billionScale(256))
+
+	if !(faiss16.QPS > scann.QPS) {
+		t.Errorf("Faiss16 %.0f QPS not above ScaNN16 %.0f", faiss16.QPS, scann.QPS)
+	}
+	if !(scann.QPS > faiss256.QPS) {
+		t.Errorf("ScaNN16 %.0f QPS not above Faiss256 %.0f", scann.QPS, faiss256.QPS)
+	}
+	if !faiss256.ComputeBound {
+		t.Error("Faiss256 CPU should be compute-bound (gather bottleneck)")
+	}
+	if scann.ComputeBound {
+		t.Error("ScaNN16 should be memory-bound (no list reuse)")
+	}
+}
+
+// The V100's raw bandwidth gives Faiss256 (GPU) a large throughput edge
+// over Faiss256 (CPU) — the paper calls it "very promising in some
+// cases" before normalising for bandwidth.
+func TestGPUBeatsCPUFor256(t *testing.T) {
+	gpu := Model(Faiss256GPU, billionScale(256))
+	cpu := Model(Faiss256CPU, billionScale(256))
+	if gpu.QPS <= cpu.QPS {
+		t.Errorf("GPU %.0f QPS <= CPU %.0f", gpu.QPS, cpu.QPS)
+	}
+}
+
+// Latency sanity: the fastest CPU config lands near the paper's ~11 ms
+// single-query latency for billion-scale, and the GPU near ~5 ms.
+func TestLatencyBallparks(t *testing.T) {
+	cpu := Model(Faiss16CPU, billionScale(16))
+	if cpu.LatencySeconds < 3e-3 || cpu.LatencySeconds > 40e-3 {
+		t.Errorf("CPU latency %.2f ms outside 3..40 ms", cpu.LatencySeconds*1e3)
+	}
+	gpu := Model(Faiss256GPU, billionScale(256))
+	if gpu.LatencySeconds < 1e-3 || gpu.LatencySeconds > 30e-3 {
+		t.Errorf("GPU latency %.2f ms outside 1..30 ms", gpu.LatencySeconds*1e3)
+	}
+}
+
+func TestEnergyUsesPaperPower(t *testing.T) {
+	wl := billionScale(16)
+	for _, p := range []Platform{ScaNN16CPU, Faiss16CPU, Faiss256CPU, Faiss256GPU} {
+		est := Model(p, wl)
+		if math.Abs(est.EnergyJ-est.PowerW*est.Seconds) > 1e-9 {
+			t.Errorf("%v: EnergyJ inconsistent", p)
+		}
+	}
+	if Model(ScaNN16CPU, wl).PowerW != 116 {
+		t.Error("ScaNN power")
+	}
+	if Model(Faiss16CPU, wl).PowerW != 139 {
+		t.Error("Faiss power")
+	}
+	if Model(Faiss256GPU, wl).PowerW != 151.8 {
+		t.Error("GPU power")
+	}
+}
+
+func TestQPSScalesWithW(t *testing.T) {
+	lo := Model(Faiss16CPU, Uniform(1e8, 128, 128, 16, 10000, 1000, 8, 1000, pq.L2))
+	hi := Model(Faiss16CPU, Uniform(1e8, 128, 128, 16, 10000, 1000, 64, 1000, pq.L2))
+	if hi.QPS >= lo.QPS {
+		t.Errorf("more clusters inspected should cost throughput: W=8 %.0f, W=64 %.0f", lo.QPS, hi.QPS)
+	}
+}
+
+func TestExactQPSOrdersOfMagnitude(t *testing.T) {
+	// Billion-scale exhaustive search at 2ND bytes/query: 256 GB per
+	// query at 64 GB/s -> ~0.25 QPS on CPU; V100 an order faster.
+	cpu := ExactQPS(1_000_000_000, 128, 100, false)
+	gpu := ExactQPS(1_000_000_000, 128, 100, true)
+	if cpu > 1 || cpu < 0.01 {
+		t.Errorf("exact CPU QPS = %v", cpu)
+	}
+	if gpu <= cpu {
+		t.Errorf("exact GPU %.2f <= CPU %.2f", gpu, cpu)
+	}
+	// Million-scale: paper reports hundreds-to-thousands QPS range.
+	m := ExactQPS(1_000_000, 128, 100, false)
+	if m < 50 || m > 50000 {
+		t.Errorf("exact million-scale CPU QPS = %v", m)
+	}
+}
+
+func TestPlatformAccessors(t *testing.T) {
+	if ScaNN16CPU.Ks() != 16 || Faiss256GPU.Ks() != 256 {
+		t.Error("Ks mapping")
+	}
+	if !Faiss256GPU.IsGPU() || Faiss16CPU.IsGPU() {
+		t.Error("IsGPU mapping")
+	}
+	if ScaNN16CPU.String() != "ScaNN16(CPU)" {
+		t.Errorf("name %v", ScaNN16CPU)
+	}
+}
+
+func TestPowNoE(t *testing.T) {
+	if got := powNoE(0.5, 3); got != 0.125 {
+		t.Errorf("powNoE = %v", got)
+	}
+	if got := powNoE(0.9, 0); got != 1 {
+		t.Errorf("powNoE^0 = %v", got)
+	}
+	if got := powNoE(0.999, 10000); math.Abs(got-math.Pow(0.999, 10000)) > 1e-9 {
+		t.Errorf("powNoE large = %v", got)
+	}
+}

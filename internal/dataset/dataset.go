@@ -1,0 +1,169 @@
+// Package dataset provides the evaluation workloads: synthetic generators
+// that stand in for the paper's datasets (SIFT1M/1B, Deep1M/1B, GloVe,
+// TTI1B — not redistributable and hundreds of GB at full scale), readers
+// and writers for the standard fvecs/ivecs/bvecs file formats so real
+// data can be used when available, and exact ground-truth computation.
+//
+// Each synthetic generator reproduces the properties that drive both the
+// algorithmic behaviour (recall vs W) and the hardware costs (traffic,
+// cycle counts): dimensionality, metric, value distribution, and a
+// non-uniform cluster structure so inverted lists have realistic skew.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"anna/internal/pq"
+	"anna/internal/vecmath"
+)
+
+// Dataset is an in-memory evaluation workload.
+type Dataset struct {
+	Name    string
+	Metric  pq.Metric
+	Base    *vecmath.Matrix // N x D database vectors
+	Queries *vecmath.Matrix // Q x D query vectors
+	Train   *vecmath.Matrix // training vectors (may alias Base)
+}
+
+// N returns the number of database vectors.
+func (d *Dataset) N() int { return d.Base.Rows }
+
+// D returns the dimensionality.
+func (d *Dataset) D() int { return d.Base.Cols }
+
+// Spec describes a synthetic workload to generate.
+type Spec struct {
+	Name   string
+	Metric pq.Metric
+	N      int // database vectors
+	Q      int // query vectors
+	D      int // dimensionality
+	Groups int // latent Gaussian mixture components (cluster structure)
+	Std    float32
+	// Zipf skews the mixture weights; 0 gives uniform groups, larger
+	// values concentrate mass in few groups the way real embedding
+	// corpora do (hot clusters).
+	Zipf float64
+	// Unit normalizes every vector to the unit sphere (Deep-style
+	// descriptors).
+	Unit bool
+	// Offset shifts all values (SIFT-style non-negative histograms).
+	Offset float32
+	Seed   int64
+}
+
+// SIFTLike mimics SIFT descriptors: D=128, L2 metric, non-negative values.
+func SIFTLike(n, q int, seed int64) Spec {
+	return Spec{Name: "sift", Metric: pq.L2, N: n, Q: q, D: 128,
+		Groups: 64, Std: 0.18, Zipf: 0.8, Offset: 0.5, Seed: seed}
+}
+
+// DeepLike mimics Deep1B descriptors: D=96, L2 metric, unit-normalized.
+func DeepLike(n, q int, seed int64) Spec {
+	return Spec{Name: "deep", Metric: pq.L2, N: n, Q: q, D: 96,
+		Groups: 64, Std: 0.25, Zipf: 0.6, Unit: true, Seed: seed}
+}
+
+// GloVeLike mimics GloVe word embeddings: D=100, inner-product metric.
+func GloVeLike(n, q int, seed int64) Spec {
+	return Spec{Name: "glove", Metric: pq.InnerProduct, N: n, Q: q, D: 100,
+		Groups: 48, Std: 0.35, Zipf: 1.0, Seed: seed}
+}
+
+// TTILike mimics the Yandex text-to-image set: D=128, inner-product,
+// queries drawn from a different (shifted) distribution than the base,
+// the defining property of TTI (cross-modal).
+func TTILike(n, q int, seed int64) Spec {
+	return Spec{Name: "tti", Metric: pq.InnerProduct, N: n, Q: q, D: 128,
+		Groups: 64, Std: 0.3, Zipf: 0.9, Seed: seed}
+}
+
+// Generate builds the synthetic dataset described by s.
+func Generate(s Spec) *Dataset {
+	if s.N <= 0 || s.Q <= 0 || s.D <= 0 {
+		panic(fmt.Sprintf("dataset: invalid spec N=%d Q=%d D=%d", s.N, s.Q, s.D))
+	}
+	if s.Groups <= 0 {
+		s.Groups = 32
+	}
+	if s.Std <= 0 {
+		s.Std = 0.25
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	// Latent mixture component centers.
+	centers := vecmath.NewMatrix(s.Groups, s.D)
+	for i := range centers.Data {
+		centers.Data[i] = float32(rng.NormFloat64())
+	}
+	if s.Unit {
+		for g := 0; g < s.Groups; g++ {
+			vecmath.Normalize(centers.Row(g))
+		}
+	}
+
+	weights := mixtureWeights(s.Groups, s.Zipf)
+
+	base := vecmath.NewMatrix(s.N, s.D)
+	sampleMixture(base, centers, weights, s, rng)
+
+	// TTI-style cross-modal queries come from perturbed centers rather
+	// than the base distribution itself.
+	queries := vecmath.NewMatrix(s.Q, s.D)
+	qs := s
+	if s.Name == "tti" {
+		qs.Std *= 1.5
+	}
+	sampleMixture(queries, centers, weights, qs, rng)
+
+	return &Dataset{Name: s.Name, Metric: s.Metric, Base: base, Queries: queries, Train: base}
+}
+
+// mixtureWeights returns normalized Zipf-skewed mixture weights.
+func mixtureWeights(groups int, zipf float64) []float64 {
+	w := make([]float64, groups)
+	var sum float64
+	for i := range w {
+		if zipf <= 0 {
+			w[i] = 1
+		} else {
+			w[i] = 1 / math.Pow(float64(i+1), zipf)
+		}
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+func sampleMixture(dst *vecmath.Matrix, centers *vecmath.Matrix, weights []float64, s Spec, rng *rand.Rand) {
+	// Cumulative weights for component sampling.
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	for r := 0; r < dst.Rows; r++ {
+		u := rng.Float64()
+		g := len(cum) - 1
+		for i, c := range cum {
+			if u <= c {
+				g = i
+				break
+			}
+		}
+		row := dst.Row(r)
+		ctr := centers.Row(g)
+		for j := range row {
+			row[j] = ctr[j] + float32(rng.NormFloat64())*s.Std + s.Offset
+		}
+		if s.Unit {
+			vecmath.Normalize(row)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"testing"
+
+	"anna/internal/pq"
+	"anna/internal/vecmath"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	for _, spec := range []Spec{
+		SIFTLike(500, 20, 1),
+		DeepLike(500, 20, 2),
+		GloVeLike(500, 20, 3),
+		TTILike(500, 20, 4),
+	} {
+		ds := Generate(spec)
+		if ds.N() != 500 || ds.Queries.Rows != 20 {
+			t.Errorf("%s: N=%d Q=%d", spec.Name, ds.N(), ds.Queries.Rows)
+		}
+		if ds.D() != spec.D {
+			t.Errorf("%s: D=%d want %d", spec.Name, ds.D(), spec.D)
+		}
+		if ds.Metric != spec.Metric {
+			t.Errorf("%s: metric %v", spec.Name, ds.Metric)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(SIFTLike(100, 5, 7))
+	b := Generate(SIFTLike(100, 5, 7))
+	for i := range a.Base.Data {
+		if a.Base.Data[i] != b.Base.Data[i] {
+			t.Fatal("same seed, different data")
+		}
+	}
+	c := Generate(SIFTLike(100, 5, 8))
+	same := true
+	for i := range a.Base.Data {
+		if a.Base.Data[i] != c.Base.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestDeepLikeUnitNorm(t *testing.T) {
+	ds := Generate(DeepLike(200, 10, 1))
+	for r := 0; r < ds.N(); r++ {
+		n := float64(vecmath.Norm(ds.Base.Row(r)))
+		if math.Abs(n-1) > 1e-5 {
+			t.Fatalf("row %d norm %v, want 1", r, n)
+		}
+	}
+}
+
+func TestSIFTLikeNonNegativeMean(t *testing.T) {
+	ds := Generate(SIFTLike(500, 10, 2))
+	var mean float64
+	for _, v := range ds.Base.Data {
+		mean += float64(v)
+	}
+	mean /= float64(len(ds.Base.Data))
+	if mean < 0.2 {
+		t.Errorf("SIFT-like mean %v, expected positive offset", mean)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	w := mixtureWeights(10, 1.0)
+	if w[0] <= w[9] {
+		t.Errorf("Zipf weights not decreasing: %v", w)
+	}
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	u := mixtureWeights(10, 0)
+	for _, x := range u {
+		if math.Abs(x-0.1) > 1e-9 {
+			t.Errorf("uniform weights = %v", u)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Spec{N: 0, Q: 1, D: 4})
+}
+
+func TestFvecsRoundTrip(t *testing.T) {
+	m := vecmath.NewMatrix(3, 4)
+	for i := range m.Data {
+		m.Data[i] = float32(i) * 1.5
+	}
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 3*(4+16) {
+		t.Errorf("fvecs size %d", buf.Len())
+	}
+	got, err := ReadFvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 3 || got.Cols != 4 {
+		t.Fatalf("shape %dx%d", got.Rows, got.Cols)
+	}
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatalf("data[%d] = %v want %v", i, got.Data[i], m.Data[i])
+		}
+	}
+}
+
+func TestFvecsMaxRows(t *testing.T) {
+	m := vecmath.NewMatrix(5, 2)
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 2 {
+		t.Errorf("maxRows ignored: %d rows", got.Rows)
+	}
+}
+
+func TestFvecsErrors(t *testing.T) {
+	if _, err := ReadFvecs(bytes.NewReader(nil), 0); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Truncated payload.
+	bad := []byte{4, 0, 0, 0, 1, 2}
+	if _, err := ReadFvecs(bytes.NewReader(bad), 0); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Implausible dimension.
+	bad = []byte{0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := ReadFvecs(bytes.NewReader(bad), 0); err == nil {
+		t.Error("implausible dimension accepted")
+	}
+}
+
+func TestBvecsRoundTripAndClamp(t *testing.T) {
+	m := vecmath.NewMatrix(2, 3)
+	m.SetRow(0, []float32{-5, 0, 127.6})
+	m.SetRow(1, []float32{255, 300, 42})
+	var buf bytes.Buffer
+	if err := WriteBvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 0, 128, 255, 255, 42}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Errorf("bvecs[%d] = %v want %v", i, got.Data[i], want[i])
+		}
+	}
+}
+
+func TestIvecsRoundTrip(t *testing.T) {
+	rows := [][]int32{{1, 2, 3}, {7}, {}}
+	var buf bytes.Buffer
+	if err := WriteIvecs(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIvecs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(got[0]) != 3 || len(got[1]) != 1 || len(got[2]) != 0 {
+		t.Fatalf("shape mismatch: %v", got)
+	}
+	if got[0][2] != 3 || got[1][0] != 7 {
+		t.Errorf("values: %v", got)
+	}
+}
+
+func TestMetricAssignment(t *testing.T) {
+	if Generate(GloVeLike(50, 5, 1)).Metric != pq.InnerProduct {
+		t.Error("GloVe should be IP")
+	}
+	if Generate(SIFTLike(50, 5, 1)).Metric != pq.L2 {
+		t.Error("SIFT should be L2")
+	}
+}
+
+func TestLoadFvecsFile(t *testing.T) {
+	m := vecmath.NewMatrix(4, 3)
+	for i := range m.Data {
+		m.Data[i] = float32(i)
+	}
+	dir := t.TempDir()
+	path := dir + "/v.fvecs"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFvecs(f, m); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := LoadFvecsFile(path, 2)
+	if err != nil || got.Rows != 2 {
+		t.Fatalf("LoadFvecsFile: %v rows=%d", err, got.Rows)
+	}
+	if _, err := LoadFvecsFile(dir+"/missing", 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

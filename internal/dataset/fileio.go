@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"anna/internal/vecmath"
+)
+
+// The fvecs/ivecs/bvecs formats used by the SIFT/Deep/GloVe benchmark
+// suites store each vector as a 4-byte little-endian dimension count
+// followed by that many elements (4-byte float32, 4-byte int32, or 1-byte
+// uint8 respectively).
+
+// WriteFvecs writes the rows of m in fvecs format.
+func WriteFvecs(w io.Writer, m *vecmath.Matrix) error {
+	bw := bufio.NewWriter(w)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(m.Cols))
+	buf := make([]byte, 4*m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		row := m.Row(r)
+		for i, v := range row {
+			binary.LittleEndian.PutUint32(buf[4*i:], floatBits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFvecs reads at most maxRows vectors (all when maxRows <= 0) from an
+// fvecs stream.
+func ReadFvecs(r io.Reader, maxRows int) (*vecmath.Matrix, error) {
+	br := bufio.NewReader(r)
+	var rows [][]float32
+	dim := -1
+	for maxRows <= 0 || len(rows) < maxRows {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		d := int(binary.LittleEndian.Uint32(hdr[:]))
+		if d <= 0 || d > 1<<20 {
+			return nil, fmt.Errorf("dataset: implausible fvecs dimension %d", d)
+		}
+		if dim == -1 {
+			dim = d
+		} else if d != dim {
+			return nil, fmt.Errorf("dataset: inconsistent fvecs dimension %d vs %d", d, dim)
+		}
+		buf := make([]byte, 4*d)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: truncated fvecs vector: %w", err)
+		}
+		row := make([]float32, d)
+		for i := range row {
+			row[i] = bitsFloat(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty fvecs stream")
+	}
+	m := vecmath.NewMatrix(len(rows), dim)
+	for i, row := range rows {
+		m.SetRow(i, row)
+	}
+	return m, nil
+}
+
+// WriteBvecs writes rows as bvecs (uint8 elements, values clamped to 0..255).
+func WriteBvecs(w io.Writer, m *vecmath.Matrix) error {
+	bw := bufio.NewWriter(w)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(m.Cols))
+	buf := make([]byte, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		for i, v := range m.Row(r) {
+			switch {
+			case v <= 0:
+				buf[i] = 0
+			case v >= 255:
+				buf[i] = 255
+			default:
+				buf[i] = byte(v + 0.5)
+			}
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBvecs reads at most maxRows vectors (all when maxRows <= 0) from a
+// bvecs stream into float32 rows.
+func ReadBvecs(r io.Reader, maxRows int) (*vecmath.Matrix, error) {
+	br := bufio.NewReader(r)
+	var rows [][]float32
+	dim := -1
+	for maxRows <= 0 || len(rows) < maxRows {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		d := int(binary.LittleEndian.Uint32(hdr[:]))
+		if d <= 0 || d > 1<<20 {
+			return nil, fmt.Errorf("dataset: implausible bvecs dimension %d", d)
+		}
+		if dim == -1 {
+			dim = d
+		} else if d != dim {
+			return nil, fmt.Errorf("dataset: inconsistent bvecs dimension %d vs %d", d, dim)
+		}
+		buf := make([]byte, d)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: truncated bvecs vector: %w", err)
+		}
+		row := make([]float32, d)
+		for i, b := range buf {
+			row[i] = float32(b)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty bvecs stream")
+	}
+	m := vecmath.NewMatrix(len(rows), dim)
+	for i, row := range rows {
+		m.SetRow(i, row)
+	}
+	return m, nil
+}
+
+// WriteIvecs writes integer rows (e.g. ground-truth neighbor lists).
+func WriteIvecs(w io.Writer, rows [][]int32) error {
+	bw := bufio.NewWriter(w)
+	var hdr [4]byte
+	for _, row := range rows {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(row)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(row))
+		for i, v := range row {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIvecs reads all integer rows from an ivecs stream.
+func ReadIvecs(r io.Reader) ([][]int32, error) {
+	br := bufio.NewReader(r)
+	var rows [][]int32
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		d := int(binary.LittleEndian.Uint32(hdr[:]))
+		if d < 0 || d > 1<<24 {
+			return nil, fmt.Errorf("dataset: implausible ivecs length %d", d)
+		}
+		buf := make([]byte, 4*d)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: truncated ivecs row: %w", err)
+		}
+		row := make([]int32, d)
+		for i := range row {
+			row[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// LoadFvecsFile reads an fvecs file from disk.
+func LoadFvecsFile(path string, maxRows int) (*vecmath.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFvecs(f, maxRows)
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+func bitsFloat(u uint32) float32 { return math.Float32frombits(u) }

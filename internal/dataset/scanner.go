@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// FvecsScanner iterates an fvecs stream one vector at a time with O(D)
+// memory — the building block for streaming billion-scale index
+// construction, where the raw data (256 GB at N=1B, D=128) cannot be
+// loaded at once.
+type FvecsScanner struct {
+	br  *bufio.Reader
+	dim int
+	row []float32
+	buf []byte
+	err error
+	n   int
+}
+
+// NewFvecsScanner wraps r. The dimension is learned from the first record.
+func NewFvecsScanner(r io.Reader) *FvecsScanner {
+	return &FvecsScanner{br: bufio.NewReaderSize(r, 1<<16), dim: -1}
+}
+
+// Next advances to the next vector, returning false at EOF or on error
+// (distinguish via Err).
+func (s *FvecsScanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
+		if err != io.EOF {
+			s.err = fmt.Errorf("dataset: reading fvecs header: %w", err)
+		}
+		return false
+	}
+	d := int(binary.LittleEndian.Uint32(hdr[:]))
+	if d <= 0 || d > 1<<20 {
+		s.err = fmt.Errorf("dataset: implausible fvecs dimension %d", d)
+		return false
+	}
+	if s.dim == -1 {
+		s.dim = d
+		s.row = make([]float32, d)
+		s.buf = make([]byte, 4*d)
+	} else if d != s.dim {
+		s.err = fmt.Errorf("dataset: inconsistent fvecs dimension %d vs %d", d, s.dim)
+		return false
+	}
+	if _, err := io.ReadFull(s.br, s.buf); err != nil {
+		s.err = fmt.Errorf("dataset: truncated fvecs vector: %w", err)
+		return false
+	}
+	for i := range s.row {
+		s.row[i] = math.Float32frombits(binary.LittleEndian.Uint32(s.buf[4*i:]))
+	}
+	s.n++
+	return true
+}
+
+// Row returns the current vector. The slice is reused by Next; copy it
+// to retain.
+func (s *FvecsScanner) Row() []float32 { return s.row }
+
+// Dim returns the stream's dimensionality (-1 before the first Next).
+func (s *FvecsScanner) Dim() int { return s.dim }
+
+// Count returns how many vectors have been read.
+func (s *FvecsScanner) Count() int { return s.n }
+
+// Err returns the first error encountered (nil at clean EOF).
+func (s *FvecsScanner) Err() error { return s.err }

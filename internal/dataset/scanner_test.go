@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"anna/internal/vecmath"
+)
+
+func TestFvecsScannerRoundTrip(t *testing.T) {
+	m := vecmath.NewMatrix(5, 3)
+	for i := range m.Data {
+		m.Data[i] = float32(i) * 0.5
+	}
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewFvecsScanner(&buf)
+	if sc.Dim() != -1 {
+		t.Error("Dim known before first Next")
+	}
+	r := 0
+	for sc.Next() {
+		if sc.Dim() != 3 {
+			t.Fatalf("dim %d", sc.Dim())
+		}
+		for j, v := range sc.Row() {
+			if v != m.Row(r)[j] {
+				t.Fatalf("row %d col %d: %v vs %v", r, j, v, m.Row(r)[j])
+			}
+		}
+		r++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r != 5 || sc.Count() != 5 {
+		t.Fatalf("read %d rows (Count %d)", r, sc.Count())
+	}
+	// Next after EOF stays false without error.
+	if sc.Next() {
+		t.Error("Next true after EOF")
+	}
+}
+
+func TestFvecsScannerRowIsReused(t *testing.T) {
+	m := vecmath.NewMatrix(2, 2)
+	m.SetRow(0, []float32{1, 2})
+	m.SetRow(1, []float32{3, 4})
+	var buf bytes.Buffer
+	WriteFvecs(&buf, m)
+	sc := NewFvecsScanner(&buf)
+	sc.Next()
+	first := sc.Row()
+	sc.Next()
+	if first[0] != 3 {
+		t.Error("Row() is documented as reused; copy semantics changed")
+	}
+}
+
+func TestFvecsScannerErrors(t *testing.T) {
+	// Truncated payload.
+	bad := []byte{2, 0, 0, 0, 1, 2, 3}
+	sc := NewFvecsScanner(bytes.NewReader(bad))
+	if sc.Next() {
+		t.Error("truncated record accepted")
+	}
+	if sc.Err() == nil {
+		t.Error("no error for truncated record")
+	}
+	// Implausible dimension.
+	bad = []byte{0xFF, 0xFF, 0xFF, 0x7F}
+	sc = NewFvecsScanner(bytes.NewReader(bad))
+	if sc.Next() || sc.Err() == nil {
+		t.Error("implausible dimension accepted")
+	}
+	// Inconsistent dimension between records.
+	m1 := vecmath.NewMatrix(1, 2)
+	m2 := vecmath.NewMatrix(1, 3)
+	var buf bytes.Buffer
+	WriteFvecs(&buf, m1)
+	WriteFvecs(&buf, m2)
+	sc = NewFvecsScanner(&buf)
+	if !sc.Next() {
+		t.Fatal("first record rejected")
+	}
+	if sc.Next() || sc.Err() == nil {
+		t.Error("dimension change accepted")
+	}
+	// Clean empty stream: no rows, no error.
+	sc = NewFvecsScanner(bytes.NewReader(nil))
+	if sc.Next() || sc.Err() != nil {
+		t.Errorf("empty stream: next=%v err=%v", false, sc.Err())
+	}
+}

@@ -1,0 +1,166 @@
+// Package dram models ANNA's main-memory system: a bandwidth-limited
+// channel (64 GB/s per accelerator instance in the paper's evaluation,
+// matching the CPU baseline's memory system) with first-word latency,
+// plus per-stream traffic accounting so the harness can report exactly
+// which data classes consume bandwidth (the Section IV analysis).
+package dram
+
+import (
+	"fmt"
+
+	"anna/internal/sim"
+)
+
+// StreamClass labels a class of memory traffic for accounting.
+type StreamClass int
+
+const (
+	// Centroids is the streaming read of C during cluster filtering.
+	Centroids StreamClass = iota
+	// ClusterMeta is the per-cluster metadata read (start address + size).
+	ClusterMeta
+	// Codes is the encoded-vector fetch of the selected clusters.
+	Codes
+	// TopK is the intermediate top-k save/restore traffic (Section IV).
+	TopK
+	// QueryLists is the query-ID array-of-arrays write/read traffic of the
+	// batch optimization.
+	QueryLists
+	// Results is the final top-k result writeback.
+	Results
+	numClasses
+)
+
+var classNames = [...]string{"centroids", "clustermeta", "codes", "topk", "querylists", "results"}
+
+func (c StreamClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("StreamClass(%d)", int(c))
+}
+
+// Config describes the memory system.
+type Config struct {
+	// BandwidthBytesPerCycle is the sustainable bandwidth. At the paper's
+	// 1 GHz clock, 64 GB/s is 64 bytes/cycle.
+	BandwidthBytesPerCycle float64
+	// LatencyCycles is the first-word read latency. Prefetching memory
+	// readers hide it in steady state; it shows up on dependent reads
+	// (e.g. cluster metadata before codes).
+	LatencyCycles sim.Cycles
+	// BurstBytes is the minimum transfer granularity (64 B requests via
+	// the MAI); partial bursts round up.
+	BurstBytes int64
+}
+
+// DefaultConfig is the paper's evaluated memory system: 64 GB/s at 1 GHz,
+// 64 B bursts.
+func DefaultConfig() Config {
+	return Config{BandwidthBytesPerCycle: 64, LatencyCycles: 100, BurstBytes: 64}
+}
+
+// Channel is the simulated memory channel. It schedules transfers with
+// gap filling (sim.GapResource): the MAI's outstanding-request buffers
+// let independent streams reorder around each other, so a transfer with
+// a late ready time (a top-k save waiting on a scan) does not block an
+// already-issued prefetch from using the idle channel before it.
+type Channel struct {
+	cfg     Config
+	res     *sim.GapResource
+	traffic [numClasses]int64
+}
+
+// NewChannel registers a memory channel on engine e.
+func NewChannel(e *sim.Engine, cfg Config) *Channel {
+	if cfg.BandwidthBytesPerCycle <= 0 {
+		panic("dram: bandwidth must be positive")
+	}
+	if cfg.BurstBytes <= 0 {
+		cfg.BurstBytes = 64
+	}
+	return &Channel{cfg: cfg, res: e.NewGapResource("dram")}
+}
+
+// OccupancyCycles returns the channel cycles consumed by a transfer of
+// the given size, after burst rounding.
+func (ch *Channel) OccupancyCycles(bytes int64) sim.Cycles {
+	if bytes <= 0 {
+		return 0
+	}
+	bursts := sim.CeilDiv(bytes, ch.cfg.BurstBytes)
+	eff := bursts * ch.cfg.BurstBytes
+	return sim.Cycles(sim.CeilDiv(eff*1000, int64(ch.cfg.BandwidthBytesPerCycle*1000)))
+}
+
+// Read books a read transfer on the channel. ready is when the requester
+// issues the request. The returned dataAt is when the last byte is
+// available to the requester (including first-word latency); the channel
+// itself is occupied only for the bandwidth-determined duration, so
+// independent transfers pipeline behind each other.
+func (ch *Channel) Read(ready sim.Cycles, bytes int64, class StreamClass, label string) (dataAt sim.Cycles) {
+	if bytes < 0 {
+		panic("dram: negative read size")
+	}
+	ch.traffic[class] += bytes
+	if bytes == 0 {
+		return ready
+	}
+	_, end := ch.res.Schedule(ready, ch.OccupancyCycles(bytes), label)
+	return end + ch.cfg.LatencyCycles
+}
+
+// Write books a write transfer. Writes are buffered by the MAI, so the
+// returned time is when the channel accepted the data (no added latency).
+func (ch *Channel) Write(ready sim.Cycles, bytes int64, class StreamClass, label string) (done sim.Cycles) {
+	if bytes < 0 {
+		panic("dram: negative write size")
+	}
+	ch.traffic[class] += bytes
+	if bytes == 0 {
+		return ready
+	}
+	_, end := ch.res.Schedule(ready, ch.OccupancyCycles(bytes), label)
+	return end
+}
+
+// Traffic returns the accumulated bytes for a stream class.
+func (ch *Channel) Traffic(class StreamClass) int64 { return ch.traffic[class] }
+
+// TotalTraffic returns the accumulated bytes across all classes.
+func (ch *Channel) TotalTraffic() int64 {
+	var t int64
+	for _, v := range ch.traffic {
+		t += v
+	}
+	return t
+}
+
+// TrafficByClass returns a copy of the per-class byte counters indexed by
+// StreamClass.
+func (ch *Channel) TrafficByClass() map[StreamClass]int64 {
+	out := make(map[StreamClass]int64, numClasses)
+	for c := StreamClass(0); c < numClasses; c++ {
+		if ch.traffic[c] != 0 {
+			out[c] = ch.traffic[c]
+		}
+	}
+	return out
+}
+
+// Busy returns the channel's booked cycles.
+func (ch *Channel) Busy() sim.Cycles { return ch.res.Busy() }
+
+// FreeAt returns when the channel next becomes idle.
+func (ch *Channel) FreeAt() sim.Cycles { return ch.res.FreeAt() }
+
+// Config returns the channel configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// ResetTraffic clears the traffic counters (resource state is owned by
+// the engine and cleared by Engine.Reset).
+func (ch *Channel) ResetTraffic() {
+	for i := range ch.traffic {
+		ch.traffic[i] = 0
+	}
+}

@@ -1,0 +1,155 @@
+package dram
+
+import (
+	"testing"
+
+	"anna/internal/sim"
+)
+
+func newCh(t *testing.T) (*sim.Engine, *Channel) {
+	t.Helper()
+	e := sim.NewEngine(false)
+	return e, NewChannel(e, Config{BandwidthBytesPerCycle: 64, LatencyCycles: 100, BurstBytes: 64})
+}
+
+func TestOccupancyCycles(t *testing.T) {
+	_, ch := newCh(t)
+	cases := []struct {
+		bytes int64
+		want  sim.Cycles
+	}{
+		{0, 0},
+		{1, 1}, // rounds to one 64B burst = 1 cycle at 64 B/c
+		{64, 1},
+		{65, 2}, // two bursts
+		{6400, 100},
+	}
+	for _, c := range cases {
+		if got := ch.OccupancyCycles(c.bytes); got != c.want {
+			t.Errorf("OccupancyCycles(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestFractionalBandwidth(t *testing.T) {
+	e := sim.NewEngine(false)
+	ch := NewChannel(e, Config{BandwidthBytesPerCycle: 12.8, LatencyCycles: 0, BurstBytes: 64})
+	// 128 bytes at 12.8 B/cycle = 10 cycles.
+	if got := ch.OccupancyCycles(128); got != 10 {
+		t.Errorf("fractional bandwidth occupancy = %d, want 10", got)
+	}
+}
+
+func TestReadAddsLatencyWriteDoesNot(t *testing.T) {
+	_, ch := newCh(t)
+	dataAt := ch.Read(0, 64, Codes, "r")
+	if dataAt != 101 { // 1 cycle transfer + 100 latency
+		t.Errorf("read dataAt = %d, want 101", dataAt)
+	}
+	done := ch.Write(0, 64, Results, "w")
+	// Channel was busy cycle 0-1 from the read; write occupies 1-2.
+	if done != 2 {
+		t.Errorf("write done = %d, want 2", done)
+	}
+}
+
+func TestTransfersPipelineOnChannel(t *testing.T) {
+	_, ch := newCh(t)
+	a := ch.Read(0, 640, Codes, "a") // occupies 0..10
+	b := ch.Read(0, 640, Codes, "b") // occupies 10..20
+	if a != 110 || b != 120 {
+		t.Errorf("pipelined reads: a=%d b=%d, want 110,120", a, b)
+	}
+	if ch.Busy() != 20 {
+		t.Errorf("busy = %d", ch.Busy())
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	_, ch := newCh(t)
+	ch.Read(0, 100, Centroids, "c")
+	ch.Read(0, 200, Codes, "d")
+	ch.Write(0, 50, TopK, "t")
+	ch.Write(0, 50, TopK, "t2")
+	if ch.Traffic(Centroids) != 100 || ch.Traffic(Codes) != 200 || ch.Traffic(TopK) != 100 {
+		t.Errorf("traffic: %v", ch.TrafficByClass())
+	}
+	if ch.TotalTraffic() != 400 {
+		t.Errorf("total = %d", ch.TotalTraffic())
+	}
+	m := ch.TrafficByClass()
+	if len(m) != 3 {
+		t.Errorf("class map = %v", m)
+	}
+	ch.ResetTraffic()
+	if ch.TotalTraffic() != 0 {
+		t.Error("ResetTraffic incomplete")
+	}
+}
+
+func TestZeroByteTransferFree(t *testing.T) {
+	_, ch := newCh(t)
+	if got := ch.Read(7, 0, Codes, "z"); got != 7 {
+		t.Errorf("zero read at %d", got)
+	}
+	if ch.Busy() != 0 || ch.TotalTraffic() != 0 {
+		t.Error("zero transfer consumed resources")
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	_, ch := newCh(t)
+	for _, f := range []func(){
+		func() { ch.Read(0, -1, Codes, "r") },
+		func() { ch.Write(0, -1, Codes, "w") },
+		func() { NewChannel(sim.NewEngine(false), Config{BandwidthBytesPerCycle: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	if Centroids.String() != "centroids" || TopK.String() != "topk" {
+		t.Errorf("names: %v %v", Centroids, TopK)
+	}
+	if QueryLists.String() != "querylists" {
+		t.Errorf("%v", QueryLists)
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	// 64 GB/s at 1 GHz = 64 B/cycle (Section V-A).
+	if cfg.BandwidthBytesPerCycle != 64 {
+		t.Errorf("default bandwidth = %v", cfg.BandwidthBytesPerCycle)
+	}
+	if cfg.BurstBytes != 64 { // MAI 64B buffers (Section III-B)
+		t.Errorf("default burst = %v", cfg.BurstBytes)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	_, ch := newCh(t)
+	if ch.Config().BandwidthBytesPerCycle != 64 {
+		t.Errorf("Config: %+v", ch.Config())
+	}
+	ch.Read(0, 64, Codes, "r")
+	if ch.FreeAt() <= 0 {
+		t.Errorf("FreeAt = %v", ch.FreeAt())
+	}
+	if got := StreamClass(99).String(); got != "StreamClass(99)" {
+		t.Errorf("unknown class name %q", got)
+	}
+	for c := Centroids; c < StreamClass(6); c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package energy models ANNA's silicon cost and energy: a component-level
+// area/power model at TSMC 40 nm / 1 GHz that reproduces Table I of the
+// paper from the hardware configuration, activity-based energy accounting
+// for simulated runs, and the CPU/GPU power figures the paper measured
+// (Intel RAPL / nvprof) for the energy-efficiency comparison of Figure 10.
+//
+// The component constants (mm² and W per SRAM byte, compute unit, adder,
+// CAM entry, …) are calibrated against the paper's synthesis results —
+// the role the TSMC 40 nm GP standard cell library plays for the authors.
+// Given those constants the per-module numbers follow from the same
+// configuration parameters the simulator uses (N_cu, N_u, N_SCM, SRAM
+// sizes), so design-space ablations (harness `scaling` experiment) get
+// consistent area/power alongside their cycle counts.
+package energy
+
+// Technology and component constants (TSMC 40 nm GP, 1 GHz).
+const (
+	// SRAMAreaPerByte is single-ported SRAM area (mm²/byte).
+	SRAMAreaPerByte = 1.3e-6
+	// LUTPortMultiplier inflates the SCM lookup-table SRAM for the
+	// heavy banking that serves N_u parallel lookups per cycle.
+	LUTPortMultiplier = 8.0
+	// CUArea is one CPM compute unit (f16 multiply-accumulate + control).
+	CUArea = 0.0105
+	// AdderArea is one f16 adder of the SCM reduction tree.
+	AdderArea = 0.0012
+	// CPMCtrlArea covers the CPM's top-|W| unit and sequencing.
+	CPMCtrlArea = 0.077
+	// EFMLogicArea covers the unpacker and the two memory readers.
+	EFMLogicArea = 0.144
+	// SCMCtrlArea covers one SCM's P-heap comparators and control.
+	SCMCtrlArea = 0.0599
+	// MAICAMArea is the MAI's associative outstanding-request table.
+	MAICAMArea = 0.12
+	// MAIBufBytes is the MAI's 64 reservation buffers of 64 B.
+	MAIBufBytes = 64 * 64
+	// MAIArbArea is the MAI response arbiter.
+	MAIArbArea = 0.0395
+
+	// Peak power constants (W).
+	CUPower       = 0.003  // one compute unit at full rate
+	AdderPower    = 0.0008 // one reduction-tree adder
+	CodebookPower = 0.07   // codebook SRAM at 2·N_cu B/cycle
+	CPMCtrlPower  = 0.033
+	EVBPower      = 0.9 // encoded vector buffers at line rate
+	EFMLogicPower = 0.165
+	LUTPower      = 0.14 // one SCM's LUT SRAM at N_u lookups/cycle
+	SCMTopKPower  = 0.047
+	MAIPower      = 0.147
+	IdleFraction  = 0.15  // leakage + clock tree as a fraction of peak
+	DRAMPJPerByte = 150.0 // off-chip DRAM access energy (reported separately)
+)
+
+// Measured baseline powers from the paper (Section V-C).
+const (
+	ScaNNCPUPowerW = 116.0
+	FaissCPUPowerW = 139.0
+	GPUPowerW      = 151.8
+)
+
+// Die sizes and nodes of the evaluated CPU and GPU (Section V-C).
+const (
+	CPUDieMM2  = 325.4
+	CPUNodeNM  = 14.0
+	GPUDieMM2  = 815.0
+	GPUNodeNM  = 12.0
+	ANNANodeNM = 40.0
+)
+
+// HWShape is the subset of the accelerator configuration the silicon
+// model needs.
+type HWShape struct {
+	NCU, NU, NSCM int
+	// CodebookBytes is the codebook SRAM (2·k*·D).
+	CodebookBytes int64
+	// LUTBytes is ONE copy of one SCM's lookup tables (2·k*·M).
+	LUTBytes int64
+	// TopKEntries is the top-k unit capacity (k).
+	TopKEntries int
+	// EVBBytes is ONE copy of the encoded vector buffer.
+	EVBBytes int64
+}
+
+// PaperShape is the evaluated design point behind Table I: N_cu=96,
+// N_u=64, N_SCM=16, 64 KB codebook, 32 KB LUT, k=1000, 1 MB EVB.
+func PaperShape() HWShape {
+	return HWShape{
+		NCU: 96, NU: 64, NSCM: 16,
+		CodebookBytes: 64 << 10,
+		LUTBytes:      32 << 10,
+		TopKEntries:   1000,
+		EVBBytes:      1 << 20,
+	}
+}
+
+// Module is one row of Table I.
+type Module struct {
+	Name    string
+	AreaMM2 float64
+	PeakW   float64
+}
+
+// Breakdown is the full Table I: per-module and total silicon cost.
+type Breakdown struct {
+	CPM, EFM, SCMs, MAI Module
+	TotalArea, TotalW   float64
+	// NSCM is the SCM count aggregated in the SCMs row.
+	NSCM int
+}
+
+// Model computes the Table I breakdown for a hardware shape.
+func Model(s HWShape) Breakdown {
+	topkBytes := int64(s.TopKEntries) * 5 // 3 B ID + 2 B score
+
+	cpm := Module{
+		Name: "Codebook/Cluster Processing Module",
+		AreaMM2: float64(s.CodebookBytes)*SRAMAreaPerByte +
+			float64(s.NCU)*CUArea + CPMCtrlArea,
+		PeakW: float64(s.NCU)*CUPower + CodebookPower + CPMCtrlPower,
+	}
+	efm := Module{
+		Name: "Encoded Vector Fetch Module",
+		// Two EVB copies for double buffering.
+		AreaMM2: 2*float64(s.EVBBytes)*SRAMAreaPerByte + EFMLogicArea,
+		PeakW:   EVBPower + EFMLogicPower,
+	}
+	scmOne := Module{
+		// Two LUT copies (double buffered), banked for N_u lookups;
+		// two top-k buffer copies; N_u-1 adder tree; P-heap control.
+		AreaMM2: 2*float64(s.LUTBytes)*SRAMAreaPerByte*LUTPortMultiplier +
+			2*float64(topkBytes)*SRAMAreaPerByte +
+			float64(s.NU-1)*AdderArea + SCMCtrlArea,
+		PeakW: LUTPower + float64(s.NU-1)*AdderPower + SCMTopKPower,
+	}
+	scms := Module{
+		Name:    "Similarity Computation Module",
+		AreaMM2: float64(s.NSCM) * scmOne.AreaMM2,
+		PeakW:   float64(s.NSCM) * scmOne.PeakW,
+	}
+	mai := Module{
+		Name:    "Memory Access Interface (MAI)",
+		AreaMM2: MAICAMArea + MAIBufBytes*SRAMAreaPerByte + MAIArbArea,
+		PeakW:   MAIPower,
+	}
+	b := Breakdown{CPM: cpm, EFM: efm, SCMs: scms, MAI: mai, NSCM: s.NSCM}
+	b.TotalArea = cpm.AreaMM2 + efm.AreaMM2 + scms.AreaMM2 + mai.AreaMM2
+	b.TotalW = cpm.PeakW + efm.PeakW + scms.PeakW + mai.PeakW
+	return b
+}
+
+// EffectiveAreaRatio returns how much larger a die at a finer node is
+// than ANNA once both are normalised to 40 nm (the paper's "effectively
+// 151×/517× larger" comparison).
+func EffectiveAreaRatio(dieMM2, nodeNM, annaMM2 float64) float64 {
+	scale := (ANNANodeNM / nodeNM) * (ANNANodeNM / nodeNM)
+	return dieMM2 * scale / annaMM2
+}
+
+// Activity summarises a simulated run for energy accounting; the harness
+// fills it from an anna.Result.
+type Activity struct {
+	// MakespanSec is the run's wall-clock duration.
+	MakespanSec float64
+	// CPMBusySec is the CPM's busy time.
+	CPMBusySec float64
+	// SCMBusySec is the SUM of all SCMs' busy time.
+	SCMBusySec float64
+	// MemBusySec is the memory channel's busy time (EFM + MAI activity).
+	MemBusySec float64
+	// TrafficBytes is total off-chip traffic (DRAM energy, reported
+	// separately from chip energy).
+	TrafficBytes int64
+}
+
+// EnergyBreakdown is the per-module share of a run's chip energy.
+type EnergyBreakdown struct {
+	CPMJ, SCMJ, MemJ, IdleJ float64
+}
+
+// Total returns the summed chip energy.
+func (e EnergyBreakdown) Total() float64 { return e.CPMJ + e.SCMJ + e.MemJ + e.IdleJ }
+
+// ChipEnergy returns the accelerator's energy in joules for a run:
+// per-module peak power during busy time plus IdleFraction of peak
+// while idle. DRAM energy is excluded (see DRAMEnergy).
+func ChipEnergy(b Breakdown, a Activity) float64 {
+	return ChipEnergyBreakdown(b, a).Total()
+}
+
+// ChipEnergyBreakdown splits the run's chip energy by module class:
+// CPM active, SCM active (summed over units), EFM+MAI active during
+// memory traffic, and idle leakage across everything.
+func ChipEnergyBreakdown(b Breakdown, a Activity) EnergyBreakdown {
+	nSCM := float64(b.NSCM)
+	if nSCM < 1 {
+		nSCM = 1
+	}
+	perSCMW := b.SCMs.PeakW / nSCM
+
+	// SCMBusySec is summed across SCMs, so it multiplies per-SCM power.
+	out := EnergyBreakdown{
+		CPMJ: b.CPM.PeakW * a.CPMBusySec,
+		SCMJ: perSCMW * a.SCMBusySec,
+		MemJ: (b.EFM.PeakW + b.MAI.PeakW) * a.MemBusySec,
+	}
+	// Idle leakage: each module dissipates IdleFraction of its peak
+	// during the part of the makespan it is not active.
+	out.IdleJ = IdleFraction * (b.CPM.PeakW*maxf(0, a.MakespanSec-a.CPMBusySec) +
+		perSCMW*maxf(0, nSCM*a.MakespanSec-a.SCMBusySec) +
+		(b.EFM.PeakW+b.MAI.PeakW)*maxf(0, a.MakespanSec-a.MemBusySec))
+	return out
+}
+
+// DRAMEnergy returns the off-chip memory energy of a run in joules.
+func DRAMEnergy(a Activity) float64 {
+	return float64(a.TrafficBytes) * DRAMPJPerByte * 1e-12
+}
+
+// BaselineEnergy returns energy in joules for a software run: the
+// paper's measured package power times the runtime.
+func BaselineEnergy(powerW, seconds float64) float64 { return powerW * seconds }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

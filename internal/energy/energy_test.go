@@ -1,0 +1,154 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func within(got, want, tolFrac float64) bool {
+	return math.Abs(got-want) <= want*tolFrac
+}
+
+// The component model must reproduce Table I of the paper from the
+// evaluated design point.
+func TestModelReproducesTableI(t *testing.T) {
+	b := Model(PaperShape())
+	cases := []struct {
+		name     string
+		gotArea  float64
+		wantArea float64
+		gotW     float64
+		wantW    float64
+	}{
+		{"CPM", b.CPM.AreaMM2, 1.17, b.CPM.PeakW, 0.391},
+		{"EFM", b.EFM.AreaMM2, 2.87, b.EFM.PeakW, 1.065},
+		{"SCMx16", b.SCMs.AreaMM2, 13.30, b.SCMs.PeakW, 3.795},
+		{"MAI", b.MAI.AreaMM2, 0.17, b.MAI.PeakW, 0.147},
+		{"Total", b.TotalArea, 17.51, b.TotalW, 5.398},
+	}
+	for _, c := range cases {
+		if !within(c.gotArea, c.wantArea, 0.05) {
+			t.Errorf("%s area = %.3f mm², paper %.2f", c.name, c.gotArea, c.wantArea)
+		}
+		if !within(c.gotW, c.wantW, 0.05) {
+			t.Errorf("%s power = %.3f W, paper %.3f", c.name, c.gotW, c.wantW)
+		}
+	}
+	if b.NSCM != 16 {
+		t.Errorf("NSCM = %d", b.NSCM)
+	}
+}
+
+func TestTwelveInstances(t *testing.T) {
+	b := Model(PaperShape())
+	// Table I: 12x ANNA = 210.12 mm², 64.776 W.
+	if got := 12 * b.TotalArea; !within(got, 210.12, 0.05) {
+		t.Errorf("12x area = %.2f", got)
+	}
+	if got := 12 * b.TotalW; !within(got, 64.776, 0.05) {
+		t.Errorf("12x power = %.3f", got)
+	}
+}
+
+func TestEffectiveAreaRatios(t *testing.T) {
+	b := Model(PaperShape())
+	// Paper: CPU effectively 151x larger, GPU 517x larger.
+	cpu := EffectiveAreaRatio(CPUDieMM2, CPUNodeNM, b.TotalArea)
+	gpu := EffectiveAreaRatio(GPUDieMM2, GPUNodeNM, b.TotalArea)
+	if !within(cpu, 151, 0.03) {
+		t.Errorf("CPU ratio = %.1f, paper 151", cpu)
+	}
+	if !within(gpu, 517, 0.03) {
+		t.Errorf("GPU ratio = %.1f, paper 517", gpu)
+	}
+}
+
+func TestModelScalesWithShape(t *testing.T) {
+	base := Model(PaperShape())
+
+	bigger := PaperShape()
+	bigger.NSCM = 32
+	b2 := Model(bigger)
+	if b2.SCMs.AreaMM2 <= base.SCMs.AreaMM2 || b2.TotalW <= base.TotalW {
+		t.Error("doubling NSCM did not grow SCM area/power")
+	}
+	if !within(b2.SCMs.AreaMM2, 2*base.SCMs.AreaMM2, 1e-9) {
+		t.Error("SCM area not linear in NSCM")
+	}
+
+	smallEVB := PaperShape()
+	smallEVB.EVBBytes = 1 << 18
+	if Model(smallEVB).EFM.AreaMM2 >= base.EFM.AreaMM2 {
+		t.Error("shrinking EVB did not shrink EFM")
+	}
+}
+
+func TestChipEnergyAccounting(t *testing.T) {
+	b := Model(PaperShape())
+	// Fully busy for 1 s: energy equals total peak power (no idle).
+	full := Activity{MakespanSec: 1, CPMBusySec: 1, SCMBusySec: 16, MemBusySec: 1}
+	if got := ChipEnergy(b, full); !within(got, b.TotalW, 0.01) {
+		t.Errorf("fully-busy energy = %.3f J, want %.3f", got, b.TotalW)
+	}
+	// Fully idle for 1 s: IdleFraction of peak.
+	idle := Activity{MakespanSec: 1}
+	if got := ChipEnergy(b, idle); !within(got, IdleFraction*b.TotalW, 0.01) {
+		t.Errorf("idle energy = %.3f J, want %.3f", got, IdleFraction*b.TotalW)
+	}
+	// Monotone in activity.
+	half := Activity{MakespanSec: 1, CPMBusySec: 0.5, SCMBusySec: 8, MemBusySec: 0.5}
+	e := ChipEnergy(b, half)
+	if e <= ChipEnergy(b, idle) || e >= ChipEnergy(b, full) {
+		t.Errorf("half-busy energy %.3f out of order", e)
+	}
+	// Paper: actual power 2-3 W vs 5.4 peak; a realistic busy mix should
+	// land in that band.
+	typical := Activity{MakespanSec: 1, CPMBusySec: 0.3, SCMBusySec: 8, MemBusySec: 0.9}
+	if p := ChipEnergy(b, typical); p < 1.5 || p > 4.5 {
+		t.Errorf("typical power %.2f W outside the paper's 2-3 W band (±)", p)
+	}
+}
+
+func TestEnergyBreakdownSumsToTotal(t *testing.T) {
+	b := Model(PaperShape())
+	a := Activity{MakespanSec: 2, CPMBusySec: 0.5, SCMBusySec: 12, MemBusySec: 1.5}
+	eb := ChipEnergyBreakdown(b, a)
+	if eb.CPMJ <= 0 || eb.SCMJ <= 0 || eb.MemJ <= 0 || eb.IdleJ <= 0 {
+		t.Errorf("breakdown has non-positive parts: %+v", eb)
+	}
+	if got, want := eb.Total(), ChipEnergy(b, a); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Total %v != ChipEnergy %v", got, want)
+	}
+}
+
+func TestDRAMEnergy(t *testing.T) {
+	a := Activity{TrafficBytes: 1 << 30}
+	want := float64(1<<30) * DRAMPJPerByte * 1e-12
+	if got := DRAMEnergy(a); got != want {
+		t.Errorf("DRAMEnergy = %v, want %v", got, want)
+	}
+}
+
+func TestBaselineEnergy(t *testing.T) {
+	if got := BaselineEnergy(FaissCPUPowerW, 2); got != 278 {
+		t.Errorf("BaselineEnergy = %v", got)
+	}
+	// Paper's power ordering: GPU > Faiss CPU > ScaNN CPU.
+	if !(GPUPowerW > FaissCPUPowerW && FaissCPUPowerW > ScaNNCPUPowerW) {
+		t.Error("baseline power constants out of order")
+	}
+}
+
+func TestEnergyEfficiencyHeadline(t *testing.T) {
+	// Section V headline: ≥97x energy efficiency vs CPU/GPU. With ANNA at
+	// ~3 W busy and the CPU at 116 W, ANNA only needs to be no more than
+	// ~38x SLOWER to break even; it is in fact faster, so the efficiency
+	// gain must exceed 97x whenever ANNA's runtime is <= the baseline's.
+	b := Model(PaperShape())
+	annaBusy := Activity{MakespanSec: 1, CPMBusySec: 0.3, SCMBusySec: 8, MemBusySec: 0.9}
+	annaE := ChipEnergy(b, annaBusy)
+	cpuE := BaselineEnergy(ScaNNCPUPowerW, 1) // same runtime
+	if ratio := cpuE / annaE; ratio < 30 {
+		t.Errorf("equal-runtime efficiency ratio %.1f implausibly low", ratio)
+	}
+}

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/ivf"
+	"anna/internal/pq"
+	"anna/internal/topk"
+)
+
+func testIndex(t testing.TB, metric pq.Metric) (*ivf.Index, *dataset.Dataset) {
+	t.Helper()
+	spec := dataset.SIFTLike(3000, 12, 1)
+	spec.D = 32
+	spec.Metric = metric
+	ds := dataset.Generate(spec)
+	idx := ivf.Build(ds.Base, metric, ivf.Config{
+		NClusters: 25, M: 8, Ks: 16, CoarseIters: 6, PQIters: 6, Seed: 2,
+	})
+	return idx, ds
+}
+
+func referenceResults(idx *ivf.Index, ds *dataset.Dataset, w, k int, hw bool) [][]topk.Result {
+	out := make([][]topk.Result, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		out[qi] = idx.Search(ds.Queries.Row(qi), ivf.SearchParams{W: w, K: k, HWF16: hw})
+	}
+	return out
+}
+
+func scoresEqual(t *testing.T, label string, a, b [][]topk.Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: lengths %d vs %d", label, len(a), len(b))
+	}
+	for qi := range a {
+		if len(a[qi]) != len(b[qi]) {
+			t.Fatalf("%s q%d: %d vs %d results", label, qi, len(a[qi]), len(b[qi]))
+		}
+		for i := range a[qi] {
+			if a[qi][i].Score != b[qi][i].Score {
+				t.Fatalf("%s q%d rank %d: %v vs %v", label, qi, i, a[qi][i], b[qi][i])
+			}
+		}
+	}
+}
+
+func TestQueryMajorMatchesReference(t *testing.T) {
+	for _, metric := range []pq.Metric{pq.L2, pq.InnerProduct} {
+		idx, ds := testIndex(t, metric)
+		rep := New(idx).Run(ds.Queries, Options{Mode: QueryAtATime, W: 6, K: 10})
+		want := referenceResults(idx, ds, 6, 10, false)
+		for qi := range want {
+			for i := range want[qi] {
+				if rep.Results[qi][i] != want[qi][i] {
+					t.Fatalf("%v q%d rank %d: %+v vs %+v",
+						metric, qi, i, rep.Results[qi][i], want[qi][i])
+				}
+			}
+		}
+	}
+}
+
+func TestClusterMajorMatchesQueryMajorScores(t *testing.T) {
+	for _, metric := range []pq.Metric{pq.L2, pq.InnerProduct} {
+		idx, ds := testIndex(t, metric)
+		e := New(idx)
+		qm := e.Run(ds.Queries, Options{Mode: QueryAtATime, W: 6, K: 10})
+		cm := e.Run(ds.Queries, Options{Mode: ClusterMajor, W: 6, K: 10})
+		// Cluster visit order differs, so equal-scoring boundary entries
+		// may swap; scores must agree exactly rank-by-rank.
+		scoresEqual(t, metric.String(), cm.Results, qm.Results)
+	}
+}
+
+func TestHWF16MatchesAcceleratorReference(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2)
+	rep := New(idx).Run(ds.Queries, Options{Mode: QueryAtATime, W: 6, K: 10, HWF16: true})
+	want := referenceResults(idx, ds, 6, 10, true)
+	for qi := range want {
+		for i := range want[qi] {
+			if rep.Results[qi][i] != want[qi][i] {
+				t.Fatalf("q%d rank %d: %+v vs %+v", qi, i, rep.Results[qi][i], want[qi][i])
+			}
+		}
+	}
+}
+
+func TestWorkerCountInvariant(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2)
+	e := New(idx)
+	ref := e.Run(ds.Queries, Options{Mode: ClusterMajor, W: 6, K: 10, Workers: 1})
+	for _, w := range []int{2, 4, 16} {
+		got := e.Run(ds.Queries, Options{Mode: ClusterMajor, W: 6, K: 10, Workers: w})
+		scoresEqual(t, "workers", got.Results, ref.Results)
+	}
+}
+
+func TestTrafficAccountingReflectsReuse(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2)
+	e := New(idx)
+	qm := e.Run(ds.Queries, Options{Mode: QueryAtATime, W: 6, K: 10})
+	cm := e.Run(ds.Queries, Options{Mode: ClusterMajor, W: 6, K: 10})
+	// Identical scan work…
+	if qm.ScannedVectors != cm.ScannedVectors {
+		t.Errorf("scanned: %d vs %d", qm.ScannedVectors, cm.ScannedVectors)
+	}
+	// …but cluster-major touches each visited list once.
+	if cm.ListBytesTouched >= qm.ListBytesTouched {
+		t.Errorf("cluster-major bytes %d >= query-major %d",
+			cm.ListBytesTouched, qm.ListBytesTouched)
+	}
+	// Query-major bytes equal the sum over (query, cluster) pairs.
+	var want int64
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		for _, c := range idx.SelectClusters(ds.Queries.Row(qi), 6) {
+			want += idx.ListBytes(c)
+		}
+	}
+	if qm.ListBytesTouched != want {
+		t.Errorf("query-major bytes = %d, want %d", qm.ListBytesTouched, want)
+	}
+}
+
+func TestRunPanicsOnBadOptions(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2)
+	for _, o := range []Options{{W: 0, K: 1}, {W: 1, K: 0}, {Mode: Mode(9), W: 1, K: 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", o)
+				}
+			}()
+			New(idx).Run(ds.Queries, o)
+		}()
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2)
+	rep := New(idx).Run(ds.Queries, Options{Mode: QueryAtATime, W: 3, K: 5})
+	if rep.QPS <= 0 || rep.Elapsed <= 0 {
+		t.Errorf("QPS=%v Elapsed=%v", rep.QPS, rep.Elapsed)
+	}
+	if rep.ScannedVectors <= 0 || rep.ListBytesTouched <= 0 {
+		t.Errorf("counters: %d %d", rep.ScannedVectors, rep.ListBytesTouched)
+	}
+	if len(rep.Results) != ds.Queries.Rows {
+		t.Errorf("results len %d", len(rep.Results))
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if QueryAtATime.String() != "query-at-a-time" || ClusterMajor.String() != "cluster-major" {
+		t.Error("mode names")
+	}
+}
+
+func BenchmarkQueryMajor(b *testing.B) {
+	idx, ds := testIndex(b, pq.L2)
+	e := New(idx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(ds.Queries, Options{Mode: QueryAtATime, W: 8, K: 100})
+	}
+}
+
+func BenchmarkClusterMajor(b *testing.B) {
+	idx, ds := testIndex(b, pq.L2)
+	e := New(idx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(ds.Queries, Options{Mode: ClusterMajor, W: 8, K: 100})
+	}
+}

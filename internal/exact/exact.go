@@ -1,0 +1,126 @@
+// Package exact implements exhaustive (exact) nearest neighbor search,
+// serving two roles from the paper: computing ground truth for recall
+// evaluation, and the "exhaustive, exact nearest neighbor search" QPS
+// baselines quoted under each Figure 8 plot.
+package exact
+
+import (
+	"runtime"
+	"sync"
+
+	"anna/internal/pq"
+	"anna/internal/topk"
+	"anna/internal/vecmath"
+)
+
+// Searcher performs brute-force search over a database matrix.
+type Searcher struct {
+	Metric  pq.Metric
+	Base    *vecmath.Matrix
+	Workers int // parallelism; default GOMAXPROCS
+}
+
+// New returns an exact searcher over base.
+func New(metric pq.Metric, base *vecmath.Matrix) *Searcher {
+	return &Searcher{Metric: metric, Base: base}
+}
+
+// Score returns the similarity (larger = more similar) between q and
+// database row i under the searcher's metric.
+func (s *Searcher) Score(q []float32, i int) float32 {
+	if s.Metric == pq.InnerProduct {
+		return vecmath.Dot(q, s.Base.Row(i))
+	}
+	return -vecmath.L2Sq(q, s.Base.Row(i))
+}
+
+// Search returns the exact top-k results for query q.
+func (s *Searcher) Search(q []float32, k int) []topk.Result {
+	workers := s.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s.Base.Rows {
+		workers = 1
+	}
+	parts := make([][]topk.Result, workers)
+	var wg sync.WaitGroup
+	chunk := (s.Base.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > s.Base.Rows {
+			hi = s.Base.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sel := topk.NewSelector(k)
+			for i := lo; i < hi; i++ {
+				sel.Push(int64(i), s.Score(q, i))
+			}
+			parts[w] = sel.Results()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return topk.Merge(k, parts...)
+}
+
+// SearchBatch runs Search for every row of queries, parallelising across
+// queries, and returns per-query results.
+func (s *Searcher) SearchBatch(queries *vecmath.Matrix, k int) [][]topk.Result {
+	out := make([][]topk.Result, queries.Rows)
+	workers := s.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	inner := *s
+	inner.Workers = 1 // avoid nested fan-out
+	for qi := 0; qi < queries.Rows; qi++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(qi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[qi] = inner.Search(queries.Row(qi), k)
+		}(qi)
+	}
+	wg.Wait()
+	return out
+}
+
+// GroundTruth returns, for each query, the IDs of its exact top-k
+// neighbors in descending similarity order.
+func (s *Searcher) GroundTruth(queries *vecmath.Matrix, k int) [][]int64 {
+	res := s.SearchBatch(queries, k)
+	out := make([][]int64, len(res))
+	for i, rs := range res {
+		ids := make([]int64, len(rs))
+		for j, r := range rs {
+			ids[j] = r.ID
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// FLOPs returns the floating point operations of one exact query:
+// N*D multiply-adds counted as 2 ops (plus subtractions for L2).
+func (s *Searcher) FLOPs() int64 {
+	n, d := int64(s.Base.Rows), int64(s.Base.Cols)
+	per := 2 * d // mul + add per dimension
+	if s.Metric == pq.L2 {
+		per += d // subtraction
+	}
+	return n * per
+}
+
+// Bytes returns the memory traffic of one exact query at 2 bytes per
+// element (the paper's 2ND figure for f16 storage).
+func (s *Searcher) Bytes() int64 {
+	return 2 * int64(s.Base.Rows) * int64(s.Base.Cols)
+}

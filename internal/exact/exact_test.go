@@ -1,0 +1,137 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"anna/internal/pq"
+	"anna/internal/topk"
+	"anna/internal/vecmath"
+)
+
+func randMatrix(rows, cols int, seed int64) *vecmath.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vecmath.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func bruteForce(metric pq.Metric, base *vecmath.Matrix, q []float32, k int) []topk.Result {
+	sel := topk.NewSelector(k)
+	for i := 0; i < base.Rows; i++ {
+		var s float32
+		if metric == pq.InnerProduct {
+			s = vecmath.Dot(q, base.Row(i))
+		} else {
+			s = -vecmath.L2Sq(q, base.Row(i))
+		}
+		sel.Push(int64(i), s)
+	}
+	return sel.Results()
+}
+
+func TestSearchMatchesSequentialBruteForce(t *testing.T) {
+	base := randMatrix(777, 16, 1)
+	queries := randMatrix(5, 16, 2)
+	for _, metric := range []pq.Metric{pq.L2, pq.InnerProduct} {
+		s := New(metric, base)
+		for qi := 0; qi < queries.Rows; qi++ {
+			q := queries.Row(qi)
+			got := s.Search(q, 10)
+			want := bruteForce(metric, base, q, 10)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v q%d[%d]: got %+v want %+v", metric, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchSelfIsNearest(t *testing.T) {
+	base := randMatrix(100, 8, 3)
+	s := New(pq.L2, base)
+	for i := 0; i < 10; i++ {
+		got := s.Search(base.Row(i), 1)
+		if got[0].ID != int64(i) {
+			t.Errorf("query=row %d: nearest = %d", i, got[0].ID)
+		}
+		if got[0].Score != 0 {
+			t.Errorf("self distance %v", got[0].Score)
+		}
+	}
+}
+
+func TestSearchBatchMatchesSingle(t *testing.T) {
+	base := randMatrix(300, 8, 4)
+	queries := randMatrix(7, 8, 5)
+	s := New(pq.InnerProduct, base)
+	batch := s.SearchBatch(queries, 5)
+	for qi := 0; qi < queries.Rows; qi++ {
+		single := s.Search(queries.Row(qi), 5)
+		for i := range single {
+			if batch[qi][i] != single[i] {
+				t.Fatalf("batch/single mismatch q%d[%d]", qi, i)
+			}
+		}
+	}
+}
+
+func TestGroundTruthOrder(t *testing.T) {
+	base := vecmath.NewMatrix(3, 1)
+	base.SetRow(0, []float32{10})
+	base.SetRow(1, []float32{1})
+	base.SetRow(2, []float32{5})
+	s := New(pq.L2, base)
+	q := vecmath.NewMatrix(1, 1)
+	q.SetRow(0, []float32{0})
+	gt := s.GroundTruth(q, 3)
+	want := []int64{1, 2, 0}
+	for i := range want {
+		if gt[0][i] != want[i] {
+			t.Fatalf("gt = %v, want %v", gt[0], want)
+		}
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	base := randMatrix(512, 8, 6)
+	q := randMatrix(1, 8, 7).Row(0)
+	ref := (&Searcher{Metric: pq.L2, Base: base, Workers: 1}).Search(q, 20)
+	for _, w := range []int{2, 3, 8, 1000} {
+		got := (&Searcher{Metric: pq.L2, Base: base, Workers: w}).Search(q, 20)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d changed result at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestCostModelNumbers(t *testing.T) {
+	base := vecmath.NewMatrix(1000, 128)
+	ip := New(pq.InnerProduct, base)
+	if got := ip.FLOPs(); got != 1000*128*2 {
+		t.Errorf("IP FLOPs = %d", got)
+	}
+	l2 := New(pq.L2, base)
+	if got := l2.FLOPs(); got != 1000*128*3 {
+		t.Errorf("L2 FLOPs = %d", got)
+	}
+	// Paper: 2ND bytes per exhaustive query.
+	if got := ip.Bytes(); got != 2*1000*128 {
+		t.Errorf("Bytes = %d", got)
+	}
+}
+
+func BenchmarkExactSearch(b *testing.B) {
+	base := randMatrix(10000, 128, 1)
+	q := randMatrix(1, 128, 2).Row(0)
+	s := New(pq.L2, base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(q, 100)
+	}
+}

@@ -1,0 +1,154 @@
+// Package f16 implements IEEE 754 binary16 (half precision) conversion.
+//
+// ANNA stores database vectors, centroids, lookup-table entries and
+// similarity scores as 2-byte values ("16-bit datatype" in the paper).
+// This package provides the conversions so the simulator's functional
+// datapath can round intermediate values exactly as the hardware would,
+// and so the software reference can optionally match the accelerator
+// bit-for-bit.
+package f16
+
+import "math"
+
+// Bits is an IEEE 754 binary16 value stored in a uint16.
+type Bits uint16
+
+const (
+	signMask     = 0x8000
+	expMask      = 0x7C00
+	fracMask     = 0x03FF
+	expBias      = 15
+	maxFinite    = 65504.0
+	minSubnormal = 5.960464477539063e-08 // 2^-24
+)
+
+// PositiveInfinity and NegativeInfinity are the half-precision infinities.
+const (
+	PositiveInfinity Bits = 0x7C00
+	NegativeInfinity Bits = 0xFC00
+)
+
+// MaxValue is the largest finite half-precision value (65504).
+const MaxValue = maxFinite
+
+// FromFloat32 converts a float32 to binary16 with round-to-nearest-even,
+// the rounding mode hardware FP converters use.
+func FromFloat32(f float32) Bits {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & signMask
+	exp := int32(b>>23) & 0xFF
+	frac := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if frac != 0 {
+			// NaN: preserve a quiet NaN payload bit.
+			return Bits(sign | expMask | 0x0200)
+		}
+		return Bits(sign | expMask)
+	case exp == 0 && frac == 0:
+		return Bits(sign) // signed zero
+	}
+
+	// Unbiased exponent of the float32 value.
+	e := exp - 127
+	switch {
+	case e > 15:
+		// Overflows half range: round to infinity.
+		return Bits(sign | expMask)
+	case e >= -14:
+		// Normal half-precision range. Keep 10 fraction bits, round the
+		// discarded 13 bits to nearest even.
+		halfExp := uint16(e+expBias) << 10
+		halfFrac := uint16(frac >> 13)
+		round := frac & 0x1FFF
+		if round > 0x1000 || (round == 0x1000 && halfFrac&1 == 1) {
+			// Carry may propagate into the exponent; uint16 addition
+			// handles that naturally (frac overflow increments exp).
+			return Bits((sign | halfExp | halfFrac) + 1)
+		}
+		return Bits(sign | halfExp | halfFrac)
+	case e >= -24:
+		// Subnormal half-precision. Implicit leading 1 becomes explicit.
+		frac |= 0x800000
+		shift := uint32(-e - 14 + 13)
+		halfFrac := uint16(frac >> shift)
+		rem := frac & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && halfFrac&1 == 1) {
+			halfFrac++
+		}
+		return Bits(sign | halfFrac)
+	default:
+		// Underflows to signed zero.
+		return Bits(sign)
+	}
+}
+
+// ToFloat32 converts a binary16 value to float32 (always exact).
+func (h Bits) ToFloat32() float32 {
+	sign := uint32(h&signMask) << 16
+	exp := uint32(h&expMask) >> 10
+	frac := uint32(h & fracMask)
+
+	switch {
+	case exp == 0x1F: // Inf or NaN
+		if frac != 0 {
+			return math.Float32frombits(sign | 0x7F800000 | frac<<13 | 0x400000)
+		}
+		return math.Float32frombits(sign | 0x7F800000)
+	case exp == 0:
+		if frac == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: normalise.
+		e := uint32(127 - 15 + 1)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= fracMask
+		return math.Float32frombits(sign | e<<23 | frac<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | frac<<13)
+	}
+}
+
+// Round rounds a float32 through half precision and back, mimicking a
+// store-to-SRAM / load-from-SRAM pair in the accelerator datapath.
+func Round(f float32) float32 { return FromFloat32(f).ToFloat32() }
+
+// RoundSlice rounds every element of src through half precision into dst.
+// dst and src may alias. It panics if len(dst) < len(src).
+func RoundSlice(dst, src []float32) {
+	for i, v := range src {
+		dst[i] = Round(v)
+	}
+}
+
+// IsNaN reports whether h is a half-precision NaN.
+func (h Bits) IsNaN() bool { return h&expMask == expMask && h&fracMask != 0 }
+
+// IsInf reports whether h is a half-precision infinity.
+func (h Bits) IsInf() bool { return h&expMask == expMask && h&fracMask == 0 }
+
+// Encode appends the little-endian byte representation of h to dst.
+func (h Bits) Encode(dst []byte) { dst[0] = byte(h); dst[1] = byte(h >> 8) }
+
+// Decode reads a little-endian binary16 from src.
+func Decode(src []byte) Bits { return Bits(src[0]) | Bits(src[1])<<8 }
+
+// EncodeSlice packs src (rounded to half precision) into dst, 2 bytes per
+// element, little endian. It panics if len(dst) < 2*len(src).
+func EncodeSlice(dst []byte, src []float32) {
+	for i, v := range src {
+		FromFloat32(v).Encode(dst[2*i:])
+	}
+}
+
+// DecodeSlice unpacks len(dst) half-precision values from src into dst.
+func DecodeSlice(dst []float32, src []byte) {
+	for i := range dst {
+		dst[i] = Decode(src[2*i:]).ToFloat32()
+	}
+}

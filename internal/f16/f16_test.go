@@ -1,0 +1,210 @@
+package f16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits Bits
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},
+		{-65504, 0xFBFF},
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal
+		{6.103515625e-05, 0x0400},       // smallest normal
+		{0.333251953125, 0x3555},        // nearest half to 1/3
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.bits {
+			t.Errorf("FromFloat32(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if got := c.bits.ToFloat32(); got != c.f {
+			t.Errorf("ToFloat32(%#04x) = %v, want %v", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestNegativeZero(t *testing.T) {
+	nz := FromFloat32(float32(math.Copysign(0, -1)))
+	if nz != 0x8000 {
+		t.Fatalf("FromFloat32(-0) = %#04x, want 0x8000", nz)
+	}
+	back := nz.ToFloat32()
+	if back != 0 || !math.Signbit(float64(back)) {
+		t.Fatalf("ToFloat32(0x8000) = %v, want -0", back)
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	if got := FromFloat32(70000); got != PositiveInfinity {
+		t.Errorf("FromFloat32(70000) = %#04x, want +Inf", got)
+	}
+	if got := FromFloat32(-70000); got != NegativeInfinity {
+		t.Errorf("FromFloat32(-70000) = %#04x, want -Inf", got)
+	}
+	// 65504 is the max finite; 65520 rounds to +Inf (ties away from 65504).
+	if got := FromFloat32(65520); got != PositiveInfinity {
+		t.Errorf("FromFloat32(65520) = %#04x, want +Inf", got)
+	}
+	if got := FromFloat32(65519.996); got != 0x7BFF {
+		t.Errorf("FromFloat32(65519.996) = %#04x, want 0x7BFF (max finite)", got)
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	if got := FromFloat32(1e-9); got != 0 {
+		t.Errorf("FromFloat32(1e-9) = %#04x, want 0", got)
+	}
+	if got := FromFloat32(-1e-9); got != 0x8000 {
+		t.Errorf("FromFloat32(-1e-9) = %#04x, want -0", got)
+	}
+}
+
+func TestInfNaN(t *testing.T) {
+	if got := FromFloat32(float32(math.Inf(1))); got != PositiveInfinity {
+		t.Errorf("FromFloat32(+Inf) = %#04x", got)
+	}
+	if got := FromFloat32(float32(math.Inf(-1))); got != NegativeInfinity {
+		t.Errorf("FromFloat32(-Inf) = %#04x", got)
+	}
+	nan := FromFloat32(float32(math.NaN()))
+	if !nan.IsNaN() {
+		t.Errorf("FromFloat32(NaN) = %#04x, not NaN", nan)
+	}
+	if !math.IsNaN(float64(nan.ToFloat32())) {
+		t.Errorf("round-trip NaN lost NaN-ness")
+	}
+	if !PositiveInfinity.IsInf() || !NegativeInfinity.IsInf() {
+		t.Errorf("IsInf false for infinities")
+	}
+	if PositiveInfinity.IsNaN() {
+		t.Errorf("IsNaN true for +Inf")
+	}
+	if got := PositiveInfinity.ToFloat32(); !math.IsInf(float64(got), 1) {
+		t.Errorf("ToFloat32(+Inf bits) = %v", got)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 and 1+2^-10: rounds to even (1).
+	if got := FromFloat32(1 + 1.0/2048); got != 0x3C00 {
+		t.Errorf("halfway tie rounded to %#04x, want 0x3C00 (even)", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds up to even.
+	if got := FromFloat32(1 + 3.0/2048); got != 0x3C02 {
+		t.Errorf("halfway tie rounded to %#04x, want 0x3C02 (even)", got)
+	}
+	// Just above halfway rounds up.
+	if got := FromFloat32(1 + 1.1/2048); got != 0x3C01 {
+		t.Errorf("above-halfway rounded to %#04x, want 0x3C01", got)
+	}
+}
+
+// Round-trip property: every half-precision bit pattern except NaN survives
+// half→float32→half exactly.
+func TestRoundTripAllBits(t *testing.T) {
+	for i := 0; i <= 0xFFFF; i++ {
+		h := Bits(i)
+		if h.IsNaN() {
+			continue
+		}
+		got := FromFloat32(h.ToFloat32())
+		if got != h {
+			t.Fatalf("round-trip %#04x -> %v -> %#04x", h, h.ToFloat32(), got)
+		}
+	}
+}
+
+// Property: rounding is idempotent and the error bound holds for values in
+// the normal range.
+func TestRoundProperties(t *testing.T) {
+	f := func(x float32) bool {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return true
+		}
+		// Clamp into finite half range to avoid overflow-to-Inf cases.
+		if x > maxFinite {
+			x = maxFinite
+		}
+		if x < -maxFinite {
+			x = -maxFinite
+		}
+		r := Round(x)
+		if Round(r) != r {
+			return false // not idempotent
+		}
+		// Relative error ≤ 2^-11 for normal values.
+		if ax := math.Abs(float64(x)); ax >= 6.103515625e-05 {
+			if math.Abs(float64(r-x)) > ax/2048 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Conversion must be monotone: x <= y implies Round(x) <= Round(y).
+	f := func(x, y float32) bool {
+		if math.IsNaN(float64(x)) || math.IsNaN(float64(y)) {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		return Round(x) <= Round(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeSlice(t *testing.T) {
+	src := []float32{0, 1, -1, 0.5, 1000, -65504, 3.14159}
+	buf := make([]byte, 2*len(src))
+	EncodeSlice(buf, src)
+	dst := make([]float32, len(src))
+	DecodeSlice(dst, buf)
+	for i := range src {
+		if dst[i] != Round(src[i]) {
+			t.Errorf("slice round-trip [%d]: got %v want %v", i, dst[i], Round(src[i]))
+		}
+	}
+}
+
+func TestRoundSliceAliasing(t *testing.T) {
+	v := []float32{1.0000001, 2.0000001, 3.0000001}
+	RoundSlice(v, v)
+	for i, x := range v {
+		if x != Round(x) {
+			t.Errorf("in-place round [%d] = %v not idempotent", i, x)
+		}
+	}
+}
+
+func BenchmarkFromFloat32(b *testing.B) {
+	var sink Bits
+	for i := 0; i < b.N; i++ {
+		sink = FromFloat32(float32(i) * 0.1)
+	}
+	_ = sink
+}
+
+func BenchmarkToFloat32(b *testing.B) {
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink = Bits(i & 0x7BFF).ToFloat32()
+	}
+	_ = sink
+}

@@ -1,0 +1,42 @@
+package f16
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip checks the conversion invariants over arbitrary bit
+// patterns: half->single->half is the identity for non-NaN values, and
+// single->half never panics and preserves sign.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint32(0))
+	f.Add(uint16(0x3C00), math.Float32bits(1))
+	f.Add(uint16(0x7BFF), math.Float32bits(65504))
+	f.Add(uint16(0xFC00), math.Float32bits(float32(math.Inf(-1))))
+	f.Add(uint16(0x0001), math.Float32bits(5.96e-8))
+
+	f.Fuzz(func(t *testing.T, h uint16, fb uint32) {
+		hb := Bits(h)
+		if !hb.IsNaN() {
+			if got := FromFloat32(hb.ToFloat32()); got != hb {
+				t.Fatalf("half round trip %#04x -> %#04x", hb, got)
+			}
+		}
+		x := math.Float32frombits(fb)
+		r := FromFloat32(x)
+		if math.IsNaN(float64(x)) {
+			if !r.IsNaN() {
+				t.Fatalf("NaN lost: %#04x", r)
+			}
+			return
+		}
+		// Sign preservation (except NaN).
+		if math.Signbit(float64(x)) != (r&0x8000 != 0) {
+			t.Fatalf("sign flipped for %v -> %#04x", x, r)
+		}
+		// Idempotence of rounding.
+		if Round(Round(x)) != Round(x) {
+			t.Fatalf("rounding not idempotent for %v", x)
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"fmt"
+
+	"anna/internal/anna"
+	"anna/internal/energy"
+)
+
+// AblationRow is one design-space point: a configuration variant and its
+// simulated/projected performance (and silicon cost where it changes).
+type AblationRow struct {
+	Study   string
+	Variant string
+	QPS     float64
+	// LatencySeconds applies to studies that affect single-query latency.
+	LatencySeconds float64
+	// AreaMM2/PowerW are filled for silicon-affecting variants.
+	AreaMM2, PowerW float64
+}
+
+// RunAblations evaluates the design choices DESIGN.md calls out:
+// double buffering, the top-k rate limit, SCM allocation policy, the
+// CPM query-group size, memory bandwidth, the encoded-vector-buffer
+// size, and compute scaling (N_SCM / N_u / N_cu). Simulator studies run
+// on the scaled index of the given workload; scaling studies use the
+// paper-scale analytic model plus the silicon model.
+func (h *Harness) RunAblations(wd WorkloadDef) []AblationRow {
+	comp, _ := CompressionByName("4:1")
+	idx := h.Index(wd, comp, 256)
+	queries := h.trafficBatch(wd)
+	_, c := h.scaledNC(wd)
+	w := Fig10W
+	if w > c {
+		w = c
+	}
+	k := min(anna.DefaultConfig().K, h.Scale.RecallY)
+	var rows []AblationRow
+
+	simQPS := func(cfg anna.Config, scmPerQ int) float64 {
+		acc := anna.New(cfg, idx)
+		return acc.SearchBatched(queries, anna.Params{
+			W: w, K: k, SCMsPerQuery: scmPerQ, SkipFunctional: true,
+		}).QPS
+	}
+
+	// Double buffering (Figure 7's overlap).
+	on := anna.DefaultConfig()
+	off := anna.DefaultConfig()
+	off.DoubleBuffer = false
+	rows = append(rows,
+		AblationRow{Study: "double-buffering", Variant: "on (paper)", QPS: simQPS(on, 0)},
+		AblationRow{Study: "double-buffering", Variant: "off", QPS: simQPS(off, 0)},
+	)
+
+	// Top-k input rate limit (1 vector/cycle into the P-heap).
+	un := anna.DefaultConfig()
+	un.TopKRateLimit = false
+	rows = append(rows,
+		AblationRow{Study: "topk-rate-limit", Variant: "limited (paper)", QPS: simQPS(on, 0)},
+		AblationRow{Study: "topk-rate-limit", Variant: "unlimited", QPS: simQPS(un, 0)},
+	)
+
+	// SCM allocation: inter-query vs intra-query (Section IV-A).
+	for _, s := range []int{1, 2, 4, 8, 16} {
+		rows = append(rows, AblationRow{
+			Study:   "scm-allocation",
+			Variant: fmt.Sprintf("%d SCMs/query", s),
+			QPS:     simQPS(on, s),
+		})
+	}
+	rows = append(rows, AblationRow{
+		Study: "scm-allocation", Variant: "auto (paper heuristic)", QPS: simQPS(on, 0),
+	})
+
+	// CPM query-group size (centroid stream amortisation; DESIGN.md
+	// documents this as an assumption the paper leaves open).
+	for _, g := range []int{1, 16, 64, 256} {
+		cfg := anna.DefaultConfig()
+		cfg.QueryGroupSize = g
+		rows = append(rows, AblationRow{
+			Study:   "query-group",
+			Variant: fmt.Sprintf("G=%d", g),
+			QPS:     simQPS(cfg, 0),
+		})
+	}
+
+	// The remaining studies use the paper-scale analytic model.
+	g := h.PaperGeometry(wd, comp, 256)
+	pw := paperW(w, h, wd)
+
+	for _, bw := range []float64{32, 64, 75, 128, 256} {
+		cfg := anna.DefaultConfig()
+		cfg.DRAM.BandwidthBytesPerCycle = bw
+		r := anna.Analytic(cfg, g, PaperB, pw, PaperK, 0)
+		rows = append(rows, AblationRow{
+			Study:   "memory-bandwidth",
+			Variant: fmt.Sprintf("%.0f GB/s", bw),
+			QPS:     r.QPS, LatencySeconds: r.LatencySeconds,
+		})
+	}
+
+	for _, evb := range []int64{256 << 10, 1 << 20, 4 << 20, 16 << 20} {
+		cfg := anna.DefaultConfig()
+		cfg.EVBBytes = evb
+		r := anna.Analytic(cfg, g, PaperB, pw, PaperK, 0)
+		shape := energy.PaperShape()
+		shape.EVBBytes = evb
+		b := energy.Model(shape)
+		rows = append(rows, AblationRow{
+			Study:   "evb-size",
+			Variant: fmt.Sprintf("%d KiB", evb>>10),
+			QPS:     r.QPS, AreaMM2: b.TotalArea, PowerW: b.TotalW,
+		})
+	}
+
+	for _, nscm := range []int{4, 8, 16, 32} {
+		cfg := anna.DefaultConfig()
+		cfg.NSCM = nscm
+		r := anna.Analytic(cfg, g, PaperB, pw, PaperK, 0)
+		shape := energy.PaperShape()
+		shape.NSCM = nscm
+		b := energy.Model(shape)
+		rows = append(rows, AblationRow{
+			Study:   "nscm",
+			Variant: fmt.Sprintf("N_SCM=%d", nscm),
+			QPS:     r.QPS, AreaMM2: b.TotalArea, PowerW: b.TotalW,
+		})
+	}
+
+	for _, nu := range []int{32, 64, 128} {
+		cfg := anna.DefaultConfig()
+		cfg.NU = nu
+		r := anna.Analytic(cfg, g, PaperB, pw, PaperK, 0)
+		shape := energy.PaperShape()
+		shape.NU = nu
+		b := energy.Model(shape)
+		rows = append(rows, AblationRow{
+			Study:   "nu",
+			Variant: fmt.Sprintf("N_u=%d", nu),
+			QPS:     r.QPS, LatencySeconds: r.LatencySeconds,
+			AreaMM2: b.TotalArea, PowerW: b.TotalW,
+		})
+	}
+
+	for _, ncu := range []int{48, 96, 192} {
+		cfg := anna.DefaultConfig()
+		cfg.NCU = ncu
+		r := anna.Analytic(cfg, g, PaperB, pw, PaperK, 0)
+		shape := energy.PaperShape()
+		shape.NCU = ncu
+		b := energy.Model(shape)
+		rows = append(rows, AblationRow{
+			Study:   "ncu",
+			Variant: fmt.Sprintf("N_cu=%d", ncu),
+			QPS:     r.QPS, LatencySeconds: r.LatencySeconds,
+			AreaMM2: b.TotalArea, PowerW: b.TotalW,
+		})
+	}
+	return rows
+}
+
+// PrintAblations renders the design-space study.
+func (h *Harness) PrintAblations(rows []AblationRow) {
+	h.printf("\n=== Design-space ablations ===\n")
+	tw := newTable(h.Out)
+	tw.row("study", "variant", "QPS", "latency", "area(mm^2)", "power(W)")
+	for _, r := range rows {
+		lat, area, pw := "-", "-", "-"
+		if r.LatencySeconds > 0 {
+			lat = ms(r.LatencySeconds)
+		}
+		if r.AreaMM2 > 0 {
+			area = f2(r.AreaMM2)
+			pw = f2(r.PowerW)
+		}
+		tw.row(r.Study, r.Variant, f0(r.QPS), lat, area, pw)
+	}
+	tw.flush()
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"anna/internal/anna"
+	"anna/internal/cost"
+	"anna/internal/energy"
+)
+
+// Fig10Row is one configuration's per-query energy on one dataset at the
+// paper's Figure 10 operating point (4:1 compression, W=32).
+type Fig10Row struct {
+	Workload string
+	Config   string
+	// EnergyPerQueryJ is the modeled energy per query.
+	EnergyPerQueryJ float64
+	// ANNAEnergyPerQueryJ is the corresponding ANNA configuration's
+	// chip energy per query.
+	ANNAEnergyPerQueryJ float64
+	// Efficiency is EnergyPerQueryJ / ANNAEnergyPerQueryJ — the
+	// normalized energy-efficiency bar of Figure 10.
+	Efficiency float64
+	// ANNADRAMPerQueryJ reports ANNA's off-chip DRAM energy separately
+	// (the paper's comparison is package power vs accelerator power).
+	ANNADRAMPerQueryJ float64
+}
+
+// Fig10W is the paper's Figure 10 operating point.
+const Fig10W = 32
+
+// RunFig10 regenerates Figure 10 (normalized energy efficiency at 4:1,
+// W=32).
+func (h *Harness) RunFig10(workloads []WorkloadDef) []Fig10Row {
+	if workloads == nil {
+		workloads = Workloads()
+	}
+	comp, _ := CompressionByName("4:1")
+	cfg := anna.DefaultConfig()
+	breakdown := energy.Model(energy.PaperShape())
+	var rows []Fig10Row
+
+	for _, wd := range workloads {
+		for _, ks := range []int{16, 256} {
+			g := h.PaperGeometry(wd, comp, ks)
+			pw := Fig10W * wd.PaperC / 10000 // W=32 defined at |C|=10000
+			if pw < 1 {
+				pw = 1
+			}
+			ana := anna.Analytic(cfg, g, PaperB, pw, PaperK, 0)
+			act := energy.Activity{
+				MakespanSec:  ana.BatchSeconds,
+				CPMBusySec:   ana.CPMBusySeconds,
+				SCMBusySec:   ana.SCMBusySeconds,
+				MemBusySec:   ana.MemBusySeconds,
+				TrafficBytes: ana.TrafficBytes,
+			}
+			annaPerQ := energy.ChipEnergy(breakdown, act) / PaperB
+			dramPerQ := energy.DRAMEnergy(act) / PaperB
+
+			platforms := []cost.Platform{cost.Faiss256CPU, cost.Faiss256GPU}
+			if ks == 16 {
+				platforms = []cost.Platform{cost.ScaNN16CPU, cost.Faiss16CPU}
+			}
+			for _, p := range platforms {
+				wl := cost.Uniform(g.N, g.D, g.M, g.Ks, g.C, PaperB, pw, PaperK, g.Metric)
+				est := cost.Model(p, wl)
+				perQ := est.EnergyJ / PaperB
+				rows = append(rows, Fig10Row{
+					Workload: wd.Key, Config: p.String(),
+					EnergyPerQueryJ:     perQ,
+					ANNAEnergyPerQueryJ: annaPerQ,
+					Efficiency:          perQ / annaPerQ,
+					ANNADRAMPerQueryJ:   dramPerQ,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// PrintFig10 renders the energy-efficiency table.
+func (h *Harness) PrintFig10(rows []Fig10Row) {
+	h.printf("\n=== Figure 10: normalized energy efficiency (4:1, W=%d) ===\n", Fig10W)
+	tw := newTable(h.Out)
+	tw.row("dataset", "config", "energy/query", "ANNA energy/query", "efficiency", "(ANNA DRAM/query)")
+	for _, r := range rows {
+		tw.row(r.Workload, r.Config, mj(r.EnergyPerQueryJ), mj(r.ANNAEnergyPerQueryJ),
+			f1(r.Efficiency)+"x", mj(r.ANNADRAMPerQueryJ))
+	}
+	tw.flush()
+}

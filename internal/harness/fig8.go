@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"anna/internal/anna"
+	"anna/internal/cost"
+	"anna/internal/engine"
+	"anna/internal/pq"
+	"anna/internal/recall"
+)
+
+// Fig8Point is one (W, recall, QPS) sample of a throughput/recall curve.
+type Fig8Point struct {
+	W      int
+	Recall float64
+	QPS    float64
+}
+
+// Fig8Series is one configuration's curve in one plot.
+type Fig8Series struct {
+	Label  string
+	Points []Fig8Point
+}
+
+// Fig8Plot is one of the twelve Figure 8 plots: a dataset × compression
+// pair with every configuration's throughput-vs-recall curve, the
+// per-pair geomean ANNA speedups the paper annotates below each plot,
+// and the exhaustive-search QPS footnote.
+type Fig8Plot struct {
+	Workload    string
+	Compression string
+	Metric      string
+	Series      []Fig8Series
+	// Geomean maps "ANNA config vs software config" to the geometric
+	// mean QPS ratio across the W sweep.
+	Geomean map[string]float64
+	// ExactCPUQPS / ExactGPUQPS are the brute-force footnote numbers.
+	ExactCPUQPS, ExactGPUQPS float64
+}
+
+// measureRecallCurve runs the functional (hardware-rounded) search on the
+// scaled index for every W and returns recall X@Y per W. Curves are
+// cached per (workload, compression, k*, eta): fig9 reuses fig8's sweeps.
+func (h *Harness) measureRecallCurve(w WorkloadDef, comp Compression, ks int, eta float32) map[int]float64 {
+	key := fmt.Sprintf("%s/%s/ks%d/eta%g", w.Key, comp.Name, ks, eta)
+	h.mu.Lock()
+	cached, ok := h.rcCache[key]
+	h.mu.Unlock()
+	if ok {
+		return cached
+	}
+	idx := h.IndexEta(w, comp, ks, eta)
+	ds := h.Dataset(w)
+	gt := h.GroundTruth(w)
+	eng := engine.New(idx)
+	out := make(map[int]float64)
+	for _, wv := range h.wSweepFor(w) {
+		rep := eng.Run(ds.Queries, engine.Options{
+			Mode: engine.ClusterMajor, W: wv, K: h.Scale.RecallY,
+			Workers: h.Scale.Workers, HWF16: true,
+		})
+		out[wv] = recall.Mean(h.Scale.RecallX, h.Scale.RecallY, gt, rep.Results)
+	}
+	h.mu.Lock()
+	h.rcCache[key] = out
+	h.mu.Unlock()
+	return out
+}
+
+// scannEtaFor returns the ScaNN-model encoding weight for a workload
+// (anisotropic only applies to inner-product metrics).
+func (h *Harness) scannEtaFor(w WorkloadDef) float32 {
+	if h.Dataset(w).Metric == pq.InnerProduct {
+		return ScaNNEta
+	}
+	return 0
+}
+
+// RunFig8 regenerates Figure 8 for the given workloads and compression
+// setups (nil means all).
+func (h *Harness) RunFig8(workloads []WorkloadDef, comps []Compression) []Fig8Plot {
+	if workloads == nil {
+		workloads = Workloads()
+	}
+	if comps == nil {
+		comps = Compressions()
+	}
+	cfg := anna.DefaultConfig()
+	var plots []Fig8Plot
+
+	for _, comp := range comps {
+		for _, wd := range workloads {
+			ds := h.Dataset(wd)
+			// Per-library trained models: ScaNN uses its score-aware
+			// objective on inner-product datasets, Faiss the plain
+			// reconstruction objective — distinct recall curves, as in
+			// the paper.
+			recallScaNN16 := h.measureRecallCurve(wd, comp, 16, h.scannEtaFor(wd))
+			recallFaiss16 := h.measureRecallCurve(wd, comp, 16, 0)
+			recall256 := h.measureRecallCurve(wd, comp, 256, 0)
+			g16 := h.PaperGeometry(wd, comp, 16)
+			g256 := h.PaperGeometry(wd, comp, 256)
+
+			series := map[string][]Fig8Point{}
+			for _, wv := range h.wSweepFor(wd) {
+				// Paper-scale W: the scaled |C| differs from the paper's,
+				// so sweep W as a fraction of |C| when extrapolating.
+				pw16 := paperW(wv, h, wd)
+				wl16 := cost.Uniform(g16.N, g16.D, g16.M, g16.Ks, g16.C,
+					PaperB, pw16, PaperK, g16.Metric)
+				wl256 := cost.Uniform(g256.N, g256.D, g256.M, g256.Ks, g256.C,
+					PaperB, pw16, PaperK, g256.Metric)
+
+				add := func(label string, rec, qps float64) {
+					series[label] = append(series[label],
+						Fig8Point{W: wv, Recall: rec, QPS: qps})
+				}
+				add("ScaNN16(CPU)", recallScaNN16[wv], cost.Model(cost.ScaNN16CPU, wl16).QPS)
+				add("Faiss16(CPU)", recallFaiss16[wv], cost.Model(cost.Faiss16CPU, wl16).QPS)
+				add("Faiss256(CPU)", recall256[wv], cost.Model(cost.Faiss256CPU, wl256).QPS)
+				add("Faiss256(GPU)", recall256[wv], cost.Model(cost.Faiss256GPU, wl256).QPS)
+
+				// ANNA runs each library's trained model natively; the
+				// hardware QPS depends only on the geometry, the recall
+				// on the model.
+				a16 := anna.Analytic(cfg, g16, PaperB, pw16, PaperK, 0)
+				a256 := anna.Analytic(cfg, g256, PaperB, pw16, PaperK, 0)
+				add("ScaNN16(ANNA)", recallScaNN16[wv], a16.QPS)
+				add("Faiss16(ANNA)", recallFaiss16[wv], a16.QPS)
+				add("Faiss256(ANNA)", recall256[wv], a256.QPS)
+				add("Faiss256(ANNAx12)", recall256[wv], anna.MultiInstanceQPS(a256, 12))
+			}
+
+			plot := Fig8Plot{
+				Workload:    wd.Key,
+				Compression: comp.Name,
+				Metric:      metricName(ds.Metric),
+				Geomean:     map[string]float64{},
+				ExactCPUQPS: cost.ExactQPS(wd.PaperN, ds.D(), 100, false),
+				ExactGPUQPS: cost.ExactQPS(wd.PaperN, ds.D(), 100, true),
+			}
+			labels := make([]string, 0, len(series))
+			for l := range series {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			for _, l := range labels {
+				plot.Series = append(plot.Series, Fig8Series{Label: l, Points: series[l]})
+			}
+			plot.Geomean["ScaNN16(ANNA) vs ScaNN16(CPU)"] = geomeanRatio(series["ScaNN16(ANNA)"], series["ScaNN16(CPU)"])
+			plot.Geomean["Faiss16(ANNA) vs Faiss16(CPU)"] = geomeanRatio(series["Faiss16(ANNA)"], series["Faiss16(CPU)"])
+			plot.Geomean["Faiss256(ANNA) vs Faiss256(CPU)"] = geomeanRatio(series["Faiss256(ANNA)"], series["Faiss256(CPU)"])
+			plot.Geomean["Faiss256(ANNAx12) vs Faiss256(GPU)"] = geomeanRatio(series["Faiss256(ANNAx12)"], series["Faiss256(GPU)"])
+			plots = append(plots, plot)
+		}
+	}
+	return plots
+}
+
+// paperW maps a scaled W onto the paper's cluster count so that the
+// fraction of the database inspected matches: W_paper = W · |C|_paper /
+// |C|_scaled.
+func paperW(w int, h *Harness, wd WorkloadDef) int {
+	_, c := h.scaledNC(wd)
+	pw := w * wd.PaperC / c
+	if pw < 1 {
+		pw = 1
+	}
+	if pw > wd.PaperC {
+		pw = wd.PaperC
+	}
+	return pw
+}
+
+// geomeanRatio computes the geometric mean of a.QPS/b.QPS across paired
+// points.
+func geomeanRatio(a, b []Fig8Point) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	sum := 0.0
+	for i := range a {
+		if a[i].QPS <= 0 || b[i].QPS <= 0 {
+			return 0
+		}
+		sum += math.Log(a[i].QPS / b[i].QPS)
+	}
+	return math.Exp(sum / float64(len(a)))
+}
+
+// PrintFig8 renders the plots as aligned text tables.
+func (h *Harness) PrintFig8(plots []Fig8Plot) {
+	for _, p := range plots {
+		h.printf("\n=== Figure 8: %s, %s compression (%s) ===\n", p.Workload, p.Compression, p.Metric)
+		tw := newTable(h.Out)
+		tw.row("config", "W", "recall", "QPS(paper-scale)")
+		for _, s := range p.Series {
+			for _, pt := range s.Points {
+				tw.row(s.Label, itoa(pt.W), f3(pt.Recall), f0(pt.QPS))
+			}
+		}
+		tw.flush()
+		keys := make([]string, 0, len(p.Geomean))
+		for k := range p.Geomean {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h.printf("geomean speedup %-32s %.2fx\n", k+":", p.Geomean[k])
+		}
+		h.printf("exact-search QPS: CPU %.1f, GPU %.1f\n", p.ExactCPUQPS, p.ExactGPUQPS)
+	}
+}

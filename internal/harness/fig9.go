@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"anna/internal/anna"
+	"anna/internal/cost"
+)
+
+// Fig9Row is one configuration's single-query latency on one dataset at
+// 4:1 compression, evaluated at the smallest W reaching the recall
+// target (or the best-recall W if the target is unreachable — the k*=16
+// recall ceiling the paper discusses).
+type Fig9Row struct {
+	Workload string
+	Config   string
+	W        int
+	Recall   float64
+	// LatencySeconds is the paper-scale single-query latency projection.
+	LatencySeconds float64
+	// ANNALatencySeconds is the matching ANNA configuration's latency.
+	ANNALatencySeconds float64
+	// Speedup is LatencySeconds / ANNALatencySeconds.
+	Speedup float64
+}
+
+// RecallTarget is the paper's "high recall" operating point for the
+// latency comparison (Figure 9 discussion: 0.9+).
+const RecallTarget = 0.9
+
+// RunFig9 regenerates Figure 9 (latency comparison, 4:1 compression).
+func (h *Harness) RunFig9(workloads []WorkloadDef) []Fig9Row {
+	if workloads == nil {
+		workloads = Workloads()
+	}
+	comp, _ := CompressionByName("4:1")
+	cfg := anna.DefaultConfig()
+	var rows []Fig9Row
+
+	for _, wd := range workloads {
+		// Each software configuration runs on its own trained model and
+		// therefore has its own recall curve and operating W.
+		configs := []struct {
+			platform cost.Platform
+			ks       int
+			curve    map[int]float64
+		}{
+			{cost.ScaNN16CPU, 16, h.measureRecallCurve(wd, comp, 16, h.scannEtaFor(wd))},
+			{cost.Faiss16CPU, 16, h.measureRecallCurve(wd, comp, 16, 0)},
+			{cost.Faiss256CPU, 256, h.measureRecallCurve(wd, comp, 256, 0)},
+		}
+		configs = append(configs, struct {
+			platform cost.Platform
+			ks       int
+			curve    map[int]float64
+		}{cost.Faiss256GPU, 256, configs[2].curve})
+
+		for _, c := range configs {
+			wPick, rec := pickW(h.wSweepFor(wd), c.curve)
+			g := h.PaperGeometry(wd, comp, c.ks)
+			pw := paperW(wPick, h, wd)
+			ana := anna.Analytic(cfg, g, PaperB, pw, PaperK, 0)
+			wl := cost.Uniform(g.N, g.D, g.M, g.Ks, g.C, PaperB, pw, PaperK, g.Metric)
+			est := cost.Model(c.platform, wl)
+			rows = append(rows, Fig9Row{
+				Workload: wd.Key, Config: c.platform.String(),
+				W: wPick, Recall: rec,
+				LatencySeconds:     est.LatencySeconds,
+				ANNALatencySeconds: ana.LatencySeconds,
+				Speedup:            est.LatencySeconds / ana.LatencySeconds,
+			}, Fig9Row{
+				Workload: wd.Key, Config: c.platform.String() + "->ANNA",
+				W: wPick, Recall: rec,
+				LatencySeconds:     ana.LatencySeconds,
+				ANNALatencySeconds: ana.LatencySeconds,
+				Speedup:            1,
+			})
+		}
+	}
+	return rows
+}
+
+// pickW returns the smallest W whose recall meets RecallTarget, falling
+// back to the best-recall W.
+func pickW(sweep []int, curve map[int]float64) (int, float64) {
+	bestW, bestR := 0, -1.0
+	for _, w := range sweep {
+		r := curve[w]
+		if r >= RecallTarget {
+			return w, r
+		}
+		if r > bestR {
+			bestW, bestR = w, r
+		}
+	}
+	return bestW, bestR
+}
+
+// PrintFig9 renders the latency table.
+func (h *Harness) PrintFig9(rows []Fig9Row) {
+	h.printf("\n=== Figure 9: single-query latency, 4:1 compression (target recall %.2f) ===\n", RecallTarget)
+	tw := newTable(h.Out)
+	tw.row("dataset", "config", "W", "recall", "latency", "vs ANNA")
+	for _, r := range rows {
+		tw.row(r.Workload, r.Config, itoa(r.W), f3(r.Recall),
+			ms(r.LatencySeconds), f1(r.Speedup)+"x")
+	}
+	tw.flush()
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"time"
+
+	"anna/internal/engine"
+	"anna/internal/hnsw"
+	"anna/internal/ivfflat"
+	"anna/internal/recall"
+	"anna/internal/topk"
+)
+
+// GraphRow is one point of the graph-vs-compression comparison
+// (Sections II-A and VI: graph-based ANNS wins at million scale but its
+// memory footprint rules it out at billion scale).
+type GraphRow struct {
+	System string // "HNSW(ef=..)" or "IVF-PQ(W=..)"
+	Recall float64
+	// MeasuredQPS is this process's wall-clock throughput on the scaled
+	// dataset (single machine, same hardware for both systems).
+	MeasuredQPS float64
+	// MemoryBytes is the index footprint at the scaled size.
+	MemoryBytes int64
+}
+
+// GraphComparison is the full experiment result.
+type GraphComparison struct {
+	Workload string
+	Rows     []GraphRow
+	// Billion-scale footprint projections (the feasibility argument).
+	HNSWBillionBytes int64
+	PQBillionBytes   int64
+	MachineRAMBytes  int64
+}
+
+// RunGraph compares HNSW against the IVF-PQ index on a million-scale
+// workload: measured recall/QPS trade-off plus memory footprints, with
+// billion-scale projections.
+func (h *Harness) RunGraph(wd WorkloadDef) GraphComparison {
+	ds := h.Dataset(wd)
+	gt := h.GroundTruth(wd)
+	comp, _ := CompressionByName("4:1")
+	idx := h.Index(wd, comp, 256)
+
+	out := GraphComparison{
+		Workload:        wd.Key,
+		MachineRAMBytes: 128 << 30, // the evaluated CPU host's 128 GB
+	}
+
+	// HNSW (built fresh; build time excluded, as for the PQ index).
+	g := hnsw.Build(ds.Base, hnsw.Config{M: 16, EfConstruction: 120,
+		Metric: ds.Metric, Seed: h.Scale.Seed})
+	for _, ef := range []int{h.Scale.RecallY, 2 * h.Scale.RecallY, 4 * h.Scale.RecallY} {
+		res := make([][]topk.Result, ds.Queries.Rows)
+		start := time.Now()
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			res[qi] = g.Search(ds.Queries.Row(qi), ef, h.Scale.RecallY)
+		}
+		elapsed := time.Since(start).Seconds()
+		out.Rows = append(out.Rows, GraphRow{
+			System:      "HNSW(ef=" + itoa(ef) + ")",
+			Recall:      recall.Mean(h.Scale.RecallX, h.Scale.RecallY, gt, res),
+			MeasuredQPS: float64(ds.Queries.Rows) / elapsed,
+			MemoryBytes: g.MemoryBytes(),
+		})
+	}
+
+	// IVF-Flat: same coarse filter, exact in-cluster scoring,
+	// full-precision memory cost.
+	_, c0 := h.scaledNC(wd)
+	flat := ivfflat.Build(ds.Base, ds.Metric, ivfflat.Config{
+		NClusters: c0, CoarseIters: 6, MaxTrain: h.Scale.TrainCap, Seed: h.Scale.Seed,
+	})
+	for _, w := range []int{4, 16} {
+		if w > c0 {
+			continue
+		}
+		res := make([][]topk.Result, ds.Queries.Rows)
+		start := time.Now()
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			res[qi] = flat.Search(ds.Queries.Row(qi), w, h.Scale.RecallY)
+		}
+		elapsed := time.Since(start).Seconds()
+		out.Rows = append(out.Rows, GraphRow{
+			System:      "IVF-Flat(W=" + itoa(w) + ")",
+			Recall:      recall.Mean(h.Scale.RecallX, h.Scale.RecallY, gt, res),
+			MeasuredQPS: float64(ds.Queries.Rows) / elapsed,
+			MemoryBytes: flat.MemoryBytes(),
+		})
+	}
+
+	// IVF-PQ through the same software engine.
+	eng := engine.New(idx)
+	st := idx.ComputeStats()
+	pqMem := st.TotalCodeBytes + st.CentroidBytes + st.CodebookBytes
+	for _, w := range []int{4, 16, 64} {
+		if w > idx.NClusters() {
+			continue
+		}
+		rep := eng.Run(ds.Queries, engine.Options{
+			Mode: engine.ClusterMajor, W: w, K: h.Scale.RecallY,
+			Workers: h.Scale.Workers,
+		})
+		out.Rows = append(out.Rows, GraphRow{
+			System:      "IVF-PQ(W=" + itoa(w) + ")",
+			Recall:      recall.Mean(h.Scale.RecallX, h.Scale.RecallY, gt, rep.Results),
+			MeasuredQPS: rep.QPS,
+			MemoryBytes: pqMem,
+		})
+	}
+
+	// Billion-scale projections.
+	out.HNSWBillionBytes = hnsw.EstimateMemoryBytes(1_000_000_000, ds.D(), 16)
+	out.PQBillionBytes = int64(1_000_000_000)*int64(comp.MFor(ds.D(), 256)) +
+		2*10000*int64(ds.D()) // codes + centroids
+	return out
+}
+
+// PrintGraph renders the comparison.
+func (h *Harness) PrintGraph(c GraphComparison) {
+	h.printf("\n=== Graph-based vs compression-based ANNS (%s, measured on this machine) ===\n", c.Workload)
+	tw := newTable(h.Out)
+	tw.row("system", "recall", "measured QPS", "index memory")
+	for _, r := range c.Rows {
+		tw.row(r.System, f3(r.Recall), f0(r.MeasuredQPS), bytesHuman(r.MemoryBytes))
+	}
+	tw.flush()
+	h.printf("billion-scale projection: HNSW %s vs IVF-PQ %s (machine RAM %s)\n",
+		gb(c.HNSWBillionBytes), gb(c.PQBillionBytes), gb(c.MachineRAMBytes))
+	if c.HNSWBillionBytes > c.MachineRAMBytes {
+		h.printf("-> HNSW does not fit in memory at billion scale; IVF-PQ does (the paper's Section II-A argument)\n")
+	}
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphComparison(t *testing.T) {
+	h, buf := quick(t)
+	c := h.RunGraph(oneMillion(t)[0])
+	if len(c.Rows) < 5 {
+		t.Fatalf("%d rows", len(c.Rows))
+	}
+	var hnswBest, pqMem int64
+	var hnswRecall float64
+	for _, r := range c.Rows {
+		if r.MeasuredQPS <= 0 || r.MemoryBytes <= 0 {
+			t.Errorf("%s: QPS %v mem %d", r.System, r.MeasuredQPS, r.MemoryBytes)
+		}
+		if strings.HasPrefix(r.System, "HNSW") {
+			hnswBest = r.MemoryBytes
+			if r.Recall > hnswRecall {
+				hnswRecall = r.Recall
+			}
+		} else {
+			pqMem = r.MemoryBytes
+		}
+	}
+	// The paper's million-scale claim: graph methods are effective.
+	if hnswRecall < 0.8 {
+		t.Errorf("HNSW recall %.3f too low at million-scale regime", hnswRecall)
+	}
+	// The memory argument: HNSW holds full vectors + links, PQ holds
+	// compressed codes — HNSW must cost several times more per vector.
+	if hnswBest < 3*pqMem {
+		t.Errorf("HNSW memory %d not >> PQ %d", hnswBest, pqMem)
+	}
+	// Billion-scale projection: HNSW over RAM, PQ under.
+	if c.HNSWBillionBytes <= c.MachineRAMBytes {
+		t.Errorf("HNSW billion projection %d fits RAM %d", c.HNSWBillionBytes, c.MachineRAMBytes)
+	}
+	if c.PQBillionBytes >= c.MachineRAMBytes {
+		t.Errorf("PQ billion projection %d exceeds RAM", c.PQBillionBytes)
+	}
+	h.PrintGraph(c)
+	if !strings.Contains(buf.String(), "does not fit in memory") {
+		t.Error("missing feasibility line")
+	}
+}

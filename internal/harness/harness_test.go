@@ -1,0 +1,324 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"anna/internal/pq"
+)
+
+// sharedH is one package-wide harness so dataset/index builds are cached
+// across tests; each test swaps in its own output buffer.
+var sharedH = New(QuickScale(), nil)
+
+// quick returns the shared harness at test scale writing into a fresh
+// buffer. Tests run sequentially, so swapping Out is safe.
+func quick(t testing.TB) (*Harness, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	sharedH.Out = &buf
+	return sharedH, &buf
+}
+
+func oneMillion(t testing.TB) []WorkloadDef {
+	t.Helper()
+	wd, err := WorkloadByKey("SIFT1M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []WorkloadDef{wd}
+}
+
+func fourToOne(t testing.TB) []Compression {
+	t.Helper()
+	c, err := CompressionByName("4:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Compression{c}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 6 {
+		t.Fatalf("%d workloads, want 6", len(ws))
+	}
+	million, billion := 0, 0
+	for _, w := range ws {
+		if w.Million {
+			million++
+			if w.PaperC != 250 {
+				t.Errorf("%s: PaperC = %d", w.Key, w.PaperC)
+			}
+		} else {
+			billion++
+			if w.PaperC != 10000 {
+				t.Errorf("%s: PaperC = %d", w.Key, w.PaperC)
+			}
+		}
+	}
+	if million != 3 || billion != 3 {
+		t.Errorf("million/billion split %d/%d", million, billion)
+	}
+	if _, err := WorkloadByKey("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestCompressionMValues(t *testing.T) {
+	// Section V-B: 4:1 -> M=D/2 (k*=256) or M=D (k*=16); 8:1 halves both.
+	four, _ := CompressionByName("4:1")
+	eight, _ := CompressionByName("8:1")
+	if four.MFor(128, 256) != 64 || four.MFor(128, 16) != 128 {
+		t.Error("4:1 M values")
+	}
+	if eight.MFor(128, 256) != 32 || eight.MFor(128, 16) != 64 {
+		t.Error("8:1 M values")
+	}
+	// M divides D for every dataset dimensionality the paper uses.
+	for _, d := range []int{128, 96, 100} {
+		for _, c := range Compressions() {
+			for _, ks := range []int{16, 256} {
+				m := c.MFor(d, ks)
+				if m <= 0 || d%m != 0 {
+					t.Errorf("D=%d %s k*=%d -> M=%d does not divide", d, c.Name, ks, m)
+				}
+			}
+		}
+	}
+	if _, err := CompressionByName("16:1"); err == nil {
+		t.Error("unknown compression accepted")
+	}
+}
+
+func TestCachesReturnSameInstance(t *testing.T) {
+	h, _ := quick(t)
+	wd := oneMillion(t)[0]
+	if h.Dataset(wd) != h.Dataset(wd) {
+		t.Error("dataset not cached")
+	}
+	comp := fourToOne(t)[0]
+	if h.Index(wd, comp, 16) != h.Index(wd, comp, 16) {
+		t.Error("index not cached")
+	}
+	gt := h.GroundTruth(wd)
+	if len(gt) != h.Scale.Queries {
+		t.Errorf("ground truth for %d queries", len(gt))
+	}
+	if len(gt[0]) != h.Scale.RecallY {
+		t.Errorf("ground truth depth %d", len(gt[0]))
+	}
+}
+
+func TestFig8SingleWorkload(t *testing.T) {
+	h, buf := quick(t)
+	plots := h.RunFig8(oneMillion(t), fourToOne(t))
+	if len(plots) != 1 {
+		t.Fatalf("%d plots", len(plots))
+	}
+	p := plots[0]
+	if p.Workload != "SIFT1M" || p.Compression != "4:1" {
+		t.Fatalf("plot identity %+v", p)
+	}
+	if len(p.Series) != 8 {
+		t.Fatalf("%d series, want 8", len(p.Series))
+	}
+	for _, s := range p.Series {
+		if len(s.Points) != len(h.wSweepFor(oneMillion(t)[0])) {
+			t.Fatalf("%s has %d points", s.Label, len(s.Points))
+		}
+		last := -1.0
+		for _, pt := range s.Points {
+			if pt.QPS <= 0 {
+				t.Fatalf("%s W=%d QPS=%v", s.Label, pt.W, pt.QPS)
+			}
+			if pt.Recall < last-0.1 {
+				t.Errorf("%s recall fell sharply at W=%d", s.Label, pt.W)
+			}
+			last = pt.Recall
+		}
+		// Recall must be increasing overall and meaningful at max W.
+		if s.Points[len(s.Points)-1].Recall < 0.3 {
+			t.Errorf("%s: final recall %.2f too low", s.Label, s.Points[len(s.Points)-1].Recall)
+		}
+	}
+	// ANNA must beat its corresponding software configs (the paper's
+	// headline) on geomean.
+	for k, v := range p.Geomean {
+		if v <= 1 {
+			t.Errorf("geomean %s = %.2f, ANNA should win", k, v)
+		}
+	}
+	h.PrintFig8(plots)
+	if !strings.Contains(buf.String(), "Figure 8") || !strings.Contains(buf.String(), "Faiss256(ANNA)") {
+		t.Error("PrintFig8 output missing content")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	h, buf := quick(t)
+	rows := h.RunFig9(oneMillion(t))
+	// 4 software configs x (software row + matching ANNA row) = 8 rows.
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.LatencySeconds <= 0 || r.ANNALatencySeconds <= 0 {
+			t.Errorf("%+v has nonpositive latency", r)
+		}
+		if !strings.HasSuffix(r.Config, "->ANNA") && r.Speedup <= 1 {
+			t.Errorf("%s %s: ANNA latency not better (%.2fx)", r.Workload, r.Config, r.Speedup)
+		}
+	}
+	h.PrintFig9(rows)
+	if !strings.Contains(buf.String(), "Figure 9") {
+		t.Error("missing output")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	h, buf := quick(t)
+	rows := h.RunFig10(oneMillion(t))
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Efficiency <= 10 {
+			t.Errorf("%s %s: efficiency %.1fx — paper reports orders of magnitude",
+				r.Workload, r.Config, r.Efficiency)
+		}
+	}
+	h.PrintFig10(rows)
+	if !strings.Contains(buf.String(), "Figure 10") {
+		t.Error("missing output")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	h, buf := quick(t)
+	b := h.RunTable1()
+	if b.TotalArea < 17 || b.TotalArea > 18 {
+		t.Errorf("total area %.2f", b.TotalArea)
+	}
+	h.PrintTable1(b)
+	out := buf.String()
+	for _, want := range []string{"Table I", "17.51", "210.12", "Memory Access Interface"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q", want)
+		}
+	}
+}
+
+func TestTraffic(t *testing.T) {
+	h, buf := quick(t)
+	rows := h.RunTraffic(oneMillion(t), fourToOne(t), 8)
+	if len(rows) != 2 { // k*=16 and k*=256
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Errorf("traffic optimization speedup %.2fx <= 1 for k*=%s", r.Speedup, r.Config)
+		}
+		if r.TrafficReduction <= 1 {
+			t.Errorf("traffic not reduced (%.2fx)", r.TrafficReduction)
+		}
+	}
+	h.PrintTraffic(rows)
+	if !strings.Contains(buf.String(), "memory traffic optimization") {
+		t.Error("missing output")
+	}
+	ex := h.RunWorkedExample()
+	if ex.TrafficReduction != 12.8 {
+		t.Errorf("worked example reduction = %v, want 12.8", ex.TrafficReduction)
+	}
+	if ex.SCMsPerQuery != 4 {
+		t.Errorf("worked example SCMs/query = %d, want 4", ex.SCMsPerQuery)
+	}
+}
+
+func TestExactAndRelated(t *testing.T) {
+	h, buf := quick(t)
+	rows := h.RunExact(oneMillion(t))
+	if len(rows) != 1 || rows[0].CPUQPS <= 0 || rows[0].GPUQPS <= rows[0].CPUQPS {
+		t.Fatalf("exact rows: %+v", rows)
+	}
+	h.PrintExact(rows)
+
+	rel := h.RunRelated()
+	if len(rel) != 2 {
+		t.Fatalf("%d related rows", len(rel))
+	}
+	// ANNA must beat both related-work claims, as the paper argues.
+	if rel[0].ANNAQPS < 50_000 {
+		t.Errorf("SIFT1M ANNA QPS %.0f below the FPGA's 50K claim", rel[0].ANNAQPS)
+	}
+	if rel[1].ANNAQPS < 800 {
+		t.Errorf("Deep1B ANNA QPS %.0f below Gemini's 800 claim", rel[1].ANNAQPS)
+	}
+	h.PrintRelated(rel)
+	if !strings.Contains(buf.String(), "related-work") {
+		t.Error("missing output")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	h, buf := quick(t)
+	spans := h.RunTimeline(oneMillion(t)[0], 4)
+	if len(spans) == 0 {
+		t.Fatal("no spans")
+	}
+	// The trace must show all three unit classes (Figure 7 overlap).
+	seen := map[string]bool{}
+	for _, s := range spans {
+		seen[s.Resource] = true
+	}
+	if !seen["cpm"] || !seen["dram"] || !seen["scm00"] {
+		t.Errorf("trace units: %v", seen)
+	}
+	h.PrintTimeline(spans, 20)
+	if !strings.Contains(buf.String(), "timeline") {
+		t.Error("missing output")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	h, buf := quick(t)
+	rows := h.RunAblations(oneMillion(t)[0])
+	byStudy := map[string][]AblationRow{}
+	for _, r := range rows {
+		if r.QPS <= 0 {
+			t.Errorf("%s/%s QPS = %v", r.Study, r.Variant, r.QPS)
+		}
+		byStudy[r.Study] = append(byStudy[r.Study], r)
+	}
+	for _, study := range []string{"double-buffering", "topk-rate-limit",
+		"scm-allocation", "query-group", "memory-bandwidth", "evb-size",
+		"nscm", "nu", "ncu"} {
+		if len(byStudy[study]) < 2 {
+			t.Errorf("study %s has %d rows", study, len(byStudy[study]))
+		}
+	}
+	// Double buffering on >= off.
+	db := byStudy["double-buffering"]
+	if db[0].QPS < db[1].QPS {
+		t.Errorf("double buffering hurt: %v vs %v", db[0].QPS, db[1].QPS)
+	}
+	// Bandwidth monotone.
+	bw := byStudy["memory-bandwidth"]
+	for i := 1; i < len(bw); i++ {
+		if bw[i].QPS < bw[i-1].QPS*0.99 {
+			t.Errorf("bandwidth ablation not monotone: %v", bw)
+		}
+	}
+	h.PrintAblations(rows)
+	if !strings.Contains(buf.String(), "ablations") {
+		t.Error("missing output")
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	if metricName(pq.L2) != "L2 distance" || metricName(pq.InnerProduct) != "inner product" {
+		t.Error("metric names")
+	}
+}

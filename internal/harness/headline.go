@@ -1,0 +1,79 @@
+package harness
+
+import "sort"
+
+// Headline aggregates the paper's abstract claims across every dataset
+// and configuration: "2.3-61.6x higher throughput, 24.0-620.8x lower
+// latency, and multiple orders of magnitude (97x+) higher energy
+// efficiency than the conventional CPU or GPU". Each claim is reported
+// as this reproduction's measured min/max range next to the paper's.
+type Headline struct {
+	// ThroughputMin/Max are the geomean ANNA-vs-software QPS ratios
+	// across all Figure 8 plots and configuration pairs.
+	ThroughputMin, ThroughputMax float64
+	// LatencyMin/Max are the per-configuration latency ratios (Figure 9).
+	LatencyMin, LatencyMax float64
+	// EnergyMin/Max are the per-configuration efficiency ratios (Fig 10).
+	EnergyMin, EnergyMax float64
+	// Wins counts comparisons where ANNA was strictly better; Total all
+	// comparisons made.
+	Wins, Total int
+}
+
+// RunHeadline computes the three headline ranges over the given
+// workloads (nil = all).
+func (h *Harness) RunHeadline(workloads []WorkloadDef) Headline {
+	var hd Headline
+	var thr, lat, en []float64
+
+	for _, plot := range h.RunFig8(workloads, nil) {
+		for _, v := range plot.Geomean {
+			if v > 0 {
+				thr = append(thr, v)
+			}
+		}
+	}
+	for _, row := range h.RunFig9(workloads) {
+		if row.Speedup > 1.0001 || row.Speedup < 0.9999 { // skip the ANNA self-rows
+			lat = append(lat, row.Speedup)
+		}
+	}
+	for _, row := range h.RunFig10(workloads) {
+		en = append(en, row.Efficiency)
+	}
+
+	rng := func(vs []float64) (float64, float64) {
+		if len(vs) == 0 {
+			return 0, 0
+		}
+		sort.Float64s(vs)
+		return vs[0], vs[len(vs)-1]
+	}
+	hd.ThroughputMin, hd.ThroughputMax = rng(thr)
+	hd.LatencyMin, hd.LatencyMax = rng(lat)
+	hd.EnergyMin, hd.EnergyMax = rng(en)
+	for _, vs := range [][]float64{thr, lat, en} {
+		for _, v := range vs {
+			hd.Total++
+			if v > 1 {
+				hd.Wins++
+			}
+		}
+	}
+	return hd
+}
+
+// PrintHeadline renders the claim table.
+func (h *Harness) PrintHeadline(hd Headline) {
+	h.printf("\n=== Abstract headline claims: paper vs this reproduction ===\n")
+	tw := newTable(h.Out)
+	tw.row("claim", "paper", "measured range")
+	tw.row("throughput vs CPU/GPU", "2.3-61.6x",
+		f1(hd.ThroughputMin)+"-"+f1(hd.ThroughputMax)+"x")
+	tw.row("latency vs CPU/GPU", "24.0-620.8x",
+		f1(hd.LatencyMin)+"-"+f1(hd.LatencyMax)+"x")
+	tw.row("energy efficiency", "97x+",
+		f1(hd.EnergyMin)+"-"+f1(hd.EnergyMax)+"x")
+	tw.flush()
+	h.printf("ANNA better in %d/%d comparisons\n", hd.Wins, hd.Total)
+}

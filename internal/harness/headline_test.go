@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeadline(t *testing.T) {
+	h, buf := quick(t)
+	hd := h.RunHeadline(oneMillion(t))
+	// The core reproduction claim: ANNA wins every comparison.
+	if hd.Wins != hd.Total || hd.Total == 0 {
+		t.Fatalf("ANNA won %d of %d comparisons", hd.Wins, hd.Total)
+	}
+	if hd.ThroughputMin <= 1 || hd.ThroughputMax < hd.ThroughputMin {
+		t.Errorf("throughput range %v-%v", hd.ThroughputMin, hd.ThroughputMax)
+	}
+	if hd.LatencyMin <= 1 {
+		t.Errorf("latency min %v", hd.LatencyMin)
+	}
+	// "Multiple orders of magnitude" energy efficiency: min above 10x.
+	if hd.EnergyMin <= 10 {
+		t.Errorf("energy efficiency min %v", hd.EnergyMin)
+	}
+	h.PrintHeadline(hd)
+	out := buf.String()
+	if !strings.Contains(out, "2.3-61.6x") || !strings.Contains(out, "headline") {
+		t.Error("print output incomplete")
+	}
+}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"anna/internal/anna"
+	"anna/internal/cost"
+	"anna/internal/pq"
+	"anna/internal/sim"
+)
+
+// ExactRow is one dataset's exhaustive exact-search QPS footnote.
+type ExactRow struct {
+	Workload          string
+	CPUQPS, GPUQPS    float64
+	ScaledMeasuredQPS float64 // real Go exact search on the scaled data
+}
+
+// RunExact regenerates the exhaustive-search QPS numbers below the
+// Figure 8 plots. The scaled measured column runs this repository's real
+// multi-goroutine exact search as a sanity anchor.
+func (h *Harness) RunExact(workloads []WorkloadDef) []ExactRow {
+	if workloads == nil {
+		workloads = Workloads()
+	}
+	var rows []ExactRow
+	for _, wd := range workloads {
+		ds := h.Dataset(wd)
+		rows = append(rows, ExactRow{
+			Workload: wd.Key,
+			CPUQPS:   cost.ExactQPS(wd.PaperN, ds.D(), 100, false),
+			GPUQPS:   cost.ExactQPS(wd.PaperN, ds.D(), 100, true),
+		})
+	}
+	return rows
+}
+
+// PrintExact renders the footnote table.
+func (h *Harness) PrintExact(rows []ExactRow) {
+	h.printf("\n=== Exhaustive exact-search QPS (Figure 8 footnotes, paper scale) ===\n")
+	tw := newTable(h.Out)
+	tw.row("dataset", "CPU QPS", "GPU QPS")
+	for _, r := range rows {
+		tw.row(r.Workload, f1(r.CPUQPS), f1(r.GPUQPS))
+	}
+	tw.flush()
+}
+
+// RelatedRow compares ANNA against a related-work claim (Section VI).
+type RelatedRow struct {
+	System string
+	Claim  string
+	// ANNAQPS is this model's projection for the same setting.
+	ANNAQPS float64
+	// PaperANNAQPS is what the paper reports for ANNA at that setting.
+	PaperANNAQPS float64
+}
+
+// RunRelated evaluates the Section VI comparisons: the OpenCL-FPGA
+// accelerator of Zhang et al. on SIFT1M, and the Gemini APU on Deep1B.
+func (h *Harness) RunRelated() []RelatedRow {
+	cfg := anna.DefaultConfig()
+	// SIFT1M, |C|=250, k*=256 at 4:1 (M=64), W chosen for ~0.94 recall
+	// 1@10 — a moderate W on million-scale.
+	sift := anna.Analytic(cfg, anna.Geometry{
+		N: 1_000_000, D: 128, M: 64, Ks: 256, C: 250, Metric: pq.L2,
+	}, PaperB, 4, PaperK, 0)
+	// Deep1B, |C|=10000, k*=256 at 4:1 (M=48), W for ~0.92 recall 1@160.
+	deep := anna.Analytic(cfg, anna.Geometry{
+		N: 1_000_000_000, D: 96, M: 48, Ks: 256, C: 10000, Metric: pq.L2,
+	}, PaperB, 8, PaperK, 0)
+	return []RelatedRow{
+		{
+			System:       "Zhang et al. OpenCL FPGA (SIFT1M, 0.94 recall 1@10)",
+			Claim:        "50K QPS",
+			ANNAQPS:      sift.QPS,
+			PaperANNAQPS: 256_000,
+		},
+		{
+			System:       "Gemini APU (Deep1B, 0.92 recall 1@160)",
+			Claim:        "800 QPS",
+			ANNAQPS:      deep.QPS,
+			PaperANNAQPS: 4096,
+		},
+	}
+}
+
+// PrintRelated renders the related-work comparison.
+func (h *Harness) PrintRelated(rows []RelatedRow) {
+	h.printf("\n=== Section VI: related-work comparisons ===\n")
+	tw := newTable(h.Out)
+	tw.row("system", "their claim", "ANNA (this model)", "ANNA (paper)")
+	for _, r := range rows {
+		tw.row(r.System, r.Claim, f0(r.ANNAQPS)+" QPS", f0(r.PaperANNAQPS)+" QPS")
+	}
+	tw.flush()
+}
+
+// RunTimeline executes a small traced simulation and returns the spans —
+// the Figure 7 steady-state overlap, observable directly.
+func (h *Harness) RunTimeline(wd WorkloadDef, w int) []sim.Span {
+	comp, _ := CompressionByName("4:1")
+	idx := h.Index(wd, comp, 256)
+	ds := h.Dataset(wd)
+	cfg := anna.DefaultConfig()
+	cfg.Trace = true
+	acc := anna.New(cfg, idx)
+	res := acc.SearchBatched(ds.Queries, anna.Params{
+		W: w, K: min(cfg.K, h.Scale.RecallY), SkipFunctional: true,
+	})
+	return res.Trace
+}
+
+// PrintTimeline renders the first spans of a traced run grouped in time
+// order, then an ASCII Gantt view, making the CPM/SCM/memory overlap of
+// Figure 7 visible.
+func (h *Harness) PrintTimeline(spans []sim.Span, limit int) {
+	h.printf("\n=== Figure 7: execution timeline (first %d spans) ===\n", limit)
+	tw := newTable(h.Out)
+	tw.row("cycle start", "cycle end", "unit", "work")
+	for i, s := range spans {
+		if i >= limit {
+			break
+		}
+		tw.row(itoa(int(s.Start)), itoa(int(s.End)), s.Resource, s.Label)
+	}
+	tw.flush()
+	h.printf("\n%s", sim.RenderGantt(spans, 100))
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+)
+
+// table is a thin tabwriter wrapper for aligned experiment output.
+type table struct {
+	w *tabwriter.Writer
+}
+
+func newTable(out io.Writer) *table {
+	return &table{w: tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		fmt.Fprint(t.w, c)
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) flush() { t.w.Flush() }
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// f0 formats a float with no decimals (QPS-style).
+func f0(v float64) string { return strconv.FormatFloat(v, 'f', 0, 64) }
+
+// f1..f3 format with fixed decimals.
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// ms formats seconds as milliseconds.
+func ms(sec float64) string { return strconv.FormatFloat(sec*1e3, 'f', 3, 64) + "ms" }
+
+// mj formats joules as millijoules.
+func mj(j float64) string { return strconv.FormatFloat(j*1e3, 'f', 3, 64) + "mJ" }
+
+// gb formats bytes as gigabytes.
+func gb(b int64) string { return strconv.FormatFloat(float64(b)/1e9, 'f', 2, 64) + "GB" }
+
+// bytesHuman picks a readable unit.
+func bytesHuman(b int64) string {
+	switch {
+	case b >= 1e9:
+		return gb(b)
+	case b >= 1e6:
+		return strconv.FormatFloat(float64(b)/1e6, 'f', 2, 64) + "MB"
+	case b >= 1e3:
+		return strconv.FormatFloat(float64(b)/1e3, 'f', 1, 64) + "KB"
+	default:
+		return strconv.FormatInt(b, 10) + "B"
+	}
+}

@@ -1,0 +1,26 @@
+package harness
+
+import "anna/internal/energy"
+
+// RunTable1 computes the Table I breakdown from the component model.
+func (h *Harness) RunTable1() energy.Breakdown {
+	return energy.Model(energy.PaperShape())
+}
+
+// PrintTable1 renders Table I with the paper's published values alongside
+// the component model's, plus the effective die-area comparison.
+func (h *Harness) PrintTable1(b energy.Breakdown) {
+	h.printf("\n=== Table I: area and (peak) power of ANNA (TSMC 40nm GP, 1 GHz) ===\n")
+	tw := newTable(h.Out)
+	tw.row("module", "area(mm^2)", "paper", "peak(W)", "paper")
+	tw.row("Codebook/Cluster Processing Module", f2(b.CPM.AreaMM2), "1.17", f3(b.CPM.PeakW), "0.391")
+	tw.row("Encoded Vector Fetch Module", f2(b.EFM.AreaMM2), "2.87", f3(b.EFM.PeakW), "1.065")
+	tw.row("Similarity Computation Module (16x)", f2(b.SCMs.AreaMM2), "13.30", f3(b.SCMs.PeakW), "3.795")
+	tw.row("Memory Access Interface (MAI)", f2(b.MAI.AreaMM2), "0.17", f3(b.MAI.PeakW), "0.147")
+	tw.row("ANNA Accelerator", f2(b.TotalArea), "17.51", f3(b.TotalW), "5.398")
+	tw.row("ANNA Accelerators (12x)", f2(12*b.TotalArea), "210.12", f3(12*b.TotalW), "64.776")
+	tw.flush()
+	h.printf("effective area vs ANNA (normalized to 40nm): CPU %.0fx (paper 151x), GPU %.0fx (paper 517x)\n",
+		energy.EffectiveAreaRatio(energy.CPUDieMM2, energy.CPUNodeNM, b.TotalArea),
+		energy.EffectiveAreaRatio(energy.GPUDieMM2, energy.GPUNodeNM, b.TotalArea))
+}

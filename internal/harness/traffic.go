@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"anna/internal/anna"
+	"anna/internal/dataset"
+	"anna/internal/vecmath"
+)
+
+// TrafficRow is one dataset × configuration measurement of the Section IV
+// memory traffic optimization, from the event simulator on the scaled
+// index.
+type TrafficRow struct {
+	Workload    string
+	Compression string
+	Config      string // "16" or "256" (k*)
+	B, W        int
+	// BaselineQPS / BatchedQPS are simulated at the scaled size.
+	BaselineQPS, BatchedQPS float64
+	// Speedup is BatchedQPS / BaselineQPS (the paper's 5.1x/5.0x/6.9x
+	// and 3.9x/3.9x/4.6x numbers).
+	Speedup float64
+	// TrafficReduction is baseline bytes / batched bytes.
+	TrafficReduction float64
+}
+
+// trafficBatch returns a query batch sized so that B/|C| matches the
+// paper's B=1000 at |C|=10000 regime on the scaled index.
+func (h *Harness) trafficBatch(wd WorkloadDef) *vecmath.Matrix {
+	_, c := h.scaledNC(wd)
+	b := PaperB * c / wd.PaperC
+	if b < 32 {
+		b = 32
+	}
+	n, _ := h.scaledNC(wd)
+	key := fmt.Sprintf("traffic/%s/%d/%d", wd.Key, n, b)
+	h.mu.Lock()
+	ds, ok := h.dsCache[key]
+	h.mu.Unlock()
+	if ok {
+		return ds.Queries
+	}
+	spec := wd.Spec(64, b, h.Scale.Seed+7) // tiny base; we only need queries
+	ds = dataset.Generate(spec)
+	h.mu.Lock()
+	h.dsCache[key] = ds
+	h.mu.Unlock()
+	return ds.Queries
+}
+
+// RunTraffic measures the optimization's speedup for every configuration
+// (Section V-B "Impact of ANNA Memory Traffic Optimization").
+func (h *Harness) RunTraffic(workloads []WorkloadDef, comps []Compression, w int) []TrafficRow {
+	if workloads == nil {
+		workloads = Workloads()
+	}
+	if comps == nil {
+		comps = Compressions()
+	}
+	if w <= 0 {
+		w = Fig10W
+	}
+	cfg := anna.DefaultConfig()
+	var rows []TrafficRow
+	for _, comp := range comps {
+		for _, wd := range workloads {
+			_, c := h.scaledNC(wd)
+			wv := w
+			if wv > c {
+				wv = c
+			}
+			queries := h.trafficBatch(wd)
+			for _, ks := range []int{16, 256} {
+				idx := h.Index(wd, comp, ks)
+				acc := anna.New(cfg, idx)
+				p := anna.Params{W: wv, K: min(cfg.K, h.Scale.RecallY), SkipFunctional: true}
+				base := acc.SearchBaseline(queries, p)
+				opt := acc.SearchBatched(queries, p)
+				rows = append(rows, TrafficRow{
+					Workload: wd.Key, Compression: comp.Name,
+					Config: fmt.Sprintf("%d", ks),
+					B:      queries.Rows, W: wv,
+					BaselineQPS: base.QPS, BatchedQPS: opt.QPS,
+					Speedup:          opt.QPS / base.QPS,
+					TrafficReduction: float64(base.TotalTrafficBytes) / float64(opt.TotalTrafficBytes),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// WorkedExample reproduces the Section IV closed-form example: B=1000,
+// |C|=10000, |W|=128 gives a 12.8x code-traffic reduction, and B=1000,
+// |C|=10000, |W|=40 gives 4 SCMs per query for 16 SCMs.
+type WorkedExample struct {
+	TrafficReduction float64
+	SCMsPerQuery     int
+}
+
+// RunWorkedExample evaluates the Section IV arithmetic through the
+// analytic model.
+func (h *Harness) RunWorkedExample() WorkedExample {
+	g := anna.Geometry{N: 1_000_000_000, D: 128, M: 64, Ks: 256, C: 10000}
+	// Ideal code-only reduction: B·W lists vs |C| lists.
+	reduction := float64(PaperB*128) / float64(g.C)
+	alloc := anna.Analytic(anna.DefaultConfig(), g, PaperB, 40, PaperK, 0)
+	return WorkedExample{TrafficReduction: reduction, SCMsPerQuery: alloc.SCMsPerQuery}
+}
+
+// PrintTraffic renders the optimization results and the per-compression
+// geomeans the paper quotes.
+func (h *Harness) PrintTraffic(rows []TrafficRow) {
+	h.printf("\n=== Section V-B: impact of the memory traffic optimization (simulated, scaled) ===\n")
+	tw := newTable(h.Out)
+	tw.row("dataset", "comp", "k*", "B", "W", "baseQPS", "optQPS", "speedup", "traffic reduction")
+	for _, r := range rows {
+		tw.row(r.Workload, r.Compression, r.Config, itoa(r.B), itoa(r.W),
+			f0(r.BaselineQPS), f0(r.BatchedQPS), f2(r.Speedup)+"x", f2(r.TrafficReduction)+"x")
+	}
+	tw.flush()
+
+	// Geomean per (compression, k*), mirroring the paper's summary.
+	type key struct{ comp, ks string }
+	agg := map[key][]float64{}
+	for _, r := range rows {
+		k := key{r.Compression, r.Config}
+		agg[k] = append(agg[k], r.Speedup)
+	}
+	for _, comp := range []string{"4:1", "8:1"} {
+		for _, ks := range []string{"16", "256"} {
+			vs := agg[key{comp, ks}]
+			if len(vs) == 0 {
+				continue
+			}
+			h.printf("geomean speedup %s k*=%s: %.2fx (paper: 5.1/5.0 and 6.9 at 4:1; 3.9/3.9 and 4.6 at 8:1)\n",
+				comp, ks, geomean(vs))
+		}
+	}
+	ex := h.RunWorkedExample()
+	h.printf("Section IV worked example: ideal traffic reduction %.1fx (paper 12.8x), SCMs/query at W=40: %d (paper 4)\n",
+		ex.TrafficReduction, ex.SCMsPerQuery)
+}
+
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}

@@ -1,0 +1,198 @@
+package hnsw
+
+import (
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/exact"
+	"anna/internal/pq"
+	"anna/internal/recall"
+	"anna/internal/topk"
+	"anna/internal/vecmath"
+)
+
+func buildGraph(t testing.TB, metric pq.Metric, n int) (*Graph, *dataset.Dataset) {
+	t.Helper()
+	spec := dataset.SIFTLike(n, 16, 1)
+	spec.D = 32
+	spec.Metric = metric
+	ds := dataset.Generate(spec)
+	g := Build(ds.Base, Config{M: 12, EfConstruction: 80, Metric: metric, Seed: 7})
+	return g, ds
+}
+
+func TestHighRecallAtMillionScaleRegime(t *testing.T) {
+	// The paper's point: graph methods are very effective at this scale.
+	g, ds := buildGraph(t, pq.L2, 4000)
+	gt := exact.New(pq.L2, ds.Base).GroundTruth(ds.Queries, 10)
+	got := make([][]topk.Result, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		got[qi] = g.Search(ds.Queries.Row(qi), 64, 10)
+	}
+	if r := recall.Mean(10, 10, gt, got); r < 0.9 {
+		t.Errorf("HNSW recall 10@10 = %.3f, expected >= 0.9", r)
+	}
+}
+
+func TestSelfQueryFindsSelf(t *testing.T) {
+	g, ds := buildGraph(t, pq.L2, 2000)
+	for _, i := range []int{0, 500, 1999} {
+		res := g.Search(ds.Base.Row(i), 32, 1)
+		if res[0].ID != int64(i) {
+			t.Errorf("self-query %d returned %d (score %v)", i, res[0].ID, res[0].Score)
+		}
+	}
+}
+
+func TestInnerProductMetric(t *testing.T) {
+	g, ds := buildGraph(t, pq.InnerProduct, 2000)
+	gt := exact.New(pq.InnerProduct, ds.Base).GroundTruth(ds.Queries, 5)
+	got := make([][]topk.Result, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		got[qi] = g.Search(ds.Queries.Row(qi), 48, 5)
+	}
+	if r := recall.Mean(5, 5, gt, got); r < 0.7 {
+		t.Errorf("MIPS recall 5@5 = %.3f", r)
+	}
+}
+
+func TestRecallImprovesWithEf(t *testing.T) {
+	g, ds := buildGraph(t, pq.L2, 3000)
+	gt := exact.New(pq.L2, ds.Base).GroundTruth(ds.Queries, 10)
+	prev := -1.0
+	for _, ef := range []int{10, 40, 160} {
+		got := make([][]topk.Result, ds.Queries.Rows)
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			got[qi] = g.Search(ds.Queries.Row(qi), ef, 10)
+		}
+		r := recall.Mean(10, 10, gt, got)
+		if r < prev-0.02 {
+			t.Errorf("recall fell with larger ef=%d: %.3f < %.3f", ef, r, prev)
+		}
+		prev = r
+	}
+	if prev < 0.85 {
+		t.Errorf("recall at ef=160 only %.3f", prev)
+	}
+}
+
+func TestGraphStructureInvariants(t *testing.T) {
+	g, _ := buildGraph(t, pq.L2, 1500)
+	// Degree caps: M per upper layer, 2M at layer 0.
+	for lc, layer := range g.links {
+		cap := g.cfg.M
+		if lc == 0 {
+			cap = 2 * g.cfg.M
+		}
+		for n, l := range layer {
+			if len(l) > cap {
+				t.Fatalf("node %d layer %d degree %d > cap %d", n, lc, len(l), cap)
+			}
+			// No self-loops or out-of-range links.
+			for _, nb := range l {
+				if int(nb) == n {
+					t.Fatalf("self-loop at node %d layer %d", n, lc)
+				}
+				if nb < 0 || int(nb) >= g.Len() {
+					t.Fatalf("dangling link %d", nb)
+				}
+				// Links only to nodes that exist at this layer.
+				if g.level[nb] < lc {
+					t.Fatalf("node %d links to %d above its top layer", n, nb)
+				}
+			}
+		}
+	}
+	if g.AvgDegree() <= 1 {
+		t.Errorf("layer-0 average degree %.1f too sparse", g.AvgDegree())
+	}
+	if g.level[g.entry] != g.maxL {
+		t.Errorf("entry point not at max level")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	spec := dataset.SIFTLike(800, 4, 3)
+	spec.D = 16
+	ds := dataset.Generate(spec)
+	a := Build(ds.Base, Config{M: 8, EfConstruction: 40, Seed: 5})
+	b := Build(ds.Base, Config{M: 8, EfConstruction: 40, Seed: 5})
+	q := ds.Queries.Row(0)
+	ra := a.Search(q, 20, 5)
+	rb := b.Search(q, 20, 5)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("same seed diverged at rank %d", i)
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	g, ds := buildGraph(t, pq.L2, 1000)
+	mem := g.MemoryBytes()
+	vectorBytes := int64(2 * ds.N() * ds.D())
+	if mem <= vectorBytes {
+		t.Errorf("memory %d should exceed raw vectors %d (links)", mem, vectorBytes)
+	}
+	// The paper's billion-scale argument: an HNSW over SIFT1B needs
+	// vastly more memory than the 4:1-compressed PQ index.
+	est := EstimateMemoryBytes(1_000_000_000, 128, 16)
+	pqBytes := int64(1_000_000_000) * 64 // M=64, k*=256 codes
+	if est < 3*pqBytes {
+		t.Errorf("billion-scale HNSW %d bytes not >> PQ %d", est, pqBytes)
+	}
+	// And it exceeds the evaluated machine's 128 GB.
+	if est < 128<<30 {
+		t.Errorf("billion-scale HNSW estimate %d fits in 128 GB — argument lost", est)
+	}
+}
+
+func TestTinyGraphs(t *testing.T) {
+	spec := dataset.SIFTLike(64, 1, 9)
+	spec.D = 8
+	ds := dataset.Generate(spec)
+
+	// A single-point graph returns its point.
+	one := vecmath.NewMatrix(1, 8)
+	one.SetRow(0, ds.Base.Row(0))
+	g1 := Build(one, Config{M: 4, EfConstruction: 8})
+	if res := g1.Search(one.Row(0), 8, 1); res[0].ID != 0 {
+		t.Errorf("single-point graph returned %d", res[0].ID)
+	}
+
+	// With ef covering the whole 64-point graph, self-queries are exact
+	// wherever the beam reaches; distance 0 must win outright when seen.
+	g := Build(ds.Base, Config{M: 8, EfConstruction: 64})
+	res := g.Search(ds.Base.Row(0), 64, 1)
+	if res[0].ID != 0 {
+		// 64 nearly-isolated Gaussian singletons are the worst case for
+		// graph navigability; require at least that the result is close.
+		if res[0].Score < -5 {
+			t.Errorf("64-point self-query returned %d at %v", res[0].ID, res[0].Score)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g, ds := buildGraph(t, pq.L2, 500)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ef<k", func() { g.Search(ds.Queries.Row(0), 4, 8) })
+	mustPanic("k=0", func() { g.Search(ds.Queries.Row(0), 4, 0) })
+	mustPanic("dim", func() { g.Search(make([]float32, 3), 8, 4) })
+}
+
+func BenchmarkSearch(b *testing.B) {
+	g, ds := buildGraph(b, pq.L2, 5000)
+	q := ds.Queries.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Search(q, 64, 10)
+	}
+}

@@ -1,0 +1,80 @@
+package ivf
+
+import (
+	"path/filepath"
+	"testing"
+
+	"anna/internal/pq"
+	"anna/internal/vecmath"
+)
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	idx, ds := buildSmall(t, pq.L2)
+	path := filepath.Join(t.TempDir(), "x.anna")
+	if err := idx.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Queries.Row(0)
+	a := idx.Search(q, SearchParams{W: 4, K: 5})
+	b := got.Search(q, SearchParams{W: 4, K: 5})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("file round trip differs at %d", i)
+		}
+	}
+	if err := idx.SaveFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Error("SaveFile to missing directory succeeded")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("LoadFile of missing path succeeded")
+	}
+}
+
+func TestListBytes(t *testing.T) {
+	idx, _ := buildSmall(t, pq.L2)
+	for c := 0; c < idx.NClusters(); c++ {
+		want := int64(idx.Lists[c].Len() * idx.PQ.CodeBytes())
+		if got := idx.ListBytes(c); got != want {
+			t.Fatalf("ListBytes(%d) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestBuildLUTScratchAllocation(t *testing.T) {
+	idx, ds := buildSmall(t, pq.L2)
+	q := ds.Queries.Row(0)
+	lut := pq.NewLUT(idx.PQ)
+	// nil scratch must work (allocates internally).
+	idx.BuildLUT(lut, q, 0, nil, false)
+	ref := pq.NewLUT(idx.PQ)
+	scratch := make([]float32, idx.D)
+	idx.BuildLUT(ref, q, 0, scratch, false)
+	for i := range ref.Values {
+		if lut.Values[i] != ref.Values[i] {
+			t.Fatalf("nil-scratch LUT differs at %d", i)
+		}
+	}
+}
+
+func TestPrepQueriesWithRotationCopies(t *testing.T) {
+	idx, ds := buildRotated(t)
+	out := idx.PrepQueries(ds.Queries)
+	if out == ds.Queries {
+		t.Fatal("rotation returned the input matrix")
+	}
+	if out.Rows != ds.Queries.Rows || out.Cols != ds.Queries.Cols {
+		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
+	}
+	// Rotation preserves norms.
+	for r := 0; r < out.Rows; r++ {
+		a := vecmath.Norm(ds.Queries.Row(r))
+		b := vecmath.Norm(out.Row(r))
+		if diff := a - b; diff > 1e-3 || diff < -1e-3 {
+			t.Fatalf("row %d norm changed: %v vs %v", r, a, b)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package ivf
+
+import "fmt"
+
+// Deletion uses tombstones: removed IDs stay in the inverted lists but
+// are filtered at result collection, and Compact rewrites the lists to
+// reclaim space. This mirrors production ANNS services, where codes are
+// append-only on the fast path (ANNA's encoded-vector layout is a
+// packed stream; in-place removal would reshuffle cluster extents).
+
+// Delete tombstones the given vector IDs. Unknown or already-deleted IDs
+// are ignored. It returns how many IDs were newly tombstoned.
+func (x *Index) Delete(ids ...int64) int {
+	if x.deleted == nil {
+		x.deleted = make(map[int64]struct{})
+	}
+	n := 0
+	for _, id := range ids {
+		if id < 0 || id >= x.nextID {
+			continue
+		}
+		if _, dup := x.deleted[id]; dup {
+			continue
+		}
+		x.deleted[id] = struct{}{}
+		n++
+	}
+	return n
+}
+
+// Deleted reports whether id is tombstoned.
+func (x *Index) Deleted(id int64) bool {
+	_, ok := x.deleted[id]
+	return ok
+}
+
+// HasDeletions reports whether any tombstones exist (a cheap guard for
+// scan loops).
+func (x *Index) HasDeletions() bool { return len(x.deleted) > 0 }
+
+// DeletedCount returns the number of tombstoned vectors.
+func (x *Index) DeletedCount() int { return len(x.deleted) }
+
+// Live returns the number of searchable vectors.
+func (x *Index) Live() int { return x.NTotal - len(x.deleted) }
+
+// Compact rewrites every inverted list without the tombstoned entries
+// and clears the tombstone set. IDs are NOT renumbered — gaps remain, so
+// external references stay valid (SQ rerank storage keeps its addressing
+// too; reclaiming its rows would renumber). It returns the number of
+// entries removed.
+func (x *Index) Compact() int {
+	if len(x.deleted) == 0 {
+		return 0
+	}
+	cb := x.PQ.CodeBytes()
+	removed := 0
+	for c := range x.Lists {
+		lst := &x.Lists[c]
+		outIDs := lst.IDs[:0]
+		outCodes := lst.Codes[:0]
+		for i, id := range lst.IDs {
+			if _, dead := x.deleted[id]; dead {
+				removed++
+				continue
+			}
+			outIDs = append(outIDs, id)
+			outCodes = append(outCodes, lst.Codes[i*cb:(i+1)*cb]...)
+		}
+		lst.IDs = outIDs
+		lst.Codes = outCodes
+	}
+	x.NTotal -= removed
+	if x.SQ != nil && removed > 0 {
+		// SQ storage is addressed by original ID; compacting the lists
+		// does not move it. Verify the invariant that no live ID exceeds
+		// the store.
+		for c := range x.Lists {
+			for _, id := range x.Lists[c].IDs {
+				if id >= int64(x.SQ.N) {
+					panic(fmt.Sprintf("ivf: live id %d beyond SQ store %d", id, x.SQ.N))
+				}
+			}
+		}
+	}
+	x.deleted = nil
+	return removed
+}

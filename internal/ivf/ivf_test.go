@@ -1,0 +1,306 @@
+package ivf
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/exact"
+	"anna/internal/f16"
+	"anna/internal/pq"
+	"anna/internal/recall"
+	"anna/internal/topk"
+	"anna/internal/vecmath"
+)
+
+func buildSmall(t *testing.T, metric pq.Metric) (*Index, *dataset.Dataset) {
+	t.Helper()
+	spec := dataset.SIFTLike(2000, 20, 1)
+	spec.D = 32
+	spec.Metric = metric
+	ds := dataset.Generate(spec)
+	idx := Build(ds.Base, metric, Config{
+		NClusters: 20, M: 8, Ks: 16, CoarseIters: 8, PQIters: 8, Seed: 3,
+	})
+	return idx, ds
+}
+
+func TestBuildInvariants(t *testing.T) {
+	idx, ds := buildSmall(t, pq.L2)
+	if idx.NClusters() != 20 {
+		t.Fatalf("NClusters = %d", idx.NClusters())
+	}
+	if idx.NTotal != ds.N() {
+		t.Fatalf("NTotal = %d", idx.NTotal)
+	}
+	// Every vector appears exactly once across lists.
+	seen := make(map[int64]bool)
+	total := 0
+	for c := range idx.Lists {
+		lst := &idx.Lists[c]
+		if len(lst.Codes) != lst.Len()*idx.PQ.CodeBytes() {
+			t.Fatalf("list %d: %d code bytes for %d vectors", c, len(lst.Codes), lst.Len())
+		}
+		for _, id := range lst.IDs {
+			if seen[id] {
+				t.Fatalf("vector %d in two lists", id)
+			}
+			seen[id] = true
+		}
+		total += lst.Len()
+	}
+	if total != ds.N() {
+		t.Fatalf("lists hold %d vectors, want %d", total, ds.N())
+	}
+}
+
+func TestVectorsAssignedToNearestCentroid(t *testing.T) {
+	idx, ds := buildSmall(t, pq.L2)
+	// Spot-check: each vector's list centroid is its argmin-L2 centroid.
+	for c := range idx.Lists {
+		for _, id := range idx.Lists[c].IDs[:min(2, idx.Lists[c].Len())] {
+			v := ds.Base.Row(int(id))
+			best, bd := 0, vecmath.L2Sq(v, idx.Centroids.Row(0))
+			for j := 1; j < idx.NClusters(); j++ {
+				if d := vecmath.L2Sq(v, idx.Centroids.Row(j)); d < bd {
+					best, bd = j, d
+				}
+			}
+			if best != c {
+				t.Fatalf("vector %d stored in cluster %d, nearest is %d", id, c, best)
+			}
+		}
+	}
+}
+
+func TestSelectClustersOrdering(t *testing.T) {
+	idx, ds := buildSmall(t, pq.L2)
+	q := ds.Queries.Row(0)
+	sel := idx.SelectClusters(q, 5)
+	if len(sel) != 5 {
+		t.Fatalf("len = %d", len(sel))
+	}
+	for i := 1; i < len(sel); i++ {
+		if idx.CentroidScore(q, sel[i-1]) < idx.CentroidScore(q, sel[i]) {
+			t.Fatalf("clusters not in descending similarity order")
+		}
+	}
+	// W larger than |C| clamps.
+	if got := idx.SelectClusters(q, 100); len(got) != idx.NClusters() {
+		t.Fatalf("W clamp: %d", len(got))
+	}
+}
+
+// Searching with W = |C| must equal a brute-force scan over DECODED
+// (quantized) vectors — the quantization is then the only approximation.
+func TestFullWidthSearchMatchesDecodedExact(t *testing.T) {
+	for _, metric := range []pq.Metric{pq.L2, pq.InnerProduct} {
+		idx, ds := buildSmall(t, metric)
+
+		// Reconstruct the quantized database: centroid + decoded residual.
+		recon := vecmath.NewMatrix(ds.N(), ds.D())
+		dec := make([]float32, ds.D())
+		codes := make([]byte, idx.PQ.M)
+		for c := range idx.Lists {
+			lst := &idx.Lists[c]
+			for i, id := range lst.IDs {
+				idx.PQ.Unpack(codes, lst.Codes[i*idx.PQ.CodeBytes():])
+				idx.PQ.Decode(dec, codes)
+				row := recon.Row(int(id))
+				vecmath.Add(row, dec, idx.Centroids.Row(c))
+			}
+		}
+		ex := exact.New(metric, recon)
+
+		for qi := 0; qi < 5; qi++ {
+			q := ds.Queries.Row(qi)
+			got := idx.Search(q, SearchParams{W: idx.NClusters(), K: 10})
+			want := ex.Search(q, 10)
+			for i := range want {
+				// IDs may differ when scores tie; compare scores.
+				if math.Abs(float64(got[i].Score-want[i].Score)) > 1e-3 {
+					t.Fatalf("%v q%d rank %d: score %v want %v",
+						metric, qi, i, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestRecallImprovesWithW(t *testing.T) {
+	idx, ds := buildSmall(t, pq.L2)
+	gt := exact.New(pq.L2, ds.Base).GroundTruth(ds.Queries, 10)
+
+	prev := -1.0
+	for _, w := range []int{1, 4, 20} {
+		got := make([][]topk.Result, ds.Queries.Rows)
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			got[qi] = idx.Search(ds.Queries.Row(qi), SearchParams{W: w, K: 100})
+		}
+		r := recall.Mean(10, 100, gt, got)
+		if r < prev-0.05 { // allow tiny non-monotonic noise
+			t.Fatalf("recall dropped sharply: W=%d r=%v prev=%v", w, r, prev)
+		}
+		prev = r
+	}
+	if prev < 0.5 {
+		t.Errorf("recall 10@100 at full W = %v, suspiciously low", prev)
+	}
+}
+
+func TestHWF16CloseToFloat32(t *testing.T) {
+	idx, ds := buildSmall(t, pq.L2)
+	q := ds.Queries.Row(0)
+	sw := idx.Search(q, SearchParams{W: 8, K: 10})
+	hw := idx.Search(q, SearchParams{W: 8, K: 10, HWF16: true})
+	// Rounding can permute near-ties but top-1 should agree nearly always
+	// and scores stay within f16 epsilon of each other.
+	if sw[0].ID != hw[0].ID {
+		t.Logf("top-1 differs under f16 rounding: %v vs %v (tolerated)", sw[0], hw[0])
+	}
+	for i := range hw {
+		if math.Abs(float64(hw[i].Score-sw[i].Score)) > math.Abs(float64(sw[i].Score))*0.01+0.1 {
+			t.Fatalf("rank %d: f16 score %v far from f32 %v", i, hw[i].Score, sw[i].Score)
+		}
+	}
+}
+
+func TestRebiasLUTPanicsForL2(t *testing.T) {
+	idx, _ := buildSmall(t, pq.L2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.RebiasLUT(pq.NewLUT(idx.PQ), make([]float32, idx.D), 0, false)
+}
+
+func TestSearchPanicsOnBadParams(t *testing.T) {
+	idx, ds := buildSmall(t, pq.L2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.Search(ds.Queries.Row(0), SearchParams{W: 0, K: 10})
+}
+
+func TestComputeStats(t *testing.T) {
+	idx, ds := buildSmall(t, pq.L2)
+	st := idx.ComputeStats()
+	if st.NTotal != ds.N() || st.NClusters != 20 {
+		t.Fatalf("stats identity: %+v", st)
+	}
+	if st.CodeBytes != idx.PQ.CodeBytes() {
+		t.Errorf("CodeBytes = %d", st.CodeBytes)
+	}
+	if st.TotalCodeBytes != int64(ds.N()*idx.PQ.CodeBytes()) {
+		t.Errorf("TotalCodeBytes = %d", st.TotalCodeBytes)
+	}
+	if st.MinList > st.MaxList || st.MaxList == 0 {
+		t.Errorf("list sizes: min %d max %d", st.MinList, st.MaxList)
+	}
+	// D=32, M=8, Ks=16: code 4B vs raw 64B -> 16:1.
+	if st.CompressionRatio != 16 {
+		t.Errorf("CompressionRatio = %v, want 16", st.CompressionRatio)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, metric := range []pq.Metric{pq.L2, pq.InnerProduct} {
+		idx, ds := buildSmall(t, metric)
+		var buf bytes.Buffer
+		if err := idx.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Metric != idx.Metric || got.D != idx.D || got.NTotal != idx.NTotal {
+			t.Fatalf("header mismatch")
+		}
+		// Identical search results.
+		q := ds.Queries.Row(0)
+		a := idx.Search(q, SearchParams{W: 8, K: 10})
+		b := got.Search(q, SearchParams{W: 8, K: 10})
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: loaded index differs at rank %d", metric, i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	idx, _ := buildSmall(t, pq.L2)
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, raw...)
+	bad[0] = 'X'
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncation at several points.
+	for _, n := range []int{4, 12, 40, len(raw) / 2} {
+		if _, err := Load(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestBuildPanicsOnZeroClusters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(vecmath.NewMatrix(10, 4), pq.L2, Config{NClusters: 0, M: 2, Ks: 4})
+}
+
+func TestF16BuildRoundsModel(t *testing.T) {
+	spec := dataset.SIFTLike(600, 5, 2)
+	spec.D = 16
+	ds := dataset.Generate(spec)
+	idx := Build(ds.Base, pq.L2, Config{
+		NClusters: 8, M: 4, Ks: 16, CoarseIters: 4, PQIters: 4, Seed: 1, F16: true,
+	})
+	for _, v := range idx.Centroids.Data {
+		if v != float32(math.Float32frombits(math.Float32bits(v))) {
+			break // trivially true; real check below
+		}
+	}
+	// Check values survive an f16 round-trip unchanged (they were rounded).
+	for i, v := range idx.Centroids.Data {
+		if f16.Round(v) != v {
+			t.Fatalf("centroid %d = %v not f16-representable", i, v)
+		}
+	}
+	for i, v := range idx.PQ.Codebooks.Data {
+		if f16.Round(v) != v {
+			t.Fatalf("codebook %d = %v not f16-representable", i, v)
+		}
+	}
+}
+
+func BenchmarkSearchW8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	spec := dataset.SIFTLike(20000, 1, 1)
+	ds := dataset.Generate(spec)
+	idx := Build(ds.Base, pq.L2, Config{
+		NClusters: 64, M: 32, Ks: 16, CoarseIters: 5, PQIters: 5, Seed: 1,
+	})
+	q := ds.Queries.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Search(q, SearchParams{W: 8, K: 100})
+	}
+}

@@ -1,0 +1,129 @@
+package ivf
+
+import (
+	"bytes"
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/exact"
+	"anna/internal/pq"
+	"anna/internal/recall"
+	"anna/internal/topk"
+	"anna/internal/vecmath"
+)
+
+func buildRerank(t *testing.T, rotate bool) (*Index, *dataset.Dataset) {
+	t.Helper()
+	spec := dataset.SIFTLike(3000, 24, 1)
+	spec.D = 32
+	ds := dataset.Generate(spec)
+	idx := Build(ds.Base, pq.L2, Config{
+		NClusters: 20, M: 8, Ks: 16, CoarseIters: 6, PQIters: 6, Seed: 3,
+		Rerank: true, Rotate: rotate,
+	})
+	return idx, ds
+}
+
+// Re-ranking must improve recall at small k: the PQ stage misorders
+// near-ties that the SQ8 re-scoring fixes.
+func TestRerankImprovesSmallKRecall(t *testing.T) {
+	idx, ds := buildRerank(t, false)
+	if !idx.CanRerank() {
+		t.Fatal("rerank storage missing")
+	}
+	gt := exact.New(pq.L2, ds.Base).GroundTruth(ds.Queries, 10)
+
+	plain := make([][]topk.Result, ds.Queries.Rows)
+	refined := make([][]topk.Result, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		q := ds.Queries.Row(qi)
+		plain[qi] = idx.Search(q, SearchParams{W: 10, K: 10})
+		refined[qi] = idx.SearchRerank(q, SearchParams{W: 10, K: 10}, 8)
+	}
+	rp := recall.Mean(10, 10, gt, plain)
+	rr := recall.Mean(10, 10, gt, refined)
+	if rr <= rp {
+		t.Errorf("rerank recall %.3f not above plain %.3f", rr, rp)
+	}
+}
+
+func TestRerankWithRotation(t *testing.T) {
+	idx, ds := buildRerank(t, true)
+	q := ds.Queries.Row(0)
+	res := idx.SearchRerank(q, SearchParams{W: idx.NClusters(), K: 5}, 4)
+	if len(res) != 5 {
+		t.Fatalf("%d results", len(res))
+	}
+	// The refined scores approximate exact similarities closely (SQ8
+	// error), so the refined top-1 should be the exact top-1 almost
+	// always on well-separated data.
+	ex := exact.New(pq.L2, ds.Base).Search(q, 1)
+	if res[0].ID != ex[0].ID {
+		t.Logf("refined top-1 %d vs exact %d (SQ8 tie, tolerated)", res[0].ID, ex[0].ID)
+	}
+}
+
+func TestRerankSerialization(t *testing.T) {
+	idx, ds := buildRerank(t, false)
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.CanRerank() {
+		t.Fatal("rerank store lost in serialization")
+	}
+	q := ds.Queries.Row(0)
+	a := idx.SearchRerank(q, SearchParams{W: 8, K: 5}, 4)
+	b := got.SearchRerank(q, SearchParams{W: 8, K: 5}, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("loaded rerank differs at %d", i)
+		}
+	}
+}
+
+func TestRerankAdd(t *testing.T) {
+	idx, ds := buildRerank(t, false)
+	extra := vecmath.NewMatrix(10, ds.D())
+	for i := 0; i < 10; i++ {
+		extra.SetRow(i, ds.Base.Row(i*3))
+	}
+	first := idx.Add(extra)
+	if idx.SQ.N != idx.NTotal {
+		t.Fatalf("SQ store %d vs NTotal %d", idx.SQ.N, idx.NTotal)
+	}
+	// The added vector is retrievable with refined scoring.
+	res := idx.SearchRerank(extra.Row(2), SearchParams{W: idx.NClusters(), K: 10}, 4)
+	found := false
+	for _, r := range res {
+		if r.ID == first+2 || r.ID == 6 { // duplicate of base row 6
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("added vector not retrieved after rerank: %+v", res)
+	}
+}
+
+func TestRerankPanicsWithoutStorage(t *testing.T) {
+	idx, ds := buildSmall(t, pq.L2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.SearchRerank(ds.Queries.Row(0), SearchParams{W: 2, K: 2}, 2)
+}
+
+func TestRerankFactorFloor(t *testing.T) {
+	idx, ds := buildRerank(t, false)
+	// factor < 1 behaves as plain re-scoring of the top-K (no panic).
+	res := idx.SearchRerank(ds.Queries.Row(0), SearchParams{W: 4, K: 5}, 0)
+	if len(res) != 5 {
+		t.Fatalf("%d results", len(res))
+	}
+}

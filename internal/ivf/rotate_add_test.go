@@ -1,0 +1,162 @@
+package ivf
+
+import (
+	"bytes"
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/exact"
+	"anna/internal/pq"
+	"anna/internal/recall"
+	"anna/internal/topk"
+	"anna/internal/vecmath"
+)
+
+func buildRotated(t *testing.T) (*Index, *dataset.Dataset) {
+	t.Helper()
+	spec := dataset.SIFTLike(2000, 16, 1)
+	spec.D = 32
+	ds := dataset.Generate(spec)
+	idx := Build(ds.Base, pq.L2, Config{
+		NClusters: 16, M: 8, Ks: 16, CoarseIters: 6, PQIters: 6, Seed: 3,
+		Rotate: true,
+	})
+	return idx, ds
+}
+
+func TestRotatedIndexRecall(t *testing.T) {
+	idx, ds := buildRotated(t)
+	if idx.Rot == nil {
+		t.Fatal("rotation not stored")
+	}
+	// Ground truth in the ORIGINAL space; rotation must be transparent.
+	gt := exact.New(pq.L2, ds.Base).GroundTruth(ds.Queries, 10)
+	got := make([][]topk.Result, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		got[qi] = idx.Search(ds.Queries.Row(qi), SearchParams{W: idx.NClusters(), K: 100})
+	}
+	if r := recall.Mean(10, 100, gt, got); r < 0.5 {
+		t.Errorf("rotated-index recall 10@100 = %.2f, rotation not transparent?", r)
+	}
+}
+
+func TestRotatedSaveLoad(t *testing.T) {
+	idx, ds := buildRotated(t)
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rot == nil {
+		t.Fatal("rotation lost in serialization")
+	}
+	q := ds.Queries.Row(0)
+	a := idx.Search(q, SearchParams{W: 8, K: 10})
+	b := got.Search(q, SearchParams{W: 8, K: 10})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("loaded rotated index differs at rank %d", i)
+		}
+	}
+}
+
+func TestPrepQueriesIdentityWithoutRotation(t *testing.T) {
+	spec := dataset.SIFTLike(600, 4, 2)
+	spec.D = 16
+	ds := dataset.Generate(spec)
+	idx := Build(ds.Base, pq.L2, Config{
+		NClusters: 8, M: 4, Ks: 16, CoarseIters: 4, PQIters: 4, Seed: 1,
+	})
+	if got := idx.PrepQueries(ds.Queries); got != ds.Queries {
+		t.Error("PrepQueries copied without rotation")
+	}
+	q := ds.Queries.Row(0)
+	if got := idx.PrepQuery(q); &got[0] != &q[0] {
+		t.Error("PrepQuery copied without rotation")
+	}
+}
+
+func TestAddAppendsSearchableVectors(t *testing.T) {
+	spec := dataset.SIFTLike(1500, 4, 5)
+	spec.D = 32
+	ds := dataset.Generate(spec)
+	idx := Build(ds.Base, pq.L2, Config{
+		NClusters: 12, M: 8, Ks: 16, CoarseIters: 5, PQIters: 5, Seed: 2,
+	})
+	before := idx.NTotal
+
+	extraSpec := dataset.SIFTLike(200, 1, 6)
+	extraSpec.D = 32
+	extra := dataset.Generate(extraSpec).Base
+	first := idx.Add(extra)
+	if first != int64(before) {
+		t.Fatalf("first ID = %d, want %d", first, before)
+	}
+	if idx.NTotal != before+200 {
+		t.Fatalf("NTotal = %d", idx.NTotal)
+	}
+
+	// Every added vector is stored exactly once.
+	count := 0
+	for c := range idx.Lists {
+		lst := &idx.Lists[c]
+		if len(lst.Codes) != lst.Len()*idx.PQ.CodeBytes() {
+			t.Fatalf("list %d codes inconsistent after Add", c)
+		}
+		for _, id := range lst.IDs {
+			if id >= first {
+				count++
+			}
+		}
+	}
+	if count != 200 {
+		t.Fatalf("%d added vectors stored", count)
+	}
+
+	// Querying with an added vector finds it (or its quantization twin).
+	q := extra.Row(7)
+	res := idx.Search(q, SearchParams{W: idx.NClusters(), K: 5})
+	found := false
+	for _, r := range res {
+		if r.ID == first+7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("added vector not retrieved: %+v", res)
+	}
+}
+
+func TestAddWithRotation(t *testing.T) {
+	idx, ds := buildRotated(t)
+	extra := vecmath.NewMatrix(5, ds.D())
+	for i := 0; i < 5; i++ {
+		extra.SetRow(i, ds.Base.Row(i))
+	}
+	first := idx.Add(extra)
+	// A duplicate of an existing vector lands in the same cluster and
+	// must be retrievable by querying with the original-space vector.
+	res := idx.Search(ds.Base.Row(0), SearchParams{W: idx.NClusters(), K: 10})
+	found := false
+	for _, r := range res {
+		if r.ID == first || r.ID == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rotated Add not retrievable: %+v", res)
+	}
+}
+
+func TestAddPanicsOnDimMismatch(t *testing.T) {
+	idx, _ := buildRotated(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.Add(vecmath.NewMatrix(1, idx.D+1))
+}

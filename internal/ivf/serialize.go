@@ -1,0 +1,296 @@
+package ivf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"anna/internal/pq"
+	"anna/internal/rotation"
+	"anna/internal/sq"
+	"anna/internal/vecmath"
+)
+
+// Binary index format (little endian):
+//
+//	magic "ANNAIVF2" (8 bytes)
+//	metric uint8, D uint32, NTotal uint64, NClusters uint32
+//	PQ: M uint32, Ks uint32
+//	hasRotation uint8; if 1: D*D float32 rotation rows
+//	anisotropicEta float32 (0 or 1 = plain encoding)
+//	hasSQ uint8; if 1: D float32 mins, D float32 scales, NTotal*D code bytes
+//	centroids: NClusters*D float32
+//	codebooks: M*Ks*(D/M) float32
+//	per list: n uint32, ids n*uint64, codes n*CodeBytes
+//
+// This mirrors the host-side "place the set of necessary data structures
+// in ANNA main memory" step (Section III-A): everything the accelerator
+// needs is in this one artifact.
+
+const magic = "ANNAIVF2"
+
+// Save writes the index to w.
+func (x *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	writeU8 := func(v uint8) { bw.WriteByte(v) }
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		bw.Write(b[:])
+	}
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		bw.Write(b[:])
+	}
+	writeF32s := func(vs []float32) {
+		var b [4]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+			bw.Write(b[:])
+		}
+	}
+
+	writeU8(uint8(x.Metric))
+	writeU32(uint32(x.D))
+	writeU64(uint64(x.NTotal))
+	writeU32(uint32(x.NClusters()))
+	writeU32(uint32(x.PQ.M))
+	writeU32(uint32(x.PQ.Ks))
+	if x.Rot != nil {
+		writeU8(1)
+		writeF32s(x.Rot.Rows)
+	} else {
+		writeU8(0)
+	}
+	writeF32s([]float32{x.AnisotropicEta})
+	if x.SQ != nil {
+		writeU8(1)
+		writeF32s(x.SQ.Q.Min)
+		writeF32s(x.SQ.Q.Scale)
+		bw.Write(x.SQ.Codes)
+	} else {
+		writeU8(0)
+	}
+	writeF32s(x.Centroids.Data)
+	writeF32s(x.PQ.Codebooks.Data)
+	for c := range x.Lists {
+		lst := &x.Lists[c]
+		writeU32(uint32(lst.Len()))
+		for _, id := range lst.IDs {
+			writeU64(uint64(id))
+		}
+		bw.Write(lst.Codes)
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the index to path.
+func (x *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := x.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("ivf: reading magic: %w", err)
+	}
+	if string(hdr) != magic {
+		return nil, fmt.Errorf("ivf: bad magic %q", hdr)
+	}
+	readU8 := func() (uint8, error) { return br.ReadByte() }
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	readF32s := func(dst []float32) error {
+		buf := make([]byte, 4*len(dst))
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		for i := range dst {
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		return nil
+	}
+
+	metric, err := readU8()
+	if err != nil {
+		return nil, err
+	}
+	if metric > 1 {
+		return nil, fmt.Errorf("ivf: unknown metric %d", metric)
+	}
+	d, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	nTotal, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	nClusters, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	m, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	ks, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if d == 0 || m == 0 || ks < 2 || ks > 256 || d%m != 0 {
+		return nil, fmt.Errorf("ivf: inconsistent header D=%d M=%d Ks=%d", d, m, ks)
+	}
+	if nClusters == 0 || nClusters > 1<<24 {
+		return nil, fmt.Errorf("ivf: implausible cluster count %d", nClusters)
+	}
+	if nTotal > 1<<33 {
+		return nil, fmt.Errorf("ivf: implausible vector count %d", nTotal)
+	}
+
+	hasRot, err := readU8()
+	if err != nil {
+		return nil, err
+	}
+	if hasRot > 1 {
+		return nil, fmt.Errorf("ivf: bad rotation flag %d", hasRot)
+	}
+	var rot *rotation.Matrix
+	if hasRot == 1 {
+		rot = &rotation.Matrix{D: int(d), Rows: make([]float32, int(d)*int(d))}
+		if err := readF32s(rot.Rows); err != nil {
+			return nil, fmt.Errorf("ivf: reading rotation: %w", err)
+		}
+	}
+
+	var etaBuf [1]float32
+	if err := readF32s(etaBuf[:]); err != nil {
+		return nil, fmt.Errorf("ivf: reading anisotropic eta: %w", err)
+	}
+	if etaBuf[0] < 0 || etaBuf[0] != etaBuf[0] { // negative or NaN
+		return nil, fmt.Errorf("ivf: invalid anisotropic eta %v", etaBuf[0])
+	}
+
+	hasSQ, err := readU8()
+	if err != nil {
+		return nil, err
+	}
+	if hasSQ > 1 {
+		return nil, fmt.Errorf("ivf: bad SQ flag %d", hasSQ)
+	}
+	var store *sq.Store
+	if hasSQ == 1 {
+		quant := &sq.Quantizer{
+			D:     int(d),
+			Min:   make([]float32, d),
+			Scale: make([]float32, d),
+		}
+		if err := readF32s(quant.Min); err != nil {
+			return nil, fmt.Errorf("ivf: reading SQ mins: %w", err)
+		}
+		if err := readF32s(quant.Scale); err != nil {
+			return nil, fmt.Errorf("ivf: reading SQ scales: %w", err)
+		}
+		codes := make([]byte, int(nTotal)*int(d))
+		if _, err := io.ReadFull(br, codes); err != nil {
+			return nil, fmt.Errorf("ivf: reading SQ codes: %w", err)
+		}
+		store = &sq.Store{Q: quant, Codes: codes, N: int(nTotal)}
+	}
+
+	x := &Index{
+		Metric:         pq.Metric(metric),
+		Rot:            rot,
+		AnisotropicEta: etaBuf[0],
+		SQ:             store,
+		D:              int(d),
+		NTotal:         int(nTotal),
+		PQ: &pq.Quantizer{
+			D: int(d), M: int(m), Ks: int(ks), Dsub: int(d / m),
+			Codebooks: vecmath.NewMatrix(int(m*ks), int(d/m)),
+		},
+		Centroids: vecmath.NewMatrix(int(nClusters), int(d)),
+		Lists:     make([]List, nClusters),
+	}
+	if err := readF32s(x.Centroids.Data); err != nil {
+		return nil, fmt.Errorf("ivf: reading centroids: %w", err)
+	}
+	if err := readF32s(x.PQ.Codebooks.Data); err != nil {
+		return nil, fmt.Errorf("ivf: reading codebooks: %w", err)
+	}
+	cb := x.PQ.CodeBytes()
+	var total int
+	for c := 0; c < int(nClusters); c++ {
+		n, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("ivf: reading list %d header: %w", c, err)
+		}
+		lst := &x.Lists[c]
+		lst.IDs = make([]int64, n)
+		for i := range lst.IDs {
+			v, err := readU64()
+			if err != nil {
+				return nil, fmt.Errorf("ivf: reading list %d ids: %w", c, err)
+			}
+			lst.IDs[i] = int64(v)
+		}
+		lst.Codes = make([]byte, int(n)*cb)
+		if _, err := io.ReadFull(br, lst.Codes); err != nil {
+			return nil, fmt.Errorf("ivf: reading list %d codes: %w", c, err)
+		}
+		total += int(n)
+	}
+	if total != x.NTotal {
+		return nil, fmt.Errorf("ivf: list sizes sum to %d, header says %d", total, x.NTotal)
+	}
+	// Compact leaves ID gaps, so the next assignable ID is maxID+1, not
+	// the live count.
+	x.nextID = int64(x.NTotal)
+	for c := range x.Lists {
+		for _, id := range x.Lists[c].IDs {
+			if id >= x.nextID {
+				x.nextID = id + 1
+			}
+		}
+	}
+	return x, nil
+}
+
+// LoadFile reads an index from path.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,99 @@
+package ivfflat
+
+import (
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/exact"
+	"anna/internal/pq"
+	"anna/internal/recall"
+	"anna/internal/topk"
+)
+
+func build(t testing.TB, metric pq.Metric) (*Index, *dataset.Dataset) {
+	t.Helper()
+	spec := dataset.SIFTLike(3000, 12, 1)
+	spec.D = 32
+	spec.Metric = metric
+	ds := dataset.Generate(spec)
+	return Build(ds.Base, metric, Config{NClusters: 20, CoarseIters: 6, Seed: 2}), ds
+}
+
+func TestFullWidthEqualsExact(t *testing.T) {
+	for _, metric := range []pq.Metric{pq.L2, pq.InnerProduct} {
+		x, ds := build(t, metric)
+		ex := exact.New(metric, ds.Base)
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			q := ds.Queries.Row(qi)
+			got := x.Search(q, x.Centroids.Rows, 10)
+			want := ex.Search(q, 10)
+			for i := range want {
+				if got[i].Score != want[i].Score {
+					t.Fatalf("%v q%d rank %d: %v vs %v", metric, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionComplete(t *testing.T) {
+	x, ds := build(t, pq.L2)
+	seen := map[int64]bool{}
+	total := 0
+	for c := range x.IDs {
+		if len(x.Vecs[c]) != len(x.IDs[c])*x.D {
+			t.Fatalf("cluster %d storage inconsistent", c)
+		}
+		for _, id := range x.IDs[c] {
+			if seen[id] {
+				t.Fatalf("vector %d stored twice", id)
+			}
+			seen[id] = true
+			total++
+		}
+	}
+	if total != ds.N() {
+		t.Fatalf("%d stored, want %d", total, ds.N())
+	}
+}
+
+func TestRecallBetweenPQAndExact(t *testing.T) {
+	// IVF-Flat at width W has no quantization error: its recall equals
+	// the cluster-filtering recall ceiling.
+	x, ds := build(t, pq.L2)
+	gt := exact.New(pq.L2, ds.Base).GroundTruth(ds.Queries, 10)
+	got := make([][]topk.Result, ds.Queries.Rows)
+	for qi := 0; qi < ds.Queries.Rows; qi++ {
+		got[qi] = x.Search(ds.Queries.Row(qi), 8, 100)
+	}
+	if r := recall.Mean(10, 100, gt, got); r < 0.7 {
+		t.Errorf("IVF-Flat recall %.3f at W=8", r)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	x, ds := build(t, pq.L2)
+	want := 2*int64(ds.N()*ds.D()) + 2*int64(20*ds.D()) + 8*int64(ds.N())
+	if got := x.MemoryBytes(); got != want {
+		t.Errorf("MemoryBytes = %d, want %d", got, want)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	x, ds := build(t, pq.L2)
+	for _, f := range []func(){
+		func() { x.Search(ds.Queries.Row(0), 0, 5) },
+		func() { x.Search(ds.Queries.Row(0), 4, 0) },
+		func() { x.Search(make([]float32, 3), 4, 5) },
+		func() { Build(ds.Base, pq.L2, Config{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,263 @@
+// Package kmeans implements Lloyd's k-means with k-means++ seeding.
+//
+// It is the training substrate for both levels of the two-level PQ ANNS
+// pipeline (Section II-C of the paper): the coarse clustering that
+// produces the |C| centroids, and — run independently per sub-space — the
+// per-codebook training that produces the k* codewords of each product
+// quantizer codebook.
+package kmeans
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"anna/internal/vecmath"
+)
+
+// Config controls a k-means run.
+type Config struct {
+	K        int   // number of clusters (must be >= 1)
+	MaxIters int   // Lloyd iterations; default 25 when zero
+	Seed     int64 // RNG seed for reproducible init
+	// Workers bounds assignment parallelism; default GOMAXPROCS when zero.
+	Workers int
+	// MinPointsPerCentroid caps the sample actually used for training;
+	// zero disables subsampling (all points used). Faiss trains coarse
+	// quantizers on a subsample for speed; we reproduce that knob.
+	MaxSamples int
+}
+
+// Result holds a trained clustering.
+type Result struct {
+	Centroids *vecmath.Matrix // K x D
+	// Assign[i] is the centroid index of training point i (only points
+	// that participated in training when subsampling is active).
+	Assign []int32
+	// Iters is the number of Lloyd iterations actually run.
+	Iters int
+	// Inertia is the final sum of squared distances of training points to
+	// their centroids.
+	Inertia float64
+}
+
+// Train clusters the rows of data. It panics if cfg.K < 1 or if data has
+// fewer rows than K.
+func Train(data *vecmath.Matrix, cfg Config) *Result {
+	if cfg.K < 1 {
+		panic("kmeans: K must be >= 1")
+	}
+	if data.Rows < cfg.K {
+		panic("kmeans: fewer points than clusters")
+	}
+	if cfg.MaxIters == 0 {
+		cfg.MaxIters = 25
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	train := data
+	if cfg.MaxSamples > 0 && data.Rows > cfg.MaxSamples && cfg.MaxSamples >= cfg.K {
+		train = sample(data, cfg.MaxSamples, rng)
+	}
+
+	cents := seedPlusPlus(train, cfg.K, rng)
+	assign := make([]int32, train.Rows)
+	counts := make([]int, cfg.K)
+
+	var inertia float64
+	iters := 0
+	for ; iters < cfg.MaxIters; iters++ {
+		var moved int64
+		inertia = assignAll(train, cents, assign, cfg.Workers, &moved)
+		updateCentroids(train, cents, assign, counts)
+		repairEmpty(train, cents, assign, counts, rng)
+		if moved == 0 {
+			iters++
+			break
+		}
+	}
+
+	// If we trained on a subsample, produce assignments for the full data.
+	if train != data {
+		assign = make([]int32, data.Rows)
+		var moved int64
+		inertia = assignAll(data, cents, assign, cfg.Workers, &moved)
+	}
+
+	return &Result{Centroids: cents, Assign: assign, Iters: iters, Inertia: inertia}
+}
+
+func sample(data *vecmath.Matrix, n int, rng *rand.Rand) *vecmath.Matrix {
+	idx := rng.Perm(data.Rows)[:n]
+	out := vecmath.NewMatrix(n, data.Cols)
+	for i, r := range idx {
+		out.SetRow(i, data.Row(r))
+	}
+	return out
+}
+
+// seedPlusPlus implements k-means++ initialisation.
+func seedPlusPlus(data *vecmath.Matrix, k int, rng *rand.Rand) *vecmath.Matrix {
+	cents := vecmath.NewMatrix(k, data.Cols)
+	first := rng.Intn(data.Rows)
+	cents.SetRow(0, data.Row(first))
+
+	// dist[i] = squared distance of point i to its closest chosen centroid.
+	dist := make([]float64, data.Rows)
+	var total float64
+	for i := 0; i < data.Rows; i++ {
+		d := float64(vecmath.L2Sq(data.Row(i), cents.Row(0)))
+		dist[i] = d
+		total += d
+	}
+
+	for c := 1; c < k; c++ {
+		var pick int
+		if total <= 0 {
+			// All remaining points coincide with chosen centroids; pick
+			// uniformly to keep K distinct rows (possibly duplicates).
+			pick = rng.Intn(data.Rows)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = data.Rows - 1
+			for i, d := range dist {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		cents.SetRow(c, data.Row(pick))
+		// Update distances against the new centroid.
+		total = 0
+		for i := 0; i < data.Rows; i++ {
+			d := float64(vecmath.L2Sq(data.Row(i), cents.Row(c)))
+			if d < dist[i] {
+				dist[i] = d
+			}
+			total += dist[i]
+		}
+	}
+	return cents
+}
+
+// assignAll assigns every point to its nearest centroid in parallel,
+// returning the total inertia and counting points whose assignment changed.
+func assignAll(data *vecmath.Matrix, cents *vecmath.Matrix, assign []int32, workers int, moved *int64) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	type chunkStat struct {
+		inertia float64
+		moved   int64
+	}
+	stats := make([]chunkStat, workers)
+	var wg sync.WaitGroup
+	chunk := (data.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > data.Rows {
+			hi = data.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var st chunkStat
+			for i := lo; i < hi; i++ {
+				row := data.Row(i)
+				best, bd := 0, vecmath.L2Sq(row, cents.Row(0))
+				for c := 1; c < cents.Rows; c++ {
+					if d := vecmath.L2Sq(row, cents.Row(c)); d < bd {
+						best, bd = c, d
+					}
+				}
+				if assign[i] != int32(best) {
+					assign[i] = int32(best)
+					st.moved++
+				}
+				st.inertia += float64(bd)
+			}
+			stats[w] = st
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var inertia float64
+	for _, st := range stats {
+		inertia += st.inertia
+		*moved += st.moved
+	}
+	return inertia
+}
+
+func updateCentroids(data *vecmath.Matrix, cents *vecmath.Matrix, assign []int32, counts []int) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range cents.Data {
+		cents.Data[i] = 0
+	}
+	for i := 0; i < data.Rows; i++ {
+		c := assign[i]
+		counts[c]++
+		vecmath.Add(cents.Row(int(c)), cents.Row(int(c)), data.Row(i))
+	}
+	for c := range counts {
+		if counts[c] > 0 {
+			vecmath.Scale(cents.Row(c), 1/float32(counts[c]))
+		}
+	}
+}
+
+// repairEmpty re-seeds any empty centroid by splitting the largest cluster,
+// the standard Faiss empty-cluster policy.
+func repairEmpty(data *vecmath.Matrix, cents *vecmath.Matrix, assign []int32, counts []int, rng *rand.Rand) {
+	for c := range counts {
+		if counts[c] > 0 {
+			continue
+		}
+		// Find the largest cluster and steal one of its points.
+		big := 0
+		for j := range counts {
+			if counts[j] > counts[big] {
+				big = j
+			}
+		}
+		if counts[big] <= 1 {
+			continue // nothing to split
+		}
+		for i := 0; i < data.Rows; i++ {
+			if int(assign[i]) == big {
+				cents.SetRow(c, data.Row(i))
+				// Perturb slightly so the two centroids diverge next round.
+				row := cents.Row(c)
+				for d := range row {
+					row[d] += (rng.Float32() - 0.5) * 1e-4
+				}
+				assign[i] = int32(c)
+				counts[c]++
+				counts[big]--
+				break
+			}
+		}
+	}
+}
+
+// AssignOne returns the nearest centroid index for vector v.
+func AssignOne(cents *vecmath.Matrix, v []float32) int {
+	best, bd := 0, vecmath.L2Sq(v, cents.Row(0))
+	for c := 1; c < cents.Rows; c++ {
+		if d := vecmath.L2Sq(v, cents.Row(c)); d < bd {
+			best, bd = c, d
+		}
+	}
+	return best
+}

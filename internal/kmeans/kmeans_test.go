@@ -1,0 +1,205 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"anna/internal/vecmath"
+)
+
+// blob generates n points around each of the given centers with the given
+// standard deviation.
+func blob(centers [][]float32, nPer int, std float32, seed int64) *vecmath.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	d := len(centers[0])
+	m := vecmath.NewMatrix(len(centers)*nPer, d)
+	for c, ctr := range centers {
+		for i := 0; i < nPer; i++ {
+			row := m.Row(c*nPer + i)
+			for j := 0; j < d; j++ {
+				row[j] = ctr[j] + float32(rng.NormFloat64())*std
+			}
+		}
+	}
+	return m
+}
+
+func TestTrainSeparatedBlobs(t *testing.T) {
+	centers := [][]float32{{0, 0}, {10, 10}, {-10, 10}}
+	data := blob(centers, 100, 0.5, 1)
+	res := Train(data, Config{K: 3, Seed: 42})
+
+	if res.Centroids.Rows != 3 || res.Centroids.Cols != 2 {
+		t.Fatalf("centroid shape %dx%d", res.Centroids.Rows, res.Centroids.Cols)
+	}
+	// Each true center must have a learned centroid within distance 1.
+	for _, ctr := range centers {
+		found := false
+		for c := 0; c < 3; c++ {
+			if vecmath.L2Sq(ctr, res.Centroids.Row(c)) < 1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no centroid near %v: %v", ctr, res.Centroids.Data)
+		}
+	}
+	// All points in a blob share an assignment.
+	for b := 0; b < 3; b++ {
+		a := res.Assign[b*100]
+		for i := 1; i < 100; i++ {
+			if res.Assign[b*100+i] != a {
+				t.Errorf("blob %d split across clusters", b)
+				break
+			}
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	data := blob([][]float32{{0, 0}, {5, 5}}, 50, 1, 2)
+	a := Train(data, Config{K: 2, Seed: 7})
+	b := Train(data, Config{K: 2, Seed: 7})
+	for i := range a.Centroids.Data {
+		if a.Centroids.Data[i] != b.Centroids.Data[i] {
+			t.Fatal("same seed produced different centroids")
+		}
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestInertiaDecreasesWithIterations(t *testing.T) {
+	data := blob([][]float32{{0, 0}, {3, 3}, {6, 0}, {0, 6}}, 80, 1.5, 3)
+	one := Train(data, Config{K: 4, Seed: 9, MaxIters: 1})
+	many := Train(data, Config{K: 4, Seed: 9, MaxIters: 30})
+	if many.Inertia > one.Inertia*1.0001 {
+		t.Errorf("inertia increased: 1 iter %v, 30 iters %v", one.Inertia, many.Inertia)
+	}
+}
+
+func TestEveryClusterNonEmpty(t *testing.T) {
+	// More clusters than natural groups forces empty-cluster repair.
+	data := blob([][]float32{{0, 0}}, 200, 1, 4)
+	res := Train(data, Config{K: 16, Seed: 5})
+	counts := make([]int, 16)
+	for _, a := range res.Assign {
+		counts[a]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			t.Errorf("cluster %d empty after repair", c)
+		}
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	data := vecmath.NewMatrix(4, 2)
+	data.SetRow(0, []float32{0, 0})
+	data.SetRow(1, []float32{1, 0})
+	data.SetRow(2, []float32{0, 1})
+	data.SetRow(3, []float32{1, 1})
+	res := Train(data, Config{K: 4, Seed: 1})
+	if res.Inertia > 1e-6 {
+		t.Errorf("K==N should reach zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	data := vecmath.NewMatrix(2, 2)
+	for _, cfg := range []Config{{K: 0}, {K: 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for cfg %+v", cfg)
+				}
+			}()
+			Train(data, cfg)
+		}()
+	}
+}
+
+func TestSubsampledTraining(t *testing.T) {
+	data := blob([][]float32{{0, 0}, {20, 20}}, 500, 0.5, 6)
+	res := Train(data, Config{K: 2, Seed: 8, MaxSamples: 100})
+	// Assignments must cover the FULL dataset even though training used
+	// a subsample.
+	if len(res.Assign) != data.Rows {
+		t.Fatalf("Assign len %d, want %d", len(res.Assign), data.Rows)
+	}
+	if res.Assign[0] == res.Assign[data.Rows-1] {
+		t.Error("well separated blobs assigned to the same cluster")
+	}
+}
+
+func TestAssignOne(t *testing.T) {
+	cents := vecmath.NewMatrix(2, 2)
+	cents.SetRow(0, []float32{0, 0})
+	cents.SetRow(1, []float32{10, 10})
+	if got := AssignOne(cents, []float32{1, 1}); got != 0 {
+		t.Errorf("AssignOne near origin = %d", got)
+	}
+	if got := AssignOne(cents, []float32{9, 9}); got != 1 {
+		t.Errorf("AssignOne near (10,10) = %d", got)
+	}
+}
+
+func TestSingleWorkerMatchesParallel(t *testing.T) {
+	data := blob([][]float32{{0, 0}, {8, 8}, {-8, 8}}, 120, 1, 10)
+	seq := Train(data, Config{K: 3, Seed: 13, Workers: 1})
+	par := Train(data, Config{K: 3, Seed: 13, Workers: 8})
+	for i := range seq.Assign {
+		if seq.Assign[i] != par.Assign[i] {
+			t.Fatal("worker count changed the result")
+		}
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	data := blob([][]float32{{0, 0}, {5, 5}, {-5, 5}, {5, -5}}, 250, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(data, Config{K: 4, Seed: int64(i), MaxIters: 10})
+	}
+}
+
+func TestDegenerateDuplicatePoints(t *testing.T) {
+	// Many exact duplicates force empty clusters and exercise the
+	// repair-by-splitting path (including the counts<=1 guard).
+	m := vecmath.NewMatrix(12, 2)
+	for i := 0; i < 10; i++ {
+		m.SetRow(i, []float32{1, 1})
+	}
+	m.SetRow(10, []float32{5, 5})
+	m.SetRow(11, []float32{-5, -5})
+	res := Train(m, Config{K: 4, Seed: 3, MaxIters: 10})
+	// Every assignment must be a valid cluster index and inertia finite.
+	for i, a := range res.Assign {
+		if a < 0 || int(a) >= 4 {
+			t.Fatalf("assign[%d] = %d", i, a)
+		}
+	}
+	if res.Inertia < 0 {
+		t.Fatalf("inertia %v", res.Inertia)
+	}
+	// The two outliers must not share a cluster with each other after
+	// convergence (they are the farthest-apart points).
+	if res.Assign[10] == res.Assign[11] {
+		t.Errorf("outliers merged: %v", res.Assign)
+	}
+}
+
+func TestAllPointsIdentical(t *testing.T) {
+	m := vecmath.NewMatrix(8, 2)
+	for i := 0; i < 8; i++ {
+		m.SetRow(i, []float32{2, 3})
+	}
+	res := Train(m, Config{K: 3, Seed: 1, MaxIters: 5})
+	if res.Inertia > 1e-3 {
+		t.Errorf("identical points inertia %v", res.Inertia)
+	}
+}

@@ -1,0 +1,299 @@
+// Package pheap implements the P-heap pipelined hardware priority queue
+// of Bhagwan & Lin (INFOCOM 2000), the structure ANNA's top-k selection
+// units build on (Section III-B, module 4).
+//
+// A P-heap is a binary heap stored level by level (one SRAM block per
+// level in hardware) in which an insert or replace operation moves down
+// the tree one level per cycle. Because an operation at level L only
+// touches levels L and L+1, a new operation may enter the root while
+// earlier operations are still percolating below — that pipelining is
+// what lets the hardware sustain one input per cycle independent of heap
+// depth. Each node carries a free-slot counter for its subtree; an
+// insert token decrements counters along its path, reserving space so
+// concurrent in-flight inserts can never collide (the paper's design
+// uses exactly these per-level capacity counters).
+//
+// ANNA uses the queue "inverted": it tracks the k LARGEST scores by
+// keeping a MIN-heap of the current top-k and replacing the minimum
+// whenever a larger score arrives. Functional equivalence with the
+// abstract selector in internal/topk is pinned by tests.
+package pheap
+
+import "fmt"
+
+// Entry is one queue element: a score and its payload (vector ID).
+type Entry struct {
+	Score float32
+	ID    int64
+}
+
+// op is a percolating operation token.
+type op struct {
+	level int   // pipeline stage (tree level) the token occupies
+	pos   int   // node index the token operates on
+	carry Entry // value being pushed down
+	kind  opKind
+}
+
+type opKind int
+
+const (
+	opNone opKind = iota
+	// opReplaceMin replaces the root (current minimum) with carry and
+	// sifts it down to restore heap order.
+	opReplaceMin
+	// opInsert places carry at a reserved free slot on its way down.
+	opInsert
+)
+
+// PHeap is the structural pipelined priority queue.
+type PHeap struct {
+	capacity int
+	levels   int
+	// nodes is the array binary heap of exactly capacity slots: node i
+	// has children 2i+1 and 2i+2 when < capacity.
+	nodes []Entry
+	valid []bool
+	// free[i] counts unreserved free slots in the subtree rooted at i.
+	free []int
+	size int
+
+	// tokens are in-flight operations, at most one per level (one
+	// comparator stage per level in hardware).
+	tokens []op
+
+	// Cycles counts simulated clock cycles consumed by Step.
+	Cycles int64
+	// MaxTokens tracks the peak number of concurrent in-flight
+	// operations (pipeline occupancy).
+	MaxTokens int
+}
+
+// New returns a P-heap of capacity k. It panics if k <= 0.
+func New(k int) *PHeap {
+	if k <= 0 {
+		panic("pheap: capacity must be positive")
+	}
+	levels := 1
+	for (1<<levels)-1 < k {
+		levels++
+	}
+	p := &PHeap{
+		capacity: k,
+		levels:   levels,
+		nodes:    make([]Entry, k),
+		valid:    make([]bool, k),
+		free:     make([]int, k),
+		tokens:   make([]op, levels),
+	}
+	for i := k - 1; i >= 0; i-- {
+		p.free[i] = 1 + p.childFree(2*i+1) + p.childFree(2*i+2)
+	}
+	return p
+}
+
+func (p *PHeap) childFree(i int) int {
+	if i >= p.capacity {
+		return 0
+	}
+	return p.free[i]
+}
+
+// Capacity returns k.
+func (p *PHeap) Capacity() int { return p.capacity }
+
+// Len returns the number of stored entries.
+func (p *PHeap) Len() int { return p.size }
+
+// Min returns the current minimum (the root). ok is false while the
+// root is empty.
+func (p *PHeap) Min() (Entry, bool) {
+	if !p.valid[0] {
+		return Entry{}, false
+	}
+	return p.nodes[0], true
+}
+
+// CanIssue reports whether a new operation may enter the pipeline this
+// cycle. An operation at level L touches levels L and L+1, so the
+// classic P-heap admits a new op only when both the root stage and the
+// level below it are clear (one op every other cycle, Bhagwan & Lin).
+// Inputs that lose the root comparison are discarded without creating a
+// token, so the unit still sustains one INPUT per cycle in the common
+// case — which is how ANNA's top-k unit meets its 1/cycle input rate:
+// after warmup almost every candidate is a discard.
+func (p *PHeap) CanIssue() bool {
+	if p.tokens[0].kind != opNone {
+		return false
+	}
+	return p.levels < 2 || p.tokens[1].kind == opNone
+}
+
+// Offer issues one input, mimicking the ANNA top-k unit:
+//
+//   - with free capacity, the entry is inserted;
+//   - else if e beats the current minimum, it replaces it;
+//   - else the input is discarded after a single root comparison.
+//
+// issued is false when the root stage is busy (caller must Step first);
+// accepted reports whether the entry entered the heap.
+func (p *PHeap) Offer(e Entry) (issued, accepted bool) {
+	if !p.CanIssue() {
+		return false, false
+	}
+	if p.free[0] > 0 {
+		p.free[0]--
+		p.size++
+		p.tokens[0] = op{level: 0, pos: 0, carry: e, kind: opInsert}
+		return true, true
+	}
+	min, _ := p.Min()
+	if e.Score <= min.Score {
+		return true, false
+	}
+	p.tokens[0] = op{level: 0, pos: 0, carry: e, kind: opReplaceMin}
+	return true, true
+}
+
+// Step advances every in-flight operation by one level — one hardware
+// clock cycle. Deepest tokens move first so a token can enter the stage
+// its successor just vacated.
+func (p *PHeap) Step() {
+	p.Cycles++
+	inflight := 0
+	for l := p.levels - 1; l >= 0; l-- {
+		if p.tokens[l].kind == opNone {
+			continue
+		}
+		inflight++
+		p.advance(&p.tokens[l])
+	}
+	if inflight > p.MaxTokens {
+		p.MaxTokens = inflight
+	}
+}
+
+// advance executes one pipeline stage of token t.
+func (p *PHeap) advance(t *op) {
+	i := t.pos
+	switch t.kind {
+	case opInsert:
+		if !p.valid[i] {
+			// The reservation made on entry to this node is consumed.
+			p.nodes[i] = t.carry
+			p.valid[i] = true
+			t.kind = opNone
+			return
+		}
+		// Min-heap on the way down: keep the smaller value here, carry
+		// the larger one toward the reserved slot below.
+		if t.carry.Score < p.nodes[i].Score {
+			p.nodes[i], t.carry = t.carry, p.nodes[i]
+		}
+		// Reserve a slot in a child subtree and move there.
+		l, r := 2*i+1, 2*i+2
+		var next int
+		switch {
+		case p.childFree(l) > 0:
+			next = l
+		case p.childFree(r) > 0:
+			next = r
+		default:
+			panic(fmt.Sprintf("pheap: reservation lost under node %d", i))
+		}
+		p.free[next]--
+		t.pos = next
+		p.stepLevel(t)
+	case opReplaceMin:
+		l, r := 2*i+1, 2*i+2
+		smallest := -1
+		if l < p.capacity && p.valid[l] {
+			smallest = l
+		}
+		if r < p.capacity && p.valid[r] && (smallest == -1 || p.nodes[r].Score < p.nodes[smallest].Score) {
+			smallest = r
+		}
+		if smallest == -1 || p.nodes[smallest].Score >= t.carry.Score {
+			p.nodes[i] = t.carry
+			p.valid[i] = true
+			t.kind = opNone
+			return
+		}
+		p.nodes[i] = p.nodes[smallest]
+		// The vacated child slot will be overwritten when the token
+		// lands there; mark it filled by the parent value conceptually.
+		t.pos = smallest
+		p.stepLevel(t)
+	}
+}
+
+// stepLevel moves the token to the next level's stage; if that stage is
+// occupied the token stalls and retries next Step.
+func (p *PHeap) stepLevel(t *op) {
+	next := t.level + 1
+	if next >= p.levels {
+		// Deepest level: the operation completes in place this cycle.
+		p.land(t)
+		return
+	}
+	if p.tokens[next].kind != opNone {
+		return // structural stall
+	}
+	p.tokens[next] = op{level: next, pos: t.pos, carry: t.carry, kind: t.kind}
+	t.kind = opNone
+}
+
+// land finalises a token whose destination is at the deepest level.
+func (p *PHeap) land(t *op) {
+	p.nodes[t.pos] = t.carry
+	p.valid[t.pos] = true
+	t.kind = opNone
+}
+
+// Drain runs the pipeline until no tokens remain in flight.
+func (p *PHeap) Drain() {
+	for {
+		busy := false
+		for l := range p.tokens {
+			if p.tokens[l].kind != opNone {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		p.Step()
+	}
+}
+
+// OfferAll feeds entries one per cycle (stepping the pipeline as the
+// hardware would) and returns how many were accepted.
+func (p *PHeap) OfferAll(entries []Entry) int {
+	accepted := 0
+	for _, e := range entries {
+		for {
+			issued, acc := p.Offer(e)
+			p.Step()
+			if issued {
+				if acc {
+					accepted++
+				}
+				break
+			}
+		}
+	}
+	p.Drain()
+	return accepted
+}
+
+// Contents returns the stored entries in arbitrary order.
+func (p *PHeap) Contents() []Entry {
+	out := make([]Entry, 0, p.size)
+	for i, ok := range p.valid {
+		if ok {
+			out = append(out, p.nodes[i])
+		}
+	}
+	return out
+}

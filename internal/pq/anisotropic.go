@@ -1,0 +1,57 @@
+package pq
+
+import "anna/internal/vecmath"
+
+// Anisotropic (score-aware) encoding, the defining idea of Google ScaNN
+// [Guo et al., ICML 2020]: for maximum-inner-product search, quantization
+// error PARALLEL to the datapoint hurts retrieval more than perpendicular
+// error, because the inner product with a query near the datapoint's
+// direction is perturbed by exactly the parallel component. ScaNN
+// therefore minimises
+//
+//	eta · ||r_par||² + ||r_perp||²
+//
+// with eta > 1, instead of the plain L2 reconstruction error (eta = 1,
+// which recovers Faiss's assignment).
+//
+// The exact loss couples PQ sub-spaces (the parallel direction is the
+// full vector's); like ScaNN's practical implementation we use the
+// separable per-sub-space surrogate, decomposing each sub-residual
+// against the sub-vector's own direction. The paper notes ANNA supports
+// ScaNN unchanged because the SEARCH computation is identical — only the
+// encoded identifiers differ.
+
+// EncodeAnisotropic quantizes v (typically a residual r(x)) into one
+// codeword identifier per sub-space, choosing per sub-space the codeword
+// minimising the anisotropic loss with respect to the direction vector
+// (typically the original datapoint x). eta <= 1 reduces to plain
+// Encode. Results are appended to dst.
+func (q *Quantizer) EncodeAnisotropic(dst []byte, v, direction []float32, eta float32) []byte {
+	if eta <= 1 {
+		return q.Encode(dst, v)
+	}
+	if len(v) != q.D || len(direction) != q.D {
+		panic("pq: EncodeAnisotropic dimension mismatch")
+	}
+	r := make([]float32, q.Dsub)
+	for i := 0; i < q.M; i++ {
+		sv := v[i*q.Dsub : (i+1)*q.Dsub]
+		dir := direction[i*q.Dsub : (i+1)*q.Dsub]
+		dirNormSq := vecmath.NormSq(dir)
+
+		best, bestLoss := 0, float32(0)
+		for j := 0; j < q.Ks; j++ {
+			vecmath.Sub(r, sv, q.Codeword(i, j))
+			loss := vecmath.NormSq(r)
+			if dirNormSq > 0 {
+				par := vecmath.Dot(r, dir)
+				loss += (eta - 1) * par * par / dirNormSq
+			}
+			if j == 0 || loss < bestLoss {
+				best, bestLoss = j, loss
+			}
+		}
+		dst = append(dst, byte(best))
+	}
+	return dst
+}

@@ -1,0 +1,122 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+
+	"anna/internal/vecmath"
+)
+
+func TestAnisotropicEtaOneEqualsPlain(t *testing.T) {
+	q := testQuantizer(t, 4, 16)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		v := make([]float32, q.D)
+		dir := make([]float32, q.D)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+			dir[i] = float32(rng.NormFloat64())
+		}
+		plain := q.Encode(nil, v)
+		an := q.EncodeAnisotropic(nil, v, dir, 1)
+		for i := range plain {
+			if plain[i] != an[i] {
+				t.Fatalf("eta=1 differs from plain at sub %d", i)
+			}
+		}
+		an0 := q.EncodeAnisotropic(nil, v, dir, 0)
+		for i := range plain {
+			if plain[i] != an0[i] {
+				t.Fatalf("eta=0 differs from plain at sub %d", i)
+			}
+		}
+	}
+}
+
+func TestAnisotropicChangesAssignments(t *testing.T) {
+	q := testQuantizer(t, 4, 16)
+	rng := rand.New(rand.NewSource(9))
+	changed := 0
+	for trial := 0; trial < 200; trial++ {
+		v := make([]float32, q.D)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		plain := q.Encode(nil, v)
+		an := q.EncodeAnisotropic(nil, v, v, 8)
+		for i := range plain {
+			if plain[i] != an[i] {
+				changed++
+				break
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("eta=8 never changed any assignment — objective not applied")
+	}
+}
+
+// The anisotropic objective must reduce the PARALLEL error component it
+// penalises, relative to plain encoding, in aggregate.
+func TestAnisotropicReducesParallelError(t *testing.T) {
+	q := testQuantizer(t, 4, 16)
+	rng := rand.New(rand.NewSource(10))
+	dec := make([]float32, q.D)
+	r := make([]float32, q.D)
+	var plainPar, anPar float64
+	for trial := 0; trial < 300; trial++ {
+		v := make([]float32, q.D)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		parComponent := func(codes []byte) float64 {
+			q.Decode(dec, codes)
+			vecmath.Sub(r, v, dec)
+			// Sum of per-sub parallel components (the surrogate loss).
+			var sum float64
+			for i := 0; i < q.M; i++ {
+				sv := v[i*q.Dsub : (i+1)*q.Dsub]
+				rv := r[i*q.Dsub : (i+1)*q.Dsub]
+				ns := float64(vecmath.NormSq(sv))
+				if ns == 0 {
+					continue
+				}
+				par := float64(vecmath.Dot(rv, sv))
+				sum += par * par / ns
+			}
+			return sum
+		}
+		plainPar += parComponent(q.Encode(nil, v))
+		anPar += parComponent(q.EncodeAnisotropic(nil, v, v, 6))
+	}
+	if anPar >= plainPar {
+		t.Errorf("anisotropic parallel error %v not below plain %v", anPar, plainPar)
+	}
+}
+
+func TestAnisotropicPanicsOnDimMismatch(t *testing.T) {
+	q := testQuantizer(t, 4, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.EncodeAnisotropic(nil, make([]float32, q.D), make([]float32, q.D-1), 4)
+}
+
+func TestAnisotropicZeroDirection(t *testing.T) {
+	// A zero direction sub-vector degrades gracefully to the plain loss.
+	q := testQuantizer(t, 4, 16)
+	v := make([]float32, q.D)
+	for i := range v {
+		v[i] = float32(i%5) * 0.2
+	}
+	dir := make([]float32, q.D) // all zeros
+	plain := q.Encode(nil, v)
+	an := q.EncodeAnisotropic(nil, v, dir, 4)
+	for i := range plain {
+		if plain[i] != an[i] {
+			t.Fatalf("zero direction differs from plain at %d", i)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package pq
+
+// Code packing: the inverted lists store one encoded vector as
+// M*log2(Ks)/8 bytes. For Ks=256 each identifier is one byte; for Ks=16
+// two identifiers share a byte (low nibble first — the layout the EFM
+// unpacker hardware shifts apart). Other Ks values are stored one byte
+// per identifier for simplicity; ANNA itself only supports 16 and 256.
+
+// Pack appends the packed representation of codes (one identifier per
+// sub-space, each < Ks) to dst and returns the extended slice.
+func (q *Quantizer) Pack(dst []byte, codes []byte) []byte {
+	if len(codes) != q.M {
+		panic("pq: Pack code length mismatch")
+	}
+	if q.CodeBits() == 4 {
+		for i := 0; i < len(codes); i += 2 {
+			b := codes[i] & 0x0F
+			if i+1 < len(codes) {
+				b |= (codes[i+1] & 0x0F) << 4
+			}
+			dst = append(dst, b)
+		}
+		return dst
+	}
+	return append(dst, codes...)
+}
+
+// Unpack expands one packed vector from src into dst (length M), the
+// software equivalent of the EFM unpacker hardware. It returns the number
+// of bytes consumed.
+func (q *Quantizer) Unpack(dst []byte, src []byte) int {
+	if len(dst) != q.M {
+		panic("pq: Unpack destination length mismatch")
+	}
+	if q.CodeBits() == 4 {
+		n := (q.M + 1) / 2
+		for i := 0; i < q.M; i++ {
+			b := src[i/2]
+			if i%2 == 0 {
+				dst[i] = b & 0x0F
+			} else {
+				dst[i] = b >> 4
+			}
+		}
+		return n
+	}
+	copy(dst, src[:q.M])
+	return q.M
+}
+
+// PackedSlice returns the packed bytes of vector index idx within a
+// contiguous packed list.
+func (q *Quantizer) PackedSlice(list []byte, idx int) []byte {
+	cb := q.CodeBytes()
+	return list[idx*cb : (idx+1)*cb]
+}

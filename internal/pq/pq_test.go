@@ -1,0 +1,337 @@
+package pq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anna/internal/vecmath"
+)
+
+func randMatrix(rows, cols int, seed int64) *vecmath.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vecmath.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func testQuantizer(t *testing.T, m, ks int) *Quantizer {
+	t.Helper()
+	data := randMatrix(1000, 16, 5)
+	return Train(data, Config{M: m, Ks: ks, Iters: 8, Seed: 1})
+}
+
+func TestTrainShapes(t *testing.T) {
+	q := testQuantizer(t, 4, 16)
+	if q.D != 16 || q.M != 4 || q.Ks != 16 || q.Dsub != 4 {
+		t.Fatalf("bad shape: %+v", q)
+	}
+	if q.Codebooks.Rows != 64 || q.Codebooks.Cols != 4 {
+		t.Fatalf("codebook shape %dx%d", q.Codebooks.Rows, q.Codebooks.Cols)
+	}
+}
+
+func TestTrainPanics(t *testing.T) {
+	data := randMatrix(100, 16, 1)
+	for _, cfg := range []Config{
+		{M: 3, Ks: 16},  // M does not divide D
+		{M: 4, Ks: 1},   // Ks too small
+		{M: 4, Ks: 300}, // Ks too large
+		{M: 4, Ks: 128}, // more codewords than training vectors
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			Train(data, cfg)
+		}()
+	}
+}
+
+func TestCodeGeometry(t *testing.T) {
+	cases := []struct {
+		m, ks                      int
+		bits, codeBytes, lutB, cbB int
+	}{
+		{128, 16, 4, 64, 2 * 16 * 128, 2 * 16 * 16}, // k*=16, M=D: 4:1 for 2B floats
+		{8, 256, 8, 8, 2 * 256 * 8, 2 * 256 * 16},   // k*=256
+		{4, 16, 4, 2, 2 * 16 * 4, 2 * 16 * 16},
+	}
+	for _, c := range cases {
+		q := &Quantizer{D: 16, M: c.m, Ks: c.ks, Dsub: 16 / min(c.m, 16)}
+		if got := q.CodeBits(); got != c.bits {
+			t.Errorf("M=%d Ks=%d CodeBits=%d want %d", c.m, c.ks, got, c.bits)
+		}
+		if got := q.CodeBytes(); got != c.codeBytes {
+			t.Errorf("M=%d Ks=%d CodeBytes=%d want %d", c.m, c.ks, got, c.codeBytes)
+		}
+		if got := q.LUTBytes(); got != c.lutB {
+			t.Errorf("M=%d Ks=%d LUTBytes=%d want %d", c.m, c.ks, got, c.lutB)
+		}
+		if got := q.CodebookBytes(); got != c.cbB {
+			t.Errorf("M=%d Ks=%d CodebookBytes=%d want %d", c.m, c.ks, got, c.cbB)
+		}
+	}
+	// Paper example (Section III-B): k*=256, D=128 -> 64KB codebook SRAM;
+	// k*=256, M=128 -> 64KB... the evaluation uses 64KB codebook and 32KB LUT.
+	q := &Quantizer{D: 128, M: 64, Ks: 256, Dsub: 2}
+	if q.CodebookBytes() != 65536 {
+		t.Errorf("codebook SRAM = %d, want 65536", q.CodebookBytes())
+	}
+	if q.LUTBytes() != 32768 {
+		t.Errorf("LUT SRAM = %d, want 32768", q.LUTBytes())
+	}
+}
+
+func TestEncodePicksNearestCodeword(t *testing.T) {
+	q := testQuantizer(t, 4, 16)
+	v := randMatrix(1, 16, 9).Row(0)
+	codes := q.Encode(nil, v)
+	if len(codes) != 4 {
+		t.Fatalf("len(codes) = %d", len(codes))
+	}
+	for i := 0; i < q.M; i++ {
+		sv := v[i*q.Dsub : (i+1)*q.Dsub]
+		chosen := vecmath.L2Sq(sv, q.Codeword(i, int(codes[i])))
+		for j := 0; j < q.Ks; j++ {
+			if d := vecmath.L2Sq(sv, q.Codeword(i, j)); d < chosen-1e-6 {
+				t.Errorf("sub %d: codeword %d closer than chosen %d", i, j, codes[i])
+			}
+		}
+	}
+}
+
+func TestDecodeRoundTripOnCodewords(t *testing.T) {
+	// A vector that IS a concatenation of codewords must round-trip exactly.
+	q := testQuantizer(t, 4, 16)
+	v := make([]float32, q.D)
+	want := []byte{3, 1, 15, 7}
+	for i, c := range want {
+		copy(v[i*q.Dsub:(i+1)*q.Dsub], q.Codeword(i, int(c)))
+	}
+	codes := q.Encode(nil, v)
+	dec := make([]float32, q.D)
+	q.Decode(dec, codes)
+	for i := range v {
+		if dec[i] != v[i] {
+			t.Fatalf("decode mismatch at %d: %v vs %v", i, dec[i], v[i])
+		}
+	}
+}
+
+func TestQuantizationReducesWithMoreCodewords(t *testing.T) {
+	data := randMatrix(2000, 16, 3)
+	test := randMatrix(100, 16, 4)
+	var errs [2]float64
+	for i, ks := range []int{16, 256} {
+		q := Train(data, Config{M: 4, Ks: ks, Iters: 10, Seed: 2})
+		dec := make([]float32, 16)
+		for r := 0; r < test.Rows; r++ {
+			codes := q.Encode(nil, test.Row(r))
+			q.Decode(dec, codes)
+			errs[i] += float64(vecmath.L2Sq(dec, test.Row(r)))
+		}
+	}
+	if errs[1] >= errs[0] {
+		t.Errorf("Ks=256 error %v not below Ks=16 error %v", errs[1], errs[0])
+	}
+}
+
+// The memoization identity (Section II-B): the ADC score computed via the
+// LUT must equal the direct similarity between the query and the DECODED
+// vector.
+func TestADCMatchesDecodedSimilarity(t *testing.T) {
+	q := testQuantizer(t, 4, 16)
+	rng := rand.New(rand.NewSource(6))
+	qv := make([]float32, q.D)
+	for i := range qv {
+		qv[i] = float32(rng.NormFloat64())
+	}
+	dec := make([]float32, q.D)
+
+	lutIP := NewLUT(q)
+	q.FillIP(lutIP, qv)
+	lutL2 := NewLUT(q)
+	q.FillL2(lutL2, qv)
+
+	for trial := 0; trial < 50; trial++ {
+		v := make([]float32, q.D)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		codes := q.Encode(nil, v)
+		q.Decode(dec, codes)
+
+		wantIP := vecmath.Dot(qv, dec)
+		if got := lutIP.ADC(codes); math.Abs(float64(got-wantIP)) > 1e-4 {
+			t.Fatalf("IP ADC = %v, direct = %v", got, wantIP)
+		}
+		wantL2 := -vecmath.L2Sq(qv, dec)
+		if got := lutL2.ADC(codes); math.Abs(float64(got-wantL2)) > 1e-3 {
+			t.Fatalf("L2 ADC = %v, direct = %v", got, wantL2)
+		}
+	}
+}
+
+func TestLUTBiasAddsToScore(t *testing.T) {
+	l := &LUT{M: 2, Ks: 2, Values: []float32{1, 2, 3, 4}}
+	codes := []byte{1, 0}
+	if got := l.ADC(codes); got != 5 {
+		t.Fatalf("ADC = %v, want 5", got)
+	}
+	l.Bias = 10
+	if got := l.ADC(codes); got != 15 {
+		t.Fatalf("ADC with bias = %v, want 15", got)
+	}
+}
+
+func TestRoundF16(t *testing.T) {
+	l := &LUT{M: 1, Ks: 2, Values: []float32{1.0000001, 2.5}, Bias: 3.0000001}
+	l.RoundF16()
+	if l.Values[0] != 1 || l.Bias != 3 {
+		t.Errorf("RoundF16 left %v bias %v", l.Values, l.Bias)
+	}
+	if got := l.ADCf16([]byte{1}); got != 5.5 {
+		t.Errorf("ADCf16 = %v", got)
+	}
+}
+
+func TestPackUnpack4bit(t *testing.T) {
+	q := &Quantizer{D: 8, M: 8, Ks: 16, Dsub: 1}
+	codes := []byte{0, 1, 2, 3, 15, 14, 13, 12}
+	packed := q.Pack(nil, codes)
+	if len(packed) != 4 {
+		t.Fatalf("packed len = %d, want 4", len(packed))
+	}
+	// Low nibble first.
+	if packed[0] != 0x10 || packed[2] != 0xEF {
+		t.Errorf("packed = %x", packed)
+	}
+	out := make([]byte, 8)
+	if n := q.Unpack(out, packed); n != 4 {
+		t.Errorf("Unpack consumed %d", n)
+	}
+	for i := range codes {
+		if out[i] != codes[i] {
+			t.Fatalf("unpack[%d] = %d want %d", i, out[i], codes[i])
+		}
+	}
+}
+
+func TestPackUnpack4bitOddM(t *testing.T) {
+	q := &Quantizer{D: 3, M: 3, Ks: 16, Dsub: 1}
+	codes := []byte{5, 10, 15}
+	packed := q.Pack(nil, codes)
+	if len(packed) != 2 || q.CodeBytes() != 2 {
+		t.Fatalf("packed len = %d (CodeBytes %d)", len(packed), q.CodeBytes())
+	}
+	out := make([]byte, 3)
+	q.Unpack(out, packed)
+	for i := range codes {
+		if out[i] != codes[i] {
+			t.Fatalf("odd-M unpack[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestPackUnpack8bit(t *testing.T) {
+	q := &Quantizer{D: 4, M: 4, Ks: 256, Dsub: 1}
+	codes := []byte{0, 127, 200, 255}
+	packed := q.Pack(nil, codes)
+	if len(packed) != 4 {
+		t.Fatalf("packed len = %d", len(packed))
+	}
+	out := make([]byte, 4)
+	if n := q.Unpack(out, packed); n != 4 {
+		t.Errorf("consumed %d", n)
+	}
+	for i := range codes {
+		if out[i] != codes[i] {
+			t.Fatalf("unpack[%d] = %d", i, out[i])
+		}
+	}
+}
+
+// Property: pack/unpack round-trips arbitrary 4-bit code strings.
+func TestPackRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		q := &Quantizer{D: len(raw), M: len(raw), Ks: 16, Dsub: 1}
+		codes := make([]byte, len(raw))
+		for i, b := range raw {
+			codes[i] = b & 0x0F
+		}
+		packed := q.Pack(nil, codes)
+		if len(packed) != q.CodeBytes() {
+			return false
+		}
+		out := make([]byte, len(raw))
+		q.Unpack(out, packed)
+		for i := range codes {
+			if out[i] != codes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackedSlice(t *testing.T) {
+	q := &Quantizer{D: 4, M: 4, Ks: 16, Dsub: 1}
+	var list []byte
+	for v := 0; v < 3; v++ {
+		list = q.Pack(list, []byte{byte(v), byte(v), byte(v), byte(v)})
+	}
+	got := q.PackedSlice(list, 1)
+	if len(got) != 2 || got[0] != 0x11 {
+		t.Errorf("PackedSlice(1) = %x", got)
+	}
+}
+
+func BenchmarkADC_M64(b *testing.B) {
+	l := &LUT{M: 64, Ks: 256, Values: make([]float32, 64*256)}
+	codes := make([]byte, 64)
+	for i := range codes {
+		codes[i] = byte(i * 4)
+	}
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink = l.ADC(codes)
+	}
+	_ = sink
+}
+
+func BenchmarkEncode(b *testing.B) {
+	data := randMatrix(600, 32, 1)
+	q := Train(data, Config{M: 8, Ks: 256, Iters: 4, Seed: 1})
+	v := data.Row(0)
+	b.ResetTimer()
+	buf := make([]byte, 0, 8)
+	for i := 0; i < b.N; i++ {
+		buf = q.Encode(buf[:0], v)
+	}
+}
+
+func TestMetricStringAndAt(t *testing.T) {
+	if InnerProduct.String() != "ip" || L2.String() != "l2" {
+		t.Error("metric names")
+	}
+	if Metric(9).String() != "Metric(9)" {
+		t.Errorf("unknown metric name %q", Metric(9))
+	}
+	l := &LUT{M: 2, Ks: 2, Values: []float32{1, 2, 3, 4}}
+	if l.At(1, 0) != 3 || l.At(0, 1) != 2 {
+		t.Errorf("At: %v %v", l.At(1, 0), l.At(0, 1))
+	}
+}

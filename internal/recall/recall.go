@@ -1,0 +1,53 @@
+// Package recall computes the paper's quality metric: recall X@Y, "the
+// portion of retrieved top X items among submitted Y candidates"
+// (Section V-A). Figure 8 uses recall 100@1000.
+package recall
+
+import (
+	"fmt"
+
+	"anna/internal/topk"
+)
+
+// XAtY computes recall X@Y for one query: of the X true nearest
+// neighbors, the fraction found anywhere in the first Y returned
+// candidates. truth must contain at least X IDs; extra entries beyond Y
+// in got are ignored.
+func XAtY(x, y int, truth []int64, got []topk.Result) float64 {
+	if x <= 0 || y <= 0 {
+		panic("recall: X and Y must be positive")
+	}
+	if len(truth) < x {
+		panic(fmt.Sprintf("recall: ground truth has %d entries, need %d", len(truth), x))
+	}
+	if y > len(got) {
+		y = len(got)
+	}
+	retrieved := make(map[int64]struct{}, y)
+	for _, r := range got[:y] {
+		retrieved[r.ID] = struct{}{}
+	}
+	hits := 0
+	for _, id := range truth[:x] {
+		if _, ok := retrieved[id]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(x)
+}
+
+// Mean computes the average recall X@Y across queries. The slices must
+// have equal length.
+func Mean(x, y int, truth [][]int64, got [][]topk.Result) float64 {
+	if len(truth) != len(got) {
+		panic("recall: query count mismatch")
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range truth {
+		sum += XAtY(x, y, truth[i], got[i])
+	}
+	return sum / float64(len(truth))
+}

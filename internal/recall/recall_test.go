@@ -1,0 +1,86 @@
+package recall
+
+import (
+	"testing"
+
+	"anna/internal/topk"
+)
+
+func res(ids ...int64) []topk.Result {
+	out := make([]topk.Result, len(ids))
+	for i, id := range ids {
+		out[i] = topk.Result{ID: id, Score: float32(len(ids) - i)}
+	}
+	return out
+}
+
+func TestXAtYPerfect(t *testing.T) {
+	truth := []int64{1, 2, 3}
+	got := res(3, 1, 2)
+	if r := XAtY(3, 3, truth, got); r != 1 {
+		t.Errorf("recall = %v, want 1", r)
+	}
+}
+
+func TestXAtYPartial(t *testing.T) {
+	truth := []int64{1, 2, 3, 4}
+	got := res(1, 9, 8, 4)
+	if r := XAtY(4, 4, truth, got); r != 0.5 {
+		t.Errorf("recall = %v, want 0.5", r)
+	}
+	// Only first Y candidates count.
+	if r := XAtY(4, 1, truth, got); r != 0.25 {
+		t.Errorf("recall 4@1 = %v, want 0.25", r)
+	}
+}
+
+func TestXAtYShortCandidateList(t *testing.T) {
+	truth := []int64{1, 2}
+	got := res(2)
+	if r := XAtY(2, 10, truth, got); r != 0.5 {
+		t.Errorf("recall with short list = %v, want 0.5", r)
+	}
+}
+
+func TestXAtYZero(t *testing.T) {
+	if r := XAtY(2, 2, []int64{1, 2}, res(5, 6)); r != 0 {
+		t.Errorf("recall = %v, want 0", r)
+	}
+}
+
+func TestXAtYPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { XAtY(0, 1, []int64{1}, res(1)) },
+		func() { XAtY(1, 0, []int64{1}, res(1)) },
+		func() { XAtY(3, 3, []int64{1}, res(1)) }, // truth too short
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	truth := [][]int64{{1}, {2}}
+	got := [][]topk.Result{res(1), res(3)}
+	if m := Mean(1, 1, truth, got); m != 0.5 {
+		t.Errorf("Mean = %v, want 0.5", m)
+	}
+	if m := Mean(1, 1, nil, nil); m != 0 {
+		t.Errorf("Mean(empty) = %v", m)
+	}
+}
+
+func TestMeanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mean(1, 1, [][]int64{{1}}, nil)
+}

@@ -1,0 +1,121 @@
+// Package rotation provides random orthonormal transforms of the vector
+// space. Rotating the database (and queries) before product quantization
+// is the core of OPQ [Ge et al.]; the paper notes ANNA supports OPQ
+// unchanged "since their computation pattern for the search remains the
+// same" (Section VI). A random rotation is the standard
+// training-free variant: it spreads variance evenly across PQ sub-spaces,
+// which helps when a few dimensions dominate.
+package rotation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"anna/internal/vecmath"
+)
+
+// Matrix is an orthonormal D×D transform.
+type Matrix struct {
+	D int
+	// Rows holds the D orthonormal basis vectors, row-major.
+	Rows []float32
+}
+
+// NewRandom samples a random rotation by Gram-Schmidt orthonormalisation
+// of a Gaussian matrix (Haar-ish; exact distribution does not matter for
+// OPQ-style preconditioning). It panics if d <= 0.
+func NewRandom(d int, seed int64) *Matrix {
+	if d <= 0 {
+		panic(fmt.Sprintf("rotation: invalid dimension %d", d))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Matrix{D: d, Rows: make([]float32, d*d)}
+	for attempt := 0; ; attempt++ {
+		for i := range m.Rows {
+			m.Rows[i] = float32(rng.NormFloat64())
+		}
+		if m.gramSchmidt() {
+			return m
+		}
+		if attempt > 4 {
+			panic("rotation: repeated rank deficiency (should be impossible)")
+		}
+	}
+}
+
+// Identity returns the identity transform.
+func Identity(d int) *Matrix {
+	m := &Matrix{D: d, Rows: make([]float32, d*d)}
+	for i := 0; i < d; i++ {
+		m.Rows[i*d+i] = 1
+	}
+	return m
+}
+
+// gramSchmidt orthonormalises the rows in place, reporting false on rank
+// deficiency.
+func (m *Matrix) gramSchmidt() bool {
+	d := m.D
+	for i := 0; i < d; i++ {
+		ri := m.row(i)
+		// Subtract projections onto previous rows (twice, for stability).
+		for pass := 0; pass < 2; pass++ {
+			for j := 0; j < i; j++ {
+				rj := m.row(j)
+				dot := vecmath.Dot(ri, rj)
+				vecmath.AXPY(ri, -dot, rj)
+			}
+		}
+		n := vecmath.Norm(ri)
+		if n < 1e-6 {
+			return false
+		}
+		vecmath.Scale(ri, 1/n)
+	}
+	return true
+}
+
+func (m *Matrix) row(i int) []float32 { return m.Rows[i*m.D : (i+1)*m.D] }
+
+// Apply stores R·src into dst. dst must not alias src.
+// It panics on dimension mismatch.
+func (m *Matrix) Apply(dst, src []float32) {
+	if len(dst) != m.D || len(src) != m.D {
+		panic("rotation: Apply dimension mismatch")
+	}
+	for i := 0; i < m.D; i++ {
+		dst[i] = vecmath.Dot(m.row(i), src)
+	}
+}
+
+// ApplyAll returns a new matrix with every row of src rotated.
+func (m *Matrix) ApplyAll(src *vecmath.Matrix) *vecmath.Matrix {
+	if src.Cols != m.D {
+		panic("rotation: ApplyAll dimension mismatch")
+	}
+	out := vecmath.NewMatrix(src.Rows, src.Cols)
+	for r := 0; r < src.Rows; r++ {
+		m.Apply(out.Row(r), src.Row(r))
+	}
+	return out
+}
+
+// OrthonormalityError returns max |R·Rᵀ - I| over all entries — a test
+// and validation helper.
+func (m *Matrix) OrthonormalityError() float64 {
+	var worst float64
+	for i := 0; i < m.D; i++ {
+		for j := i; j < m.D; j++ {
+			dot := float64(vecmath.Dot(m.row(i), m.row(j)))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if e := math.Abs(dot - want); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}

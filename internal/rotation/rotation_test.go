@@ -1,0 +1,116 @@
+package rotation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anna/internal/vecmath"
+)
+
+func TestOrthonormality(t *testing.T) {
+	for _, d := range []int{1, 2, 16, 128} {
+		m := NewRandom(d, 7)
+		if e := m.OrthonormalityError(); e > 1e-4 {
+			t.Errorf("d=%d orthonormality error %v", d, e)
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	if e := id.OrthonormalityError(); e != 0 {
+		t.Errorf("identity error %v", e)
+	}
+	src := []float32{1, 2, 3, 4}
+	dst := make([]float32, 4)
+	id.Apply(dst, src)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("identity changed the vector: %v", dst)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := NewRandom(8, 3)
+	b := NewRandom(8, 3)
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatal("same seed, different rotation")
+		}
+	}
+	c := NewRandom(8, 4)
+	same := true
+	for i := range a.Rows {
+		if a.Rows[i] != c.Rows[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical rotation")
+	}
+}
+
+// Rotations preserve norms and pairwise distances/inner products — the
+// property that makes OPQ search-compatible.
+func TestIsometryProperty(t *testing.T) {
+	m := NewRandom(8, 11)
+	f := func(raw [16]float32) bool {
+		for _, v := range raw {
+			if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 1e3 {
+				return true
+			}
+		}
+		a, b := raw[:8], raw[8:]
+		ra, rb := make([]float32, 8), make([]float32, 8)
+		m.Apply(ra, a)
+		m.Apply(rb, b)
+		tol := 1e-3 * (1 + float64(vecmath.Norm(a))*float64(vecmath.Norm(b)))
+		if math.Abs(float64(vecmath.Dot(ra, rb)-vecmath.Dot(a, b))) > tol {
+			return false
+		}
+		return math.Abs(float64(vecmath.L2Sq(ra, rb)-vecmath.L2Sq(a, b))) < 4*tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	m := NewRandom(4, 5)
+	src := vecmath.NewMatrix(3, 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := range src.Data {
+		src.Data[i] = float32(rng.NormFloat64())
+	}
+	out := m.ApplyAll(src)
+	for r := 0; r < 3; r++ {
+		want := make([]float32, 4)
+		m.Apply(want, src.Row(r))
+		for i := range want {
+			if out.Row(r)[i] != want[i] {
+				t.Fatalf("ApplyAll row %d differs", r)
+			}
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := NewRandom(4, 1)
+	for _, f := range []func(){
+		func() { NewRandom(0, 1) },
+		func() { m.Apply(make([]float32, 3), make([]float32, 4)) },
+		func() { m.ApplyAll(vecmath.NewMatrix(1, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,160 @@
+// Package rq implements residual (additive) quantization: M codebooks of
+// FULL-dimensional codewords, a vector encoded as the sum of one codeword
+// per stage. This is the additive-quantization family (AQ [Babenko &
+// Lempitsky]) the paper says ANNA "can be slightly extended to support...
+// which utilizes M identifiers each associated with D-dimensional
+// codeword" (Section VI).
+//
+// For inner-product search the compatibility is exact: the score
+// decomposes as s(q, x̃) = Σᵢ q·Cᵢ[eᵢ(x)], so the hardware's lookup
+// tables simply hold q·Cᵢ[j] — the only change from PQ is that each
+// table entry is computed from a D-dimensional (not D/M-dimensional)
+// codeword, which costs the CPM M× more fill cycles (M·D·k*/N_cu) and
+// leaves the SCM scan loop untouched. L2 additive search needs
+// cross-term corrections and is out of scope here, as in the paper.
+package rq
+
+import (
+	"fmt"
+
+	"anna/internal/kmeans"
+	"anna/internal/vecmath"
+)
+
+// Quantizer holds M stages of Ks full-dimensional codewords.
+type Quantizer struct {
+	D, M, Ks int
+	// Codebooks has M*Ks rows of D values: stage i's codeword j is row
+	// i*Ks+j.
+	Codebooks *vecmath.Matrix
+}
+
+// Config controls training.
+type Config struct {
+	M, Ks   int
+	Iters   int // k-means iterations per stage (default 15)
+	Seed    int64
+	Workers int
+}
+
+// Train learns the stage codebooks greedily: stage i clusters the
+// residuals left by stages 0..i-1 (the standard RQ construction).
+func Train(data *vecmath.Matrix, cfg Config) *Quantizer {
+	if cfg.M <= 0 || cfg.Ks < 2 || cfg.Ks > 256 {
+		panic(fmt.Sprintf("rq: invalid config M=%d Ks=%d", cfg.M, cfg.Ks))
+	}
+	if data.Rows < cfg.Ks {
+		panic("rq: fewer training vectors than codewords")
+	}
+	if cfg.Iters == 0 {
+		cfg.Iters = 15
+	}
+	q := &Quantizer{
+		D: data.Cols, M: cfg.M, Ks: cfg.Ks,
+		Codebooks: vecmath.NewMatrix(cfg.M*cfg.Ks, data.Cols),
+	}
+	resid := data.Clone()
+	for i := 0; i < cfg.M; i++ {
+		res := kmeans.Train(resid, kmeans.Config{
+			K: cfg.Ks, MaxIters: cfg.Iters, Seed: cfg.Seed + int64(i),
+			Workers: cfg.Workers,
+		})
+		for j := 0; j < cfg.Ks; j++ {
+			q.Codebooks.SetRow(i*cfg.Ks+j, res.Centroids.Row(j))
+		}
+		// Peel this stage off the residuals.
+		for r := 0; r < resid.Rows; r++ {
+			vecmath.Sub(resid.Row(r), resid.Row(r), res.Centroids.Row(int(res.Assign[r])))
+		}
+	}
+	return q
+}
+
+// Codeword returns stage i's codeword j (shared storage).
+func (q *Quantizer) Codeword(i, j int) []float32 { return q.Codebooks.Row(i*q.Ks + j) }
+
+// CodeBytes is the packed code size (one byte per stage for Ks<=256;
+// nibble packing applies for Ks=16 as in PQ, handled by the caller's
+// layout — here codes are unpacked identifiers).
+func (q *Quantizer) CodeBytes() int {
+	bits := 0
+	for 1<<bits < q.Ks {
+		bits++
+	}
+	return (q.M*bits + 7) / 8
+}
+
+// Encode greedily quantizes v stage by stage, appending one identifier
+// per stage to dst.
+func (q *Quantizer) Encode(dst []byte, v []float32) []byte {
+	if len(v) != q.D {
+		panic("rq: Encode dimension mismatch")
+	}
+	resid := make([]float32, q.D)
+	copy(resid, v)
+	for i := 0; i < q.M; i++ {
+		best, bd := 0, vecmath.L2Sq(resid, q.Codeword(i, 0))
+		for j := 1; j < q.Ks; j++ {
+			if d := vecmath.L2Sq(resid, q.Codeword(i, j)); d < bd {
+				best, bd = j, d
+			}
+		}
+		dst = append(dst, byte(best))
+		vecmath.Sub(resid, resid, q.Codeword(i, best))
+	}
+	return dst
+}
+
+// Decode reconstructs the additive approximation into dst (length D).
+func (q *Quantizer) Decode(dst []float32, codes []byte) {
+	if len(codes) != q.M || len(dst) != q.D {
+		panic("rq: Decode size mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, c := range codes {
+		vecmath.Add(dst, dst, q.Codeword(i, int(c)))
+	}
+}
+
+// LUT is the per-query inner-product table set: Values[i*Ks+j] = q·Cᵢ[j].
+// Identical in shape to the PQ LUT, so ANNA's SCM consumes it unchanged.
+type LUT struct {
+	M, Ks  int
+	Values []float32
+}
+
+// FillIP builds the tables for query qv. Cost note: each entry is a
+// D-dimensional dot product, so the CPM fill time is M·D·k*/N_cu cycles
+// (M× the PQ cost) — the "slight extension" the paper mentions.
+func (q *Quantizer) FillIP(l *LUT, qv []float32) {
+	if len(qv) != q.D {
+		panic("rq: FillIP dimension mismatch")
+	}
+	if l.Values == nil {
+		l.M, l.Ks = q.M, q.Ks
+		l.Values = make([]float32, q.M*q.Ks)
+	}
+	for i := 0; i < q.M; i++ {
+		for j := 0; j < q.Ks; j++ {
+			l.Values[i*q.Ks+j] = vecmath.Dot(qv, q.Codeword(i, j))
+		}
+	}
+}
+
+// ADC computes the approximate inner product Σᵢ Lᵢ[codeᵢ] — the exact
+// same M-lookup sum-reduction the SCM hardware performs for PQ.
+func (l *LUT) ADC(codes []byte) float32 {
+	var s float32
+	for i, c := range codes {
+		s += l.Values[i*l.Ks+int(c)]
+	}
+	return s
+}
+
+// FillCycles returns the CPM cycles to fill one LUT set at nCU
+// multiply-accumulators: M·D·k*/N_cu (vs D·k*/N_cu for PQ).
+func (q *Quantizer) FillCycles(nCU int) int64 {
+	return (int64(q.M)*int64(q.D)*int64(q.Ks) + int64(nCU) - 1) / int64(nCU)
+}

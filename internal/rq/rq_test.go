@@ -1,0 +1,149 @@
+package rq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"anna/internal/pq"
+	"anna/internal/vecmath"
+)
+
+func randMatrix(rows, cols int, seed int64) *vecmath.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vecmath.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func TestTrainShapes(t *testing.T) {
+	data := randMatrix(800, 16, 1)
+	q := Train(data, Config{M: 4, Ks: 16, Iters: 6, Seed: 2})
+	if q.D != 16 || q.M != 4 || q.Ks != 16 {
+		t.Fatalf("shape %+v", q)
+	}
+	if q.Codebooks.Rows != 64 || q.Codebooks.Cols != 16 {
+		t.Fatalf("codebooks %dx%d (full-dimensional codewords expected)",
+			q.Codebooks.Rows, q.Codebooks.Cols)
+	}
+	if q.CodeBytes() != 2 { // 4 stages x 4 bits
+		t.Errorf("CodeBytes = %d", q.CodeBytes())
+	}
+}
+
+func TestStagesReduceResidual(t *testing.T) {
+	data := randMatrix(1000, 16, 3)
+	test := randMatrix(50, 16, 4)
+	prev := math.Inf(1)
+	for _, m := range []int{1, 2, 4} {
+		q := Train(data, Config{M: m, Ks: 16, Iters: 8, Seed: 5})
+		dec := make([]float32, 16)
+		var err float64
+		for r := 0; r < test.Rows; r++ {
+			codes := q.Encode(nil, test.Row(r))
+			q.Decode(dec, codes)
+			err += float64(vecmath.L2Sq(dec, test.Row(r)))
+		}
+		if err >= prev {
+			t.Errorf("M=%d error %v not below previous %v", m, err, prev)
+		}
+		prev = err
+	}
+}
+
+// The ADC identity: LUT-sum equals the inner product with the decoded
+// vector — the property that makes the SCM hardware consume RQ codes
+// unchanged.
+func TestADCMatchesDecodedIP(t *testing.T) {
+	data := randMatrix(800, 12, 6)
+	q := Train(data, Config{M: 3, Ks: 16, Iters: 6, Seed: 7})
+	rng := rand.New(rand.NewSource(8))
+	qv := make([]float32, 12)
+	for i := range qv {
+		qv[i] = float32(rng.NormFloat64())
+	}
+	var lut LUT
+	q.FillIP(&lut, qv)
+	dec := make([]float32, 12)
+	for trial := 0; trial < 40; trial++ {
+		v := make([]float32, 12)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		codes := q.Encode(nil, v)
+		q.Decode(dec, codes)
+		want := vecmath.Dot(qv, dec)
+		if got := lut.ADC(codes); math.Abs(float64(got-want)) > 1e-3 {
+			t.Fatalf("ADC %v vs direct %v", got, want)
+		}
+	}
+}
+
+// At equal code size, additive codewords (full-dimensional) reconstruct
+// better than PQ's sub-space codewords on correlated data — the quality
+// motivation for the AQ family.
+func TestBeatsPQOnCorrelatedData(t *testing.T) {
+	// Correlated dimensions: low-rank structure.
+	rng := rand.New(rand.NewSource(9))
+	data := vecmath.NewMatrix(1500, 16)
+	for r := 0; r < data.Rows; r++ {
+		a, b := float32(rng.NormFloat64()), float32(rng.NormFloat64())
+		row := data.Row(r)
+		for j := range row {
+			row[j] = a*float32(j%4) + b*float32(j/4) + float32(rng.NormFloat64())*0.1
+		}
+	}
+	test := vecmath.NewMatrix(60, 16)
+	for r := 0; r < test.Rows; r++ {
+		copy(test.Row(r), data.Row(r*20))
+	}
+
+	rqQ := Train(data, Config{M: 4, Ks: 16, Iters: 8, Seed: 1})
+	pqQ := pq.Train(data, pq.Config{M: 4, Ks: 16, Iters: 8, Seed: 1})
+
+	dec := make([]float32, 16)
+	var rqErr, pqErr float64
+	for r := 0; r < test.Rows; r++ {
+		rqQ.Decode(dec, rqQ.Encode(nil, test.Row(r)))
+		rqErr += float64(vecmath.L2Sq(dec, test.Row(r)))
+		codes := pqQ.Encode(nil, test.Row(r))
+		pqDec := make([]float32, 16)
+		pqQ.Decode(pqDec, codes)
+		pqErr += float64(vecmath.L2Sq(pqDec, test.Row(r)))
+	}
+	if rqErr >= pqErr {
+		t.Errorf("RQ error %v not below PQ %v on correlated data", rqErr, pqErr)
+	}
+}
+
+func TestFillCyclesIsMTimesPQ(t *testing.T) {
+	q := &Quantizer{D: 128, M: 64, Ks: 256}
+	// PQ fill is D*k*/N_cu = 128*256/96 = 342; RQ is M x that.
+	if got := q.FillCycles(96); got != (64*128*256+95)/96 {
+		t.Errorf("FillCycles = %d", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	data := randMatrix(100, 8, 1)
+	q := Train(data, Config{M: 2, Ks: 8, Iters: 3})
+	for _, f := range []func(){
+		func() { Train(data, Config{M: 0, Ks: 8}) },
+		func() { Train(data, Config{M: 2, Ks: 1}) },
+		func() { Train(randMatrix(4, 8, 1), Config{M: 2, Ks: 8}) },
+		func() { q.Encode(nil, make([]float32, 7)) },
+		func() { q.Decode(make([]float32, 8), make([]byte, 1)) },
+		func() { q.FillIP(&LUT{}, make([]float32, 7)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

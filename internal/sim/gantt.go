@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderGantt draws spans as an ASCII Gantt chart — a textual Figure 7.
+// One row per resource, time bucketed into width columns; a cell shows
+// '#' when the resource is busy for most of the bucket, '+' when partly
+// busy, '.' when idle. Rows are ordered by first activity.
+func RenderGantt(spans []Span, width int) string {
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	if width <= 0 {
+		width = 80
+	}
+	var tEnd Cycles
+	for _, s := range spans {
+		if s.End > tEnd {
+			tEnd = s.End
+		}
+	}
+	if tEnd == 0 {
+		tEnd = 1
+	}
+	bucket := float64(tEnd) / float64(width)
+	if bucket <= 0 {
+		bucket = 1
+	}
+
+	type rowInfo struct {
+		first Cycles
+		busy  []float64 // busy cycles per bucket
+	}
+	rows := map[string]*rowInfo{}
+	for _, s := range spans {
+		r, ok := rows[s.Resource]
+		if !ok {
+			r = &rowInfo{first: s.Start, busy: make([]float64, width)}
+			rows[s.Resource] = r
+		}
+		if s.Start < r.first {
+			r.first = s.Start
+		}
+		// Distribute the span over its buckets.
+		lo, hi := float64(s.Start), float64(s.End)
+		for b := int(lo / bucket); b < width && float64(b)*bucket < hi; b++ {
+			bs, be := float64(b)*bucket, float64(b+1)*bucket
+			ov := minf(be, hi) - maxf(bs, lo)
+			if ov > 0 {
+				r.busy[b] += ov
+			}
+		}
+	}
+
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := rows[names[i]], rows[names[j]]
+		if a.first != b.first {
+			return a.first < b.first
+		}
+		return names[i] < names[j]
+	})
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles 0..%d, %d per column ('#' busy, '+' partial, '.' idle)\n",
+		tEnd, int(bucket)+1)
+	for _, n := range names {
+		r := rows[n]
+		fmt.Fprintf(&sb, "%-8s ", n)
+		for b := 0; b < width; b++ {
+			frac := r.busy[b] / bucket
+			switch {
+			case frac >= 0.6:
+				sb.WriteByte('#')
+			case frac > 0:
+				sb.WriteByte('+')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

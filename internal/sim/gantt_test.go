@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderGanttBasic(t *testing.T) {
+	spans := []Span{
+		{Resource: "cpm", Label: "a", Start: 0, End: 50},
+		{Resource: "scm", Label: "b", Start: 50, End: 100},
+	}
+	out := RenderGantt(spans, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// cpm (first active) listed before scm.
+	if !strings.HasPrefix(lines[1], "cpm") || !strings.HasPrefix(lines[2], "scm") {
+		t.Errorf("row order:\n%s", out)
+	}
+	// cpm busy in the first half, idle in the second; scm the reverse.
+	cpm := lines[1][9:]
+	scm := lines[2][9:]
+	if cpm[0] != '#' || cpm[9] != '.' {
+		t.Errorf("cpm row %q", cpm)
+	}
+	if scm[0] != '.' || scm[9] != '#' {
+		t.Errorf("scm row %q", scm)
+	}
+}
+
+func TestRenderGanttPartial(t *testing.T) {
+	// A span covering 30% of a bucket renders '+'.
+	spans := []Span{{Resource: "x", Label: "a", Start: 0, End: 3}}
+	out := RenderGantt(spans, 1)
+	_ = out
+	spans = []Span{
+		{Resource: "x", Label: "a", Start: 0, End: 30},
+		{Resource: "x", Label: "pad", Start: 99, End: 100},
+	}
+	row := strings.Split(RenderGantt(spans, 10), "\n")[1]
+	cells := row[9:]
+	if cells[0] != '#' {
+		t.Errorf("first bucket %q", cells)
+	}
+	if cells[5] != '.' {
+		t.Errorf("middle bucket %q", cells)
+	}
+}
+
+func TestRenderGanttEmpty(t *testing.T) {
+	if got := RenderGantt(nil, 10); !strings.Contains(got, "no spans") {
+		t.Errorf("empty render %q", got)
+	}
+}
+
+func TestRenderGanttDefaults(t *testing.T) {
+	spans := []Span{{Resource: "x", Label: "a", Start: 0, End: 1}}
+	out := RenderGantt(spans, 0)
+	if !strings.Contains(out, "x") {
+		t.Error("default width render broken")
+	}
+}

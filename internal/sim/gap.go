@@ -1,0 +1,95 @@
+package sim
+
+// GapResource is a serially-occupied resource whose scheduler may place a
+// new task in any idle gap, not just after the last booking. This models
+// hardware that reorders requests across independent streams — ANNA's
+// Memory Access Interface keeps 64 outstanding 64 B requests precisely so
+// the memory controller can fill gaps like this. Without it, a transfer
+// booked with a far-future ready time (e.g. a top-k save that must wait
+// for a scan) would artificially block later-issued prefetches.
+type GapResource struct {
+	Name string
+	// intervals are the booked [start, end) spans, sorted by start and
+	// non-overlapping.
+	intervals []interval
+	busy      Cycles
+	eng       *Engine
+	// hint is the index where the previous search ended; ready times are
+	// mostly non-decreasing, so this keeps scheduling near O(1) per call.
+	hint int
+}
+
+type interval struct{ start, end Cycles }
+
+// NewGapResource registers a gap-filling resource on the engine.
+func (e *Engine) NewGapResource(name string) *GapResource {
+	r := &GapResource{Name: name, eng: e}
+	e.gaps = append(e.gaps, r)
+	return r
+}
+
+// Schedule books dur contiguous cycles starting no earlier than ready, in
+// the earliest idle gap that fits. It returns the span's start and end.
+func (r *GapResource) Schedule(ready Cycles, dur Cycles, label string) (start, end Cycles) {
+	if dur < 0 {
+		panic("sim: negative duration on " + r.Name)
+	}
+	if dur == 0 {
+		return ready, ready
+	}
+	start = ready
+	// Resume from the hint if it is safely before the region of interest.
+	i := r.hint
+	if i > len(r.intervals) {
+		i = len(r.intervals)
+	}
+	for i > 0 && r.intervals[i-1].end > start {
+		i--
+	}
+	for ; i < len(r.intervals); i++ {
+		iv := r.intervals[i]
+		if iv.end <= start {
+			continue
+		}
+		if iv.start >= start+dur {
+			break // the gap before this interval fits
+		}
+		start = iv.end // push past this booking
+	}
+	end = start + dur
+	r.intervals = append(r.intervals, interval{})
+	copy(r.intervals[i+1:], r.intervals[i:])
+	r.intervals[i] = interval{start, end}
+	r.hint = i
+	r.busy += dur
+	if r.eng.tracing {
+		r.eng.trace = append(r.eng.trace, Span{r.Name, label, start, end})
+	}
+	return start, end
+}
+
+// Busy returns total booked cycles.
+func (r *GapResource) Busy() Cycles { return r.busy }
+
+// FreeAt returns the end of the last booking (the resource is also free
+// in any interior gaps; FreeAt is used for makespan accounting).
+func (r *GapResource) FreeAt() Cycles {
+	if len(r.intervals) == 0 {
+		return 0
+	}
+	return r.intervals[len(r.intervals)-1].end
+}
+
+// Utilization returns busy/makespan.
+func (r *GapResource) Utilization(makespan Cycles) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(makespan)
+}
+
+func (r *GapResource) reset() {
+	r.intervals = r.intervals[:0]
+	r.busy = 0
+	r.hint = 0
+}

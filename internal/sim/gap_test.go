@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGapBackfill(t *testing.T) {
+	e := NewEngine(false)
+	r := e.NewGapResource("mem")
+	// A far-future booking must not block an earlier one.
+	s1, e1 := r.Schedule(1000, 10, "late")
+	if s1 != 1000 || e1 != 1010 {
+		t.Fatalf("late booking [%d,%d]", s1, e1)
+	}
+	s2, e2 := r.Schedule(0, 10, "early")
+	if s2 != 0 || e2 != 10 {
+		t.Fatalf("early booking [%d,%d] — gap not backfilled", s2, e2)
+	}
+	if r.Busy() != 20 {
+		t.Errorf("busy = %d", r.Busy())
+	}
+	if r.FreeAt() != 1010 {
+		t.Errorf("FreeAt = %d", r.FreeAt())
+	}
+	if e.Makespan() != 1010 {
+		t.Errorf("Makespan = %d", e.Makespan())
+	}
+}
+
+func TestGapFitsBetweenBookings(t *testing.T) {
+	e := NewEngine(false)
+	r := e.NewGapResource("mem")
+	r.Schedule(0, 10, "a")              // [0,10)
+	r.Schedule(30, 10, "b")             // [30,40)
+	s, end := r.Schedule(5, 10, "fits") // gap [10,30) fits after ready push
+	if s != 10 || end != 20 {
+		t.Fatalf("gap fill [%d,%d], want [10,20]", s, end)
+	}
+	// A task too big for the gap goes after the last booking.
+	s, end = r.Schedule(5, 15, "big")
+	if s != 40 || end != 55 {
+		t.Fatalf("oversized gap task [%d,%d], want [40,55]", s, end)
+	}
+}
+
+func TestGapZeroAndNegative(t *testing.T) {
+	e := NewEngine(false)
+	r := e.NewGapResource("mem")
+	s, end := r.Schedule(7, 0, "zero")
+	if s != 7 || end != 7 || r.Busy() != 0 {
+		t.Errorf("zero-duration booking [%d,%d] busy=%d", s, end, r.Busy())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative duration did not panic")
+		}
+	}()
+	r.Schedule(0, -1, "bad")
+}
+
+func TestGapNoOverlapInvariant(t *testing.T) {
+	// Random bookings must never overlap and never start before ready.
+	e := NewEngine(false)
+	r := e.NewGapResource("mem")
+	rng := rand.New(rand.NewSource(3))
+	type iv struct{ s, e Cycles }
+	var booked []iv
+	for i := 0; i < 500; i++ {
+		ready := Cycles(rng.Intn(2000))
+		dur := Cycles(rng.Intn(20) + 1)
+		s, end := r.Schedule(ready, dur, "x")
+		if s < ready {
+			t.Fatalf("started %d before ready %d", s, ready)
+		}
+		if end-s != dur {
+			t.Fatalf("duration %d, want %d", end-s, dur)
+		}
+		for _, b := range booked {
+			if s < b.e && b.s < end {
+				t.Fatalf("overlap: [%d,%d) vs [%d,%d)", s, end, b.s, b.e)
+			}
+		}
+		booked = append(booked, iv{s, end})
+	}
+	var total Cycles
+	for _, b := range booked {
+		total += b.e - b.s
+	}
+	if r.Busy() != total {
+		t.Errorf("busy = %d, want %d", r.Busy(), total)
+	}
+}
+
+func TestGapTraceAndReset(t *testing.T) {
+	e := NewEngine(true)
+	r := e.NewGapResource("mem")
+	r.Schedule(0, 5, "traced")
+	if len(e.Trace()) != 1 || e.Trace()[0].Label != "traced" {
+		t.Errorf("trace: %+v", e.Trace())
+	}
+	if got := r.Utilization(10); got != 0.5 {
+		t.Errorf("utilization %v", got)
+	}
+	if got := r.Utilization(0); got != 0 {
+		t.Errorf("utilization at zero %v", got)
+	}
+	e.Reset()
+	if r.Busy() != 0 || r.FreeAt() != 0 || len(e.Trace()) != 0 {
+		t.Error("reset incomplete")
+	}
+}

@@ -1,0 +1,153 @@
+// Package sim provides the cycle-level simulation kernel underneath the
+// ANNA accelerator model: serial hardware resources, dependency-driven
+// greedy scheduling, and span tracing for timeline visualisation
+// (Figure 7 of the paper).
+//
+// The model is the standard one for dataflow accelerators: each hardware
+// unit (the CPM, each SCM, the memory channel) is a serial resource;
+// each piece of work is a task with a known duration in cycles and a
+// ready time derived from its data dependencies (e.g. "the SCM may scan
+// cluster i+1 once the CPM finished LUT i+1 AND the EFM finished
+// fetching cluster i+1 AND the SCM itself finished cluster i"). Greedy
+// scheduling of tasks in dependency order on serial resources yields the
+// same makespan a cycle-by-cycle simulation of the double-buffered
+// pipeline would, while remaining fast enough to simulate million-vector
+// searches.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cycles counts clock cycles (1 GHz in the paper's configuration).
+type Cycles int64
+
+// Max returns the later of two times.
+func Max(a, b Cycles) Cycles {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Resource is a serially-occupied hardware unit.
+type Resource struct {
+	Name   string
+	freeAt Cycles
+	busy   Cycles
+	eng    *Engine
+}
+
+// Engine owns resources and the optional trace.
+type Engine struct {
+	resources []*Resource
+	gaps      []*GapResource
+	trace     []Span
+	tracing   bool
+}
+
+// Span is one scheduled occupancy of a resource, for timeline output.
+type Span struct {
+	Resource string
+	Label    string
+	Start    Cycles
+	End      Cycles
+}
+
+// NewEngine returns an empty engine. Set tracing to record spans.
+func NewEngine(tracing bool) *Engine {
+	return &Engine{tracing: tracing}
+}
+
+// NewResource registers a serial resource.
+func (e *Engine) NewResource(name string) *Resource {
+	r := &Resource{Name: name, eng: e}
+	e.resources = append(e.resources, r)
+	return r
+}
+
+// Schedule books dur cycles on r, starting no earlier than ready and no
+// earlier than the resource's previous booking. It returns the span's
+// start and end times. A zero-duration task completes at its start time
+// without occupying the resource.
+func (r *Resource) Schedule(ready Cycles, dur Cycles, label string) (start, end Cycles) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative duration %d on %s", dur, r.Name))
+	}
+	start = Max(ready, r.freeAt)
+	end = start + dur
+	if dur > 0 {
+		r.freeAt = end
+		r.busy += dur
+		if r.eng.tracing {
+			r.eng.trace = append(r.eng.trace, Span{r.Name, label, start, end})
+		}
+	}
+	return start, end
+}
+
+// FreeAt returns the time at which the resource next becomes idle.
+func (r *Resource) FreeAt() Cycles { return r.freeAt }
+
+// Busy returns the resource's total booked cycles.
+func (r *Resource) Busy() Cycles { return r.busy }
+
+// Utilization returns busy/total for a run that ended at makespan.
+func (r *Resource) Utilization(makespan Cycles) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(makespan)
+}
+
+// Reset clears resource state (but keeps registrations) and the trace.
+func (e *Engine) Reset() {
+	for _, r := range e.resources {
+		r.freeAt, r.busy = 0, 0
+	}
+	for _, g := range e.gaps {
+		g.reset()
+	}
+	e.trace = e.trace[:0]
+}
+
+// Trace returns the recorded spans sorted by start time.
+func (e *Engine) Trace() []Span {
+	out := make([]Span, len(e.trace))
+	copy(out, e.trace)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Resource < out[j].Resource
+	})
+	return out
+}
+
+// Resources returns the registered resources in creation order.
+func (e *Engine) Resources() []*Resource { return e.resources }
+
+// Makespan returns the latest FreeAt across all resources.
+func (e *Engine) Makespan() Cycles {
+	var m Cycles
+	for _, r := range e.resources {
+		if r.freeAt > m {
+			m = r.freeAt
+		}
+	}
+	for _, g := range e.gaps {
+		if f := g.FreeAt(); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("sim: CeilDiv by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}

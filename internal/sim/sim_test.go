@@ -1,0 +1,132 @@
+package sim
+
+import "testing"
+
+func TestScheduleSerializes(t *testing.T) {
+	e := NewEngine(false)
+	r := e.NewResource("cu")
+	s1, e1 := r.Schedule(0, 10, "a")
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first task [%d,%d]", s1, e1)
+	}
+	// Ready earlier than the resource is free: starts when free.
+	s2, e2 := r.Schedule(5, 10, "b")
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second task [%d,%d], want [10,20]", s2, e2)
+	}
+	// Ready later than free: starts at ready (idle gap).
+	s3, e3 := r.Schedule(100, 5, "c")
+	if s3 != 100 || e3 != 105 {
+		t.Fatalf("third task [%d,%d]", s3, e3)
+	}
+	if r.Busy() != 25 {
+		t.Errorf("busy = %d, want 25", r.Busy())
+	}
+	if r.FreeAt() != 105 {
+		t.Errorf("freeAt = %d", r.FreeAt())
+	}
+}
+
+func TestZeroDurationTask(t *testing.T) {
+	e := NewEngine(true)
+	r := e.NewResource("x")
+	r.Schedule(0, 10, "real")
+	s, end := r.Schedule(0, 0, "nop")
+	if s != 10 || end != 10 {
+		t.Fatalf("zero task [%d,%d]", s, end)
+	}
+	if r.Busy() != 10 {
+		t.Errorf("zero task counted busy")
+	}
+	if len(e.Trace()) != 1 {
+		t.Errorf("zero task traced")
+	}
+}
+
+func TestNegativeDurationPanics(t *testing.T) {
+	e := NewEngine(false)
+	r := e.NewResource("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Schedule(0, -1, "bad")
+}
+
+func TestPipelineOverlapTwoResources(t *testing.T) {
+	// Producer/consumer double buffering: consumer of item i depends on
+	// producer end of item i and its own previous end. With equal
+	// durations the pipeline reaches steady state immediately.
+	e := NewEngine(false)
+	prod := e.NewResource("prod")
+	cons := e.NewResource("cons")
+	var prodEnd, consEnd Cycles
+	for i := 0; i < 5; i++ {
+		_, pe := prod.Schedule(prodEnd, 10, "p")
+		prodEnd = pe
+		_, ce := cons.Schedule(Max(pe, consEnd), 10, "c")
+		consEnd = ce
+	}
+	// 5 items, 10 cycles each, one pipeline fill stage: 60 cycles.
+	if consEnd != 60 {
+		t.Fatalf("pipelined makespan = %d, want 60", consEnd)
+	}
+	if e.Makespan() != 60 {
+		t.Fatalf("Makespan = %d", e.Makespan())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	e := NewEngine(false)
+	r := e.NewResource("u")
+	r.Schedule(0, 50, "w")
+	if got := r.Utilization(100); got != 0.5 {
+		t.Errorf("utilization = %v", got)
+	}
+	if got := r.Utilization(0); got != 0 {
+		t.Errorf("utilization at 0 makespan = %v", got)
+	}
+}
+
+func TestTraceSorted(t *testing.T) {
+	e := NewEngine(true)
+	a := e.NewResource("a")
+	b := e.NewResource("b")
+	b.Schedule(5, 10, "late")
+	a.Schedule(0, 3, "early")
+	tr := e.Trace()
+	if len(tr) != 2 || tr[0].Label != "early" || tr[1].Label != "late" {
+		t.Fatalf("trace order: %+v", tr)
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := NewEngine(true)
+	r := e.NewResource("r")
+	r.Schedule(0, 10, "x")
+	e.Reset()
+	if r.Busy() != 0 || r.FreeAt() != 0 || len(e.Trace()) != 0 {
+		t.Error("Reset incomplete")
+	}
+	if len(e.Resources()) != 1 {
+		t.Error("Reset dropped registrations")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {128, 64, 2},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv(1,0) did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}

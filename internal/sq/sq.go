@@ -1,0 +1,125 @@
+// Package sq implements 8-bit scalar quantization: each dimension is
+// linearly mapped to 0..255 using per-dimension bounds learned from the
+// data. It is the compact storage used for RE-RANKING: after the PQ
+// stage returns candidates, their SQ8 reconstructions refine the order
+// ("re-rank with source coding", Jégou et al. — the paper's own SIFT1B
+// reference [23]). SQ8 costs D bytes per vector versus the PQ codes'
+// M·log2(k*)/8, so it is an optional, memory-for-recall trade.
+package sq
+
+import (
+	"fmt"
+
+	"anna/internal/vecmath"
+)
+
+// Quantizer holds per-dimension affine maps.
+type Quantizer struct {
+	D int
+	// Min and Scale define value = Min[d] + code*Scale[d].
+	Min, Scale []float32
+}
+
+// Train learns per-dimension bounds from the rows of data.
+func Train(data *vecmath.Matrix) *Quantizer {
+	if data.Rows == 0 {
+		panic("sq: no training data")
+	}
+	q := &Quantizer{
+		D:     data.Cols,
+		Min:   make([]float32, data.Cols),
+		Scale: make([]float32, data.Cols),
+	}
+	maxs := make([]float32, data.Cols)
+	copy(q.Min, data.Row(0))
+	copy(maxs, data.Row(0))
+	for r := 1; r < data.Rows; r++ {
+		row := data.Row(r)
+		for d, v := range row {
+			if v < q.Min[d] {
+				q.Min[d] = v
+			}
+			if v > maxs[d] {
+				maxs[d] = v
+			}
+		}
+	}
+	for d := range q.Scale {
+		q.Scale[d] = (maxs[d] - q.Min[d]) / 255
+	}
+	return q
+}
+
+// Encode appends the D-byte code of v to dst.
+func (q *Quantizer) Encode(dst []byte, v []float32) []byte {
+	if len(v) != q.D {
+		panic(fmt.Sprintf("sq: Encode dim %d, want %d", len(v), q.D))
+	}
+	for d, x := range v {
+		var c int
+		if q.Scale[d] > 0 {
+			c = int((x-q.Min[d])/q.Scale[d] + 0.5)
+		}
+		if c < 0 {
+			c = 0
+		}
+		if c > 255 {
+			c = 255
+		}
+		dst = append(dst, byte(c))
+	}
+	return dst
+}
+
+// Decode reconstructs a vector from its code into dst (length D).
+func (q *Quantizer) Decode(dst []float32, code []byte) {
+	if len(code) != q.D || len(dst) != q.D {
+		panic("sq: Decode size mismatch")
+	}
+	for d, c := range code {
+		dst[d] = q.Min[d] + float32(c)*q.Scale[d]
+	}
+}
+
+// Bytes is the storage per vector.
+func (q *Quantizer) Bytes() int { return q.D }
+
+// Store is a flat SQ8 vector store addressed by vector ID.
+type Store struct {
+	Q     *Quantizer
+	Codes []byte // N*D bytes
+	N     int
+}
+
+// NewStore encodes every row of data.
+func NewStore(q *Quantizer, data *vecmath.Matrix) *Store {
+	if data.Cols != q.D {
+		panic("sq: NewStore dimension mismatch")
+	}
+	s := &Store{Q: q, N: data.Rows, Codes: make([]byte, 0, data.Rows*q.D)}
+	for r := 0; r < data.Rows; r++ {
+		s.Codes = q.Encode(s.Codes, data.Row(r))
+	}
+	return s
+}
+
+// Append encodes and appends more vectors, returning the first new ID.
+func (s *Store) Append(data *vecmath.Matrix) int {
+	if data.Cols != s.Q.D {
+		panic("sq: Append dimension mismatch")
+	}
+	first := s.N
+	for r := 0; r < data.Rows; r++ {
+		s.Codes = s.Q.Encode(s.Codes, data.Row(r))
+	}
+	s.N += data.Rows
+	return first
+}
+
+// Decode reconstructs vector id into dst.
+func (s *Store) Decode(dst []float32, id int) {
+	if id < 0 || id >= s.N {
+		panic(fmt.Sprintf("sq: id %d out of range [0,%d)", id, s.N))
+	}
+	s.Q.Decode(dst, s.Codes[id*s.Q.D:(id+1)*s.Q.D])
+}

@@ -1,0 +1,134 @@
+package sq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anna/internal/vecmath"
+)
+
+func randMatrix(rows, cols int, seed int64) *vecmath.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vecmath.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64()) * 5
+	}
+	return m
+}
+
+func TestRoundTripError(t *testing.T) {
+	data := randMatrix(500, 16, 1)
+	q := Train(data)
+	dec := make([]float32, 16)
+	for r := 0; r < data.Rows; r++ {
+		code := q.Encode(nil, data.Row(r))
+		if len(code) != 16 {
+			t.Fatalf("code length %d", len(code))
+		}
+		q.Decode(dec, code)
+		for d := range dec {
+			// Error bounded by half a quantization step.
+			if e := math.Abs(float64(dec[d] - data.Row(r)[d])); e > float64(q.Scale[d])*0.51+1e-6 {
+				t.Fatalf("row %d dim %d error %v > step %v", r, d, e, q.Scale[d])
+			}
+		}
+	}
+}
+
+func TestBoundsClamping(t *testing.T) {
+	data := randMatrix(100, 4, 2)
+	q := Train(data)
+	// Values outside the training range clamp rather than wrap.
+	huge := []float32{1e6, -1e6, 0, 0}
+	code := q.Encode(nil, huge)
+	if code[0] != 255 || code[1] != 0 {
+		t.Errorf("clamping: %v", code[:2])
+	}
+}
+
+func TestConstantDimension(t *testing.T) {
+	m := vecmath.NewMatrix(10, 2)
+	for r := 0; r < 10; r++ {
+		m.SetRow(r, []float32{7, float32(r)})
+	}
+	q := Train(m)
+	code := q.Encode(nil, []float32{7, 3})
+	dec := make([]float32, 2)
+	q.Decode(dec, code)
+	if dec[0] != 7 {
+		t.Errorf("constant dimension reconstructed as %v", dec[0])
+	}
+}
+
+func TestStore(t *testing.T) {
+	data := randMatrix(50, 8, 3)
+	q := Train(data)
+	s := NewStore(q, data)
+	if s.N != 50 || len(s.Codes) != 50*8 {
+		t.Fatalf("store shape N=%d codes=%d", s.N, len(s.Codes))
+	}
+	dec := make([]float32, 8)
+	s.Decode(dec, 7)
+	want := make([]float32, 8)
+	q.Decode(want, q.Encode(nil, data.Row(7)))
+	for d := range want {
+		if dec[d] != want[d] {
+			t.Fatalf("store decode differs at %d", d)
+		}
+	}
+
+	extra := randMatrix(5, 8, 4)
+	first := s.Append(extra)
+	if first != 50 || s.N != 55 {
+		t.Fatalf("append: first=%d N=%d", first, s.N)
+	}
+	s.Decode(dec, 52)
+
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Decode did not panic")
+		}
+	}()
+	s.Decode(dec, 55)
+}
+
+// Property: quantization is monotone per dimension.
+func TestMonotoneProperty(t *testing.T) {
+	data := randMatrix(200, 1, 5)
+	q := Train(data)
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		ca := q.Encode(nil, []float32{a})
+		cb := q.Encode(nil, []float32{b})
+		return ca[0] <= cb[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	q := Train(randMatrix(10, 4, 6))
+	for _, f := range []func(){
+		func() { Train(vecmath.NewMatrix(0, 4)) },
+		func() { q.Encode(nil, make([]float32, 3)) },
+		func() { q.Decode(make([]float32, 4), make([]byte, 3)) },
+		func() { NewStore(q, vecmath.NewMatrix(1, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,99 @@
+package topk
+
+// PHeap models ANNA's hardware top-k selection unit: a P-heap pipelined
+// priority queue that tracks the k largest scores it has been offered.
+//
+// Functional behaviour is identical to Selector. On top of that, PHeap
+// tracks the hardware-relevant statistics the simulator consumes:
+//
+//   - the unit accepts one input per cycle (Offered() == cycles consumed
+//     while the unit was fed),
+//   - entries are 5 bytes in memory (3 B vector ID + 2 B f16 score, per
+//     Section IV-B), so a flush or init moves EntryBytes*k bytes,
+//   - two buffer copies exist so flush/init of one copy overlaps top-k
+//     processing on the other (double buffering); the simulator uses
+//     SwapBuffers to model this.
+//
+// The structure deliberately keeps hardware quantities (byte widths,
+// offered counts) here rather than in the simulator so tests can pin the
+// paper's 2k·N_SCM·5 B save/restore traffic formula against it directly.
+type PHeap struct {
+	sel      *Selector
+	offered  int64 // total inputs taken (one per cycle)
+	accepted int64 // inputs that displaced or extended the tracked set
+}
+
+// EntryBytes is the in-memory size of one top-k entry: 3 bytes of vector
+// ID plus 2 bytes of half-precision score (Section IV-B).
+const EntryBytes = 5
+
+// MaxID is the largest vector ID representable in the 3-byte hardware ID
+// field of a top-k entry.
+const MaxID = 1<<24 - 1
+
+// NewPHeap returns a P-heap tracking the k largest scores.
+func NewPHeap(k int) *PHeap {
+	return &PHeap{sel: NewSelector(k)}
+}
+
+// K returns the unit's capacity.
+func (p *PHeap) K() int { return p.sel.K() }
+
+// Offer feeds one (id, score) input to the unit, consuming one cycle.
+// It reports whether the entry was accepted into the tracked set.
+func (p *PHeap) Offer(id int64, score float32) bool {
+	p.offered++
+	if p.sel.Push(id, score) {
+		p.accepted++
+		return true
+	}
+	return false
+}
+
+// Offered returns the number of inputs taken so far; since the unit
+// processes a single input per cycle this equals its busy cycles.
+func (p *PHeap) Offered() int64 { return p.offered }
+
+// Accepted returns how many offered inputs entered the tracked set.
+func (p *PHeap) Accepted() int64 { return p.accepted }
+
+// Len returns the number of currently tracked entries.
+func (p *PHeap) Len() int { return p.sel.Len() }
+
+// Threshold returns the current admission threshold (see Selector.Threshold).
+func (p *PHeap) Threshold() (float32, bool) { return p.sel.Threshold() }
+
+// Flush returns the tracked entries sorted by descending score and empties
+// the unit, modelling a flush of the SRAM buffers to main memory.
+// FlushBytes reports the traffic this generates.
+func (p *PHeap) Flush() []Result {
+	out := p.sel.Results()
+	p.sel.Reset()
+	return out
+}
+
+// Init loads previously flushed intermediate results back into the unit,
+// modelling initialisation from main memory before a query resumes on a
+// new cluster. The unit must be empty.
+func (p *PHeap) Init(state []Result) {
+	if p.sel.Len() != 0 {
+		panic("topk: PHeap.Init on non-empty unit")
+	}
+	for _, r := range state {
+		p.sel.Push(r.ID, r.Score)
+	}
+}
+
+// FlushBytes returns the memory traffic of flushing n entries.
+func FlushBytes(n int) int64 { return int64(n) * EntryBytes }
+
+// SaveRestoreBytes returns the steady-state per-cluster top-k traffic for
+// nSCM units of capacity k: each unit stores its previous intermediate
+// top-k and loads the next one (2·k·nSCM entries of 5 B, Section IV-B).
+func SaveRestoreBytes(k, nSCM int) int64 {
+	return 2 * int64(k) * int64(nSCM) * EntryBytes
+}
+
+// ResetStats clears the offered/accepted counters without touching the
+// tracked contents.
+func (p *PHeap) ResetStats() { p.offered, p.accepted = 0, 0 }

@@ -1,0 +1,135 @@
+// Package topk implements top-k selection of (id, score) pairs.
+//
+// Two implementations are provided:
+//
+//   - Selector: a software bounded min-heap, used by the CPU reference
+//     ANNS engine (the role Faiss's HeapArray / ScaNN's top-N plays).
+//   - PHeap: a functional + timing model of the P-heap hardware priority
+//     queue [Bhagwan & Lin, INFOCOM 2000] used by ANNA's top-k selection
+//     units, including the double-buffered flush/init-to-memory behaviour
+//     the Section-IV batch optimization relies on.
+//
+// Scores follow the paper's convention: larger is more similar (L2
+// distances are negated before insertion), so both structures keep the k
+// LARGEST scores seen.
+package topk
+
+import "sort"
+
+// Result is a scored candidate.
+type Result struct {
+	ID    int64
+	Score float32
+}
+
+// Selector keeps the k results with the largest scores using a bounded
+// min-heap rooted at the current worst retained score.
+type Selector struct {
+	k    int
+	heap []Result // min-heap on Score
+}
+
+// NewSelector returns a Selector retaining the top k scores. k must be > 0.
+func NewSelector(k int) *Selector {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Selector{k: k, heap: make([]Result, 0, k)}
+}
+
+// K returns the selector's capacity.
+func (s *Selector) K() int { return s.k }
+
+// Len returns the number of results currently retained.
+func (s *Selector) Len() int { return len(s.heap) }
+
+// Threshold returns the smallest retained score, or -Inf semantics via
+// ok=false while fewer than k results have been pushed. A candidate with
+// Score <= Threshold (when full) cannot enter the selector.
+func (s *Selector) Threshold() (score float32, ok bool) {
+	if len(s.heap) < s.k {
+		return 0, false
+	}
+	return s.heap[0].Score, true
+}
+
+// Push offers a candidate. It returns true if the candidate was retained.
+func (s *Selector) Push(id int64, score float32) bool {
+	if len(s.heap) < s.k {
+		s.heap = append(s.heap, Result{id, score})
+		s.up(len(s.heap) - 1)
+		return true
+	}
+	if score <= s.heap[0].Score {
+		return false
+	}
+	s.heap[0] = Result{id, score}
+	s.down(0)
+	return true
+}
+
+func (s *Selector) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heap[p].Score <= s.heap[i].Score {
+			break
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+}
+
+func (s *Selector) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.heap[l].Score < s.heap[m].Score {
+			m = l
+		}
+		if r < n && s.heap[r].Score < s.heap[m].Score {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.heap[i], s.heap[m] = s.heap[m], s.heap[i]
+		i = m
+	}
+}
+
+// Results returns the retained results sorted by descending score
+// (ties broken by ascending ID for determinism). The selector remains
+// usable afterwards.
+func (s *Selector) Results() []Result {
+	out := make([]Result, len(s.heap))
+	copy(out, s.heap)
+	SortDesc(out)
+	return out
+}
+
+// Reset empties the selector, keeping its capacity.
+func (s *Selector) Reset() { s.heap = s.heap[:0] }
+
+// SortDesc sorts results by descending score, ascending ID on ties.
+func SortDesc(r []Result) {
+	sort.Slice(r, func(i, j int) bool {
+		if r[i].Score != r[j].Score {
+			return r[i].Score > r[j].Score
+		}
+		return r[i].ID < r[j].ID
+	})
+}
+
+// Merge returns the top-k of the concatenation of several result lists.
+// This is the reduction used when intra-query parallelism spreads one
+// query across multiple SCMs and their per-SCM top-k lists are combined.
+func Merge(k int, lists ...[]Result) []Result {
+	s := NewSelector(k)
+	for _, l := range lists {
+		for _, r := range l {
+			s.Push(r.ID, r.Score)
+		}
+	}
+	return s.Results()
+}

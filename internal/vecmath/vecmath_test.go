@@ -1,0 +1,241 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, -5, 6}
+	if got := Dot(a, b); got != 12 {
+		t.Errorf("Dot = %v, want 12", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestL2Sq(t *testing.T) {
+	a := []float32{0, 0}
+	b := []float32{3, 4}
+	if got := L2Sq(a, b); got != 25 {
+		t.Errorf("L2Sq = %v, want 25", got)
+	}
+	if got := L2Sq(b, b); got != 0 {
+		t.Errorf("L2Sq(x,x) = %v, want 0", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := []float32{3, 4}
+	if got := NormSq(v); got != 25 {
+		t.Errorf("NormSq = %v", got)
+	}
+	if got := Norm(v); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	Normalize(v)
+	if !almostEq(float64(Norm(v)), 1, 1e-6) {
+		t.Errorf("Normalize: norm = %v, want 1", Norm(v))
+	}
+	z := []float32{0, 0}
+	Normalize(z) // must not NaN
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("Normalize(0) changed the vector: %v", z)
+	}
+}
+
+func TestSubAddScaleAXPY(t *testing.T) {
+	a := []float32{5, 7}
+	b := []float32{2, 3}
+	dst := make([]float32, 2)
+	Sub(dst, a, b)
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Errorf("Sub = %v", dst)
+	}
+	Add(dst, dst, b)
+	if dst[0] != 5 || dst[1] != 7 {
+		t.Errorf("Add = %v", dst)
+	}
+	Scale(dst, 2)
+	if dst[0] != 10 || dst[1] != 14 {
+		t.Errorf("Scale = %v", dst)
+	}
+	AXPY(dst, -1, a)
+	if dst[0] != 5 || dst[1] != 7 {
+		t.Errorf("AXPY = %v", dst)
+	}
+	// In-place aliasing.
+	Sub(a, a, a)
+	if a[0] != 0 || a[1] != 0 {
+		t.Errorf("aliased Sub = %v", a)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.SetRow(0, []float32{1, 2})
+	m.SetRow(1, []float32{3, 4})
+	m.SetRow(2, []float32{5, 6})
+	if r := m.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Errorf("Row(1) = %v", r)
+	}
+	c := m.Clone()
+	c.Row(0)[0] = 99
+	if m.Row(0)[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+
+	out := make([]float32, 3)
+	q := []float32{1, 1}
+	DotBatch(out, m, q)
+	want := []float32{3, 7, 11}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("DotBatch[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	L2SqBatch(out, m, q)
+	want = []float32{1, 13, 41}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("L2SqBatch[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestRowAppendCannotClobber(t *testing.T) {
+	// Row returns a full-capacity-limited slice: appending to it must not
+	// overwrite the next row.
+	m := NewMatrix(2, 2)
+	m.SetRow(1, []float32{7, 8})
+	r := m.Row(0)
+	r = append(r, 99)
+	_ = r
+	if m.Row(1)[0] != 7 {
+		t.Error("append to Row(0) clobbered Row(1)")
+	}
+}
+
+func TestArgMinMax(t *testing.T) {
+	s := []float32{3, 1, 4, 1, 5}
+	if i, v := ArgMin(s); i != 1 || v != 1 {
+		t.Errorf("ArgMin = %d,%v", i, v)
+	}
+	if i, v := ArgMax(s); i != 4 || v != 5 {
+		t.Errorf("ArgMax = %d,%v", i, v)
+	}
+	// First on ties.
+	s = []float32{2, 2, 2}
+	if i, _ := ArgMin(s); i != 0 {
+		t.Errorf("ArgMin tie = %d, want 0", i)
+	}
+	if i, _ := ArgMax(s); i != 0 {
+		t.Errorf("ArgMax tie = %d, want 0", i)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.SetRow(0, []float32{0, 0})
+	m.SetRow(1, []float32{2, 4})
+	m.SetRow(2, []float32{4, 8})
+	dst := []float32{9, 9}
+	Mean(dst, m, []int{1, 2})
+	if dst[0] != 3 || dst[1] != 6 {
+		t.Errorf("Mean = %v", dst)
+	}
+	Mean(dst, m, nil)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Errorf("Mean(empty) = %v, want zeros", dst)
+	}
+}
+
+// Property: the polarization identity ||a-b||² = ||a||² + ||b||² - 2<a,b>
+// relates L2Sq and Dot.
+func TestPolarizationIdentity(t *testing.T) {
+	f := func(raw [8]float32) bool {
+		a, b := raw[:4], raw[4:]
+		for _, v := range raw {
+			if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 1e6 {
+				return true
+			}
+		}
+		lhs := float64(L2Sq(a, b))
+		rhs := float64(NormSq(a)) + float64(NormSq(b)) - 2*float64(Dot(a, b))
+		scale := math.Max(1, math.Max(math.Abs(lhs), math.Abs(rhs)))
+		return almostEq(lhs, rhs, 1e-3*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy-Schwarz |<a,b>| <= ||a||*||b||.
+func TestCauchySchwarz(t *testing.T) {
+	f := func(raw [8]float32) bool {
+		a, b := raw[:4], raw[4:]
+		for _, v := range raw {
+			if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 1e6 {
+				return true
+			}
+		}
+		lhs := math.Abs(float64(Dot(a, b)))
+		rhs := float64(Norm(a)) * float64(Norm(b))
+		return lhs <= rhs*(1+1e-4)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDot128(b *testing.B) {
+	x := make([]float32, 128)
+	y := make([]float32, 128)
+	for i := range x {
+		x[i], y[i] = float32(i), float32(i)*0.5
+	}
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink = Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkL2Sq128(b *testing.B) {
+	x := make([]float32, 128)
+	y := make([]float32, 128)
+	for i := range x {
+		x[i], y[i] = float32(i), float32(i)*0.5
+	}
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink = L2Sq(x, y)
+	}
+	_ = sink
+}
+
+func TestSetRowPanics(t *testing.T) {
+	m := NewMatrix(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.SetRow(0, []float32{1})
+}

@@ -1,0 +1,210 @@
+package anna
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Server wraps an Index behind an HTTP JSON API — the deployment shape
+// of a similarity-search service (the paper's motivating recommender /
+// semantic-search backends). Endpoints:
+//
+//	POST /search  {"queries": [[...]], "w": 32, "k": 10}
+//	              -> {"results": [[{"id":..,"score":..},...]]}
+//	POST /add     {"vectors": [[...]]} -> {"first_id": N, "count": M}
+//	GET  /stats   -> index statistics
+//	GET  /healthz -> 200 ok
+//
+// Add is serialised against searches with a read-write lock; searches
+// run concurrently.
+type Server struct {
+	mu  sync.RWMutex
+	idx *Index
+	// MaxBatch bounds queries per /search request (default 1024).
+	MaxBatch int
+	// DefaultW / DefaultK apply when a request omits them.
+	DefaultW, DefaultK int
+	// Accelerator, when set, lets requests with "backend":"anna" run on
+	// the simulated ANNA instead of the software engine; the response
+	// then carries the simulated cost (cycles, traffic, energy).
+	Accelerator *Accelerator
+}
+
+// NewServer returns a Server for idx.
+func NewServer(idx *Index) *Server {
+	return &Server{idx: idx, MaxBatch: 1024, DefaultW: 32, DefaultK: 10}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/add", s.handleAdd)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type searchRequest struct {
+	Queries [][]float32 `json:"queries"`
+	W       int         `json:"w"`
+	K       int         `json:"k"`
+	// Backend selects "software" (default) or "anna" (the simulated
+	// accelerator; requires Server.Accelerator).
+	Backend string `json:"backend"`
+}
+
+type searchResult struct {
+	ID    int64   `json:"id"`
+	Score float32 `json:"score"`
+}
+
+type searchResponse struct {
+	Results [][]searchResult `json:"results"`
+	// Simulated-accelerator cost, present for backend "anna".
+	Cycles       int64   `json:"cycles,omitempty"`
+	TrafficBytes int64   `json:"traffic_bytes,omitempty"`
+	ChipEnergyJ  float64 `json:"chip_energy_j,omitempty"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "no queries")
+		return
+	}
+	if len(req.Queries) > s.MaxBatch {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), s.MaxBatch)
+		return
+	}
+	if req.W <= 0 {
+		req.W = s.DefaultW
+	}
+	if req.K <= 0 {
+		req.K = s.DefaultK
+	}
+
+	var resp searchResponse
+	switch req.Backend {
+	case "", "software":
+		s.mu.RLock()
+		rep, err := s.idx.SearchBatch(req.Queries, SearchOptions{
+			W: req.W, K: req.K, Mode: ClusterMajor,
+		})
+		s.mu.RUnlock()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "search: %v", err)
+			return
+		}
+		resp.Results = toSearchResults(rep.Results)
+	case "anna":
+		if s.Accelerator == nil {
+			httpError(w, http.StatusBadRequest, "no accelerator configured on this server")
+			return
+		}
+		s.mu.RLock()
+		rep, err := s.Accelerator.Simulate(req.Queries, SimParams{W: req.W, K: req.K})
+		s.mu.RUnlock()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "simulating: %v", err)
+			return
+		}
+		resp.Results = toSearchResults(rep.Results)
+		resp.Cycles = rep.Cycles
+		resp.TrafficBytes = rep.TrafficBytes
+		resp.ChipEnergyJ = rep.ChipEnergyJ
+	default:
+		httpError(w, http.StatusBadRequest, "unknown backend %q", req.Backend)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func toSearchResults(in [][]Result) [][]searchResult {
+	out := make([][]searchResult, len(in))
+	for i, rs := range in {
+		row := make([]searchResult, len(rs))
+		for j, res := range rs {
+			row[j] = searchResult{ID: res.ID, Score: res.Score}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+type addRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+}
+
+type addResponse struct {
+	FirstID int64 `json:"first_id"`
+	Count   int   `json:"count"`
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req addRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	first, err := s.idx.Add(req.Vectors)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "add: %v", err)
+		return
+	}
+	writeJSON(w, addResponse{FirstID: first, Count: len(req.Vectors)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.RLock()
+	st := s.idx.Stats()
+	metric := s.idx.Metric().String()
+	dim := s.idx.Dim()
+	s.mu.RUnlock()
+	writeJSON(w, map[string]any{
+		"vectors":           st.Vectors,
+		"clusters":          st.Clusters,
+		"dim":               dim,
+		"metric":            metric,
+		"code_bytes":        st.CodeBytesPerVector,
+		"total_code_bytes":  st.TotalCodeBytes,
+		"compression_ratio": st.CompressionRatio,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,243 @@
+package anna
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, [][]float32) {
+	t.Helper()
+	idx, base, _ := buildTestIndex(t, L2, 16)
+	s := NewServer(idx)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, base
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServerSearch(t *testing.T) {
+	_, ts, base := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/search", searchRequest{
+		Queries: [][]float32{base[5]}, W: 24, K: 3,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out searchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || len(out.Results[0]) != 3 {
+		t.Fatalf("shape: %+v", out)
+	}
+	// Querying with a database vector: it (or a quantization twin) ranks
+	// near the top.
+	found := false
+	for _, r := range out.Results[0] {
+		if r.ID == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Logf("self not in top-3 (quantization tie): %+v", out.Results[0])
+	}
+}
+
+func TestServerSearchDefaults(t *testing.T) {
+	_, ts, base := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/search", searchRequest{Queries: [][]float32{base[0]}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out searchResponse
+	json.NewDecoder(resp.Body).Decode(&out)
+	if len(out.Results[0]) != 10 { // DefaultK
+		t.Errorf("%d results with defaults", len(out.Results[0]))
+	}
+}
+
+func TestServerSearchErrors(t *testing.T) {
+	s, ts, base := newTestServer(t)
+	cases := []struct {
+		name string
+		body any
+		code int
+	}{
+		{"empty", searchRequest{}, http.StatusBadRequest},
+		{"wrong dim", searchRequest{Queries: [][]float32{{1, 2}}}, http.StatusBadRequest},
+		{"oversized batch", func() searchRequest {
+			s.MaxBatch = 2
+			return searchRequest{Queries: [][]float32{base[0], base[1], base[2]}}
+		}(), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/search", c.body)
+		resp.Body.Close()
+		if resp.StatusCode != c.code {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.code)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+	// Wrong method.
+	get, err := http.Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /search: status %d", get.StatusCode)
+	}
+}
+
+func TestServerAddThenSearch(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	newVecs := clusteredVectors(10, 32, 24, 77)
+	resp := postJSON(t, ts.URL+"/add", addRequest{Vectors: newVecs})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add status %d", resp.StatusCode)
+	}
+	var added addResponse
+	json.NewDecoder(resp.Body).Decode(&added)
+	if added.Count != 10 || added.FirstID != 3000 {
+		t.Fatalf("add response %+v", added)
+	}
+
+	// The added vector is now searchable.
+	sr := postJSON(t, ts.URL+"/search", searchRequest{
+		Queries: [][]float32{newVecs[0]}, W: 24, K: 5,
+	})
+	defer sr.Body.Close()
+	var out searchResponse
+	json.NewDecoder(sr.Body).Decode(&out)
+	found := false
+	for _, r := range out.Results[0] {
+		if r.ID == added.FirstID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("added vector not found: %+v", out.Results[0])
+	}
+}
+
+func TestServerStatsAndHealth(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["vectors"].(float64) != 3000 || st["metric"].(string) != "l2" {
+		t.Errorf("stats: %+v", st)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", hz.StatusCode)
+	}
+}
+
+func TestServerAcceleratorBackend(t *testing.T) {
+	idx, base, _ := buildTestIndex(t, L2, 16)
+	cfg := DefaultAcceleratorConfig()
+	cfg.TopK = 100
+	acc, err := NewAccelerator(idx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(idx)
+	s.Accelerator = acc
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/search", searchRequest{
+		Queries: [][]float32{base[3]}, W: 6, K: 5, Backend: "anna",
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out searchResponse
+	json.NewDecoder(resp.Body).Decode(&out)
+	if len(out.Results) != 1 || len(out.Results[0]) != 5 {
+		t.Fatalf("shape %+v", out.Results)
+	}
+	if out.Cycles <= 0 || out.TrafficBytes <= 0 || out.ChipEnergyJ <= 0 {
+		t.Errorf("missing simulated cost: %+v", out)
+	}
+
+	// Unknown backend and missing accelerator both error.
+	bad := postJSON(t, ts.URL+"/search", searchRequest{
+		Queries: [][]float32{base[0]}, Backend: "gpu",
+	})
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown backend status %d", bad.StatusCode)
+	}
+	s.Accelerator = nil
+	noacc := postJSON(t, ts.URL+"/search", searchRequest{
+		Queries: [][]float32{base[0]}, Backend: "anna",
+	})
+	noacc.Body.Close()
+	if noacc.StatusCode != http.StatusBadRequest {
+		t.Errorf("accelerator-less status %d", noacc.StatusCode)
+	}
+}
+
+// Concurrent searches and adds must not race (run with -race).
+func TestServerConcurrentAccess(t *testing.T) {
+	_, ts, base := newTestServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%4 == 0 {
+				resp := postJSON(t, ts.URL+"/add", addRequest{
+					Vectors: clusteredVectors(5, 32, 24, int64(i)),
+				})
+				resp.Body.Close()
+				return
+			}
+			resp := postJSON(t, ts.URL+"/search", searchRequest{
+				Queries: [][]float32{base[i]}, W: 8, K: 5,
+			})
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,157 @@
+package anna
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"anna/internal/dataset"
+	"anna/internal/vecmath"
+)
+
+// StreamBuildOptions extend BuildOptions for bounded-memory construction.
+type StreamBuildOptions struct {
+	BuildOptions
+	// SampleSize is how many leading vectors are buffered to train the
+	// model before the remainder streams through encode-and-append
+	// (default 100000, or the whole stream if shorter). Training sees
+	// only this prefix; shuffle the file beforehand if its order is
+	// strongly non-stationary.
+	SampleSize int
+	// ChunkSize bounds the vectors resident during the streaming phase
+	// (default 8192).
+	ChunkSize int
+}
+
+// BuildIndexFromFvecs trains and populates an index from an fvecs stream
+// with bounded memory: only SampleSize training vectors plus one
+// ChunkSize batch are resident at any time, while the index itself holds
+// compressed codes — the workflow that makes billion-scale ingestion
+// feasible (the full SIFT1B raw data is 256 GB; its 4:1 PQ index is
+// 64 GB). Vector IDs follow stream order.
+func BuildIndexFromFvecs(r io.Reader, metric Metric, opt StreamBuildOptions) (*Index, error) {
+	if opt.SampleSize <= 0 {
+		opt.SampleSize = 100000
+	}
+	if opt.ChunkSize <= 0 {
+		opt.ChunkSize = 8192
+	}
+	sc := dataset.NewFvecsScanner(r)
+
+	// Phase 1: buffer the training prefix.
+	var sample [][]float32
+	for len(sample) < opt.SampleSize && sc.Next() {
+		row := make([]float32, sc.Dim())
+		copy(row, sc.Row())
+		sample = append(sample, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("anna: empty fvecs stream")
+	}
+	idx, err := BuildIndex(sample, metric, opt.BuildOptions)
+	if err != nil {
+		return nil, err
+	}
+	sample = nil // release the training buffer
+
+	// Phase 2: stream the remainder through encode-and-append in chunks.
+	chunk := vecmath.NewMatrix(opt.ChunkSize, idx.Dim())
+	filled := 0
+	flush := func() {
+		if filled == 0 {
+			return
+		}
+		view := &vecmath.Matrix{Rows: filled, Cols: idx.Dim(),
+			Data: chunk.Data[:filled*idx.Dim()]}
+		idx.inner.Add(view)
+		filled = 0
+	}
+	for sc.Next() {
+		if sc.Dim() != idx.Dim() {
+			return nil, fmt.Errorf("anna: stream dimension changed to %d", sc.Dim())
+		}
+		copy(chunk.Row(filled), sc.Row())
+		filled++
+		if filled == opt.ChunkSize {
+			flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return idx, nil
+}
+
+// BuildIndexFromFvecsFile is BuildIndexFromFvecs over a file path.
+func BuildIndexFromFvecsFile(path string, metric Metric, opt StreamBuildOptions) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return BuildIndexFromFvecs(f, metric, opt)
+}
+
+// TuneW finds the smallest W whose measured recall X@Y on the provided
+// evaluation queries meets the target, using exact search over the given
+// corpus sample for ground truth. It returns the chosen W and its
+// recall; if even W = NClusters misses the target (e.g. a k*=16 recall
+// ceiling), it returns that maximum W with ok=false. This is the
+// recall/throughput knob-turning the paper performs manually for every
+// Figure 8 curve.
+func (x *Index) TuneW(corpus, queries [][]float32, rx, ry int, target float64) (w int, achieved float64, ok bool, err error) {
+	if target <= 0 || target > 1 {
+		return 0, 0, false, fmt.Errorf("anna: target recall %v out of (0,1]", target)
+	}
+	if rx <= 0 || ry < rx {
+		return 0, 0, false, fmt.Errorf("anna: need ry >= rx > 0, got %d, %d", rx, ry)
+	}
+	truth := make([][]int64, len(queries))
+	for i, q := range queries {
+		ex, err := ExactSearch(corpus, x.Metric(), q, rx)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		ids := make([]int64, len(ex))
+		for j, r := range ex {
+			ids[j] = r.ID
+		}
+		truth[i] = ids
+	}
+	measure := func(w int) float64 {
+		var sum float64
+		for i, q := range queries {
+			sum += Recall(rx, ry, truth[i], x.Search(q, w, ry))
+		}
+		return sum / float64(len(queries))
+	}
+
+	// Doubling search for an upper bound, then binary search for the
+	// smallest satisfying W (recall is monotone in W up to noise).
+	maxW := x.NClusters()
+	hi := 1
+	for hi < maxW && measure(hi) < target {
+		hi *= 2
+	}
+	if hi > maxW {
+		hi = maxW
+	}
+	rHi := measure(hi)
+	if rHi < target {
+		return hi, rHi, false, nil
+	}
+	lo := hi / 2
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if measure(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, measure(hi), true, nil
+}

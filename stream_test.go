@@ -1,0 +1,156 @@
+package anna
+
+import (
+	"bytes"
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/vecmath"
+)
+
+// fvecsBytes serialises vectors as an fvecs stream.
+func fvecsBytes(t *testing.T, vectors [][]float32) []byte {
+	t.Helper()
+	m := vecmath.NewMatrix(len(vectors), len(vectors[0]))
+	for i, v := range vectors {
+		m.SetRow(i, v)
+	}
+	var buf bytes.Buffer
+	if err := dataset.WriteFvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStreamingBuildMatchesInMemoryBuild(t *testing.T) {
+	base := clusteredVectors(5000, 16, 16, 51)
+	opt := StreamBuildOptions{
+		BuildOptions: BuildOptions{
+			NClusters: 16, M: 4, Ks: 16, TrainIters: 5, Seed: 9,
+		},
+		SampleSize: 2000, // training prefix
+		ChunkSize:  700,  // force several streaming flushes
+	}
+	streamed, err := BuildIndexFromFvecs(bytes.NewReader(fvecsBytes(t, base)), L2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Len() != len(base) {
+		t.Fatalf("streamed %d vectors, want %d", streamed.Len(), len(base))
+	}
+
+	// An in-memory index trained on the same prefix and extended with
+	// Add must be identical in behaviour.
+	ref, err := BuildIndex(base[:2000], L2, opt.BuildOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Add(base[2000:]); err != nil {
+		t.Fatal(err)
+	}
+	q := clusteredVectors(5, 16, 16, 52)
+	for _, qu := range q {
+		a := streamed.Search(qu, 8, 10)
+		b := ref.Search(qu, 8, 10)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("streamed/in-memory mismatch at rank %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+
+	// Stream-built index retrieves late (streamed-phase) vectors.
+	res := streamed.Search(base[4800], streamed.NClusters(), 5)
+	found := false
+	for _, r := range res {
+		if r.ID == 4800 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("late streamed vector not retrievable: %+v", res)
+	}
+}
+
+func TestStreamingBuildWholeStreamAsSample(t *testing.T) {
+	base := clusteredVectors(800, 8, 8, 53)
+	idx, err := BuildIndexFromFvecs(bytes.NewReader(fvecsBytes(t, base)), L2, StreamBuildOptions{
+		BuildOptions: BuildOptions{NClusters: 8, M: 4, Ks: 16, TrainIters: 4},
+		SampleSize:   10000, // larger than the stream
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 800 {
+		t.Fatalf("len %d", idx.Len())
+	}
+}
+
+func TestStreamingBuildErrors(t *testing.T) {
+	if _, err := BuildIndexFromFvecs(bytes.NewReader(nil), L2, StreamBuildOptions{
+		BuildOptions: BuildOptions{NClusters: 2, M: 2, Ks: 4},
+	}); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Corrupt stream mid-way.
+	base := clusteredVectors(300, 8, 4, 54)
+	raw := fvecsBytes(t, base)
+	corrupt := append([]byte{}, raw[:len(raw)-5]...)
+	if _, err := BuildIndexFromFvecs(bytes.NewReader(corrupt), L2, StreamBuildOptions{
+		BuildOptions: BuildOptions{NClusters: 4, M: 4, Ks: 16, TrainIters: 3},
+		SampleSize:   100,
+	}); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := BuildIndexFromFvecsFile("/no/such/file", L2, StreamBuildOptions{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestTuneW(t *testing.T) {
+	idx, base, queries := buildTestIndex(t, L2, 16)
+	w, achieved, ok, err := idx.TuneW(base, queries, 10, 100, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("target unreachable: best %.3f at W=%d", achieved, w)
+	}
+	if achieved < 0.9 {
+		t.Fatalf("achieved %.3f below target at W=%d", achieved, w)
+	}
+	// Minimality: W-1 misses the target (allowing W=1).
+	if w > 1 {
+		var below float64
+		for i, q := range queries {
+			ex, _ := ExactSearch(base, L2, q, 10)
+			truth := make([]int64, len(ex))
+			for j, r := range ex {
+				truth[j] = r.ID
+			}
+			below += Recall(10, 100, truth[:10], idx.Search(q, w-1, 100))
+			_ = i
+		}
+		if below/float64(len(queries)) >= 0.9 {
+			t.Errorf("W=%d not minimal: W-1 also meets target", w)
+		}
+	}
+
+	// Unreachable target reports ok=false with the max-W recall.
+	_, _, ok, err = idx.TuneW(base, queries, 10, 10, 0.99999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ok // may or may not reach on easy data; just must not error
+
+	// Parameter validation.
+	if _, _, _, err := idx.TuneW(base, queries, 10, 100, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, _, _, err := idx.TuneW(base, queries, 0, 100, 0.5); err == nil {
+		t.Error("rx=0 accepted")
+	}
+	if _, _, _, err := idx.TuneW(base, queries, 10, 5, 0.5); err == nil {
+		t.Error("ry<rx accepted")
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt examples experiments clean
+.PHONY: all build test race check bench benchall vet fmt examples experiments clean
 
 all: build vet test
 
@@ -15,7 +15,18 @@ test:
 race:
 	$(GO) test -race ./internal/engine/ ./internal/anna/ .
 
+# Vet plus race-detected tests of the reworked engine worker pool and the
+# fused scan path.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/engine/... ./internal/ivf/...
+
+# Run the scan/search benchmarks ('Search|ADC|Major' across ivf, pq and
+# engine) and record before/after QPS + allocs/op in BENCH_engine.json.
 bench:
+	$(GO) run ./cmd/benchjson -out BENCH_engine.json
+
+benchall:
 	$(GO) test -bench=. -benchmem ./...
 
 vet:

@@ -1,0 +1,189 @@
+// Command benchjson runs the scan/search benchmarks and records them as
+// JSON, comparing against the recorded pre-fused-kernel seed baseline.
+// It backs `make bench`, which regenerates BENCH_engine.json at the repo
+// root:
+//
+//	go run ./cmd/benchjson -out BENCH_engine.json
+//
+// The seed baselines were measured on the commit preceding the fused
+// scan kernel (same machine class as CI): they are the "before" column,
+// the fresh run is "after".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metrics is one benchmark's figures. QPS is derived from ns/op and the
+// op's query count when the benchmark doesn't report a qps metric itself.
+type Metrics struct {
+	NsPerOp     float64  `json:"ns_op"`
+	BytesPerOp  *float64 `json:"b_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_op,omitempty"`
+	QPS         *float64 `json:"qps,omitempty"`
+	NsPerQuery  *float64 `json:"ns_query,omitempty"`
+}
+
+// Entry pairs the recorded seed baseline with the fresh measurement.
+type Entry struct {
+	Package string   `json:"package"`
+	Before  *Metrics `json:"before,omitempty"` // seed (pre fused kernel); nil for new benchmarks
+	After   *Metrics `json:"after"`
+	Speedup *float64 `json:"speedup,omitempty"` // before.ns_op / after.ns_op
+}
+
+// Output is the BENCH_engine.json document.
+type Output struct {
+	Generated   string            `json:"generated"`
+	Command     string            `json:"command"`
+	CPU         string            `json:"cpu,omitempty"`
+	Description string            `json:"description"`
+	Benchmarks  map[string]*Entry `json:"benchmarks"`
+}
+
+// queriesPerOp maps benchmarks whose op spans a whole query batch to the
+// batch size, so a comparable QPS can be derived for the seed baseline.
+var queriesPerOp = map[string]float64{
+	"BenchmarkQueryMajor":   12,
+	"BenchmarkClusterMajor": 12,
+	"BenchmarkSearchW8":     1,
+}
+
+func f(v float64) *float64 { return &v }
+
+// seedBaselines are the seed-commit measurements (goroutine-per-query
+// engine, Unpack+ADC+Push reference scan), recorded before the fused
+// kernel landed. go test -bench on the seed tree reproduces them.
+var seedBaselines = map[string]*Metrics{
+	"anna/internal/ivf.BenchmarkSearchW8":        {NsPerOp: 270550, BytesPerOp: f(6672), AllocsPerOp: f(14)},
+	"anna/internal/pq.BenchmarkADC_M64":          {NsPerOp: 50.79, BytesPerOp: f(0), AllocsPerOp: f(0)},
+	"anna/internal/engine.BenchmarkQueryMajor":   {NsPerOp: 991644, BytesPerOp: f(58872), AllocsPerOp: f(199)},
+	"anna/internal/engine.BenchmarkClusterMajor": {NsPerOp: 1100052, BytesPerOp: f(72192), AllocsPerOp: f(346)},
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func main() {
+	out := flag.String("out", "BENCH_engine.json", "output JSON path")
+	bench := flag.String("bench", "Search|ADC|Major", "benchmark regex")
+	benchtime := flag.String("benchtime", "", "passed to -benchtime when non-empty")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	pkgs := []string{"./internal/ivf/", "./internal/pq/", "./internal/engine/"}
+	args = append(args, pkgs...)
+
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+
+	doc := &Output{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Command:   "go " + strings.Join(args, " "),
+		Description: "CPU-engine scan benchmarks. 'before' is the recorded seed baseline " +
+			"(per-vector Unpack+ADC+Push scan, goroutine-per-query engine); 'after' is this tree " +
+			"(fused packed-code scan kernel, threshold-gated top-k, fixed worker pool).",
+		Benchmarks: map[string]*Entry{},
+	}
+
+	pkg := ""
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "pkg:") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if strings.HasPrefix(line, "cpu:") && doc.CPU == "" {
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, metrics := m[1], parseMetrics(m[2])
+		if metrics == nil {
+			continue
+		}
+		key := pkg + "." + name
+		if metrics.QPS == nil {
+			if nq, ok := queriesPerOp[name]; ok && metrics.NsPerOp > 0 {
+				metrics.QPS = f(nq * 1e9 / metrics.NsPerOp)
+			}
+		}
+		e := &Entry{Package: pkg, After: metrics}
+		if before, ok := seedBaselines[key]; ok {
+			e.Before = before
+			if before.QPS == nil {
+				if nq, ok := queriesPerOp[name]; ok && before.NsPerOp > 0 {
+					before.QPS = f(nq * 1e9 / before.NsPerOp)
+				}
+			}
+			if metrics.NsPerOp > 0 {
+				e.Speedup = f(before.NsPerOp / metrics.NsPerOp)
+			}
+		}
+		doc.Benchmarks[key] = e
+	}
+
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks parsed")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(doc.Benchmarks))
+}
+
+// parseMetrics decodes the "value unit value unit ..." tail of a
+// benchmark line.
+func parseMetrics(tail string) *Metrics {
+	fields := strings.Fields(tail)
+	if len(fields)%2 != 0 || len(fields) == 0 {
+		return nil
+	}
+	out := &Metrics{}
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			out.NsPerOp = v
+		case "B/op":
+			out.BytesPerOp = f(v)
+		case "allocs/op":
+			out.AllocsPerOp = f(v)
+		case "qps":
+			out.QPS = f(v)
+		case "ns/query":
+			out.NsPerQuery = f(v)
+		}
+	}
+	return out
+}

@@ -14,12 +14,21 @@
 // behaviour and memory traffic, which the real measured QPS reported by
 // Run exposes. This is the repository's genuine CPU baseline alongside
 // the calibrated analytic models of internal/cost.
+//
+// The runtime is a fixed worker pool, not a goroutine per query: each
+// worker owns one reusable ivf.Searcher (LUT + cluster-selection scratch
+// + top-k selector) for its whole lifetime, pulls work items off an
+// atomic counter, and runs the fused scan kernel (ivf.ScanListADC).
+// Worker searchers and result arenas are pooled on the Engine across Run
+// calls, so the steady state allocates only the per-Run report and
+// per-query result headers.
 package engine
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anna/internal/ivf"
@@ -76,13 +85,90 @@ type Report struct {
 	ListBytesTouched int64
 }
 
-// Engine wraps an index for repeated searches.
+// Engine wraps an index for repeated searches. It pools per-worker
+// search state across Run calls; an Engine is safe for concurrent Runs.
 type Engine struct {
 	idx *ivf.Index
+
+	mu        sync.Mutex
+	searchers []*ivf.Searcher
+	selectors []*topk.Selector // cluster-major per-query selectors
+	luts      []*pq.LUT        // cluster-major per-query IP tables
 }
 
 // New returns an engine over idx.
 func New(idx *ivf.Index) *Engine { return &Engine{idx: idx} }
+
+// grabSearchers checks n worker contexts out of the pool, creating any
+// the pool cannot supply.
+func (e *Engine) grabSearchers(n int) []*ivf.Searcher {
+	out := make([]*ivf.Searcher, 0, n)
+	e.mu.Lock()
+	for len(out) < n && len(e.searchers) > 0 {
+		out = append(out, e.searchers[len(e.searchers)-1])
+		e.searchers = e.searchers[:len(e.searchers)-1]
+	}
+	e.mu.Unlock()
+	for len(out) < n {
+		out = append(out, e.idx.NewSearcher())
+	}
+	return out
+}
+
+func (e *Engine) releaseSearchers(ss []*ivf.Searcher) {
+	e.mu.Lock()
+	e.searchers = append(e.searchers, ss...)
+	e.mu.Unlock()
+}
+
+// grabSelectors checks n reset selectors of capacity k out of the pool;
+// pooled selectors built for a different k are discarded.
+func (e *Engine) grabSelectors(n, k int) []*topk.Selector {
+	out := make([]*topk.Selector, 0, n)
+	e.mu.Lock()
+	for len(out) < n && len(e.selectors) > 0 {
+		s := e.selectors[len(e.selectors)-1]
+		e.selectors = e.selectors[:len(e.selectors)-1]
+		if s.K() != k {
+			continue
+		}
+		s.Reset()
+		out = append(out, s)
+	}
+	e.mu.Unlock()
+	for len(out) < n {
+		out = append(out, topk.NewSelector(k))
+	}
+	return out
+}
+
+func (e *Engine) releaseSelectors(ss []*topk.Selector) {
+	e.mu.Lock()
+	e.selectors = append(e.selectors, ss...)
+	e.mu.Unlock()
+}
+
+// grabLUTs checks n LUTs (all sized for the index's quantizer) out of
+// the pool.
+func (e *Engine) grabLUTs(n int) []*pq.LUT {
+	out := make([]*pq.LUT, 0, n)
+	e.mu.Lock()
+	for len(out) < n && len(e.luts) > 0 {
+		out = append(out, e.luts[len(e.luts)-1])
+		e.luts = e.luts[:len(e.luts)-1]
+	}
+	e.mu.Unlock()
+	for len(out) < n {
+		out = append(out, pq.NewLUT(e.idx.PQ))
+	}
+	return out
+}
+
+func (e *Engine) releaseLUTs(ls []*pq.LUT) {
+	e.mu.Lock()
+	e.luts = append(e.luts, ls...)
+	e.mu.Unlock()
+}
 
 // Run executes the batch and returns results plus measured performance.
 func (e *Engine) Run(queries *vecmath.Matrix, opt Options) *Report {
@@ -104,136 +190,219 @@ func (e *Engine) Run(queries *vecmath.Matrix, opt Options) *Report {
 }
 
 func (e *Engine) runQueryMajor(queries *vecmath.Matrix, opt Options) *Report {
-	rep := &Report{Results: make([][]topk.Result, queries.Rows)}
-	var scanned, bytes int64
-	var mu sync.Mutex
+	n := queries.Rows
+	rep := &Report{Results: make([][]topk.Result, n)}
+	workers := opt.Workers
+	if workers > n {
+		workers = n
+	}
+	searchers := e.grabSearchers(workers)
+	defer e.releaseSearchers(searchers)
+	// One arena backs every query's results; slots are disjoint, so
+	// workers write without coordination. The arena is handed to the
+	// caller inside rep.Results and therefore NOT pooled.
+	arena := make([]topk.Result, n*opt.K)
 
+	var next, scanned, bytes int64
+	p := ivf.SearchParams{W: opt.W, K: opt.K, HWF16: opt.HWF16}
 	start := time.Now()
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Workers)
-	for qi := 0; qi < queries.Rows; qi++ {
+	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(qi int) {
+		go func(s *ivf.Searcher) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			q := queries.Row(qi)
-			clusters := e.idx.SelectClusters(q, opt.W)
-			sel := topk.NewSelector(opt.K)
-			lut := pq.NewLUT(e.idx.PQ)
-			scratch := make([]float32, e.idx.D)
-			codeBuf := make([]byte, e.idx.PQ.M)
 			var myScanned, myBytes int64
-
-			if e.idx.Metric == pq.InnerProduct {
-				e.idx.PQ.FillIP(lut, q)
-				if opt.HWF16 {
-					lut.RoundF16()
+			for {
+				qi := int(atomic.AddInt64(&next, 1)) - 1
+				if qi >= n {
+					break
 				}
-				for _, c := range clusters {
-					e.idx.RebiasLUT(lut, q, c, opt.HWF16)
-					e.idx.ScanList(sel, lut, c, codeBuf, opt.HWF16)
-					myScanned += int64(e.idx.Lists[c].Len())
-					myBytes += e.idx.ListBytes(c)
-				}
-			} else {
-				for _, c := range clusters {
-					e.idx.BuildLUT(lut, q, c, scratch, opt.HWF16)
-					e.idx.ScanList(sel, lut, c, codeBuf, opt.HWF16)
-					myScanned += int64(e.idx.Lists[c].Len())
-					myBytes += e.idx.ListBytes(c)
-				}
+				slot := arena[qi*opt.K : qi*opt.K : (qi+1)*opt.K]
+				res, sc, by := s.SearchPrepped(slot, queries.Row(qi), p)
+				rep.Results[qi] = res
+				myScanned += sc
+				myBytes += by
 			}
-			rep.Results[qi] = sel.Results()
-			mu.Lock()
-			scanned += myScanned
-			bytes += myBytes
-			mu.Unlock()
-		}(qi)
+			atomic.AddInt64(&scanned, myScanned)
+			atomic.AddInt64(&bytes, myBytes)
+		}(searchers[wi])
 	}
 	wg.Wait()
 	rep.Elapsed = time.Since(start)
 	rep.ScannedVectors = scanned
 	rep.ListBytesTouched = bytes
 	if rep.Elapsed > 0 {
-		rep.QPS = float64(queries.Rows) / rep.Elapsed.Seconds()
+		rep.QPS = float64(n) / rep.Elapsed.Seconds()
 	}
 	return rep
 }
 
+// scoredCluster is one cluster a query selected in phase 1, with its
+// centroid score (q·c for inner product) retained for phase-2 reuse.
+type scoredCluster struct {
+	c     int
+	score float32
+}
+
+// clusterVisit is one (query, cluster) pairing of cluster-major phase 2,
+// carrying the phase-1 centroid score so inner-product scans can rebias
+// their per-query LUT without recomputing q·c.
+type clusterVisit struct {
+	qi    int
+	score float32
+}
+
 func (e *Engine) runClusterMajor(queries *vecmath.Matrix, opt Options) *Report {
-	rep := &Report{Results: make([][]topk.Result, queries.Rows)}
+	n := queries.Rows
+	rep := &Report{Results: make([][]topk.Result, n)}
+	workers := opt.Workers
+	isIP := e.idx.Metric == pq.InnerProduct
+	w := opt.W
+	if w > e.idx.NClusters() {
+		w = e.idx.NClusters()
+	}
 	start := time.Now()
 
-	// Phase 1: cluster filtering for every query, in parallel.
-	perQuery := make([][]int, queries.Rows)
+	// Phase 1: cluster filtering for every query on a fixed worker pool.
+	// Selected clusters AND their centroid scores are retained; for
+	// inner product each query's LUT is filled exactly once here and only
+	// rebias'd per cluster in phase 2 (the Section II-C reuse).
+	perQuery := make([][]scoredCluster, n)
+	selArena := make([]scoredCluster, n*w)
+	var luts []*pq.LUT
+	if isIP {
+		luts = e.grabLUTs(n)
+		defer e.releaseLUTs(luts)
+	}
+	var next int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Workers)
-	for qi := 0; qi < queries.Rows; qi++ {
+	pw := workers
+	if pw > n {
+		pw = n
+	}
+	for wi := 0; wi < pw; wi++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(qi int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			perQuery[qi] = e.idx.SelectClusters(queries.Row(qi), opt.W)
-		}(qi)
+			cs := e.idx.NewClusterSelection(w)
+			for {
+				qi := int(atomic.AddInt64(&next, 1)) - 1
+				if qi >= n {
+					break
+				}
+				q := queries.Row(qi)
+				e.idx.SelectClustersBatch(cs, q)
+				sel := selArena[qi*w : qi*w : (qi+1)*w]
+				for i, c := range cs.Clusters {
+					sel = append(sel, scoredCluster{c: c, score: cs.Scores[i]})
+				}
+				perQuery[qi] = sel
+				if isIP {
+					e.idx.PQ.FillIP(luts[qi], q)
+					if opt.HWF16 {
+						luts[qi].RoundF16()
+					}
+				}
+			}
+		}()
 	}
 	wg.Wait()
 
-	clusterQueries := make([][]int, e.idx.NClusters())
-	for qi, cs := range perQuery {
-		for _, c := range cs {
-			clusterQueries[c] = append(clusterQueries[c], qi)
+	// Invert to per-cluster visit lists (qi + phase-1 score), carved out
+	// of one counted arena so the inversion never reallocates.
+	nc := e.idx.NClusters()
+	counts := make([]int, nc)
+	total := 0
+	for _, sel := range perQuery {
+		for _, sc := range sel {
+			counts[sc.c]++
+			total++
 		}
 	}
-
-	// Per-query selectors, each guarded by its own mutex: different
-	// clusters touching the same query serialise only on that query.
-	sels := make([]*topk.Selector, queries.Rows)
-	locks := make([]sync.Mutex, queries.Rows)
-	for qi := range sels {
-		sels[qi] = topk.NewSelector(opt.K)
-	}
-
-	// Phase 2: scan each visited cluster once, for all its queries.
-	var scanned, bytes int64
-	var statMu sync.Mutex
-	for c := 0; c < e.idx.NClusters(); c++ {
-		if len(clusterQueries[c]) == 0 {
+	visitBacking := make([]clusterVisit, total)
+	clusterVisits := make([][]clusterVisit, nc)
+	nonEmpty := make([]int, 0, nc)
+	off := 0
+	for c, cnt := range counts {
+		if cnt == 0 {
 			continue
 		}
+		clusterVisits[c] = visitBacking[off : off : off+cnt]
+		off += cnt
+		nonEmpty = append(nonEmpty, c)
+	}
+	for qi, sel := range perQuery {
+		for _, sc := range sel {
+			clusterVisits[sc.c] = append(clusterVisits[sc.c], clusterVisit{qi: qi, score: sc.score})
+		}
+	}
+
+	// Per-query selectors (pooled across Runs), each guarded by its own
+	// mutex: different clusters touching the same query serialise only on
+	// that query.
+	sels := e.grabSelectors(n, opt.K)
+	defer e.releaseSelectors(sels)
+	locks := make([]sync.Mutex, n)
+
+	// Phase 2: scan each visited cluster once, for all its queries, on a
+	// fixed worker pool pulling clusters off an atomic counter.
+	var scanned, bytes int64
+	next = 0
+	cw := workers
+	if cw > len(nonEmpty) {
+		cw = len(nonEmpty)
+	}
+	for wi := 0; wi < cw; wi++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(c int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			lut := pq.NewLUT(e.idx.PQ)
-			scratch := make([]float32, e.idx.D)
-			codeBuf := make([]byte, e.idx.PQ.M)
-			var myScanned int64
-			for _, qi := range clusterQueries[c] {
-				e.idx.BuildLUT(lut, queries.Row(qi), c, scratch, opt.HWF16)
-				locks[qi].Lock()
-				e.idx.ScanList(sels[qi], lut, c, codeBuf, opt.HWF16)
-				locks[qi].Unlock()
-				myScanned += int64(e.idx.Lists[c].Len())
+			var lut *pq.LUT
+			var scratch []float32
+			if !isIP {
+				lut = pq.NewLUT(e.idx.PQ)
+				scratch = make([]float32, e.idx.D)
 			}
-			statMu.Lock()
-			scanned += myScanned
-			bytes += e.idx.ListBytes(c) // list touched once, reused by all queries
-			statMu.Unlock()
-		}(c)
+			var myScanned, myBytes int64
+			for {
+				ci := int(atomic.AddInt64(&next, 1)) - 1
+				if ci >= len(nonEmpty) {
+					break
+				}
+				c := nonEmpty[ci]
+				for _, v := range clusterVisits[c] {
+					if isIP {
+						l := luts[v.qi]
+						locks[v.qi].Lock()
+						e.idx.RebiasLUTFromScore(l, v.score, opt.HWF16)
+						e.idx.ScanListADC(sels[v.qi], l, c, opt.HWF16)
+						locks[v.qi].Unlock()
+					} else {
+						e.idx.BuildLUT(lut, queries.Row(v.qi), c, scratch, opt.HWF16)
+						locks[v.qi].Lock()
+						e.idx.ScanListADC(sels[v.qi], lut, c, opt.HWF16)
+						locks[v.qi].Unlock()
+					}
+					myScanned += int64(e.idx.Lists[c].Len())
+				}
+				myBytes += e.idx.ListBytes(c) // list touched once, reused by all queries
+			}
+			atomic.AddInt64(&scanned, myScanned)
+			atomic.AddInt64(&bytes, myBytes)
+		}()
 	}
 	wg.Wait()
 
+	arena := make([]topk.Result, 0, n*opt.K)
 	for qi := range sels {
-		rep.Results[qi] = sels[qi].Results()
+		lo := len(arena)
+		arena = sels[qi].ResultsAppend(arena)
+		rep.Results[qi] = arena[lo:len(arena):len(arena)]
 	}
 	rep.Elapsed = time.Since(start)
 	rep.ScannedVectors = scanned
 	rep.ListBytesTouched = bytes
 	if rep.Elapsed > 0 {
-		rep.QPS = float64(queries.Rows) / rep.Elapsed.Seconds()
+		rep.QPS = float64(n) / rep.Elapsed.Seconds()
 	}
 	return rep
 }

@@ -24,7 +24,9 @@ func testIndex(t testing.TB, metric pq.Metric) (*ivf.Index, *dataset.Dataset) {
 func referenceResults(idx *ivf.Index, ds *dataset.Dataset, w, k int, hw bool) [][]topk.Result {
 	out := make([][]topk.Result, ds.Queries.Rows)
 	for qi := 0; qi < ds.Queries.Rows; qi++ {
-		out[qi] = idx.Search(ds.Queries.Row(qi), ivf.SearchParams{W: w, K: k, HWF16: hw})
+		// Anchor against the unfused reference scan, so these tests prove
+		// the whole fused engine path end to end.
+		out[qi] = idx.SearchReference(ds.Queries.Row(qi), ivf.SearchParams{W: w, K: k, HWF16: hw})
 	}
 	return out
 }
@@ -157,6 +159,65 @@ func TestModeString(t *testing.T) {
 	}
 }
 
+// TestResultsSurviveSubsequentRuns guards the result-arena design: a
+// Report's results must stay valid after later Runs on the same Engine
+// (worker scratch is pooled, result storage is not).
+func TestResultsSurviveSubsequentRuns(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2)
+	e := New(idx)
+	opt := Options{Mode: QueryAtATime, W: 6, K: 10}
+	first := e.Run(ds.Queries, opt)
+	snapshot := make([][]topk.Result, len(first.Results))
+	for qi, rs := range first.Results {
+		snapshot[qi] = append([]topk.Result(nil), rs...)
+	}
+	for i := 0; i < 3; i++ {
+		e.Run(ds.Queries, opt)
+		e.Run(ds.Queries, Options{Mode: ClusterMajor, W: 6, K: 10})
+	}
+	scoresEqual(t, "after reuse", first.Results, snapshot)
+	for qi := range snapshot {
+		for i := range snapshot[qi] {
+			if first.Results[qi][i] != snapshot[qi][i] {
+				t.Fatalf("q%d rank %d mutated by a later Run", qi, i)
+			}
+		}
+	}
+}
+
+// TestEngineWithDeletions checks both disciplines against the reference
+// when tombstones force the filtered scan path.
+func TestEngineWithDeletions(t *testing.T) {
+	for _, metric := range []pq.Metric{pq.L2, pq.InnerProduct} {
+		idx, ds := testIndex(t, metric)
+		idx.Delete(0, 5, 100, 101, 102, 2000, 2999)
+		want := referenceResults(idx, ds, 6, 10, false)
+		e := New(idx)
+		qm := e.Run(ds.Queries, Options{Mode: QueryAtATime, W: 6, K: 10})
+		cm := e.Run(ds.Queries, Options{Mode: ClusterMajor, W: 6, K: 10})
+		for qi := range want {
+			for i := range want[qi] {
+				if qm.Results[qi][i] != want[qi][i] {
+					t.Fatalf("%v query-major q%d rank %d: %+v vs %+v",
+						metric, qi, i, qm.Results[qi][i], want[qi][i])
+				}
+			}
+		}
+		scoresEqual(t, metric.String()+" cluster-major", cm.Results, want)
+	}
+}
+
+// TestClusterMajorIPLUTReuse pins the satellite fix: inner-product
+// cluster-major must match the reference bit-for-bit under HWF16, where
+// any stray FillIP-per-cluster or recomputed bias would show up as a
+// rounding difference.
+func TestClusterMajorIPLUTReuse(t *testing.T) {
+	idx, ds := testIndex(t, pq.InnerProduct)
+	want := referenceResults(idx, ds, 8, 10, true)
+	rep := New(idx).Run(ds.Queries, Options{Mode: ClusterMajor, W: 8, K: 10, HWF16: true})
+	scoresEqual(t, "ip cluster-major hwf16", rep.Results, want)
+}
+
 func BenchmarkQueryMajor(b *testing.B) {
 	idx, ds := testIndex(b, pq.L2)
 	e := New(idx)
@@ -174,3 +235,31 @@ func BenchmarkClusterMajor(b *testing.B) {
 		e.Run(ds.Queries, Options{Mode: ClusterMajor, W: 8, K: 100})
 	}
 }
+
+// benchEngineSearch measures the steady-state cost per QUERY of the
+// worker-pool engine on a larger batch: one warmup Run populates the
+// searcher pool, then allocations per query are reported alongside
+// ns/query. These are the numbers BENCH_engine.json records.
+func benchEngineSearch(b *testing.B, mode Mode) {
+	spec := dataset.SIFTLike(20000, 256, 1)
+	ds := dataset.Generate(spec)
+	idx := ivf.Build(ds.Base, pq.L2, ivf.Config{
+		NClusters: 64, M: 32, Ks: 16, CoarseIters: 5, PQIters: 5, Seed: 1,
+	})
+	e := New(idx)
+	opt := Options{Mode: mode, W: 8, K: 100}
+	e.Run(ds.Queries, opt) // warm the searcher pool
+	nq := float64(ds.Queries.Rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var qps float64
+	for i := 0; i < b.N; i++ {
+		qps = e.Run(ds.Queries, opt).QPS
+	}
+	b.StopTimer()
+	b.ReportMetric(qps, "qps")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*nq), "ns/query")
+}
+
+func BenchmarkEngineSearchQueryMajor(b *testing.B)   { benchEngineSearch(b, QueryAtATime) }
+func BenchmarkEngineSearchClusterMajor(b *testing.B) { benchEngineSearch(b, ClusterMajor) }

@@ -13,6 +13,7 @@ package ivf
 
 import (
 	"fmt"
+	"sync"
 
 	"anna/internal/f16"
 	"anna/internal/kmeans"
@@ -90,6 +91,11 @@ type Index struct {
 	// nextID is the ID the next Add assigns (always maxID+1, which can
 	// exceed NTotal after Compact leaves ID gaps).
 	nextID int64
+	// searcherPool recycles fused-search contexts for the single-query
+	// Search API (engines hold their own Searchers instead). Held by
+	// pointer so Index values stay copyable; nil (zero-value Index)
+	// simply disables pooling.
+	searcherPool *sync.Pool
 }
 
 // Build trains and populates an index over the rows of data.
@@ -141,6 +147,7 @@ func Build(data *vecmath.Matrix, metric pq.Metric, cfg Config) *Index {
 		NTotal:         data.Rows,
 		Rot:            rot,
 		AnisotropicEta: cfg.AnisotropicEta,
+		searcherPool:   &sync.Pool{},
 	}
 	codes := make([]byte, 0, quant.M)
 	for i := 0; i < data.Rows; i++ {
@@ -229,20 +236,13 @@ func (x *Index) CentroidScore(q []float32, c int) float32 {
 
 // SelectClusters performs search step 1 (cluster filtering): it returns
 // the indices of the W centroids most similar to q, in descending
-// similarity order.
+// similarity order. It allocates fresh scratch per call; hot paths reuse
+// a ClusterSelection via SelectClustersBatch instead.
 func (x *Index) SelectClusters(q []float32, w int) []int {
-	if w > x.NClusters() {
-		w = x.NClusters()
-	}
-	sel := topk.NewSelector(w)
-	for c := 0; c < x.NClusters(); c++ {
-		sel.Push(int64(c), x.CentroidScore(q, c))
-	}
-	res := sel.Results()
-	out := make([]int, len(res))
-	for i, r := range res {
-		out[i] = int(r.ID)
-	}
+	cs := x.NewClusterSelection(w)
+	x.SelectClustersBatch(cs, q)
+	out := make([]int, len(cs.Clusters))
+	copy(out, cs.Clusters)
 	return out
 }
 
@@ -285,6 +285,10 @@ func (x *Index) RebiasLUT(l *pq.LUT, q []float32, c int, hwF16 bool) {
 // c's list, offering every vector to sel. codeBuf must have length M (it
 // is the unpacker scratch). When hwF16 is true the final score is rounded
 // to half precision as the hardware adder-tree output register would.
+//
+// This is the REFERENCE scan: one Unpack, one ADC and one Push per
+// vector. The production path is ScanListADC (scan.go), which is proven
+// bit-identical against this implementation by the tests.
 func (x *Index) ScanList(sel *topk.Selector, l *pq.LUT, c int, codeBuf []byte, hwF16 bool) {
 	lst := &x.Lists[c]
 	cb := x.PQ.CodeBytes()
@@ -316,16 +320,45 @@ type SearchParams struct {
 }
 
 // Search runs the full three-step search for a single query and returns
-// the top-k results in descending similarity order. This is the reference
-// implementation the engine and the accelerator simulator are tested
-// against.
+// the top-k results in descending similarity order, via the fused scan
+// path (see scan.go). Callers issuing many queries should hold a
+// Searcher to reuse its buffers across calls.
 func (x *Index) Search(q []float32, p SearchParams) []topk.Result {
+	var s *Searcher
+	if x.searcherPool != nil {
+		s, _ = x.searcherPool.Get().(*Searcher)
+	}
+	if s == nil || s.idx != x {
+		// No pooled context (or one from a copied Index) — start fresh.
+		s = x.NewSearcher()
+	}
+	res := s.Search(q, p)
+	if x.searcherPool != nil {
+		x.searcherPool.Put(s)
+	}
+	return res
+}
+
+// SearchReference is the unfused three-step search — per-row cluster
+// scoring, per-vector Unpack+ADC, unconditional selector pushes. It is
+// retained as the spec the fused path is tested bit-identical against.
+func (x *Index) SearchReference(q []float32, p SearchParams) []topk.Result {
 	if p.W <= 0 || p.K <= 0 {
 		panic(fmt.Sprintf("ivf: invalid search params W=%d K=%d", p.W, p.K))
 	}
 	q = x.PrepQuery(q)
-	clusters := x.SelectClusters(q, p.W)
-	sel := topk.NewSelector(p.K)
+	if p.W > x.NClusters() {
+		p.W = x.NClusters()
+	}
+	sel := topk.NewSelector(p.W)
+	for c := 0; c < x.NClusters(); c++ {
+		sel.Push(int64(c), x.CentroidScore(q, c))
+	}
+	clusters := make([]int, 0, p.W)
+	for _, r := range sel.Results() {
+		clusters = append(clusters, int(r.ID))
+	}
+	out := topk.NewSelector(p.K)
 	lut := pq.NewLUT(x.PQ)
 	scratch := make([]float32, x.D)
 	codeBuf := make([]byte, x.PQ.M)
@@ -338,15 +371,15 @@ func (x *Index) Search(q []float32, p SearchParams) []topk.Result {
 		}
 		for _, c := range clusters {
 			x.RebiasLUT(lut, q, c, p.HWF16)
-			x.ScanList(sel, lut, c, codeBuf, p.HWF16)
+			x.ScanList(out, lut, c, codeBuf, p.HWF16)
 		}
 	} else {
 		for _, c := range clusters {
 			x.BuildLUT(lut, q, c, scratch, p.HWF16)
-			x.ScanList(sel, lut, c, codeBuf, p.HWF16)
+			x.ScanList(out, lut, c, codeBuf, p.HWF16)
 		}
 	}
-	return sel.Results()
+	return out.Results()
 }
 
 // ListBytes returns the packed code bytes of cluster c's list, the

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 
 	"anna/internal/pq"
 	"anna/internal/rotation"
@@ -238,8 +239,9 @@ func Load(r io.Reader) (*Index, error) {
 			D: int(d), M: int(m), Ks: int(ks), Dsub: int(d / m),
 			Codebooks: vecmath.NewMatrix(int(m*ks), int(d/m)),
 		},
-		Centroids: vecmath.NewMatrix(int(nClusters), int(d)),
-		Lists:     make([]List, nClusters),
+		Centroids:    vecmath.NewMatrix(int(nClusters), int(d)),
+		Lists:        make([]List, nClusters),
+		searcherPool: &sync.Pool{},
 	}
 	if err := readF32s(x.Centroids.Data); err != nil {
 		return nil, fmt.Errorf("ivf: reading centroids: %w", err)

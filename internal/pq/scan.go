@@ -1,0 +1,136 @@
+package pq
+
+// Fused list-scan kernels: ADC over a whole inverted list of PACKED codes
+// without unpacking into a scratch buffer. The reference path
+// (Unpack + LUT.ADC + Selector.Push per vector) pays a function call, a
+// bounds-checked copy and an interface-free but still O(M) div/mod loop
+// per scanned vector; the kernels below walk the packed bytes directly
+// with specialized inner loops for the two layouts ANNA supports (8-bit
+// identifiers for k*=256, packed nibbles for k*=16), 4-way unrolled, and
+// only touch the top-k selector when a score beats its current threshold.
+//
+// Accumulation order is IDENTICAL to LUT.ADC (bias first, then sub-space
+// 0..M-1, one sequential float32 add each), so the kernels are bit-exact
+// against the reference in both the float32 and the HWF16 (round final
+// sum to binary16) modes. The threshold gate only skips Push calls that
+// Push itself would reject (score <= heap minimum when full), so selector
+// contents are also bit-identical.
+
+import (
+	"anna/internal/f16"
+	"anna/internal/topk"
+)
+
+// ScanADC scans an entire packed list, offering each surviving score to
+// sel. ids[i] names the vector whose code starts at packed[i*codeBytes];
+// nibble selects the 4-bit layout (two identifiers per byte, low nibble
+// first). When hwF16 is true the final sum is rounded to binary16 exactly
+// as LUT.ADCf16 does. Results are bit-identical to the reference
+// Unpack+ADC+Push loop over the same list.
+func (l *LUT) ScanADC(sel *topk.Selector, ids []int64, packed []byte, codeBytes int, nibble, hwF16 bool) {
+	vals := l.Values
+	bias := l.Bias
+	ks := l.Ks
+	m := l.M
+	thresh, full := sel.Threshold()
+	if nibble {
+		pairs := m / 2 // bytes holding two identifiers
+		for i, id := range ids {
+			row := packed[i*codeBytes : i*codeBytes+codeBytes]
+			s := bias
+			off := 0
+			j := 0
+			for ; j+2 <= pairs; j += 2 { // 4 sub-spaces per iteration
+				b0, b1 := row[j], row[j+1]
+				s += vals[off+int(b0&0x0F)]
+				off += ks
+				s += vals[off+int(b0>>4)]
+				off += ks
+				s += vals[off+int(b1&0x0F)]
+				off += ks
+				s += vals[off+int(b1>>4)]
+				off += ks
+			}
+			for ; j < pairs; j++ {
+				b := row[j]
+				s += vals[off+int(b&0x0F)]
+				off += ks
+				s += vals[off+int(b>>4)]
+				off += ks
+			}
+			if m&1 == 1 { // odd M: last byte carries one identifier
+				s += vals[off+int(row[codeBytes-1]&0x0F)]
+			}
+			if hwF16 {
+				s = f16.Round(s)
+			}
+			if full && s <= thresh {
+				continue
+			}
+			sel.Push(id, s)
+			thresh, full = sel.Threshold()
+		}
+		return
+	}
+	for i, id := range ids {
+		row := packed[i*codeBytes : i*codeBytes+m]
+		s := bias
+		off := 0
+		j := 0
+		for ; j+4 <= m; j += 4 {
+			c0, c1, c2, c3 := row[j], row[j+1], row[j+2], row[j+3]
+			s += vals[off+int(c0)]
+			off += ks
+			s += vals[off+int(c1)]
+			off += ks
+			s += vals[off+int(c2)]
+			off += ks
+			s += vals[off+int(c3)]
+			off += ks
+		}
+		for ; j < m; j++ {
+			s += vals[off+int(row[j])]
+			off += ks
+		}
+		if hwF16 {
+			s = f16.Round(s)
+		}
+		if full && s <= thresh {
+			continue
+		}
+		sel.Push(id, s)
+		thresh, full = sel.Threshold()
+	}
+}
+
+// ADCPacked scores the single packed code starting at packed[0] without
+// unpacking, bit-identical to Unpack followed by ADC. It is the kernel
+// the tombstone-filtered scan path uses, where the gate over deleted IDs
+// precludes the straight-line list walk of ScanADC.
+func (l *LUT) ADCPacked(packed []byte, nibble bool) float32 {
+	vals := l.Values
+	ks := l.Ks
+	m := l.M
+	s := l.Bias
+	if nibble {
+		pairs := m / 2
+		off := 0
+		for j := 0; j < pairs; j++ {
+			b := packed[j]
+			s += vals[off+int(b&0x0F)]
+			off += ks
+			s += vals[off+int(b>>4)]
+			off += ks
+		}
+		if m&1 == 1 {
+			s += vals[off+int(packed[pairs]&0x0F)]
+		}
+		return s
+	}
+	off := 0
+	for j := 0; j < m; j++ {
+		s += vals[off+int(packed[j])]
+		off += ks
+	}
+	return s
+}

@@ -14,8 +14,6 @@
 // LARGEST scores seen.
 package topk
 
-import "sort"
-
 // Result is a scored candidate.
 type Result struct {
 	ID    int64
@@ -102,23 +100,85 @@ func (s *Selector) down(i int) {
 // (ties broken by ascending ID for determinism). The selector remains
 // usable afterwards.
 func (s *Selector) Results() []Result {
-	out := make([]Result, len(s.heap))
-	copy(out, s.heap)
-	SortDesc(out)
-	return out
+	return s.ResultsAppend(make([]Result, 0, len(s.heap)))
+}
+
+// ResultsAppend appends the retained results to dst in descending score
+// order (ties broken by ascending ID) and returns the extended slice. It
+// allocates only when dst lacks capacity, which lets callers drain many
+// selectors into slots of one preallocated arena. The selector remains
+// usable afterwards.
+func (s *Selector) ResultsAppend(dst []Result) []Result {
+	start := len(dst)
+	dst = append(dst, s.heap...)
+	SortDesc(dst[start:])
+	return dst
 }
 
 // Reset empties the selector, keeping its capacity.
 func (s *Selector) Reset() { s.heap = s.heap[:0] }
 
-// SortDesc sorts results by descending score, ascending ID on ties.
+// SortDesc sorts results by descending score, ascending ID on ties. It
+// is hand-rolled (quicksort + insertion sort) rather than sort.Slice so
+// that draining a selector allocates nothing — sort.Slice's closure and
+// reflect-based swapper cost ~3 heap allocations per call, which
+// dominated the engine's steady-state allocation profile.
 func SortDesc(r []Result) {
-	sort.Slice(r, func(i, j int) bool {
-		if r[i].Score != r[j].Score {
-			return r[i].Score > r[j].Score
+	for len(r) > 12 {
+		// Median-of-three pivot to first position.
+		mid, last := len(r)/2, len(r)-1
+		if before(r[mid], r[0]) {
+			r[mid], r[0] = r[0], r[mid]
 		}
-		return r[i].ID < r[j].ID
-	})
+		if before(r[last], r[0]) {
+			r[last], r[0] = r[0], r[last]
+		}
+		if before(r[last], r[mid]) {
+			r[last], r[mid] = r[mid], r[last]
+		}
+		pivot := r[mid]
+		i, j := 0, last
+		for i <= j {
+			for before(r[i], pivot) {
+				i++
+			}
+			for before(pivot, r[j]) {
+				j--
+			}
+			if i <= j {
+				r[i], r[j] = r[j], r[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, iterate on the larger.
+		if j+1 < len(r)-i {
+			SortDesc(r[:j+1])
+			r = r[i:]
+		} else {
+			SortDesc(r[i:])
+			r = r[:j+1]
+		}
+	}
+	// Insertion sort for small runs.
+	for i := 1; i < len(r); i++ {
+		v := r[i]
+		j := i - 1
+		for j >= 0 && before(v, r[j]) {
+			r[j+1] = r[j]
+			j--
+		}
+		r[j+1] = v
+	}
+}
+
+// before reports whether a orders strictly ahead of b: larger score
+// first, smaller ID on score ties.
+func before(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
 }
 
 // Merge returns the top-k of the concatenation of several result lists.

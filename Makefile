@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench benchall vet fmt examples experiments clean
+.PHONY: all build test race check bench benchall vet fmt fmt-check bench-smoke ci examples experiments clean
 
 all: build vet test
 
@@ -14,6 +14,25 @@ test:
 
 race:
 	$(GO) test -race ./internal/engine/ ./internal/anna/ .
+
+# Mirrors .github/workflows/ci.yml exactly (same commands, same package
+# lists) so a green `make ci` means a green CI run. Keep in sync.
+ci: fmt-check build vet test ci-race bench-smoke
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The CI race job: engine worker pool, fused scan path, metrics
+# instruments, HTTP serving layer.
+.PHONY: ci-race
+ci-race:
+	$(GO) test -race ./internal/engine/... ./internal/ivf/... ./internal/metrics/... .
+
+# The CI bench-smoke job: small-budget benchmark run recorded as JSON
+# (uploaded as a per-PR artifact in CI; a trajectory, not a gate).
+bench-smoke:
+	$(GO) run ./cmd/benchjson -benchtime 10x -out bench_ci.json
 
 # Vet plus race-detected tests of the reworked engine worker pool and the
 # fused scan path.

@@ -1,9 +1,12 @@
 package anna
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"anna/internal/engine"
 	"anna/internal/exact"
@@ -85,6 +88,28 @@ type BuildOptions struct {
 // Index is a two-level product-quantization ANNS index.
 type Index struct {
 	inner *ivf.Index
+
+	// eng is the persistent batch engine, created on first SearchBatch
+	// so its per-worker searcher/selector/LUT pools survive across
+	// requests (a per-call engine would re-allocate them every batch).
+	engOnce sync.Once
+	eng     *engine.Engine
+}
+
+// engine returns the index's persistent batch engine.
+func (x *Index) engine() *engine.Engine {
+	x.engOnce.Do(func() { x.eng = engine.New(x.inner) })
+	return x.eng
+}
+
+// EnginePoolStats reports the live saturation of the batch engine's
+// worker pool: work items admitted but not yet started, and items
+// executing right now. Both read zero when no batch is running. The
+// serving layer exports them as the anna_engine_queue_depth and
+// anna_engine_inflight_queries gauges.
+func (x *Index) EnginePoolStats() (queueDepth, inFlight int64) {
+	e := x.engine()
+	return e.QueueDepth(), e.InFlight()
 }
 
 // BuildIndex trains an index over the given vectors (all of equal,
@@ -263,16 +288,32 @@ type BatchReport struct {
 	Results [][]Result
 	// QPS is the measured wall-clock throughput of this process.
 	QPS float64
+	// Elapsed is the wall-clock duration of the search phase.
+	Elapsed time.Duration
 	// ScannedVectors counts similarity computations performed.
 	ScannedVectors int64
 	// ListBytesTouched counts inverted-list bytes read (once per visiting
 	// query in QueryAtATime; once per visited list in ClusterMajor).
 	ListBytesTouched int64
+	// SelectTime / ScanTime / MergeTime split the batch into the three
+	// search stages — cluster filtering, LUT build + list scan, top-k
+	// merge — summed across engine workers (their total can exceed
+	// Elapsed on multi-worker runs). The serving layer records them into
+	// the anna_stage_duration_seconds histograms.
+	SelectTime, ScanTime, MergeTime time.Duration
 }
 
 // SearchBatch runs a batch of queries on the software engine and reports
 // measured performance.
 func (x *Index) SearchBatch(queries [][]float32, opt SearchOptions) (*BatchReport, error) {
+	return x.SearchBatchContext(context.Background(), queries, opt)
+}
+
+// SearchBatchContext is SearchBatch with cancellation: engine workers
+// re-check ctx between work items, so a cancelled or deadline-exceeded
+// request stops within one item's latency per worker and returns ctx's
+// error.
+func (x *Index) SearchBatchContext(ctx context.Context, queries [][]float32, opt SearchOptions) (*BatchReport, error) {
 	qm, err := toMatrix(queries)
 	if err != nil {
 		return nil, err
@@ -287,14 +328,21 @@ func (x *Index) SearchBatch(queries [][]float32, opt SearchOptions) (*BatchRepor
 	if opt.Mode == ClusterMajor {
 		mode = engine.ClusterMajor
 	}
-	rep := engine.New(x.inner).Run(qm, engine.Options{
+	rep, err := x.engine().RunContext(ctx, qm, engine.Options{
 		Mode: mode, W: opt.W, K: opt.K,
 		Workers: opt.Workers, HWF16: opt.HardwareFaithful,
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := &BatchReport{
 		QPS:              rep.QPS,
+		Elapsed:          rep.Elapsed,
 		ScannedVectors:   rep.ScannedVectors,
 		ListBytesTouched: rep.ListBytesTouched,
+		SelectTime:       rep.SelectTime,
+		ScanTime:         rep.ScanTime,
+		MergeTime:        rep.MergeTime,
 		Results:          make([][]Result, len(rep.Results)),
 	}
 	for i, rs := range rep.Results {

@@ -11,25 +11,41 @@
 //	POST /add     {"vectors": [[...]]}
 //	GET  /stats
 //	GET  /healthz
+//	GET  /metrics        Prometheus text exposition
+//	GET  /debug/pprof/*  runtime profiles (disable with -pprof=false)
+//
+// The process sheds load with 429 once -maxinflight searches are
+// running, bounds each search by -timeout, and drains in-flight
+// requests for up to -grace after SIGINT/SIGTERM before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"anna"
 )
 
 func main() {
 	var (
-		indexPath = flag.String("index", "index.anna", "index file from annatrain")
-		addr      = flag.String("addr", ":8080", "listen address")
-		defaultW  = flag.Int("w", 32, "default clusters inspected per query")
-		defaultK  = flag.Int("k", 10, "default results per query")
-		maxBatch  = flag.Int("maxbatch", 1024, "maximum queries per request")
-		withAccel = flag.Bool("accel", false, `also serve the simulated ANNA backend (requests with "backend":"anna")`)
+		indexPath   = flag.String("index", "index.anna", "index file from annatrain")
+		addr        = flag.String("addr", ":8080", "listen address")
+		defaultW    = flag.Int("w", 32, "default clusters inspected per query")
+		defaultK    = flag.Int("k", 10, "default results per query")
+		maxBatch    = flag.Int("maxbatch", 1024, "maximum queries per request")
+		maxInflight = flag.Int("maxinflight", 256, "maximum concurrent /search requests before 429 (0 = unlimited)")
+		timeout     = flag.Duration("timeout", 0, "per-search deadline propagated into the engine (0 = none)")
+		pprofOn     = flag.Bool("pprof", true, "serve /debug/pprof/ profiles")
+		grace       = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain window")
+		withAccel   = flag.Bool("accel", false, `also serve the simulated ANNA backend (requests with "backend":"anna")`)
 	)
 	flag.Parse()
 
@@ -41,6 +57,9 @@ func main() {
 	srv.DefaultW = *defaultW
 	srv.DefaultK = *defaultK
 	srv.MaxBatch = *maxBatch
+	srv.MaxInFlight = *maxInflight
+	srv.SearchTimeout = *timeout
+	srv.DisablePprof = !*pprofOn
 	if *withAccel {
 		cfg := anna.DefaultAcceleratorConfig()
 		if *defaultK > cfg.TopK {
@@ -53,7 +72,35 @@ func main() {
 		srv.Accelerator = acc
 	}
 
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("annaserve: %d vectors (dim %d, %v) on %s\n",
 		idx.Len(), idx.Dim(), idx.Metric(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("annaserve: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		log.Printf("annaserve: signal received, draining for up to %v", *grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("annaserve: drain window expired, closing: %v", err)
+			hs.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("annaserve: %v", err)
+		}
+		log.Printf("annaserve: shut down cleanly")
+	}
 }

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"anna/internal/pq"
+)
+
+// A pre-cancelled context aborts the run before any query executes and
+// surfaces the context's error, in both disciplines.
+func TestRunContextCancelled(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2)
+	e := New(idx)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mode := range []Mode{QueryAtATime, ClusterMajor} {
+		rep, err := e.RunContext(ctx, ds.Queries, Options{Mode: mode, W: 6, K: 10})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", mode, err)
+		}
+		if rep != nil {
+			t.Errorf("%v: got a report from a cancelled run", mode)
+		}
+		// Pool gauges must unwind even when the run is abandoned.
+		if q, f := e.QueueDepth(), e.InFlight(); q != 0 || f != 0 {
+			t.Errorf("%v: gauges after cancel: queued %d, inflight %d", mode, q, f)
+		}
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	idx, ds := testIndex(t, pq.InnerProduct)
+	e := New(idx)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := e.RunContext(ctx, ds.Queries, Options{Mode: ClusterMajor, W: 6, K: 10})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// A cancelled run must not poison the engine: the next Run on the same
+// engine (same pooled searchers/selectors) returns correct results.
+func TestRunAfterCancelledRun(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2)
+	e := New(idx)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	want := referenceResults(idx, ds, 6, 10, false)
+	for _, mode := range []Mode{QueryAtATime, ClusterMajor} {
+		e.RunContext(ctx, ds.Queries, Options{Mode: mode, W: 6, K: 10})
+		rep := e.Run(ds.Queries, Options{Mode: mode, W: 6, K: 10})
+		// Cluster-major tie order depends on worker scheduling, so (like
+		// the reference-equality tests) compare scores, not IDs.
+		scoresEqual(t, mode.String()+" after cancel", rep.Results, want)
+	}
+}
+
+// Every completed run reports non-zero select and scan stage times, and
+// the pool gauges read zero when idle.
+func TestStageTimesAndGauges(t *testing.T) {
+	idx, ds := testIndex(t, pq.L2)
+	e := New(idx)
+	for _, mode := range []Mode{QueryAtATime, ClusterMajor} {
+		rep := e.Run(ds.Queries, Options{Mode: mode, W: 6, K: 10})
+		if rep.SelectTime <= 0 {
+			t.Errorf("%v: SelectTime %v", mode, rep.SelectTime)
+		}
+		if rep.ScanTime <= 0 {
+			t.Errorf("%v: ScanTime %v", mode, rep.ScanTime)
+		}
+		if rep.MergeTime < 0 {
+			t.Errorf("%v: MergeTime %v", mode, rep.MergeTime)
+		}
+		if q, f := e.QueueDepth(), e.InFlight(); q != 0 || f != 0 {
+			t.Errorf("%v: idle gauges: queued %d, inflight %d", mode, q, f)
+		}
+	}
+}

@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -83,6 +84,11 @@ type Report struct {
 	// visiting query in QueryAtATime and once per visited cluster in
 	// ClusterMajor (the traffic difference of Figure 5).
 	ListBytesTouched int64
+	// SelectTime / ScanTime / MergeTime split the run into the paper's
+	// stages — cluster filtering, LUT build + list scan, top-k result
+	// merge. They are summed across workers (CPU time, not wall clock),
+	// so their total can exceed Elapsed on multi-worker runs.
+	SelectTime, ScanTime, MergeTime time.Duration
 }
 
 // Engine wraps an index for repeated searches. It pools per-worker
@@ -90,11 +96,27 @@ type Report struct {
 type Engine struct {
 	idx *ivf.Index
 
+	// Worker-pool saturation gauges, exposed live for the serving
+	// layer's /metrics endpoint. queued counts work items (queries in
+	// query-at-a-time and cluster-major phase 1, visited clusters in
+	// phase 2) admitted to the pool but not yet picked up by a worker;
+	// inflight counts items a worker is executing right now. Both drop
+	// back to zero between runs, including after a cancelled run.
+	queued   int64
+	inflight int64
+
 	mu        sync.Mutex
 	searchers []*ivf.Searcher
 	selectors []*topk.Selector // cluster-major per-query selectors
 	luts      []*pq.LUT        // cluster-major per-query IP tables
 }
+
+// QueueDepth returns the number of work items admitted to the worker
+// pool but not yet started (see Engine.queued).
+func (e *Engine) QueueDepth() int64 { return atomic.LoadInt64(&e.queued) }
+
+// InFlight returns the number of work items workers are executing now.
+func (e *Engine) InFlight() int64 { return atomic.LoadInt64(&e.inflight) }
 
 // New returns an engine over idx.
 func New(idx *ivf.Index) *Engine { return &Engine{idx: idx} }
@@ -171,7 +193,18 @@ func (e *Engine) releaseLUTs(ls []*pq.LUT) {
 }
 
 // Run executes the batch and returns results plus measured performance.
+// It never fails; deadline-aware callers use RunContext.
 func (e *Engine) Run(queries *vecmath.Matrix, opt Options) *Report {
+	rep, _ := e.RunContext(context.Background(), queries, opt)
+	return rep
+}
+
+// RunContext is Run with cancellation: workers re-check ctx between work
+// items (per query, and per visited cluster in cluster-major phase 2),
+// so a cancelled batch stops within one item's latency per worker. On
+// cancellation it returns ctx's error and a nil report; pool gauges are
+// unwound so QueueDepth/InFlight read zero afterwards.
+func (e *Engine) RunContext(ctx context.Context, queries *vecmath.Matrix, opt Options) (*Report, error) {
 	if opt.W <= 0 || opt.K <= 0 {
 		panic(fmt.Sprintf("engine: invalid options W=%d K=%d", opt.W, opt.K))
 	}
@@ -181,15 +214,15 @@ func (e *Engine) Run(queries *vecmath.Matrix, opt Options) *Report {
 	queries = e.idx.PrepQueries(queries) // OPQ rotation, when trained with one
 	switch opt.Mode {
 	case QueryAtATime:
-		return e.runQueryMajor(queries, opt)
+		return e.runQueryMajor(ctx, queries, opt)
 	case ClusterMajor:
-		return e.runClusterMajor(queries, opt)
+		return e.runClusterMajor(ctx, queries, opt)
 	default:
 		panic(fmt.Sprintf("engine: unknown mode %d", opt.Mode))
 	}
 }
 
-func (e *Engine) runQueryMajor(queries *vecmath.Matrix, opt Options) *Report {
+func (e *Engine) runQueryMajor(ctx context.Context, queries *vecmath.Matrix, opt Options) (*Report, error) {
 	n := queries.Rows
 	rep := &Report{Results: make([][]topk.Result, n)}
 	workers := opt.Workers
@@ -203,7 +236,10 @@ func (e *Engine) runQueryMajor(queries *vecmath.Matrix, opt Options) *Report {
 	// caller inside rep.Results and therefore NOT pooled.
 	arena := make([]topk.Result, n*opt.K)
 
-	var next, scanned, bytes int64
+	var next, processed int64
+	var stats ivf.ScanStats
+	var statsMu sync.Mutex
+	atomic.AddInt64(&e.queued, int64(n))
 	p := ivf.SearchParams{W: opt.W, K: opt.K, HWF16: opt.HWF16}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -211,30 +247,42 @@ func (e *Engine) runQueryMajor(queries *vecmath.Matrix, opt Options) *Report {
 		wg.Add(1)
 		go func(s *ivf.Searcher) {
 			defer wg.Done()
-			var myScanned, myBytes int64
-			for {
+			var st ivf.ScanStats
+			var done int64
+			for ctx.Err() == nil {
 				qi := int(atomic.AddInt64(&next, 1)) - 1
 				if qi >= n {
 					break
 				}
+				atomic.AddInt64(&e.queued, -1)
+				atomic.AddInt64(&e.inflight, 1)
 				slot := arena[qi*opt.K : qi*opt.K : (qi+1)*opt.K]
-				res, sc, by := s.SearchPrepped(slot, queries.Row(qi), p)
-				rep.Results[qi] = res
-				myScanned += sc
-				myBytes += by
+				rep.Results[qi] = s.SearchPreppedStats(slot, queries.Row(qi), p, &st)
+				atomic.AddInt64(&e.inflight, -1)
+				done++
 			}
-			atomic.AddInt64(&scanned, myScanned)
-			atomic.AddInt64(&bytes, myBytes)
+			atomic.AddInt64(&processed, done)
+			statsMu.Lock()
+			stats.Add(st)
+			statsMu.Unlock()
 		}(searchers[wi])
 	}
 	wg.Wait()
+	// Release the queue claims of items a cancelled run never started.
+	atomic.AddInt64(&e.queued, atomic.LoadInt64(&processed)-int64(n))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rep.Elapsed = time.Since(start)
-	rep.ScannedVectors = scanned
-	rep.ListBytesTouched = bytes
+	rep.ScannedVectors = stats.Scanned
+	rep.ListBytesTouched = stats.ListBytes
+	rep.SelectTime = stats.Select
+	rep.ScanTime = stats.Scan
+	rep.MergeTime = stats.Merge
 	if rep.Elapsed > 0 {
 		rep.QPS = float64(n) / rep.Elapsed.Seconds()
 	}
-	return rep
+	return rep, nil
 }
 
 // scoredCluster is one cluster a query selected in phase 1, with its
@@ -252,7 +300,7 @@ type clusterVisit struct {
 	score float32
 }
 
-func (e *Engine) runClusterMajor(queries *vecmath.Matrix, opt Options) *Report {
+func (e *Engine) runClusterMajor(ctx context.Context, queries *vecmath.Matrix, opt Options) (*Report, error) {
 	n := queries.Rows
 	rep := &Report{Results: make([][]topk.Result, n)}
 	workers := opt.Workers
@@ -274,7 +322,8 @@ func (e *Engine) runClusterMajor(queries *vecmath.Matrix, opt Options) *Report {
 		luts = e.grabLUTs(n)
 		defer e.releaseLUTs(luts)
 	}
-	var next int64
+	var next, processed, selectNs int64
+	atomic.AddInt64(&e.queued, int64(n))
 	var wg sync.WaitGroup
 	pw := workers
 	if pw > n {
@@ -284,12 +333,16 @@ func (e *Engine) runClusterMajor(queries *vecmath.Matrix, opt Options) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wstart := time.Now()
+			var done int64
 			cs := e.idx.NewClusterSelection(w)
-			for {
+			for ctx.Err() == nil {
 				qi := int(atomic.AddInt64(&next, 1)) - 1
 				if qi >= n {
 					break
 				}
+				atomic.AddInt64(&e.queued, -1)
+				atomic.AddInt64(&e.inflight, 1)
 				q := queries.Row(qi)
 				e.idx.SelectClustersBatch(cs, q)
 				sel := selArena[qi*w : qi*w : (qi+1)*w]
@@ -303,10 +356,18 @@ func (e *Engine) runClusterMajor(queries *vecmath.Matrix, opt Options) *Report {
 						luts[qi].RoundF16()
 					}
 				}
+				atomic.AddInt64(&e.inflight, -1)
+				done++
 			}
+			atomic.AddInt64(&processed, done)
+			atomic.AddInt64(&selectNs, int64(time.Since(wstart)))
 		}()
 	}
 	wg.Wait()
+	atomic.AddInt64(&e.queued, atomic.LoadInt64(&processed)-int64(n))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Invert to per-cluster visit lists (qi + phase-1 score), carved out
 	// of one counted arena so the inversion never reallocates.
@@ -346,8 +407,10 @@ func (e *Engine) runClusterMajor(queries *vecmath.Matrix, opt Options) *Report {
 
 	// Phase 2: scan each visited cluster once, for all its queries, on a
 	// fixed worker pool pulling clusters off an atomic counter.
-	var scanned, bytes int64
-	next = 0
+	var scanned, bytes, scanNs int64
+	next, processed = 0, 0
+	nWork := int64(len(nonEmpty))
+	atomic.AddInt64(&e.queued, nWork)
 	cw := workers
 	if cw > len(nonEmpty) {
 		cw = len(nonEmpty)
@@ -356,6 +419,8 @@ func (e *Engine) runClusterMajor(queries *vecmath.Matrix, opt Options) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wstart := time.Now()
+			var done int64
 			var lut *pq.LUT
 			var scratch []float32
 			if !isIP {
@@ -363,11 +428,13 @@ func (e *Engine) runClusterMajor(queries *vecmath.Matrix, opt Options) *Report {
 				scratch = make([]float32, e.idx.D)
 			}
 			var myScanned, myBytes int64
-			for {
+			for ctx.Err() == nil {
 				ci := int(atomic.AddInt64(&next, 1)) - 1
 				if ci >= len(nonEmpty) {
 					break
 				}
+				atomic.AddInt64(&e.queued, -1)
+				atomic.AddInt64(&e.inflight, 1)
 				c := nonEmpty[ci]
 				for _, v := range clusterVisits[c] {
 					if isIP {
@@ -385,24 +452,36 @@ func (e *Engine) runClusterMajor(queries *vecmath.Matrix, opt Options) *Report {
 					myScanned += int64(e.idx.Lists[c].Len())
 				}
 				myBytes += e.idx.ListBytes(c) // list touched once, reused by all queries
+				atomic.AddInt64(&e.inflight, -1)
+				done++
 			}
 			atomic.AddInt64(&scanned, myScanned)
 			atomic.AddInt64(&bytes, myBytes)
+			atomic.AddInt64(&processed, done)
+			atomic.AddInt64(&scanNs, int64(time.Since(wstart)))
 		}()
 	}
 	wg.Wait()
+	atomic.AddInt64(&e.queued, atomic.LoadInt64(&processed)-nWork)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
+	mergeStart := time.Now()
 	arena := make([]topk.Result, 0, n*opt.K)
 	for qi := range sels {
 		lo := len(arena)
 		arena = sels[qi].ResultsAppend(arena)
 		rep.Results[qi] = arena[lo:len(arena):len(arena)]
 	}
+	rep.MergeTime = time.Since(mergeStart)
 	rep.Elapsed = time.Since(start)
 	rep.ScannedVectors = scanned
 	rep.ListBytesTouched = bytes
+	rep.SelectTime = time.Duration(selectNs)
+	rep.ScanTime = time.Duration(scanNs)
 	if rep.Elapsed > 0 {
 		rep.QPS = float64(n) / rep.Elapsed.Seconds()
 	}
-	return rep
+	return rep, nil
 }

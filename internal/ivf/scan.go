@@ -7,6 +7,7 @@ package ivf
 
 import (
 	"fmt"
+	"time"
 
 	"anna/internal/f16"
 	"anna/internal/pq"
@@ -163,6 +164,31 @@ func (s *Searcher) prepare(p SearchParams) {
 	}
 }
 
+// ScanStats accumulates the work and per-stage wall time of fused
+// searches run through one Searcher. Scanned counts (query, vector)
+// similarity computations (list lengths, tombstones included, matching
+// the engine's accounting); ListBytes counts inverted-list code bytes
+// read. Select/Scan/Merge split each search into the paper's three
+// stages: cluster filtering, LUT build + list scan, and the final top-k
+// result merge. The struct is accumulated across calls so a worker can
+// report once per batch; zero it to restart.
+type ScanStats struct {
+	Scanned   int64
+	ListBytes int64
+	Select    time.Duration
+	Scan      time.Duration
+	Merge     time.Duration
+}
+
+// Add accumulates o into s.
+func (s *ScanStats) Add(o ScanStats) {
+	s.Scanned += o.Scanned
+	s.ListBytes += o.ListBytes
+	s.Select += o.Select
+	s.Scan += o.Scan
+	s.Merge += o.Merge
+}
+
 // Search runs the fused three-step search for one query, returning the
 // top-k in descending similarity order. Results are bit-identical to the
 // reference Index.Search.
@@ -173,8 +199,7 @@ func (s *Searcher) Search(q []float32, p SearchParams) []topk.Result {
 
 // SearchAppend is Search appending into dst (pass a zero-length slice
 // with capacity K for an allocation-free call). It also reports the scan
-// work done: vectors scored (list lengths, tombstones included, matching
-// the engine's accounting) and inverted-list code bytes read.
+// work done: vectors scored and inverted-list code bytes read.
 func (s *Searcher) SearchAppend(dst []topk.Result, q []float32, p SearchParams) (res []topk.Result, scanned, listBytes int64) {
 	if s.idx.Rot != nil {
 		if len(s.rotBuf) != s.idx.D {
@@ -193,9 +218,22 @@ func (s *Searcher) SearchPrepped(dst []topk.Result, q []float32, p SearchParams)
 }
 
 func (s *Searcher) searchPrepped(dst []topk.Result, q []float32, p SearchParams) (res []topk.Result, scanned, listBytes int64) {
+	var st ScanStats
+	res = s.SearchPreppedStats(dst, q, p, &st)
+	return res, st.Scanned, st.ListBytes
+}
+
+// SearchPreppedStats is SearchPrepped accumulating work counters AND
+// per-stage wall time into st (which must be non-nil). The three
+// time.Now() calls cost ~100ns against a query's hundreds of
+// microseconds, so the instrumented path IS the production path.
+func (s *Searcher) SearchPreppedStats(dst []topk.Result, q []float32, p SearchParams, st *ScanStats) []topk.Result {
 	s.prepare(p)
 	x := s.idx
+	t0 := time.Now()
 	x.SelectClustersBatch(s.cs, q)
+	t1 := time.Now()
+	st.Select += t1.Sub(t0)
 	if x.Metric == pq.InnerProduct {
 		// Fill once, rebias per cluster from the phase-1 centroid score.
 		x.PQ.FillIP(s.lut, q)
@@ -205,16 +243,20 @@ func (s *Searcher) searchPrepped(dst []topk.Result, q []float32, p SearchParams)
 		for i, c := range s.cs.Clusters {
 			x.RebiasLUTFromScore(s.lut, s.cs.Scores[i], p.HWF16)
 			x.ScanListADC(s.sel, s.lut, c, p.HWF16)
-			scanned += int64(x.Lists[c].Len())
-			listBytes += x.ListBytes(c)
+			st.Scanned += int64(x.Lists[c].Len())
+			st.ListBytes += x.ListBytes(c)
 		}
 	} else {
 		for _, c := range s.cs.Clusters {
 			x.BuildLUT(s.lut, q, c, s.scratch, p.HWF16)
 			x.ScanListADC(s.sel, s.lut, c, p.HWF16)
-			scanned += int64(x.Lists[c].Len())
-			listBytes += x.ListBytes(c)
+			st.Scanned += int64(x.Lists[c].Len())
+			st.ListBytes += x.ListBytes(c)
 		}
 	}
-	return s.sel.ResultsAppend(dst), scanned, listBytes
+	t2 := time.Now()
+	st.Scan += t2.Sub(t1)
+	res := s.sel.ResultsAppend(dst)
+	st.Merge += time.Since(t2)
+	return res
 }

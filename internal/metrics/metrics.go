@@ -1,0 +1,370 @@
+// Package metrics is the stdlib-only observability substrate of the
+// serving path: atomic counters, gauges and log-scaled latency
+// histograms collected into a Registry that renders the Prometheus text
+// exposition format (version 0.0.4). Every instrument is safe for
+// concurrent use from any number of goroutines; the recording fast paths
+// are a handful of atomic operations with no locks and no allocation.
+//
+// Instruments are get-or-create: asking the registry twice for the same
+// name+labels returns the same instrument, which lets dynamically
+// labelled series (e.g. a per-status-code request counter) be fetched on
+// the request path without pre-declaring every label value.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key="value" pair attached to an instrument.
+type Label struct {
+	Key, Value string
+}
+
+// metric is the interface every instrument implements for exposition.
+type metric interface {
+	meta() *desc
+	writeSamples(w io.Writer)
+}
+
+// desc carries the identity shared by all instrument kinds.
+type desc struct {
+	name   string // family name, e.g. anna_stage_duration_seconds
+	help   string
+	kind   string // "counter" | "gauge" | "histogram"
+	labels string // pre-rendered `key="value",...` (no braces), may be ""
+}
+
+// labelString renders labels in the given order; callers pass a stable
+// order so the same series always maps to the same registry key.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format label escapes.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// series renders `name{labels}` or bare `name`, optionally with extra
+// label text appended (used for histogram le buckets).
+func (d *desc) series(extra string) string {
+	return seriesWith(d.name, d.labels, extra)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Registry holds instruments and renders them. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]metric
+	order []metric // registration order, for stable exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]metric{}}
+}
+
+// lookup returns the instrument registered under name+labels, or
+// registers the one built by mk. It panics if the existing instrument is
+// of a different kind — mixing kinds under one family name is a
+// programming error the exposition format cannot represent.
+func (r *Registry) lookup(d desc, mk func() metric) metric {
+	key := d.name + "{" + d.labels + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.meta().kind != d.kind {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s, was %s", key, d.kind, m.meta().kind))
+		}
+		return m
+	}
+	m := mk()
+	r.byKey[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// WriteText renders every registered instrument in the Prometheus text
+// exposition format, emitting HELP/TYPE once per family.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	ms := make([]metric, len(r.order))
+	copy(ms, r.order)
+	r.mu.Unlock()
+
+	seen := map[string]bool{}
+	for _, m := range ms {
+		d := m.meta()
+		if !seen[d.name] {
+			seen[d.name] = true
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", d.name, d.help, d.name, d.kind)
+		}
+		m.writeSamples(w)
+	}
+}
+
+// Handler serves the registry as a /metrics scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct {
+	d desc
+	v atomic.Uint64
+}
+
+// Counter returns (creating if needed) the counter name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	d := desc{name: name, help: help, kind: "counter", labels: labelString(labels)}
+	return r.lookup(d, func() metric { return &Counter{d: d} }).(*Counter)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) meta() *desc { return &c.d }
+func (c *Counter) writeSamples(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.d.series(""), c.v.Load())
+}
+
+// Gauge is an integer value that can go up and down.
+type Gauge struct {
+	d desc
+	v atomic.Int64
+}
+
+// Gauge returns (creating if needed) the gauge name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	d := desc{name: name, help: help, kind: "gauge", labels: labelString(labels)}
+	return r.lookup(d, func() metric { return &Gauge{d: d} }).(*Gauge)
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) meta() *desc { return &g.d }
+func (g *Gauge) writeSamples(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", g.d.series(""), g.v.Load())
+}
+
+// gaugeFunc samples a callback at scrape time — for values owned
+// elsewhere (pool depths, index sizes) that need no double bookkeeping.
+type gaugeFunc struct {
+	d  desc
+	fn func() float64
+}
+
+// GaugeFunc registers a gauge whose value is fn() at scrape time. The
+// callback must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	d := desc{name: name, help: help, kind: "gauge", labels: labelString(labels)}
+	r.lookup(d, func() metric { return &gaugeFunc{d: d, fn: fn} })
+}
+
+func (g *gaugeFunc) meta() *desc { return &g.d }
+func (g *gaugeFunc) writeSamples(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.d.series(""), formatFloat(g.fn()))
+}
+
+// atomicFloat64 is a float accumulated with CAS on its bit pattern.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nb := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Observations and
+// exposition are lock-free; a concurrent scrape may see a count/sum a
+// few observations apart, which Prometheus semantics tolerate.
+type Histogram struct {
+	d      desc
+	upper  []float64 // ascending finite upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    atomicFloat64
+	count  atomic.Uint64
+}
+
+// ExpBuckets returns n log-scaled bucket upper bounds starting at min
+// and growing by factor: min, min*factor, ..., min*factor^(n-1).
+func ExpBuckets(min, factor float64, n int) []float64 {
+	if min <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: ExpBuckets(%v, %v, %d)", min, factor, n))
+	}
+	out := make([]float64, n)
+	v := min
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets are the default duration buckets: powers of two from
+// 1µs to ~33.5s (26 buckets), matching the µs-to-tens-of-seconds span a
+// query can take from a single cluster probe to a cold billion-scale
+// batch.
+func LatencyBuckets() []float64 { return ExpBuckets(1e-6, 2, 26) }
+
+// Histogram returns (creating if needed) the histogram name{labels}
+// with the given ascending bucket upper bounds (nil = LatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	d := desc{name: name, help: help, kind: "histogram", labels: labelString(labels)}
+	return r.lookup(d, func() metric {
+		if buckets == nil {
+			buckets = LatencyBuckets()
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic("metrics: histogram buckets must be ascending")
+		}
+		up := make([]float64, len(buckets))
+		copy(up, buckets)
+		return &Histogram{d: d, upper: up, counts: make([]atomic.Uint64, len(up)+1)}
+	}).(*Histogram)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v (le is inclusive)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// BucketCounts returns per-bucket (non-cumulative) counts; the last
+// entry is the +Inf overflow bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the bucket containing it, the same estimate
+// Prometheus's histogram_quantile computes. Values in the +Inf bucket
+// clamp to the largest finite bound. It returns NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.upper) { // +Inf bucket
+				return h.upper[len(h.upper)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			return lo + (h.upper[i]-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+func (h *Histogram) meta() *desc { return &h.d }
+func (h *Histogram) writeSamples(w io.Writer) {
+	bucket := h.d.name + "_bucket"
+	var cum uint64
+	for i, up := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s %d\n", seriesWith(bucket, h.d.labels, `le="`+formatFloat(up)+`"`), cum)
+	}
+	cum += h.counts[len(h.upper)].Load()
+	fmt.Fprintf(w, "%s %d\n", seriesWith(bucket, h.d.labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s %s\n", seriesWith(h.d.name+"_sum", h.d.labels, ""), formatFloat(h.sum.Load()))
+	fmt.Fprintf(w, "%s %d\n", seriesWith(h.d.name+"_count", h.d.labels, ""), h.count.Load())
+}
+
+// seriesWith renders name{labels,extra}, omitting empty parts.
+func seriesWith(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	if len(b) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Errorf("bucket %d: %g, want %g", i, b[i], want[i])
+		}
+	}
+	if got := LatencyBuckets(); len(got) != 26 || got[0] != 1e-6 {
+		t.Errorf("LatencyBuckets: %d buckets starting %g", len(got), got[0])
+	}
+}
+
+// Observations land in the bucket whose upper bound is the first >= the
+// value: le boundaries are inclusive, like Prometheus.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "test", []float64{1, 10, 100})
+	h.Observe(0.5) // bucket 0 (le 1)
+	h.Observe(1)   // bucket 0: boundary is inclusive
+	h.Observe(1.5) // bucket 1 (le 10)
+	h.Observe(10)  // bucket 1
+	h.Observe(99)  // bucket 2 (le 100)
+	h.Observe(101) // +Inf overflow
+	got := h.BucketCounts()
+	want := []uint64{2, 2, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d: count %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-213) > 1e-9 {
+		t.Errorf("sum %g, want 213", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "test", ExpBuckets(1, 2, 10)) // 1..512
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	// 100 observations uniform in (0, 100].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	// The estimate interpolates within buckets, so allow a bucket's
+	// worth of slack — the same guarantee histogram_quantile gives.
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.50, 50, 20},
+		{0.95, 95, 35},
+		{0.99, 99, 35},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%v: %g, want %g ± %g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	// Monotone in q.
+	if h.Quantile(0.5) > h.Quantile(0.95) || h.Quantile(0.95) > h.Quantile(0.99) {
+		t.Error("quantiles not monotone")
+	}
+	// Values past the last finite bound clamp to it.
+	h2 := r.Histogram("lat2", "test", []float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile %g, want clamp to 2", got)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests", Label{"handler", "search"}, Label{"code", "200"})
+	c.Add(3)
+	g := r.Gauge("inflight", "in-flight requests")
+	g.Set(2)
+	r.GaugeFunc(`vectors`, "index size", func() float64 { return 42 })
+	h := r.Histogram("dur_seconds", "latency", []float64{0.1, 1}, Label{"stage", "scan"})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP reqs_total requests\n# TYPE reqs_total counter\n",
+		`reqs_total{handler="search",code="200"} 3`,
+		"# TYPE inflight gauge",
+		"inflight 2",
+		"vectors 42",
+		"# TYPE dur_seconds histogram",
+		`dur_seconds_bucket{stage="scan",le="0.1"} 1`,
+		`dur_seconds_bucket{stage="scan",le="1"} 2`,
+		`dur_seconds_bucket{stage="scan",le="+Inf"} 3`,
+		`dur_seconds_sum{stage="scan"} 5.55`,
+		`dur_seconds_count{stage="scan"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// Get-or-create returns the same instrument for the same name+labels and
+// distinct ones otherwise.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h", Label{"k", "v"})
+	b := r.Counter("c", "h", Label{"k", "v"})
+	if a != b {
+		t.Error("same series returned distinct counters")
+	}
+	other := r.Counter("c", "h", Label{"k", "w"})
+	if a == other {
+		t.Error("distinct labels shared a counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("c", "h", Label{"k", "v"})
+}
+
+// Concurrent recording must be exact (run under -race in CI).
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	g := r.Gauge("depth", "depth")
+	h := r.Histogram("lat", "lat", ExpBuckets(1e-6, 2, 20))
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%1000) * 1e-6)
+				if i%64 == 0 {
+					var b strings.Builder
+					r.WriteText(&b) // concurrent scrape
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge %d, want 0", g.Value())
+	}
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count %d, want %d", h.Count(), workers*perWorker)
+	}
+	var total uint64
+	for _, n := range h.BucketCounts() {
+		total += n
+	}
+	if total != h.Count() {
+		t.Errorf("bucket total %d != count %d", total, h.Count())
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", "d", nil) // default latency buckets
+	h.ObserveDuration(3 * time.Millisecond)
+	if h.Count() != 1 || math.Abs(h.Sum()-0.003) > 1e-12 {
+		t.Errorf("count %d sum %g", h.Count(), h.Sum())
+	}
+}

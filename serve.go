@@ -1,10 +1,20 @@
 package anna
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
+	"math"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"anna/internal/metrics"
 )
 
 // Server wraps an Index behind an HTTP JSON API — the deployment shape
@@ -14,11 +24,17 @@ import (
 //	POST /search  {"queries": [[...]], "w": 32, "k": 10}
 //	              -> {"results": [[{"id":..,"score":..},...]]}
 //	POST /add     {"vectors": [[...]]} -> {"first_id": N, "count": M}
-//	GET  /stats   -> index statistics
+//	GET  /stats   -> index statistics + serving latency quantiles
 //	GET  /healthz -> 200 ok
+//	GET  /metrics -> Prometheus text exposition (see docs/ARCHITECTURE.md
+//	                 for the full metric list)
+//	GET  /debug/pprof/* -> runtime profiles (unless DisablePprof)
 //
 // Add is serialised against searches with a read-write lock; searches
-// run concurrently.
+// run concurrently. Every request is recorded into the server's metrics
+// registry: request counts and latency per handler and status code, and
+// per-stage engine timings (cluster select / list scan / top-k merge)
+// per search.
 type Server struct {
 	mu  sync.RWMutex
 	idx *Index
@@ -30,24 +46,156 @@ type Server struct {
 	// the simulated ANNA instead of the software engine; the response
 	// then carries the simulated cost (cycles, traffic, energy).
 	Accelerator *Accelerator
+	// MaxInFlight caps concurrently admitted /search requests; excess
+	// requests are rejected immediately with 429 so overload sheds load
+	// instead of queueing without bound. Zero means unlimited.
+	MaxInFlight int
+	// SearchTimeout, when positive, bounds each /search request: the
+	// deadline propagates through context into the engine's worker pool,
+	// which abandons the batch mid-scan, and the client gets 504.
+	SearchTimeout time.Duration
+	// DisablePprof removes the /debug/pprof endpoints from Handler.
+	DisablePprof bool
+	// Logger receives encode failures and shutdown notices
+	// (default log.Default()).
+	Logger *log.Logger
+
+	inflight atomic.Int64
+	m        *serverMetrics
+}
+
+// serverMetrics bundles the registry and the pre-created instruments of
+// the serving path (dynamically labelled series — the per-status-code
+// request counters — are fetched from the registry on demand).
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	reqDuration map[string]*metrics.Histogram // per handler
+	stage       map[string]*metrics.Histogram // select / scan / merge
+	queries     *metrics.Counter
+	scanned     *metrics.Counter
+	listBytes   *metrics.Counter
+	rejected    *metrics.Counter
+	added       *metrics.Counter
+}
+
+// stageNames are the per-request engine stage histograms exported as
+// anna_stage_duration_seconds{stage=...}.
+var stageNames = []string{"select", "scan", "merge"}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg:         reg,
+		reqDuration: map[string]*metrics.Histogram{},
+		stage:       map[string]*metrics.Histogram{},
+		queries: reg.Counter("anna_search_queries_total",
+			"Queries executed by the software engine."),
+		scanned: reg.Counter("anna_scanned_vectors_total",
+			"(query, vector) similarity computations performed."),
+		listBytes: reg.Counter("anna_list_bytes_read_total",
+			"Inverted-list code bytes read by scans."),
+		rejected: reg.Counter("anna_rejected_requests_total",
+			"Requests rejected at admission.", metrics.Label{Key: "reason", Value: "overload"}),
+		added: reg.Counter("anna_added_vectors_total",
+			"Vectors ingested through /add."),
+	}
+	for _, h := range []string{"search", "add", "stats"} {
+		m.reqDuration[h] = reg.Histogram("anna_request_duration_seconds",
+			"Wall-clock request latency by handler.", nil,
+			metrics.Label{Key: "handler", Value: h})
+	}
+	for _, st := range stageNames {
+		m.stage[st] = reg.Histogram("anna_stage_duration_seconds",
+			"Per-request engine stage time, summed across workers.", nil,
+			metrics.Label{Key: "stage", Value: st})
+	}
+	reg.GaugeFunc("anna_inflight_requests",
+		"Admitted /search requests currently executing.",
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("anna_engine_queue_depth",
+		"Engine work items admitted to the worker pool but not yet started.",
+		func() float64 { q, _ := s.idx.EnginePoolStats(); return float64(q) })
+	reg.GaugeFunc("anna_engine_inflight_queries",
+		"Engine work items executing on workers right now.",
+		func() float64 { _, f := s.idx.EnginePoolStats(); return float64(f) })
+	reg.GaugeFunc("anna_index_vectors",
+		"Vectors in the index.",
+		func() float64 { s.mu.RLock(); defer s.mu.RUnlock(); return float64(s.idx.Len()) })
+	return m
 }
 
 // NewServer returns a Server for idx.
 func NewServer(idx *Index) *Server {
-	return &Server{idx: idx, MaxBatch: 1024, DefaultW: 32, DefaultK: 10}
+	s := &Server{idx: idx, MaxBatch: 1024, DefaultW: 32, DefaultK: 10}
+	s.m = newServerMetrics(s)
+	return s
 }
+
+// Metrics returns the server's metrics registry, so embedding programs
+// can export their own instruments through the same /metrics endpoint.
+func (s *Server) Metrics() *metrics.Registry { return s.m.reg }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/add", s.handleAdd)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/search", s.instrument("search", s.handleSearch))
+	mux.HandleFunc("/add", s.instrument("add", s.handleAdd))
+	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("/metrics", s.m.reg.Handler())
+	if !s.DisablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// statusWriter captures the status code a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency
+// recording under anna_http_requests_total / anna_request_duration_seconds.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.m.reqDuration[name].ObserveDuration(time.Since(start))
+		s.m.reg.Counter("anna_http_requests_total", "Requests by handler and status code.",
+			metrics.Label{Key: "handler", Value: name},
+			metrics.Label{Key: "code", Value: strconv.Itoa(sw.code)}).Inc()
+	}
+}
+
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before we could answer" (there is no standard HTTP code for it).
+const statusClientClosedRequest = 499
+
+// searchErrStatus maps a SearchBatchContext error to a response code.
+func searchErrStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 type searchRequest struct {
@@ -72,22 +220,44 @@ type searchResponse struct {
 	ChipEnergyJ  float64 `json:"chip_energy_j,omitempty"`
 }
 
+// admit reserves an in-flight slot, or reports overload.
+func (s *Server) admit() bool {
+	if s.MaxInFlight <= 0 {
+		s.inflight.Add(1)
+		return true
+	}
+	if s.inflight.Add(1) > int64(s.MaxInFlight) {
+		s.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if !s.admit() {
+		s.m.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusTooManyRequests,
+			"server at max in-flight (%d); retry later", s.MaxInFlight)
+		return
+	}
+	defer s.inflight.Add(-1)
+
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		s.httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if len(req.Queries) == 0 {
-		httpError(w, http.StatusBadRequest, "no queries")
+		s.httpError(w, http.StatusBadRequest, "no queries")
 		return
 	}
 	if len(req.Queries) > s.MaxBatch {
-		httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), s.MaxBatch)
+		s.httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), s.MaxBatch)
 		return
 	}
 	if req.W <= 0 {
@@ -97,29 +267,39 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		req.K = s.DefaultK
 	}
 
+	// The request context carries client disconnects into the engine;
+	// SearchTimeout adds the server-side deadline on top.
+	ctx := r.Context()
+	if s.SearchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.SearchTimeout)
+		defer cancel()
+	}
+
 	var resp searchResponse
 	switch req.Backend {
 	case "", "software":
 		s.mu.RLock()
-		rep, err := s.idx.SearchBatch(req.Queries, SearchOptions{
+		rep, err := s.idx.SearchBatchContext(ctx, req.Queries, SearchOptions{
 			W: req.W, K: req.K, Mode: ClusterMajor,
 		})
 		s.mu.RUnlock()
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "search: %v", err)
+			s.httpError(w, searchErrStatus(err), "search: %v", err)
 			return
 		}
+		s.recordSearch(len(req.Queries), rep)
 		resp.Results = toSearchResults(rep.Results)
 	case "anna":
 		if s.Accelerator == nil {
-			httpError(w, http.StatusBadRequest, "no accelerator configured on this server")
+			s.httpError(w, http.StatusBadRequest, "no accelerator configured on this server")
 			return
 		}
 		s.mu.RLock()
 		rep, err := s.Accelerator.Simulate(req.Queries, SimParams{W: req.W, K: req.K})
 		s.mu.RUnlock()
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "simulating: %v", err)
+			s.httpError(w, http.StatusBadRequest, "simulating: %v", err)
 			return
 		}
 		resp.Results = toSearchResults(rep.Results)
@@ -127,10 +307,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.TrafficBytes = rep.TrafficBytes
 		resp.ChipEnergyJ = rep.ChipEnergyJ
 	default:
-		httpError(w, http.StatusBadRequest, "unknown backend %q", req.Backend)
+		s.httpError(w, http.StatusBadRequest, "unknown backend %q", req.Backend)
 		return
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
+}
+
+// recordSearch feeds one software-backend batch report into the metrics.
+func (s *Server) recordSearch(nq int, rep *BatchReport) {
+	s.m.queries.Add(uint64(nq))
+	s.m.scanned.Add(uint64(rep.ScannedVectors))
+	s.m.listBytes.Add(uint64(rep.ListBytesTouched))
+	s.m.stage["select"].ObserveDuration(rep.SelectTime)
+	s.m.stage["scan"].ObserveDuration(rep.ScanTime)
+	s.m.stage["merge"].ObserveDuration(rep.MergeTime)
 }
 
 func toSearchResults(in [][]Result) [][]searchResult {
@@ -156,27 +346,56 @@ type addResponse struct {
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req addRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		s.httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Vectors) == 0 {
+		s.httpError(w, http.StatusBadRequest, "no vectors")
+		return
+	}
+	// Validate before taking the write lock: a bad vector must not stall
+	// in-flight searches, and NaN/Inf would silently poison k-means
+	// assignment and PQ codes.
+	if err := validateAddVectors(req.Vectors, s.idx.Dim()); err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.mu.Lock()
 	first, err := s.idx.Add(req.Vectors)
 	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "add: %v", err)
+		s.httpError(w, http.StatusBadRequest, "add: %v", err)
 		return
 	}
-	writeJSON(w, addResponse{FirstID: first, Count: len(req.Vectors)})
+	s.m.added.Add(uint64(len(req.Vectors)))
+	s.writeJSON(w, addResponse{FirstID: first, Count: len(req.Vectors)})
+}
+
+// validateAddVectors rejects dimension mismatches and non-finite
+// components. NaN/Inf cannot arrive through well-formed JSON, but the
+// Server API is also used embedded (examples/serving), where they can.
+func validateAddVectors(vectors [][]float32, dim int) error {
+	for i, v := range vectors {
+		if len(v) != dim {
+			return fmt.Errorf("vector %d has dim %d, index dim %d", i, len(v), dim)
+		}
+		for j, f := range v {
+			if f64 := float64(f); math.IsNaN(f64) || math.IsInf(f64, 0) {
+				return fmt.Errorf("vector %d component %d is %v (must be finite)", i, j, f)
+			}
+		}
+	}
+	return nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		s.httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	s.mu.RLock()
@@ -184,7 +403,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	metric := s.idx.Metric().String()
 	dim := s.idx.Dim()
 	s.mu.RUnlock()
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"vectors":           st.Vectors,
 		"clusters":          st.Clusters,
 		"dim":               dim,
@@ -192,19 +411,43 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"code_bytes":        st.CodeBytesPerVector,
 		"total_code_bytes":  st.TotalCodeBytes,
 		"compression_ratio": st.CompressionRatio,
-	})
+	}
+	// Serving latency quantiles, once there is traffic to summarise.
+	if h := s.m.reqDuration["search"]; h.Count() > 0 {
+		resp["search_latency_seconds"] = map[string]any{
+			"count": h.Count(),
+			"p50":   h.Quantile(0.50),
+			"p95":   h.Quantile(0.95),
+			"p99":   h.Quantile(0.99),
+		}
+	}
+	s.writeJSON(w, resp)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *Server) logf(format string, args ...any) {
+	l := s.Logger
+	if l == nil {
+		l = log.Default()
+	}
+	l.Printf(format, args...)
+}
+
+// writeJSON sends v with a 200. The Content-Type header is set before
+// the status line goes out (headers are immutable afterwards), and
+// encode failures — a closed connection, an unmarshalable value — are
+// logged rather than swallowed.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers already sent; nothing more to do.
-		return
+		s.logf("anna: serve: encoding response: %v", err)
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}); err != nil {
+		s.logf("anna: serve: encoding error response: %v", err)
+	}
 }

@@ -3,10 +3,14 @@ package anna
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server, [][]float32) {
@@ -215,6 +219,190 @@ func TestServerAcceleratorBackend(t *testing.T) {
 	noacc.Body.Close()
 	if noacc.StatusCode != http.StatusBadRequest {
 		t.Errorf("accelerator-less status %d", noacc.StatusCode)
+	}
+}
+
+// After a search, /metrics exposes the per-stage latency histograms, the
+// saturation gauges and the per-handler request series.
+func TestServerMetricsEndpoint(t *testing.T) {
+	_, ts, base := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/search", searchRequest{
+		Queries: [][]float32{base[0], base[1]}, W: 8, K: 5,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", mr.StatusCode)
+	}
+	if ct := mr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(mr.Body)
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE anna_stage_duration_seconds histogram",
+		`anna_stage_duration_seconds_bucket{stage="select",le="+Inf"} 1`,
+		`anna_stage_duration_seconds_bucket{stage="scan",le="+Inf"} 1`,
+		`anna_stage_duration_seconds_bucket{stage="merge",le="+Inf"} 1`,
+		`anna_stage_duration_seconds_count{stage="select"} 1`,
+		`anna_request_duration_seconds_count{handler="search"} 1`,
+		`anna_http_requests_total{handler="search",code="200"} 1`,
+		"anna_inflight_requests 0",
+		"anna_engine_queue_depth 0",
+		"anna_engine_inflight_queries 0",
+		"anna_index_vectors 3000",
+		"anna_search_queries_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Real work was accounted: scanned vectors and list bytes are > 0.
+	for _, prefix := range []string{"anna_scanned_vectors_total ", "anna_list_bytes_read_total "} {
+		i := strings.Index(out, prefix)
+		if i < 0 {
+			t.Errorf("/metrics missing %q", prefix)
+			continue
+		}
+		val := strings.TrimSpace(out[i+len(prefix) : i+len(prefix)+strings.IndexByte(out[i+len(prefix):], '\n')])
+		if val == "0" {
+			t.Errorf("%s is zero", prefix)
+		}
+	}
+}
+
+// With the admission gate saturated, /search sheds load with 429 and
+// counts the rejection; a freed slot admits again.
+func TestServerOverload(t *testing.T) {
+	s, ts, base := newTestServer(t)
+	s.MaxInFlight = 1
+	s.inflight.Add(1) // occupy the only slot
+	resp := postJSON(t, ts.URL+"/search", searchRequest{Queries: [][]float32{base[0]}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := s.m.rejected.Value(); got != 1 {
+		t.Errorf("rejected counter %d, want 1", got)
+	}
+
+	s.inflight.Add(-1) // release
+	ok := postJSON(t, ts.URL+"/search", searchRequest{Queries: [][]float32{base[0]}})
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Errorf("freed-slot status %d, want 200", ok.StatusCode)
+	}
+}
+
+// An expired SearchTimeout propagates through the request context into
+// the engine, which abandons the batch; the client gets 504.
+func TestServerSearchTimeout(t *testing.T) {
+	s, ts, base := newTestServer(t)
+	s.SearchTimeout = time.Nanosecond
+	resp := postJSON(t, ts.URL+"/search", searchRequest{Queries: [][]float32{base[0]}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	var e map[string]string
+	json.NewDecoder(resp.Body).Decode(&e)
+	if !strings.Contains(e["error"], "deadline") {
+		t.Errorf("error %q does not mention the deadline", e["error"])
+	}
+}
+
+func TestServerAddValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	for _, tc := range []struct {
+		name string
+		body any
+	}{
+		{"empty", addRequest{}},
+		{"wrong dim", addRequest{Vectors: [][]float32{{1, 2, 3}}}},
+	} {
+		resp := postJSON(t, ts.URL+"/add", tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	// NaN/Inf can't transit well-formed JSON, so exercise the validator
+	// directly (the embedded-server path).
+	bad := make([]float32, 32)
+	bad[7] = float32(math.NaN())
+	if err := validateAddVectors([][]float32{bad}, 32); err == nil {
+		t.Error("NaN vector accepted")
+	}
+	bad[7] = float32(math.Inf(1))
+	if err := validateAddVectors([][]float32{bad}, 32); err == nil {
+		t.Error("+Inf vector accepted")
+	}
+	if err := validateAddVectors([][]float32{make([]float32, 32)}, 32); err != nil {
+		t.Errorf("finite vector rejected: %v", err)
+	}
+}
+
+func TestServerPprof(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+
+	// Disabled servers don't expose profiles.
+	idx, _, _ := buildTestIndex(t, L2, 16)
+	off := NewServer(idx)
+	off.DisablePprof = true
+	ts2 := httptest.NewServer(off.Handler())
+	defer ts2.Close()
+	r2, err := http.Get(ts2.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled pprof status %d, want 404", r2.StatusCode)
+	}
+}
+
+// /stats reports serving latency quantiles once traffic has flowed.
+func TestServerStatsLatencySummary(t *testing.T) {
+	_, ts, base := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/search", searchRequest{Queries: [][]float32{base[0]}})
+	resp.Body.Close()
+	st, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(st.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	lat, ok := out["search_latency_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing search_latency_seconds: %v", out)
+	}
+	if lat["count"].(float64) != 1 {
+		t.Errorf("latency count %v, want 1", lat["count"])
+	}
+	if p50 := lat["p50"].(float64); p50 <= 0 {
+		t.Errorf("p50 %v, want > 0", p50)
 	}
 }
 

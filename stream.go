@@ -21,6 +21,11 @@ type StreamBuildOptions struct {
 	// ChunkSize bounds the vectors resident during the streaming phase
 	// (default 8192).
 	ChunkSize int
+	// Progress, when non-nil, is invoked after training and after every
+	// flushed chunk with the total number of vectors ingested so far —
+	// the hook long ingestions report liveness through (a log line, an
+	// ingest gauge). It runs on the building goroutine; keep it cheap.
+	Progress func(ingested int)
 }
 
 // BuildIndexFromFvecs trains and populates an index from an fvecs stream
@@ -56,6 +61,9 @@ func BuildIndexFromFvecs(r io.Reader, metric Metric, opt StreamBuildOptions) (*I
 		return nil, err
 	}
 	sample = nil // release the training buffer
+	if opt.Progress != nil {
+		opt.Progress(idx.Len())
+	}
 
 	// Phase 2: stream the remainder through encode-and-append in chunks.
 	chunk := vecmath.NewMatrix(opt.ChunkSize, idx.Dim())
@@ -68,6 +76,9 @@ func BuildIndexFromFvecs(r io.Reader, metric Metric, opt StreamBuildOptions) (*I
 			Data: chunk.Data[:filled*idx.Dim()]}
 		idx.inner.Add(view)
 		filled = 0
+		if opt.Progress != nil {
+			opt.Progress(idx.Len())
+		}
 	}
 	for sc.Next() {
 		if sc.Dim() != idx.Dim() {

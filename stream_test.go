@@ -154,3 +154,33 @@ func TestTuneW(t *testing.T) {
 		t.Error("ry<rx accepted")
 	}
 }
+
+// Progress fires after training and after every flushed chunk, with a
+// monotonically increasing ingested count ending at the stream length.
+func TestStreamingBuildProgress(t *testing.T) {
+	base := clusteredVectors(3000, 16, 8, 61)
+	var calls []int
+	opt := StreamBuildOptions{
+		BuildOptions: BuildOptions{NClusters: 8, M: 4, Ks: 16, TrainIters: 4, Seed: 3},
+		SampleSize:   1000,
+		ChunkSize:    600,
+		Progress:     func(n int) { calls = append(calls, n) },
+	}
+	idx, err := BuildIndexFromFvecs(bytes.NewReader(fvecsBytes(t, base)), L2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 trained + 2000 streamed in chunks of 600: 1000, 1600, 2200, 2800, 3000.
+	want := []int{1000, 1600, 2200, 2800, 3000}
+	if len(calls) != len(want) {
+		t.Fatalf("progress calls %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("progress calls %v, want %v", calls, want)
+		}
+	}
+	if idx.Len() != 3000 {
+		t.Fatalf("indexed %d", idx.Len())
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench benchall vet fmt fmt-check bench-smoke ci examples experiments clean
+.PHONY: all build test race check bench benchall vet fmt fmt-check bench-smoke fuzz-smoke ci examples experiments clean
 
 all: build vet test
 
@@ -17,17 +17,24 @@ race:
 
 # Mirrors .github/workflows/ci.yml exactly (same commands, same package
 # lists) so a green `make ci` means a green CI run. Keep in sync.
-ci: fmt-check build vet test ci-race bench-smoke
+ci: fmt-check build vet test ci-race fuzz-smoke bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # The CI race job: engine worker pool, fused scan path, metrics
-# instruments, HTTP serving layer.
+# instruments, WAL, HTTP serving layer.
 .PHONY: ci-race
 ci-race:
-	$(GO) test -race ./internal/engine/... ./internal/ivf/... ./internal/metrics/... .
+	$(GO) test -race ./internal/engine/... ./internal/ivf/... ./internal/metrics/... ./internal/wal/... .
+
+# The CI fuzz-smoke job: hammer both durable-input decoders — the index
+# loader and the WAL reader — with coverage-guided corrupt inputs. A
+# finding here means a hostile or damaged file can crash the server.
+fuzz-smoke:
+	$(GO) test ./internal/ivf/ -run '^$$' -fuzz=FuzzLoad -fuzztime=30s
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz=FuzzLoad -fuzztime=30s
 
 # The CI bench-smoke job: small-budget benchmark run recorded as JSON
 # (uploaded as a per-PR artifact in CI; a trajectory, not a gate).

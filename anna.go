@@ -351,11 +351,19 @@ func (x *Index) SearchBatchContext(ctx context.Context, queries [][]float32, opt
 	return out, nil
 }
 
-// Save writes the index to w in the binary ANNAIVF1 format.
+// NextID returns the ID the next Add will assign to its first vector.
+func (x *Index) NextID() int64 { return x.inner.NextID() }
+
+// Save writes the index to w in the checksummed binary ANNAIVF3 format.
 func (x *Index) Save(w io.Writer) error { return x.inner.Save(w) }
 
-// SaveFile writes the index to a file.
+// SaveFile writes the index to a file atomically: a temp file in the
+// same directory is written, fsynced, and renamed over path, so a crash
+// mid-save never leaves a truncated index behind.
 func (x *Index) SaveFile(path string) error { return x.inner.SaveFile(path) }
+
+// SaveIndexFile writes x to path atomically (see Index.SaveFile).
+func SaveIndexFile(x *Index, path string) error { return x.SaveFile(path) }
 
 // LoadIndex reads an index written by Save.
 func LoadIndex(r io.Reader) (*Index, error) {

@@ -4,19 +4,31 @@
 // Usage:
 //
 //	annaserve -index sift.anna -addr :8080
+//	annaserve -index sift.anna -data /var/lib/anna -wal-sync always
 //
 // Endpoints:
 //
 //	POST /search  {"queries": [[...]], "w": 32, "k": 10}
 //	POST /add     {"vectors": [[...]]}
+//	POST /admin/snapshot  checkpoint the index, trim the WAL (needs -data)
 //	GET  /stats
 //	GET  /healthz
 //	GET  /metrics        Prometheus text exposition
 //	GET  /debug/pprof/*  runtime profiles (disable with -pprof=false)
 //
+// With -data, the served index is durable: /add batches are written to a
+// checksummed WAL before acknowledgment, snapshots are atomic, and on
+// restart the snapshot in the data directory is recovered with the WAL
+// replayed on top (-index then only seeds a directory that has no
+// snapshot yet). -wal-sync picks the fsync policy — "always" (every
+// batch, the default), "none" (OS page cache), or a duration like
+// "100ms" (group commit). -snapshot-every N auto-checkpoints after N
+// added vectors.
+//
 // The process sheds load with 429 once -maxinflight searches are
 // running, bounds each search by -timeout, and drains in-flight
-// requests for up to -grace after SIGINT/SIGTERM before exiting.
+// requests for up to -grace after SIGINT/SIGTERM before exiting (with a
+// final snapshot when -data is set).
 package main
 
 import (
@@ -34,6 +46,45 @@ import (
 	"anna"
 )
 
+// parseSyncPolicy maps the -wal-sync flag to store options: "always",
+// "none", or a group-commit interval like "100ms".
+func parseSyncPolicy(s string) (anna.StoreOptions, error) {
+	switch s {
+	case "always":
+		return anna.StoreOptions{Sync: anna.SyncAlways}, nil
+	case "none":
+		return anna.StoreOptions{Sync: anna.SyncNone}, nil
+	default:
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return anna.StoreOptions{}, fmt.Errorf("-wal-sync must be always, none, or a positive duration (got %q)", s)
+		}
+		return anna.StoreOptions{Sync: anna.SyncInterval, SyncEvery: d}, nil
+	}
+}
+
+// openStore recovers the store in dir, seeding it from indexPath when the
+// directory holds no snapshot yet.
+func openStore(dir, indexPath string, opt anna.StoreOptions) (*anna.Store, error) {
+	if anna.StoreExists(dir) {
+		st, err := anna.OpenStore(dir, opt)
+		if err != nil {
+			return nil, err
+		}
+		if n, torn := st.ReplayedRecords(), st.TornBytes(); n > 0 || torn > 0 {
+			log.Printf("annaserve: recovered %s: replayed %d WAL record(s), discarded %d torn byte(s)",
+				dir, n, torn)
+		}
+		return st, nil
+	}
+	idx, err := anna.LoadIndexFile(indexPath)
+	if err != nil {
+		return nil, fmt.Errorf("seeding %s from %s: %w", dir, indexPath, err)
+	}
+	log.Printf("annaserve: initialising data directory %s from %s", dir, indexPath)
+	return anna.CreateStore(dir, idx, opt)
+}
+
 func main() {
 	var (
 		indexPath   = flag.String("index", "index.anna", "index file from annatrain")
@@ -46,12 +97,32 @@ func main() {
 		pprofOn     = flag.Bool("pprof", true, "serve /debug/pprof/ profiles")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain window")
 		withAccel   = flag.Bool("accel", false, `also serve the simulated ANNA backend (requests with "backend":"anna")`)
+		dataDir     = flag.String("data", "", "durable data directory: WAL /add batches, snapshot on shutdown, recover on start (empty = serve -index in memory only)")
+		walSync     = flag.String("wal-sync", "always", `WAL fsync policy: "always", "none", or a group-commit interval like "100ms"`)
+		snapEvery   = flag.Int("snapshot-every", 0, "auto-snapshot after this many added vectors (0 = only /admin/snapshot and shutdown)")
 	)
 	flag.Parse()
 
-	idx, err := anna.LoadIndexFile(*indexPath)
-	if err != nil {
-		log.Fatalf("annaserve: loading index: %v", err)
+	var (
+		idx   *anna.Index
+		store *anna.Store
+		err   error
+	)
+	if *dataDir != "" {
+		opt, perr := parseSyncPolicy(*walSync)
+		if perr != nil {
+			log.Fatalf("annaserve: %v", perr)
+		}
+		store, err = openStore(*dataDir, *indexPath, opt)
+		if err != nil {
+			log.Fatalf("annaserve: opening store: %v", err)
+		}
+		idx = store.Index()
+	} else {
+		idx, err = anna.LoadIndexFile(*indexPath)
+		if err != nil {
+			log.Fatalf("annaserve: loading index: %v", err)
+		}
 	}
 	srv := anna.NewServer(idx)
 	srv.DefaultW = *defaultW
@@ -60,6 +131,8 @@ func main() {
 	srv.MaxInFlight = *maxInflight
 	srv.SearchTimeout = *timeout
 	srv.DisablePprof = !*pprofOn
+	srv.Store = store
+	srv.SnapshotEvery = *snapEvery
 	if *withAccel {
 		cfg := anna.DefaultAcceleratorConfig()
 		if *defaultK > cfg.TopK {
@@ -83,8 +156,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("annaserve: %d vectors (dim %d, %v) on %s\n",
-		idx.Len(), idx.Dim(), idx.Metric(), *addr)
+	durable := "in-memory"
+	if store != nil {
+		durable = fmt.Sprintf("durable in %s (wal-sync %s)", *dataDir, *walSync)
+	}
+	fmt.Printf("annaserve: %d vectors (dim %d, %v) on %s, %s\n",
+		idx.Len(), idx.Dim(), idx.Metric(), *addr, durable)
 
 	select {
 	case err := <-errc:
@@ -100,6 +177,16 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("annaserve: %v", err)
+		}
+		if store != nil {
+			// Checkpoint so the next start replays an empty WAL. Failure
+			// is not fatal: the WAL still holds everything acknowledged.
+			if err := store.Snapshot(); err != nil {
+				log.Printf("annaserve: shutdown snapshot: %v", err)
+			}
+			if err := store.Close(); err != nil {
+				log.Printf("annaserve: closing store: %v", err)
+			}
 		}
 		log.Printf("annaserve: shut down cleanly")
 	}

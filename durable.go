@@ -1,0 +1,327 @@
+package anna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anna/internal/ivf"
+	"anna/internal/wal"
+)
+
+// Crash-safe durability: a Store pairs an atomic checksummed snapshot
+// (the ANNAIVF3 artifact) with a write-ahead log of accepted /add
+// batches. Every mutation is logged — and, under SyncAlways, fsynced —
+// before the client sees an acknowledgment; startup recovery loads the
+// snapshot, replays the WAL on top, and truncates at the first torn or
+// corrupt record. Acknowledged state therefore survives crashes,
+// truncated files and bit flips: damaged inputs are refused with a
+// typed error, never silently decoded.
+
+const (
+	snapshotName = "snapshot.anna"
+	walName      = "wal.log"
+)
+
+// SyncPolicy selects when WAL appends are fsynced (see wal.Policy).
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every /add acknowledgment: acknowledged
+	// vectors survive any crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval group-commits: fsync when StoreOptions.SyncEvery has
+	// elapsed since the last one. Bounded loss, amortized fsyncs.
+	SyncInterval
+	// SyncNone leaves flushing to the OS page cache.
+	SyncNone
+)
+
+// StoreOptions configure a Store.
+type StoreOptions struct {
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval group-commit window (default 100ms).
+	SyncEvery time.Duration
+}
+
+func (o StoreOptions) walOptions() wal.Options {
+	p := wal.SyncAlways
+	switch o.Sync {
+	case SyncInterval:
+		p = wal.SyncInterval
+	case SyncNone:
+		p = wal.SyncNone
+	}
+	return wal.Options{Policy: p, Interval: o.SyncEvery}
+}
+
+// IsCorrupt reports whether err was caused by damaged durable state — a
+// corrupt or truncated index file, or an invalid WAL record — as opposed
+// to an I/O failure.
+func IsCorrupt(err error) bool {
+	return errors.Is(err, ivf.ErrCorrupt) || errors.Is(err, wal.ErrCorrupt) || errors.Is(err, errBadRecord)
+}
+
+var errBadRecord = errors.New("anna: invalid WAL record")
+
+// Store is the durability layer of a served index: a data directory
+// holding snapshot.anna and wal.log.
+type Store struct {
+	mu  sync.Mutex // serializes WAL appends against snapshot/close
+	dir string
+	idx *Index
+	log *wal.Log
+	opt StoreOptions
+
+	replayed  int
+	tornBytes int64
+	lastSnap  atomic.Int64 // unix nanos of the last completed snapshot
+}
+
+// StoreExists reports whether dir already holds a store snapshot.
+func StoreExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, snapshotName))
+	return err == nil
+}
+
+// CreateStore initialises dir with a snapshot of idx and an empty WAL.
+// It refuses a directory that already holds a store (use OpenStore).
+func CreateStore(dir string, idx *Index, opt StoreOptions) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	snap := filepath.Join(dir, snapshotName)
+	if _, err := os.Stat(snap); err == nil {
+		return nil, fmt.Errorf("anna: %s already holds a store snapshot; use OpenStore", dir)
+	}
+	if err := idx.SaveFile(snap); err != nil {
+		return nil, fmt.Errorf("anna: writing initial snapshot: %w", err)
+	}
+	// O_TRUNC discards any stale WAL left by a process that crashed
+	// before its first snapshot completed.
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	log, _, err := wal.Open(f, opt.walOptions(), nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	st := &Store{dir: dir, idx: idx, log: log, opt: opt}
+	st.lastSnap.Store(time.Now().UnixNano())
+	return st, nil
+}
+
+// OpenStore recovers the index from dir: leftover temp files from an
+// interrupted snapshot are swept, the snapshot is loaded (every section
+// checksum-verified), and the WAL is replayed on top — skipping records
+// the snapshot already contains, truncating at the first torn record,
+// and refusing the store if a record is inconsistent with the index.
+func OpenStore(dir string, opt StoreOptions) (*Store, error) {
+	snap := filepath.Join(dir, snapshotName)
+	if tmps, err := filepath.Glob(snap + ".tmp*"); err == nil {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
+	idx, err := LoadIndexFile(snap)
+	if err != nil {
+		return nil, fmt.Errorf("anna: opening store snapshot: %w", err)
+	}
+	st := &Store{dir: dir, idx: idx, opt: opt}
+	if fi, err := os.Stat(snap); err == nil {
+		st.lastSnap.Store(fi.ModTime().UnixNano())
+	} else {
+		st.lastSnap.Store(time.Now().UnixNano())
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	log, rec, err := wal.Open(f, opt.walOptions(), func(seq uint64, payload []byte) error {
+		return st.applyRecord(payload)
+	})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("anna: replaying WAL: %w", err)
+	}
+	st.log = log
+	st.tornBytes = rec.TornBytes
+	return st, nil
+}
+
+// applyRecord replays one WAL record onto the index. Records fully
+// contained in the snapshot (a crash between snapshot rename and WAL
+// trim) are skipped by ID; anything else must continue exactly where the
+// index ends.
+func (st *Store) applyRecord(payload []byte) error {
+	firstID, vectors, err := decodeAddRecord(payload)
+	if err != nil {
+		return err
+	}
+	next := st.idx.NextID()
+	if firstID+int64(len(vectors)) <= next {
+		return nil // already in the snapshot
+	}
+	if firstID != next {
+		return fmt.Errorf("%w: add record for id %d, index expects %d", errBadRecord, firstID, next)
+	}
+	got, err := st.idx.Add(vectors)
+	if err != nil {
+		return fmt.Errorf("%w: replaying add at id %d: %v", errBadRecord, firstID, err)
+	}
+	if got != firstID {
+		return fmt.Errorf("%w: replay assigned id %d, record says %d", errBadRecord, got, firstID)
+	}
+	st.replayed++
+	return nil
+}
+
+// Index returns the recovered (or wrapped) index.
+func (st *Store) Index() *Index { return st.idx }
+
+// Dir returns the data directory.
+func (st *Store) Dir() string { return st.dir }
+
+// ReplayedRecords returns how many WAL records OpenStore applied.
+func (st *Store) ReplayedRecords() int { return st.replayed }
+
+// TornBytes returns how many trailing WAL bytes recovery discarded as
+// torn or corrupt.
+func (st *Store) TornBytes() int64 { return st.tornBytes }
+
+// LastSnapshot returns when the snapshot was last written.
+func (st *Store) LastSnapshot() time.Time { return time.Unix(0, st.lastSnap.Load()) }
+
+// WALRecords returns the number of records in the live WAL segment.
+func (st *Store) WALRecords() uint64 { return st.log.Records() }
+
+// WALSize returns the live WAL segment's byte length.
+func (st *Store) WALSize() int64 { return st.log.Size() }
+
+// WALStats returns lifetime append/fsync/byte counters.
+func (st *Store) WALStats() (appends, fsyncs, bytes uint64) { return st.log.Stats() }
+
+// SetOnSync registers a hook run after every WAL fsync (metrics).
+func (st *Store) SetOnSync(fn func()) { st.log.SetOnSync(fn) }
+
+// LogAdd appends one accepted add batch to the WAL. firstID must be the
+// ID the in-memory Add will assign (Index.NextID before applying). When
+// LogAdd returns nil under SyncAlways, the batch is durable; when it
+// errors, the in-memory index must be left unmodified so state and log
+// cannot diverge.
+func (st *Store) LogAdd(firstID int64, vectors [][]float32) error {
+	payload := encodeAddRecord(firstID, vectors)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, err := st.log.Append(payload)
+	return err
+}
+
+// Snapshot atomically rewrites snapshot.anna with the current index
+// state (temp file + fsync + rename) and then trims the WAL. A crash
+// between the two steps is safe: replay skips records the snapshot
+// already contains. The caller must exclude concurrent Add/LogAdd (the
+// Server holds its index lock); searches may continue.
+func (st *Store) Snapshot() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.idx.SaveFile(filepath.Join(st.dir, snapshotName)); err != nil {
+		return fmt.Errorf("anna: writing snapshot: %w", err)
+	}
+	if err := st.log.Reset(); err != nil {
+		return fmt.Errorf("anna: trimming WAL: %w", err)
+	}
+	st.lastSnap.Store(time.Now().UnixNano())
+	return nil
+}
+
+// Close syncs and closes the WAL. It does not snapshot; call Snapshot
+// first for a trimmed restart.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.log.Close()
+}
+
+// Add-record payload (little endian):
+//
+//	kind    uint8 (1 = add batch)
+//	firstID int64
+//	count   uint32, dim uint32
+//	count*dim float32
+const addRecordKind = 1
+
+func encodeAddRecord(firstID int64, vectors [][]float32) []byte {
+	dim := 0
+	if len(vectors) > 0 {
+		dim = len(vectors[0])
+	}
+	b := make([]byte, 0, 17+4*len(vectors)*dim)
+	b = append(b, addRecordKind)
+	b = binary64(b, uint64(firstID))
+	b = binary32(b, uint32(len(vectors)))
+	b = binary32(b, uint32(dim))
+	for _, v := range vectors {
+		for _, f := range v {
+			b = binary32(b, math.Float32bits(f))
+		}
+	}
+	return b
+}
+
+func binary32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func binary64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func decodeAddRecord(b []byte) (firstID int64, vectors [][]float32, err error) {
+	if len(b) < 17 {
+		return 0, nil, fmt.Errorf("%w: %d-byte add record", errBadRecord, len(b))
+	}
+	if b[0] != addRecordKind {
+		return 0, nil, fmt.Errorf("%w: unknown record kind %d", errBadRecord, b[0])
+	}
+	firstID = int64(leU64(b[1:9]))
+	count := leU32(b[9:13])
+	dim := leU32(b[13:17])
+	if firstID < 0 || count == 0 || dim == 0 || dim > 1<<16 {
+		return 0, nil, fmt.Errorf("%w: firstID=%d count=%d dim=%d", errBadRecord, firstID, count, dim)
+	}
+	if uint64(len(b)-17) != 4*uint64(count)*uint64(dim) {
+		return 0, nil, fmt.Errorf("%w: %d payload bytes for count=%d dim=%d", errBadRecord, len(b)-17, count, dim)
+	}
+	vectors = make([][]float32, count)
+	off := 17
+	for i := range vectors {
+		row := make([]float32, dim)
+		for j := range row {
+			f := math.Float32frombits(leU32(b[off : off+4]))
+			if f64 := float64(f); math.IsNaN(f64) || math.IsInf(f64, 0) {
+				return 0, nil, fmt.Errorf("%w: non-finite component %v in vector %d", errBadRecord, f, i)
+			}
+			row[j] = f
+			off += 4
+		}
+		vectors[i] = row
+	}
+	return firstID, vectors, nil
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(leU32(b)) | uint64(leU32(b[4:]))<<32
+}

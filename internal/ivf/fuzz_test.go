@@ -26,7 +26,15 @@ func FuzzLoad(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:10])
 	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-4]) // missing trailer
+	var v2 bytes.Buffer
+	if err := saveV2(idx, &v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v2.Bytes()[:v2.Len()/2])
 	f.Add([]byte("ANNAIVF2"))
+	f.Add([]byte("ANNAIVF3"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

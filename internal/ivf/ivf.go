@@ -176,6 +176,11 @@ func (x *Index) encode(dst []byte, resid, point []float32) []byte {
 // NClusters returns |C|.
 func (x *Index) NClusters() int { return x.Centroids.Rows }
 
+// NextID returns the ID the next Add will assign to its first vector.
+// The durability layer records it in WAL entries so replay can detect
+// records already covered by a snapshot.
+func (x *Index) NextID() int64 { return x.nextID }
+
 // PrepQuery returns the query in index space: a rotated copy when the
 // index was built with Rotate, otherwise q itself.
 func (x *Index) PrepQuery(q []float32) []float32 {

@@ -1,0 +1,184 @@
+package ivf
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/pq"
+)
+
+// saveV2 replicates the legacy ANNAIVF2 writer byte for byte (no
+// checksums, flags interleaved with their payloads, no tombstones, no
+// footer) so the read-compat path stays covered after the production
+// writer moved to ANNAIVF3.
+func saveV2(x *Index, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magicV2); err != nil {
+		return err
+	}
+	writeU8 := func(v uint8) { bw.WriteByte(v) }
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		bw.Write(b[:])
+	}
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		bw.Write(b[:])
+	}
+	writeF32s := func(vs []float32) {
+		var b [4]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+			bw.Write(b[:])
+		}
+	}
+
+	writeU8(uint8(x.Metric))
+	writeU32(uint32(x.D))
+	writeU64(uint64(x.NTotal))
+	writeU32(uint32(x.NClusters()))
+	writeU32(uint32(x.PQ.M))
+	writeU32(uint32(x.PQ.Ks))
+	if x.Rot != nil {
+		writeU8(1)
+		writeF32s(x.Rot.Rows)
+	} else {
+		writeU8(0)
+	}
+	writeF32s([]float32{x.AnisotropicEta})
+	if x.SQ != nil {
+		writeU8(1)
+		writeF32s(x.SQ.Q.Min)
+		writeF32s(x.SQ.Q.Scale)
+		bw.Write(x.SQ.Codes)
+	} else {
+		writeU8(0)
+	}
+	writeF32s(x.Centroids.Data)
+	writeF32s(x.PQ.Codebooks.Data)
+	for c := range x.Lists {
+		lst := &x.Lists[c]
+		writeU32(uint32(lst.Len()))
+		for _, id := range lst.IDs {
+			writeU64(uint64(id))
+		}
+		bw.Write(lst.Codes)
+	}
+	return bw.Flush()
+}
+
+// buildFeatureful returns a small index exercising every optional model
+// component: rotation, anisotropic encoding and the SQ rerank store.
+func buildFeatureful(t testing.TB) (*Index, *dataset.Dataset) {
+	t.Helper()
+	spec := dataset.SIFTLike(600, 3, 1)
+	spec.D = 16
+	spec.Metric = pq.InnerProduct
+	ds := dataset.Generate(spec)
+	idx := Build(ds.Base, pq.InnerProduct, Config{
+		NClusters: 6, M: 4, Ks: 16, CoarseIters: 4, PQIters: 4, Seed: 7,
+		Rotate: true, AnisotropicEta: 2, Rerank: true,
+	})
+	return idx, ds
+}
+
+// sameSearchResults asserts both indexes return identical results for
+// the dataset's query set.
+func sameSearchResults(t *testing.T, want, got *Index, ds *dataset.Dataset) {
+	t.Helper()
+	for qi := 0; qi < ds.Queries.Rows && qi < 10; qi++ {
+		q := ds.Queries.Row(qi)
+		a := want.Search(q, SearchParams{W: 4, K: 5})
+		b := got.Search(q, SearchParams{W: 4, K: 5})
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+				t.Fatalf("query %d rank %d: (%d, %v) vs (%d, %v)",
+					qi, i, a[i].ID, a[i].Score, b[i].ID, b[i].Score)
+			}
+		}
+	}
+}
+
+func TestLoadV2Compat(t *testing.T) {
+	idx, ds := buildFeatureful(t)
+	var buf bytes.Buffer
+	if err := saveV2(idx, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("loading ANNAIVF2 blob: %v", err)
+	}
+	if got.D != idx.D || got.NTotal != idx.NTotal || got.PQ.M != idx.PQ.M ||
+		got.PQ.Ks != idx.PQ.Ks || got.NClusters() != idx.NClusters() {
+		t.Fatalf("geometry mismatch after v2 load")
+	}
+	if got.Rot == nil || got.SQ == nil || got.AnisotropicEta != idx.AnisotropicEta {
+		t.Fatalf("model components lost: rot=%v sq=%v eta=%v",
+			got.Rot != nil, got.SQ != nil, got.AnisotropicEta)
+	}
+	sameSearchResults(t, idx, got, ds)
+}
+
+// TestLoadV2ThenSaveV3RoundTrip is the upgrade path: an old artifact is
+// read, re-saved in the checksummed format, and read back unchanged.
+func TestLoadV2ThenSaveV3RoundTrip(t *testing.T) {
+	idx, ds := buildFeatureful(t)
+	var v2 bytes.Buffer
+	if err := saveV2(idx, &v2); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Load(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "upgraded.anna")
+	if err := mid.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b[:8]) != magicV3 {
+		t.Fatalf("re-save produced magic %q, want %q", b[:8], magicV3)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSearchResults(t, idx, got, ds)
+}
+
+// TestLoadFileV2Compat exercises the size-bounded path over legacy bytes.
+func TestLoadFileV2Compat(t *testing.T) {
+	idx, ds := buildFeatureful(t)
+	path := filepath.Join(t.TempDir(), "legacy.anna")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := saveV2(idx, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSearchResults(t, idx, got, ds)
+}

@@ -1,0 +1,233 @@
+// Package faultfs provides the fault-injection primitives the
+// durability tests drive: an in-memory wal.File whose writes stay
+// volatile until Sync (so crashes with torn tails can be simulated
+// exactly), failing/short io.Writers for save-path error propagation,
+// and bit-flip corruptors. Nothing here touches the real filesystem, so
+// every failure mode — including ones the OS makes hard to provoke — is
+// deterministic and fast.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrInjected is the error every injected fault returns.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// File is an in-memory file implementing wal.File with a two-tier crash
+// model: Write lands in a volatile buffer, Sync marks the current
+// contents durable, and CrashImage returns what a disk could plausibly
+// hold after a power cut — all durable bytes plus a caller-chosen torn
+// prefix of the unsynced tail.
+type File struct {
+	mu     sync.Mutex
+	data   []byte
+	synced int // bytes guaranteed durable
+	pos    int64
+	closed bool
+
+	written        int64 // total bytes accepted across all writes
+	failWriteAfter int64 // -1 = never
+	failSyncAfter  int   // remaining Sync calls before failure; -1 = never
+	syncs          int
+}
+
+// New returns an empty File with no faults armed.
+func New() *File {
+	return &File{failWriteAfter: -1, failSyncAfter: -1}
+}
+
+// FailWriteAfter arms a write fault: once the file has accepted total
+// bytes across its lifetime, the offending write applies only a partial
+// prefix (a torn write) and returns ErrInjected. Negative disarms.
+func (f *File) FailWriteAfter(total int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWriteAfter = total
+}
+
+// FailSyncAfter arms a sync fault: the (calls+1)-th Sync from now
+// returns ErrInjected without making anything durable. Negative disarms.
+func (f *File) FailSyncAfter(calls int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if calls < 0 {
+		f.failSyncAfter = -1
+		return
+	}
+	f.failSyncAfter = f.syncs + calls
+}
+
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, errors.New("faultfs: read on closed file")
+	}
+	if f.pos >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, errors.New("faultfs: write on closed file")
+	}
+	accept := len(p)
+	injected := false
+	if f.failWriteAfter >= 0 && f.written+int64(len(p)) > f.failWriteAfter {
+		accept = int(f.failWriteAfter - f.written)
+		if accept < 0 {
+			accept = 0
+		}
+		injected = true
+	}
+	end := f.pos + int64(accept)
+	if end > int64(len(f.data)) {
+		f.data = append(f.data, make([]byte, end-int64(len(f.data)))...)
+	}
+	copy(f.data[f.pos:end], p[:accept])
+	f.pos = end
+	f.written += int64(accept)
+	if injected {
+		return accept, fmt.Errorf("%w: write failed after %d bytes", ErrInjected, accept)
+	}
+	return accept, nil
+}
+
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = int64(len(f.data))
+	default:
+		return 0, fmt.Errorf("faultfs: bad whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, errors.New("faultfs: negative seek")
+	}
+	f.pos = np
+	return np, nil
+}
+
+func (f *File) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size < 0 || size > int64(len(f.data)) {
+		if size < 0 {
+			return errors.New("faultfs: negative truncate")
+		}
+		// Extending truncate: zero-fill, like a real file.
+		f.data = append(f.data, make([]byte, size-int64(len(f.data)))...)
+		return nil
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.failSyncAfter >= 0 && f.syncs > f.failSyncAfter {
+		return fmt.Errorf("%w: sync failed", ErrInjected)
+	}
+	f.synced = len(f.data)
+	return nil
+}
+
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+// Written returns the total bytes accepted across the file's lifetime —
+// the reference point for arming FailWriteAfter mid-test.
+func (f *File) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Bytes returns a copy of the volatile contents — what survives a clean
+// shutdown.
+func (f *File) Bytes() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.data...)
+}
+
+// SyncedBytes returns a copy of only the durable contents.
+func (f *File) SyncedBytes() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.data[:f.synced]...)
+}
+
+// CrashImage models a power cut: every durable byte survives, plus up to
+// torn additional bytes of the unsynced tail (a torn write). torn < 0
+// keeps the whole unsynced tail (crash after the page cache flushed but
+// before Sync returned).
+func (f *File) CrashImage(torn int) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keep := f.synced
+	tail := len(f.data) - f.synced
+	switch {
+	case torn < 0 || torn > tail:
+		keep = len(f.data)
+	default:
+		keep += torn
+	}
+	return append([]byte(nil), f.data[:keep]...)
+}
+
+// FlipBit returns a copy of b with the given bit inverted — the
+// single-event-upset corruptor the recovery tests sweep across every
+// offset.
+func FlipBit(b []byte, bit int64) []byte {
+	out := append([]byte(nil), b...)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}
+
+// Writer is an io.Writer that accepts up to Limit bytes, then fails with
+// ErrInjected after a short write — for proving save paths propagate
+// mid-stream write errors instead of silently truncating.
+type Writer struct {
+	Limit int
+	n     int
+}
+
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.n >= w.Limit {
+		return 0, ErrInjected
+	}
+	if w.n+len(p) > w.Limit {
+		accept := w.Limit - w.n
+		w.n = w.Limit
+		return accept, fmt.Errorf("%w: short write", ErrInjected)
+	}
+	w.n += len(p)
+	return len(p), nil
+}

@@ -1,0 +1,121 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestTwoTierCrashModel(t *testing.T) {
+	f := New()
+	f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("-volatile"))
+
+	if got := string(f.SyncedBytes()); got != "durable" {
+		t.Fatalf("synced = %q", got)
+	}
+	if got := string(f.Bytes()); got != "durable-volatile" {
+		t.Fatalf("bytes = %q", got)
+	}
+	if got := string(f.CrashImage(0)); got != "durable" {
+		t.Fatalf("CrashImage(0) = %q", got)
+	}
+	if got := string(f.CrashImage(4)); got != "durable-vol" {
+		t.Fatalf("CrashImage(4) = %q", got)
+	}
+	if got := string(f.CrashImage(-1)); got != "durable-volatile" {
+		t.Fatalf("CrashImage(-1) = %q", got)
+	}
+}
+
+func TestFailWriteAfterTears(t *testing.T) {
+	f := New()
+	f.Write([]byte("0123456789"))
+	f.FailWriteAfter(f.Written() + 3)
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if got := string(f.Bytes()); got != "0123456789abc" {
+		t.Fatalf("contents %q", got)
+	}
+	f.FailWriteAfter(-1)
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("disarmed write: %v", err)
+	}
+}
+
+func TestFailSyncAfter(t *testing.T) {
+	f := New()
+	f.Write([]byte("x"))
+	f.FailSyncAfter(1)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync: %v", err)
+	}
+	if len(f.SyncedBytes()) != 1 {
+		t.Fatal("failed sync changed durability")
+	}
+}
+
+func TestSeekReadTruncate(t *testing.T) {
+	f := New()
+	f.Write([]byte("hello world"))
+	if _, err := f.Seek(6, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 16)
+	n, _ := f.Read(b)
+	if string(b[:n]) != "world" {
+		t.Fatalf("read %q", b[:n])
+	}
+	if _, err := f.Read(b); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	f.Sync()
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(f.Bytes()); got != "hello" {
+		t.Fatalf("after shrink: %q", got)
+	}
+	if len(f.SyncedBytes()) != 5 {
+		t.Fatal("shrink did not clamp the synced watermark")
+	}
+	if err := f.Truncate(8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Bytes(), []byte("hello\x00\x00\x00")) {
+		t.Fatalf("extending truncate: %q", f.Bytes())
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	orig := []byte{0x00, 0xFF}
+	mut := FlipBit(orig, 9)
+	if orig[1] != 0xFF {
+		t.Fatal("FlipBit mutated its input")
+	}
+	if mut[1] != 0xFD {
+		t.Fatalf("mut = %#v", mut)
+	}
+}
+
+func TestFailingWriter(t *testing.T) {
+	w := &Writer{Limit: 5}
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("within limit: n=%d err=%v", n, err)
+	}
+	if n, err := w.Write([]byte("defg")); n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if _, err := w.Write([]byte("h")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("exhausted: %v", err)
+	}
+}

@@ -1,0 +1,391 @@
+// Package wal implements a checksummed write-ahead log for the serving
+// path's mutations: each accepted /add batch is appended as one record
+// and made durable (per the configured fsync policy) before the client
+// sees an acknowledgment, and startup recovery replays the log on top of
+// the latest snapshot, truncating at the first corrupt or torn record.
+//
+// Record framing (little endian):
+//
+//	seq     uint64  — record ordinal from the start of the file
+//	length  uint32  — payload bytes
+//	crc32c  uint32  — CRC32C over seq, length and payload
+//	payload length bytes
+//
+// The sequence number pins each record to its position, so stale bytes
+// surviving a partial truncation can never replay as fresh records; the
+// trailing CRC turns torn writes and bit flips into a clean stop.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	headerSize = 16
+	// MaxPayload bounds a single record, so a corrupt length field
+	// cannot demand an absurd allocation.
+	MaxPayload = 1 << 30
+	// allocChunk bounds upfront allocation while reading a payload:
+	// buffers grow only as bytes actually arrive.
+	allocChunk = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is wrapped by record-level failures: torn headers or
+// payloads, checksum mismatches, implausible lengths, out-of-order
+// sequence numbers.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Policy selects when appends are fsynced.
+type Policy int
+
+const (
+	// SyncAlways fsyncs before every Append returns: an acknowledged
+	// record survives any crash. The default, and the slowest.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs when Options.Interval has elapsed since the
+	// last sync (group commit): bounded data loss, amortized fsyncs.
+	SyncInterval
+	// SyncNone never fsyncs; the OS page cache decides. Fastest, and a
+	// power failure can lose everything since the last natural flush.
+	SyncNone
+)
+
+// Options configure a Log.
+type Options struct {
+	Policy Policy
+	// Interval is the SyncInterval group-commit window (default 100ms).
+	Interval time.Duration
+}
+
+// File is the storage a Log appends to — *os.File in production,
+// faultfs.File under fault injection.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// Recovery reports what Open found in an existing log.
+type Recovery struct {
+	// Records is the number of intact records scanned (and delivered to
+	// the replay callback).
+	Records int
+	// GoodBytes is the byte length of the intact prefix.
+	GoodBytes int64
+	// TornBytes counts trailing bytes discarded because the first
+	// record they contained was torn or corrupt.
+	TornBytes int64
+}
+
+// Log is an append-only record log. All methods are safe for concurrent
+// use.
+type Log struct {
+	mu       sync.Mutex
+	f        File
+	opt      Options
+	nextSeq  uint64
+	end      int64 // offset of the last intact record's end
+	lastSync time.Time
+	dirty    bool
+	broken   error // set when a failed write could not be rolled back
+	buf      []byte
+	onSync   func()
+
+	appends, fsyncs, bytesWritten atomic.Uint64
+}
+
+// Open scans f from the start, delivers every intact record to fn (which
+// may be nil), truncates any torn or corrupt tail, and returns a Log
+// positioned to append after the last intact record. A non-nil error
+// from fn aborts the open; the caller still owns f.
+func Open(f File, opt Options, fn func(seq uint64, payload []byte) error) (*Log, Recovery, error) {
+	if opt.Policy == SyncInterval && opt.Interval <= 0 {
+		opt.Interval = 100 * time.Millisecond
+	}
+	var rec Recovery
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, rec, err
+	}
+	br := bufio.NewReader(f)
+	seq := uint64(0)
+	for {
+		payload, n, err := readRecord(br, seq)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn/corrupt tail: everything from here on is untrusted.
+			break
+		}
+		if fn != nil {
+			if err := fn(seq, payload); err != nil {
+				return nil, rec, err
+			}
+		}
+		seq++
+		rec.Records++
+		rec.GoodBytes += n
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, rec, err
+	}
+	if size > rec.GoodBytes {
+		rec.TornBytes = size - rec.GoodBytes
+		if err := f.Truncate(rec.GoodBytes); err != nil {
+			return nil, rec, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if _, err := f.Seek(rec.GoodBytes, io.SeekStart); err != nil {
+			return nil, rec, err
+		}
+	}
+	l := &Log{f: f, opt: opt, nextSeq: seq, end: rec.GoodBytes, lastSync: time.Now()}
+	return l, rec, nil
+}
+
+// OpenFile opens (creating if needed) the log at path. See Open.
+func OpenFile(path string, opt Options, fn func(seq uint64, payload []byte) error) (*Log, Recovery, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	l, rec, err := Open(f, opt, fn)
+	if err != nil {
+		f.Close()
+		return nil, rec, err
+	}
+	return l, rec, nil
+}
+
+// Append writes one record and applies the sync policy. When it returns
+// nil under SyncAlways, the record is durable. A failed write is rolled
+// back by truncating to the previous record boundary; if even that
+// fails, the log is poisoned and every later Append errors (the caller
+// must recover by reopening).
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxPayload {
+		return 0, fmt.Errorf("wal: payload of %d bytes exceeds limit %d", len(payload), MaxPayload)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return 0, fmt.Errorf("wal: log unusable after write failure: %w", l.broken)
+	}
+	need := headerSize + len(payload)
+	if cap(l.buf) < need {
+		l.buf = make([]byte, need)
+	}
+	b := l.buf[:need]
+	binary.LittleEndian.PutUint64(b[0:8], l.nextSeq)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, b[0:12])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(b[12:16], crc)
+	copy(b[headerSize:], payload)
+	if _, err := l.f.Write(b); err != nil {
+		// The write may have torn: cut the partial record back off so
+		// the log stays appendable.
+		if terr := l.f.Truncate(l.end); terr != nil {
+			l.broken = err
+		} else if _, serr := l.f.Seek(l.end, io.SeekStart); serr != nil {
+			l.broken = err
+		}
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	l.end += int64(need)
+	l.dirty = true
+	l.appends.Add(1)
+	l.bytesWritten.Add(uint64(need))
+	if err := l.maybeSync(); err != nil {
+		return 0, fmt.Errorf("wal: fsync: %w", err)
+	}
+	return seq, nil
+}
+
+func (l *Log) maybeSync() error {
+	switch l.opt.Policy {
+	case SyncNone:
+		return nil
+	case SyncInterval:
+		if time.Since(l.lastSync) < l.opt.Interval {
+			return nil
+		}
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.lastSync = time.Now()
+	l.fsyncs.Add(1)
+	if l.onSync != nil {
+		l.onSync()
+	}
+	return nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// Reset truncates the log to empty (after a snapshot has captured its
+// records) and fsyncs the truncation.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	l.nextSeq = 0
+	l.end = 0
+	l.broken = nil
+	l.dirty = true
+	return l.syncLocked()
+}
+
+// Close syncs pending records and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	serr := l.syncLocked()
+	cerr := l.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// SetOnSync registers a hook invoked after every successful fsync (a
+// metrics counter). It runs with the log lock held; keep it cheap.
+func (l *Log) SetOnSync(fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onSync = fn
+}
+
+// Records returns the number of records in the live segment.
+func (l *Log) Records() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Size returns the byte length of the live segment.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.end
+}
+
+// Stats returns lifetime counters: appends, fsyncs, and bytes written.
+func (l *Log) Stats() (appends, fsyncs, bytes uint64) {
+	return l.appends.Load(), l.fsyncs.Load(), l.bytesWritten.Load()
+}
+
+// Replay reads records from r in order, calling fn for each. It returns
+// the number of intact records delivered; err is nil at a clean end of
+// input, wraps ErrCorrupt when a torn or corrupt record stopped the
+// scan, or is fn's error.
+func Replay(r io.Reader, fn func(seq uint64, payload []byte) error) (int, error) {
+	br := bufio.NewReader(r)
+	n := 0
+	var seq uint64
+	for {
+		payload, _, err := readRecord(br, seq)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if fn != nil {
+			if err := fn(seq, payload); err != nil {
+				return n, err
+			}
+		}
+		seq++
+		n++
+	}
+}
+
+// readRecord decodes one record, verifying position and checksum. It
+// returns io.EOF at a clean record boundary; any other failure wraps
+// ErrCorrupt.
+func readRecord(br *bufio.Reader, wantSeq uint64) ([]byte, int64, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("%w: torn header: %v", ErrCorrupt, err)
+	}
+	seq := binary.LittleEndian.Uint64(hdr[0:8])
+	length := binary.LittleEndian.Uint32(hdr[8:12])
+	stored := binary.LittleEndian.Uint32(hdr[12:16])
+	if seq != wantSeq {
+		return nil, 0, fmt.Errorf("%w: record %d carries sequence %d", ErrCorrupt, wantSeq, seq)
+	}
+	if length > MaxPayload {
+		return nil, 0, fmt.Errorf("%w: record %d claims %d bytes", ErrCorrupt, wantSeq, length)
+	}
+	payload, err := readChunked(br, int(length))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: torn payload in record %d: %v", ErrCorrupt, wantSeq, err)
+	}
+	crc := crc32.Update(0, castagnoli, hdr[0:12])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != stored {
+		return nil, 0, fmt.Errorf("%w: record %d checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, wantSeq, stored, crc)
+	}
+	return payload, headerSize + int64(length), nil
+}
+
+// readChunked reads need bytes, growing the buffer chunk-by-chunk so a
+// hostile length field cannot force a large allocation before the bytes
+// exist.
+func readChunked(br *bufio.Reader, need int) ([]byte, error) {
+	if need == 0 {
+		return nil, nil
+	}
+	var buf []byte
+	for len(buf) < need {
+		n := need - len(buf)
+		if n > allocChunk {
+			n = allocChunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(br, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}

@@ -1,0 +1,381 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"anna/internal/wal/faultfs"
+)
+
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("record-%03d-%s", i, bytes.Repeat([]byte{byte(i)}, i%40)))
+	}
+	return out
+}
+
+// appendAll writes records and returns the log.
+func appendAll(t *testing.T, f File, opt Options, recs [][]byte) *Log {
+	t.Helper()
+	l, rec, err := Open(f, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records != 0 || rec.TornBytes != 0 {
+		t.Fatalf("fresh log recovered %+v", rec)
+	}
+	for i, p := range recs {
+		seq, err := l.Append(p)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("append %d returned seq %d", i, seq)
+		}
+	}
+	return l
+}
+
+// replayAll collects every record Open delivers from raw bytes.
+func replayAll(t *testing.T, raw []byte) ([][]byte, Recovery) {
+	t.Helper()
+	f := faultfs.New()
+	if _, err := f.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	l, rec, err := Open(f, Options{Policy: SyncNone}, func(seq uint64, p []byte) error {
+		if seq != uint64(len(got)) {
+			t.Fatalf("out-of-order seq %d", seq)
+		}
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	return got, rec
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	recs := payloads(25)
+	f := faultfs.New()
+	l := appendAll(t, f, Options{Policy: SyncAlways}, recs)
+	if l.Records() != uint64(len(recs)) {
+		t.Fatalf("Records() = %d", l.Records())
+	}
+	appends, fsyncs, _ := l.Stats()
+	if appends != uint64(len(recs)) || fsyncs != uint64(len(recs)) {
+		t.Fatalf("SyncAlways stats: %d appends, %d fsyncs", appends, fsyncs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, rec := replayAll(t, f.Bytes())
+	if rec.Records != len(recs) || rec.TornBytes != 0 {
+		t.Fatalf("recovery %+v", rec)
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+// TestTruncationAtEveryOffset: whatever prefix of the log survives a
+// crash, recovery keeps exactly the intact records and discards the torn
+// tail — never an error, never a partial record delivered.
+func TestTruncationAtEveryOffset(t *testing.T) {
+	recs := payloads(10)
+	f := faultfs.New()
+	l := appendAll(t, f, Options{Policy: SyncNone}, recs)
+	l.Close()
+	full := f.Bytes()
+
+	// Record boundaries, for computing how many records survive a cut.
+	bounds := []int{0}
+	for _, p := range recs {
+		bounds = append(bounds, bounds[len(bounds)-1]+headerSize+len(p))
+	}
+	wantIntact := func(n int) int {
+		k := 0
+		for k+1 < len(bounds) && bounds[k+1] <= n {
+			k++
+		}
+		return k
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		got, rec := replayAll(t, full[:cut])
+		want := wantIntact(cut)
+		if len(got) != want {
+			t.Fatalf("cut %d: %d records recovered, want %d", cut, len(got), want)
+		}
+		if rec.GoodBytes != int64(bounds[want]) {
+			t.Fatalf("cut %d: GoodBytes %d, want %d", cut, rec.GoodBytes, bounds[want])
+		}
+		if rec.TornBytes != int64(cut-bounds[want]) {
+			t.Fatalf("cut %d: TornBytes %d", cut, rec.TornBytes)
+		}
+		for i := 0; i < want; i++ {
+			if !bytes.Equal(got[i], recs[i]) {
+				t.Fatalf("cut %d: record %d corrupted", cut, i)
+			}
+		}
+	}
+}
+
+// TestBitFlipStopsReplayCleanly: a flipped bit anywhere makes recovery
+// stop at the last record wholly before the damage; records after it are
+// discarded (they cannot be trusted once the sequence is broken).
+func TestBitFlipStopsReplayCleanly(t *testing.T) {
+	recs := payloads(8)
+	f := faultfs.New()
+	appendAll(t, f, Options{Policy: SyncNone}, recs).Close()
+	full := f.Bytes()
+
+	bounds := []int{0}
+	for _, p := range recs {
+		bounds = append(bounds, bounds[len(bounds)-1]+headerSize+len(p))
+	}
+	for bit := int64(0); bit < int64(len(full))*8; bit += 5 {
+		mut := faultfs.FlipBit(full, bit)
+		got, _ := replayAll(t, mut)
+		// Every record before the damaged byte must replay intact; the
+		// damaged record and everything after must be dropped.
+		damaged := int(bit / 8)
+		var wantMax int
+		for wantMax+1 < len(bounds) && bounds[wantMax+1] <= damaged {
+			wantMax++
+		}
+		if len(got) > wantMax {
+			t.Fatalf("bit %d: replayed %d records past damage at byte %d", bit, len(got), damaged)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], recs[i]) {
+				t.Fatalf("bit %d: record %d corrupted in replay", bit, i)
+			}
+		}
+	}
+}
+
+// TestStaleBytesCannotReplay: records from an earlier, longer log
+// generation must not resurrect after a Reset — the sequence check
+// refuses them.
+func TestStaleBytesCannotReplay(t *testing.T) {
+	f := faultfs.New()
+	l := appendAll(t, f, Options{Policy: SyncNone}, payloads(5))
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	fresh := f.Bytes()
+
+	// Simulate a filesystem that lost the truncate but kept the new
+	// record: splice stale bytes after the fresh one.
+	f2 := faultfs.New()
+	stale := faultfs.New()
+	appendAll(t, stale, Options{Policy: SyncNone}, payloads(5)).Close()
+	f2.Write(fresh)
+	f2.Write(stale.Bytes()[:30])
+	got, rec := replayAll(t, f2.Bytes())
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("fresh")) {
+		t.Fatalf("replayed %d records, want only the fresh one", len(got))
+	}
+	if rec.TornBytes != 30 {
+		t.Fatalf("TornBytes %d, want 30", rec.TornBytes)
+	}
+}
+
+// TestCrashImageRecovery drives the two-tier crash model: every synced
+// record must survive any crash; unsynced ones may or may not, but
+// recovery must never error or deliver garbage.
+func TestCrashImageRecovery(t *testing.T) {
+	recs := payloads(6)
+	f := faultfs.New()
+	l, _, err := Open(f, Options{Policy: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range recs[:4] {
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two more records under SyncNone semantics: bypass policy by
+	// writing through a second log? Simpler: switch policy via new log on
+	// same file is invalid; instead test with an interval log below.
+	synced := f.SyncedBytes()
+	for torn := 0; torn <= len(f.Bytes())-len(synced); torn++ {
+		got, _ := replayAll(t, f.CrashImage(torn))
+		if len(got) < 4 {
+			t.Fatalf("torn %d: lost synced record (%d/4 recovered)", torn, len(got))
+		}
+	}
+
+	// Group-commit log: unsynced tail may tear anywhere.
+	f2 := faultfs.New()
+	l2, _, err := Open(f2, Options{Policy: SyncInterval, Interval: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range recs {
+		if _, err := l2.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(f2.SyncedBytes()) != 0 {
+		t.Fatal("interval log synced unexpectedly")
+	}
+	for torn := 0; torn <= len(f2.Bytes()); torn += 3 {
+		got, _ := replayAll(t, f2.CrashImage(torn))
+		for i := range got {
+			if !bytes.Equal(got[i], recs[i]) {
+				t.Fatalf("torn %d: record %d corrupted", torn, i)
+			}
+		}
+	}
+	// An explicit Sync pins everything.
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, f2.SyncedBytes())
+	if len(got) != len(recs) {
+		t.Fatalf("after Sync only %d/%d records durable", len(got), len(recs))
+	}
+}
+
+// TestFailedAppendRollsBack: a torn write must leave the log appendable
+// and the partial record invisible.
+func TestFailedAppendRollsBack(t *testing.T) {
+	f := faultfs.New()
+	l := appendAll(t, f, Options{Policy: SyncAlways}, payloads(3))
+	// Fail the next write after 10 more bytes (mid-record).
+	f.FailWriteAfter(f.Written() + 10)
+	if _, err := l.Append([]byte("doomed record")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	// Disk recovered: the log must accept appends again, and replay must
+	// see 3 old records + 1 new.
+	f.FailWriteAfter(-1)
+	if _, err := l.Append([]byte("after failure")); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	l.Close()
+	got, rec := replayAll(t, f.Bytes())
+	if len(got) != 4 || rec.TornBytes != 0 {
+		t.Fatalf("recovered %d records, torn %d; want 4, 0", len(got), rec.TornBytes)
+	}
+	if !bytes.Equal(got[3], []byte("after failure")) {
+		t.Fatalf("record 3 = %q", got[3])
+	}
+}
+
+// TestFailedSyncSurfaces: under SyncAlways a failed fsync must fail the
+// Append — the caller must not acknowledge the batch.
+func TestFailedSyncSurfaces(t *testing.T) {
+	f := faultfs.New()
+	l, _, err := Open(f, Options{Policy: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.FailSyncAfter(0)
+	if _, err := l.Append([]byte("x")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	f.FailSyncAfter(-1)
+	if _, err := l.Append([]byte("y")); err != nil {
+		t.Fatalf("append after sync recovered: %v", err)
+	}
+}
+
+func TestResetEmptiesLog(t *testing.T) {
+	f := faultfs.New()
+	l := appendAll(t, f, Options{Policy: SyncAlways}, payloads(7))
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 0 || l.Size() != 0 {
+		t.Fatalf("after reset: %d records, %d bytes", l.Records(), l.Size())
+	}
+	if _, err := l.Append([]byte("post-reset")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, _ := replayAll(t, f.Bytes())
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("post-reset")) {
+		t.Fatalf("replay after reset: %d records", len(got))
+	}
+}
+
+func TestOversizePayloadRefused(t *testing.T) {
+	f := faultfs.New()
+	l, _, err := Open(f, Options{Policy: SyncNone}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversize payload accepted")
+	}
+}
+
+// TestReplayReader covers the io.Reader-based Replay used by tooling.
+func TestReplayReader(t *testing.T) {
+	recs := payloads(4)
+	f := faultfs.New()
+	appendAll(t, f, Options{Policy: SyncNone}, recs).Close()
+	n, err := Replay(bytes.NewReader(f.Bytes()), nil)
+	if err != nil || n != 4 {
+		t.Fatalf("Replay = %d, %v", n, err)
+	}
+	// A torn tail is reported as ErrCorrupt with the intact count.
+	n, err = Replay(bytes.NewReader(f.Bytes()[:len(f.Bytes())-3]), nil)
+	if n != 3 || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn Replay = %d, %v", n, err)
+	}
+}
+
+func TestOpenFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, err := OpenFile(path, Options{Policy: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := payloads(5)
+	for _, p := range recs {
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	l2, rec, err := OpenFile(path, Options{Policy: SyncAlways}, func(seq uint64, p []byte) error {
+		if !bytes.Equal(p, recs[got]) {
+			t.Fatalf("record %d mismatch", got)
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.Records != 5 || got != 5 {
+		t.Fatalf("recovered %d records", rec.Records)
+	}
+	// And the reopened log continues the sequence.
+	if seq, err := l2.Append([]byte("six")); err != nil || seq != 5 {
+		t.Fatalf("continuation append: seq %d, %v", seq, err)
+	}
+}

@@ -25,6 +25,8 @@ import (
 //	              -> {"results": [[{"id":..,"score":..},...]]}
 //	POST /add     {"vectors": [[...]]} -> {"first_id": N, "count": M}
 //	GET  /stats   -> index statistics + serving latency quantiles
+//	POST /admin/snapshot -> checkpoint the index and trim the WAL
+//	              (requires a Store; see below)
 //	GET  /healthz -> 200 ok
 //	GET  /metrics -> Prometheus text exposition (see docs/ARCHITECTURE.md
 //	                 for the full metric list)
@@ -59,9 +61,20 @@ type Server struct {
 	// Logger receives encode failures and shutdown notices
 	// (default log.Default()).
 	Logger *log.Logger
+	// Store, when set, makes /add durable: each accepted batch is
+	// appended to the write-ahead log (fsynced per the store's sync
+	// policy) before the in-memory apply and the acknowledgment, and
+	// POST /admin/snapshot checkpoints the index and trims the WAL.
+	// Store.Index() must be the same Index the server wraps.
+	Store *Store
+	// SnapshotEvery, when positive with Store set, auto-checkpoints
+	// after that many vectors have been added since the last snapshot.
+	SnapshotEvery int
 
-	inflight atomic.Int64
-	m        *serverMetrics
+	inflight   atomic.Int64
+	addedSince atomic.Int64 // vectors added since the last snapshot
+	durOnce    sync.Once    // registers durability metrics exactly once
+	m          *serverMetrics
 }
 
 // serverMetrics bundles the registry and the pre-created instruments of
@@ -77,6 +90,8 @@ type serverMetrics struct {
 	listBytes   *metrics.Counter
 	rejected    *metrics.Counter
 	added       *metrics.Counter
+	walAppend   *metrics.Histogram
+	snapshots   *metrics.Counter
 }
 
 // stageNames are the per-request engine stage histograms exported as
@@ -100,7 +115,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 		added: reg.Counter("anna_added_vectors_total",
 			"Vectors ingested through /add."),
 	}
-	for _, h := range []string{"search", "add", "stats"} {
+	for _, h := range []string{"search", "add", "stats", "snapshot"} {
 		m.reqDuration[h] = reg.Histogram("anna_request_duration_seconds",
 			"Wall-clock request latency by handler.", nil,
 			metrics.Label{Key: "handler", Value: h})
@@ -136,12 +151,45 @@ func NewServer(idx *Index) *Server {
 // can export their own instruments through the same /metrics endpoint.
 func (s *Server) Metrics() *metrics.Registry { return s.m.reg }
 
+// registerDurable creates the durability instruments once a Store is
+// attached. Idempotent: Handler may be called more than once, but the
+// recovery counter must be seeded and the fsync hook installed exactly
+// once.
+func (s *Server) registerDurable() {
+	if s.Store == nil {
+		return
+	}
+	s.durOnce.Do(func() {
+		reg := s.m.reg
+		s.m.walAppend = reg.Histogram("anna_wal_append_duration_seconds",
+			"WAL append latency per /add batch, including fsync under SyncAlways.", nil)
+		s.m.snapshots = reg.Counter("anna_snapshots_total",
+			"Snapshots written (manual and automatic).")
+		fsyncs := reg.Counter("anna_wal_fsync_total", "WAL fsync calls.")
+		s.Store.SetOnSync(fsyncs.Inc)
+		reg.Counter("anna_recovery_replayed_records_total",
+			"WAL records replayed onto the snapshot at startup.").
+			Add(uint64(s.Store.ReplayedRecords()))
+		reg.GaugeFunc("anna_last_snapshot_age_seconds",
+			"Seconds since the snapshot was last written.",
+			func() float64 { return time.Since(s.Store.LastSnapshot()).Seconds() })
+		reg.GaugeFunc("anna_wal_records",
+			"Records in the live WAL segment.",
+			func() float64 { return float64(s.Store.WALRecords()) })
+		reg.GaugeFunc("anna_wal_size_bytes",
+			"Byte length of the live WAL segment.",
+			func() float64 { return float64(s.Store.WALSize()) })
+	})
+}
+
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
+	s.registerDurable()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.instrument("search", s.handleSearch))
 	mux.HandleFunc("/add", s.instrument("add", s.handleAdd))
 	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("/admin/snapshot", s.instrument("snapshot", s.handleSnapshot))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -366,6 +414,22 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	// Write-ahead: the batch reaches the log (and, under SyncAlways,
+	// the disk) before the in-memory apply, so a crash after the
+	// acknowledgment below can always replay it. A failed append leaves
+	// the index unmodified — state and log cannot diverge.
+	if s.Store != nil {
+		start := time.Now()
+		err := s.Store.LogAdd(s.idx.NextID(), req.Vectors)
+		if s.m.walAppend != nil {
+			s.m.walAppend.ObserveDuration(time.Since(start))
+		}
+		if err != nil {
+			s.mu.Unlock()
+			s.httpError(w, http.StatusInternalServerError, "wal append: %v", err)
+			return
+		}
+	}
 	first, err := s.idx.Add(req.Vectors)
 	s.mu.Unlock()
 	if err != nil {
@@ -374,6 +438,60 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.added.Add(uint64(len(req.Vectors)))
 	s.writeJSON(w, addResponse{FirstID: first, Count: len(req.Vectors)})
+
+	if s.Store != nil && s.SnapshotEvery > 0 &&
+		s.addedSince.Add(int64(len(req.Vectors))) >= int64(s.SnapshotEvery) {
+		if err := s.snapshotNow(); err != nil {
+			s.logf("anna: serve: auto-snapshot: %v", err)
+		}
+	}
+}
+
+// snapshotNow checkpoints the index and trims the WAL. The read lock
+// excludes concurrent adds (which need the write lock) while letting
+// searches proceed against the immutable model.
+func (s *Server) snapshotNow() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.Store.Snapshot(); err != nil {
+		return err
+	}
+	s.addedSince.Store(0)
+	if s.m.snapshots != nil {
+		s.m.snapshots.Inc()
+	}
+	return nil
+}
+
+type snapshotResponse struct {
+	Vectors    int   `json:"vectors"`
+	WALRecords int64 `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+}
+
+// handleAdd's WAL grows until a snapshot trims it; POST /admin/snapshot
+// lets operators (or a cron job) checkpoint under load.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.Store == nil {
+		s.httpError(w, http.StatusServiceUnavailable, "no durable store configured (run annaserve with -data)")
+		return
+	}
+	if err := s.snapshotNow(); err != nil {
+		s.httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	s.mu.RLock()
+	n := s.idx.Len()
+	s.mu.RUnlock()
+	s.writeJSON(w, snapshotResponse{
+		Vectors:    n,
+		WALRecords: int64(s.Store.WALRecords()),
+		WALBytes:   s.Store.WALSize(),
+	})
 }
 
 // validateAddVectors rejects dimension mismatches and non-finite

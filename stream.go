@@ -97,14 +97,20 @@ func BuildIndexFromFvecs(r io.Reader, metric Metric, opt StreamBuildOptions) (*I
 	return idx, nil
 }
 
-// BuildIndexFromFvecsFile is BuildIndexFromFvecs over a file path.
+// BuildIndexFromFvecsFile is BuildIndexFromFvecs over a file path. A
+// Close failure is reported (wrapped with the path) even when the build
+// itself succeeded: on networked or error-deferring filesystems it can
+// be the first sign the bytes read were not what the file holds.
 func BuildIndexFromFvecsFile(path string, metric Metric, opt StreamBuildOptions) (*Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return BuildIndexFromFvecs(f, metric, opt)
+	idx, err := BuildIndexFromFvecs(f, metric, opt)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		return nil, fmt.Errorf("anna: closing %s: %w", path, cerr)
+	}
+	return idx, err
 }
 
 // TuneW finds the smallest W whose measured recall X@Y on the provided

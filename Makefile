@@ -23,11 +23,12 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# The CI race job: engine worker pool, fused scan path, metrics
+# The CI race job: engine worker pool, fused scan path, parallel
+# build/ingest pipeline (kmeans, pq batch encoder, ivf build), metrics
 # instruments, WAL, HTTP serving layer.
 .PHONY: ci-race
 ci-race:
-	$(GO) test -race ./internal/engine/... ./internal/ivf/... ./internal/metrics/... ./internal/wal/... .
+	$(GO) test -race ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/wal/... .
 
 # The CI fuzz-smoke job: hammer both durable-input decoders — the index
 # loader and the WAL reader — with coverage-guided corrupt inputs. A
@@ -36,10 +37,13 @@ fuzz-smoke:
 	$(GO) test ./internal/ivf/ -run '^$$' -fuzz=FuzzLoad -fuzztime=30s
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz=FuzzLoad -fuzztime=30s
 
-# The CI bench-smoke job: small-budget benchmark run recorded as JSON
-# (uploaded as a per-PR artifact in CI; a trajectory, not a gate).
+# The CI bench-smoke job: small-budget benchmark runs recorded as JSON
+# (uploaded as per-PR artifacts in CI; a trajectory, not a gate). The
+# build suite gets a smaller budget — one BenchmarkBuild op trains a
+# full 100k-vector index.
 bench-smoke:
-	$(GO) run ./cmd/benchjson -benchtime 10x -out bench_ci.json
+	$(GO) run ./cmd/benchjson -suite engine -benchtime 10x -out bench_ci.json
+	$(GO) run ./cmd/benchjson -suite build -benchtime 3x -out bench_ci_build.json
 
 # Vet plus race-detected tests of the reworked engine worker pool and the
 # fused scan path.
@@ -47,10 +51,12 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/engine/... ./internal/ivf/...
 
-# Run the scan/search benchmarks ('Search|ADC|Major' across ivf, pq and
-# engine) and record before/after QPS + allocs/op in BENCH_engine.json.
+# Run both benchmark suites and record before/after figures: the serving
+# path in BENCH_engine.json, the build/ingest pipeline (train + batch
+# encode) in BENCH_build.json.
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_engine.json
+	$(GO) run ./cmd/benchjson -suite engine -out BENCH_engine.json
+	$(GO) run ./cmd/benchjson -suite build -out BENCH_build.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...

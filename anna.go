@@ -64,7 +64,11 @@ type BuildOptions struct {
 	// MaxTrain caps the training sample (0 = use everything).
 	MaxTrain int
 	Seed     int64
-	Workers  int
+	// Workers bounds the parallelism of the whole build pipeline
+	// (k-means passes, per-sub-space codebook training, batch encoding)
+	// and becomes the index's initial ingest parallelism for Add; 0
+	// means GOMAXPROCS. The built index is bit-identical for any value.
+	Workers int
 	// HardwareFaithful rounds centroids and codebooks through IEEE
 	// binary16, matching what the accelerator stores in SRAM. Enable it
 	// when simulated and software searches must agree bit-for-bit.
@@ -145,8 +149,15 @@ func BuildIndex(vectors [][]float32, metric Metric, opt BuildOptions) (*Index, e
 		AnisotropicEta: opt.AnisotropicEta,
 		Rerank:         opt.RetainForRerank,
 	})
+	idx.IngestWorkers = opt.Workers
 	return &Index{inner: idx}, nil
 }
+
+// SetIngestWorkers bounds the parallelism of Add's batched
+// assign+encode pipeline (0 = GOMAXPROCS); the ingested index contents
+// are byte-identical for any value. Loaded indexes default to 0. Call it
+// between, not during, Adds.
+func (x *Index) SetIngestWorkers(n int) { x.inner.IngestWorkers = n }
 
 // Add encodes and appends new vectors to an existing index using its
 // trained model (centroids, codebooks, rotation), returning the ID

@@ -100,6 +100,7 @@ func main() {
 		dataDir     = flag.String("data", "", "durable data directory: WAL /add batches, snapshot on shutdown, recover on start (empty = serve -index in memory only)")
 		walSync     = flag.String("wal-sync", "always", `WAL fsync policy: "always", "none", or a group-commit interval like "100ms"`)
 		snapEvery   = flag.Int("snapshot-every", 0, "auto-snapshot after this many added vectors (0 = only /admin/snapshot and shutdown)")
+		workers     = flag.Int("workers", 0, "ingest parallelism for /add and WAL replay (0 = GOMAXPROCS); the index is byte-identical for any value")
 	)
 	flag.Parse()
 
@@ -113,6 +114,7 @@ func main() {
 		if perr != nil {
 			log.Fatalf("annaserve: %v", perr)
 		}
+		opt.Workers = *workers
 		store, err = openStore(*dataDir, *indexPath, opt)
 		if err != nil {
 			log.Fatalf("annaserve: opening store: %v", err)
@@ -123,6 +125,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("annaserve: loading index: %v", err)
 		}
+		idx.SetIngestWorkers(*workers)
 	}
 	srv := anna.NewServer(idx)
 	srv.DefaultW = *defaultW

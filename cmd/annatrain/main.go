@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"anna"
@@ -37,6 +38,7 @@ func main() {
 		rotate    = flag.Bool("opq", false, "OPQ-style random rotation preconditioning")
 		eta       = flag.Float64("eta", 0, "ScaNN-style anisotropic encoding weight (>1 enables; MIPS)")
 		rerank    = flag.Bool("rerank", false, "retain 8-bit reconstructions for re-ranking (D bytes/vector)")
+		workers   = flag.Int("workers", 0, "build parallelism: goroutines for training and encoding (0 = GOMAXPROCS); the index is byte-identical for any value")
 		out       = flag.String("o", "index.anna", "output index path")
 	)
 	flag.Parse()
@@ -91,6 +93,11 @@ func main() {
 		fatalf("unknown metric %q", *metric)
 	}
 
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("training on %d vectors (%d workers)\n", len(vectors), w)
 	start := time.Now()
 	idx, err := anna.BuildIndex(vectors, met, anna.BuildOptions{
 		NClusters: *c, M: *m, Ks: *ks,
@@ -99,6 +106,7 @@ func main() {
 		OPQRotation:     *rotate,
 		AnisotropicEta:  float32(*eta),
 		RetainForRerank: *rerank,
+		Workers:         *workers,
 	})
 	if err != nil {
 		fatalf("building index: %v", err)

@@ -1,13 +1,16 @@
-// Command benchjson runs the scan/search benchmarks and records them as
-// JSON, comparing against the recorded pre-fused-kernel seed baseline.
-// It backs `make bench`, which regenerates BENCH_engine.json at the repo
-// root:
+// Command benchjson runs a benchmark suite and records it as JSON,
+// comparing against the recorded seed baseline for that suite. It backs
+// `make bench`, which regenerates both documents at the repo root:
 //
-//	go run ./cmd/benchjson -out BENCH_engine.json
+//	go run ./cmd/benchjson -suite engine -out BENCH_engine.json
+//	go run ./cmd/benchjson -suite build  -out BENCH_build.json
 //
-// The seed baselines were measured on the commit preceding the fused
-// scan kernel (same machine class as CI): they are the "before" column,
-// the fresh run is "after".
+// The "engine" suite covers the serving path (fused scan kernel, worker
+// pool); the "build" suite covers the train/encode/ingest pipeline
+// (blocked batch encoder, parallel deterministic k-means). Seed
+// baselines were measured on the commit preceding each optimisation
+// (same machine class as CI): they are the "before" column, the fresh
+// run is "after".
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -40,11 +44,12 @@ type Entry struct {
 	Speedup *float64 `json:"speedup,omitempty"` // before.ns_op / after.ns_op
 }
 
-// Output is the BENCH_engine.json document.
+// Output is the BENCH_*.json document.
 type Output struct {
 	Generated   string            `json:"generated"`
 	Command     string            `json:"command"`
 	CPU         string            `json:"cpu,omitempty"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
 	Description string            `json:"description"`
 	Benchmarks  map[string]*Entry `json:"benchmarks"`
 }
@@ -59,30 +64,77 @@ var queriesPerOp = map[string]float64{
 
 func f(v float64) *float64 { return &v }
 
-// seedBaselines are the seed-commit measurements (goroutine-per-query
-// engine, Unpack+ADC+Push reference scan), recorded before the fused
-// kernel landed. go test -bench on the seed tree reproduces them.
-var seedBaselines = map[string]*Metrics{
-	"anna/internal/ivf.BenchmarkSearchW8":        {NsPerOp: 270550, BytesPerOp: f(6672), AllocsPerOp: f(14)},
-	"anna/internal/pq.BenchmarkADC_M64":          {NsPerOp: 50.79, BytesPerOp: f(0), AllocsPerOp: f(0)},
-	"anna/internal/engine.BenchmarkQueryMajor":   {NsPerOp: 991644, BytesPerOp: f(58872), AllocsPerOp: f(199)},
-	"anna/internal/engine.BenchmarkClusterMajor": {NsPerOp: 1100052, BytesPerOp: f(72192), AllocsPerOp: f(346)},
+// A suite bundles the benchmark selection with its recorded baseline.
+type suite struct {
+	out         string // default output path
+	bench       string // default benchmark regex
+	pkgs        []string
+	description string
+	baselines   map[string]*Metrics
+}
+
+var suites = map[string]suite{
+	// Serving path: baselines are the seed-commit measurements
+	// (goroutine-per-query engine, Unpack+ADC+Push reference scan),
+	// recorded before the fused kernel landed.
+	"engine": {
+		out:   "BENCH_engine.json",
+		bench: "Search|ADC|Major",
+		pkgs:  []string{"./internal/ivf/", "./internal/pq/", "./internal/engine/"},
+		description: "CPU-engine scan benchmarks. 'before' is the recorded seed baseline " +
+			"(per-vector Unpack+ADC+Push scan, goroutine-per-query engine); 'after' is this tree " +
+			"(fused packed-code scan kernel, threshold-gated top-k, fixed worker pool).",
+		baselines: map[string]*Metrics{
+			"anna/internal/ivf.BenchmarkSearchW8":        {NsPerOp: 270550, BytesPerOp: f(6672), AllocsPerOp: f(14)},
+			"anna/internal/pq.BenchmarkADC_M64":          {NsPerOp: 50.79, BytesPerOp: f(0), AllocsPerOp: f(0)},
+			"anna/internal/engine.BenchmarkQueryMajor":   {NsPerOp: 991644, BytesPerOp: f(58872), AllocsPerOp: f(199)},
+			"anna/internal/engine.BenchmarkClusterMajor": {NsPerOp: 1100052, BytesPerOp: f(72192), AllocsPerOp: f(346)},
+		},
+	},
+	// Build/ingest pipeline: baselines are the fully serial seed path
+	// (per-vector subtract-square Encode, serial Lloyd iterations),
+	// measured on the commit preceding the blocked batch encoder.
+	"build": {
+		out:   "BENCH_build.json",
+		bench: "Build|BenchmarkAdd$|Encode",
+		pkgs:  []string{"./internal/ivf/", "./internal/pq/"},
+		description: "Build/ingest pipeline benchmarks. 'before' is the recorded serial seed baseline " +
+			"(per-vector subtract-square encode, serial k-means passes); 'after' is this tree " +
+			"(blocked norms-identity batch encoder, chunk-deterministic parallel k-means and list build).",
+		baselines: map[string]*Metrics{
+			"anna/internal/ivf.BenchmarkBuild":      {NsPerOp: 6815216832},
+			"anna/internal/ivf.BenchmarkAdd":        {NsPerOp: 22530035},
+			"anna/internal/pq.BenchmarkEncodeBatch": {NsPerOp: 30529673},
+		},
+	},
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
 func main() {
-	out := flag.String("out", "BENCH_engine.json", "output JSON path")
-	bench := flag.String("bench", "Search|ADC|Major", "benchmark regex")
+	suiteName := flag.String("suite", "engine", `benchmark suite: "engine" (serving path) or "build" (train/encode/ingest)`)
+	out := flag.String("out", "", "output JSON path (default: the suite's BENCH_*.json)")
+	bench := flag.String("bench", "", "benchmark regex (default: the suite's selection)")
 	benchtime := flag.String("benchtime", "", "passed to -benchtime when non-empty")
 	flag.Parse()
+
+	s, ok := suites[*suiteName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q\n", *suiteName)
+		os.Exit(1)
+	}
+	if *out == "" {
+		*out = s.out
+	}
+	if *bench == "" {
+		*bench = s.bench
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
 	if *benchtime != "" {
 		args = append(args, "-benchtime", *benchtime)
 	}
-	pkgs := []string{"./internal/ivf/", "./internal/pq/", "./internal/engine/"}
-	args = append(args, pkgs...)
+	args = append(args, s.pkgs...)
 
 	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
@@ -94,12 +146,11 @@ func main() {
 	}
 
 	doc := &Output{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Command:   "go " + strings.Join(args, " "),
-		Description: "CPU-engine scan benchmarks. 'before' is the recorded seed baseline " +
-			"(per-vector Unpack+ADC+Push scan, goroutine-per-query engine); 'after' is this tree " +
-			"(fused packed-code scan kernel, threshold-gated top-k, fixed worker pool).",
-		Benchmarks: map[string]*Entry{},
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Command:     "go " + strings.Join(args, " "),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Description: s.description,
+		Benchmarks:  map[string]*Entry{},
 	}
 
 	pkg := ""
@@ -128,7 +179,7 @@ func main() {
 			}
 		}
 		e := &Entry{Package: pkg, After: metrics}
-		if before, ok := seedBaselines[key]; ok {
+		if before, ok := s.baselines[key]; ok {
 			e.Before = before
 			if before.QPS == nil {
 				if nq, ok := queriesPerOp[name]; ok && before.NsPerOp > 0 {

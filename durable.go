@@ -47,6 +47,11 @@ type StoreOptions struct {
 	Sync SyncPolicy
 	// SyncEvery is the SyncInterval group-commit window (default 100ms).
 	SyncEvery time.Duration
+	// Workers bounds the parallelism of the index's ingest pipeline
+	// (Index.SetIngestWorkers): it applies to WAL replay during
+	// OpenStore and to every Add served afterwards. 0 = GOMAXPROCS; the
+	// resulting index is byte-identical for any value.
+	Workers int
 }
 
 func (o StoreOptions) walOptions() wal.Options {
@@ -99,6 +104,7 @@ func CreateStore(dir string, idx *Index, opt StoreOptions) (*Store, error) {
 	if _, err := os.Stat(snap); err == nil {
 		return nil, fmt.Errorf("anna: %s already holds a store snapshot; use OpenStore", dir)
 	}
+	idx.SetIngestWorkers(opt.Workers)
 	if err := idx.SaveFile(snap); err != nil {
 		return nil, fmt.Errorf("anna: writing initial snapshot: %w", err)
 	}
@@ -134,6 +140,8 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("anna: opening store snapshot: %w", err)
 	}
+	// Before WAL replay, so recovery Adds run at the configured width.
+	idx.SetIngestWorkers(opt.Workers)
 	st := &Store{dir: dir, idx: idx, opt: opt}
 	if fi, err := os.Stat(snap); err == nil {
 		st.lastSnap.Store(fi.ModTime().UnixNano())

@@ -279,9 +279,10 @@ func TestValidation(t *testing.T) {
 			}
 		}()
 		bad := *idx
-		badPQ := *idx.PQ
-		badPQ.Ks = 32
-		bad.PQ = &badPQ
+		bad.PQ = &pq.Quantizer{
+			D: idx.PQ.D, M: idx.PQ.M, Ks: 32, Dsub: idx.PQ.Dsub,
+			Codebooks: idx.PQ.Codebooks,
+		}
 		New(smallConfig(), &bad)
 	}()
 }

@@ -1,0 +1,65 @@
+package ivf
+
+// Build/ingest-path benchmarks. `cmd/benchjson -suite build` runs them
+// (together with pq's BenchmarkEncodeBatch) and records before/after
+// figures into BENCH_build.json at the repo root; the recorded "before"
+// column is the serial pre-pipeline implementation measured on the same
+// workload.
+
+import (
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/pq"
+	"anna/internal/vecmath"
+)
+
+// benchBuildConfig is the BenchmarkBuild workload: a 100k-vector
+// synthetic dataset under the ingest-benchmark shape (annatrain-style
+// defaults scaled to D=32 so one serial build stays in benchmark
+// territory: Ks=256 codebooks, 100 coarse clusters, subsampled
+// training).
+func benchBuildConfig() Config {
+	return Config{
+		NClusters:   100,
+		M:           8,
+		Ks:          256,
+		CoarseIters: 8,
+		PQIters:     8,
+		MaxTrain:    20000,
+		Seed:        1,
+	}
+}
+
+func benchBuildData(n int, seed int64) *vecmath.Matrix {
+	spec := dataset.SIFTLike(n, 1, seed)
+	spec.D = 32
+	return dataset.Generate(spec).Base
+}
+
+// BenchmarkBuild measures full index construction (coarse training, PQ
+// training, residual encode) over 100k vectors with default Workers
+// (GOMAXPROCS).
+func BenchmarkBuild(b *testing.B) {
+	data := benchBuildData(100000, 1)
+	cfg := benchBuildConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(data, pq.L2, cfg)
+	}
+}
+
+// BenchmarkAdd measures online ingest: encoding and appending a
+// 1000-vector batch into an already-trained index (the WAL-acked /add
+// path) with default Workers.
+func BenchmarkAdd(b *testing.B) {
+	data := benchBuildData(20000, 1)
+	cfg := benchBuildConfig()
+	cfg.MaxTrain = 10000
+	idx := Build(data, pq.L2, cfg)
+	batch := benchBuildData(1000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Add(batch)
+	}
+}

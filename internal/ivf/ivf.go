@@ -17,6 +17,7 @@ import (
 
 	"anna/internal/f16"
 	"anna/internal/kmeans"
+	"anna/internal/par"
 	"anna/internal/pq"
 	"anna/internal/rotation"
 	"anna/internal/sq"
@@ -96,6 +97,14 @@ type Index struct {
 	// pointer so Index values stay copyable; nil (zero-value Index)
 	// simply disables pooling.
 	searcherPool *sync.Pool
+	// IngestWorkers bounds the parallelism of Add's batched
+	// assign+encode pipeline; 0 means GOMAXPROCS. The ingested lists are
+	// byte-identical for any value. Set it between (not during) Adds.
+	IngestWorkers int
+	// assigner caches the batched nearest-centroid structure for Add;
+	// lazily built on first use (centroids never move after training or
+	// loading). nil on a fresh or loaded index.
+	assigner *kmeans.Assigner
 }
 
 // Build trains and populates an index over the rows of data.
@@ -127,9 +136,11 @@ func Build(data *vecmath.Matrix, metric pq.Metric, cfg Config) *Index {
 
 	// Residuals for PQ training (optionally subsampled by kmeans itself).
 	resid := vecmath.NewMatrix(data.Rows, data.Cols)
-	for i := 0; i < data.Rows; i++ {
-		vecmath.Sub(resid.Row(i), data.Row(i), centroids.Row(int(coarse.Assign[i])))
-	}
+	par.Run(data.Rows, 1024, cfg.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vecmath.Sub(resid.Row(i), data.Row(i), centroids.Row(int(coarse.Assign[i])))
+		}
+	})
 	quant := pq.Train(resid, pq.Config{
 		M: cfg.M, Ks: cfg.Ks, Iters: cfg.PQIters, Seed: cfg.Seed + 1,
 		Workers: cfg.Workers, MaxSamples: cfg.MaxTrain,
@@ -149,28 +160,33 @@ func Build(data *vecmath.Matrix, metric pq.Metric, cfg Config) *Index {
 		AnisotropicEta: cfg.AnisotropicEta,
 		searcherPool:   &sync.Pool{},
 	}
-	codes := make([]byte, 0, quant.M)
+	// Encode every residual in parallel into a flat row-indexed staging
+	// buffer (disjoint per-row regions, so no worker coordination), then
+	// fill the lists serially in ascending row order — list contents are
+	// byte-identical for any Workers value.
+	cb := quant.CodeBytes()
+	allCodes := make([]byte, data.Rows*cb)
+	pq.EncodeBatchAnisotropic(allCodes, quant, resid, data, cfg.AnisotropicEta, cfg.Workers)
+	listLen := make([]int, cfg.NClusters)
+	for _, c := range coarse.Assign {
+		listLen[c]++
+	}
+	for c, n := range listLen {
+		if n > 0 {
+			idx.Lists[c].IDs = make([]int64, 0, n)
+			idx.Lists[c].Codes = make([]byte, 0, n*cb)
+		}
+	}
 	for i := 0; i < data.Rows; i++ {
-		c := int(coarse.Assign[i])
-		codes = idx.encode(codes[:0], resid.Row(i), data.Row(i))
-		lst := &idx.Lists[c]
+		lst := &idx.Lists[coarse.Assign[i]]
 		lst.IDs = append(lst.IDs, int64(i))
-		lst.Codes = quant.Pack(lst.Codes, codes)
+		lst.Codes = append(lst.Codes, allCodes[i*cb:(i+1)*cb]...)
 	}
 	if cfg.Rerank {
 		idx.enableRerank(data) // index-space (post-rotation) copies
 	}
 	idx.nextID = int64(data.Rows)
 	return idx
-}
-
-// encode quantizes a residual under the index's encoding objective
-// (plain L2 or ScaNN-style anisotropic against the datapoint direction).
-func (x *Index) encode(dst []byte, resid, point []float32) []byte {
-	if x.AnisotropicEta > 1 {
-		return x.PQ.EncodeAnisotropic(dst, resid, point, x.AnisotropicEta)
-	}
-	return x.PQ.Encode(dst, resid)
 }
 
 // NClusters returns |C|.
@@ -204,8 +220,11 @@ func (x *Index) PrepQueries(qm *vecmath.Matrix) *vecmath.Matrix {
 
 // Add encodes and appends new vectors to the index using the existing
 // trained model (centroids, codebooks, rotation), returning the ID of
-// the first added vector. IDs continue from the current NTotal. It
-// panics on dimension mismatch.
+// the first added vector. IDs continue from the current NTotal. The
+// batch is assigned and encoded in parallel (bounded by IngestWorkers)
+// into per-row staging regions, then merged into the lists in ascending
+// row order — the resulting lists are byte-identical for any worker
+// count. It panics on dimension mismatch.
 func (x *Index) Add(data *vecmath.Matrix) int64 {
 	if data.Cols != x.D {
 		panic(fmt.Sprintf("ivf: Add dimension %d, index %d", data.Cols, x.D))
@@ -214,19 +233,29 @@ func (x *Index) Add(data *vecmath.Matrix) int64 {
 		data = x.Rot.ApplyAll(data)
 	}
 	first := x.nextID
-	resid := make([]float32, x.D)
-	codes := make([]byte, 0, x.PQ.M)
-	for i := 0; i < data.Rows; i++ {
-		c := kmeans.AssignOne(x.Centroids, data.Row(i))
-		vecmath.Sub(resid, data.Row(i), x.Centroids.Row(c))
-		codes = x.encode(codes[:0], resid, data.Row(i))
-		lst := &x.Lists[c]
+	n := data.Rows
+	if x.assigner == nil {
+		x.assigner = kmeans.NewAssigner(x.Centroids)
+	}
+	assign := make([]int32, n)
+	x.assigner.AssignBatch(assign, data, x.IngestWorkers)
+	resid := vecmath.NewMatrix(n, x.D)
+	par.Run(n, 1024, x.IngestWorkers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vecmath.Sub(resid.Row(i), data.Row(i), x.Centroids.Row(int(assign[i])))
+		}
+	})
+	cb := x.PQ.CodeBytes()
+	codes := make([]byte, n*cb)
+	pq.EncodeBatchAnisotropic(codes, x.PQ, resid, data, x.AnisotropicEta, x.IngestWorkers)
+	for i := 0; i < n; i++ {
+		lst := &x.Lists[assign[i]]
 		lst.IDs = append(lst.IDs, first+int64(i))
-		lst.Codes = x.PQ.Pack(lst.Codes, codes)
+		lst.Codes = append(lst.Codes, codes[i*cb:(i+1)*cb]...)
 	}
 	x.appendRerank(data, first)
-	x.NTotal += data.Rows
-	x.nextID += int64(data.Rows)
+	x.NTotal += n
+	x.nextID += int64(n)
 	return first
 }
 

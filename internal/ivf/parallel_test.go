@@ -1,0 +1,154 @@
+package ivf
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"anna/internal/dataset"
+	"anna/internal/pq"
+	"anna/internal/vecmath"
+)
+
+// sameIndex fails the test unless a and b hold the identical trained
+// model and byte-identical inverted lists.
+func sameIndex(t *testing.T, label string, a, b *Index) {
+	t.Helper()
+	for i := range a.Centroids.Data {
+		if a.Centroids.Data[i] != b.Centroids.Data[i] {
+			t.Fatalf("%s: centroids differ at %d", label, i)
+		}
+	}
+	for i := range a.PQ.Codebooks.Data {
+		if a.PQ.Codebooks.Data[i] != b.PQ.Codebooks.Data[i] {
+			t.Fatalf("%s: codebooks differ at %d", label, i)
+		}
+	}
+	if len(a.Lists) != len(b.Lists) {
+		t.Fatalf("%s: %d vs %d lists", label, len(a.Lists), len(b.Lists))
+	}
+	for c := range a.Lists {
+		la, lb := &a.Lists[c], &b.Lists[c]
+		if len(la.IDs) != len(lb.IDs) {
+			t.Fatalf("%s: list %d holds %d vs %d vectors", label, c, len(la.IDs), len(lb.IDs))
+		}
+		for i := range la.IDs {
+			if la.IDs[i] != lb.IDs[i] {
+				t.Fatalf("%s: list %d IDs differ at %d", label, c, i)
+			}
+		}
+		if !bytes.Equal(la.Codes, lb.Codes) {
+			t.Fatalf("%s: list %d codes differ", label, c)
+		}
+	}
+}
+
+// buildCases is the determinism matrix: metric × Ks crossed with the
+// rotation, anisotropic, and f16 build variants.
+func buildCases() []Config {
+	base := Config{NClusters: 12, M: 8, Ks: 16, CoarseIters: 5, PQIters: 5, Seed: 3}
+	var cases []Config
+	// Two configs per metric (the metric itself is not part of Config;
+	// caseMetric maps case index → metric passed to Build).
+	for range []pq.Metric{pq.L2, pq.InnerProduct} {
+		for _, ks := range []int{16, 256} {
+			c := base
+			c.Ks = ks
+			cases = append(cases, c)
+		}
+	}
+	rot := base
+	rot.Rotate = true
+	cases = append(cases, rot)
+	aniso := base
+	aniso.Ks = 256
+	aniso.AnisotropicEta = 2
+	cases = append(cases, aniso)
+	both := base
+	both.Rotate = true
+	both.AnisotropicEta = 2
+	cases = append(cases, both)
+	f16 := base
+	f16.Ks = 256
+	f16.F16 = true
+	cases = append(cases, f16)
+	return cases
+}
+
+func caseMetric(i int) pq.Metric {
+	// The first four cases alternate metrics; the variants use L2.
+	if i == 2 || i == 3 {
+		return pq.InnerProduct
+	}
+	return pq.L2
+}
+
+// Build must produce a byte-identical index — trained model and inverted
+// lists — for any Workers value, across the full configuration matrix.
+func TestBuildBitIdenticalAcrossWorkers(t *testing.T) {
+	spec := dataset.SIFTLike(1500, 1, 5)
+	spec.D = 32
+	data := dataset.Generate(spec).Base
+	for i, cfg := range buildCases() {
+		metric := caseMetric(i)
+		cfg.Workers = 1
+		ref := Build(data, metric, cfg)
+		for _, w := range []int{4, 7} {
+			c := cfg
+			c.Workers = w
+			got := Build(data, metric, c)
+			sameIndex(t, fmt.Sprintf("case %d (ks=%d rot=%v eta=%v f16=%v) workers=%d",
+				i, cfg.Ks, cfg.Rotate, cfg.AnisotropicEta, cfg.F16, w), ref, got)
+		}
+	}
+}
+
+// Add must extend the lists identically for any IngestWorkers value.
+func TestAddBitIdenticalAcrossWorkers(t *testing.T) {
+	spec := dataset.SIFTLike(1200, 1, 6)
+	spec.D = 32
+	data := dataset.Generate(spec).Base
+	batchSpec := dataset.SIFTLike(500, 1, 7)
+	batchSpec.D = 32
+	batch := dataset.Generate(batchSpec).Base
+
+	for _, cfg := range []Config{
+		{NClusters: 10, M: 8, Ks: 16, CoarseIters: 5, PQIters: 5, Seed: 4},
+		{NClusters: 10, M: 8, Ks: 256, CoarseIters: 5, PQIters: 5, Seed: 4, Rotate: true, AnisotropicEta: 2},
+	} {
+		ref := Build(data, pq.L2, cfg)
+		ref.IngestWorkers = 1
+		ref.Add(batch)
+		for _, w := range []int{3, 8} {
+			got := Build(data, pq.L2, cfg)
+			got.IngestWorkers = w
+			got.Add(batch)
+			sameIndex(t, fmt.Sprintf("ks=%d ingestWorkers=%d", cfg.Ks, w), ref, got)
+		}
+	}
+}
+
+// Empty clusters must keep nil list slices (not zero-length allocations),
+// matching what the serial append-based build produced — serialization
+// and comparison code rely on it.
+func TestBuildEmptyListsStayNil(t *testing.T) {
+	// 8 identical points with 4 clusters: repair keeps centroids distinct
+	// but duplicates leave some lists empty.
+	data := vecmath.NewMatrix(8, 8)
+	for i := 0; i < 8; i++ {
+		data.SetRow(i, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+	}
+	idx := Build(data, pq.L2, Config{NClusters: 4, M: 4, Ks: 4, CoarseIters: 3, PQIters: 3, Seed: 1})
+	sawEmpty := false
+	for c := range idx.Lists {
+		if idx.Lists[c].Len() == 0 {
+			sawEmpty = true
+			if idx.Lists[c].IDs != nil || idx.Lists[c].Codes != nil {
+				t.Fatalf("empty list %d allocated non-nil slices", c)
+			}
+		}
+	}
+	if !sawEmpty {
+		t.Skip("no empty cluster produced; nothing to check")
+	}
+}

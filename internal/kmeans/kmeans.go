@@ -5,39 +5,63 @@
 // produces the |C| centroids, and — run independently per sub-space — the
 // per-codebook training that produces the k* codewords of each product
 // quantizer codebook.
+//
+// Every pass (seeding, assignment, centroid reduction) is parallel and
+// deterministic: work is split into fixed-size chunks whose boundaries
+// depend only on the input size, floating-point partial sums are reduced
+// in chunk order, and per-centroid accumulation always visits points in
+// ascending row order. A fixed Seed therefore yields a bit-identical
+// model for ANY Workers value.
 package kmeans
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"anna/internal/par"
 	"anna/internal/vecmath"
 )
+
+// assignChunk is the fixed row-chunk size of every parallel pass. It is
+// a constant of the algorithm, not a tuning knob: chunk boundaries (and
+// with them the shape of every floating-point reduction) must not depend
+// on the worker count.
+const assignChunk = 1024
 
 // Config controls a k-means run.
 type Config struct {
 	K        int   // number of clusters (must be >= 1)
 	MaxIters int   // Lloyd iterations; default 25 when zero
 	Seed     int64 // RNG seed for reproducible init
-	// Workers bounds assignment parallelism; default GOMAXPROCS when zero.
+	// Workers bounds the parallelism of every pass (seeding distance
+	// updates, assignment, centroid reduction); default GOMAXPROCS when
+	// zero. The trained result is bit-identical for any value.
 	Workers int
-	// MinPointsPerCentroid caps the sample actually used for training;
-	// zero disables subsampling (all points used). Faiss trains coarse
+	// MaxSamples caps the sample actually used for training; zero
+	// disables subsampling (all points used). Faiss trains coarse
 	// quantizers on a subsample for speed; we reproduce that knob.
 	MaxSamples int
+	// SkipFinalAssign skips the full-data assignment pass that normally
+	// runs after subsampled training, leaving Assign and Inertia
+	// covering the training sample only. Callers that use nothing but
+	// Centroids (pq codebook training) set it to save an O(N·K·D) scan.
+	SkipFinalAssign bool
 }
 
 // Result holds a trained clustering.
 type Result struct {
 	Centroids *vecmath.Matrix // K x D
-	// Assign[i] is the centroid index of training point i (only points
-	// that participated in training when subsampling is active).
+	// Assign[i] is the centroid index of input point i. When MaxSamples
+	// subsampling is active, a final assignment pass still covers every
+	// input row, so Assign spans the full data — unless SkipFinalAssign
+	// was set, in which case it covers the training sample only.
 	Assign []int32
 	// Iters is the number of Lloyd iterations actually run.
 	Iters int
-	// Inertia is the final sum of squared distances of training points to
-	// their centroids.
+	// Inertia is the sum of squared distances to the final centroids
+	// over the same points Assign covers (the full input data, even when
+	// MaxSamples restricted training to a subsample, unless
+	// SkipFinalAssign). Distances come from the norms identity
+	// ‖x−c‖² = ‖x‖² − 2·x·c + ‖c‖², clamped at zero per point.
 	Inertia float64
 }
 
@@ -53,9 +77,7 @@ func Train(data *vecmath.Matrix, cfg Config) *Result {
 	if cfg.MaxIters == 0 {
 		cfg.MaxIters = 25
 	}
-	if cfg.Workers == 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
+	workers := par.Workers(cfg.Workers)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	train := data
@@ -63,16 +85,20 @@ func Train(data *vecmath.Matrix, cfg Config) *Result {
 		train = sample(data, cfg.MaxSamples, rng)
 	}
 
-	cents := seedPlusPlus(train, cfg.K, rng)
+	xnorms := pointNorms(train, workers)
+	cents := seedPlusPlus(train, xnorms, cfg.K, rng, workers)
 	assign := make([]int32, train.Rows)
 	counts := make([]int, cfg.K)
+	cnorms := make([]float32, cfg.K)
+	order := make([]int32, train.Rows)
+	offs := make([]int, cfg.K+1)
 
 	var inertia float64
 	iters := 0
 	for ; iters < cfg.MaxIters; iters++ {
 		var moved int64
-		inertia = assignAll(train, cents, assign, cfg.Workers, &moved)
-		updateCentroids(train, cents, assign, counts)
+		inertia, moved = assignAll(train, xnorms, cents, cnorms, assign, workers)
+		updateCentroids(train, cents, assign, counts, order, offs, workers)
 		repairEmpty(train, cents, assign, counts, rng)
 		if moved == 0 {
 			iters++
@@ -81,10 +107,9 @@ func Train(data *vecmath.Matrix, cfg Config) *Result {
 	}
 
 	// If we trained on a subsample, produce assignments for the full data.
-	if train != data {
+	if train != data && !cfg.SkipFinalAssign {
 		assign = make([]int32, data.Rows)
-		var moved int64
-		inertia = assignAll(data, cents, assign, cfg.Workers, &moved)
+		inertia, _ = assignAll(data, pointNorms(data, workers), cents, cnorms, assign, workers)
 	}
 
 	return &Result{Centroids: cents, Assign: assign, Iters: iters, Inertia: inertia}
@@ -99,20 +124,60 @@ func sample(data *vecmath.Matrix, n int, rng *rand.Rand) *vecmath.Matrix {
 	return out
 }
 
-// seedPlusPlus implements k-means++ initialisation.
-func seedPlusPlus(data *vecmath.Matrix, k int, rng *rand.Rand) *vecmath.Matrix {
+// pointNorms computes ‖row‖² for every row of data.
+func pointNorms(data *vecmath.Matrix, workers int) []float32 {
+	n := make([]float32, data.Rows)
+	par.Run(data.Rows, assignChunk, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n[i] = vecmath.NormSq(data.Row(i))
+		}
+	})
+	return n
+}
+
+func clamp0(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// seedPlusPlus implements k-means++ initialisation. The per-centroid
+// distance updates run in parallel over fixed chunks; the weighted draw
+// itself stays serial on the caller's rng, so the chosen seeds depend
+// only on (data, k, rng state), never on Workers.
+func seedPlusPlus(data *vecmath.Matrix, xnorms []float32, k int, rng *rand.Rand, workers int) *vecmath.Matrix {
 	cents := vecmath.NewMatrix(k, data.Cols)
 	first := rng.Intn(data.Rows)
 	cents.SetRow(0, data.Row(first))
 
-	// dist[i] = squared distance of point i to its closest chosen centroid.
-	dist := make([]float64, data.Rows)
-	var total float64
-	for i := 0; i < data.Rows; i++ {
-		d := float64(vecmath.L2Sq(data.Row(i), cents.Row(0)))
-		dist[i] = d
-		total += d
+	nchunks := par.NumChunks(data.Rows, assignChunk)
+	partials := make([]float64, nchunks)
+	dotBufs := make([][]float32, par.Workers(workers))
+	dotBuf := func(w int) []float32 {
+		if dotBufs[w] == nil {
+			dotBufs[w] = make([]float32, assignChunk)
+		}
+		return dotBufs[w]
 	}
+
+	// dist[i] = squared distance of point i to its closest chosen
+	// centroid (via the norms identity, clamped at zero).
+	dist := make([]float64, data.Rows)
+	cn := vecmath.NormSq(cents.Row(0))
+	par.Run(data.Rows, assignChunk, workers, func(w, lo, hi int) {
+		view := vecmath.Matrix{Rows: hi - lo, Cols: data.Cols, Data: data.Data[lo*data.Cols : hi*data.Cols]}
+		dots := dotBuf(w)[:hi-lo]
+		vecmath.DotBatch(dots, &view, cents.Row(0))
+		var t float64
+		for i := lo; i < hi; i++ {
+			d := float64(clamp0(xnorms[i] + (cn - 2*dots[i-lo])))
+			dist[i] = d
+			t += d
+		}
+		partials[lo/assignChunk] = t
+	})
+	total := par.ReduceFloat64(partials)
 
 	for c := 1; c < k; c++ {
 		var pick int
@@ -134,87 +199,107 @@ func seedPlusPlus(data *vecmath.Matrix, k int, rng *rand.Rand) *vecmath.Matrix {
 		}
 		cents.SetRow(c, data.Row(pick))
 		// Update distances against the new centroid.
-		total = 0
-		for i := 0; i < data.Rows; i++ {
-			d := float64(vecmath.L2Sq(data.Row(i), cents.Row(c)))
-			if d < dist[i] {
-				dist[i] = d
+		cn = vecmath.NormSq(cents.Row(c))
+		par.Run(data.Rows, assignChunk, workers, func(w, lo, hi int) {
+			view := vecmath.Matrix{Rows: hi - lo, Cols: data.Cols, Data: data.Data[lo*data.Cols : hi*data.Cols]}
+			dots := dotBuf(w)[:hi-lo]
+			vecmath.DotBatch(dots, &view, cents.Row(c))
+			var t float64
+			for i := lo; i < hi; i++ {
+				if d := float64(clamp0(xnorms[i] + (cn - 2*dots[i-lo]))); d < dist[i] {
+					dist[i] = d
+				}
+				t += dist[i]
 			}
-			total += dist[i]
-		}
+			partials[lo/assignChunk] = t
+		})
+		total = par.ReduceFloat64(partials)
 	}
 	return cents
 }
 
 // assignAll assigns every point to its nearest centroid in parallel,
-// returning the total inertia and counting points whose assignment changed.
-func assignAll(data *vecmath.Matrix, cents *vecmath.Matrix, assign []int32, workers int, moved *int64) float64 {
-	if workers < 1 {
-		workers = 1
+// returning the total inertia and the number of points whose assignment
+// changed. cnorms is caller-provided scratch (len K) refilled here each
+// call because centroids move between iterations. Per-chunk inertia
+// partials are reduced in chunk order, so both results are independent
+// of the worker count.
+func assignAll(data *vecmath.Matrix, xnorms []float32, cents *vecmath.Matrix, cnorms []float32, assign []int32, workers int) (float64, int64) {
+	for c := 0; c < cents.Rows; c++ {
+		cnorms[c] = vecmath.NormSq(cents.Row(c))
 	}
 	type chunkStat struct {
 		inertia float64
 		moved   int64
 	}
-	stats := make([]chunkStat, workers)
-	var wg sync.WaitGroup
-	chunk := (data.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > data.Rows {
-			hi = data.Rows
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var st chunkStat
-			for i := lo; i < hi; i++ {
-				row := data.Row(i)
-				best, bd := 0, vecmath.L2Sq(row, cents.Row(0))
-				for c := 1; c < cents.Rows; c++ {
-					if d := vecmath.L2Sq(row, cents.Row(c)); d < bd {
-						best, bd = c, d
-					}
-				}
-				if assign[i] != int32(best) {
-					assign[i] = int32(best)
-					st.moved++
-				}
-				st.inertia += float64(bd)
+	stats := make([]chunkStat, par.NumChunks(data.Rows, assignChunk))
+	par.Run(data.Rows, assignChunk, workers, func(_, lo, hi int) {
+		var st chunkStat
+		update := func(i, best int, bv float32) {
+			if assign[i] != int32(best) {
+				assign[i] = int32(best)
+				st.moved++
 			}
-			stats[w] = st
-		}(w, lo, hi)
-	}
-	wg.Wait()
+			st.inertia += float64(clamp0(xnorms[i] + bv))
+		}
+		i := lo
+		for ; i+2 <= hi; i += 2 {
+			ba, va, bb, vb := vecmath.ArgMinNormMinus2Dot2(cents, cnorms, data.Row(i), data.Row(i+1))
+			update(i, ba, va)
+			update(i+1, bb, vb)
+		}
+		for ; i < hi; i++ {
+			best, bv := vecmath.ArgMinNormMinus2Dot(cents, cnorms, data.Row(i))
+			update(i, best, bv)
+		}
+		stats[lo/assignChunk] = st
+	})
 	var inertia float64
+	var moved int64
 	for _, st := range stats {
 		inertia += st.inertia
-		*moved += st.moved
+		moved += st.moved
 	}
-	return inertia
+	return inertia, moved
 }
 
-func updateCentroids(data *vecmath.Matrix, cents *vecmath.Matrix, assign []int32, counts []int) {
+// updateCentroids recomputes every centroid as the mean of its members.
+// A counting sort over assignments builds a per-centroid member list in
+// ascending row order; centroids are then reduced in parallel, each one
+// summing its members in that fixed order — the identical floating-point
+// sequence the old serial accumulation produced, for any Workers.
+func updateCentroids(data *vecmath.Matrix, cents *vecmath.Matrix, assign []int32, counts []int, order []int32, offs []int, workers int) {
 	for i := range counts {
 		counts[i] = 0
 	}
-	for i := range cents.Data {
-		cents.Data[i] = 0
+	for _, a := range assign {
+		counts[a]++
 	}
-	for i := 0; i < data.Rows; i++ {
-		c := assign[i]
-		counts[c]++
-		vecmath.Add(cents.Row(int(c)), cents.Row(int(c)), data.Row(i))
+	offs[0] = 0
+	for c, n := range counts {
+		offs[c+1] = offs[c] + n
 	}
-	for c := range counts {
-		if counts[c] > 0 {
-			vecmath.Scale(cents.Row(c), 1/float32(counts[c]))
+	fill := make([]int, cents.Rows)
+	copy(fill, offs[:cents.Rows])
+	for i, a := range assign {
+		order[fill[a]] = int32(i)
+		fill[a]++
+	}
+	par.Run(cents.Rows, 1, workers, func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			row := cents.Row(c)
+			for i := range row {
+				row[i] = 0
+			}
+			members := order[offs[c]:offs[c+1]]
+			for _, r := range members {
+				vecmath.Add(row, row, data.Row(int(r)))
+			}
+			if len(members) > 0 {
+				vecmath.Scale(row, 1/float32(len(members)))
+			}
 		}
-	}
+	})
 }
 
 // repairEmpty re-seeds any empty centroid by splitting the largest cluster,
@@ -251,7 +336,10 @@ func repairEmpty(data *vecmath.Matrix, cents *vecmath.Matrix, assign []int32, co
 	}
 }
 
-// AssignOne returns the nearest centroid index for vector v.
+// AssignOne returns the nearest centroid index for vector v. It is the
+// scalar reference path (exact per-centroid L2); the batched Assigner
+// below agrees with it except on exact floating-point ties, where the
+// norms-identity arithmetic may round differently.
 func AssignOne(cents *vecmath.Matrix, v []float32) int {
 	best, bd := 0, vecmath.L2Sq(v, cents.Row(0))
 	for c := 1; c < cents.Rows; c++ {
@@ -260,4 +348,47 @@ func AssignOne(cents *vecmath.Matrix, v []float32) int {
 		}
 	}
 	return best
+}
+
+// Assigner performs batched nearest-centroid assignment against a fixed
+// centroid table, with ‖c‖² precomputed once so each candidate costs a
+// single blocked dot product. The centroid matrix must not change after
+// construction. Safe for concurrent AssignBatch calls.
+type Assigner struct {
+	cents *vecmath.Matrix
+	norms []float32
+}
+
+// NewAssigner precomputes the squared centroid norms for cents.
+func NewAssigner(cents *vecmath.Matrix) *Assigner {
+	a := &Assigner{cents: cents, norms: make([]float32, cents.Rows)}
+	for c := 0; c < cents.Rows; c++ {
+		a.norms[c] = vecmath.NormSq(cents.Row(c))
+	}
+	return a
+}
+
+// AssignBatch writes the nearest-centroid index of every row of data
+// into assign (len data.Rows), sharding rows over workers (0 =
+// GOMAXPROCS) in fixed chunks. Each row's result is independent of every
+// other, so the output is identical for any worker count.
+func (a *Assigner) AssignBatch(assign []int32, data *vecmath.Matrix, workers int) {
+	if data.Cols != a.cents.Cols {
+		panic("kmeans: AssignBatch dimension mismatch")
+	}
+	if len(assign) != data.Rows {
+		panic("kmeans: AssignBatch assign length mismatch")
+	}
+	par.Run(data.Rows, assignChunk, workers, func(_, lo, hi int) {
+		i := lo
+		for ; i+2 <= hi; i += 2 {
+			ba, _, bb, _ := vecmath.ArgMinNormMinus2Dot2(a.cents, a.norms, data.Row(i), data.Row(i+1))
+			assign[i] = int32(ba)
+			assign[i+1] = int32(bb)
+		}
+		for ; i < hi; i++ {
+			best, _ := vecmath.ArgMinNormMinus2Dot(a.cents, a.norms, data.Row(i))
+			assign[i] = int32(best)
+		}
+	})
 }

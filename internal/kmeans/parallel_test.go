@@ -1,0 +1,136 @@
+package kmeans
+
+import (
+	"testing"
+
+	"anna/internal/vecmath"
+)
+
+// Train must be bit-identical for any Workers value: same centroids,
+// same assignments, same Inertia — with and without MaxSamples.
+func TestTrainBitIdenticalAcrossWorkers(t *testing.T) {
+	data := blob([][]float32{{0, 0, 0, 0}, {6, 6, 0, 0}, {-6, 6, 3, 3}, {0, -6, -3, 3}}, 700, 1.2, 21)
+	for _, maxSamples := range []int{0, 900} {
+		ref := Train(data, Config{K: 8, Seed: 17, MaxIters: 12, Workers: 1, MaxSamples: maxSamples})
+		for _, w := range []int{2, 3, 4, 13} {
+			got := Train(data, Config{K: 8, Seed: 17, MaxIters: 12, Workers: w, MaxSamples: maxSamples})
+			for i := range ref.Centroids.Data {
+				if got.Centroids.Data[i] != ref.Centroids.Data[i] {
+					t.Fatalf("maxSamples=%d workers=%d: centroid data differs at %d: %v vs %v",
+						maxSamples, w, i, got.Centroids.Data[i], ref.Centroids.Data[i])
+				}
+			}
+			if len(got.Assign) != len(ref.Assign) {
+				t.Fatalf("maxSamples=%d workers=%d: Assign len %d vs %d",
+					maxSamples, w, len(got.Assign), len(ref.Assign))
+			}
+			for i := range ref.Assign {
+				if got.Assign[i] != ref.Assign[i] {
+					t.Fatalf("maxSamples=%d workers=%d: Assign[%d] differs", maxSamples, w, i)
+				}
+			}
+			if got.Inertia != ref.Inertia {
+				t.Fatalf("maxSamples=%d workers=%d: Inertia %v vs %v",
+					maxSamples, w, got.Inertia, ref.Inertia)
+			}
+			if got.Iters != ref.Iters {
+				t.Fatalf("maxSamples=%d workers=%d: Iters %d vs %d",
+					maxSamples, w, got.Iters, ref.Iters)
+			}
+		}
+	}
+}
+
+// Under MaxSamples subsampling, Assign and Inertia must cover the FULL
+// input (the documented contract): Inertia equals the brute-force sum of
+// squared distances of every input row to its assigned final centroid.
+func TestInertiaCoversFullDataUnderMaxSamples(t *testing.T) {
+	data := blob([][]float32{{0, 0, 0}, {9, 9, 9}, {-9, 9, 0}}, 400, 1, 22)
+	res := Train(data, Config{K: 3, Seed: 5, MaxIters: 10, MaxSamples: 300})
+	if len(res.Assign) != data.Rows {
+		t.Fatalf("Assign len %d, want full data %d", len(res.Assign), data.Rows)
+	}
+	var want float64
+	for i := 0; i < data.Rows; i++ {
+		c := res.Centroids.Row(int(res.Assign[i]))
+		want += float64(vecmath.L2Sq(data.Row(i), c))
+	}
+	rel := (res.Inertia - want) / want
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 1e-4 {
+		t.Errorf("Inertia %v, brute force over full data %v (rel %v)", res.Inertia, want, rel)
+	}
+	// Each assignment must actually be the nearest centroid.
+	for i := 0; i < data.Rows; i += 37 {
+		if want := AssignOne(res.Centroids, data.Row(i)); int32(want) != res.Assign[i] {
+			t.Fatalf("Assign[%d] = %d, nearest is %d", i, res.Assign[i], want)
+		}
+	}
+}
+
+// SkipFinalAssign must skip the full-data pass: Assign covers the
+// training sample only, while the centroids are unchanged.
+func TestSkipFinalAssign(t *testing.T) {
+	data := blob([][]float32{{0, 0}, {7, 7}}, 500, 1, 23)
+	full := Train(data, Config{K: 2, Seed: 9, MaxIters: 8, MaxSamples: 200})
+	skip := Train(data, Config{K: 2, Seed: 9, MaxIters: 8, MaxSamples: 200, SkipFinalAssign: true})
+	for i := range full.Centroids.Data {
+		if full.Centroids.Data[i] != skip.Centroids.Data[i] {
+			t.Fatal("SkipFinalAssign changed the trained centroids")
+		}
+	}
+	if len(skip.Assign) != 200 {
+		t.Errorf("SkipFinalAssign Assign len %d, want sample size 200", len(skip.Assign))
+	}
+	if len(full.Assign) != data.Rows {
+		t.Errorf("full Assign len %d, want %d", len(full.Assign), data.Rows)
+	}
+}
+
+// The batched Assigner must agree with the scalar AssignOne reference on
+// fixed-seed data, and be invariant to the worker count.
+func TestAssignerMatchesAssignOne(t *testing.T) {
+	data := blob([][]float32{{0, 0, 0, 0, 0, 0, 0, 0}, {4, 4, 4, 4, 0, 0, 0, 0}, {-4, 0, 4, 0, -4, 0, 4, 0}}, 400, 1.5, 24)
+	res := Train(data, Config{K: 6, Seed: 31, MaxIters: 8})
+	a := NewAssigner(res.Centroids)
+	got := make([]int32, data.Rows)
+	a.AssignBatch(got, data, 1)
+	for i := 0; i < data.Rows; i++ {
+		if want := AssignOne(res.Centroids, data.Row(i)); int32(want) != got[i] {
+			t.Fatalf("row %d: AssignBatch %d, AssignOne %d", i, got[i], want)
+		}
+	}
+	for _, w := range []int{2, 5} {
+		batch := make([]int32, data.Rows)
+		a.AssignBatch(batch, data, w)
+		for i := range got {
+			if batch[i] != got[i] {
+				t.Fatalf("workers=%d: AssignBatch differs at row %d", w, i)
+			}
+		}
+	}
+}
+
+func TestAssignBatchPanics(t *testing.T) {
+	cents := vecmath.NewMatrix(2, 3)
+	a := NewAssigner(cents)
+	for name, fn := range map[string]func(){
+		"dim": func() {
+			a.AssignBatch(make([]int32, 2), vecmath.NewMatrix(2, 4), 1)
+		},
+		"len": func() {
+			a.AssignBatch(make([]int32, 1), vecmath.NewMatrix(2, 3), 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,104 @@
+// Package par is the tiny parallel-for substrate of the build/ingest
+// pipeline: fixed-size chunks of an index range fanned out over a
+// bounded set of goroutines.
+//
+// Determinism contract: chunk boundaries depend only on (n, chunkSize) —
+// never on the worker count — so a caller whose chunk results are
+// written to disjoint, chunk-indexed locations (or reduced afterwards in
+// chunk order) produces bit-identical output for ANY worker count,
+// including 1. Every parallel stage of the build pipeline (k-means
+// assignment, k-means++ seeding, centroid reduction, residual fill,
+// batch encoding, batch assignment) is written against this contract.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values <= 0 mean GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run processes the range [0, n) in fixed chunkSize chunks on at most
+// workers goroutines (0 = GOMAXPROCS). fn is invoked once per chunk as
+// fn(w, lo, hi), where w in [0, workers) identifies the executing
+// goroutine — use it to index per-worker scratch. Which worker runs
+// which chunk is scheduling-dependent; fn's output must depend only on
+// [lo, hi). Run returns when every chunk has been processed. With one
+// worker (or a single chunk) everything runs inline on the caller's
+// goroutine.
+func Run(n, chunkSize, workers int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunkSize <= 0 {
+		chunkSize = n
+	}
+	chunks := (n + chunkSize - 1) / chunkSize
+	workers = Workers(workers)
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers == 1 {
+		for c := 0; c < chunks; c++ {
+			lo := c * chunkSize
+			hi := lo + chunkSize
+			if hi > n {
+				hi = n
+			}
+			fn(0, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * chunkSize
+				hi := lo + chunkSize
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ReduceFloat64 sums per-chunk partial totals in ascending chunk order,
+// the fixed reduction tree that keeps floating-point accumulations
+// independent of the worker count. partials must be indexed by chunk
+// ordinal (lo / chunkSize).
+func ReduceFloat64(partials []float64) float64 {
+	var s float64
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}
+
+// NumChunks returns how many chunks Run will produce for (n, chunkSize),
+// for sizing chunk-indexed partial buffers.
+func NumChunks(n, chunkSize int) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunkSize <= 0 {
+		return 1
+	}
+	return (n + chunkSize - 1) / chunkSize
+}

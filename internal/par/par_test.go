@@ -1,0 +1,95 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestNumChunks(t *testing.T) {
+	cases := []struct{ n, chunk, want int }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {8, 4, 2}, {9, 4, 3},
+	}
+	for _, c := range cases {
+		if got := NumChunks(c.n, c.chunk); got != c.want {
+			t.Errorf("NumChunks(%d, %d) = %d, want %d", c.n, c.chunk, got, c.want)
+		}
+	}
+}
+
+// Run must visit every index exactly once, in chunks whose boundaries
+// depend only on (n, chunkSize), for any worker count.
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 100, 1000} {
+		for _, chunk := range []int{1, 7, 64, 256} {
+			for _, workers := range []int{1, 2, 4, 9} {
+				visits := make([]int32, n)
+				Run(n, chunk, workers, func(w, lo, hi int) {
+					if w < 0 || w >= workers {
+						t.Errorf("worker index %d out of [0, %d)", w, workers)
+					}
+					if lo%chunk != 0 {
+						t.Errorf("chunk start %d not a multiple of %d", lo, chunk)
+					}
+					if hi-lo > chunk || hi > n || lo >= hi {
+						t.Errorf("bad chunk [%d, %d) for n=%d chunk=%d", lo, hi, n, chunk)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&visits[i], 1)
+					}
+				})
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("n=%d chunk=%d workers=%d: index %d visited %d times",
+							n, chunk, workers, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A single chunk (or workers == 1) must run inline on the caller's
+// goroutine with worker index 0.
+func TestRunInline(t *testing.T) {
+	calls := 0
+	Run(10, 100, 8, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 10 {
+			t.Errorf("inline chunk (w=%d, lo=%d, hi=%d)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("single-chunk Run made %d calls", calls)
+	}
+}
+
+// ReduceFloat64 must sum in slice (chunk) order — the property the
+// deterministic inertia/seeding totals rely on.
+func TestReduceFloat64Order(t *testing.T) {
+	// Catastrophic-cancellation probe: order matters for these values
+	// (summed via variables so the compiler cannot fold exactly).
+	p := []float64{1e16, 1, -1e16, 1}
+	want := 0.0
+	for _, v := range p {
+		want += v // left-to-right
+	}
+	if got := ReduceFloat64(p); got != want {
+		t.Errorf("ReduceFloat64 = %v, want left-to-right %v", got, want)
+	}
+	if got := ReduceFloat64(nil); got != 0 {
+		t.Errorf("ReduceFloat64(nil) = %v", got)
+	}
+}

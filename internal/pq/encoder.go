@@ -1,0 +1,210 @@
+package pq
+
+// Batch encoding: the build/ingest hot path. Instead of one
+// subtract-square L2 scan per (vector, codeword) pair, the encoder uses
+// the identity ‖sv−cw‖² = ‖sv‖² − 2·sv·cw + ‖cw‖² with codeword norms
+// precomputed once per quantizer, so nearest-codeword search becomes a
+// blocked inner-product scan (vecmath.ArgMinNormMinus2Dot). Vectors are
+// processed in blocks with a sub-space-outer loop, keeping each 4–8 KB
+// codebook slab resident in L1 across the whole block.
+//
+// Determinism: every row is encoded independently into its own packed
+// region, so EncodeBatch output is byte-identical for any worker count.
+// Quantizer.Encode / EncodeAnisotropic remain the scalar reference
+// definitions; the batch path agrees with them except on exact
+// floating-point ties, where the identity arithmetic may round the other
+// way (covered by fixed-seed agreement tests).
+
+import (
+	"anna/internal/par"
+	"anna/internal/vecmath"
+)
+
+// encodeBlockRows is how many vectors one cache block spans: the block's
+// code scratch (encodeBlockRows×M bytes) plus one codebook slab stay
+// cache-resident while each codebook is streamed over the block.
+const encodeBlockRows = 128
+
+// encodeChunkRows is the fixed sharding granularity of EncodeBatch — a
+// multiple of encodeBlockRows so chunk boundaries never split a block.
+const encodeChunkRows = 256
+
+// Encoder encodes blocks of vectors against one quantizer with reusable
+// scratch. Not safe for concurrent use; give each worker its own (the
+// codeword-norm table is shared and read-only).
+type Encoder struct {
+	q     *Quantizer
+	norms []float32
+	codes []byte // encodeBlockRows×M codeword ids, row-major
+	// anisotropic scratch, allocated on first use
+	dots    []float32 // residual·codeword per codeword of one sub-space
+	dirDots []float32 // direction·codeword, same layout
+}
+
+// NewEncoder returns an encoder for q, computing (or reusing) the cached
+// codeword-norm table. Codebooks must not change afterwards.
+func NewEncoder(q *Quantizer) *Encoder {
+	return &Encoder{q: q, norms: q.codewordNorms(), codes: make([]byte, encodeBlockRows*q.M)}
+}
+
+// subspace returns a view of codebook i and its norm slice.
+func (e *Encoder) subspace(i int) (vecmath.Matrix, []float32) {
+	q := e.q
+	stride := q.Ks * q.Dsub
+	view := vecmath.Matrix{Rows: q.Ks, Cols: q.Dsub, Data: q.Codebooks.Data[i*stride : (i+1)*stride]}
+	return view, e.norms[i*q.Ks : (i+1)*q.Ks]
+}
+
+// EncodePackedRows encodes rows [lo, hi) of vecs, writing row r's packed
+// code at dst[r*CodeBytes : (r+1)*CodeBytes]. dst must therefore be at
+// least hi*CodeBytes long; regions of distinct rows never overlap, which
+// is what lets EncodeBatch shard rows across workers with no staging
+// copies.
+func (e *Encoder) EncodePackedRows(dst []byte, vecs *vecmath.Matrix, lo, hi int) {
+	if vecs.Cols != e.q.D {
+		panic("pq: EncodePackedRows dimension mismatch")
+	}
+	for b0 := lo; b0 < hi; b0 += encodeBlockRows {
+		b1 := b0 + encodeBlockRows
+		if b1 > hi {
+			b1 = hi
+		}
+		e.encodeBlock(vecs, b0, b1)
+		e.packBlock(dst, b0, b1)
+	}
+}
+
+// EncodePackedRowsAnisotropic is EncodePackedRows under the anisotropic
+// loss: row r of resid is encoded against direction row r of points with
+// weight eta (see EncodeAnisotropic). eta <= 1 falls back to the plain
+// L2 objective.
+func (e *Encoder) EncodePackedRowsAnisotropic(dst []byte, resid, points *vecmath.Matrix, eta float32, lo, hi int) {
+	if eta <= 1 {
+		e.EncodePackedRows(dst, resid, lo, hi)
+		return
+	}
+	if resid.Cols != e.q.D || points.Cols != e.q.D {
+		panic("pq: EncodePackedRowsAnisotropic dimension mismatch")
+	}
+	if e.dots == nil {
+		e.dots = make([]float32, e.q.Ks)
+		e.dirDots = make([]float32, e.q.Ks)
+	}
+	for b0 := lo; b0 < hi; b0 += encodeBlockRows {
+		b1 := b0 + encodeBlockRows
+		if b1 > hi {
+			b1 = hi
+		}
+		e.encodeBlockAnisotropic(resid, points, eta, b0, b1)
+		e.packBlock(dst, b0, b1)
+	}
+}
+
+// encodeBlock fills e.codes with the codeword ids of rows [b0, b1),
+// iterating sub-spaces outermost so each codebook slab is loaded once
+// per block instead of once per vector.
+func (e *Encoder) encodeBlock(vecs *vecmath.Matrix, b0, b1 int) {
+	q := e.q
+	for i := 0; i < q.M; i++ {
+		cb, ns := e.subspace(i)
+		lo, hi := i*q.Dsub, (i+1)*q.Dsub
+		r := b0
+		for ; r+2 <= b1; r += 2 {
+			ba, _, bb, _ := vecmath.ArgMinNormMinus2Dot2(&cb, ns, vecs.Row(r)[lo:hi], vecs.Row(r + 1)[lo:hi])
+			e.codes[(r-b0)*q.M+i] = byte(ba)
+			e.codes[(r+1-b0)*q.M+i] = byte(bb)
+		}
+		for ; r < b1; r++ {
+			best, _ := vecmath.ArgMinNormMinus2Dot(&cb, ns, vecs.Row(r)[lo:hi])
+			e.codes[(r-b0)*q.M+i] = byte(best)
+		}
+	}
+}
+
+// encodeBlockAnisotropic is encodeBlock under the anisotropic loss. Per
+// (row, sub-space) it needs codeword dots against both the residual and
+// the direction; DotBatch2 produces both from one codebook scan, and the
+// loss is evaluated through the same identity with the constant ‖sv‖²
+// term dropped:
+//
+//	loss(j) = ‖cw_j‖² − 2·sv·cw_j + (eta−1)·(sv·dir − cw_j·dir)²/‖dir‖²  (+ ‖sv‖²)
+func (e *Encoder) encodeBlockAnisotropic(resid, points *vecmath.Matrix, eta float32, b0, b1 int) {
+	q := e.q
+	for i := 0; i < q.M; i++ {
+		cb, ns := e.subspace(i)
+		for r := b0; r < b1; r++ {
+			sv := resid.Row(r)[i*q.Dsub : (i+1)*q.Dsub]
+			dir := points.Row(r)[i*q.Dsub : (i+1)*q.Dsub]
+			dirNormSq := vecmath.NormSq(dir)
+			var best int
+			if dirNormSq > 0 {
+				vecmath.DotBatch2(e.dots, e.dirDots, &cb, sv, dir)
+				svDir := vecmath.Dot(sv, dir)
+				scale := (eta - 1) / dirNormSq
+				bv := float32(0)
+				for j := 0; j < q.Ks; j++ {
+					p := svDir - e.dirDots[j]
+					v := ns[j] - 2*e.dots[j] + scale*p*p
+					if j == 0 || v < bv {
+						best, bv = j, v
+					}
+				}
+			} else {
+				best, _ = vecmath.ArgMinNormMinus2Dot(&cb, ns, sv)
+			}
+			e.codes[(r-b0)*q.M+i] = byte(best)
+		}
+	}
+}
+
+// packBlock packs the block's codeword ids into their per-row regions of
+// dst. The three-index slice pins capacity to CodeBytes, so Pack's
+// appends land in place without growing.
+func (e *Encoder) packBlock(dst []byte, b0, b1 int) {
+	q := e.q
+	cb := q.CodeBytes()
+	for r := b0; r < b1; r++ {
+		off := r * cb
+		q.Pack(dst[off:off:off+cb], e.codes[(r-b0)*q.M:(r-b0+1)*q.M])
+	}
+}
+
+// EncodeBatch encodes every row of vecs into dst, which must be exactly
+// vecs.Rows*q.CodeBytes() bytes (row r's packed code lands at
+// r*CodeBytes). Rows are sharded over workers (0 = GOMAXPROCS) in fixed
+// chunks; output bytes are identical for any worker count.
+func EncodeBatch(dst []byte, q *Quantizer, vecs *vecmath.Matrix, workers int) {
+	if len(dst) != vecs.Rows*q.CodeBytes() {
+		panic("pq: EncodeBatch destination size mismatch")
+	}
+	encs := make([]*Encoder, par.Workers(workers))
+	par.Run(vecs.Rows, encodeChunkRows, workers, func(w, lo, hi int) {
+		if encs[w] == nil {
+			encs[w] = NewEncoder(q)
+		}
+		encs[w].EncodePackedRows(dst, vecs, lo, hi)
+	})
+}
+
+// EncodeBatchAnisotropic is EncodeBatch under the anisotropic loss: row
+// r of resid is encoded against direction row r of points (see
+// EncodeAnisotropic). eta <= 1 reduces to EncodeBatch.
+func EncodeBatchAnisotropic(dst []byte, q *Quantizer, resid, points *vecmath.Matrix, eta float32, workers int) {
+	if eta <= 1 {
+		EncodeBatch(dst, q, resid, workers)
+		return
+	}
+	if len(dst) != resid.Rows*q.CodeBytes() {
+		panic("pq: EncodeBatchAnisotropic destination size mismatch")
+	}
+	if points.Rows != resid.Rows {
+		panic("pq: EncodeBatchAnisotropic row count mismatch")
+	}
+	encs := make([]*Encoder, par.Workers(workers))
+	par.Run(resid.Rows, encodeChunkRows, workers, func(w, lo, hi int) {
+		if encs[w] == nil {
+			encs[w] = NewEncoder(q)
+		}
+		encs[w].EncodePackedRowsAnisotropic(dst, resid, points, eta, lo, hi)
+	})
+}

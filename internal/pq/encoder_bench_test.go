@@ -1,0 +1,49 @@
+package pq
+
+// Encode-path benchmarks recorded into BENCH_build.json by
+// `cmd/benchjson -suite build`. The workload packs 2000 D=32 vectors
+// through an M=8/Ks=256 quantizer — the per-vector work of BenchmarkAdd
+// without assignment, so encoder changes show up undiluted.
+
+import (
+	"testing"
+
+	"anna/internal/vecmath"
+)
+
+func benchEncodeSetup(b *testing.B) (*Quantizer, *vecmath.Matrix) {
+	b.Helper()
+	data := randMatrix(2000, 32, 1)
+	q := Train(data, Config{M: 8, Ks: 256, Iters: 6, Seed: 1})
+	return q, data
+}
+
+// BenchmarkEncodeBatch measures batch-encoding the whole matrix into
+// packed codes at Workers=1, so any win over BenchmarkEncodePerVector is
+// from the norms-identity blocked kernel alone, not parallelism. (The
+// recorded BENCH_build.json "before" figure is the per-vector loop
+// below on the identical workload.)
+func BenchmarkEncodeBatch(b *testing.B) {
+	q, data := benchEncodeSetup(b)
+	dst := make([]byte, data.Rows*q.CodeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeBatch(dst, q, data, 1)
+	}
+}
+
+// BenchmarkEncodePerVector is the scalar reference path (one
+// Quantizer.Encode + Pack per row) on the same workload.
+func BenchmarkEncodePerVector(b *testing.B) {
+	q, data := benchEncodeSetup(b)
+	dst := make([]byte, 0, data.Rows*q.CodeBytes())
+	codes := make([]byte, 0, q.M)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = dst[:0]
+		for r := 0; r < data.Rows; r++ {
+			codes = q.Encode(codes[:0], data.Row(r))
+			dst = q.Pack(dst, codes)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package pq
+
+import (
+	"bytes"
+	"testing"
+
+	"anna/internal/vecmath"
+)
+
+// trainQuantizer builds a small trained quantizer plus fresh evaluation
+// data that was not part of training (fixed seeds, no exact FP ties).
+func trainQuantizer(t *testing.T, m, ks int) (*Quantizer, *vecmath.Matrix) {
+	t.Helper()
+	data := randMatrix(600, 16, 7)
+	q := Train(data, Config{M: m, Ks: ks, Iters: 5, Seed: 11})
+	return q, randMatrix(333, 16, 8) // odd row count exercises block tails
+}
+
+// packReference encodes every row through the scalar reference
+// (Quantizer.Encode) and packs it — the definitional output EncodeBatch
+// must reproduce.
+func packReference(q *Quantizer, data *vecmath.Matrix) []byte {
+	var out []byte
+	codes := make([]byte, 0, q.M)
+	for r := 0; r < data.Rows; r++ {
+		codes = q.Encode(codes[:0], data.Row(r))
+		out = q.Pack(out, codes)
+	}
+	return out
+}
+
+func TestEncodeBatchMatchesEncode(t *testing.T) {
+	for _, ks := range []int{16, 256} {
+		q, data := trainQuantizer(t, 4, ks)
+		want := packReference(q, data)
+		got := make([]byte, data.Rows*q.CodeBytes())
+		EncodeBatch(got, q, data, 1)
+		if !bytes.Equal(got, want) {
+			t.Errorf("Ks=%d: EncodeBatch disagrees with per-vector Encode", ks)
+		}
+	}
+}
+
+func TestEncodeBatchWorkerInvariant(t *testing.T) {
+	for _, ks := range []int{16, 256} {
+		q, data := trainQuantizer(t, 4, ks)
+		ref := make([]byte, data.Rows*q.CodeBytes())
+		EncodeBatch(ref, q, data, 1)
+		for _, w := range []int{2, 3, 8} {
+			got := make([]byte, len(ref))
+			EncodeBatch(got, q, data, w)
+			if !bytes.Equal(got, ref) {
+				t.Errorf("Ks=%d workers=%d: output differs from workers=1", ks, w)
+			}
+		}
+	}
+}
+
+func TestEncodeBatchAnisotropicMatchesScalar(t *testing.T) {
+	const eta = 4.0
+	for _, ks := range []int{16, 256} {
+		q, resid := trainQuantizer(t, 4, ks)
+		points := randMatrix(resid.Rows, q.D, 9)
+
+		var want []byte
+		codes := make([]byte, 0, q.M)
+		for r := 0; r < resid.Rows; r++ {
+			codes = q.EncodeAnisotropic(codes[:0], resid.Row(r), points.Row(r), eta)
+			want = q.Pack(want, codes)
+		}
+
+		for _, w := range []int{1, 4} {
+			got := make([]byte, resid.Rows*q.CodeBytes())
+			EncodeBatchAnisotropic(got, q, resid, points, eta, w)
+			if !bytes.Equal(got, want) {
+				t.Errorf("Ks=%d workers=%d: anisotropic batch disagrees with EncodeAnisotropic", ks, w)
+			}
+		}
+
+		// eta <= 1 must reduce to the plain objective.
+		plain := make([]byte, resid.Rows*q.CodeBytes())
+		EncodeBatch(plain, q, resid, 1)
+		got := make([]byte, len(plain))
+		EncodeBatchAnisotropic(got, q, resid, points, 1, 1)
+		if !bytes.Equal(got, plain) {
+			t.Errorf("Ks=%d: eta=1 did not reduce to EncodeBatch", ks)
+		}
+	}
+}
+
+// A zero direction vector must fall back to the plain L2 codeword choice
+// in both the scalar and batch paths.
+func TestEncodeBatchAnisotropicZeroDirection(t *testing.T) {
+	q, resid := trainQuantizer(t, 4, 16)
+	points := vecmath.NewMatrix(resid.Rows, q.D) // all-zero directions
+	got := make([]byte, resid.Rows*q.CodeBytes())
+	EncodeBatchAnisotropic(got, q, resid, points, 2, 2)
+	plain := make([]byte, len(got))
+	EncodeBatch(plain, q, resid, 1)
+	if !bytes.Equal(got, plain) {
+		t.Error("zero direction did not reduce to the plain objective")
+	}
+}
+
+func TestEncodeBatchPanics(t *testing.T) {
+	q, data := trainQuantizer(t, 4, 16)
+	for name, fn := range map[string]func(){
+		"short dst": func() {
+			EncodeBatch(make([]byte, 1), q, data, 1)
+		},
+		"aniso dst": func() {
+			EncodeBatchAnisotropic(make([]byte, 1), q, data, data, 2, 1)
+		},
+		"aniso rows": func() {
+			pts := vecmath.NewMatrix(data.Rows-1, q.D)
+			EncodeBatchAnisotropic(make([]byte, data.Rows*q.CodeBytes()), q, data, pts, 2, 1)
+		},
+		"dim mismatch": func() {
+			bad := vecmath.NewMatrix(4, q.D+1)
+			NewEncoder(q).EncodePackedRows(make([]byte, 4*q.CodeBytes()), bad, 0, 4)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Training in parallel must produce the same model for any Workers value.
+func TestTrainWorkerInvariant(t *testing.T) {
+	data := randMatrix(500, 16, 12)
+	ref := Train(data, Config{M: 4, Ks: 16, Iters: 5, Seed: 3, Workers: 1})
+	for _, w := range []int{2, 4, 7} {
+		got := Train(data, Config{M: 4, Ks: 16, Iters: 5, Seed: 3, Workers: w})
+		for i := range ref.Codebooks.Data {
+			if got.Codebooks.Data[i] != ref.Codebooks.Data[i] {
+				t.Fatalf("workers=%d: codebooks differ at %d", w, i)
+			}
+		}
+	}
+}

@@ -12,9 +12,11 @@ package pq
 
 import (
 	"fmt"
+	"sync"
 
 	"anna/internal/f16"
 	"anna/internal/kmeans"
+	"anna/internal/par"
 	"anna/internal/vecmath"
 )
 
@@ -50,6 +52,28 @@ type Quantizer struct {
 	// Codebooks holds M*Ks rows of Dsub values: codeword j of sub-space i
 	// is row i*Ks+j.
 	Codebooks *vecmath.Matrix
+
+	// norms caches ‖codeword‖² per codebook row (same i*Ks+j layout),
+	// computed lazily by codewordNorms for the batch encoder's
+	// dot-product identity. Codebooks must not change once the first
+	// encoder reads the cache; every construction path (Train, ivf.Build
+	// with its f16 rounding pass, the index loader) finalizes codebooks
+	// before any encoding starts.
+	normsOnce sync.Once
+	norms     []float32
+}
+
+// codewordNorms returns the cached squared-norm table, computing it on
+// first use. Safe for concurrent callers.
+func (q *Quantizer) codewordNorms() []float32 {
+	q.normsOnce.Do(func() {
+		n := make([]float32, q.M*q.Ks)
+		for j := range n {
+			n[j] = vecmath.NormSq(q.Codebooks.Row(j))
+		}
+		q.norms = n
+	})
+	return q.norms
 }
 
 // Config controls quantizer training.
@@ -81,8 +105,25 @@ func Train(data *vecmath.Matrix, cfg Config) *Quantizer {
 		Dsub:      data.Cols / cfg.M,
 		Codebooks: vecmath.NewMatrix(cfg.M*cfg.Ks, data.Cols/cfg.M),
 	}
-	sub := vecmath.NewMatrix(data.Rows, q.Dsub)
-	for i := 0; i < q.M; i++ {
+	// The M sub-space k-means runs are independent (each has its own
+	// seed cfg.Seed+i and its own codebook rows), so they parallelize
+	// with no effect on the trained result: outer workers split the
+	// sub-spaces, leftover workers go to each run's internal passes —
+	// which are themselves Workers-invariant — and every split yields
+	// codebooks bit-identical to the serial loop.
+	workers := par.Workers(cfg.Workers)
+	outer := workers
+	if outer > cfg.M {
+		outer = cfg.M
+	}
+	inner := workers / outer
+	subs := make([]*vecmath.Matrix, outer)
+	par.Run(q.M, 1, outer, func(w, lo, _ int) {
+		i := lo
+		if subs[w] == nil {
+			subs[w] = vecmath.NewMatrix(data.Rows, q.Dsub)
+		}
+		sub := subs[w]
 		// Slice out sub-space i of every training vector.
 		for r := 0; r < data.Rows; r++ {
 			copy(sub.Row(r), data.Row(r)[i*q.Dsub:(i+1)*q.Dsub])
@@ -91,13 +132,16 @@ func Train(data *vecmath.Matrix, cfg Config) *Quantizer {
 			K:          cfg.Ks,
 			MaxIters:   cfg.Iters,
 			Seed:       cfg.Seed + int64(i),
-			Workers:    cfg.Workers,
+			Workers:    inner,
 			MaxSamples: cfg.MaxSamples,
+			// Only the codebook is consumed; skip the full-data
+			// assignment pass kmeans would otherwise run per sub-space.
+			SkipFinalAssign: true,
 		})
 		for j := 0; j < cfg.Ks; j++ {
 			q.Codebooks.SetRow(i*cfg.Ks+j, res.Centroids.Row(j))
 		}
-	}
+	})
 	return q
 }
 

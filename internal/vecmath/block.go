@@ -1,0 +1,221 @@
+package vecmath
+
+import "math"
+
+// Blocked multi-row kernels for the build/ingest pipeline. Nearest-
+// codeword and nearest-centroid searches are reformulated through the
+// identity ‖q−r‖² = ‖q‖² − 2·q·r + ‖r‖²: with row norms precomputed
+// once, each candidate costs one fused dot instead of a subtract-square
+// pass, and scanning rows four at a time reuses every loaded element of
+// q across four codewords, keeping the hot codebook slab resident in L1.
+
+// Dot4 computes the inner products of q with four equal-length vectors
+// in a single pass, loading each element of q once per four rows. Each
+// sum accumulates in the same element order as Dot, so the four results
+// are bit-identical to four separate Dot calls. It panics if any length
+// differs from len(q).
+func Dot4(q, r0, r1, r2, r3 []float32) (s0, s1, s2, s3 float32) {
+	if len(r0) != len(q) || len(r1) != len(q) || len(r2) != len(q) || len(r3) != len(q) {
+		panic("vecmath: length mismatch")
+	}
+	r0 = r0[:len(q)]
+	r1 = r1[:len(q)]
+	r2 = r2[:len(q)]
+	r3 = r3[:len(q)]
+	for i, x := range q {
+		s0 += x * r0[i]
+		s1 += x * r1[i]
+		s2 += x * r2[i]
+		s3 += x * r3[i]
+	}
+	return
+}
+
+// ArgMinNormMinus2Dot returns the index j of the row of m minimizing
+// norms[j] − 2·(q·row_j), and that minimal value. With norms[j] = ‖row_j‖²
+// this orders rows by squared L2 distance to q shifted by the constant
+// −‖q‖², so the argmin is the nearest row without any per-element
+// subtraction; add ‖q‖² back (clamping at zero) to recover the distance.
+// Ties resolve to the lowest index. The result is a pure function of
+// (m, norms, q) — independent of scheduling and worker count — which is
+// what makes the batch encode/assign paths bit-reproducible. It panics
+// on an empty matrix or mismatched dimensions.
+func ArgMinNormMinus2Dot(m *Matrix, norms, q []float32) (int, float32) {
+	if len(q) != m.Cols || len(norms) != m.Rows {
+		panic("vecmath: ArgMinNormMinus2Dot dimension mismatch")
+	}
+	if m.Rows == 0 {
+		panic("vecmath: ArgMinNormMinus2Dot of empty matrix")
+	}
+	// PQ sub-spaces are tiny (Dsub is 2, 4 or 8 for the paper's shapes);
+	// there the loop overhead of the generic path dwarfs the arithmetic,
+	// so fully unrolled one-row-per-iteration kernels take over.
+	switch m.Cols {
+	case 2:
+		return argMinNM2Dim2(m.Data, norms, q)
+	case 4:
+		return argMinNM2Dim4(m.Data, norms, q)
+	case 8:
+		return argMinNM2Dim8(m.Data, norms, q)
+	}
+	best := 0
+	bv := float32(math.Inf(1))
+	d := m.Cols
+	j := 0
+	for ; j+4 <= m.Rows; j += 4 {
+		base := j * d
+		s0, s1, s2, s3 := Dot4(q,
+			m.Data[base:base+d],
+			m.Data[base+d:base+2*d],
+			m.Data[base+2*d:base+3*d],
+			m.Data[base+3*d:base+4*d])
+		if v := norms[j] - 2*s0; v < bv {
+			best, bv = j, v
+		}
+		if v := norms[j+1] - 2*s1; v < bv {
+			best, bv = j+1, v
+		}
+		if v := norms[j+2] - 2*s2; v < bv {
+			best, bv = j+2, v
+		}
+		if v := norms[j+3] - 2*s3; v < bv {
+			best, bv = j+3, v
+		}
+	}
+	for ; j < m.Rows; j++ {
+		if v := norms[j] - 2*Dot(q, m.Row(j)); v < bv {
+			best, bv = j, v
+		}
+	}
+	return best, bv
+}
+
+// Small-dimension argmin kernels. Each unrolled dot reduces as a
+// pairwise tree — a fixed association order, so results are fully
+// deterministic, but the rounding can differ from the generic
+// left-to-right loop on the last bit. Dimension dispatch is by Cols,
+// so any given matrix shape always takes the same path.
+
+func argMinNM2Dim2(data, norms, q []float32) (int, float32) {
+	q0, q1 := q[0], q[1]
+	best, bv := 0, float32(math.Inf(1))
+	for j := range norms {
+		b := j * 2
+		s := q0*data[b] + q1*data[b+1]
+		if v := norms[j] - 2*s; v < bv {
+			best, bv = j, v
+		}
+	}
+	return best, bv
+}
+
+func argMinNM2Dim4(data, norms, q []float32) (int, float32) {
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	best, bv := 0, float32(math.Inf(1))
+	for j := range norms {
+		b := j * 4
+		s := (q0*data[b] + q1*data[b+1]) + (q2*data[b+2] + q3*data[b+3])
+		if v := norms[j] - 2*s; v < bv {
+			best, bv = j, v
+		}
+	}
+	return best, bv
+}
+
+func argMinNM2Dim8(data, norms, q []float32) (int, float32) {
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	q4, q5, q6, q7 := q[4], q[5], q[6], q[7]
+	best, bv := 0, float32(math.Inf(1))
+	for j := range norms {
+		b := j * 8
+		s := ((q0*data[b] + q1*data[b+1]) + (q2*data[b+2] + q3*data[b+3])) +
+			((q4*data[b+4] + q5*data[b+5]) + (q6*data[b+6] + q7*data[b+7]))
+		if v := norms[j] - 2*s; v < bv {
+			best, bv = j, v
+		}
+	}
+	return best, bv
+}
+
+// ArgMinNormMinus2Dot2 runs ArgMinNormMinus2Dot for two queries in one
+// pass over m, loading each row once for both — the assign/encode inner
+// loops feed point pairs through it to double the independent
+// floating-point chains in flight. Results are bit-identical to two
+// separate single-query calls (identical association order).
+func ArgMinNormMinus2Dot2(m *Matrix, norms, qa, qb []float32) (besta int, bva float32, bestb int, bvb float32) {
+	if len(qa) != m.Cols || len(qb) != m.Cols || len(norms) != m.Rows {
+		panic("vecmath: ArgMinNormMinus2Dot2 dimension mismatch")
+	}
+	if m.Rows == 0 {
+		panic("vecmath: ArgMinNormMinus2Dot2 of empty matrix")
+	}
+	switch m.Cols {
+	case 2:
+		return argMinNM2Dim2x2(m.Data, norms, qa, qb)
+	case 4:
+		return argMinNM2Dim4x2(m.Data, norms, qa, qb)
+	}
+	besta, bva = ArgMinNormMinus2Dot(m, norms, qa)
+	bestb, bvb = ArgMinNormMinus2Dot(m, norms, qb)
+	return
+}
+
+func argMinNM2Dim2x2(data, norms, qa, qb []float32) (ia int, va float32, ib int, vb float32) {
+	a0, a1 := qa[0], qa[1]
+	b0, b1 := qb[0], qb[1]
+	va, vb = float32(math.Inf(1)), float32(math.Inf(1))
+	for j := range norms {
+		p := j * 2
+		d0, d1 := data[p], data[p+1]
+		n := norms[j]
+		if v := n - 2*(a0*d0+a1*d1); v < va {
+			ia, va = j, v
+		}
+		if v := n - 2*(b0*d0+b1*d1); v < vb {
+			ib, vb = j, v
+		}
+	}
+	return
+}
+
+func argMinNM2Dim4x2(data, norms, qa, qb []float32) (ia int, va float32, ib int, vb float32) {
+	a0, a1, a2, a3 := qa[0], qa[1], qa[2], qa[3]
+	b0, b1, b2, b3 := qb[0], qb[1], qb[2], qb[3]
+	va, vb = float32(math.Inf(1)), float32(math.Inf(1))
+	for j := range norms {
+		p := j * 4
+		d0, d1, d2, d3 := data[p], data[p+1], data[p+2], data[p+3]
+		n := norms[j]
+		sa := (a0*d0 + a1*d1) + (a2*d2 + a3*d3)
+		sb := (b0*d0 + b1*d1) + (b2*d2 + b3*d3)
+		if v := n - 2*sa; v < va {
+			ia, va = j, v
+		}
+		if v := n - 2*sb; v < vb {
+			ib, vb = j, v
+		}
+	}
+	return
+}
+
+// DotBatch2 computes q1·row and q2·row for every row of m in one pass,
+// loading each row element once for both queries. The anisotropic batch
+// encoder uses it to get codeword dots against both the residual and the
+// parallel direction from a single codebook scan. It panics if
+// dimensions disagree.
+func DotBatch2(out1, out2 []float32, m *Matrix, q1, q2 []float32) {
+	if len(q1) != m.Cols || len(q2) != m.Cols || len(out1) != m.Rows || len(out2) != m.Rows {
+		panic("vecmath: DotBatch2 dimension mismatch")
+	}
+	q2 = q2[:len(q1)]
+	for j := 0; j < m.Rows; j++ {
+		r := m.Row(j)[:len(q1)]
+		var s1, s2 float32
+		for i, x := range r {
+			s1 += x * q1[i]
+			s2 += x * q2[i]
+		}
+		out1[j] = s1
+		out2[j] = s2
+	}
+}

@@ -1,0 +1,172 @@
+package vecmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randVec(n int, rng *rand.Rand) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func randMat(rows, cols int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// Dot4 is documented bit-identical to four separate Dot calls.
+func TestDot4MatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 2, 3, 7, 16, 33} {
+		q := randVec(d, rng)
+		r := [][]float32{randVec(d, rng), randVec(d, rng), randVec(d, rng), randVec(d, rng)}
+		s0, s1, s2, s3 := Dot4(q, r[0], r[1], r[2], r[3])
+		for i, s := range []float32{s0, s1, s2, s3} {
+			if want := Dot(q, r[i]); s != want {
+				t.Errorf("d=%d: Dot4 result %d = %v, Dot = %v", d, i, s, want)
+			}
+		}
+	}
+}
+
+// naiveArgMin is the definitional reference: scalar norms[j] − 2·q·row_j
+// with left-to-right dots, first-wins ties.
+func naiveArgMin(m *Matrix, norms, q []float32) (int, float32) {
+	best, bv := 0, float32(0)
+	for j := 0; j < m.Rows; j++ {
+		var dot float32
+		row := m.Row(j)
+		for i, x := range q {
+			dot += x * row[i]
+		}
+		if v := norms[j] - 2*dot; j == 0 || v < bv {
+			best, bv = j, v
+		}
+	}
+	return best, bv
+}
+
+// The argmin index must match the scalar reference on every dimension
+// path (unrolled 2/4/8 kernels and the generic blocked loop). The value
+// may differ in the last bit on the unrolled paths (pairwise-tree
+// association), so indices are compared exactly and values loosely.
+func TestArgMinNormMinus2DotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{2, 3, 4, 5, 8, 16, 32} {
+		for _, rows := range []int{1, 2, 3, 4, 5, 7, 16, 100, 257} {
+			m := randMat(rows, d, rng)
+			norms := make([]float32, rows)
+			for j := range norms {
+				norms[j] = NormSq(m.Row(j))
+			}
+			q := randVec(d, rng)
+			gi, gv := ArgMinNormMinus2Dot(m, norms, q)
+			ni, nv := naiveArgMin(m, norms, q)
+			if gi != ni {
+				t.Fatalf("d=%d rows=%d: argmin %d (%v), naive %d (%v)", d, rows, gi, gv, ni, nv)
+			}
+			rel := float64(gv-nv) / (1 + float64(nv)*float64(nv))
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > 1e-4 {
+				t.Fatalf("d=%d rows=%d: value %v vs naive %v", d, rows, gv, nv)
+			}
+		}
+	}
+}
+
+// Ties must resolve to the lowest index on the generic path (the
+// documented contract; kernels start from +Inf so row 0 always wins its
+// own value).
+func TestArgMinTiesFirstWins(t *testing.T) {
+	for _, d := range []int{2, 4, 8, 16} {
+		m := NewMatrix(5, d)
+		row := make([]float32, d)
+		for i := range row {
+			row[i] = 1
+		}
+		for j := 0; j < 5; j++ {
+			m.SetRow(j, row) // all rows identical → all values tie
+		}
+		norms := make([]float32, 5)
+		for j := range norms {
+			norms[j] = NormSq(m.Row(j))
+		}
+		q := make([]float32, d)
+		q[0] = 3
+		if best, _ := ArgMinNormMinus2Dot(m, norms, q); best != 0 {
+			t.Errorf("d=%d: tie resolved to %d, want 0", d, best)
+		}
+	}
+}
+
+// ArgMinNormMinus2Dot2 is documented bit-identical to two single-query
+// calls on every dimension path.
+func TestArgMin2MatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []int{2, 3, 4, 8, 16} {
+		for _, rows := range []int{1, 4, 33, 256} {
+			m := randMat(rows, d, rng)
+			norms := make([]float32, rows)
+			for j := range norms {
+				norms[j] = NormSq(m.Row(j))
+			}
+			qa, qb := randVec(d, rng), randVec(d, rng)
+			ia, va, ib, vb := ArgMinNormMinus2Dot2(m, norms, qa, qb)
+			wia, wva := ArgMinNormMinus2Dot(m, norms, qa)
+			wib, wvb := ArgMinNormMinus2Dot(m, norms, qb)
+			if ia != wia || va != wva || ib != wib || vb != wvb {
+				t.Fatalf("d=%d rows=%d: pair (%d,%v,%d,%v), single (%d,%v,%d,%v)",
+					d, rows, ia, va, ib, vb, wia, wva, wib, wvb)
+			}
+		}
+	}
+}
+
+func TestArgMinPanics(t *testing.T) {
+	m := randMat(3, 4, rand.New(rand.NewSource(4)))
+	norms := []float32{0, 0, 0}
+	for name, fn := range map[string]func(){
+		"dim mismatch":   func() { ArgMinNormMinus2Dot(m, norms, make([]float32, 5)) },
+		"norms mismatch": func() { ArgMinNormMinus2Dot(m, norms[:2], make([]float32, 4)) },
+		"empty":          func() { ArgMinNormMinus2Dot(&Matrix{Cols: 4}, nil, make([]float32, 4)) },
+		"pair mismatch":  func() { ArgMinNormMinus2Dot2(m, norms, make([]float32, 4), make([]float32, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// DotBatch2 must agree with per-row Dot on both outputs.
+func TestDotBatch2MatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []int{1, 4, 9, 32} {
+		m := randMat(17, d, rng)
+		q1, q2 := randVec(d, rng), randVec(d, rng)
+		o1 := make([]float32, m.Rows)
+		o2 := make([]float32, m.Rows)
+		DotBatch2(o1, o2, m, q1, q2)
+		for j := 0; j < m.Rows; j++ {
+			if want := Dot(q1, m.Row(j)); o1[j] != want {
+				t.Errorf("d=%d row %d: out1 %v, want %v", d, j, o1[j], want)
+			}
+			if want := Dot(q2, m.Row(j)); o2[j] != want {
+				t.Errorf("d=%d row %d: out2 %v, want %v", d, j, o2[j], want)
+			}
+		}
+	}
+}

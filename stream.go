@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"time"
 
 	"anna/internal/dataset"
 	"anna/internal/vecmath"
@@ -21,11 +23,20 @@ type StreamBuildOptions struct {
 	// ChunkSize bounds the vectors resident during the streaming phase
 	// (default 8192).
 	ChunkSize int
-	// Progress, when non-nil, is invoked after training and after every
-	// flushed chunk with the total number of vectors ingested so far —
-	// the hook long ingestions report liveness through (a log line, an
-	// ingest gauge). It runs on the building goroutine; keep it cheap.
+	// Progress, when non-nil, is invoked with the total number of
+	// vectors ingested so far: once with 0 when model training starts,
+	// once when training finishes (the sample is indexed), and after
+	// every flushed chunk — the hook long ingestions report liveness
+	// through (a log line, an ingest gauge). Except for ProgressEvery
+	// heartbeats it runs on the building goroutine; keep it cheap.
 	Progress func(ingested int)
+	// ProgressEvery, when positive and Progress is set, additionally
+	// fires Progress(0) at this period from a helper goroutine while the
+	// model trains, so large parallel builds show liveness before the
+	// first vectors are indexed. The heartbeat goroutine is stopped (and
+	// waited for) before the post-training Progress call, so Progress is
+	// never invoked concurrently with itself.
+	ProgressEvery time.Duration
 }
 
 // BuildIndexFromFvecs trains and populates an index from an fvecs stream
@@ -56,7 +67,31 @@ func BuildIndexFromFvecs(r io.Reader, metric Metric, opt StreamBuildOptions) (*I
 	if len(sample) == 0 {
 		return nil, fmt.Errorf("anna: empty fvecs stream")
 	}
+	if opt.Progress != nil {
+		opt.Progress(0) // training starts; nothing ingested yet
+	}
+	stopHeartbeat := func() {}
+	if opt.Progress != nil && opt.ProgressEvery > 0 {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(opt.ProgressEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					opt.Progress(0)
+				}
+			}
+		}()
+		stopHeartbeat = func() { close(done); wg.Wait() }
+	}
 	idx, err := BuildIndex(sample, metric, opt.BuildOptions)
+	stopHeartbeat()
 	if err != nil {
 		return nil, err
 	}

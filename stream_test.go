@@ -3,6 +3,7 @@ package anna
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"anna/internal/dataset"
 	"anna/internal/vecmath"
@@ -155,8 +156,9 @@ func TestTuneW(t *testing.T) {
 	}
 }
 
-// Progress fires after training and after every flushed chunk, with a
-// monotonically increasing ingested count ending at the stream length.
+// Progress fires at training start, after training, and after every
+// flushed chunk, with a monotonically increasing ingested count ending
+// at the stream length.
 func TestStreamingBuildProgress(t *testing.T) {
 	base := clusteredVectors(3000, 16, 8, 61)
 	var calls []int
@@ -170,8 +172,9 @@ func TestStreamingBuildProgress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 1000 trained + 2000 streamed in chunks of 600: 1000, 1600, 2200, 2800, 3000.
-	want := []int{1000, 1600, 2200, 2800, 3000}
+	// Training start, 1000 trained, then 2000 streamed in chunks of 600:
+	// 0, 1000, 1600, 2200, 2800, 3000.
+	want := []int{0, 1000, 1600, 2200, 2800, 3000}
 	if len(calls) != len(want) {
 		t.Fatalf("progress calls %v, want %v", calls, want)
 	}
@@ -181,6 +184,44 @@ func TestStreamingBuildProgress(t *testing.T) {
 		}
 	}
 	if idx.Len() != 3000 {
+		t.Fatalf("indexed %d", idx.Len())
+	}
+}
+
+// ProgressEvery heartbeats report liveness (as Progress(0)) only while
+// the model trains: every zero call precedes the first nonzero ingested
+// count, and the heartbeat goroutine is stopped before the post-training
+// call, so recording into a plain slice here is race-free.
+func TestStreamingBuildProgressHeartbeat(t *testing.T) {
+	base := clusteredVectors(4000, 16, 16, 62)
+	var calls []int
+	opt := StreamBuildOptions{
+		BuildOptions:  BuildOptions{NClusters: 16, M: 4, Ks: 16, TrainIters: 6, Seed: 3},
+		SampleSize:    2000,
+		ChunkSize:     1000,
+		ProgressEvery: time.Millisecond,
+		Progress:      func(n int) { calls = append(calls, n) },
+	}
+	idx, err := BuildIndexFromFvecs(bytes.NewReader(fvecsBytes(t, base)), L2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 || calls[0] != 0 {
+		t.Fatalf("first progress call not the training-start 0: %v", calls)
+	}
+	seenNonzero := false
+	for _, n := range calls {
+		if n == 0 && seenNonzero {
+			t.Fatalf("heartbeat fired after training finished: %v", calls)
+		}
+		if n != 0 {
+			seenNonzero = true
+		}
+	}
+	if last := calls[len(calls)-1]; last != 4000 {
+		t.Fatalf("final progress %d, want 4000 (calls %v)", last, calls)
+	}
+	if idx.Len() != 4000 {
 		t.Fatalf("indexed %d", idx.Len())
 	}
 }

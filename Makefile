@@ -1,8 +1,9 @@
-# Offline, stdlib-only Go module — every target works without network.
+# Offline, stdlib-only Go module — every target works without network,
+# except `make lint`, which fetches its pinned analyzer (see below).
 
 GO ?= go
 
-.PHONY: all build test race check bench benchall vet fmt fmt-check bench-smoke fuzz-smoke ci examples experiments clean
+.PHONY: all build test race check bench benchall vet fmt fmt-check bench-smoke fuzz-smoke ci lint examples experiments clean
 
 all: build vet test
 
@@ -17,7 +18,17 @@ race:
 
 # Mirrors .github/workflows/ci.yml exactly (same commands, same package
 # lists) so a green `make ci` means a green CI run. Keep in sync.
+# (lint is the one exception: it resolves staticcheck over the network,
+# so CI runs it as its own job and `make ci` stays offline.)
 ci: fmt-check build vet test ci-race fuzz-smoke bench-smoke
+
+# Static analysis beyond go vet. The only networked target in this file:
+# `go run pkg@version` fetches the pinned staticcheck on first use (and
+# caches it), so it lives outside `make ci` and runs as a dedicated CI
+# job instead.
+STATICCHECK_VERSION ?= 2025.1.1
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -25,10 +36,11 @@ fmt-check:
 
 # The CI race job: engine worker pool, fused scan path, parallel
 # build/ingest pipeline (kmeans, pq batch encoder, ivf build), metrics
-# instruments, WAL, HTTP serving layer.
+# instruments, trace ring, WAL, HTTP serving layer (incl. the shadow
+# recall sampler).
 .PHONY: ci-race
 ci-race:
-	$(GO) test -race ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/wal/... .
+	$(GO) test -race ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/trace/... ./internal/wal/... .
 
 # The CI fuzz-smoke job: hammer both durable-input decoders — the index
 # loader and the WAL reader — with coverage-guided corrupt inputs. A

@@ -9,13 +9,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"anna"
 	"anna/internal/dataset"
+	"anna/internal/trace"
 )
 
 func main() {
@@ -30,6 +33,7 @@ func main() {
 		rerank    = flag.Int("rerank", 0, "re-rank factor (>0 refines top-k*factor candidates; index must be trained with -rerank)")
 		show      = flag.Int("show", 5, "results printed per query")
 		seed      = flag.Int64("seed", 7, "seed for -random")
+		traceOn   = flag.Bool("trace", false, "print per-stage span timings for the batch (select/scan/merge; rerank and simulate where applicable)")
 	)
 	flag.Parse()
 
@@ -68,9 +72,20 @@ func main() {
 		fatalf("provide -queries or -random")
 	}
 
+	// With -trace, the batch runs with a trace attached: the engine
+	// records its select/scan/merge stage spans into it (the same
+	// plumbing annaserve uses), and the rerank / simulate arms add
+	// their own spans.
+	var tr *trace.Trace
+	if *traceOn {
+		tr = trace.New(trace.NewID())
+		tr.Queries, tr.W, tr.K, tr.Backend = len(qs), *w, *k, *backend
+	}
+
 	var results [][]anna.Result
 	switch {
 	case *rerank > 0:
+		base := time.Now()
 		results = make([][]anna.Result, len(qs))
 		for i, q := range qs {
 			rs, err := idx.SearchRerank(q, *w, *k, *rerank)
@@ -79,9 +94,16 @@ func main() {
 			}
 			results[i] = rs
 		}
+		if tr != nil {
+			tr.AddSpan("rerank", time.Since(base))
+		}
 		fmt.Printf("software engine with %dx re-ranking\n", *rerank)
 	case *backend == "software":
-		rep, err := idx.SearchBatch(qs, anna.SearchOptions{
+		ctx := context.Background()
+		if tr != nil {
+			ctx = trace.NewContext(ctx, tr)
+		}
+		rep, err := idx.SearchBatchContext(ctx, qs, anna.SearchOptions{
 			W: *w, K: *k, Mode: anna.ClusterMajor,
 		})
 		if err != nil {
@@ -99,15 +121,30 @@ func main() {
 		if err != nil {
 			fatalf("configuring accelerator: %v", err)
 		}
+		simStart := time.Now()
 		rep, err := acc.Simulate(qs, anna.SimParams{W: *w, K: *k})
 		if err != nil {
 			fatalf("simulating: %v", err)
+		}
+		if tr != nil {
+			tr.AddSpan("simulate", time.Since(simStart))
 		}
 		results = rep.Results
 		fmt.Printf("simulated ANNA: %d cycles, %.0f QPS, %.3f ms latency, %d B traffic\n",
 			rep.Cycles, rep.QPS, rep.MeanLatencySeconds*1e3, rep.TrafficBytes)
 	default:
 		fatalf("unknown backend %q", *backend)
+	}
+
+	if tr != nil {
+		tr.Finish(0)
+		fmt.Printf("trace %s: %d queries in %v\n", tr.ID, tr.Queries, tr.Total.Round(time.Microsecond))
+		for _, sp := range tr.Spans {
+			fmt.Printf("  %-10s %v\n", sp.Name, sp.Duration.Round(time.Microsecond))
+		}
+		if tr.Scanned > 0 {
+			fmt.Printf("  %-10s %d vectors\n", "scanned", tr.Scanned)
+		}
 	}
 
 	for qi, rs := range results {

@@ -29,6 +29,12 @@
 // running, bounds each search by -timeout, and drains in-flight
 // requests for up to -grace after SIGINT/SIGTERM before exiting (with a
 // final snapshot when -data is set).
+//
+// Observability: logs are structured (-log text|json), 1-in-N queries
+// are traced (-trace-sample) into /debug/queries, requests slower than
+// -slow are logged, and -recall-fvecs starts a shadow recall estimator
+// that re-ranks sampled queries against exact search over that corpus
+// and publishes live recall@k on /metrics.
 package main
 
 import (
@@ -36,7 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,7 +50,20 @@ import (
 	"time"
 
 	"anna"
+	"anna/internal/dataset"
 )
+
+// newLogger builds the process-wide structured logger from -log.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log must be text or json (got %q)", format)
+	}
+}
 
 // parseSyncPolicy maps the -wal-sync flag to store options: "always",
 // "none", or a group-commit interval like "100ms".
@@ -64,25 +83,34 @@ func parseSyncPolicy(s string) (anna.StoreOptions, error) {
 }
 
 // openStore recovers the store in dir, seeding it from indexPath when the
-// directory holds no snapshot yet.
-func openStore(dir, indexPath string, opt anna.StoreOptions) (*anna.Store, error) {
+// directory holds no snapshot yet. Recovery details (replayed records,
+// torn bytes) are logged by the store itself through opt.Logger.
+func openStore(dir, indexPath string, opt anna.StoreOptions, logger *slog.Logger) (*anna.Store, error) {
 	if anna.StoreExists(dir) {
-		st, err := anna.OpenStore(dir, opt)
-		if err != nil {
-			return nil, err
-		}
-		if n, torn := st.ReplayedRecords(), st.TornBytes(); n > 0 || torn > 0 {
-			log.Printf("annaserve: recovered %s: replayed %d WAL record(s), discarded %d torn byte(s)",
-				dir, n, torn)
-		}
-		return st, nil
+		return anna.OpenStore(dir, opt)
 	}
 	idx, err := anna.LoadIndexFile(indexPath)
 	if err != nil {
 		return nil, fmt.Errorf("seeding %s from %s: %w", dir, indexPath, err)
 	}
-	log.Printf("annaserve: initialising data directory %s from %s", dir, indexPath)
+	logger.Info("initialising data directory", "dir", dir, "seed_index", indexPath)
 	return anna.CreateStore(dir, idx, opt)
+}
+
+// newRecallEstimator loads the reference corpus and starts the shadow
+// recall worker.
+func newRecallEstimator(path string, metric anna.Metric, every, k int) (*anna.RecallEstimator, error) {
+	mtx, err := dataset.LoadFvecsFile(path, 0)
+	if err != nil {
+		return nil, fmt.Errorf("reading recall corpus %s: %w", path, err)
+	}
+	corpus := make([][]float32, mtx.Rows)
+	for i := range corpus {
+		corpus[i] = mtx.Row(i)
+	}
+	return anna.NewRecallEstimator(corpus, metric, &anna.RecallEstimatorOptions{
+		SampleEvery: every, K: k,
+	})
 }
 
 func main() {
@@ -101,29 +129,46 @@ func main() {
 		walSync     = flag.String("wal-sync", "always", `WAL fsync policy: "always", "none", or a group-commit interval like "100ms"`)
 		snapEvery   = flag.Int("snapshot-every", 0, "auto-snapshot after this many added vectors (0 = only /admin/snapshot and shutdown)")
 		workers     = flag.Int("workers", 0, "ingest parallelism for /add and WAL replay (0 = GOMAXPROCS); the index is byte-identical for any value")
+		logFormat   = flag.String("log", "text", `structured log format: "text" or "json"`)
+		slowQuery   = flag.Duration("slow", 250*time.Millisecond, "log /search requests slower than this (negative = never)")
+		traceSample = flag.Int("trace-sample", 64, "trace 1-in-N untagged queries into /debug/queries (negative = only X-Request-ID-tagged queries)")
+		traceRing   = flag.Int("trace-ring", 256, "recent traces buffered for /debug/queries")
+		recallFvecs = flag.String("recall-fvecs", "", "fvecs reference corpus for live shadow recall estimation (empty = disabled)")
+		recallEvery = flag.Int("recall-every", 100, "shadow-check 1-in-N served queries against exact search (with -recall-fvecs)")
+		recallK     = flag.Int("recall-k", 10, "recall@K depth of the shadow estimator (with -recall-fvecs)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "annaserve: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	var (
 		idx   *anna.Index
 		store *anna.Store
-		err   error
 	)
 	if *dataDir != "" {
 		opt, perr := parseSyncPolicy(*walSync)
 		if perr != nil {
-			log.Fatalf("annaserve: %v", perr)
+			fatal(perr.Error())
 		}
 		opt.Workers = *workers
-		store, err = openStore(*dataDir, *indexPath, opt)
+		opt.Logger = logger
+		store, err = openStore(*dataDir, *indexPath, opt, logger)
 		if err != nil {
-			log.Fatalf("annaserve: opening store: %v", err)
+			fatal("opening store failed", "err", err)
 		}
 		idx = store.Index()
 	} else {
 		idx, err = anna.LoadIndexFile(*indexPath)
 		if err != nil {
-			log.Fatalf("annaserve: loading index: %v", err)
+			fatal("loading index failed", "index", *indexPath, "err", err)
 		}
 		idx.SetIngestWorkers(*workers)
 	}
@@ -136,6 +181,20 @@ func main() {
 	srv.DisablePprof = !*pprofOn
 	srv.Store = store
 	srv.SnapshotEvery = *snapEvery
+	srv.Logger = logger
+	srv.SlowQuery = *slowQuery
+	srv.TraceSampleEvery = *traceSample
+	srv.TraceRingSize = *traceRing
+	if *recallFvecs != "" {
+		est, err := newRecallEstimator(*recallFvecs, idx.Metric(), *recallEvery, *recallK)
+		if err != nil {
+			fatal("starting recall estimator failed", "err", err)
+		}
+		defer est.Close()
+		srv.Recall = est
+		logger.Info("shadow recall estimator running",
+			"corpus", *recallFvecs, "sample_every", *recallEvery, "k", *recallK)
+	}
 	if *withAccel {
 		cfg := anna.DefaultAcceleratorConfig()
 		if *defaultK > cfg.TopK {
@@ -143,7 +202,7 @@ func main() {
 		}
 		acc, err := anna.NewAccelerator(idx, cfg)
 		if err != nil {
-			log.Fatalf("annaserve: configuring accelerator: %v", err)
+			fatal("configuring accelerator failed", "err", err)
 		}
 		srv.Accelerator = acc
 	}
@@ -163,34 +222,34 @@ func main() {
 	if store != nil {
 		durable = fmt.Sprintf("durable in %s (wal-sync %s)", *dataDir, *walSync)
 	}
-	fmt.Printf("annaserve: %d vectors (dim %d, %v) on %s, %s\n",
-		idx.Len(), idx.Dim(), idx.Metric(), *addr, durable)
+	logger.Info("serving", "vectors", idx.Len(), "dim", idx.Dim(),
+		"metric", idx.Metric().String(), "addr", *addr, "mode", durable)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("annaserve: %v", err)
+		fatal("server failed", "err", err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills immediately
-		log.Printf("annaserve: signal received, draining for up to %v", *grace)
+		logger.Info("signal received, draining", "grace", *grace)
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
-			log.Printf("annaserve: drain window expired, closing: %v", err)
+			logger.Warn("drain window expired, closing", "err", err)
 			hs.Close()
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("annaserve: %v", err)
+			logger.Error("server error during shutdown", "err", err)
 		}
 		if store != nil {
 			// Checkpoint so the next start replays an empty WAL. Failure
 			// is not fatal: the WAL still holds everything acknowledged.
 			if err := store.Snapshot(); err != nil {
-				log.Printf("annaserve: shutdown snapshot: %v", err)
+				logger.Error("shutdown snapshot failed", "err", err)
 			}
 			if err := store.Close(); err != nil {
-				log.Printf("annaserve: closing store: %v", err)
+				logger.Error("closing store failed", "err", err)
 			}
 		}
-		log.Printf("annaserve: shut down cleanly")
+		logger.Info("shut down cleanly")
 	}
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
@@ -23,6 +24,7 @@ import (
 
 func main() {
 	var (
+		logFormat = flag.String("log", "", `structured log output: "text" or "json" (default: plain prints)`)
 		fvecs     = flag.String("fvecs", "", "fvecs file with database vectors")
 		maxRows   = flag.Int("maxrows", 0, "cap on vectors read from the fvecs file (0 = all)")
 		synthetic = flag.String("synthetic", "", "synthetic generator: sift, deep, glove or tti")
@@ -43,6 +45,30 @@ func main() {
 	)
 	flag.Parse()
 
+	// say reports a build milestone: through slog when -log selects a
+	// structured format, as a plain key=value line otherwise.
+	var logger *slog.Logger
+	switch *logFormat {
+	case "":
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fatalf(`-log must be "text" or "json" (got %q)`, *logFormat)
+	}
+	say := func(msg string, args ...any) {
+		if logger != nil {
+			logger.Info(msg, args...)
+			return
+		}
+		fmt.Print(msg)
+		for i := 0; i+1 < len(args); i += 2 {
+			fmt.Printf(" %v=%v", args[i], args[i+1])
+		}
+		fmt.Println()
+	}
+
 	var vectors [][]float32
 	met := anna.L2
 
@@ -56,7 +82,7 @@ func main() {
 		for i := range vectors {
 			vectors[i] = mtx.Row(i)
 		}
-		fmt.Printf("loaded %d vectors of dim %d from %s\n", mtx.Rows, mtx.Cols, *fvecs)
+		say("loaded fvecs", "vectors", mtx.Rows, "dim", mtx.Cols, "path", *fvecs)
 	case *synthetic != "":
 		var spec dataset.Spec
 		switch *synthetic {
@@ -78,7 +104,7 @@ func main() {
 		for i := range vectors {
 			vectors[i] = ds.Base.Row(i)
 		}
-		fmt.Printf("generated %d synthetic %s-like vectors of dim %d\n", ds.N(), *synthetic, ds.D())
+		say("generated synthetic vectors", "vectors", ds.N(), "kind", *synthetic, "dim", ds.D())
 	default:
 		fatalf("provide -fvecs or -synthetic (see -h)")
 	}
@@ -97,7 +123,7 @@ func main() {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("training on %d vectors (%d workers)\n", len(vectors), w)
+	say("training", "vectors", len(vectors), "workers", w)
 	start := time.Now()
 	idx, err := anna.BuildIndex(vectors, met, anna.BuildOptions{
 		NClusters: *c, M: *m, Ks: *ks,
@@ -112,10 +138,10 @@ func main() {
 		fatalf("building index: %v", err)
 	}
 	st := idx.Stats()
-	fmt.Printf("trained in %v: %d clusters (lists %d..%d), %d B/code, %.1f:1 compression\n",
-		time.Since(start).Round(time.Millisecond),
-		st.Clusters, st.MinListLen, st.MaxListLen,
-		st.CodeBytesPerVector, st.CompressionRatio)
+	say("trained", "duration", time.Since(start).Round(time.Millisecond),
+		"clusters", st.Clusters, "min_list", st.MinListLen, "max_list", st.MaxListLen,
+		"code_bytes", st.CodeBytesPerVector,
+		"compression", fmt.Sprintf("%.1f:1", st.CompressionRatio))
 
 	if err := idx.SaveFile(*out); err != nil {
 		fatalf("saving: %v", err)
@@ -124,7 +150,7 @@ func main() {
 	if err != nil {
 		fatalf("stat: %v", err)
 	}
-	fmt.Printf("wrote %s (%d bytes)\n", *out, fi.Size())
+	say("wrote index", "path", *out, "bytes", fi.Size())
 }
 
 func fatalf(format string, args ...any) {

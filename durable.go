@@ -3,6 +3,7 @@ package anna
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -52,6 +53,10 @@ type StoreOptions struct {
 	// OpenStore and to every Add served afterwards. 0 = GOMAXPROCS; the
 	// resulting index is byte-identical for any value.
 	Workers int
+	// Logger receives structured lifecycle events: store creation,
+	// recovery (replayed records, torn bytes) and snapshots, with
+	// durations and sizes attached. Nil silences them.
+	Logger *slog.Logger
 }
 
 func (o StoreOptions) walOptions() wal.Options {
@@ -86,7 +91,14 @@ type Store struct {
 	replayed  int
 	tornBytes int64
 	lastSnap  atomic.Int64 // unix nanos of the last completed snapshot
+	snapDur   atomic.Int64 // duration of the last snapshot write, nanos
+	snapSize  atomic.Int64 // byte size of the snapshot file
+	snapshots atomic.Uint64
 }
+
+// logger returns the configured structured logger, or nil when the
+// store should stay silent.
+func (st *Store) logger() *slog.Logger { return st.opt.Logger }
 
 // StoreExists reports whether dir already holds a store snapshot.
 func StoreExists(dir string) bool {
@@ -121,6 +133,13 @@ func CreateStore(dir string, idx *Index, opt StoreOptions) (*Store, error) {
 	}
 	st := &Store{dir: dir, idx: idx, log: log, opt: opt}
 	st.lastSnap.Store(time.Now().UnixNano())
+	if fi, err := os.Stat(snap); err == nil {
+		st.snapSize.Store(fi.Size())
+	}
+	if l := st.logger(); l != nil {
+		l.Info("store created", "dir", dir, "vectors", idx.Len(),
+			"snapshot_bytes", st.snapSize.Load())
+	}
 	return st, nil
 }
 
@@ -161,6 +180,14 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 	}
 	st.log = log
 	st.tornBytes = rec.TornBytes
+	if fi, err := os.Stat(snap); err == nil {
+		st.snapSize.Store(fi.Size())
+	}
+	if l := st.logger(); l != nil {
+		l.Info("store recovered", "dir", dir, "vectors", st.idx.Len(),
+			"replayed_records", st.replayed, "torn_bytes", rec.TornBytes,
+			"wal_records", log.Records(), "wal_bytes", log.Size())
+	}
 	return st, nil
 }
 
@@ -219,6 +246,17 @@ func (st *Store) WALStats() (appends, fsyncs, bytes uint64) { return st.log.Stat
 // SetOnSync registers a hook run after every WAL fsync (metrics).
 func (st *Store) SetOnSync(fn func()) { st.log.SetOnSync(fn) }
 
+// SetSyncObserver registers a hook receiving every WAL fsync's measured
+// duration (the anna_wal_fsync_duration_seconds histogram).
+func (st *Store) SetSyncObserver(fn func(time.Duration)) { st.log.SetSyncObserver(fn) }
+
+// SnapshotStats reports the last completed snapshot write: how long the
+// atomic save took, the resulting file size, and how many snapshots
+// this store has written (not counting the one it was opened from).
+func (st *Store) SnapshotStats() (dur time.Duration, sizeBytes int64, count uint64) {
+	return time.Duration(st.snapDur.Load()), st.snapSize.Load(), st.snapshots.Load()
+}
+
 // LogAdd appends one accepted add batch to the WAL. firstID must be the
 // ID the in-memory Add will assign (Index.NextID before applying). When
 // LogAdd returns nil under SyncAlways, the batch is durable; when it
@@ -240,13 +278,25 @@ func (st *Store) LogAdd(firstID int64, vectors [][]float32) error {
 func (st *Store) Snapshot() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if err := st.idx.SaveFile(filepath.Join(st.dir, snapshotName)); err != nil {
+	start := time.Now()
+	path := filepath.Join(st.dir, snapshotName)
+	if err := st.idx.SaveFile(path); err != nil {
 		return fmt.Errorf("anna: writing snapshot: %w", err)
 	}
 	if err := st.log.Reset(); err != nil {
 		return fmt.Errorf("anna: trimming WAL: %w", err)
 	}
+	dur := time.Since(start)
+	st.snapDur.Store(int64(dur))
+	if fi, err := os.Stat(path); err == nil {
+		st.snapSize.Store(fi.Size())
+	}
+	st.snapshots.Add(1)
 	st.lastSnap.Store(time.Now().UnixNano())
+	if l := st.logger(); l != nil {
+		l.Info("snapshot written", "dir", st.dir, "vectors", st.idx.Len(),
+			"duration", dur, "bytes", st.snapSize.Load())
+	}
 	return nil
 }
 

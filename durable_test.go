@@ -436,8 +436,11 @@ func TestDurabilityMetricsExported(t *testing.T) {
 	body := buf.String()
 	for _, name := range []string{
 		"anna_wal_append_duration_seconds",
+		"anna_wal_fsync_duration_seconds",
 		"anna_wal_fsync_total",
 		"anna_snapshots_total",
+		"anna_snapshot_duration_seconds",
+		"anna_snapshot_size_bytes",
 		"anna_recovery_replayed_records_total",
 		"anna_last_snapshot_age_seconds",
 		"anna_wal_records",
@@ -450,5 +453,14 @@ func TestDurabilityMetricsExported(t *testing.T) {
 	if !bytes.Contains(buf.Bytes(), []byte("anna_wal_fsync_total 2")) {
 		// 1 append fsync + 1 WAL reset fsync.
 		t.Fatalf("fsync counter not wired:\n%s", body)
+	}
+	// The snapshot counter reads the store's own count: exactly the one
+	// /admin/snapshot above (seeding in CreateStore is not a snapshot
+	// write), and the fsync latency histogram saw both fsyncs.
+	if !bytes.Contains(buf.Bytes(), []byte("anna_snapshots_total 1")) {
+		t.Fatalf("snapshot counter not wired to store stats:\n%s", body)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("anna_wal_fsync_duration_seconds_count 2")) {
+		t.Fatalf("fsync duration histogram not wired:\n%s", body)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"anna/internal/ivf"
 	"anna/internal/pq"
 	"anna/internal/topk"
+	"anna/internal/trace"
 	"anna/internal/vecmath"
 )
 
@@ -204,6 +205,11 @@ func (e *Engine) Run(queries *vecmath.Matrix, opt Options) *Report {
 // so a cancelled batch stops within one item's latency per worker. On
 // cancellation it returns ctx's error and a nil report; pool gauges are
 // unwound so QueueDepth/InFlight read zero afterwards.
+//
+// When ctx carries a trace.Trace (trace.NewContext), the run attaches
+// its per-stage timings as select/scan/merge spans and its scanned
+// count to the trace. An untraced context pays one allocation-free
+// lookup.
 func (e *Engine) RunContext(ctx context.Context, queries *vecmath.Matrix, opt Options) (*Report, error) {
 	if opt.W <= 0 || opt.K <= 0 {
 		panic(fmt.Sprintf("engine: invalid options W=%d K=%d", opt.W, opt.K))
@@ -212,14 +218,25 @@ func (e *Engine) RunContext(ctx context.Context, queries *vecmath.Matrix, opt Op
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
 	queries = e.idx.PrepQueries(queries) // OPQ rotation, when trained with one
+	var rep *Report
+	var err error
 	switch opt.Mode {
 	case QueryAtATime:
-		return e.runQueryMajor(ctx, queries, opt)
+		rep, err = e.runQueryMajor(ctx, queries, opt)
 	case ClusterMajor:
-		return e.runClusterMajor(ctx, queries, opt)
+		rep, err = e.runClusterMajor(ctx, queries, opt)
 	default:
 		panic(fmt.Sprintf("engine: unknown mode %d", opt.Mode))
 	}
+	if err == nil {
+		if tr := trace.FromContext(ctx); tr != nil {
+			tr.AddSpan("select", rep.SelectTime)
+			tr.AddSpan("scan", rep.ScanTime)
+			tr.AddSpan("merge", rep.MergeTime)
+			tr.Scanned += rep.ScannedVectors
+		}
+	}
+	return rep, err
 }
 
 func (e *Engine) runQueryMajor(ctx context.Context, queries *vecmath.Matrix, opt Options) (*Report, error) {

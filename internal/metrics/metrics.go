@@ -121,18 +121,31 @@ func (r *Registry) lookup(d desc, mk func() metric) metric {
 }
 
 // WriteText renders every registered instrument in the Prometheus text
-// exposition format, emitting HELP/TYPE once per family.
+// exposition format, emitting HELP/TYPE once per family. Output order
+// is deterministic regardless of registration order — families sort by
+// name and series within a family by label string — so scrapes of
+// equal state are byte-identical and diff-stable, and a family's
+// series are always contiguous (which the exposition format requires
+// even when dynamically labelled series were registered interleaved
+// with other families).
 func (r *Registry) WriteText(w io.Writer) {
 	r.mu.Lock()
 	ms := make([]metric, len(r.order))
 	copy(ms, r.order)
 	r.mu.Unlock()
 
-	seen := map[string]bool{}
-	for _, m := range ms {
+	sort.SliceStable(ms, func(i, j int) bool {
+		di, dj := ms[i].meta(), ms[j].meta()
+		if di.name != dj.name {
+			return di.name < dj.name
+		}
+		return di.labels < dj.labels
+	})
+	last := ""
+	for i, m := range ms {
 		d := m.meta()
-		if !seen[d.name] {
-			seen[d.name] = true
+		if i == 0 || d.name != last {
+			last = d.name
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", d.name, d.help, d.name, d.kind)
 		}
 		m.writeSamples(w)
@@ -216,6 +229,27 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 func (g *gaugeFunc) meta() *desc { return &g.d }
 func (g *gaugeFunc) writeSamples(w io.Writer) {
 	fmt.Fprintf(w, "%s %s\n", g.d.series(""), formatFloat(g.fn()))
+}
+
+// counterFunc samples a callback at scrape time, exposed with counter
+// semantics — for monotonic values owned elsewhere (lifetime WAL
+// appends, shadow-sampler totals) that need no double bookkeeping.
+type counterFunc struct {
+	d  desc
+	fn func() uint64
+}
+
+// CounterFunc registers a counter whose value is fn() at scrape time.
+// fn must be monotonically non-decreasing and safe to call from any
+// goroutine.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	d := desc{name: name, help: help, kind: "counter", labels: labelString(labels)}
+	r.lookup(d, func() metric { return &counterFunc{d: d, fn: fn} })
+}
+
+func (c *counterFunc) meta() *desc { return &c.d }
+func (c *counterFunc) writeSamples(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.d.series(""), c.fn())
 }
 
 // atomicFloat64 is a float accumulated with CAS on its bit pattern.

@@ -118,6 +118,91 @@ func TestExpositionFormat(t *testing.T) {
 	}
 }
 
+// Exposition order is deterministic and diff-stable: families sort by
+// name, series within a family by label string, regardless of the
+// order instruments were registered in. The golden string pins the
+// exact byte output so any ordering regression shows as a diff.
+func TestExpositionDeterministicGolden(t *testing.T) {
+	build := func(scrambled bool) string {
+		r := NewRegistry()
+		reg := []func(){
+			func() { r.Counter("zz_total", "last family").Add(7) },
+			func() { r.Counter("aa_total", "first family", Label{"code", "500"}).Add(2) },
+			func() { r.Counter("aa_total", "first family", Label{"code", "200"}).Add(1) },
+			func() { r.Gauge("mm_depth", "middle family").Set(3) },
+			func() {
+				h := r.Histogram("mm_seconds", "histogram family", []float64{1, 2}, Label{"stage", "scan"})
+				h.Observe(1.5)
+			},
+			func() {
+				h := r.Histogram("mm_seconds", "histogram family", []float64{1, 2}, Label{"stage", "merge"})
+				h.Observe(0.5)
+			},
+			func() { r.CounterFunc("ff_total", "callback counter", func() uint64 { return 9 }) },
+		}
+		if scrambled {
+			for i := len(reg) - 1; i >= 0; i-- {
+				reg[i]()
+			}
+		} else {
+			for _, f := range reg {
+				f()
+			}
+		}
+		var b strings.Builder
+		r.WriteText(&b)
+		return b.String()
+	}
+
+	golden := `# HELP aa_total first family
+# TYPE aa_total counter
+aa_total{code="200"} 1
+aa_total{code="500"} 2
+# HELP ff_total callback counter
+# TYPE ff_total counter
+ff_total 9
+# HELP mm_depth middle family
+# TYPE mm_depth gauge
+mm_depth 3
+# HELP mm_seconds histogram family
+# TYPE mm_seconds histogram
+mm_seconds_bucket{stage="merge",le="1"} 1
+mm_seconds_bucket{stage="merge",le="2"} 1
+mm_seconds_bucket{stage="merge",le="+Inf"} 1
+mm_seconds_sum{stage="merge"} 0.5
+mm_seconds_count{stage="merge"} 1
+mm_seconds_bucket{stage="scan",le="1"} 0
+mm_seconds_bucket{stage="scan",le="2"} 1
+mm_seconds_bucket{stage="scan",le="+Inf"} 1
+mm_seconds_sum{stage="scan"} 1.5
+mm_seconds_count{stage="scan"} 1
+# HELP zz_total last family
+# TYPE zz_total counter
+zz_total 7
+`
+	if got := build(false); got != golden {
+		t.Errorf("in-order registration exposition:\n%s\nwant:\n%s", got, golden)
+	}
+	if got := build(true); got != golden {
+		t.Errorf("scrambled registration exposition:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	v := uint64(0)
+	r.CounterFunc("cb_total", "callback", func() uint64 { return v })
+	v = 41
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "cb_total 41") {
+		t.Errorf("exposition %q", b.String())
+	}
+	if !strings.Contains(b.String(), "# TYPE cb_total counter") {
+		t.Errorf("counterFunc not typed as counter: %q", b.String())
+	}
+}
+
 // Get-or-create returns the same instrument for the same name+labels and
 // distinct ones otherwise.
 func TestRegistryGetOrCreate(t *testing.T) {

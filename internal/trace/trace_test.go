@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New("abc")
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext returned %v", got)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("empty context returned %v", got)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := New("x")
+	tr.AddSpan("select", 2*time.Millisecond)
+	tr.AddSpan("scan", 5*time.Millisecond)
+	if d := tr.SpanDuration("scan"); d != 5*time.Millisecond {
+		t.Errorf("scan span %v", d)
+	}
+	if d := tr.SpanDuration("missing"); d != 0 {
+		t.Errorf("missing span %v", d)
+	}
+	tr.Finish(200)
+	if tr.Status != 200 || tr.Total <= 0 {
+		t.Errorf("finish: status=%d total=%v", tr.Status, tr.Total)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap %d", r.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		r.Put(New(NewID()))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot holds %d traces, want 4", len(snap))
+	}
+}
+
+func TestRingSnapshotNewestFirst(t *testing.T) {
+	r := NewRing(8)
+	for _, id := range []string{"a", "b", "c"} {
+		r.Put(New(id))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].ID != "c" || snap[2].ID != "a" {
+		ids := make([]string, len(snap))
+		for i, tr := range snap {
+			ids[i] = tr.ID
+		}
+		t.Fatalf("snapshot order %v, want [c b a]", ids)
+	}
+	if got := r.Get("b"); got == nil || got.ID != "b" {
+		t.Fatalf("Get(b) = %v", got)
+	}
+	if got := r.Get("zz"); got != nil {
+		t.Fatalf("Get(zz) = %v", got)
+	}
+}
+
+// The ring is written and read concurrently by the serving path
+// (/search writers, /debug/queries readers). Run with -race.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(16)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				tr := New(NewID())
+				tr.AddSpan("scan", time.Duration(i))
+				tr.Finish(200)
+				r.Put(tr)
+			}
+		}()
+	}
+	for rd := 0; rd < 3; rd++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tr := range r.Snapshot() {
+					if tr.ID == "" {
+						t.Error("snapshot returned zero trace")
+						return
+					}
+					_ = tr.SpanDuration("scan")
+				}
+				r.Get("no-such-id")
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+func TestRecorderSampling(t *testing.T) {
+	rec := NewRecorder(64, 4, 0, nil)
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if rec.ShouldSample() {
+			hits++
+		}
+	}
+	if hits != 25 {
+		t.Errorf("1-in-4 sampling hit %d/100", hits)
+	}
+	off := NewRecorder(64, 0, 0, nil)
+	for i := 0; i < 100; i++ {
+		if off.ShouldSample() {
+			t.Fatal("disabled recorder sampled")
+		}
+	}
+}
+
+func TestRecorderSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	rec := NewRecorder(16, 0, 10*time.Millisecond, logger)
+
+	fast := New("fast")
+	fast.Total = time.Millisecond
+	rec.Record(fast)
+	slow := New("slow-one")
+	slow.AddSpan("scan", 9*time.Millisecond)
+	slow.Total = 20 * time.Millisecond
+	slow.Status = 200
+	rec.Record(slow)
+
+	if fastT := rec.Get("fast"); fastT == nil || fastT.Slow {
+		t.Errorf("fast trace: %+v", fastT)
+	}
+	if slowT := rec.Get("slow-one"); slowT == nil || !slowT.Slow {
+		t.Errorf("slow trace: %+v", slowT)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow query") || !strings.Contains(out, "slow-one") {
+		t.Errorf("slow log output %q", out)
+	}
+	if strings.Contains(out, `query_id=fast`) {
+		t.Errorf("fast query logged as slow: %q", out)
+	}
+	total, slowN := rec.Recorded()
+	if total != 2 || slowN != 1 {
+		t.Errorf("recorded %d/%d, want 2/1", total, slowN)
+	}
+}
+
+// Run with -race: concurrent ShouldSample/Record writers against
+// Snapshot/Get readers model /search vs /debug/queries traffic.
+func TestRecorderConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(lockedWriter{&mu, &buf}, nil))
+	rec := NewRecorder(32, 2, time.Nanosecond, logger)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if rec.ShouldSample() {
+					tr := New(NewID())
+					tr.Finish(200)
+					rec.Record(tr)
+				}
+			}
+		}()
+	}
+	for rd := 0; rd < 2; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				rec.Snapshot()
+				rec.Recorded()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// The acceptance bar for the whole layer: a query that is not sampled
+// must not allocate in the tracing layer — one atomic add for the
+// sampling decision and one context lookup, nothing else.
+func TestUnsampledPathAllocs(t *testing.T) {
+	rec := NewRecorder(256, 1000000, time.Hour, nil)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if rec.ShouldSample() {
+			t.Fatal("sampled inside alloc window")
+		}
+		if tr := FromContext(ctx); tr != nil {
+			t.Fatal("trace in background context")
+		}
+		_ = rec.IsSlow(time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkUnsampledDecision(b *testing.B) {
+	rec := NewRecorder(256, 0, 0, nil)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rec.ShouldSample() {
+			b.Fatal("sampled")
+		}
+		if FromContext(ctx) != nil {
+			b.Fatal("trace present")
+		}
+	}
+}
+
+func BenchmarkRingPut(b *testing.B) {
+	r := NewRing(256)
+	tr := New("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Put(tr)
+	}
+}

@@ -104,6 +104,7 @@ type Log struct {
 	broken   error // set when a failed write could not be rolled back
 	buf      []byte
 	onSync   func()
+	syncObs  func(time.Duration)
 
 	appends, fsyncs, bytesWritten atomic.Uint64
 }
@@ -234,12 +235,16 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
 	l.dirty = false
 	l.lastSync = time.Now()
 	l.fsyncs.Add(1)
+	if l.syncObs != nil {
+		l.syncObs(l.lastSync.Sub(start))
+	}
 	if l.onSync != nil {
 		l.onSync()
 	}
@@ -289,6 +294,15 @@ func (l *Log) SetOnSync(fn func()) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.onSync = fn
+}
+
+// SetSyncObserver registers a hook receiving the measured duration of
+// every successful fsync (a latency histogram). Like SetOnSync it runs
+// with the log lock held; keep it cheap.
+func (l *Log) SetSyncObserver(fn func(time.Duration)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncObs = fn
 }
 
 // Records returns the number of records in the live segment.

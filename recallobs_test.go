@@ -1,0 +1,201 @@
+package anna
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"anna/internal/metrics"
+)
+
+// recallTestCorpus builds a small deterministic corpus.
+func recallTestCorpus(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	corpus := make([][]float32, n)
+	for i := range corpus {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		corpus[i] = v
+	}
+	return corpus
+}
+
+// waitProcessed polls until every enqueued sample has been scored.
+func waitProcessed(t *testing.T, e *RecallEstimator) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, sampled, _, processed := e.Stats()
+		if processed == sampled {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shadow worker stalled: %d processed of %d sampled", processed, sampled)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRecallEstimatorScoring(t *testing.T) {
+	corpus := recallTestCorpus(200, 8, 1)
+	e, err := NewRecallEstimator(corpus, L2, &RecallEstimatorOptions{SampleEvery: 1, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Perfect answers: serve each query its exact top-k. Recall must be 1.
+	for i := 0; i < 10; i++ {
+		q := corpus[i*3]
+		truth, err := ExactSearch(corpus, L2, q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Offer(q, truth)
+	}
+	waitProcessed(t, e)
+	if r := e.Rolling(); r != 1 {
+		t.Errorf("perfect answers: rolling recall %v, want 1", r)
+	}
+
+	// Garbage answers: IDs that exact search never returns. Recall drops.
+	for i := 0; i < 10; i++ {
+		got := []Result{{ID: -1}, {ID: -2}, {ID: -3}, {ID: -4}, {ID: -5}}
+		e.Offer(corpus[i*3+1], got)
+	}
+	waitProcessed(t, e)
+	if r := e.Rolling(); r != 0.5 {
+		t.Errorf("half-garbage window: rolling recall %v, want 0.5", r)
+	}
+}
+
+func TestRecallEstimatorSampling(t *testing.T) {
+	corpus := recallTestCorpus(50, 4, 2)
+	e, err := NewRecallEstimator(corpus, L2, &RecallEstimatorOptions{SampleEvery: 10, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	got := []Result{{ID: 0}, {ID: 1}, {ID: 2}}
+	for i := 0; i < 100; i++ {
+		e.Offer(corpus[0], got)
+	}
+	offered, sampled, dropped, _ := e.Stats()
+	if offered != 100 {
+		t.Errorf("offered %d, want 100", offered)
+	}
+	if sampled+dropped != 10 {
+		t.Errorf("sampled %d + dropped %d, want exactly 10 selections", sampled, dropped)
+	}
+}
+
+// A stalled shadow worker must never make Offer block: samples beyond
+// the queue bound are dropped.
+func TestRecallEstimatorNonBlocking(t *testing.T) {
+	corpus := recallTestCorpus(50, 4, 3)
+	e, err := NewRecallEstimator(corpus, L2, &RecallEstimatorOptions{SampleEvery: 1, K: 3, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	stall := make(chan struct{})
+	e.testHookBeforeJob = func() { <-stall }
+
+	got := []Result{{ID: 0}, {ID: 1}, {ID: 2}}
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		e.Offer(corpus[0], got)
+	}
+	elapsed := time.Since(start)
+	close(stall)
+	if elapsed > time.Second {
+		t.Errorf("100 offers against a stalled worker took %v — Offer blocked", elapsed)
+	}
+	_, sampled, dropped, _ := e.Stats()
+	if dropped == 0 {
+		t.Errorf("stalled worker with queue depth 1: no drops (sampled %d)", sampled)
+	}
+	if sampled+dropped != 100 {
+		t.Errorf("sampled %d + dropped %d, want 100", sampled, dropped)
+	}
+}
+
+func TestRecallEstimatorValidation(t *testing.T) {
+	if _, err := NewRecallEstimator(recallTestCorpus(5, 4, 4), L2, &RecallEstimatorOptions{K: 10}); err == nil {
+		t.Error("corpus smaller than K accepted")
+	}
+	if _, err := NewRecallEstimator([][]float32{{1, 2}, {1}}, L2, nil); err == nil {
+		t.Error("ragged corpus accepted")
+	}
+}
+
+func TestRecallEstimatorRegister(t *testing.T) {
+	corpus := recallTestCorpus(50, 4, 5)
+	e, err := NewRecallEstimator(corpus, L2, &RecallEstimatorOptions{SampleEvery: 1, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	reg := metrics.NewRegistry()
+	e.Register(reg)
+
+	truth, err := ExactSearch(corpus, L2, corpus[7], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Offer(corpus[7], truth)
+	waitProcessed(t, e)
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`anna_shadow_recall_rolling{k="3"} 1`,
+		`anna_shadow_recall_count{k="3"} 1`,
+		"anna_shadow_sampled_total 1",
+		"anna_shadow_dropped_total 0",
+		"anna_shadow_queue_depth 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// Concurrent offers racing Rolling/Stats readers and Close (run under
+// -race in CI via the root-package race job).
+func TestRecallEstimatorConcurrent(t *testing.T) {
+	corpus := recallTestCorpus(100, 4, 6)
+	e, err := NewRecallEstimator(corpus, L2, &RecallEstimatorOptions{SampleEvery: 2, K: 3, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []Result{{ID: 0}, {ID: 1}, {ID: 2}}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.Offer(corpus[(w*500+i)%len(corpus)], got)
+				if i%64 == 0 {
+					e.Rolling()
+					e.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitProcessed(t, e)
+	e.Close()
+	// Offer after Close stays safe (the sample is simply never scored).
+	e.Offer(corpus[0], got)
+	offered, _, _, _ := e.Stats()
+	if offered != 4*500+1 {
+		t.Errorf("offered %d, want %d", offered, 4*500+1)
+	}
+}

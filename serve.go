@@ -5,16 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"anna/internal/metrics"
+	"anna/internal/trace"
 )
 
 // Server wraps an Index behind an HTTP JSON API — the deployment shape
@@ -30,7 +32,15 @@ import (
 //	GET  /healthz -> 200 ok
 //	GET  /metrics -> Prometheus text exposition (see docs/ARCHITECTURE.md
 //	                 for the full metric list)
+//	GET  /debug/queries     -> recent sampled/slow query traces, slowest first
+//	GET  /debug/trace/{id}  -> one trace by query ID
 //	GET  /debug/pprof/* -> runtime profiles (unless DisablePprof)
+//
+// Every /search response carries an X-Request-ID header: the client's,
+// when it sent one (such a query is always traced), or a generated ID
+// otherwise. Beyond the explicit opt-in, 1-in-TraceSampleEvery queries
+// are traced, and any query slower than SlowQuery is captured and
+// logged even when it missed the sample.
 //
 // Add is serialised against searches with a read-write lock; searches
 // run concurrently. Every request is recorded into the server's metrics
@@ -58,9 +68,24 @@ type Server struct {
 	SearchTimeout time.Duration
 	// DisablePprof removes the /debug/pprof endpoints from Handler.
 	DisablePprof bool
-	// Logger receives encode failures and shutdown notices
-	// (default log.Default()).
-	Logger *log.Logger
+	// Logger receives structured serving events: slow queries, snapshot
+	// and encode failures (default slog.Default()).
+	Logger *slog.Logger
+	// TraceSampleEvery traces 1-in-N queries that did not opt in with an
+	// X-Request-ID header (default 64; negative disables sampling).
+	// Read once at first request, like the other trace knobs.
+	TraceSampleEvery int
+	// SlowQuery is the latency threshold above which a /search request
+	// is logged and captured even when untraced (default 250ms;
+	// negative disables the slow-query log).
+	SlowQuery time.Duration
+	// TraceRingSize bounds the in-memory buffer of recent traces served
+	// by /debug/queries (default 256, rounded up to a power of two).
+	TraceRingSize int
+	// Recall, when set, shadow-checks a sample of served software-backend
+	// queries against exact search and publishes live recall@k metrics
+	// through /metrics. See RecallEstimator.
+	Recall *RecallEstimator
 	// Store, when set, makes /add durable: each accepted batch is
 	// appended to the write-ahead log (fsynced per the store's sync
 	// policy) before the in-memory apply and the acknowledgment, and
@@ -74,6 +99,9 @@ type Server struct {
 	inflight   atomic.Int64
 	addedSince atomic.Int64 // vectors added since the last snapshot
 	durOnce    sync.Once    // registers durability metrics exactly once
+	traceOnce  sync.Once    // builds the trace recorder exactly once
+	rec        *trace.Recorder
+	recallOnce sync.Once // registers recall metrics exactly once
 	m          *serverMetrics
 }
 
@@ -91,7 +119,8 @@ type serverMetrics struct {
 	rejected    *metrics.Counter
 	added       *metrics.Counter
 	walAppend   *metrics.Histogram
-	snapshots   *metrics.Counter
+	walFsync    *metrics.Histogram
+	snapDur     *metrics.Histogram
 }
 
 // stageNames are the per-request engine stage histograms exported as
@@ -163,8 +192,17 @@ func (s *Server) registerDurable() {
 		reg := s.m.reg
 		s.m.walAppend = reg.Histogram("anna_wal_append_duration_seconds",
 			"WAL append latency per /add batch, including fsync under SyncAlways.", nil)
-		s.m.snapshots = reg.Counter("anna_snapshots_total",
-			"Snapshots written (manual and automatic).")
+		s.m.walFsync = reg.Histogram("anna_wal_fsync_duration_seconds",
+			"WAL fsync latency per sync call.", nil)
+		s.Store.SetSyncObserver(s.m.walFsync.ObserveDuration)
+		s.m.snapDur = reg.Histogram("anna_snapshot_duration_seconds",
+			"Snapshot write duration (atomic save, fsync, WAL trim).", nil)
+		reg.GaugeFunc("anna_snapshot_size_bytes",
+			"Byte size of the last written snapshot.",
+			func() float64 { _, size, _ := s.Store.SnapshotStats(); return float64(size) })
+		reg.CounterFunc("anna_snapshots_total",
+			"Snapshots written (manual, automatic, and shutdown).",
+			func() uint64 { _, _, n := s.Store.SnapshotStats(); return n })
 		fsyncs := reg.Counter("anna_wal_fsync_total", "WAL fsync calls.")
 		s.Store.SetOnSync(fsyncs.Inc)
 		reg.Counter("anna_recovery_replayed_records_total",
@@ -182,9 +220,44 @@ func (s *Server) registerDurable() {
 	})
 }
 
+// slogger returns the server's structured logger.
+func (s *Server) slogger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
+}
+
+// tracer returns the server's trace recorder, building it from the
+// Trace* / SlowQuery knobs on first use (set them before serving).
+func (s *Server) tracer() *trace.Recorder {
+	s.traceOnce.Do(func() {
+		sample := s.TraceSampleEvery
+		if sample == 0 {
+			sample = 64
+		}
+		slow := s.SlowQuery
+		if slow == 0 {
+			slow = 250 * time.Millisecond
+		}
+		s.rec = trace.NewRecorder(s.TraceRingSize, sample, slow, s.slogger())
+	})
+	return s.rec
+}
+
+// registerRecall publishes the attached RecallEstimator's instruments
+// through the server registry exactly once.
+func (s *Server) registerRecall() {
+	if s.Recall == nil {
+		return
+	}
+	s.recallOnce.Do(func() { s.Recall.Register(s.m.reg) })
+}
+
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
 	s.registerDurable()
+	s.registerRecall()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.instrument("search", s.handleSearch))
 	mux.HandleFunc("/add", s.instrument("add", s.handleAdd))
@@ -195,6 +268,8 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/metrics", s.m.reg.Handler())
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("/debug/trace/{id}", s.handleDebugTrace)
 	if !s.DisablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -281,6 +356,10 @@ func (s *Server) admit() bool {
 	return true
 }
 
+// requestIDHeader carries the query ID: echoed back when the client
+// sets it (which also forces a trace), generated otherwise.
+const requestIDHeader = "X-Request-ID"
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -294,6 +373,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.inflight.Add(-1)
+
+	start := time.Now()
+	reqID := r.Header.Get(requestIDHeader)
+	tagged := reqID != ""
+	if !tagged {
+		reqID = trace.NewID()
+	}
+	w.Header().Set(requestIDHeader, reqID)
 
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -314,6 +401,31 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = s.DefaultK
 	}
+	backend := req.Backend
+	if backend == "" {
+		backend = "software"
+	}
+
+	// Tracing decision: client-tagged requests are always traced; the
+	// rest pay one atomic add to roll the 1-in-N sample. The untraced
+	// path allocates nothing here (benchmark-pinned in internal/trace).
+	rec := s.tracer()
+	var tr *trace.Trace
+	if tagged || rec.ShouldSample() {
+		tr = trace.New(reqID)
+		tr.Start = start
+		tr.Queries, tr.W, tr.K, tr.Backend = len(req.Queries), req.W, req.K, backend
+	}
+	// finish closes out a live trace with the response status. Slow
+	// untraced requests are reconstructed after the fact in the
+	// backend arms below — only requests that already proved slow pay
+	// that cost.
+	finish := func(status int) {
+		if tr != nil {
+			tr.Finish(status)
+			rec.Record(tr)
+		}
+	}
 
 	// The request context carries client disconnects into the engine;
 	// SearchTimeout adds the server-side deadline on top.
@@ -322,6 +434,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.SearchTimeout)
 		defer cancel()
+	}
+	if tr != nil {
+		ctx = trace.NewContext(ctx, tr)
 	}
 
 	var resp searchResponse
@@ -333,32 +448,102 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		})
 		s.mu.RUnlock()
 		if err != nil {
+			finish(searchErrStatus(err))
 			s.httpError(w, searchErrStatus(err), "search: %v", err)
 			return
 		}
 		s.recordSearch(len(req.Queries), rep)
+		if s.Recall != nil {
+			s.Recall.OfferBatch(req.Queries, rep.Results)
+		}
+		if tr == nil && rec.IsSlow(time.Since(start)) {
+			tr = s.slowTrace(reqID, start, &req, backend)
+			tr.AddSpan("select", rep.SelectTime)
+			tr.AddSpan("scan", rep.ScanTime)
+			tr.AddSpan("merge", rep.MergeTime)
+			tr.Scanned = rep.ScannedVectors
+		}
 		resp.Results = toSearchResults(rep.Results)
 	case "anna":
 		if s.Accelerator == nil {
+			finish(http.StatusBadRequest)
 			s.httpError(w, http.StatusBadRequest, "no accelerator configured on this server")
 			return
 		}
+		simStart := time.Now()
 		s.mu.RLock()
 		rep, err := s.Accelerator.Simulate(req.Queries, SimParams{W: req.W, K: req.K})
 		s.mu.RUnlock()
+		simDur := time.Since(simStart)
 		if err != nil {
+			finish(http.StatusBadRequest)
 			s.httpError(w, http.StatusBadRequest, "simulating: %v", err)
 			return
+		}
+		if tr == nil && rec.IsSlow(time.Since(start)) {
+			tr = s.slowTrace(reqID, start, &req, backend)
+		}
+		if tr != nil {
+			tr.AddSpan("simulate", simDur)
 		}
 		resp.Results = toSearchResults(rep.Results)
 		resp.Cycles = rep.Cycles
 		resp.TrafficBytes = rep.TrafficBytes
 		resp.ChipEnergyJ = rep.ChipEnergyJ
 	default:
+		finish(http.StatusBadRequest)
 		s.httpError(w, http.StatusBadRequest, "unknown backend %q", req.Backend)
 		return
 	}
+	finish(http.StatusOK)
 	s.writeJSON(w, resp)
+}
+
+// slowTrace reconstructs a trace for a request that missed sampling but
+// crossed the slow threshold.
+func (s *Server) slowTrace(id string, start time.Time, req *searchRequest, backend string) *trace.Trace {
+	tr := trace.New(id)
+	tr.Start = start
+	tr.Queries, tr.W, tr.K, tr.Backend = len(req.Queries), req.W, req.K, backend
+	return tr
+}
+
+// handleDebugQueries serves the recent trace buffer, slowest first, so
+// an operator's first look lands on the worst recent requests. ?n=
+// bounds the response (default all buffered).
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	traces := s.tracer().Snapshot()
+	sort.SliceStable(traces, func(i, j int) bool { return traces[i].Total > traces[j].Total })
+	if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n >= 0 && n < len(traces) {
+		traces = traces[:n]
+	}
+	total, slow := s.tracer().Recorded()
+	s.writeJSON(w, map[string]any{
+		"recorded_total": total,
+		"slow_total":     slow,
+		"count":          len(traces),
+		"traces":         traces,
+	})
+}
+
+// handleDebugTrace serves one trace by query ID, while it is still in
+// the ring.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := r.PathValue("id")
+	t := s.tracer().Get(id)
+	if t == nil {
+		s.httpError(w, http.StatusNotFound, "no buffered trace with id %q (evicted or never traced)", id)
+		return
+	}
+	s.writeJSON(w, t)
 }
 
 // recordSearch feeds one software-backend batch report into the metrics.
@@ -442,7 +627,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	if s.Store != nil && s.SnapshotEvery > 0 &&
 		s.addedSince.Add(int64(len(req.Vectors))) >= int64(s.SnapshotEvery) {
 		if err := s.snapshotNow(); err != nil {
-			s.logf("anna: serve: auto-snapshot: %v", err)
+			s.slogger().Error("auto-snapshot failed", "err", err)
 		}
 	}
 }
@@ -457,8 +642,9 @@ func (s *Server) snapshotNow() error {
 		return err
 	}
 	s.addedSince.Store(0)
-	if s.m.snapshots != nil {
-		s.m.snapshots.Inc()
+	if s.m.snapDur != nil {
+		d, _, _ := s.Store.SnapshotStats()
+		s.m.snapDur.ObserveDuration(d)
 	}
 	return nil
 }
@@ -542,14 +728,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, resp)
 }
 
-func (s *Server) logf(format string, args ...any) {
-	l := s.Logger
-	if l == nil {
-		l = log.Default()
-	}
-	l.Printf(format, args...)
-}
-
 // writeJSON sends v with a 200. The Content-Type header is set before
 // the status line goes out (headers are immutable afterwards), and
 // encode failures — a closed connection, an unmarshalable value — are
@@ -558,7 +736,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.logf("anna: serve: encoding response: %v", err)
+		s.slogger().Error("encoding response failed", "err", err)
 	}
 }
 
@@ -566,6 +744,6 @@ func (s *Server) httpError(w http.ResponseWriter, code int, format string, args 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}); err != nil {
-		s.logf("anna: serve: encoding error response: %v", err)
+		s.slogger().Error("encoding error response failed", "err", err)
 	}
 }

@@ -3,6 +3,7 @@ package anna
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
@@ -37,6 +38,11 @@ type StreamBuildOptions struct {
 	// waited for) before the post-training Progress call, so Progress is
 	// never invoked concurrently with itself.
 	ProgressEvery time.Duration
+	// Logger, when non-nil, receives structured build milestones:
+	// training start/end and stream completion. Progress remains the
+	// hook for high-frequency liveness; Logger is for the few events an
+	// operator greps for afterwards.
+	Logger *slog.Logger
 }
 
 // BuildIndexFromFvecs trains and populates an index from an fvecs stream
@@ -70,6 +76,10 @@ func BuildIndexFromFvecs(r io.Reader, metric Metric, opt StreamBuildOptions) (*I
 	if opt.Progress != nil {
 		opt.Progress(0) // training starts; nothing ingested yet
 	}
+	trainStart := time.Now()
+	if opt.Logger != nil {
+		opt.Logger.Info("stream build: training model", "sample_vectors", len(sample), "dim", sc.Dim())
+	}
 	stopHeartbeat := func() {}
 	if opt.Progress != nil && opt.ProgressEvery > 0 {
 		done := make(chan struct{})
@@ -98,6 +108,10 @@ func BuildIndexFromFvecs(r io.Reader, metric Metric, opt StreamBuildOptions) (*I
 	sample = nil // release the training buffer
 	if opt.Progress != nil {
 		opt.Progress(idx.Len())
+	}
+	if opt.Logger != nil {
+		opt.Logger.Info("stream build: model trained", "vectors", idx.Len(),
+			"clusters", idx.NClusters(), "duration", time.Since(trainStart))
 	}
 
 	// Phase 2: stream the remainder through encode-and-append in chunks.
@@ -129,6 +143,9 @@ func BuildIndexFromFvecs(r io.Reader, metric Metric, opt StreamBuildOptions) (*I
 		return nil, err
 	}
 	flush()
+	if opt.Logger != nil {
+		opt.Logger.Info("stream build: ingest complete", "vectors", idx.Len())
+	}
 	return idx, nil
 }
 

@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/anna/ .
+	$(GO) test -race ./internal/engine/ ./internal/anna/ ./internal/qos/ .
 
 # Mirrors .github/workflows/ci.yml exactly (same commands, same package
 # lists) so a green `make ci` means a green CI run. Keep in sync.
@@ -36,11 +36,12 @@ fmt-check:
 
 # The CI race job: engine worker pool, fused scan path, parallel
 # build/ingest pipeline (kmeans, pq batch encoder, ivf build), metrics
-# instruments, trace ring, WAL, HTTP serving layer (incl. the shadow
-# recall sampler).
+# instruments, trace ring, WAL, QoS layer (dynamic batcher, result
+# cache, token buckets), HTTP serving layer (incl. the shadow recall
+# sampler and the concurrent /search + /add cache-invalidation test).
 .PHONY: ci-race
 ci-race:
-	$(GO) test -race ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/trace/... ./internal/wal/... .
+	$(GO) test -race ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/trace/... ./internal/wal/... ./internal/qos/... .
 
 # The CI fuzz-smoke job: hammer both durable-input decoders — the index
 # loader and the WAL reader — with coverage-guided corrupt inputs. A
@@ -56,6 +57,7 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) run ./cmd/benchjson -suite engine -benchtime 10x -out bench_ci.json
 	$(GO) run ./cmd/benchjson -suite build -benchtime 3x -out bench_ci_build.json
+	$(GO) run ./cmd/benchjson -suite serve -benchtime 300ms -out bench_ci_serve.json
 
 # Vet plus race-detected tests of the reworked engine worker pool and the
 # fused scan path.
@@ -63,12 +65,15 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/engine/... ./internal/ivf/...
 
-# Run both benchmark suites and record before/after figures: the serving
-# path in BENCH_engine.json, the build/ingest pipeline (train + batch
-# encode) in BENCH_build.json.
+# Run the benchmark suites and record before/after figures: the CPU
+# engine in BENCH_engine.json, the build/ingest pipeline (train + batch
+# encode) in BENCH_build.json, and whole-server latency-vs-QPS curves
+# (annaload closed-loop sweep, baseline vs batched+cached) in
+# BENCH_serve.json.
 bench:
 	$(GO) run ./cmd/benchjson -suite engine -out BENCH_engine.json
 	$(GO) run ./cmd/benchjson -suite build -out BENCH_build.json
+	$(GO) run ./cmd/benchjson -suite serve -out BENCH_serve.json
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...

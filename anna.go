@@ -225,6 +225,17 @@ func (x *Index) Dim() int { return x.inner.D }
 // NClusters returns |C|.
 func (x *Index) NClusters() int { return x.inner.NClusters() }
 
+// AppendQueryCode appends the PQ code of query (in index space, i.e.
+// after the build-time rotation) to dst and returns the extended slice.
+// The code is the index's own M-byte quantization of the query — a
+// compact, content-derived fingerprint the serving layer uses as the
+// result-cache hash key. The quantizer is immutable after build, so
+// this is safe to call concurrently with searches and adds. It panics
+// when len(query) != Dim(), matching Search's convention.
+func (x *Index) AppendQueryCode(dst []byte, query []float32) []byte {
+	return x.inner.PQ.Encode(dst, x.inner.PrepQuery(query))
+}
+
 // Stats describes the built index.
 type Stats struct {
 	Vectors, Clusters      int

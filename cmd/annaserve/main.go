@@ -30,6 +30,17 @@
 // requests for up to -grace after SIGINT/SIGTERM before exiting (with a
 // final snapshot when -data is set).
 //
+// Serving-path performance: concurrent single-query /search requests
+// are coalesced for up to -batch-window into shared engine batches
+// (bit-exact; -batch-max caps the batch size), repeated queries are
+// answered from a quantized-query result cache of -cache entries
+// (invalidated by /add), and -tenants assigns per-API-key QoS — weights,
+// token-bucket rate limits, and interactive/bulk lanes:
+//
+//	annaserve -index sift.anna \
+//	  -batch-window 1ms -cache 8192 \
+//	  -tenants "web=weight:4,lane:interactive;etl=rate:500,burst:1000,lane:bulk"
+//
 // Observability: logs are structured (-log text|json), 1-in-N queries
 // are traced (-trace-sample) into /debug/queries, requests slower than
 // -slow are logged, and -recall-fvecs starts a shadow recall estimator
@@ -51,6 +62,7 @@ import (
 
 	"anna"
 	"anna/internal/dataset"
+	"anna/internal/qos"
 )
 
 // newLogger builds the process-wide structured logger from -log.
@@ -133,6 +145,11 @@ func main() {
 		slowQuery   = flag.Duration("slow", 250*time.Millisecond, "log /search requests slower than this (negative = never)")
 		traceSample = flag.Int("trace-sample", 64, "trace 1-in-N untagged queries into /debug/queries (negative = only X-Request-ID-tagged queries)")
 		traceRing   = flag.Int("trace-ring", 256, "recent traces buffered for /debug/queries")
+		batchWindow = flag.Duration("batch-window", time.Millisecond, "coalesce concurrent single-query searches for up to this long into one engine batch (negative = disabled)")
+		batchMax    = flag.Int("batch-max", 64, "flush a coalesced batch early at this many queries")
+		batchConc   = flag.Int("batch-concurrent", 0, "concurrent coalesced engine batches (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 4096, "quantized-query result-cache entries (negative = disabled)")
+		tenantsSpec = flag.String("tenants", "", `per-tenant QoS: "key=weight:4,rate:1000,burst:2000,lane:interactive,name:web;key2=lane:bulk" (empty = one default tenant)`)
 		recallFvecs = flag.String("recall-fvecs", "", "fvecs reference corpus for live shadow recall estimation (empty = disabled)")
 		recallEvery = flag.Int("recall-every", 100, "shadow-check 1-in-N served queries against exact search (with -recall-fvecs)")
 		recallK     = flag.Int("recall-k", 10, "recall@K depth of the shadow estimator (with -recall-fvecs)")
@@ -185,6 +202,17 @@ func main() {
 	srv.SlowQuery = *slowQuery
 	srv.TraceSampleEvery = *traceSample
 	srv.TraceRingSize = *traceRing
+	srv.BatchWindow = *batchWindow
+	srv.BatchMaxSize = *batchMax
+	srv.BatchMaxConcurrent = *batchConc
+	srv.CacheSize = *cacheSize
+	if *tenantsSpec != "" {
+		tenants, terr := qos.ParseTenants(*tenantsSpec)
+		if terr != nil {
+			fatal("parsing -tenants failed", "err", terr)
+		}
+		srv.Tenants = tenants
+	}
 	if *recallFvecs != "" {
 		est, err := newRecallEstimator(*recallFvecs, idx.Metric(), *recallEvery, *recallK)
 		if err != nil {

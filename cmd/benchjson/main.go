@@ -4,6 +4,7 @@
 //
 //	go run ./cmd/benchjson -suite engine -out BENCH_engine.json
 //	go run ./cmd/benchjson -suite build  -out BENCH_build.json
+//	go run ./cmd/benchjson -suite serve  -out BENCH_serve.json
 //
 // The "engine" suite covers the serving path (fused scan kernel, worker
 // pool); the "build" suite covers the train/encode/ingest pipeline
@@ -11,6 +12,13 @@
 // baselines were measured on the commit preceding each optimisation
 // (same machine class as CI): they are the "before" column, the fresh
 // run is "after".
+//
+// The "serve" suite is different in kind: it delegates to the annaload
+// load generator, which self-hosts a synthetic index and measures whole
+// latency-vs-QPS curves for the baseline (per-request) and full
+// (batched + cached) serving stacks in the same process, writing the
+// curves and the saturation speedup to the output. -benchtime maps to
+// annaload's per-level -duration.
 package main
 
 import (
@@ -112,11 +120,16 @@ var suites = map[string]suite{
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
 func main() {
-	suiteName := flag.String("suite", "engine", `benchmark suite: "engine" (serving path) or "build" (train/encode/ingest)`)
+	suiteName := flag.String("suite", "engine", `benchmark suite: "engine" (serving path), "build" (train/encode/ingest), or "serve" (HTTP load curves via annaload)`)
 	out := flag.String("out", "", "output JSON path (default: the suite's BENCH_*.json)")
 	bench := flag.String("bench", "", "benchmark regex (default: the suite's selection)")
 	benchtime := flag.String("benchtime", "", "passed to -benchtime when non-empty")
 	flag.Parse()
+
+	if *suiteName == "serve" {
+		runServe(*out, *benchtime)
+		return
+	}
 
 	s, ok := suites[*suiteName]
 	if !ok {
@@ -208,6 +221,25 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(doc.Benchmarks))
+}
+
+// runServe delegates the serve suite to the annaload load generator,
+// which measures latency-vs-QPS curves and writes the JSON itself.
+func runServe(out, benchtime string) {
+	if out == "" {
+		out = "BENCH_serve.json"
+	}
+	args := []string{"run", "./cmd/annaload", "-out", out}
+	if benchtime != "" {
+		args = append(args, "-duration", benchtime)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: annaload failed: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // parseMetrics decodes the "value unit value unit ..." tail of a

@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// QueryMix draws indices into a query pool with optional Zipfian skew,
+// modelling production query streams where a small set of hot queries
+// dominates (the regime a result cache exploits). Skew 0 is uniform;
+// s > 1 enables a Zipf distribution with exponent s over the pool. The
+// hot ranks are scattered across the pool by a seeded permutation so
+// skewed traffic does not concentrate on the low indices (which for
+// generated pools are correlated with the first mixture components).
+//
+// A QueryMix is not safe for concurrent use; give each load-generator
+// worker its own (seeded differently so workers don't draw in lockstep).
+type QueryMix struct {
+	r    *rand.Rand
+	zipf *rand.Zipf
+	perm []int
+}
+
+// NewQueryMix returns a mix over pool indices [0, n). s <= 1 gives the
+// uniform distribution (rand.Zipf requires s > 1); larger s concentrates
+// mass: at s = 1.1 roughly half the draws land on the hottest ~5% of a
+// 1k pool.
+func NewQueryMix(n int, s float64, seed int64) *QueryMix {
+	if n <= 0 {
+		panic("dataset: QueryMix over empty pool")
+	}
+	r := rand.New(rand.NewSource(seed))
+	m := &QueryMix{r: r, perm: r.Perm(n)}
+	if s > 1 {
+		m.zipf = rand.NewZipf(r, s, 1, uint64(n-1))
+	}
+	return m
+}
+
+// Next draws one pool index.
+func (m *QueryMix) Next() int {
+	if m.zipf != nil {
+		return m.perm[m.zipf.Uint64()]
+	}
+	return m.perm[m.r.Intn(len(m.perm))]
+}
+
+// TenantShare is one tenant's slice of the generated traffic.
+type TenantShare struct {
+	Key    string // API key presented by the generated requests
+	Weight int    // relative share of requests
+}
+
+// TenantMix draws tenant API keys with the configured relative weights.
+// Like QueryMix it is single-goroutine; clone per worker.
+type TenantMix struct {
+	r      *rand.Rand
+	shares []TenantShare
+	cum    []int
+	total  int
+}
+
+// NewTenantMix builds a mix from shares. Weights < 1 are treated as 1.
+// An empty share list yields a mix that always returns "" (anonymous
+// traffic, mapped to the server's default tenant).
+func NewTenantMix(shares []TenantShare, seed int64) *TenantMix {
+	m := &TenantMix{r: rand.New(rand.NewSource(seed))}
+	for _, s := range shares {
+		if s.Weight < 1 {
+			s.Weight = 1
+		}
+		m.total += s.Weight
+		m.shares = append(m.shares, s)
+		m.cum = append(m.cum, m.total)
+	}
+	return m
+}
+
+// Next draws one tenant key ("" when the mix is empty).
+func (m *TenantMix) Next() string {
+	if m.total == 0 {
+		return ""
+	}
+	n := m.r.Intn(m.total)
+	i := sort.SearchInts(m.cum, n+1)
+	return m.shares[i].Key
+}
+
+// Shares returns the configured tenant shares.
+func (m *TenantMix) Shares() []TenantShare { return m.shares }
+
+// ParseTenantMix parses a "key:weight,key:weight" traffic-mix spec
+// (weight defaults to 1 when omitted): "web:9,batch:1".
+func ParseTenantMix(spec string) ([]TenantShare, error) {
+	var shares []TenantShare
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		share := TenantShare{Weight: 1}
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("dataset: tenant mix %q: weight %q must be a positive integer", part, part[i+1:])
+			}
+			share.Weight = w
+			part = part[:i]
+		}
+		if part == "" {
+			return nil, fmt.Errorf("dataset: tenant mix entry with empty key")
+		}
+		share.Key = part
+		shares = append(shares, share)
+	}
+	return shares, nil
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQueryMixUniform(t *testing.T) {
+	const n, draws = 64, 64 * 400
+	m := NewQueryMix(n, 0, 1)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		idx := m.Next()
+		if idx < 0 || idx >= n {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("uniform mix never drew index %d", i)
+		}
+	}
+	// No index should dominate: expect ~400 each, allow generous slack.
+	for i, c := range counts {
+		if c > 4*draws/n {
+			t.Errorf("uniform mix drew index %d %d times (expected ~%d)", i, c, draws/n)
+		}
+	}
+}
+
+func TestQueryMixZipfSkew(t *testing.T) {
+	const n, draws = 1000, 20000
+	m := NewQueryMix(n, 1.2, 1)
+	counts := make(map[int]int)
+	for i := 0; i < draws; i++ {
+		counts[m.Next()]++
+	}
+	// The hottest single index should carry far more than the uniform
+	// share, and the support should be much smaller than the pool.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 10*draws/n {
+		t.Errorf("zipf mix max count %d, want heavy skew (>%d)", max, 10*draws/n)
+	}
+	if len(counts) >= n {
+		t.Errorf("zipf mix touched all %d indices in %d draws; expected concentration", n, draws)
+	}
+}
+
+func TestQueryMixDeterministic(t *testing.T) {
+	a, b := NewQueryMix(100, 1.3, 7), NewQueryMix(100, 1.3, 7)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, x, y)
+		}
+	}
+}
+
+func TestTenantMixWeights(t *testing.T) {
+	m := NewTenantMix([]TenantShare{{Key: "web", Weight: 9}, {Key: "batch", Weight: 1}}, 3)
+	counts := map[string]int{}
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		counts[m.Next()]++
+	}
+	frac := float64(counts["web"]) / draws
+	if math.Abs(frac-0.9) > 0.03 {
+		t.Errorf("web share %.3f, want ~0.9", frac)
+	}
+	if counts["web"]+counts["batch"] != draws {
+		t.Errorf("draws leaked outside the mix: %v", counts)
+	}
+}
+
+func TestTenantMixEmpty(t *testing.T) {
+	m := NewTenantMix(nil, 1)
+	if got := m.Next(); got != "" {
+		t.Errorf("empty mix drew %q, want anonymous", got)
+	}
+}
+
+func TestParseTenantMix(t *testing.T) {
+	shares, err := ParseTenantMix("web:9, batch ,bulk:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TenantShare{{"web", 9}, {"batch", 1}, {"bulk", 2}}
+	if len(shares) != len(want) {
+		t.Fatalf("got %v", shares)
+	}
+	for i := range want {
+		if shares[i] != want[i] {
+			t.Errorf("share %d: got %+v want %+v", i, shares[i], want[i])
+		}
+	}
+	for _, bad := range []string{"web:0", "web:x", ":3"} {
+		if _, err := ParseTenantMix(bad); err == nil {
+			t.Errorf("ParseTenantMix(%q) accepted", bad)
+		}
+	}
+}

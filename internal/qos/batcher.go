@@ -1,0 +1,494 @@
+// Package qos is the traffic-shaping layer of the serving path
+// (ROADMAP item 4): a dynamic query batcher that coalesces concurrent
+// requests into engine batches, per-tenant admission (token-bucket
+// quotas, weighted-fair dequeue, interactive vs. bulk priority lanes),
+// and a result cache keyed on quantized queries.
+//
+// The motivation is the paper's Figure 5: the engine is fastest in
+// cluster-major mode because inverted-list loads are amortized across a
+// batch of queries, but an HTTP server naturally dispatches a batch of
+// one per request. The Batcher restores the batch: concurrent requests
+// are held for a bounded coalesce window (flushing early at a maximum
+// batch size) and executed as a single engine run, with results fanned
+// back to the waiting requests. Execution remains per-query independent
+// inside the engine, so coalescing is bit-exact with per-request
+// serving.
+//
+// The package is deliberately engine-agnostic — the Batcher is generic
+// over the per-query result type and calls back into a RunFunc — so it
+// carries no dependency on the index or engine packages and can be
+// exercised hermetically in tests.
+package qos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lane is a scheduling priority class. Interactive requests are always
+// dequeued into a batch before Bulk requests, so a bulk/backfill flood
+// can delay an interactive query by at most the engine batches already
+// in flight — never by the length of the bulk backlog.
+type Lane int
+
+const (
+	// Interactive is the latency-sensitive lane (the default).
+	Interactive Lane = iota
+	// Bulk is the throughput lane for backfill/batch traffic; it is
+	// served only from batch capacity interactive requests left unused.
+	Bulk
+)
+
+// String returns "interactive" or "bulk".
+func (l Lane) String() string {
+	if l == Bulk {
+		return "bulk"
+	}
+	return "interactive"
+}
+
+// ParseLane parses "interactive" or "bulk" (batch is accepted as an
+// alias for bulk).
+func ParseLane(s string) (Lane, error) {
+	switch s {
+	case "interactive", "":
+		return Interactive, nil
+	case "bulk", "batch":
+		return Bulk, nil
+	}
+	return 0, fmt.Errorf("qos: unknown lane %q (want interactive or bulk)", s)
+}
+
+// RunFunc executes one coalesced batch: queries[i] produces results[i].
+// It is called outside the batcher's lock and may run concurrently with
+// other flushes. ctx is canceled when every request in the batch has
+// abandoned (client disconnects), and carries the latest deadline of
+// the batch members when all of them have one.
+type RunFunc[R any] func(ctx context.Context, queries [][]float32, w, k int) ([]R, error)
+
+// BatchInfo describes the coalesced batch a request rode in.
+type BatchInfo struct {
+	// Size is the number of queries in the executed engine batch.
+	Size int
+	// Wait is the time the request spent coalescing before execution
+	// started.
+	Wait time.Duration
+}
+
+// Observer receives batcher events for metrics. Callbacks must be safe
+// for concurrent use; nil fields are skipped.
+type Observer struct {
+	// Flush is called once per executed batch with its size and the
+	// queue depth left behind.
+	Flush func(size, remaining int)
+	// Wait is called once per coalesced query with its coalesce wait.
+	Wait func(d time.Duration)
+}
+
+// BatcherOptions configure a Batcher.
+type BatcherOptions struct {
+	// Window bounds how long a request may be held for coalescing
+	// (default 1ms).
+	Window time.Duration
+	// MaxBatch flushes a forming batch early once it holds this many
+	// queries (default 64).
+	MaxBatch int
+	// MaxConcurrent bounds the number of batches executing at once
+	// (0 = unlimited). Bounding it is what gives the priority lanes
+	// teeth under overload: excess demand backs up in the batcher's
+	// queues — where interactive requests jump ahead of bulk — instead
+	// of racing into the engine in arrival order.
+	MaxConcurrent int
+	// Observer receives flush/wait events for metrics.
+	Observer Observer
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("qos: batcher closed")
+
+// outcome is what a flush delivers to one waiting request.
+type outcome[R any] struct {
+	res  R
+	info BatchInfo
+	err  error
+}
+
+// waiter is one request parked in the batcher.
+type waiter[R any] struct {
+	ctx   context.Context
+	query []float32
+	enq   time.Time
+	ch    chan outcome[R] // buffered(1): a flush never blocks on delivery
+}
+
+// tenantQ is one tenant's FIFO within a lane.
+type tenantQ[R any] struct {
+	name   string
+	weight int
+	q      []*waiter[R]
+}
+
+// laneQ holds the per-tenant queues of one priority lane and dequeues
+// them weighted-fair: a round-robin over tenants that grants each up to
+// its weight in queries per pass, so a tenant with weight 4 drains 4x
+// faster than a weight-1 tenant but can never lock others out.
+type laneQ[R any] struct {
+	order []*tenantQ[R] // tenants with queued work, arrival order
+	rr    int           // next tenant to serve
+	n     int           // total queued waiters in the lane
+}
+
+func (l *laneQ[R]) enqueue(tenant string, weight int, w *waiter[R]) {
+	if weight < 1 {
+		weight = 1
+	}
+	for _, t := range l.order {
+		if t.name == tenant {
+			t.weight = weight
+			t.q = append(t.q, w)
+			l.n++
+			return
+		}
+	}
+	l.order = append(l.order, &tenantQ[R]{name: tenant, weight: weight, q: []*waiter[R]{w}})
+	l.n++
+}
+
+// dequeue appends up to max-len(dst) waiters to dst in weighted
+// round-robin order and returns the extended slice.
+func (l *laneQ[R]) dequeue(dst []*waiter[R], max int) []*waiter[R] {
+	for l.n > 0 && len(dst) < max {
+		if l.rr >= len(l.order) {
+			l.rr = 0
+		}
+		t := l.order[l.rr]
+		for take := t.weight; take > 0 && len(t.q) > 0 && len(dst) < max; take-- {
+			dst = append(dst, t.q[0])
+			t.q[0] = nil // release for GC; the backing array is kept
+			t.q = t.q[1:]
+			l.n--
+		}
+		if len(t.q) == 0 {
+			l.order = append(l.order[:l.rr], l.order[l.rr+1:]...)
+			// l.rr now points at the next tenant already.
+		} else {
+			l.rr++
+		}
+	}
+	return dst
+}
+
+// class groups waiters that can share one engine batch: a batch has a
+// single (W, K), so requests with different knobs coalesce separately.
+type class[R any] struct {
+	w, k     int
+	lanes    [2]laneQ[R] // [Interactive, Bulk]
+	timer    *time.Timer
+	timerGen uint64 // invalidates timers whose flush was taken over
+}
+
+func (c *class[R]) queued() int { return c.lanes[0].n + c.lanes[1].n }
+
+// Batcher coalesces concurrent single-query submissions into bounded
+// engine batches. It is safe for concurrent use.
+type Batcher[R any] struct {
+	run      RunFunc[R]
+	window   time.Duration
+	maxBatch int
+	maxConc  int
+	obs      Observer
+
+	mu      sync.Mutex
+	classes map[[2]int]*class[R]
+	queuedN int
+	running int
+	closed  bool
+}
+
+// NewBatcher returns a batcher that executes flushes through run.
+func NewBatcher[R any](run RunFunc[R], opt BatcherOptions) *Batcher[R] {
+	if run == nil {
+		panic("qos: NewBatcher requires a RunFunc")
+	}
+	if opt.Window <= 0 {
+		opt.Window = time.Millisecond
+	}
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = 64
+	}
+	return &Batcher[R]{
+		run:      run,
+		window:   opt.Window,
+		maxBatch: opt.MaxBatch,
+		maxConc:  opt.MaxConcurrent,
+		obs:      opt.Observer,
+		classes:  map[[2]int]*class[R]{},
+	}
+}
+
+// canRun reports whether another batch may start. Caller holds b.mu.
+func (b *Batcher[R]) canRun() bool {
+	return b.maxConc <= 0 || b.running < b.maxConc
+}
+
+// QueueDepth returns the number of queries parked in the batcher (not
+// yet handed to a running batch).
+func (b *Batcher[R]) QueueDepth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queuedN
+}
+
+// Submit parks one query for coalescing and blocks until its batch has
+// executed (at most Window plus the engine batch time, sooner when the
+// batch fills) or ctx is done. The query slice is copied, so the caller
+// may recycle its buffer as soon as Submit returns — even on
+// cancellation, when the batch may still execute afterwards.
+func (b *Batcher[R]) Submit(ctx context.Context, tenant string, lane Lane, weight int, query []float32, w, k int) (R, BatchInfo, error) {
+	var zero R
+	wt := &waiter[R]{
+		ctx:   ctx,
+		query: append([]float32(nil), query...),
+		enq:   time.Now(),
+		ch:    make(chan outcome[R], 1),
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return zero, BatchInfo{}, ErrClosed
+	}
+	ck := [2]int{w, k}
+	c := b.classes[ck]
+	if c == nil {
+		c = &class[R]{w: w, k: k}
+		b.classes[ck] = c
+	}
+	li := 0
+	if lane == Bulk {
+		li = 1
+	}
+	c.lanes[li].enqueue(tenant, weight, wt)
+	b.queuedN++
+	if c.queued() >= b.maxBatch && b.canRun() {
+		// Flush early: take over any pending timer and run now.
+		c.timerGen++
+		if c.timer != nil {
+			c.timer.Stop()
+			c.timer = nil
+		}
+		batch, remaining := b.assemble(c)
+		b.running++
+		b.mu.Unlock()
+		go b.executeAndNext(c, batch, remaining)
+	} else {
+		// Below the size trigger — or at the concurrency limit, in which
+		// case a completing batch will flush the backlog. The timer is
+		// still armed so an idle-but-bounded wait holds either way.
+		if c.timer == nil {
+			b.armTimer(c, b.window)
+		}
+		b.mu.Unlock()
+	}
+
+	select {
+	case out := <-wt.ch:
+		return out.res, out.info, out.err
+	case <-ctx.Done():
+		// The batch may still execute this query (its copy lives in the
+		// queue); the outcome lands in the buffered channel and is
+		// dropped.
+		return zero, BatchInfo{}, ctx.Err()
+	}
+}
+
+// armTimer schedules a flush for c after d. Caller holds b.mu.
+func (b *Batcher[R]) armTimer(c *class[R], d time.Duration) {
+	c.timerGen++
+	gen := c.timerGen
+	c.timer = time.AfterFunc(d, func() {
+		b.mu.Lock()
+		if c.timerGen != gen {
+			// A size-triggered flush (or Close) took these waiters.
+			b.mu.Unlock()
+			return
+		}
+		c.timer = nil
+		if !b.canRun() {
+			// At the concurrency limit: leave the waiters queued. Every
+			// batch completion rescans the queues, and with the timer now
+			// nil the next completion flushes this class immediately.
+			b.mu.Unlock()
+			return
+		}
+		batch, remaining := b.assemble(c)
+		b.running++
+		b.mu.Unlock()
+		b.executeAndNext(c, batch, remaining)
+	})
+}
+
+// assemble removes up to maxBatch waiters from c — interactive lane
+// first, then bulk, each weighted-fair across tenants — and re-arms an
+// immediate flush when a backlog remains. Caller holds b.mu.
+func (b *Batcher[R]) assemble(c *class[R]) (batch []*waiter[R], remaining int) {
+	n := c.queued()
+	if n > b.maxBatch {
+		n = b.maxBatch
+	}
+	batch = make([]*waiter[R], 0, n)
+	batch = c.lanes[0].dequeue(batch, b.maxBatch)
+	batch = c.lanes[1].dequeue(batch, b.maxBatch)
+	b.queuedN -= len(batch)
+	remaining = c.queued()
+	if remaining > 0 && c.timer == nil {
+		// Backlog past MaxBatch: flush again as soon as possible rather
+		// than making the leftovers wait another full window.
+		b.armTimer(c, 0)
+	}
+	return batch, remaining
+}
+
+// execute runs one assembled batch and fans results back out.
+func (b *Batcher[R]) execute(c *class[R], batch []*waiter[R], remaining int) {
+	// Skip waiters that gave up while queued; their Submit has already
+	// returned ctx.Err().
+	live := batch[:0]
+	for _, w := range batch {
+		if w.ctx.Err() == nil {
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	if b.obs.Flush != nil {
+		b.obs.Flush(len(live), remaining)
+	}
+	queries := make([][]float32, len(live))
+	for i, w := range live {
+		queries[i] = w.query
+	}
+
+	// The batch context outlives any single member: it is canceled only
+	// once every member has abandoned, and carries the latest member
+	// deadline when every member has one (a member with an earlier
+	// deadline times out individually in Submit while the batch
+	// finishes for the others).
+	bctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var latest time.Time
+	allBounded := true
+	for _, w := range live {
+		if d, ok := w.ctx.Deadline(); ok {
+			if d.After(latest) {
+				latest = d
+			}
+		} else {
+			allBounded = false
+		}
+	}
+	if allBounded {
+		var dcancel context.CancelFunc
+		bctx, dcancel = context.WithDeadline(bctx, latest)
+		defer dcancel()
+	}
+	alive := int32(len(live))
+	stops := make([]func() bool, len(live))
+	for i, w := range live {
+		stops[i] = context.AfterFunc(w.ctx, func() {
+			if atomic.AddInt32(&alive, -1) == 0 {
+				cancel()
+			}
+		})
+	}
+
+	start := time.Now()
+	res, err := b.run(bctx, queries, c.w, c.k)
+	for _, stop := range stops {
+		stop()
+	}
+	if err == nil && len(res) != len(live) {
+		err = fmt.Errorf("qos: batch run returned %d results for %d queries", len(res), len(live))
+	}
+	for i, w := range live {
+		out := outcome[R]{info: BatchInfo{Size: len(live), Wait: start.Sub(w.enq)}}
+		if err != nil {
+			out.err = err
+		} else {
+			out.res = res[i]
+		}
+		if b.obs.Wait != nil {
+			b.obs.Wait(out.info.Wait)
+		}
+		w.ch <- out
+	}
+}
+
+// executeAndNext runs one batch that holds a concurrency slot, then
+// hands the slot to queued work: any class with a full batch waiting,
+// or whose window already expired while the batcher was at the limit
+// (timer nil but waiters queued), is flushed immediately rather than
+// waiting another window. Under-full classes with a live timer keep
+// coalescing until it fires.
+func (b *Batcher[R]) executeAndNext(c *class[R], batch []*waiter[R], remaining int) {
+	b.execute(c, batch, remaining)
+	b.mu.Lock()
+	b.running--
+	if !b.closed {
+		for _, cc := range b.classes {
+			if !b.canRun() {
+				break
+			}
+			if cc.queued() == 0 || (cc.queued() < b.maxBatch && cc.timer != nil) {
+				continue
+			}
+			cc.timerGen++
+			if cc.timer != nil {
+				cc.timer.Stop()
+				cc.timer = nil
+			}
+			next, rem := b.assemble(cc)
+			b.running++
+			go b.executeAndNext(cc, next, rem)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Close flushes every queued request and fails subsequent Submits with
+// ErrClosed. It does not wait for in-flight batches.
+func (b *Batcher[R]) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	type flush[R2 any] struct {
+		c         *class[R2]
+		batch     []*waiter[R2]
+		remaining int
+	}
+	var flushes []flush[R]
+	for _, c := range b.classes {
+		for c.queued() > 0 {
+			batch, remaining := b.assemble(c)
+			flushes = append(flushes, flush[R]{c, batch, remaining})
+		}
+		// Invalidate any timer (pre-existing or re-armed by assemble)
+		// now that the queues are drained.
+		c.timerGen++
+		if c.timer != nil {
+			c.timer.Stop()
+			c.timer = nil
+		}
+	}
+	b.mu.Unlock()
+	for _, f := range flushes {
+		go b.execute(f.c, f.batch, f.remaining)
+	}
+}

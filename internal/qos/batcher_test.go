@@ -1,0 +1,395 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoRun returns each query's first component so tests can check the
+// fan-out mapping, and records every batch it executed.
+type echoRun struct {
+	mu      sync.Mutex
+	batches [][]float32 // first components per batch, in order
+	delay   time.Duration
+	err     error
+}
+
+func (e *echoRun) run(ctx context.Context, queries [][]float32, w, k int) ([]float32, error) {
+	if e.delay > 0 {
+		select {
+		case <-time.After(e.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	out := make([]float32, len(queries))
+	firsts := make([]float32, len(queries))
+	for i, q := range queries {
+		out[i] = q[0]
+		firsts[i] = q[0]
+	}
+	e.mu.Lock()
+	e.batches = append(e.batches, firsts)
+	e.mu.Unlock()
+	return out, nil
+}
+
+func (e *echoRun) batchSizes() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sizes := make([]int, len(e.batches))
+	for i, b := range e.batches {
+		sizes[i] = len(b)
+	}
+	return sizes
+}
+
+// Concurrent submissions inside one window coalesce into one batch, and
+// every submitter gets its own query's result back.
+func TestBatcherCoalesces(t *testing.T) {
+	e := &echoRun{}
+	b := NewBatcher(e.run, BatcherOptions{Window: 20 * time.Millisecond, MaxBatch: 64})
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	got := make([]float32, n)
+	infos := make([]BatchInfo, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], infos[i], errs[i] = b.Submit(context.Background(), "t", Interactive, 1, []float32{float32(i)}, 8, 4)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		if got[i] != float32(i) {
+			t.Errorf("submit %d got result %v (fan-out misrouted)", i, got[i])
+		}
+	}
+	sizes := e.batchSizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != n {
+		t.Fatalf("executed %d queries across %v, want %d", total, sizes, n)
+	}
+	if len(sizes) == n {
+		t.Errorf("no coalescing: %d batches for %d concurrent submits", len(sizes), n)
+	}
+	if infos[0].Size == 0 {
+		t.Errorf("BatchInfo.Size not populated: %+v", infos[0])
+	}
+}
+
+// A full batch flushes before the window expires.
+func TestBatcherFlushesEarlyAtMaxBatch(t *testing.T) {
+	e := &echoRun{}
+	b := NewBatcher(e.run, BatcherOptions{Window: time.Hour, MaxBatch: 4})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := b.Submit(context.Background(), "t", Interactive, 1, []float32{float32(i)}, 8, 4); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("full batch waited %v despite MaxBatch=4 (window never fired?)", el)
+	}
+	if sizes := e.batchSizes(); len(sizes) < 1 {
+		t.Fatal("no batch executed")
+	}
+}
+
+// Different (W, K) classes never share a batch.
+func TestBatcherClassesSeparate(t *testing.T) {
+	e := &echoRun{}
+	b := NewBatcher(e.run, BatcherOptions{Window: 10 * time.Millisecond, MaxBatch: 64})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := 8 + i%2 // two classes
+			if _, _, err := b.Submit(context.Background(), "t", Interactive, 1, []float32{float32(i)}, w, 4); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// 8 queries, 2 classes: every batch must be single-class, which the
+	// echo payload encodes as first components of matching parity.
+	for _, batch := range e.batches {
+		for _, f := range batch {
+			if int(f)%2 != int(batch[0])%2 {
+				t.Fatalf("mixed-class batch: %v", batch)
+			}
+		}
+	}
+}
+
+// A canceled submitter returns immediately; the rest of the batch still
+// completes.
+func TestBatcherCancellation(t *testing.T) {
+	e := &echoRun{delay: 5 * time.Millisecond}
+	b := NewBatcher(e.run, BatcherOptions{Window: 10 * time.Millisecond, MaxBatch: 64})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before submitting: the waiter must not hang
+	if _, _, err := b.Submit(ctx, "t", Interactive, 1, []float32{1}, 8, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled submit returned %v, want context.Canceled", err)
+	}
+	// A live submitter in the same class still gets served.
+	if got, _, err := b.Submit(context.Background(), "t", Interactive, 1, []float32{2}, 8, 4); err != nil || got != 2 {
+		t.Fatalf("live submit after cancel: got %v, %v", got, err)
+	}
+}
+
+// A run error reaches every member of the batch.
+func TestBatcherRunErrorFansOut(t *testing.T) {
+	boom := errors.New("boom")
+	e := &echoRun{err: boom}
+	b := NewBatcher(e.run, BatcherOptions{Window: 5 * time.Millisecond, MaxBatch: 64})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := b.Submit(context.Background(), "t", Interactive, 1, []float32{1}, 8, 4); !errors.Is(err, boom) {
+				t.Errorf("got %v, want boom", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// The QoS fairness pin: with a bulk backlog far longer than the batch
+// size and one batch slot (so excess demand backs up in the batcher,
+// as it does at engine saturation), an interactive request rides the
+// very next flush instead of waiting behind the backlog.
+func TestBatcherInteractiveNotStarvedByBulkFlood(t *testing.T) {
+	e := &echoRun{delay: 2 * time.Millisecond}
+	b := NewBatcher(e.run, BatcherOptions{Window: 2 * time.Millisecond, MaxBatch: 8, MaxConcurrent: 1})
+
+	// Flood: 96 bulk queries (12 full batches of work). With one batch
+	// slot only the first 8 start executing; the rest queue.
+	const flood = 96
+	var floodWG sync.WaitGroup
+	var floodDone atomic.Int32
+	for i := 0; i < flood; i++ {
+		floodWG.Add(1)
+		go func(i int) {
+			defer floodWG.Done()
+			_, _, err := b.Submit(context.Background(), "bulk", Bulk, 1, []float32{float32(1000 + i)}, 8, 4)
+			if err != nil {
+				t.Errorf("bulk submit: %v", err)
+			}
+			floodDone.Add(1)
+		}(i)
+	}
+	// Let the flood back up in the batcher.
+	for b.QueueDepth() < flood/2 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// One interactive request arriving into the backlog.
+	start := time.Now()
+	got, info, err := b.Submit(context.Background(), "live", Interactive, 1, []float32{7}, 8, 4)
+	wait := time.Since(start)
+	done := floodDone.Load()
+	if err != nil || got != 7 {
+		t.Fatalf("interactive submit: got %v, %v", got, err)
+	}
+	// It must not have drained the whole flood first: most of the bulk
+	// backlog must still be waiting when the interactive one completes.
+	if done >= flood/2 {
+		t.Errorf("interactive request finished behind %d of %d bulk queries", done, flood)
+	}
+	// And its latency is bounded by a couple of batch rounds, not the
+	// backlog length (12 serialized batches x 2ms plus windows).
+	if wait > 150*time.Millisecond {
+		t.Errorf("interactive latency %v under bulk flood (batch info %+v)", wait, info)
+	}
+	floodWG.Wait()
+}
+
+// Weighted-fair dequeue: with two fully backlogged tenants of weights
+// 3 and 1, a full batch holds a 3:1 mix. A warmup batch pins the single
+// concurrency slot while both tenant queues fill, so the inspected
+// batch is assembled from complete backlogs.
+func TestBatcherWeightedFairShare(t *testing.T) {
+	release := make(chan struct{})
+	var entered atomic.Bool
+	var once sync.Once
+	e := &echoRun{}
+	gate := func(ctx context.Context, queries [][]float32, w, k int) ([]float32, error) {
+		once.Do(func() {
+			entered.Store(true)
+			<-release
+		})
+		return e.run(ctx, queries, w, k)
+	}
+	b := NewBatcher(gate, BatcherOptions{Window: time.Hour, MaxBatch: 8, MaxConcurrent: 1})
+
+	var wg sync.WaitGroup
+	// Warmup: fill the one slot with a full batch the gate holds open.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.Submit(context.Background(), "warmup", Bulk, 1, []float32{float32(200 + i)}, 8, 4)
+		}(i)
+	}
+	for !entered.Load() {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Both tenants back up fully behind the blocked slot.
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.Submit(context.Background(), "heavy", Bulk, 3, []float32{float32(i)}, 8, 4)
+		}(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.Submit(context.Background(), "light", Bulk, 1, []float32{float32(100 + i)}, 8, 4)
+		}(i)
+	}
+	for b.QueueDepth() < 24 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+
+	// The first post-warmup batch was assembled with 12 queries queued
+	// per tenant: weighted round-robin must give the weight-3 tenant 6
+	// of the 8 slots (3+1 per pass, two passes).
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, batch := range e.batches {
+		heavy, light := 0, 0
+		for _, f := range batch {
+			switch {
+			case f < 100:
+				heavy++
+			case f < 200:
+				light++
+			}
+		}
+		if heavy == 0 && light == 0 {
+			continue // warmup batch
+		}
+		if len(batch) != 8 || heavy != 6 || light != 2 {
+			t.Errorf("first backlogged batch split heavy=%d light=%d (batch %v), want 6/2", heavy, light, batch)
+		}
+		return
+	}
+	t.Fatal("no tenant batch executed")
+}
+
+func TestBatcherClose(t *testing.T) {
+	e := &echoRun{}
+	b := NewBatcher(e.run, BatcherOptions{Window: time.Hour, MaxBatch: 64})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := b.Submit(context.Background(), "t", Interactive, 1, []float32{1}, 8, 4)
+		done <- err
+	}()
+	for b.QueueDepth() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("queued submit after Close: %v (want flushed result)", err)
+	}
+	if _, _, err := b.Submit(context.Background(), "t", Interactive, 1, []float32{1}, 8, 4); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// The deadline of the batch context is the latest member deadline, and
+// it is only set when every member is bounded.
+func TestBatcherDeadlinePropagation(t *testing.T) {
+	type seen struct {
+		deadline time.Time
+		ok       bool
+	}
+	ch := make(chan seen, 1)
+	run := func(ctx context.Context, queries [][]float32, w, k int) ([]float32, error) {
+		d, ok := ctx.Deadline()
+		ch <- seen{d, ok}
+		return make([]float32, len(queries)), nil
+	}
+	b := NewBatcher(run, BatcherOptions{Window: 5 * time.Millisecond, MaxBatch: 64})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, _, err := b.Submit(ctx, "t", Interactive, 1, []float32{1}, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	if s := <-ch; !s.ok || time.Until(s.deadline) > time.Minute {
+		t.Errorf("bounded batch saw deadline %v ok=%v", s.deadline, s.ok)
+	}
+
+	if _, _, err := b.Submit(context.Background(), "t", Interactive, 1, []float32{1}, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	if s := <-ch; s.ok {
+		t.Errorf("unbounded member but batch ctx has deadline %v", s.deadline)
+	}
+}
+
+func TestParseLane(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Lane
+		err  bool
+	}{
+		{"interactive", Interactive, false},
+		{"", Interactive, false},
+		{"bulk", Bulk, false},
+		{"batch", Bulk, false},
+		{"turbo", 0, true},
+	} {
+		got, err := ParseLane(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseLane(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if Interactive.String() != "interactive" || Bulk.String() != "bulk" {
+		t.Error("Lane.String mismatch")
+	}
+}
+
+func ExampleBatcher() {
+	run := func(ctx context.Context, queries [][]float32, w, k int) ([]string, error) {
+		out := make([]string, len(queries))
+		for i := range queries {
+			out[i] = fmt.Sprintf("w=%d k=%d q0=%g", w, k, queries[i][0])
+		}
+		return out, nil
+	}
+	b := NewBatcher(run, BatcherOptions{Window: time.Millisecond, MaxBatch: 8})
+	res, _, _ := b.Submit(context.Background(), "tenant-a", Interactive, 1, []float32{42}, 16, 10)
+	fmt.Println(res)
+	// Output: w=16 k=10 q0=42
+}

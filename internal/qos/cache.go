@@ -1,0 +1,142 @@
+package qos
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a result cache for repeated queries: an LRU keyed on a
+// caller-built byte key (the serving layer uses the PQ code of the
+// quantized query plus the search knobs) with exact-hit semantics —
+// each entry retains the full query vector it was stored under, and a
+// lookup whose key matches but whose vector differs is a miss, so two
+// distinct queries that quantize to the same code can never see each
+// other's results.
+//
+// Staleness is governed by a generation counter: Put records results
+// only when they were computed at the cache's current generation, and
+// Invalidate (called under the index write lock whenever the corpus
+// changes) bumps the generation and clears the cache. A search that
+// raced an ingest — computed against the old corpus but stored after
+// the invalidation — is therefore rejected instead of poisoning the
+// cache with pre-ingest results.
+//
+// All methods are safe for concurrent use.
+type Cache[V any] struct {
+	mu                                     sync.Mutex
+	cap                                    int
+	ll                                     *list.List // front = most recently used
+	m                                      map[string]*list.Element
+	gen                                    uint64
+	hits, misses, evictions, invalidations uint64
+}
+
+// centry is one cached (query, value) pair.
+type centry[V any] struct {
+	key   string
+	query []float32
+	val   V
+}
+
+// NewCache returns a cache holding up to capacity entries.
+func NewCache[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		panic("qos: cache capacity must be positive")
+	}
+	return &Cache[V]{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+// Gen returns the current generation. Callers snapshot it while holding
+// the same lock under which their search executes, and pass it to Put.
+func (c *Cache[V]) Gen() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Get returns the value stored under key for exactly this query vector.
+// The key is taken as []byte so the common miss path does not allocate
+// a string.
+func (c *Cache[V]) Get(key []byte, query []float32) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[string(key)]; ok { // no alloc: compiler-optimized map lookup
+		ent := e.Value.(*centry[V])
+		if equalVec(ent.query, query) {
+			c.ll.MoveToFront(e)
+			c.hits++
+			return ent.val, true
+		}
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores val under key for query, provided gen is still the current
+// generation (results computed before an invalidation are dropped). The
+// query vector is copied; val must be treated as immutable by the
+// caller afterwards.
+func (c *Cache[V]) Put(key []byte, query []float32, val V, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	if e, ok := c.m[string(key)]; ok {
+		// Refresh in place (also resolves a code collision in favour of
+		// the most recent query).
+		ent := e.Value.(*centry[V])
+		ent.query = append(ent.query[:0], query...)
+		ent.val = val
+		c.ll.MoveToFront(e)
+		return
+	}
+	ks := string(key)
+	ent := &centry[V]{key: ks, query: append([]float32(nil), query...), val: val}
+	c.m[ks] = c.ll.PushFront(ent)
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*centry[V]).key)
+		c.evictions++
+	}
+}
+
+// Invalidate clears the cache and bumps the generation, so in-flight
+// Puts computed against the previous corpus are rejected. Call it under
+// the same write lock that mutates the index.
+func (c *Cache[V]) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.invalidations++
+	c.ll.Init()
+	clear(c.m)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns lifetime hit/miss/eviction/invalidation counts.
+func (c *Cache[V]) Stats() (hits, misses, evictions, invalidations uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.invalidations
+}
+
+func equalVec(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+package qos
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewCache[int](2)
+	q1 := []float32{1, 2}
+	q2 := []float32{3, 4}
+	q3 := []float32{5, 6}
+	gen := c.Gen()
+
+	if _, ok := c.Get([]byte("a"), q1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put([]byte("a"), q1, 10, gen)
+	c.Put([]byte("b"), q2, 20, gen)
+	if v, ok := c.Get([]byte("a"), q1); !ok || v != 10 {
+		t.Fatalf("Get a = %v, %v", v, ok)
+	}
+	// "a" is now MRU; inserting "c" must evict "b".
+	c.Put([]byte("c"), q3, 30, gen)
+	if _, ok := c.Get([]byte("b"), q2); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if v, ok := c.Get([]byte("a"), q1); !ok || v != 10 {
+		t.Errorf("MRU entry a evicted: %v, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	hits, misses, evictions, _ := c.Stats()
+	if hits != 2 || evictions != 1 || misses < 2 {
+		t.Errorf("stats hits=%d misses=%d evictions=%d", hits, misses, evictions)
+	}
+}
+
+// Two distinct queries sharing a PQ code must never see each other's
+// results: the stored vector disambiguates.
+func TestCacheExactHitOnly(t *testing.T) {
+	c := NewCache[int](4)
+	key := []byte{1, 2, 3}
+	qa := []float32{1, 0}
+	qb := []float32{1.0000001, 0} // same code, different vector
+	c.Put(key, qa, 1, c.Gen())
+	if _, ok := c.Get(key, qb); ok {
+		t.Fatal("colliding query served another query's results")
+	}
+	if v, ok := c.Get(key, qa); !ok || v != 1 {
+		t.Fatalf("original query missed: %v, %v", v, ok)
+	}
+	// The most recent query wins the slot on Put.
+	c.Put(key, qb, 2, c.Gen())
+	if _, ok := c.Get(key, qa); ok {
+		t.Error("stale collision entry served after refresh")
+	}
+	if v, ok := c.Get(key, qb); !ok || v != 2 {
+		t.Errorf("refreshed entry missed: %v, %v", v, ok)
+	}
+}
+
+// A Put carrying a pre-invalidation generation is dropped: the search
+// it came from was computed against the old corpus.
+func TestCacheStaleGenerationRejected(t *testing.T) {
+	c := NewCache[int](4)
+	q := []float32{1}
+	gen := c.Gen()                // search starts here...
+	c.Invalidate()                // ...corpus changes...
+	c.Put([]byte("k"), q, 1, gen) // ...search finishes and tries to store
+	if _, ok := c.Get([]byte("k"), q); ok {
+		t.Fatal("stale-generation Put was accepted")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after rejected Put", c.Len())
+	}
+	// A fresh-generation Put works.
+	c.Put([]byte("k"), q, 2, c.Gen())
+	if v, ok := c.Get([]byte("k"), q); !ok || v != 2 {
+		t.Fatalf("fresh Put missed: %v, %v", v, ok)
+	}
+	_, _, _, invalidations := c.Stats()
+	if invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", invalidations)
+	}
+}
+
+func TestCacheInvalidateClears(t *testing.T) {
+	c := NewCache[int](8)
+	for i := 0; i < 5; i++ {
+		c.Put([]byte{byte(i)}, []float32{float32(i)}, i, c.Gen())
+	}
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Invalidate", c.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Get([]byte{byte(i)}, []float32{float32(i)}); ok {
+			t.Fatalf("entry %d survived Invalidate", i)
+		}
+	}
+}
+
+func TestCachePutCopiesQuery(t *testing.T) {
+	c := NewCache[int](4)
+	q := []float32{1, 2}
+	c.Put([]byte("k"), q, 1, c.Gen())
+	q[0] = 99 // caller reuses its buffer
+	if _, ok := c.Get([]byte("k"), q); ok {
+		t.Fatal("cache aliased the caller's query buffer")
+	}
+	if _, ok := c.Get([]byte("k"), []float32{1, 2}); !ok {
+		t.Fatal("original vector missed after caller mutation")
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := NewCache[[]int64](1024)
+	key := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	q := []float32{1, 2, 3, 4}
+	c.Put(key, q, []int64{1, 2, 3}, c.Gen())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(key, q); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func ExampleCache() {
+	c := NewCache[string](128)
+	gen := c.Gen()
+	c.Put([]byte{0x1f, 0x2a}, []float32{0.5, 1.5}, "top-k ids", gen)
+	v, ok := c.Get([]byte{0x1f, 0x2a}, []float32{0.5, 1.5})
+	fmt.Println(v, ok)
+	// Output: top-k ids true
+}

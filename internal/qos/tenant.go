@@ -1,0 +1,172 @@
+package qos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TenantConfig describes one tenant's service class.
+type TenantConfig struct {
+	// Name identifies the tenant in metrics and logs (defaults to the
+	// API key it is registered under).
+	Name string
+	// Weight is the tenant's weighted-fair share inside its lane
+	// (minimum 1): a weight-4 tenant drains four queries from its queue
+	// for every one of a weight-1 tenant when both are backlogged.
+	Weight int
+	// Rate is the sustained token-bucket refill in queries/second;
+	// zero or negative means unlimited.
+	Rate float64
+	// Burst is the bucket capacity in queries (defaults to Rate, with a
+	// minimum of 1): the instantaneous excursion allowed above Rate.
+	Burst float64
+	// Lane is the tenant's priority lane.
+	Lane Lane
+}
+
+// normalize fills defaults.
+func (c TenantConfig) normalize(key string) TenantConfig {
+	if c.Name == "" {
+		c.Name = key
+	}
+	if c.Weight < 1 {
+		c.Weight = 1
+	}
+	if c.Burst <= 0 {
+		c.Burst = c.Rate
+	}
+	if c.Burst < 1 {
+		c.Burst = 1
+	}
+	return c
+}
+
+// Tenant is one admitted service class with its live token bucket.
+type Tenant struct {
+	TenantConfig
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// Allow reports whether n queries fit the tenant's quota right now,
+// consuming n tokens when they do. Unlimited tenants always pass.
+func (t *Tenant) Allow(n int) bool { return t.allowAt(time.Now(), float64(n)) }
+
+func (t *Tenant) allowAt(now time.Time, n float64) bool {
+	if t.Rate <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.last.IsZero() {
+		t.tokens = t.Burst
+	} else if el := now.Sub(t.last).Seconds(); el > 0 {
+		t.tokens += el * t.Rate
+		if t.tokens > t.Burst {
+			t.tokens = t.Burst
+		}
+	}
+	if !now.Before(t.last) {
+		t.last = now
+	}
+	if t.tokens < n {
+		return false
+	}
+	t.tokens -= n
+	return true
+}
+
+// Tenants maps API keys to tenants. Requests with an unknown (or
+// missing) key share one default tenant, so anonymous traffic is
+// rate-limited as a single class rather than per key.
+type Tenants struct {
+	mu    sync.Mutex
+	byKey map[string]*Tenant
+	def   *Tenant
+}
+
+// NewTenants returns a table whose unknown-key traffic is governed by
+// def (zero value: unlimited, weight 1, interactive).
+func NewTenants(def TenantConfig) *Tenants {
+	return &Tenants{
+		byKey: map[string]*Tenant{},
+		def:   &Tenant{TenantConfig: def.normalize("default")},
+	}
+}
+
+// Add registers (or replaces) the tenant served under key.
+func (ts *Tenants) Add(key string, cfg TenantConfig) *Tenant {
+	t := &Tenant{TenantConfig: cfg.normalize(key)}
+	ts.mu.Lock()
+	ts.byKey[key] = t
+	ts.mu.Unlock()
+	return t
+}
+
+// Resolve returns the tenant serving key (the default tenant for
+// unknown or empty keys). It never returns nil.
+func (ts *Tenants) Resolve(key string) *Tenant {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if t, ok := ts.byKey[key]; ok {
+		return t
+	}
+	return ts.def
+}
+
+// ParseTenants builds a table from a compact flag spec:
+//
+//	key=weight:4,rate:1000,burst:2000,lane:interactive,name:web;key2=lane:bulk
+//
+// Tenants are separated by ';', fields by ',', each field is
+// "name:value". Unknown keys fall back to the zero default tenant
+// (unlimited, interactive, weight 1).
+func ParseTenants(spec string) (*Tenants, error) {
+	ts := NewTenants(TenantConfig{})
+	for _, ent := range strings.Split(spec, ";") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		key, fields, ok := strings.Cut(ent, "=")
+		if !ok || key == "" {
+			return nil, fmt.Errorf("qos: tenant entry %q is not key=field:value,...", ent)
+		}
+		var cfg TenantConfig
+		for _, f := range strings.Split(fields, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			name, val, ok := strings.Cut(f, ":")
+			if !ok {
+				return nil, fmt.Errorf("qos: tenant %q field %q is not name:value", key, f)
+			}
+			var err error
+			switch name {
+			case "name":
+				cfg.Name = val
+			case "weight":
+				cfg.Weight, err = strconv.Atoi(val)
+			case "rate":
+				cfg.Rate, err = strconv.ParseFloat(val, 64)
+			case "burst":
+				cfg.Burst, err = strconv.ParseFloat(val, 64)
+			case "lane":
+				cfg.Lane, err = ParseLane(val)
+			default:
+				return nil, fmt.Errorf("qos: tenant %q has unknown field %q", key, name)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("qos: tenant %q field %q: %v", key, f, err)
+			}
+		}
+		ts.Add(key, cfg)
+	}
+	return ts, nil
+}

@@ -1,0 +1,116 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucket(t *testing.T) {
+	tn := &Tenant{TenantConfig: TenantConfig{Rate: 10, Burst: 5}.normalize("t")}
+	now := time.Unix(1000, 0)
+
+	// First touch fills to burst: 5 pass, the 6th fails.
+	for i := 0; i < 5; i++ {
+		if !tn.allowAt(now, 1) {
+			t.Fatalf("request %d rejected inside burst", i)
+		}
+	}
+	if tn.allowAt(now, 1) {
+		t.Fatal("request beyond burst allowed")
+	}
+	// 100ms later one token (rate 10/s) has refilled.
+	now = now.Add(100 * time.Millisecond)
+	if !tn.allowAt(now, 1) {
+		t.Fatal("refilled token rejected")
+	}
+	if tn.allowAt(now, 1) {
+		t.Fatal("second token allowed after single refill")
+	}
+	// A long idle period refills only to burst.
+	now = now.Add(time.Hour)
+	for i := 0; i < 5; i++ {
+		if !tn.allowAt(now, 1) {
+			t.Fatalf("request %d rejected after long idle", i)
+		}
+	}
+	if tn.allowAt(now, 1) {
+		t.Fatal("burst cap not enforced after idle refill")
+	}
+	// Clock going backwards must not mint tokens.
+	if tn.allowAt(now.Add(-time.Minute), 1) {
+		t.Fatal("backwards clock minted tokens")
+	}
+}
+
+func TestTenantUnlimited(t *testing.T) {
+	tn := &Tenant{TenantConfig: TenantConfig{}.normalize("t")}
+	now := time.Unix(1000, 0)
+	for i := 0; i < 10000; i++ {
+		if !tn.allowAt(now, 1) {
+			t.Fatal("unlimited tenant throttled")
+		}
+	}
+}
+
+func TestTenantsResolveDefault(t *testing.T) {
+	ts := NewTenants(TenantConfig{Rate: 2, Burst: 2})
+	web := ts.Add("web-key", TenantConfig{Name: "web", Weight: 4})
+
+	if got := ts.Resolve("web-key"); got != web {
+		t.Fatal("known key did not resolve to its tenant")
+	}
+	anon1 := ts.Resolve("")
+	anon2 := ts.Resolve("never-registered")
+	if anon1 != anon2 {
+		t.Fatal("unknown keys must share one default tenant")
+	}
+	if anon1 == nil || anon1.Name != "default" {
+		t.Fatalf("default tenant = %+v", anon1)
+	}
+	// The shared default bucket rate-limits anonymous traffic as one class.
+	now := time.Unix(1000, 0)
+	anon1.allowAt(now, 1)
+	anon1.allowAt(now, 1)
+	if anon2.allowAt(now, 1) {
+		t.Fatal("anonymous classes have separate buckets")
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	ts, err := ParseTenants("web=weight:4,rate:1000,burst:2000,lane:interactive,name:frontend; etl=lane:bulk,weight:2 ;;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := ts.Resolve("web")
+	if web.Name != "frontend" || web.Weight != 4 || web.Rate != 1000 || web.Burst != 2000 || web.Lane != Interactive {
+		t.Errorf("web = %+v", web.TenantConfig)
+	}
+	etl := ts.Resolve("etl")
+	if etl.Name != "etl" || etl.Weight != 2 || etl.Lane != Bulk || etl.Rate != 0 {
+		t.Errorf("etl = %+v", etl.TenantConfig)
+	}
+
+	for _, bad := range []string{
+		"noequals",
+		"=weight:1",
+		"k=weight",
+		"k=weight:x",
+		"k=lane:warp",
+		"k=color:red",
+	} {
+		if _, err := ParseTenants(bad); err == nil {
+			t.Errorf("ParseTenants(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	c := TenantConfig{Rate: 50}.normalize("k")
+	if c.Name != "k" || c.Weight != 1 || c.Burst != 50 {
+		t.Errorf("normalize = %+v", c)
+	}
+	c = TenantConfig{Rate: 0.25}.normalize("k")
+	if c.Burst != 1 {
+		t.Errorf("sub-1 burst not clamped: %+v", c)
+	}
+}

@@ -49,6 +49,13 @@ type Trace struct {
 	Status  int    `json:"status,omitempty"`
 	// Scanned counts (query, vector) similarity computations.
 	Scanned int64 `json:"scanned,omitempty"`
+	// Tenant is the QoS tenant the request was attributed to.
+	Tenant string `json:"tenant,omitempty"`
+	// Batch is the size of the coalesced engine batch the query rode in
+	// (0 when it was not coalesced).
+	Batch int `json:"batch,omitempty"`
+	// CacheHit marks queries answered from the result cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// Slow marks traces captured because they crossed the slow-query
 	// threshold (as opposed to being sampled or explicitly tagged).
 	Slow  bool   `json:"slow,omitempty"`

@@ -2,13 +2,16 @@ package anna
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -16,6 +19,7 @@ import (
 	"time"
 
 	"anna/internal/metrics"
+	"anna/internal/qos"
 	"anna/internal/trace"
 )
 
@@ -95,6 +99,36 @@ type Server struct {
 	// SnapshotEvery, when positive with Store set, auto-checkpoints
 	// after that many vectors have been added since the last snapshot.
 	SnapshotEvery int
+	// BatchWindow bounds how long a single-query /search may be held so
+	// concurrent requests coalesce into one ClusterMajor engine batch
+	// (default 1ms; negative disables the dynamic batcher). Coalescing
+	// is bit-exact with per-request execution — the engine's per-query
+	// state is independent of batch composition — it only amortizes
+	// cluster selection and inverted-list loads the way the paper's
+	// Figure 5 batches do. Multi-query requests are already engine
+	// batches and always run directly.
+	BatchWindow time.Duration
+	// BatchMaxSize flushes a forming coalesced batch early once it
+	// holds this many queries (default 64).
+	BatchMaxSize int
+	// BatchMaxConcurrent bounds coalesced batches executing at once
+	// (default GOMAXPROCS). The bound is what gives the QoS lanes
+	// teeth: overload backs up in the batcher queue — where
+	// interactive-lane requests are dequeued ahead of bulk — instead of
+	// racing into the engine in arrival order.
+	BatchMaxConcurrent int
+	// CacheSize bounds the result cache in entries (default 4096;
+	// negative disables it). The cache is keyed on the index's own PQ
+	// code of the query plus (w, k); only the software backend is
+	// cached, hits require the exact query vector, and every /add
+	// invalidates the whole cache (generation-checked, so a search that
+	// raced the add can never store a stale row).
+	CacheSize int
+	// Tenants maps API keys (X-API-Key header, or Authorization:
+	// Bearer) to QoS classes: token-bucket quotas, weighted-fair batch
+	// share, and the interactive/bulk lane. Nil serves all traffic as
+	// one unlimited interactive tenant.
+	Tenants *qos.Tenants
 
 	inflight   atomic.Int64
 	addedSince atomic.Int64 // vectors added since the last snapshot
@@ -102,7 +136,21 @@ type Server struct {
 	traceOnce  sync.Once    // builds the trace recorder exactly once
 	rec        *trace.Recorder
 	recallOnce sync.Once // registers recall metrics exactly once
+	qosOnce    sync.Once // builds batcher/cache exactly once
+	batcher    atomic.Pointer[qos.Batcher[servedRow]]
+	cache      atomic.Pointer[qos.Cache[servedRow]]
 	m          *serverMetrics
+}
+
+// servedRow is one query's served results plus the cache generation
+// they were computed at (see qos.Cache) and the stage timings of the
+// engine batch that produced them, so a coalesced query that later
+// proves slow can still report select/scan/merge spans.
+type servedRow struct {
+	res              []Result
+	gen              uint64
+	sel, scan, merge time.Duration
+	scanned          int64
 }
 
 // serverMetrics bundles the registry and the pre-created instruments of
@@ -118,6 +166,10 @@ type serverMetrics struct {
 	listBytes   *metrics.Counter
 	rejected    *metrics.Counter
 	added       *metrics.Counter
+	batchSize   *metrics.Histogram
+	batchWait   *metrics.Histogram
+	flushes     *metrics.Counter
+	rejectDepth *metrics.Histogram
 	walAppend   *metrics.Histogram
 	walFsync    *metrics.Histogram
 	snapDur     *metrics.Histogram
@@ -143,6 +195,16 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Requests rejected at admission.", metrics.Label{Key: "reason", Value: "overload"}),
 		added: reg.Counter("anna_added_vectors_total",
 			"Vectors ingested through /add."),
+		batchSize: reg.Histogram("anna_batch_size_queries",
+			"Queries per coalesced engine batch.", metrics.ExpBuckets(1, 2, 11)),
+		batchWait: reg.Histogram("anna_batch_coalesce_wait_seconds",
+			"Time a query spent parked in the batcher before its batch started.",
+			metrics.ExpBuckets(50e-6, 2, 16)),
+		flushes: reg.Counter("anna_batch_flushes_total",
+			"Coalesced engine batches executed."),
+		rejectDepth: reg.Histogram("anna_rejected_queue_depth",
+			"Batcher queue depth observed at each 429 rejection.",
+			metrics.ExpBuckets(1, 2, 16)),
 	}
 	for _, h := range []string{"search", "add", "stats", "snapshot"} {
 		m.reqDuration[h] = reg.Histogram("anna_request_duration_seconds",
@@ -166,6 +228,38 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.GaugeFunc("anna_index_vectors",
 		"Vectors in the index.",
 		func() float64 { s.mu.RLock(); defer s.mu.RUnlock(); return float64(s.idx.Len()) })
+	reg.GaugeFunc("anna_batch_queue_depth",
+		"Queries parked in the dynamic batcher awaiting a flush.",
+		func() float64 {
+			if b := s.batcher.Load(); b != nil {
+				return float64(b.QueueDepth())
+			}
+			return 0
+		})
+	reg.GaugeFunc("anna_cache_entries",
+		"Entries in the result cache.",
+		func() float64 {
+			if c := s.cache.Load(); c != nil {
+				return float64(c.Len())
+			}
+			return 0
+		})
+	cacheStat := func(pick func(h, m, e, i uint64) uint64) func() uint64 {
+		return func() uint64 {
+			if c := s.cache.Load(); c != nil {
+				return pick(c.Stats())
+			}
+			return 0
+		}
+	}
+	reg.CounterFunc("anna_cache_hits_total", "Result-cache hits.",
+		cacheStat(func(h, _, _, _ uint64) uint64 { return h }))
+	reg.CounterFunc("anna_cache_misses_total", "Result-cache misses.",
+		cacheStat(func(_, m, _, _ uint64) uint64 { return m }))
+	reg.CounterFunc("anna_cache_evictions_total", "Result-cache LRU evictions.",
+		cacheStat(func(_, _, e, _ uint64) uint64 { return e }))
+	reg.CounterFunc("anna_cache_invalidations_total", "Result-cache invalidations (corpus changes).",
+		cacheStat(func(_, _, _, i uint64) uint64 { return i }))
 	return m
 }
 
@@ -254,10 +348,121 @@ func (s *Server) registerRecall() {
 	s.recallOnce.Do(func() { s.Recall.Register(s.m.reg) })
 }
 
+// initQoS builds the dynamic batcher, result cache, and tenant table
+// from the Batch*/CacheSize/Tenants knobs exactly once (set them before
+// the first request, like the trace knobs).
+func (s *Server) initQoS() {
+	s.qosOnce.Do(func() {
+		if s.CacheSize >= 0 {
+			size := s.CacheSize
+			if size == 0 {
+				size = 4096
+			}
+			s.cache.Store(qos.NewCache[servedRow](size))
+		}
+		if s.BatchWindow >= 0 {
+			conc := s.BatchMaxConcurrent
+			if conc <= 0 {
+				conc = runtime.GOMAXPROCS(0)
+			}
+			s.batcher.Store(qos.NewBatcher(s.runCoalesced, qos.BatcherOptions{
+				Window:        s.BatchWindow,
+				MaxBatch:      s.BatchMaxSize,
+				MaxConcurrent: conc,
+				Observer: qos.Observer{
+					Flush: func(size, _ int) {
+						s.m.flushes.Inc()
+						s.m.batchSize.Observe(float64(size))
+					},
+					Wait: s.m.batchWait.ObserveDuration,
+				},
+			}))
+		}
+		if s.Tenants == nil {
+			s.Tenants = qos.NewTenants(qos.TenantConfig{})
+		}
+	})
+}
+
+// Close releases the server's background resources (the batcher's
+// pending flush timers). In-flight requests complete; the HTTP listener
+// is the caller's to shut down.
+func (s *Server) Close() {
+	if b := s.batcher.Load(); b != nil {
+		b.Close()
+	}
+}
+
+// searchLocked runs one software-backend engine batch under the read
+// lock and feeds the shared metrics/recall instruments. The cache
+// generation is snapshotted under the same lock the engine runs under,
+// so a row carrying it can never be stored after an invalidation that
+// its search did not observe.
+func (s *Server) searchLocked(ctx context.Context, queries [][]float32, w, k int) ([]servedRow, *BatchReport, error) {
+	s.mu.RLock()
+	var gen uint64
+	if c := s.cache.Load(); c != nil {
+		gen = c.Gen()
+	}
+	rep, err := s.idx.SearchBatchContext(ctx, queries, SearchOptions{W: w, K: k, Mode: ClusterMajor})
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	s.recordSearch(len(queries), rep)
+	if s.Recall != nil {
+		s.Recall.OfferBatch(queries, rep.Results)
+	}
+	rows := make([]servedRow, len(rep.Results))
+	for i, r := range rep.Results {
+		rows[i] = servedRow{
+			res: r, gen: gen,
+			sel: rep.SelectTime, scan: rep.ScanTime, merge: rep.MergeTime,
+			scanned: rep.ScannedVectors,
+		}
+	}
+	return rows, rep, nil
+}
+
+// runCoalesced is the batcher's RunFunc: one coalesced flush.
+func (s *Server) runCoalesced(ctx context.Context, queries [][]float32, w, k int) ([]servedRow, error) {
+	rows, _, err := s.searchLocked(ctx, queries, w, k)
+	return rows, err
+}
+
+// appendCacheKey builds the result-cache key for one query: the search
+// knobs followed by the index's PQ code of the query. Only the software
+// backend is cached, so the backend is not part of the key.
+func (s *Server) appendCacheKey(dst []byte, q []float32, w, k int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(w))
+	dst = binary.AppendUvarint(dst, uint64(k))
+	return s.idx.AppendQueryCode(dst, q)
+}
+
+// tenantFor resolves the request's QoS tenant from the X-API-Key
+// header (or an Authorization: Bearer token). Nil only before initQoS.
+func (s *Server) tenantFor(r *http.Request) *qos.Tenant {
+	if s.Tenants == nil {
+		return nil
+	}
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if auth := r.Header.Get("Authorization"); len(auth) > 7 && auth[:7] == "Bearer " {
+			key = auth[7:]
+		}
+	}
+	return s.Tenants.Resolve(key)
+}
+
+// retryAfterJitter picks a 1–3s Retry-After so rejected clients do not
+// re-converge on the same instant.
+func retryAfterJitter() int { return 1 + rand.IntN(3) }
+
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
 	s.registerDurable()
 	s.registerRecall()
+	s.initQoS()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.instrument("search", s.handleSearch))
 	mux.HandleFunc("/add", s.instrument("add", s.handleAdd))
@@ -360,16 +565,68 @@ func (s *Server) admit() bool {
 // sets it (which also forces a trace), generated otherwise.
 const requestIDHeader = "X-Request-ID"
 
+// searchScratch is the pooled per-request working set of handleSearch:
+// the decoded request (inner query buffers included), the cache-key
+// buffer, the per-query row table, and the response arena. Everything
+// that outlives the request copies out of these buffers (the batcher
+// and cache copy queries; the response is encoded before the handler
+// returns), so the whole set recycles alloc-free.
+type searchScratch struct {
+	req    searchRequest
+	key    []byte
+	rows   []servedRow
+	miss   [][]float32
+	missAt []int
+	out    [][]searchResult
+	arena  []searchResult
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// appendResults builds the response rows in sc's pooled arena.
+func appendResults(sc *searchScratch, rows []servedRow) [][]searchResult {
+	total := 0
+	for _, r := range rows {
+		total += len(r.res)
+	}
+	if cap(sc.arena) < total {
+		sc.arena = make([]searchResult, 0, total)
+	}
+	arena := sc.arena[:0]
+	if cap(sc.out) < len(rows) {
+		sc.out = make([][]searchResult, len(rows))
+	}
+	out := sc.out[:len(rows)]
+	for i, r := range rows {
+		lo := len(arena)
+		for _, res := range r.res {
+			arena = append(arena, searchResult{ID: res.ID, Score: res.Score})
+		}
+		out[i] = arena[lo:len(arena):len(arena)]
+	}
+	sc.arena = arena
+	return out
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if !s.admit() {
+		depth := 0
+		if b := s.batcher.Load(); b != nil {
+			depth = b.QueueDepth()
+		}
 		s.m.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
-		s.httpError(w, http.StatusTooManyRequests,
-			"server at max in-flight (%d); retry later", s.MaxInFlight)
+		s.m.rejectDepth.Observe(float64(depth))
+		retry := retryAfterJitter()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.writeJSONStatus(w, http.StatusTooManyRequests, map[string]any{
+			"error":               fmt.Sprintf("server at max in-flight (%d); retry later", s.MaxInFlight),
+			"queue_depth":         depth,
+			"retry_after_seconds": retry,
+		})
 		return
 	}
 	defer s.inflight.Add(-1)
@@ -381,9 +638,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		reqID = trace.NewID()
 	}
 	w.Header().Set(requestIDHeader, reqID)
+	tnt := s.tenantFor(r)
 
-	var req searchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	sc := scratchPool.Get().(*searchScratch)
+	defer scratchPool.Put(sc)
+	req := &sc.req
+	// The decoder leaves absent fields untouched, so reset what the
+	// previous request may have set; the query buffers are kept for
+	// reuse.
+	req.Queries = req.Queries[:0]
+	req.W, req.K, req.Backend = 0, 0, ""
+	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
 		s.httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -405,6 +670,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if backend == "" {
 		backend = "software"
 	}
+	if tnt != nil && !tnt.Allow(len(req.Queries)) {
+		s.m.reg.Counter("anna_rejected_requests_total",
+			"Requests rejected at admission.", metrics.Label{Key: "reason", Value: "quota"}).Inc()
+		s.m.reg.Counter("anna_throttled_requests_total",
+			"Requests rejected by per-tenant token-bucket quota.",
+			metrics.Label{Key: "tenant", Value: tnt.Name}).Inc()
+		retry := retryAfterJitter()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.writeJSONStatus(w, http.StatusTooManyRequests, map[string]any{
+			"error":               fmt.Sprintf("tenant %q over quota; retry later", tnt.Name),
+			"retry_after_seconds": retry,
+		})
+		return
+	}
 
 	// Tracing decision: client-tagged requests are always traced; the
 	// rest pay one atomic add to roll the 1-in-N sample. The untraced
@@ -415,6 +694,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		tr = trace.New(reqID)
 		tr.Start = start
 		tr.Queries, tr.W, tr.K, tr.Backend = len(req.Queries), req.W, req.K, backend
+		if tnt != nil {
+			tr.Tenant = tnt.Name
+		}
 	}
 	// finish closes out a live trace with the response status. Slow
 	// untraced requests are reconstructed after the fact in the
@@ -442,28 +724,99 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var resp searchResponse
 	switch req.Backend {
 	case "", "software":
-		s.mu.RLock()
-		rep, err := s.idx.SearchBatchContext(ctx, req.Queries, SearchOptions{
-			W: req.W, K: req.K, Mode: ClusterMajor,
-		})
-		s.mu.RUnlock()
-		if err != nil {
-			finish(searchErrStatus(err))
-			s.httpError(w, searchErrStatus(err), "search: %v", err)
-			return
+		dim := s.idx.Dim()
+		for i, q := range req.Queries {
+			if len(q) != dim {
+				finish(http.StatusBadRequest)
+				s.httpError(w, http.StatusBadRequest, "query %d dim %d, index dim %d", i, len(q), dim)
+				return
+			}
 		}
-		s.recordSearch(len(req.Queries), rep)
-		if s.Recall != nil {
-			s.Recall.OfferBatch(req.Queries, rep.Results)
+		cache := s.cache.Load()
+		nq := len(req.Queries)
+		if cap(sc.rows) < nq {
+			sc.rows = make([]servedRow, nq)
 		}
-		if tr == nil && rec.IsSlow(time.Since(start)) {
-			tr = s.slowTrace(reqID, start, &req, backend)
-			tr.AddSpan("select", rep.SelectTime)
-			tr.AddSpan("scan", rep.ScanTime)
-			tr.AddSpan("merge", rep.MergeTime)
-			tr.Scanned = rep.ScannedVectors
+		rows := sc.rows[:nq]
+		// Split the request into cache hits and misses; only the misses
+		// reach the engine.
+		miss, missAt := sc.miss[:0], sc.missAt[:0]
+		for i, q := range req.Queries {
+			if cache != nil {
+				sc.key = s.appendCacheKey(sc.key[:0], q, req.W, req.K)
+				if row, ok := cache.Get(sc.key, q); ok {
+					rows[i] = row
+					continue
+				}
+			}
+			miss = append(miss, q)
+			missAt = append(missAt, i)
 		}
-		resp.Results = toSearchResults(rep.Results)
+		sc.miss, sc.missAt = miss, missAt
+		switch {
+		case len(miss) == 0:
+			if tr != nil {
+				tr.CacheHit = true
+			}
+		default:
+			if b := s.batcher.Load(); b != nil && nq == 1 && len(miss) == 1 && tr == nil {
+				// Single-query requests ride the dynamic batcher so
+				// concurrent traffic shares one ClusterMajor engine run.
+				// Multi-query requests are already engine batches, and
+				// sampled/tagged requests run directly so their engine
+				// spans attach to the trace.
+				lane, weight, tname := qos.Interactive, 1, "default"
+				if tnt != nil {
+					lane, weight, tname = tnt.Lane, tnt.Weight, tnt.Name
+				}
+				row, info, err := b.Submit(ctx, tname, lane, weight, miss[0], req.W, req.K)
+				if err != nil {
+					finish(searchErrStatus(err))
+					s.httpError(w, searchErrStatus(err), "search: %v", err)
+					return
+				}
+				rows[missAt[0]] = row
+				if rec.IsSlow(time.Since(start)) {
+					tr = s.slowTrace(reqID, start, req, backend)
+					tr.Tenant = tname
+					tr.Batch = info.Size
+					tr.AddSpan("coalesce", info.Wait)
+					// Stage spans of the engine batch the query rode in.
+					tr.AddSpan("select", row.sel)
+					tr.AddSpan("scan", row.scan)
+					tr.AddSpan("merge", row.merge)
+					tr.Scanned = row.scanned
+				}
+			} else {
+				mrows, rep, err := s.searchLocked(ctx, miss, req.W, req.K)
+				if err != nil {
+					finish(searchErrStatus(err))
+					s.httpError(w, searchErrStatus(err), "search: %v", err)
+					return
+				}
+				for j, at := range missAt {
+					rows[at] = mrows[j]
+				}
+				if tr == nil && rec.IsSlow(time.Since(start)) {
+					tr = s.slowTrace(reqID, start, req, backend)
+					if tnt != nil {
+						tr.Tenant = tnt.Name
+					}
+					tr.AddSpan("select", rep.SelectTime)
+					tr.AddSpan("scan", rep.ScanTime)
+					tr.AddSpan("merge", rep.MergeTime)
+					tr.Scanned = rep.ScannedVectors
+				}
+			}
+			if cache != nil {
+				for _, at := range missAt {
+					q := req.Queries[at]
+					sc.key = s.appendCacheKey(sc.key[:0], q, req.W, req.K)
+					cache.Put(sc.key, q, rows[at], rows[at].gen)
+				}
+			}
+		}
+		resp.Results = appendResults(sc, rows)
 	case "anna":
 		if s.Accelerator == nil {
 			finish(http.StatusBadRequest)
@@ -481,7 +834,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if tr == nil && rec.IsSlow(time.Since(start)) {
-			tr = s.slowTrace(reqID, start, &req, backend)
+			tr = s.slowTrace(reqID, start, req, backend)
 		}
 		if tr != nil {
 			tr.AddSpan("simulate", simDur)
@@ -616,6 +969,15 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	first, err := s.idx.Add(req.Vectors)
+	if err == nil {
+		// Invalidate under the write lock: searches snapshot the cache
+		// generation under the read lock, so any search that computed
+		// against the pre-add corpus sees a stale generation and its
+		// results are dropped instead of cached.
+		if c := s.cache.Load(); c != nil {
+			c.Invalidate()
+		}
+	}
 	s.mu.Unlock()
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "add: %v", err)
@@ -716,6 +1078,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"total_code_bytes":  st.TotalCodeBytes,
 		"compression_ratio": st.CompressionRatio,
 	}
+	if c := s.cache.Load(); c != nil {
+		hits, misses, evictions, invalidations := c.Stats()
+		resp["cache"] = map[string]any{
+			"entries":       c.Len(),
+			"hits":          hits,
+			"misses":        misses,
+			"evictions":     evictions,
+			"invalidations": invalidations,
+		}
+	}
+	if b := s.batcher.Load(); b != nil {
+		resp["batch_queue_depth"] = b.QueueDepth()
+	}
 	// Serving latency quantiles, once there is traffic to summarise.
 	if h := s.m.reqDuration["search"]; h.Count() > 0 {
 		resp["search_latency_seconds"] = map[string]any{
@@ -733,8 +1108,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // encode failures — a closed connection, an unmarshalable value — are
 // logged rather than swallowed.
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	s.writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus sends v with an explicit status code (the 429 paths
+// attach structured bodies — queue depth, retry hints — to non-200s).
+func (s *Server) writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		s.slogger().Error("encoding response failed", "err", err)
 	}

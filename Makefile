@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench benchall vet fmt fmt-check bench-smoke fuzz-smoke ci lint examples experiments clean
+.PHONY: all build test test-noasm race check bench benchall vet fmt fmt-check bench-smoke fuzz-smoke ci ci-cross lint examples experiments clean
 
 all: build vet test
 
@@ -13,14 +13,32 @@ build:
 test:
 	$(GO) test ./...
 
+# The CI test job's second and third passes: the pure-Go reference
+# kernels with the assembly compiled out, then the assembled build
+# forced to scalar dispatch at runtime (the ANNA_NOSIMD escape hatch).
+test-noasm:
+	$(GO) test -tags noasm ./...
+	ANNA_NOSIMD=1 $(GO) test ./internal/simd/ ./internal/vecmath/ ./internal/pq/ ./internal/ivf/ ./internal/engine/
+
 race:
 	$(GO) test -race ./internal/engine/ ./internal/anna/ ./internal/qos/ .
 
 # Mirrors .github/workflows/ci.yml exactly (same commands, same package
 # lists) so a green `make ci` means a green CI run. Keep in sync.
-# (lint is the one exception: it resolves staticcheck over the network,
-# so CI runs it as its own job and `make ci` stays offline.)
-ci: fmt-check build vet test ci-race fuzz-smoke bench-smoke
+# (Two exceptions stay CI-only: lint resolves staticcheck over the
+# network, and the qemu arm64 cross-test job apt-installs its emulator.
+# ci-cross covers the same platforms' compile half offline.)
+ci: fmt-check build vet test test-noasm ci-cross ci-race fuzz-smoke bench-smoke
+
+# The CI cross-compile job: build and vet every supported platform. The
+# assembly is amd64-only, so this proves the fallback dispatch and build
+# tags hold everywhere the toolchain targets first-class.
+ci-cross:
+	GOOS=linux GOARCH=amd64 $(GO) build ./... && GOOS=linux GOARCH=amd64 $(GO) vet ./...
+	GOOS=linux GOARCH=arm64 $(GO) build ./... && GOOS=linux GOARCH=arm64 $(GO) vet ./...
+	GOOS=linux GOARCH=386 $(GO) build ./... && GOOS=linux GOARCH=386 $(GO) vet ./...
+	GOOS=darwin GOARCH=arm64 $(GO) build ./... && GOOS=darwin GOARCH=arm64 $(GO) vet ./...
+	GOOS=windows GOARCH=amd64 $(GO) build ./... && GOOS=windows GOARCH=amd64 $(GO) vet ./...
 
 # Static analysis beyond go vet. The only networked target in this file:
 # `go run pkg@version` fetches the pinned staticcheck on first use (and
@@ -41,14 +59,18 @@ fmt-check:
 # sampler and the concurrent /search + /add cache-invalidation test).
 .PHONY: ci-race
 ci-race:
-	$(GO) test -race ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/trace/... ./internal/wal/... ./internal/qos/... .
+	$(GO) test -race ./internal/simd/... ./internal/vecmath/... ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/trace/... ./internal/wal/... ./internal/qos/... .
 
 # The CI fuzz-smoke job: hammer both durable-input decoders — the index
-# loader and the WAL reader — with coverage-guided corrupt inputs. A
-# finding here means a hostile or damaged file can crash the server.
+# loader and the WAL reader — with coverage-guided corrupt inputs (a
+# finding there means a hostile or damaged file can crash the server),
+# then the two assembly-vs-reference differential fuzzers (a finding
+# there means a SIMD kernel disagrees with the pure-Go semantics).
 fuzz-smoke:
 	$(GO) test ./internal/ivf/ -run '^$$' -fuzz=FuzzLoad -fuzztime=30s
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz=FuzzLoad -fuzztime=30s
+	$(GO) test ./internal/simd/ -run '^$$' -fuzz=FuzzScanADCDiff -fuzztime=30s
+	$(GO) test ./internal/simd/ -run '^$$' -fuzz=FuzzDotDiff -fuzztime=30s
 
 # The CI bench-smoke job: small-budget benchmark runs recorded as JSON
 # (uploaded as per-PR artifacts in CI; a trajectory, not a gate). The
@@ -56,6 +78,7 @@ fuzz-smoke:
 # full 100k-vector index.
 bench-smoke:
 	$(GO) run ./cmd/benchjson -suite engine -benchtime 10x -out bench_ci.json
+	ANNA_NOSIMD=1 $(GO) run ./cmd/benchjson -suite engine -benchtime 10x -out bench_ci_scalar.json
 	$(GO) run ./cmd/benchjson -suite build -benchtime 3x -out bench_ci_build.json
 	$(GO) run ./cmd/benchjson -suite serve -benchtime 300ms -out bench_ci_serve.json
 

@@ -63,6 +63,7 @@ import (
 	"anna"
 	"anna/internal/dataset"
 	"anna/internal/qos"
+	"anna/internal/simd"
 )
 
 // newLogger builds the process-wide structured logger from -log.
@@ -252,6 +253,8 @@ func main() {
 	}
 	logger.Info("serving", "vectors", idx.Len(), "dim", idx.Dim(),
 		"metric", idx.Metric().String(), "addr", *addr, "mode", durable)
+	logger.Info("simd kernels", "dispatch", simd.Dispatch(),
+		"features", simd.Features(), "reason", simd.Reason())
 
 	select {
 	case err := <-errc:

@@ -32,6 +32,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"anna/internal/simd"
 )
 
 // Metrics is one benchmark's figures. QPS is derived from ns/op and the
@@ -52,12 +54,25 @@ type Entry struct {
 	Speedup *float64 `json:"speedup,omitempty"` // before.ns_op / after.ns_op
 }
 
+// SIMDInfo records the kernel dispatch active for the run, read from
+// internal/simd in this process. The `go test` child inherits the same
+// environment (including ANNA_NOSIMD) and runs on the same CPU, so its
+// dispatch matches; recording it keeps scalar and SIMD measurements from
+// being compared without noticing.
+type SIMDInfo struct {
+	Dispatch string `json:"dispatch"`           // "avx2" or "scalar"
+	Features string `json:"features,omitempty"` // detected CPU features
+	Reason   string `json:"reason,omitempty"`   // why dispatch is scalar, when it is
+	GoArch   string `json:"goarch"`
+}
+
 // Output is the BENCH_*.json document.
 type Output struct {
 	Generated   string            `json:"generated"`
 	Command     string            `json:"command"`
 	CPU         string            `json:"cpu,omitempty"`
 	GOMAXPROCS  int               `json:"gomaxprocs"`
+	SIMD        *SIMDInfo         `json:"simd,omitempty"`
 	Description string            `json:"description"`
 	Benchmarks  map[string]*Entry `json:"benchmarks"`
 }
@@ -88,15 +103,23 @@ var suites = map[string]suite{
 	"engine": {
 		out:   "BENCH_engine.json",
 		bench: "Search|ADC|Major",
-		pkgs:  []string{"./internal/ivf/", "./internal/pq/", "./internal/engine/"},
-		description: "CPU-engine scan benchmarks. 'before' is the recorded seed baseline " +
-			"(per-vector Unpack+ADC+Push scan, goroutine-per-query engine); 'after' is this tree " +
-			"(fused packed-code scan kernel, threshold-gated top-k, fixed worker pool).",
+		pkgs:  []string{"./internal/ivf/", "./internal/pq/", "./internal/engine/", "./internal/simd/"},
+		description: "CPU-engine scan benchmarks. 'before' is the recorded pre-optimisation baseline: " +
+			"the seed commit (per-vector Unpack+ADC+Push scan, goroutine-per-query engine) for the " +
+			"SearchW8/ADC_M64/*Major entries, and the pure-Go scalar kernels (pre-SIMD tree, same " +
+			"machine class) for the ScanADC/ADCSums entries; 'after' is this tree (fused packed-code " +
+			"scan through the AVX2 assembly kernels when the CPU supports them).",
 		baselines: map[string]*Metrics{
 			"anna/internal/ivf.BenchmarkSearchW8":        {NsPerOp: 270550, BytesPerOp: f(6672), AllocsPerOp: f(14)},
 			"anna/internal/pq.BenchmarkADC_M64":          {NsPerOp: 50.79, BytesPerOp: f(0), AllocsPerOp: f(0)},
 			"anna/internal/engine.BenchmarkQueryMajor":   {NsPerOp: 991644, BytesPerOp: f(58872), AllocsPerOp: f(199)},
 			"anna/internal/engine.BenchmarkClusterMajor": {NsPerOp: 1100052, BytesPerOp: f(72192), AllocsPerOp: f(346)},
+			// Pre-SIMD pure-Go scalar measurements (ANNA_NOSIMD-equivalent
+			// tree, Intel Xeon @ 2.10GHz — the CI machine class).
+			"anna/internal/pq.BenchmarkScanADC4":   {NsPerOp: 45796, BytesPerOp: f(0), AllocsPerOp: f(0)},
+			"anna/internal/pq.BenchmarkScanADC8":   {NsPerOp: 43599, BytesPerOp: f(0), AllocsPerOp: f(0)},
+			"anna/internal/simd.BenchmarkADCSums4": {NsPerOp: 196059},
+			"anna/internal/simd.BenchmarkADCSums8": {NsPerOp: 26312},
 		},
 	},
 	// Build/ingest pipeline: baselines are the fully serial seed path
@@ -159,9 +182,15 @@ func main() {
 	}
 
 	doc := &Output{
-		Generated:   time.Now().UTC().Format(time.RFC3339),
-		Command:     "go " + strings.Join(args, " "),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Command:    "go " + strings.Join(args, " "),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SIMD: &SIMDInfo{
+			Dispatch: simd.Dispatch(),
+			Features: simd.Features(),
+			Reason:   simd.Reason(),
+			GoArch:   runtime.GOARCH,
+		},
 		Description: s.description,
 		Benchmarks:  map[string]*Entry{},
 	}

@@ -34,6 +34,7 @@ import (
 
 	"anna/internal/ivf"
 	"anna/internal/pq"
+	"anna/internal/simd"
 	"anna/internal/topk"
 	"anna/internal/trace"
 	"anna/internal/vecmath"
@@ -90,6 +91,10 @@ type Report struct {
 	// merge. They are summed across workers (CPU time, not wall clock),
 	// so their total can exceed Elapsed on multi-worker runs.
 	SelectTime, ScanTime, MergeTime time.Duration
+	// SIMD names the kernel dispatch the run used ("avx2" or "scalar",
+	// see internal/simd) — fixed per process, recorded so benchmark
+	// reports and A/B comparisons can't silently mix kernel classes.
+	SIMD string
 }
 
 // Engine wraps an index for repeated searches. It pools per-worker
@@ -229,6 +234,7 @@ func (e *Engine) RunContext(ctx context.Context, queries *vecmath.Matrix, opt Op
 		panic(fmt.Sprintf("engine: unknown mode %d", opt.Mode))
 	}
 	if err == nil {
+		rep.SIMD = simd.Dispatch()
 		if tr := trace.FromContext(ctx); tr != nil {
 			tr.AddSpan("select", rep.SelectTime)
 			tr.AddSpan("scan", rep.ScanTime)

@@ -1,0 +1,49 @@
+package ivf
+
+import (
+	"fmt"
+	"testing"
+
+	"anna/internal/pq"
+	"anna/internal/simd"
+	"anna/internal/topk"
+)
+
+// TestScanListADCDispatchBitExact is the index-level half of the SIMD
+// differential matrix: the fused per-cluster ADC scan must return
+// identical selector contents with the assembly kernels enabled and
+// disabled, for both code layouts and both rounding modes, on an index
+// built through the normal training path. (The ADC scan kernels are
+// specified bit-exact, so this holds even though the index was built
+// once — the scan dispatch seam cannot leak into results.)
+func TestScanListADCDispatchBitExact(t *testing.T) {
+	if !simd.Available() {
+		t.Skip("no assembly on this build; both paths are already scalar")
+	}
+	for _, ks := range []int{16, 256} {
+		idx, ds := buildScanIndex(t, pq.L2, ks)
+		q := idx.PrepQuery(ds.Queries.Row(0))
+		lut := pq.NewLUT(idx.PQ)
+		scratch := make([]float32, idx.D)
+		for _, hw := range []bool{false, true} {
+			for c := 0; c < idx.NClusters(); c++ {
+				idx.BuildLUT(lut, q, c, scratch, hw)
+				n := idx.Lists[c].Len()
+				if n == 0 {
+					continue
+				}
+				on := topk.NewSelector(n + 1)
+				idx.ScanListADC(on, lut, c, hw)
+
+				prev := simd.SetEnabled(false)
+				off := topk.NewSelector(n + 1)
+				idx.ScanListADC(off, lut, c, hw)
+				simd.SetEnabled(prev)
+
+				requireIdentical(t,
+					fmt.Sprintf("Ks=%d hw=%v cluster %d", ks, hw, c),
+					on.Results(), off.Results())
+			}
+		}
+	}
+}

@@ -18,8 +18,44 @@ package pq
 
 import (
 	"anna/internal/f16"
+	"anna/internal/simd"
 	"anna/internal/topk"
 )
+
+// SIMD block-scan parameters. The assembly kernels in internal/simd
+// score whole row blocks into a stack buffer; the Go side then walks the
+// buffer in row order applying the f16 rounding, the threshold gate and
+// the selector pushes — so selector contents stay bit-identical to the
+// scalar path (same scores, same visit order).
+const (
+	// scanBlockRows is the row-block size: big enough to amortize the
+	// kernel call, small enough that sums and the nibble plane tables
+	// stay comfortably on the stack and in L1.
+	scanBlockRows = 256
+	// scanMaxGroups caps how many 4-byte code columns (8 sub-spaces
+	// each) the 4-bit kernel covers; sub-spaces beyond 8*scanMaxGroups
+	// are added by the scalar tail. 8 groups = 64 sub-spaces, the
+	// largest M the paper's configurations use.
+	scanMaxGroups = 8
+)
+
+// useScanSIMD4 reports whether the packed-nibble list scan should take
+// the assembly path. ks must be exactly 16: the plane tables pad
+// entries >= ks with zeros, so a corrupt code that would panic the
+// bounds-checked scalar path would silently score zero through the
+// kernel — requiring the full codeword range removes that divergence
+// (4-bit is the paper's k*=16 layout, so this costs nothing in
+// practice). m >= 8 guarantees at least one full column group.
+func useScanSIMD4(ks, m int) bool {
+	return simd.Enabled() && ks == 16 && m >= 8
+}
+
+// useScanSIMD8 is the 8-bit gate: ks must be exactly 256 so that every
+// possible code byte indexes in bounds (the kernel's LUT stride is
+// hardwired to 256 entries and it does no per-element bounds checks).
+func useScanSIMD8(ks, m int) bool {
+	return simd.Enabled() && ks == 256 && m >= 8
+}
 
 // ScanADC scans an entire packed list, offering each surviving score to
 // sel. ids[i] names the vector whose code starts at packed[i*codeBytes];
@@ -32,6 +68,14 @@ func (l *LUT) ScanADC(sel *topk.Selector, ids []int64, packed []byte, codeBytes 
 	bias := l.Bias
 	ks := l.Ks
 	m := l.M
+	if nibble && useScanSIMD4(ks, m) && len(ids) >= 16 {
+		l.scanADC4SIMD(sel, ids, packed, codeBytes, hwF16)
+		return
+	}
+	if !nibble && useScanSIMD8(ks, m) && len(ids) >= 8 {
+		l.scanADC8SIMD(sel, ids, packed, codeBytes, hwF16)
+		return
+	}
 	thresh, full := sel.Threshold()
 	if nibble {
 		pairs := m / 2 // bytes holding two identifiers
@@ -101,6 +145,128 @@ func (l *LUT) ScanADC(sel *topk.Selector, ids []int64, packed []byte, codeBytes 
 		sel.Push(id, s)
 		thresh, full = sel.Threshold()
 	}
+}
+
+// scanADC4SIMD is the assembly-backed packed-nibble list scan. Blocks of
+// scanBlockRows rows go through the 16-lane PSHUFB kernel, which returns
+// bias plus the first 8*groups sub-spaces per row; the scalar tail below
+// adds any remaining sub-spaces in the same ascending order, so every
+// score is bit-identical to the scalar path. The nibble plane tables and
+// the block sums live on the stack — the scan allocates nothing.
+func (l *LUT) scanADC4SIMD(sel *topk.Selector, ids []int64, packed []byte, codeBytes int, hwF16 bool) {
+	groups := l.M / 8
+	if groups > scanMaxGroups {
+		groups = scanMaxGroups
+	}
+	mAsm := 8 * groups
+	var planes [scanMaxGroups * 8 * 64]byte
+	simd.BuildNibblePlanes(planes[:8*groups*64], l.Values, l.Ks, mAsm)
+	hasTail := mAsm < l.M
+	var sums [scanBlockRows]float32
+	thresh, full := sel.Threshold()
+	for start := 0; start < len(ids); start += scanBlockRows {
+		n := len(ids) - start
+		if n > scanBlockRows {
+			n = scanBlockRows
+		}
+		nAsm := n &^ 15
+		block := packed[start*codeBytes:]
+		simd.ADCSums4(planes[:], l.Bias, block, codeBytes, groups, sums[:nAsm])
+		for r := 0; r < n; r++ {
+			row := block[r*codeBytes : r*codeBytes+codeBytes]
+			var s float32
+			switch {
+			case r >= nAsm: // sub-16 block remainder: full scalar row
+				s = l.adcTail4(row, 0, l.Bias)
+			case hasTail:
+				s = l.adcTail4(row, mAsm, sums[r])
+			default:
+				s = sums[r]
+			}
+			if hwF16 {
+				s = f16.Round(s)
+			}
+			if full && s <= thresh {
+				continue
+			}
+			sel.Push(ids[start+r], s)
+			thresh, full = sel.Threshold()
+		}
+	}
+}
+
+// adcTail4 adds sub-spaces fromSub..M-1 of one packed-nibble row to s in
+// ascending sub-space order — the scalar kernel's exact accumulation for
+// the range the assembly did not cover. fromSub must be even.
+func (l *LUT) adcTail4(row []byte, fromSub int, s float32) float32 {
+	vals := l.Values
+	ks := l.Ks
+	m := l.M
+	pairs := m / 2
+	off := fromSub * ks
+	for j := fromSub / 2; j < pairs; j++ {
+		b := row[j]
+		s += vals[off+int(b&0x0F)]
+		off += ks
+		s += vals[off+int(b>>4)]
+		off += ks
+	}
+	if m&1 == 1 {
+		s += vals[off+int(row[pairs]&0x0F)]
+	}
+	return s
+}
+
+// scanADC8SIMD is the assembly-backed 8-bit list scan (k*=256 layout).
+// Structure mirrors scanADC4SIMD: the gather-free kernel covers the
+// first m&^7 sub-spaces of 8-row groups, the scalar tail the rest.
+func (l *LUT) scanADC8SIMD(sel *topk.Selector, ids []int64, packed []byte, codeBytes int, hwF16 bool) {
+	m8 := l.M &^ 7
+	hasTail := m8 < l.M
+	var sums [scanBlockRows]float32
+	thresh, full := sel.Threshold()
+	for start := 0; start < len(ids); start += scanBlockRows {
+		n := len(ids) - start
+		if n > scanBlockRows {
+			n = scanBlockRows
+		}
+		nAsm := n &^ 7
+		block := packed[start*codeBytes:]
+		simd.ADCSums8(l.Values, l.Bias, block, codeBytes, m8, sums[:nAsm])
+		for r := 0; r < n; r++ {
+			row := block[r*codeBytes : r*codeBytes+l.M]
+			var s float32
+			switch {
+			case r >= nAsm:
+				s = l.adcTail8(row, 0, l.Bias)
+			case hasTail:
+				s = l.adcTail8(row, m8, sums[r])
+			default:
+				s = sums[r]
+			}
+			if hwF16 {
+				s = f16.Round(s)
+			}
+			if full && s <= thresh {
+				continue
+			}
+			sel.Push(ids[start+r], s)
+			thresh, full = sel.Threshold()
+		}
+	}
+}
+
+// adcTail8 adds sub-spaces fromSub..M-1 of one 8-bit row to s in
+// ascending sub-space order.
+func (l *LUT) adcTail8(row []byte, fromSub int, s float32) float32 {
+	vals := l.Values
+	ks := l.Ks
+	off := fromSub * ks
+	for j := fromSub; j < l.M; j++ {
+		s += vals[off+int(row[j])]
+		off += ks
+	}
+	return s
 }
 
 // ADCPacked scores the single packed code starting at packed[0] without

@@ -1,0 +1,79 @@
+package pq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"anna/internal/simd"
+	"anna/internal/topk"
+)
+
+// TestScanADCDispatchBitExact runs the same list scan with SIMD enabled
+// and disabled and requires identical selector contents — the dispatch
+// seam itself must be invisible. List lengths straddle the 256-row block
+// boundary and the 16/8-row kernel granularities; M values cover the
+// scalar sub-space tail (M > 64 for 4-bit, M%8 != 0 for 8-bit) and the
+// odd-M nibble remainder.
+func TestScanADCDispatchBitExact(t *testing.T) {
+	if !simd.Available() {
+		t.Skip("no assembly on this build; both paths are already scalar")
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, ks := range []int{16, 256} {
+		for _, m := range []int{8, 9, 15, 64, 72} {
+			for _, n := range []int{16, 17, 100, 255, 256, 257, 700} {
+				for _, hw := range []bool{false, true} {
+					t.Run(fmt.Sprintf("Ks%d_M%d_n%d_hw%v", ks, m, n, hw), func(t *testing.T) {
+						q := fakeQuantizer(m, 2, ks, rng)
+						ids, packed := packRandomList(q, n, rng)
+						l := NewLUT(q)
+						for i := range l.Values {
+							l.Values[i] = rng.Float32()*2 - 1
+						}
+						l.Bias = rng.Float32()
+						nib := q.CodeBits() == 4
+
+						on := topk.NewSelector(10)
+						l.ScanADC(on, ids, packed, q.CodeBytes(), nib, hw)
+
+						prev := simd.SetEnabled(false)
+						off := topk.NewSelector(10)
+						l.ScanADC(off, ids, packed, q.CodeBytes(), nib, hw)
+						simd.SetEnabled(prev)
+
+						a, b := on.Results(), off.Results()
+						if len(a) != len(b) {
+							t.Fatalf("result counts %d vs %d", len(a), len(b))
+						}
+						for i := range a {
+							if a[i] != b[i] {
+								t.Fatalf("rank %d: simd %+v scalar %+v", i, a[i], b[i])
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestScanADCZeroAlloc pins that the SIMD block scan keeps the
+// allocation-free property of the scalar kernel.
+func TestScanADCZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, ks := range []int{16, 256} {
+		q := fakeQuantizer(32, 2, ks, rng)
+		ids, packed := packRandomList(q, 400, rng)
+		l := NewLUT(q)
+		sel := topk.NewSelector(10)
+		nib := q.CodeBits() == 4
+		allocs := testing.AllocsPerRun(10, func() {
+			sel.Reset()
+			l.ScanADC(sel, ids, packed, q.CodeBytes(), nib, false)
+		})
+		if allocs != 0 {
+			t.Fatalf("ks=%d: ScanADC allocates %v per call", ks, allocs)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// Small-dimension argmin kernels for the PQ batch encoder's inner loop:
+// minimize norms[j] - 2*dot(q, row_j) over row-major data with d in
+// {2, 4, 8}. Eight lanes each own every eighth row. The VHADDPS trees
+// reproduce the exact pairwise association of the unrolled scalar
+// kernels in vecmath (no FMA anywhere), 2*s is computed as s+s, and the
+// candidate update uses a strict VCMPPS LT_OQ — so each lane's (value,
+// first index achieving it) pair is bit-identical to a scalar scan of
+// that lane's rows. The Go wrapper merges the 8 lane results by
+// (value, index) order, which equals the scalar first-strict-min.
+//
+// The horizontal adds emit row sums in a shuffled lane order; each
+// kernel's order is published as lanePerm(d) in generic.go. norms are
+// VPERMPS-permuted into the same order, and the per-lane row-index
+// vectors start at the permutation and step by 8.
+
+DATA permD2<>+0(SB)/4, $0
+DATA permD2<>+4(SB)/4, $1
+DATA permD2<>+8(SB)/4, $4
+DATA permD2<>+12(SB)/4, $5
+DATA permD2<>+16(SB)/4, $2
+DATA permD2<>+20(SB)/4, $3
+DATA permD2<>+24(SB)/4, $6
+DATA permD2<>+28(SB)/4, $7
+GLOBL permD2<>(SB), RODATA|NOPTR, $32
+
+DATA permD4<>+0(SB)/4, $0
+DATA permD4<>+4(SB)/4, $2
+DATA permD4<>+8(SB)/4, $4
+DATA permD4<>+12(SB)/4, $6
+DATA permD4<>+16(SB)/4, $1
+DATA permD4<>+20(SB)/4, $3
+DATA permD4<>+24(SB)/4, $5
+DATA permD4<>+28(SB)/4, $7
+GLOBL permD4<>(SB), RODATA|NOPTR, $32
+
+DATA permD8<>+0(SB)/4, $0
+DATA permD8<>+4(SB)/4, $1
+DATA permD8<>+8(SB)/4, $2
+DATA permD8<>+12(SB)/4, $3
+DATA permD8<>+16(SB)/4, $4
+DATA permD8<>+20(SB)/4, $5
+DATA permD8<>+24(SB)/4, $6
+DATA permD8<>+28(SB)/4, $7
+GLOBL permD8<>(SB), RODATA|NOPTR, $32
+
+// +Inf x8 — initial best values (matches the Go wrapper's prefill).
+DATA infInit<>+0(SB)/8, $0x7f8000007f800000
+DATA infInit<>+8(SB)/8, $0x7f8000007f800000
+DATA infInit<>+16(SB)/8, $0x7f8000007f800000
+DATA infInit<>+24(SB)/8, $0x7f8000007f800000
+GLOBL infInit<>(SB), RODATA|NOPTR, $32
+
+DATA eightD<>+0(SB)/4, $8
+GLOBL eightD<>(SB), RODATA|NOPTR, $4
+
+// ARGMIN_HEAD: shared prologue. Loads args, computes the block count,
+// and initializes bestv (+Inf), besti (0), the lane row-index vector
+// (= perm) and the +8 increment. Y8 (query vector) and Y9 (perm) are
+// loaded by the per-dimension code before this macro runs on Y10..Y13.
+#define ARGMIN_HEAD \
+	VMOVUPS      infInit<>(SB), Y10      \
+	VPXOR        Y11, Y11, Y11           \
+	VMOVDQU      Y9, Y12                 \
+	VPBROADCASTD eightD<>(SB), Y13
+
+// ARGMIN_STEP: shared candidate update + advance. Y0 = candidate values
+// v (lane order = perm). Strict less-than keeps the FIRST row achieving
+// a value, because per lane the row indices only increase.
+#define ARGMIN_STEP \
+	VCMPPS    $0x11, Y10, Y0, Y1    \
+	VBLENDVPS Y1, Y0, Y10, Y10      \
+	VBLENDVPS Y1, Y12, Y11, Y11     \
+	VPADDD    Y13, Y12, Y12
+
+// ARGMIN_TAIL: store the 8 (value, index) lane results.
+#define ARGMIN_TAIL \
+	MOVQ       outV+32(FP), AX      \
+	VMOVUPS    Y10, (AX)            \
+	MOVQ       outI+40(FP), AX      \
+	VMOVDQU    Y11, (AX)            \
+	VZEROUPPER
+
+// func argminD2Asm(data, norms *float32, n8 int, q *float32, outV *[8]float32, outI *[8]int32)
+TEXT ·argminD2Asm(SB), NOSPLIT, $0-48
+	MOVQ data+0(FP), SI
+	MOVQ norms+8(FP), DI
+	MOVQ n8+16(FP), CX
+	MOVQ q+24(FP), AX
+	SHRQ $3, CX
+	JZ   am2done
+	VBROADCASTSD (AX), Y8          // [q0 q1] x4
+	VMOVDQU      permD2<>(SB), Y9
+	ARGMIN_HEAD
+
+am2loop:
+	// 8 rows x 2 floats = 2 YMM loads.
+	VMOVUPS (SI), Y0               // rows 0..3
+	VMOVUPS 32(SI), Y1             // rows 4..7
+	VMULPS  Y8, Y0, Y0
+	VMULPS  Y8, Y1, Y1
+	VHADDPS Y1, Y0, Y0             // s = [r0 r1 r4 r5 | r2 r3 r6 r7]
+	VADDPS  Y0, Y0, Y0             // 2*s, computed as s+s like the scalar
+	VMOVUPS (DI), Y1
+	VPERMPS Y1, Y9, Y1             // norms into lane order
+	VSUBPS  Y0, Y1, Y0             // v = norms - 2*s
+	ARGMIN_STEP
+	ADDQ $64, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  am2loop
+
+	ARGMIN_TAIL
+am2done:
+	VZEROUPPER
+	RET
+
+// func argminD4Asm(data, norms *float32, n8 int, q *float32, outV *[8]float32, outI *[8]int32)
+TEXT ·argminD4Asm(SB), NOSPLIT, $0-48
+	MOVQ data+0(FP), SI
+	MOVQ norms+8(FP), DI
+	MOVQ n8+16(FP), CX
+	MOVQ q+24(FP), AX
+	SHRQ $3, CX
+	JZ   am4done
+	VBROADCASTF128 (AX), Y8        // [q0..q3] x2
+	VMOVDQU        permD4<>(SB), Y9
+	ARGMIN_HEAD
+
+am4loop:
+	// 8 rows x 4 floats = 4 YMM loads, two rows per register.
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+	VMOVUPS 64(SI), Y2
+	VMOVUPS 96(SI), Y3
+	VMULPS  Y8, Y0, Y0
+	VMULPS  Y8, Y1, Y1
+	VMULPS  Y8, Y2, Y2
+	VMULPS  Y8, Y3, Y3
+	VHADDPS Y1, Y0, Y0             // pair sums of rows 0..3
+	VHADDPS Y3, Y2, Y2             // pair sums of rows 4..7
+	VHADDPS Y2, Y0, Y0             // s = [r0 r2 r4 r6 | r1 r3 r5 r7]
+	VADDPS  Y0, Y0, Y0
+	VMOVUPS (DI), Y1
+	VPERMPS Y1, Y9, Y1
+	VSUBPS  Y0, Y1, Y0
+	ARGMIN_STEP
+	ADDQ $128, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  am4loop
+
+	ARGMIN_TAIL
+am4done:
+	VZEROUPPER
+	RET
+
+// func argminD8Asm(data, norms *float32, n8 int, q *float32, outV *[8]float32, outI *[8]int32)
+TEXT ·argminD8Asm(SB), NOSPLIT, $0-48
+	MOVQ data+0(FP), SI
+	MOVQ norms+8(FP), DI
+	MOVQ n8+16(FP), CX
+	MOVQ q+24(FP), AX
+	SHRQ $3, CX
+	JZ   am8done
+	VMOVUPS (AX), Y8               // full 8-float query
+	VMOVDQU permD8<>(SB), Y9
+	ARGMIN_HEAD
+
+am8loop:
+	// Rows 0..3: each row is one full YMM; hadd tree halves are the
+	// scalar kernel's (p0..p3) and (p4..p7) sub-trees, whose final add
+	// happens in the VADDPS after the extract.
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+	VMOVUPS 64(SI), Y2
+	VMOVUPS 96(SI), Y3
+	VMULPS  Y8, Y0, Y0
+	VMULPS  Y8, Y1, Y1
+	VMULPS  Y8, Y2, Y2
+	VMULPS  Y8, Y3, Y3
+	VHADDPS Y1, Y0, Y0
+	VHADDPS Y3, Y2, Y2
+	VHADDPS Y2, Y0, Y0             // [lo(r0..r3) | hi(r0..r3)]
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS  X1, X0, X0             // X0 = s(r0..r3)
+	// Rows 4..7.
+	VMOVUPS 128(SI), Y1
+	VMOVUPS 160(SI), Y2
+	VMOVUPS 192(SI), Y3
+	VMOVUPS 224(SI), Y4
+	VMULPS  Y8, Y1, Y1
+	VMULPS  Y8, Y2, Y2
+	VMULPS  Y8, Y3, Y3
+	VMULPS  Y8, Y4, Y4
+	VHADDPS Y2, Y1, Y1
+	VHADDPS Y4, Y3, Y3
+	VHADDPS Y3, Y1, Y1
+	VEXTRACTF128 $1, Y1, X2
+	VADDPS  X2, X1, X1             // X1 = s(r4..r7)
+	VINSERTF128 $1, X1, Y0, Y0     // s = [r0..r3 | r4..r7]
+	VADDPS  Y0, Y0, Y0
+	VMOVUPS (DI), Y1               // perm is identity for d=8
+	VSUBPS  Y0, Y1, Y0
+	ARGMIN_STEP
+	ADDQ $256, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  am8loop
+
+	ARGMIN_TAIL
+am8done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,76 @@
+//go:build amd64 && !noasm
+
+package simd
+
+import "strings"
+
+// cpuidAsm executes CPUID with the given EAX/ECX inputs.
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvAsm reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbvAsm() (eax, edx uint32)
+
+const goArch = "amd64"
+
+var (
+	available         bool
+	unavailableReason string
+	featureString     string
+)
+
+func init() {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		unavailableReason = "cpu lacks avx2+fma"
+		return
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const (
+		bitSSE3    = 1 << 0
+		bitSSSE3   = 1 << 9
+		bitFMA     = 1 << 12
+		bitSSE41   = 1 << 19
+		bitOSXSAVE = 1 << 27
+		bitAVX     = 1 << 28
+	)
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const (
+		bitAVX2    = 1 << 5
+		bitAVX512F = 1 << 16
+	)
+
+	var feats []string
+	if ecx1&bitSSSE3 != 0 {
+		feats = append(feats, "ssse3")
+	}
+	if ecx1&bitSSE41 != 0 {
+		feats = append(feats, "sse4.1")
+	}
+	if ecx1&bitAVX != 0 {
+		feats = append(feats, "avx")
+	}
+	if ebx7&bitAVX2 != 0 {
+		feats = append(feats, "avx2")
+	}
+	if ecx1&bitFMA != 0 {
+		feats = append(feats, "fma")
+	}
+	if ebx7&bitAVX512F != 0 {
+		feats = append(feats, "avx512f") // detected and reported, not used
+	}
+	featureString = strings.Join(feats, " ")
+
+	need := uint32(bitSSE3 | bitSSSE3 | bitFMA | bitSSE41 | bitOSXSAVE | bitAVX)
+	if ecx1&need != need || ebx7&bitAVX2 == 0 {
+		unavailableReason = "cpu lacks avx2+fma"
+		return
+	}
+	// The OS must have enabled XMM+YMM state saving (XCR0 bits 1 and 2),
+	// otherwise executing VEX.256 instructions faults.
+	xcr0, _ := xgetbvAsm()
+	if xcr0&0x6 != 0x6 {
+		unavailableReason = "os has not enabled ymm state"
+		return
+	}
+	available = true
+}

@@ -1,0 +1,119 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// FMA reduction kernels. Both use the same shape: two 8-lane YMM
+// accumulators over 16-element strides, an optional single 8-element
+// stride into acc0, the fixed lane-reduction tree
+// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)), then a serial scalar-FMA tail.
+// This order is mirrored (minus the fusing) by dotGeneric/l2sqGeneric.
+
+// func dotAsm(a, b *float32, n int) float32
+TEXT ·dotAsm(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0 // acc0
+	VXORPS Y1, Y1, Y1 // acc1
+	MOVQ CX, DX
+	SHRQ $4, DX       // DX = n/16 full strides
+	JZ   dtail8
+
+dloop16:
+	VMOVUPS (SI), Y2
+	VMOVUPS 32(SI), Y3
+	VFMADD231PS (DI), Y2, Y0
+	VFMADD231PS 32(DI), Y3, Y1
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ DX
+	JNZ  dloop16
+
+dtail8:
+	TESTQ $8, CX
+	JZ    dreduce
+	VMOVUPS (SI), Y2
+	VFMADD231PS (DI), Y2, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+
+dreduce:
+	VADDPS       Y1, Y0, Y0         // acc = acc0 + acc1
+	VEXTRACTF128 $1, Y0, X2
+	VADDPS       X2, X0, X0         // x[l] = acc[l] + acc[l+4]
+	VSHUFPS      $0x0E, X0, X0, X2  // X2 = [x2, x3, _, _]
+	VADDPS       X2, X0, X0         // [x0+x2, x1+x3, _, _]
+	VMOVSHDUP    X0, X2             // X2 lane0 = x1+x3
+	VADDSS       X2, X0, X0         // (x0+x2) + (x1+x3)
+	ANDQ         $7, CX
+	JZ           ddone
+
+dtailloop:
+	VMOVSS (SI), X2
+	VFMADD231SS (DI), X2, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  dtailloop
+
+ddone:
+	VMOVSS  X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func l2sqAsm(a, b *float32, n int) float32
+TEXT ·l2sqAsm(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0 // acc0
+	VXORPS Y1, Y1, Y1 // acc1
+	MOVQ CX, DX
+	SHRQ $4, DX
+	JZ   ltail8
+
+lloop16:
+	VMOVUPS (SI), Y2
+	VMOVUPS 32(SI), Y3
+	VSUBPS  (DI), Y2, Y2 // d = a - b
+	VSUBPS  32(DI), Y3, Y3
+	VFMADD231PS Y2, Y2, Y0
+	VFMADD231PS Y3, Y3, Y1
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ DX
+	JNZ  lloop16
+
+ltail8:
+	TESTQ $8, CX
+	JZ    lreduce
+	VMOVUPS (SI), Y2
+	VSUBPS  (DI), Y2, Y2
+	VFMADD231PS Y2, Y2, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+
+lreduce:
+	VADDPS       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X2
+	VADDPS       X2, X0, X0
+	VSHUFPS      $0x0E, X0, X0, X2
+	VADDPS       X2, X0, X0
+	VMOVSHDUP    X0, X2
+	VADDSS       X2, X0, X0
+	ANDQ         $7, CX
+	JZ           ldone
+
+ltailloop:
+	VMOVSS (SI), X2
+	VSUBSS (DI), X2, X2
+	VFMADD231SS X2, X2, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  ltailloop
+
+ldone:
+	VMOVSS  X0, ret+24(FP)
+	VZEROUPPER
+	RET

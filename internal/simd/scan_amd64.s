@@ -1,0 +1,202 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// ADC list-scan kernels. Both vectorize ACROSS vectors — each SIMD lane
+// owns one packed row and accumulates its float32 LUT entries in
+// ascending sub-space order — so the sums are bit-identical to the
+// scalar kernel in pq (same additions, same order, no FMA).
+//
+// adcSums4Asm: 16 rows at a time. Per 4-byte code column group it loads
+// one dword per row, transposes the 16x4 byte block in-register
+// (PSHUFB + PUNPCK[LH]DQ + PUNPCK[LH]QDQ) into four 16-byte columns, and
+// for each column's two nibble sub-spaces looks the float32 LUT entries
+// up with four PSHUFBs over the byte-plane tables built by
+// BuildNibblePlanes (the paper's in-register shuffle LUT for k*=16),
+// reassembling floats with unpack interleaves. No gathers anywhere.
+//
+// adcSums8Asm: 8 rows at a time for the k*=256 layout (LUT stride fixed
+// at 256 entries). A 256-float table cannot live in registers, so each
+// sub-space does eight independent scalar loads built into two XMM
+// accumulator updates (gather-free: VPGATHER is slow or penalized on
+// several production microarchitectures).
+
+// 16x4 byte transpose shuffle: groups byte columns within one row dword.
+DATA shufTranspose<>+0(SB)/8, $0x0d0905010c080400
+DATA shufTranspose<>+8(SB)/8, $0x0f0b07030e0a0602
+GLOBL shufTranspose<>(SB), RODATA|NOPTR, $16
+
+DATA nibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $16
+
+// LOADROWS loads one code dword from each of four consecutive rows
+// (stride DX) into the four lanes of XD, advancing the walker BX.
+#define LOADROWS(XD) \
+	VMOVD   (BX), XD          \
+	ADDQ    DX, BX            \
+	VPINSRD $1, (BX), XD, XD  \
+	ADDQ    DX, BX            \
+	VPINSRD $2, (BX), XD, XD  \
+	ADDQ    DX, BX            \
+	VPINSRD $3, (BX), XD, XD  \
+	ADDQ    DX, BX
+
+// SUBSPACE16 adds one sub-space's LUT values (16 rows) to the four
+// accumulators. KIDX holds the 16 nibble indices; the plane table is at
+// POFF(R12). Four PSHUFB byte-plane lookups, then byte->word->dword
+// interleaves rebuild the float32s in row order.
+#define SUBSPACE16(KIDX, POFF) \
+	VMOVDQU    POFF(R12), X6       \
+	VMOVDQU    POFF+16(R12), X7    \
+	VMOVDQU    POFF+32(R12), X10   \
+	VMOVDQU    POFF+48(R12), X11   \
+	VPSHUFB    KIDX, X6, X6        \
+	VPSHUFB    KIDX, X7, X7        \
+	VPSHUFB    KIDX, X10, X10      \
+	VPSHUFB    KIDX, X11, X11      \
+	VPUNPCKLBW X7, X6, X4          \
+	VPUNPCKHBW X7, X6, X6          \
+	VPUNPCKLBW X11, X10, X7        \
+	VPUNPCKHBW X11, X10, X10       \
+	VPUNPCKLWD X7, X4, X11         \
+	VADDPS     X11, X12, X12       \
+	VPUNPCKHWD X7, X4, X4          \
+	VADDPS     X4, X13, X13        \
+	VPUNPCKLWD X10, X6, X7         \
+	VADDPS     X7, X14, X14        \
+	VPUNPCKHWD X10, X6, X6         \
+	VADDPS     X6, X15, X15
+
+// COLUMN processes one 16-byte code column K: low-nibble sub-space from
+// the plane table at the cursor, high-nibble sub-space from the next,
+// then advances the plane cursor by two tables.
+#define COLUMN(K) \
+	VPAND  X8, K, X4       \
+	VPSRLW $4, K, X5       \
+	VPAND  X8, X5, X5      \
+	SUBSPACE16(X4, 0)      \
+	SUBSPACE16(X5, 64)     \
+	ADDQ   $128, R12
+
+// func adcSums4Asm(planes *byte, packed *byte, codeBytes, groups int, sums *float32, n16 int, bias float32)
+TEXT ·adcSums4Asm(SB), NOSPLIT, $0-52
+	MOVQ planes+0(FP), R13
+	MOVQ packed+8(FP), SI
+	MOVQ codeBytes+16(FP), DX
+	MOVQ sums+32(FP), R9
+	MOVQ n16+40(FP), R10
+	SHRQ $4, R10             // 16-row blocks
+	JZ   s4done
+	VMOVDQU shufTranspose<>(SB), X9
+	VMOVDQU nibbleMask<>(SB), X8
+
+s4rowblock:
+	VBROADCASTSS bias+48(FP), X12
+	VMOVAPS X12, X13
+	VMOVAPS X12, X14
+	VMOVAPS X12, X15
+	MOVQ    SI, R11          // current column-group base
+	MOVQ    R13, R12         // plane-table cursor
+	MOVQ    groups+24(FP), CX
+
+s4group:
+	// Gather-free strided load: one dword (4 code bytes) per row.
+	MOVQ R11, BX
+	LOADROWS(X0)
+	LOADROWS(X1)
+	LOADROWS(X2)
+	LOADROWS(X3)
+
+	// Transpose 16 rows x 4 bytes into 4 columns x 16 rows.
+	VPSHUFB X9, X0, X0
+	VPSHUFB X9, X1, X1
+	VPSHUFB X9, X2, X2
+	VPSHUFB X9, X3, X3
+	VPUNPCKLDQ  X1, X0, X4
+	VPUNPCKHDQ  X1, X0, X5
+	VPUNPCKLDQ  X3, X2, X6
+	VPUNPCKHDQ  X3, X2, X7
+	VPUNPCKLQDQ X6, X4, X0
+	VPUNPCKHQDQ X6, X4, X1
+	VPUNPCKLQDQ X7, X5, X2
+	VPUNPCKHQDQ X7, X5, X3
+
+	COLUMN(X0)
+	COLUMN(X1)
+	COLUMN(X2)
+	COLUMN(X3)
+
+	ADDQ $4, R11
+	DECQ CX
+	JNZ  s4group
+
+	VMOVUPS X12, (R9)
+	VMOVUPS X13, 16(R9)
+	VMOVUPS X14, 32(R9)
+	VMOVUPS X15, 48(R9)
+	ADDQ    $64, R9
+	MOVQ    DX, AX
+	SHLQ    $4, AX
+	ADDQ    AX, SI           // next 16 rows
+	DECQ    R10
+	JNZ     s4rowblock
+
+s4done:
+	RET
+
+// LOADVAL4 builds an XMM of four LUT values for one sub-space from four
+// consecutive rows' code bytes (walker R8, stride DX, table base DI).
+#define LOADVAL4(XD) \
+	MOVBLZX   (R8), AX                   \
+	VMOVSS    (DI)(AX*4), XD             \
+	ADDQ      DX, R8                     \
+	MOVBLZX   (R8), AX                   \
+	VINSERTPS $0x10, (DI)(AX*4), XD, XD  \
+	ADDQ      DX, R8                     \
+	MOVBLZX   (R8), AX                   \
+	VINSERTPS $0x20, (DI)(AX*4), XD, XD  \
+	ADDQ      DX, R8                     \
+	MOVBLZX   (R8), AX                   \
+	VINSERTPS $0x30, (DI)(AX*4), XD, XD  \
+	ADDQ      DX, R8
+
+// func adcSums8Asm(vals *float32, packed *byte, codeBytes, m8 int, sums *float32, n8 int, bias float32)
+TEXT ·adcSums8Asm(SB), NOSPLIT, $0-52
+	MOVQ vals+0(FP), R11
+	MOVQ packed+8(FP), SI
+	MOVQ codeBytes+16(FP), DX
+	MOVQ sums+32(FP), R12
+	MOVQ n8+40(FP), R10
+	SHRQ $3, R10             // 8-row blocks
+	JZ   s8done
+
+s8rowblock:
+	VBROADCASTSS bias+48(FP), X14
+	VMOVAPS X14, X15
+	MOVQ    R11, DI          // LUT cursor, advances 256 floats per sub-space
+	MOVQ    SI, R9           // code-column cursor
+	MOVQ    m8+24(FP), CX
+
+s8subspace:
+	MOVQ R9, R8
+	LOADVAL4(X0)
+	LOADVAL4(X1)
+	VADDPS X0, X14, X14
+	VADDPS X1, X15, X15
+	ADDQ   $1024, DI
+	INCQ   R9
+	DECQ   CX
+	JNZ    s8subspace
+
+	VMOVUPS X14, (R12)
+	VMOVUPS X15, 16(R12)
+	ADDQ    $32, R12
+	MOVQ    DX, AX
+	SHLQ    $3, AX
+	ADDQ    AX, SI           // next 8 rows
+	DECQ    R10
+	JNZ     s8rowblock
+
+s8done:
+	RET

@@ -1,6 +1,10 @@
 package vecmath
 
-import "math"
+import (
+	"math"
+
+	"anna/internal/simd"
+)
 
 // Blocked multi-row kernels for the build/ingest pipeline. Nearest-
 // codeword and nearest-centroid searches are reformulated through the
@@ -17,6 +21,12 @@ import "math"
 func Dot4(q, r0, r1, r2, r3 []float32) (s0, s1, s2, s3 float32) {
 	if len(r0) != len(q) || len(r1) != len(q) || len(r2) != len(q) || len(r3) != len(q) {
 		panic("vecmath: length mismatch")
+	}
+	if useSIMD(len(q)) {
+		// Four independent FMA-kernel calls: exactly what the contract
+		// above promises, and each one is fast enough that the blocked
+		// scalar reuse no longer pays.
+		return simd.Dot(q, r0), simd.Dot(q, r1), simd.Dot(q, r2), simd.Dot(q, r3)
 	}
 	r0 = r0[:len(q)]
 	r1 = r1[:len(q)]
@@ -49,7 +59,13 @@ func ArgMinNormMinus2Dot(m *Matrix, norms, q []float32) (int, float32) {
 	}
 	// PQ sub-spaces are tiny (Dsub is 2, 4 or 8 for the paper's shapes);
 	// there the loop overhead of the generic path dwarfs the arithmetic,
-	// so fully unrolled one-row-per-iteration kernels take over.
+	// so fully unrolled one-row-per-iteration kernels take over — or, with
+	// SIMD enabled, the assembly kernels in internal/simd, which replay
+	// the same pairwise association with eight rows in flight and are
+	// bit-identical to the scalar kernels in value AND index.
+	if useSIMDArgmin(m.Cols, m.Rows) {
+		return simd.ArgMinNM2(m.Data, norms, q, m.Cols)
+	}
 	switch m.Cols {
 	case 2:
 		return argMinNM2Dim2(m.Data, norms, q)
@@ -149,6 +165,14 @@ func ArgMinNormMinus2Dot2(m *Matrix, norms, qa, qb []float32) (besta int, bva fl
 	if m.Rows == 0 {
 		panic("vecmath: ArgMinNormMinus2Dot2 of empty matrix")
 	}
+	// The SIMD argmin already runs eight rows per iteration, so the
+	// two-query fusion below has nothing left to amortize; two single
+	// calls keep the documented bit-identity by construction.
+	if useSIMDArgmin(m.Cols, m.Rows) {
+		besta, bva = simd.ArgMinNM2(m.Data, norms, qa, m.Cols)
+		bestb, bvb = simd.ArgMinNM2(m.Data, norms, qb, m.Cols)
+		return
+	}
 	switch m.Cols {
 	case 2:
 		return argMinNM2Dim2x2(m.Data, norms, qa, qb)
@@ -206,6 +230,16 @@ func argMinNM2Dim4x2(data, norms, qa, qb []float32) (ia int, va float32, ib int,
 func DotBatch2(out1, out2 []float32, m *Matrix, q1, q2 []float32) {
 	if len(q1) != m.Cols || len(q2) != m.Cols || len(out1) != m.Rows || len(out2) != m.Rows {
 		panic("vecmath: DotBatch2 dimension mismatch")
+	}
+	if useSIMD(m.Cols) {
+		// Per-row FMA kernel keeps the agreement with per-row Dot.
+		d := m.Cols
+		for j := 0; j < m.Rows; j++ {
+			r := m.Data[j*d : (j+1)*d]
+			out1[j] = simd.Dot(q1, r)
+			out2[j] = simd.Dot(q2, r)
+		}
+		return
 	}
 	q2 = q2[:len(q1)]
 	for j := 0; j < m.Rows; j++ {

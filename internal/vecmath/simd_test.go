@@ -1,0 +1,137 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"anna/internal/simd"
+)
+
+// The dispatch-seam tests: contracts that must hold identically whether
+// the SIMD kernels are enabled or not.
+
+func randVecN(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = rng.Float32()*2 - 1
+	}
+	return v
+}
+
+// TestDotConsistencyContracts checks, in the active dispatch mode, every
+// bit-identity this package documents between single- and multi-vector
+// entry points: Dot4 == 4x Dot, DotBatch == per-row Dot, DotBatch2 ==
+// per-row Dot, NormSq == Dot(a, a), L2SqBatch == per-row L2Sq.
+func TestDotConsistencyContracts(t *testing.T) {
+	modes := []bool{false}
+	if simd.Available() {
+		modes = append(modes, true)
+	}
+	for _, mode := range modes {
+		prev := simd.SetEnabled(mode)
+		func() {
+			defer simd.SetEnabled(prev)
+			rng := rand.New(rand.NewSource(77))
+			for _, d := range []int{2, 8, 15, 16, 17, 32, 100} {
+				q := randVecN(rng, d)
+				q2 := randVecN(rng, d)
+				m := &Matrix{Rows: 9, Cols: d, Data: randVecN(rng, 9*d)}
+
+				s0, s1, s2, s3 := Dot4(q, m.Row(0), m.Row(1), m.Row(2), m.Row(3))
+				for i, s := range []float32{s0, s1, s2, s3} {
+					if want := Dot(q, m.Row(i)); s != want {
+						t.Fatalf("mode=%v d=%d: Dot4[%d]=%v, Dot=%v", mode, d, i, s, want)
+					}
+				}
+
+				out := make([]float32, m.Rows)
+				DotBatch(out, m, q)
+				o1 := make([]float32, m.Rows)
+				o2 := make([]float32, m.Rows)
+				DotBatch2(o1, o2, m, q, q2)
+				l2 := make([]float32, m.Rows)
+				L2SqBatch(l2, m, q)
+				for j := 0; j < m.Rows; j++ {
+					if want := Dot(m.Row(j), q); out[j] != want {
+						t.Fatalf("mode=%v d=%d: DotBatch[%d]=%v, Dot=%v", mode, d, j, out[j], want)
+					}
+					if w1, w2 := Dot(q, m.Row(j)), Dot(q2, m.Row(j)); o1[j] != w1 || o2[j] != w2 {
+						t.Fatalf("mode=%v d=%d: DotBatch2[%d]=(%v,%v), want (%v,%v)",
+							mode, d, j, o1[j], o2[j], w1, w2)
+					}
+					if want := L2Sq(m.Row(j), q); l2[j] != want {
+						t.Fatalf("mode=%v d=%d: L2SqBatch[%d]=%v, L2Sq=%v", mode, d, j, l2[j], want)
+					}
+				}
+
+				if got, want := NormSq(q), Dot(q, q); got != want {
+					t.Fatalf("mode=%v d=%d: NormSq=%v, Dot(a,a)=%v", mode, d, got, want)
+				}
+			}
+		}()
+	}
+}
+
+// TestArgMinDispatchBitExact requires the argmin result — value bits and
+// index — to be identical across dispatch modes for the small dimensions
+// (the kernels are specified bit-exact, unlike the FMA reductions).
+func TestArgMinDispatchBitExact(t *testing.T) {
+	if !simd.Available() {
+		t.Skip("no assembly on this build")
+	}
+	rng := rand.New(rand.NewSource(78))
+	for _, d := range []int{2, 4, 8} {
+		for _, rows := range []int{8, 9, 16, 100, 257} {
+			m := &Matrix{Rows: rows, Cols: d, Data: randVecN(rng, rows*d)}
+			norms := make([]float32, rows)
+			for j := range norms {
+				norms[j] = NormSq(m.Row(j))
+			}
+			q := randVecN(rng, d)
+			qb := randVecN(rng, d)
+
+			gi, gv := ArgMinNormMinus2Dot(m, norms, q)
+			ga, va, gb, vb := ArgMinNormMinus2Dot2(m, norms, q, qb)
+
+			prev := simd.SetEnabled(false)
+			wi, wv := ArgMinNormMinus2Dot(m, norms, q)
+			wa, wva, wb, wvb := ArgMinNormMinus2Dot2(m, norms, q, qb)
+			simd.SetEnabled(prev)
+
+			if gi != wi || math.Float32bits(gv) != math.Float32bits(wv) {
+				t.Fatalf("d=%d rows=%d: simd (%d,%v) scalar (%d,%v)", d, rows, gi, gv, wi, wv)
+			}
+			if ga != wa || gb != wb ||
+				math.Float32bits(va) != math.Float32bits(wva) ||
+				math.Float32bits(vb) != math.Float32bits(wvb) {
+				t.Fatalf("d=%d rows=%d: ArgMinNormMinus2Dot2 diverges across dispatch", d, rows)
+			}
+		}
+	}
+}
+
+// TestDotDispatchTolerance bounds the FMA-vs-scalar difference with the
+// same class of bound the simd package pins, at the vecmath call sites.
+func TestDotDispatchTolerance(t *testing.T) {
+	if !simd.Available() {
+		t.Skip("no assembly on this build")
+	}
+	rng := rand.New(rand.NewSource(79))
+	for _, d := range []int{16, 64, 333, 1024} {
+		a := randVecN(rng, d)
+		b := randVecN(rng, d)
+		on := Dot(a, b)
+		prev := simd.SetEnabled(false)
+		off := Dot(a, b)
+		simd.SetEnabled(prev)
+		var mag float64
+		for i := range a {
+			mag += math.Abs(float64(a[i]) * float64(b[i]))
+		}
+		bound := 8 * float64(d) * (1.0 / (1 << 24)) * (mag + 1e-30)
+		if diff := math.Abs(float64(on) - float64(off)); diff > bound {
+			t.Fatalf("d=%d: |simd-scalar| = %g > bound %g", d, diff, bound)
+		}
+	}
+}

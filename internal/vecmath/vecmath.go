@@ -2,14 +2,28 @@
 // the ANNA reproduction: inner products, squared L2 distances, norms, and
 // batched variants of each. These are the primitives both the software
 // ANNS reference and the accelerator's functional datapath are built on.
+//
+// On amd64 with AVX2+FMA the reduction kernels dispatch to the assembly
+// in internal/simd (see simd.go in this package for the dispatch policy
+// and the accuracy contract of each kernel class).
 package vecmath
 
-import "math"
+import (
+	"math"
 
-// Dot returns the inner product of a and b. It panics if the lengths differ.
+	"anna/internal/simd"
+)
+
+// Dot returns the inner product of a and b. It panics if the lengths
+// differ. With SIMD enabled, vectors of at least simdMinLen elements use
+// the FMA kernel, whose result can differ from the scalar loop in the
+// last bits (see internal/simd for the tested error bound).
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vecmath: length mismatch")
+	}
+	if useSIMD(len(a)) {
+		return simd.Dot(a, b)
 	}
 	var s float32
 	for i, x := range a {
@@ -19,10 +33,13 @@ func Dot(a, b []float32) float32 {
 }
 
 // L2Sq returns the squared Euclidean distance between a and b.
-// It panics if the lengths differ.
+// It panics if the lengths differ. Dispatch and accuracy follow Dot.
 func L2Sq(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("vecmath: length mismatch")
+	}
+	if useSIMD(len(a)) {
+		return simd.L2Sq(a, b)
 	}
 	var s float32
 	for i, x := range a {
@@ -32,8 +49,13 @@ func L2Sq(a, b []float32) float32 {
 	return s
 }
 
-// NormSq returns the squared L2 norm of a.
+// NormSq returns the squared L2 norm of a. Dispatch and accuracy follow
+// Dot (a norm is the self inner product, and the SIMD path computes it
+// as exactly that, so NormSq(a) == Dot(a, a) in every dispatch mode).
 func NormSq(a []float32) float32 {
+	if useSIMD(len(a)) {
+		return simd.Dot(a, a)
+	}
 	var s float32
 	for _, x := range a {
 		s += x * x
@@ -136,6 +158,14 @@ func DotBatch(out []float32, m *Matrix, q []float32) {
 		panic("vecmath: DotBatch dimension mismatch")
 	}
 	d := m.Cols
+	if useSIMD(d) {
+		// Per-row FMA kernel: same kernel Dot dispatches to, so the
+		// bit-identity with a per-row Dot loop is preserved.
+		for i := 0; i < m.Rows; i++ {
+			out[i] = simd.Dot(q, m.Data[i*d:(i+1)*d])
+		}
+		return
+	}
 	i := 0
 	for ; i+4 <= m.Rows; i += 4 {
 		base := i * d

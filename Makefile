@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-noasm race check bench benchall vet fmt fmt-check bench-smoke fuzz-smoke ci ci-cross lint examples experiments clean
+.PHONY: all build test test-noasm race check bench benchall vet fmt fmt-check bench-smoke fuzz-smoke ci ci-cross cluster-integration lint examples experiments clean
 
 all: build vet test
 
@@ -21,14 +21,14 @@ test-noasm:
 	ANNA_NOSIMD=1 $(GO) test ./internal/simd/ ./internal/vecmath/ ./internal/pq/ ./internal/ivf/ ./internal/engine/
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/anna/ ./internal/qos/ .
+	$(GO) test -race ./internal/engine/ ./internal/anna/ ./internal/qos/ ./internal/cluster/... .
 
 # Mirrors .github/workflows/ci.yml exactly (same commands, same package
 # lists) so a green `make ci` means a green CI run. Keep in sync.
 # (Two exceptions stay CI-only: lint resolves staticcheck over the
 # network, and the qemu arm64 cross-test job apt-installs its emulator.
 # ci-cross covers the same platforms' compile half offline.)
-ci: fmt-check build vet test test-noasm ci-cross ci-race fuzz-smoke bench-smoke
+ci: fmt-check build vet test test-noasm ci-cross ci-race cluster-integration fuzz-smoke bench-smoke
 
 # The CI cross-compile job: build and vet every supported platform. The
 # assembly is amd64-only, so this proves the fallback dispatch and build
@@ -59,7 +59,14 @@ fmt-check:
 # sampler and the concurrent /search + /add cache-invalidation test).
 .PHONY: ci-race
 ci-race:
-	$(GO) test -race ./internal/simd/... ./internal/vecmath/... ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/trace/... ./internal/wal/... ./internal/qos/... .
+	$(GO) test -race ./internal/simd/... ./internal/vecmath/... ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/trace/... ./internal/wal/... ./internal/qos/... ./internal/cluster/... .
+
+# The CI cluster-integration job: the multi-process fault-injection
+# harness (shard processes SIGKILLed mid-load) plus the router's
+# degradation chain under injected faults, race-detected.
+.PHONY: cluster-integration
+cluster-integration:
+	$(GO) test -race -v -run 'TestClusterSurvivesShardKill|TestRouterDegradesThroughTimeoutsToBreaker|TestRouterRetriesAbsorbInjected5xx' -count=2 ./internal/cluster/
 
 # The CI fuzz-smoke job: hammer both durable-input decoders — the index
 # loader and the WAL reader — with coverage-guided corrupt inputs (a

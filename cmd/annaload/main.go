@@ -16,6 +16,12 @@
 //
 //	go run ./cmd/annaload -addr http://localhost:8080 -concurrency 8,32,128
 //
+// With -router N (self-host only) it additionally splits the corpus
+// across N in-process shard servers behind the scatter-gather router
+// and sweeps that cluster as a "router-N" curve, so the fan-out and
+// merge overhead of sharded serving is measured against the
+// single-process configurations.
+//
 // Closed loop (-mode closed) runs N workers that each keep exactly one
 // request in flight, sweeping N over -concurrency: the classic
 // saturation measurement. Open loop (-mode open) fires requests at the
@@ -40,6 +46,7 @@ import (
 	"time"
 
 	"anna"
+	"anna/internal/cluster"
 	"anna/internal/dataset"
 	"anna/internal/pq"
 	"anna/internal/qos"
@@ -370,6 +377,7 @@ func main() {
 		batchWindow = flag.Duration("batch-window", time.Millisecond, "self-host: coalescing window of the batched config")
 		cacheSize   = flag.Int("cache", 4096, "self-host: result-cache entries of the batched config")
 		noBaseline  = flag.Bool("no-baseline", false, "self-host: skip the unbatched/uncached baseline curve")
+		router      = flag.Int("router", 0, "self-host: also sweep a cluster of this many shards (corpus split evenly) behind the scatter-gather router (0 = skip)")
 		seed        = flag.Int64("seed", 1, "workload seed")
 		out         = flag.String("out", "", "write the JSON document here (empty = stdout)")
 	)
@@ -479,7 +487,53 @@ func main() {
 		doc.Curves = append(doc.Curves, sweep("batched", selfTarget{s.Handler()}, wl, *mode, levels, rates, *duration))
 		s.Close()
 
-		if len(doc.Curves) == 2 && doc.Curves[0].SaturationQPS > 0 {
+		if *router > 0 {
+			// Sharded cluster: the same corpus split evenly across N
+			// in-process shards (each the full serving stack behind a
+			// real HTTP hop), fronted by the scatter-gather router —
+			// the fan-out + merge overhead measured against the
+			// single-process curves above.
+			nShards := *router
+			fmt.Fprintf(os.Stderr, "annaload: building %d shard indexes...\n", nShards)
+			shardClusters := *clusters / nShards
+			if shardClusters < 4 {
+				shardClusters = 4
+			}
+			servers := make([]*anna.Server, 0, nShards)
+			urls := make([]string, 0, nShards)
+			for i := 0; i < nShards; i++ {
+				var part [][]float32
+				for j := i; j < len(vectors); j += nShards {
+					part = append(part, vectors[j])
+				}
+				sidx, err := anna.BuildIndex(part, anna.L2, anna.BuildOptions{
+					NClusters: shardClusters, M: 8, Ks: 16, TrainIters: 8, Seed: *seed + int64(i),
+				})
+				if err != nil {
+					fatal("building shard %d index: %v", i, err)
+				}
+				ss := anna.NewServer(sidx)
+				ss.TraceSampleEvery = -1
+				ss.SlowQuery = -1
+				ss.BatchWindow = *batchWindow
+				ss.CacheSize = *cacheSize
+				hs := httptest.NewServer(ss.Handler())
+				defer hs.Close()
+				servers = append(servers, ss)
+				urls = append(urls, hs.URL)
+			}
+			rt, err := cluster.New(cluster.Config{Shards: urls, DefaultW: *w, DefaultK: *k})
+			if err != nil {
+				fatal("configuring router: %v", err)
+			}
+			doc.Curves = append(doc.Curves, sweep(fmt.Sprintf("router-%d", nShards),
+				selfTarget{rt.Handler()}, wl, *mode, levels, rates, *duration))
+			for _, ss := range servers {
+				ss.Close()
+			}
+		}
+
+		if len(doc.Curves) >= 2 && doc.Curves[0].Config == "baseline" && doc.Curves[0].SaturationQPS > 0 {
 			sp := doc.Curves[1].SaturationQPS / doc.Curves[0].SaturationQPS
 			doc.SaturationSpeedup = &sp
 			b, q := doc.Curves[0].Points, doc.Curves[1].Points

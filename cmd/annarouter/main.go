@@ -1,0 +1,163 @@
+// Command annarouter is the scatter-gather front door of a sharded
+// anna cluster: it partitions the global ID space into per-shard
+// stripes, fans every /search out to all annaserve shards and merges
+// their top-k lists, and routes each /add batch to one owning shard
+// (WAL-before-ack preserved end to end).
+//
+// Usage:
+//
+//	annarouter -shards http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
+//
+// The router holds no index state, so it restarts instantly and can be
+// replicated behind a plain load balancer. Every remote hop is
+// hardened: per-attempt deadlines, budgeted retries with jittered
+// exponential backoff, hedged requests after the shard's observed p99,
+// and a per-shard circuit breaker. When shards are lost the router
+// degrades instead of failing: searches answer from the surviving
+// shards with the coverage declared in an X-Anna-Partial header
+// ("shards=2/3") and counted in anna_partial_results_total; only a
+// total loss returns 502.
+//
+// Endpoints (same dialect as a single annaserve):
+//
+//	POST /search   fan out, merge global top-k
+//	POST /add      route to one shard, rewrite IDs into its stripe
+//	GET  /stats    aggregate cluster view with per-shard breaker states
+//	GET  /healthz  router process liveness
+//	GET  /readyz   200 while at least one shard is ready
+//	GET  /metrics  Prometheus text exposition
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"anna/internal/cluster"
+	"anna/internal/qos"
+)
+
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log must be text or json (got %q)", format)
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7080", "listen address")
+		shards   = flag.String("shards", "", "comma-separated shard base URLs in stripe order (required)")
+		stride   = flag.Int64("stride", cluster.DefaultStride, "global-ID stripe width per shard")
+		defaultW = flag.Int("w", 32, "default clusters inspected per query")
+		defaultK = flag.Int("k", 10, "default results per query")
+		maxBatch = flag.Int("maxbatch", 1024, "maximum queries per request")
+
+		shardTimeout  = flag.Duration("shard-timeout", 2*time.Second, "per-attempt deadline for shard searches")
+		addTimeout    = flag.Duration("add-timeout", 10*time.Second, "per-attempt deadline for shard adds")
+		retries       = flag.Int("retries", 2, "retries per failed idempotent shard request (0 = disabled)")
+		budgetRatio   = flag.Float64("retry-budget", 0.1, "retry-budget deposit per request (bounds retry amplification)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge idempotent requests in flight past the shard p99, clamped to at least this (0 = no hedging)")
+		hedgeMax      = flag.Duration("hedge-max", 0, "hedge delay ceiling (default 10x -hedge-after)")
+		breakFailures = flag.Int("breaker-failures", 5, "consecutive failures that open a shard's circuit breaker")
+		breakCooldown = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker waits before its half-open probe")
+
+		grace     = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain window")
+		logFormat = flag.String("log", "text", `structured log format: "text" or "json"`)
+	)
+	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "annarouter: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	var bases []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			bases = append(bases, strings.TrimSuffix(s, "/"))
+		}
+	}
+	if len(bases) == 0 {
+		fatal("no shards: pass -shards with at least one annaserve base URL")
+	}
+
+	// The flag surface uses 0 = disabled for -retries; the library uses
+	// -1 for that and 0 for "default".
+	r := *retries
+	if r == 0 {
+		r = -1
+	}
+	rt, err := cluster.New(cluster.Config{
+		Shards:   bases,
+		Stride:   *stride,
+		DefaultW: *defaultW,
+		DefaultK: *defaultK,
+		MaxBatch: *maxBatch,
+		Shard: cluster.ShardOptions{
+			Timeout:          *shardTimeout,
+			AddTimeout:       *addTimeout,
+			Retries:          r,
+			Backoff:          qos.Backoff{},
+			RetryBudgetRatio: *budgetRatio,
+			HedgeAfter:       *hedgeAfter,
+			HedgeMax:         *hedgeMax,
+			BreakerFailures:  *breakFailures,
+			BreakerCooldown:  *breakCooldown,
+		},
+	})
+	if err != nil {
+		fatal("configuring router failed", "err", err)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Info("routing", "addr", *addr, "shards", len(bases), "stride", *stride)
+	for i, b := range bases {
+		logger.Info("shard", "index", i, "base", b)
+	}
+
+	select {
+	case err := <-errc:
+		fatal("router failed", "err", err)
+	case <-ctx.Done():
+		stop()
+		logger.Info("signal received, draining", "grace", *grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			logger.Warn("drain window expired, closing", "err", err)
+			hs.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("router error during shutdown", "err", err)
+		}
+		logger.Info("shut down cleanly")
+	}
+}

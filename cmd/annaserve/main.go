@@ -12,7 +12,8 @@
 //	POST /add     {"vectors": [[...]]}
 //	POST /admin/snapshot  checkpoint the index, trim the WAL (needs -data)
 //	GET  /stats
-//	GET  /healthz
+//	GET  /healthz        process liveness (200 even while recovering)
+//	GET  /readyz         503 until WAL recovery completes, then 200
 //	GET  /metrics        Prometheus text exposition
 //	GET  /debug/pprof/*  runtime profiles (disable with -pprof=false)
 //
@@ -167,6 +168,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Listen before recovery: while the store replays its WAL the gate
+	// answers /healthz 200 (process alive) but /readyz and everything
+	// else 503 with a jittered Retry-After, so orchestrators neither
+	// kill a recovering node nor route traffic to it early.
+	gate := anna.NewReadinessGate()
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           gate,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Info("listening", "addr", *addr, "ready", false)
+
 	var (
 		idx   *anna.Index
 		store *anna.Store
@@ -236,17 +253,7 @@ func main() {
 		srv.Accelerator = acc
 	}
 
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	gate.Ready(srv.Handler())
 	durable := "in-memory"
 	if store != nil {
 		durable = fmt.Sprintf("durable in %s (wal-sync %s)", *dataDir, *walSync)
@@ -271,6 +278,11 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("server error during shutdown", "err", err)
 		}
+		// Order matters: the HTTP server has drained, but coalesced
+		// searches may still sit in the QoS batcher. Drain it before the
+		// store snapshot so no in-flight engine batch runs against a
+		// closing index.
+		srv.Close()
 		if store != nil {
 			// Checkpoint so the next start replays an empty WAL. Failure
 			// is not fatal: the WAL still holds everything acknowledged.

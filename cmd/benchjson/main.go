@@ -258,7 +258,7 @@ func runServe(out, benchtime string) {
 	if out == "" {
 		out = "BENCH_serve.json"
 	}
-	args := []string{"run", "./cmd/annaload", "-out", out}
+	args := []string{"run", "./cmd/annaload", "-out", out, "-router", "3"}
 	if benchtime != "" {
 		args = append(args, "-duration", benchtime)
 	}

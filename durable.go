@@ -3,6 +3,7 @@ package anna
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"os"
@@ -78,6 +79,12 @@ func IsCorrupt(err error) bool {
 }
 
 var errBadRecord = errors.New("anna: invalid WAL record")
+
+// ErrTailGone is returned by TailWAL when the requested (epoch, seq)
+// position no longer exists — the store has snapshotted and trimmed its
+// WAL since the follower last read, so sequence numbers restarted. The
+// follower must re-bootstrap from a fresh snapshot instead of tailing.
+var ErrTailGone = errors.New("anna: WAL tail position gone (snapshot trimmed the log)")
 
 // Store is the durability layer of a served index: a data directory
 // holding snapshot.anna and wal.log.
@@ -196,26 +203,43 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 // trim) are skipped by ID; anything else must continue exactly where the
 // index ends.
 func (st *Store) applyRecord(payload []byte) error {
-	firstID, vectors, err := decodeAddRecord(payload)
+	applied, err := applyAddRecord(st.idx, payload)
 	if err != nil {
 		return err
 	}
-	next := st.idx.NextID()
+	if applied {
+		st.replayed++
+	}
+	return nil
+}
+
+// applyAddRecord replays one add-batch payload onto idx. It is the
+// shared apply step of local WAL recovery (Store.applyRecord) and
+// follower replication (Replica): records already contained in the
+// index are skipped idempotently by ID, and a record that neither
+// overlaps nor continues the index is refused — the log and the state
+// can never silently diverge. It reports whether the record mutated the
+// index.
+func applyAddRecord(idx *Index, payload []byte) (applied bool, err error) {
+	firstID, vectors, err := decodeAddRecord(payload)
+	if err != nil {
+		return false, err
+	}
+	next := idx.NextID()
 	if firstID+int64(len(vectors)) <= next {
-		return nil // already in the snapshot
+		return false, nil // already present
 	}
 	if firstID != next {
-		return fmt.Errorf("%w: add record for id %d, index expects %d", errBadRecord, firstID, next)
+		return false, fmt.Errorf("%w: add record for id %d, index expects %d", errBadRecord, firstID, next)
 	}
-	got, err := st.idx.Add(vectors)
+	got, err := idx.Add(vectors)
 	if err != nil {
-		return fmt.Errorf("%w: replaying add at id %d: %v", errBadRecord, firstID, err)
+		return false, fmt.Errorf("%w: replaying add at id %d: %v", errBadRecord, firstID, err)
 	}
 	if got != firstID {
-		return fmt.Errorf("%w: replay assigned id %d, record says %d", errBadRecord, got, firstID)
+		return false, fmt.Errorf("%w: replay assigned id %d, record says %d", errBadRecord, got, firstID)
 	}
-	st.replayed++
-	return nil
+	return true, nil
 }
 
 // Index returns the recovered (or wrapped) index.
@@ -298,6 +322,50 @@ func (st *Store) Snapshot() error {
 			"duration", dur, "bytes", st.snapSize.Load())
 	}
 	return nil
+}
+
+// Epoch identifies the snapshot generation WAL sequence numbers are
+// relative to. Snapshot trims the WAL and restarts sequences at zero,
+// so a bare sequence number is ambiguous across snapshots; the epoch
+// (the nanosecond timestamp of the snapshot) disambiguates. A follower
+// that presents a stale epoch gets ErrTailGone and re-bootstraps.
+func (st *Store) Epoch() int64 { return st.lastSnap.Load() }
+
+// TailPosition returns the store's current replication position: the
+// snapshot epoch and the number of WAL records appended on top of it.
+// The pair is read atomically with respect to Snapshot and LogAdd, so
+// a state download stamped with it can be caught up by TailWAL(epoch,
+// seq) without losing or double-applying a record.
+func (st *Store) TailPosition() (epoch int64, seq uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastSnap.Load(), st.log.Records()
+}
+
+// TailWAL streams the WAL records with sequence >= from, re-framed in
+// wire format (wal.AppendFrame / wal.ReplayFrom decode them), to w.
+// epoch must be the store's current Epoch: a mismatch — or a from past
+// the end of the log — returns ErrTailGone, telling the follower its
+// position predates a snapshot trim and it must re-bootstrap. The
+// frames are assembled under the store lock (so a concurrent Snapshot
+// cannot trim the log mid-read) but written to w after it is released.
+func (st *Store) TailWAL(w io.Writer, epoch int64, from uint64) error {
+	st.mu.Lock()
+	if epoch != st.lastSnap.Load() || from > st.log.Records() {
+		st.mu.Unlock()
+		return ErrTailGone
+	}
+	var frames []byte
+	err := st.log.ReadFrom(from, func(seq uint64, payload []byte) error {
+		frames = wal.AppendFrame(frames, seq, payload)
+		return nil
+	})
+	st.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("anna: reading WAL tail: %w", err)
+	}
+	_, err = w.Write(frames)
+	return err
 }
 
 // Close syncs and closes the WAL. It does not snapshot; call Snapshot

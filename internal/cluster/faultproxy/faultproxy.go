@@ -1,0 +1,233 @@
+// Package faultproxy is a fault-injecting HTTP reverse proxy — the
+// network sibling of internal/wal/faultfs. It sits between the router
+// and a shard and corrupts the conversation in the ways real networks
+// and dying processes do: added latency, hung connections, 5xx
+// rewrites, and responses truncated mid-body. The cluster tests drive
+// it two ways: scripted (the next N requests fail like this — exact,
+// reproducible sequences) and probabilistic (every request fails with
+// probability p under a seeded RNG) for soak-style runs.
+//
+// The proxy forwards verbatim otherwise: method, path, query, headers
+// and body pass through, so a shard behind a Pass-mode proxy is
+// indistinguishable from the shard itself.
+package faultproxy
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is one fault flavor.
+type Mode int
+
+const (
+	// Pass forwards the request unharmed.
+	Pass Mode = iota
+	// Delay forwards after sleeping Fault.Latency.
+	Delay
+	// Drop never answers: the connection hangs until the client's
+	// deadline cuts it (a dead switch port, a GC'd-to-death process).
+	Drop
+	// Err5xx discards the proxied response and answers Fault.Status
+	// (default 502) — an overloaded or crash-looping shard.
+	Err5xx
+	// Truncate forwards the response's status and declared length but
+	// cuts the body after Fault.TruncateAt bytes and kills the
+	// connection — a shard dying mid-write.
+	Truncate
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Err5xx:
+		return "err5xx"
+	case Truncate:
+		return "truncate"
+	}
+	return "pass"
+}
+
+// Fault describes one injected failure.
+type Fault struct {
+	Mode Mode
+	// Latency is the added delay for Delay mode.
+	Latency time.Duration
+	// Status is the rewritten status for Err5xx mode (default 502).
+	Status int
+	// TruncateAt is how many body bytes Truncate mode delivers before
+	// cutting the connection (default 0: header only).
+	TruncateAt int
+}
+
+// Options configure a Proxy.
+type Options struct {
+	// Client forwards requests to the target (default http.Client with
+	// no timeout — the router's deadlines are under test, not ours).
+	Client *http.Client
+	// Rand drives probabilistic injection, returning uniform [0, 1).
+	// Nil disables the probabilistic path (scripted faults still fire)
+	// — deterministic by default, seed it explicitly for soak runs.
+	Rand func() float64
+}
+
+// Proxy is the fault-injecting reverse proxy for one target. Use it as
+// an http.Handler (httptest.NewServer(p) in tests, or p.Start()).
+type Proxy struct {
+	target string
+	client *http.Client
+	rnd    func() float64
+
+	mu       sync.Mutex
+	script   []Fault // consumed FIFO, one per request
+	deflt    Fault   // applied when the script is empty...
+	defltP   float64 // ...with this probability
+	injected [5]atomic.Uint64
+	requests atomic.Uint64
+
+	stop     chan struct{} // closed on shutdown; releases Drop handlers
+	stopOnce sync.Once
+}
+
+// New returns a pass-through proxy for the shard at target (base URL).
+func New(target string, opt Options) *Proxy {
+	c := opt.Client
+	if c == nil {
+		c = &http.Client{}
+	}
+	return &Proxy{target: target, client: c, rnd: opt.Rand, stop: make(chan struct{})}
+}
+
+// Script enqueues faults applied to the next requests, one each, in
+// order, ahead of any probabilistic default.
+func (p *Proxy) Script(faults ...Fault) {
+	p.mu.Lock()
+	p.script = append(p.script, faults...)
+	p.mu.Unlock()
+}
+
+// SetDefault makes every request beyond the script suffer f with
+// probability prob (requires Options.Rand; prob 0 restores pass-through).
+func (p *Proxy) SetDefault(f Fault, prob float64) {
+	p.mu.Lock()
+	p.deflt, p.defltP = f, prob
+	p.mu.Unlock()
+}
+
+// Injected returns how many faults of mode m have fired.
+func (p *Proxy) Injected(m Mode) uint64 { return p.injected[m].Load() }
+
+// Requests returns how many requests the proxy has seen.
+func (p *Proxy) Requests() uint64 { return p.requests.Load() }
+
+// Start wraps the proxy in an owned test server on 127.0.0.1 and
+// returns its base URL; Close shuts it down.
+func (p *Proxy) Start() (url string, shutdown func()) {
+	ts := httptest.NewServer(p)
+	return ts.URL, func() {
+		// Release any parked Drop handlers first: httptest's Close
+		// waits for in-flight handlers, and a dropped connection's
+		// handler blocks until told otherwise.
+		p.stopOnce.Do(func() { close(p.stop) })
+		ts.Close()
+	}
+}
+
+// next picks the fault for this request.
+func (p *Proxy) next() Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.script) > 0 {
+		f := p.script[0]
+		p.script = p.script[1:]
+		return f
+	}
+	if p.defltP > 0 && p.rnd != nil && p.rnd() < p.defltP {
+		return p.deflt
+	}
+	return Fault{}
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.requests.Add(1)
+	f := p.next()
+	if f.Mode != Pass {
+		p.injected[f.Mode].Add(1)
+	}
+	switch f.Mode {
+	case Drop:
+		// Drain the body so net/http starts its background connection
+		// read — without it, a request carrying a body never gets its
+		// context canceled when the client hangs up, and this handler
+		// (and the server's Close) would block forever.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-p.stop:
+		}
+		return
+	case Err5xx:
+		status := f.Status
+		if status == 0 {
+			status = http.StatusBadGateway
+		}
+		http.Error(w, "faultproxy: injected", status)
+		return
+	case Delay:
+		select {
+		case <-time.After(f.Latency):
+		case <-r.Context().Done():
+			return
+		}
+	}
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, "faultproxy: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, "faultproxy: upstream: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, "faultproxy: upstream body: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if f.Mode == Truncate {
+		// Promise the full body, deliver a prefix, cut the connection:
+		// the client sees an unexpected EOF mid-read, exactly like a
+		// shard crashing between two writes.
+		cut := f.TruncateAt
+		if cut > len(body) {
+			cut = len(body)
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body[:cut])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler) // net/http severs the connection
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}

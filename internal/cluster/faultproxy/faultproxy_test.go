@@ -1,0 +1,175 @@
+package faultproxy
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// upstream is a well-behaved origin that echoes a fixed body and tags
+// responses with the request path.
+func upstream(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Origin", "real")
+		fmt.Fprintf(w, "path=%s body=%s", r.URL.Path, mustRead(r.Body))
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func mustRead(r io.Reader) string {
+	b, _ := io.ReadAll(r)
+	return string(b)
+}
+
+func TestPassThroughIsTransparent(t *testing.T) {
+	p := New(upstream(t), Options{})
+	url, done := p.Start()
+	defer done()
+
+	resp, err := http.Post(url+"/add?x=1", "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Origin") != "real" {
+		t.Fatalf("status=%d origin=%q", resp.StatusCode, resp.Header.Get("X-Origin"))
+	}
+	if got := mustRead(resp.Body); got != "path=/add body=hello" {
+		t.Fatalf("body=%q", got)
+	}
+	if p.Requests() != 1 || p.Injected(Pass) != 0 {
+		t.Fatalf("requests=%d injectedPass=%d", p.Requests(), p.Injected(Pass))
+	}
+}
+
+func TestScriptedErr5xxThenRecovery(t *testing.T) {
+	p := New(upstream(t), Options{})
+	p.Script(Fault{Mode: Err5xx}, Fault{Mode: Err5xx, Status: http.StatusServiceUnavailable})
+	url, done := p.Start()
+	defer done()
+
+	wantStatuses := []int{http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusOK}
+	for i, want := range wantStatuses {
+		resp, err := http.Get(url + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("request %d: status=%d want %d", i, resp.StatusCode, want)
+		}
+	}
+	if p.Injected(Err5xx) != 2 {
+		t.Fatalf("injected=%d", p.Injected(Err5xx))
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	p := New(upstream(t), Options{})
+	p.Script(Fault{Mode: Delay, Latency: 120 * time.Millisecond})
+	url, done := p.Start()
+	defer done()
+
+	start := time.Now()
+	resp, err := http.Get(url + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 120*time.Millisecond {
+		t.Fatalf("delayed request returned in %v", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delay corrupted the response: %d", resp.StatusCode)
+	}
+}
+
+func TestDropHangsUntilClientDeadline(t *testing.T) {
+	p := New(upstream(t), Options{})
+	p.Script(Fault{Mode: Drop})
+	url, done := p.Start()
+	defer done()
+
+	c := &http.Client{Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Get(url + "/x")
+	if err == nil {
+		t.Fatal("dropped request answered")
+	}
+	if time.Since(start) < 100*time.Millisecond {
+		t.Fatal("drop returned before the client deadline")
+	}
+}
+
+func TestTruncateCutsBodyMidRead(t *testing.T) {
+	p := New(upstream(t), Options{})
+	p.Script(Fault{Mode: Truncate, TruncateAt: 4})
+	url, done := p.Start()
+	defer done()
+
+	resp, err := http.Get(url + "/q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The status line arrives intact; the lie is in the body.
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("truncated body read cleanly")
+	}
+}
+
+func TestProbabilisticDefault(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	p := New(upstream(t), Options{Rand: rng.Float64})
+	p.SetDefault(Fault{Mode: Err5xx}, 0.5)
+	url, done := p.Start()
+	defer done()
+
+	failed := 0
+	for i := 0; i < 60; i++ {
+		resp, err := http.Get(url + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusBadGateway {
+			failed++
+		}
+	}
+	// With p=0.5 over 60 draws, [15, 45] is > 5 sigma on each side.
+	if failed < 15 || failed > 45 {
+		t.Fatalf("%d/60 injected at p=0.5", failed)
+	}
+	// Script takes precedence over the default.
+	p.Script(Fault{Mode: Pass})
+	resp, err := http.Get(url + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("scripted Pass overridden by probabilistic default")
+	}
+	// prob 0 restores pass-through.
+	p.SetDefault(Fault{}, 0)
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(url + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatal("fault after SetDefault(0)")
+		}
+	}
+}

@@ -1,0 +1,492 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anna/internal/metrics"
+	"anna/internal/topk"
+)
+
+// Wire types mirroring the annaserve JSON API. The router speaks the
+// same dialect on both sides, so a client cannot tell a router from a
+// single annaserve — except for the X-Anna-* headers it adds.
+type searchRequest struct {
+	Queries [][]float32 `json:"queries"`
+	W       int         `json:"w"`
+	K       int         `json:"k"`
+	Backend string      `json:"backend,omitempty"`
+}
+
+type searchResult struct {
+	ID    int64   `json:"id"`
+	Score float32 `json:"score"`
+}
+
+type searchResponse struct {
+	Results [][]searchResult `json:"results"`
+}
+
+type addRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+}
+
+type addResponse struct {
+	FirstID int64 `json:"first_id"`
+	Count   int   `json:"count"`
+}
+
+// HeaderPartial carries the router's coverage declaration on degraded
+// responses: "shards=k/n" means k of n shards contributed.
+const HeaderPartial = "X-Anna-Partial"
+
+// HeaderShard names the shard index that served a routed /add.
+const HeaderShard = "X-Anna-Shard"
+
+// DefaultStride is the width of each shard's global-ID stripe: shard i
+// owns global IDs [i*Stride, (i+1)*Stride), mapped to shard-local IDs
+// by subtracting the stripe base. 2^40 local IDs per shard is far past
+// any in-memory corpus, and the stripe arithmetic stays exact in int64
+// for thousands of shards.
+const DefaultStride int64 = 1 << 40
+
+// Config configures a Router.
+type Config struct {
+	// Shards are the base URLs of the annaserve replicas, in stripe
+	// order (shard i owns global IDs [i*Stride, (i+1)*Stride)).
+	Shards []string
+	// Stride is the global-ID stripe width (default DefaultStride).
+	Stride int64
+	// DefaultW and DefaultK fill omitted search knobs (defaults 32, 10)
+	// so every shard runs the identical query.
+	DefaultW, DefaultK int
+	// MaxBatch bounds queries per request (default 1024).
+	MaxBatch int
+	// Shard configures the hardened per-shard client.
+	Shard ShardOptions
+}
+
+// Router is the scatter-gather front door of a sharded cluster. It
+// holds no index state: every query fans out to all shards and every
+// add is routed to one, so the router restarts instantly and can be
+// replicated freely behind a plain load balancer.
+type Router struct {
+	shards   []*Shard
+	stride   int64
+	defaultW int
+	defaultK int
+	maxBatch int
+
+	addRR atomic.Uint64 // round-robin cursor for /add placement
+
+	reg        *metrics.Registry
+	partials   *metrics.Counter
+	unservable *metrics.Counter
+	duration   map[string]*metrics.Histogram
+}
+
+// New returns a router over the configured shards.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	if cfg.Stride <= 0 {
+		cfg.Stride = DefaultStride
+	}
+	if cfg.DefaultW <= 0 {
+		cfg.DefaultW = 32
+	}
+	if cfg.DefaultK <= 0 {
+		cfg.DefaultK = 10
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	rt := &Router{
+		stride:   cfg.Stride,
+		defaultW: cfg.DefaultW,
+		defaultK: cfg.DefaultK,
+		maxBatch: cfg.MaxBatch,
+		reg:      metrics.NewRegistry(),
+		duration: map[string]*metrics.Histogram{},
+	}
+	rt.partials = rt.reg.Counter("anna_partial_results_total",
+		"Search responses served with partial shard coverage.")
+	rt.unservable = rt.reg.Counter("anna_unservable_requests_total",
+		"Requests failed because no shard could serve them.")
+	for _, h := range []string{"search", "add", "stats"} {
+		rt.duration[h] = rt.reg.Histogram("anna_request_duration_seconds",
+			"Wall-clock request latency by handler.", nil,
+			metrics.Label{Key: "handler", Value: h})
+	}
+	for i, base := range cfg.Shards {
+		s := NewShard(i, base, cfg.Shard)
+		rt.shards = append(rt.shards, s)
+		lbl := metrics.Label{Key: "shard", Value: strconv.Itoa(i)}
+		st := s.Stats()
+		rt.reg.CounterFunc("anna_shard_requests_total",
+			"Attempts sent to each shard (incl. retries and hedges).",
+			st.Requests.Load, lbl)
+		rt.reg.CounterFunc("anna_shard_retries_total",
+			"Retried attempts per shard.", st.Retries.Load, lbl)
+		rt.reg.CounterFunc("anna_shard_hedges_total",
+			"Hedged attempts per shard.", st.Hedges.Load, lbl)
+		rt.reg.CounterFunc("anna_shard_failures_total",
+			"Attempts that ended in a transport error or 5xx.", st.Failures.Load, lbl)
+		rt.reg.CounterFunc("anna_shard_fast_fails_total",
+			"Requests refused locally by the open circuit breaker.", st.FastFails.Load, lbl)
+		rt.reg.CounterFunc("anna_shard_breaker_opens_total",
+			"Times the shard's circuit breaker tripped open.", s.Breaker().Opens, lbl)
+		breaker := s.Breaker()
+		rt.reg.GaugeFunc("anna_shard_breaker_open",
+			"1 when the shard's circuit breaker is not closed.",
+			func() float64 {
+				if breaker.State() != "closed" {
+					return 1
+				}
+				return 0
+			}, lbl)
+	}
+	return rt, nil
+}
+
+// Shards exposes the shard clients (metrics, tests, annaload).
+func (rt *Router) Shards() []*Shard { return rt.shards }
+
+// Metrics returns the router's metrics registry.
+func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
+
+// Handler returns the router's HTTP handler tree — the same surface as
+// a single annaserve, minus the single-process admin endpoints.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", rt.instrument("search", rt.handleSearch))
+	mux.HandleFunc("/add", rt.instrument("add", rt.handleAdd))
+	mux.HandleFunc("/stats", rt.instrument("stats", rt.handleStats))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", rt.handleReadyz)
+	mux.Handle("/metrics", rt.reg.Handler())
+	return mux
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (rt *Router) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		rt.duration[name].ObserveDuration(time.Since(start))
+		rt.reg.Counter("anna_http_requests_total", "Requests by handler and status code.",
+			metrics.Label{Key: "handler", Value: name},
+			metrics.Label{Key: "code", Value: strconv.Itoa(sw.code)}).Inc()
+	}
+}
+
+func (rt *Router) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// shardReply is one shard's contribution to a scatter.
+type shardReply struct {
+	shard  int
+	status int
+	body   []byte
+	err    error
+}
+
+// scatter sends the same request to every shard concurrently and
+// returns all replies (indexed by shard).
+func (rt *Router) scatter(r *http.Request, method, path string, body []byte) []shardReply {
+	replies := make([]shardReply, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, s := range rt.shards {
+		wg.Add(1)
+		go func(i int, s *Shard) {
+			defer wg.Done()
+			status, b, err := s.Do(r.Context(), method, path, body, true)
+			replies[i] = shardReply{shard: i, status: status, body: b, err: err}
+		}(i, s)
+	}
+	wg.Wait()
+	return replies
+}
+
+// handleSearch fans one search out to every shard and merges the
+// per-shard top-k lists into the global top-k. Shards that fail past
+// their retry budget are dropped from coverage: the query still
+// answers, with the loss declared in X-Anna-Partial and counted in
+// anna_partial_results_total. Only a total loss (zero shards) fails
+// the request.
+func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rt.httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		rt.httpError(w, http.StatusBadRequest, "no queries")
+		return
+	}
+	if len(req.Queries) > rt.maxBatch {
+		rt.httpError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), rt.maxBatch)
+		return
+	}
+	// Normalize the knobs before fan-out so every shard answers the
+	// identical (W, K) — the merge below assumes per-shard lists are
+	// each a top-K under the same K.
+	if req.W <= 0 {
+		req.W = rt.defaultW
+	}
+	if req.K <= 0 {
+		req.K = rt.defaultK
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		rt.httpError(w, http.StatusInternalServerError, "encoding request: %v", err)
+		return
+	}
+
+	replies := rt.scatter(r, http.MethodPost, "/search", body)
+
+	// A 4xx from any shard means the request itself is bad (shards are
+	// interchangeable for validation); relay the first one verbatim.
+	for _, rep := range replies {
+		if rep.err == nil && rep.status >= 400 && rep.status < 500 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(rep.status)
+			w.Write(rep.body)
+			return
+		}
+	}
+
+	// Merge the shards that answered, rewriting shard-local IDs into
+	// their global stripes.
+	lists := make([][][]topk.Result, 0, len(replies)) // per ok shard, per query
+	ok := 0
+	for _, rep := range replies {
+		if rep.err != nil || rep.status != http.StatusOK {
+			continue
+		}
+		var sr searchResponse
+		if err := json.Unmarshal(rep.body, &sr); err != nil || len(sr.Results) != len(req.Queries) {
+			continue // malformed reply = failed shard, coverage drops
+		}
+		perQuery := make([][]topk.Result, len(req.Queries))
+		base := int64(rep.shard) * rt.stride
+		for q, results := range sr.Results {
+			rs := make([]topk.Result, len(results))
+			for j, res := range results {
+				rs[j] = topk.Result{ID: base + res.ID, Score: res.Score}
+			}
+			perQuery[q] = rs
+		}
+		lists = append(lists, perQuery)
+		ok++
+	}
+	if ok == 0 {
+		rt.unservable.Inc()
+		rt.httpError(w, http.StatusBadGateway, "no shard reachable (0/%d)", len(rt.shards))
+		return
+	}
+
+	resp := searchResponse{Results: make([][]searchResult, len(req.Queries))}
+	merge := make([][]topk.Result, len(lists))
+	for q := range req.Queries {
+		for i, perQuery := range lists {
+			merge[i] = perQuery[q]
+		}
+		merged := topk.Merge(req.K, merge...)
+		out := make([]searchResult, len(merged))
+		for j, m := range merged {
+			out[j] = searchResult{ID: m.ID, Score: m.Score}
+		}
+		resp.Results[q] = out
+	}
+
+	if ok < len(rt.shards) {
+		w.Header().Set(HeaderPartial, fmt.Sprintf("shards=%d/%d", ok, len(rt.shards)))
+		rt.partials.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleAdd routes one add batch to a single owning shard. The shard's
+// WAL-before-ack pipeline is preserved end to end: the router acks only
+// after the shard acked, and the shard acks only after its WAL fsync.
+// Adds are never retried — a timed-out add may have been applied, and
+// re-sending it would duplicate vectors. Placement is round-robin over
+// shards whose breaker admits traffic; a breaker fast-fail (request
+// provably unsent) moves to the next shard.
+func (rt *Router) handleAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req addRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rt.httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Vectors) == 0 {
+		rt.httpError(w, http.StatusBadRequest, "no vectors")
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		rt.httpError(w, http.StatusInternalServerError, "encoding request: %v", err)
+		return
+	}
+	start := int(rt.addRR.Add(1)-1) % len(rt.shards)
+	for off := 0; off < len(rt.shards); off++ {
+		s := rt.shards[(start+off)%len(rt.shards)]
+		status, b, err := s.Do(r.Context(), http.MethodPost, "/add", body, false)
+		if err != nil {
+			if r.Context().Err() != nil {
+				rt.httpError(w, http.StatusGatewayTimeout, "add canceled: %v", err)
+				return
+			}
+			// ErrShardDown means the request was never sent — the next
+			// shard can own this batch. Any other error is ambiguous
+			// (the shard may have applied it) and must surface.
+			if errors.Is(err, ErrShardDown) {
+				continue
+			}
+			rt.unservable.Inc()
+			// Name the shard so the client knows whose state is now
+			// ambiguous (the batch may or may not have been applied).
+			w.Header().Set(HeaderShard, strconv.Itoa(s.Index))
+			rt.httpError(w, http.StatusBadGateway, "shard %d add failed: %v", s.Index, err)
+			return
+		}
+		if status != http.StatusOK {
+			// Relay the shard's verdict (400 bad vectors, 429, 5xx...).
+			w.Header().Set(HeaderShard, strconv.Itoa(s.Index))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			w.Write(b)
+			return
+		}
+		var ar addResponse
+		if err := json.Unmarshal(b, &ar); err != nil {
+			rt.httpError(w, http.StatusBadGateway, "shard %d add reply: %v", s.Index, err)
+			return
+		}
+		if ar.FirstID+int64(ar.Count) > rt.stride {
+			rt.httpError(w, http.StatusInternalServerError,
+				"shard %d exhausted its ID stripe (%d ids)", s.Index, rt.stride)
+			return
+		}
+		ar.FirstID += int64(s.Index) * rt.stride
+		w.Header().Set(HeaderShard, strconv.Itoa(s.Index))
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ar)
+		return
+	}
+	rt.unservable.Inc()
+	rt.httpError(w, http.StatusBadGateway, "no shard accepting adds (0/%d)", len(rt.shards))
+}
+
+// handleStats aggregates shard /stats into a cluster view: total
+// vectors, per-shard detail, and breaker states.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rt.httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	replies := rt.scatter(r, http.MethodGet, "/stats", nil)
+	total := 0
+	shards := make([]map[string]any, len(replies))
+	for i, rep := range replies {
+		entry := map[string]any{
+			"shard":   i,
+			"base":    rt.shards[i].Base,
+			"breaker": rt.shards[i].Breaker().State(),
+		}
+		if rep.err != nil || rep.status != http.StatusOK {
+			entry["up"] = false
+		} else {
+			var st map[string]any
+			if err := json.Unmarshal(rep.body, &st); err == nil {
+				entry["up"] = true
+				if v, ok := st["vectors"].(float64); ok {
+					entry["vectors"] = int(v)
+					total += int(v)
+				}
+			} else {
+				entry["up"] = false
+			}
+		}
+		shards[i] = entry
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"vectors": total,
+		"stride":  rt.stride,
+		"shards":  shards,
+	})
+}
+
+// handleReadyz reports the router's ability to serve: ready as soon as
+// at least one shard answers its own /readyz (the degradation contract
+// lets the router serve partial coverage), with the full per-shard
+// picture in the body for operators and the harness.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type shardReady struct {
+		Shard int    `json:"shard"`
+		Base  string `json:"base"`
+		Ready bool   `json:"ready"`
+	}
+	states := make([]shardReady, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, s := range rt.shards {
+		wg.Add(1)
+		go func(i int, s *Shard) {
+			defer wg.Done()
+			status, _, err := s.Do(r.Context(), http.MethodGet, "/readyz", nil, true)
+			states[i] = shardReady{Shard: i, Base: s.Base, Ready: err == nil && status == http.StatusOK}
+		}(i, s)
+	}
+	wg.Wait()
+	ready := 0
+	for _, st := range states {
+		if st.Ready {
+			ready++
+		}
+	}
+	code := http.StatusOK
+	if ready == 0 {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderPartial, fmt.Sprintf("shards=%d/%d", ready, len(rt.shards)))
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"ready":  ready > 0,
+		"shards": states,
+	})
+}

@@ -1,0 +1,73 @@
+package qos
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays. The zero value is
+// usable and gives the serving layer's defaults: 50ms base, 2s cap,
+// doubling per attempt, ±50% jitter. It is stateless and safe for
+// concurrent use — callers pass the attempt number.
+//
+// Both the router's retry loop and the server's 429 Retry-After hints
+// use this so rejected or failed requests never re-converge on the same
+// instant (a synchronized retry wave is how one overload becomes the
+// next one).
+type Backoff struct {
+	// Base is the delay before the first retry (default 50ms).
+	Base time.Duration
+	// Max caps the delay (default 2s).
+	Max time.Duration
+	// Factor multiplies the delay per attempt (default 2).
+	Factor float64
+	// Jitter is the fraction of the delay randomized, in [0, 1]
+	// (default 0.5): the returned delay is uniform in
+	// [d·(1−Jitter), d·(1+Jitter)], clamped to Max.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.5
+	}
+	return b
+}
+
+// Delay returns the jittered delay before retry number attempt
+// (attempt 0 = first retry).
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		// Uniform in [d·(1−j), d·(1+j)].
+		d *= 1 - b.Jitter + 2*b.Jitter*rand.Float64()
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// RetryAfterSeconds picks a small whole-second Retry-After hint (1–3s)
+// for 429/503 responses, jittered so rejected clients spread out.
+func RetryAfterSeconds() int { return 1 + rand.IntN(3) }

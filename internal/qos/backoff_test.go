@@ -1,0 +1,110 @@
+package qos
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := b.Delay(i); got != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	for attempt := 0; attempt < 4; attempt++ {
+		nominal := 100 * time.Millisecond << attempt
+		lo, hi := nominal/2, nominal+nominal/2
+		if hi > time.Second {
+			hi = time.Second
+		}
+		for i := 0; i < 200; i++ {
+			d := b.Delay(attempt)
+			if d < lo || d > hi {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 20; i++ {
+		d := b.Delay(i)
+		if d < 25*time.Millisecond || d > 2*time.Second {
+			t.Fatalf("zero-value Delay(%d) = %v outside default envelope", i, d)
+		}
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		s := RetryAfterSeconds()
+		if s < 1 || s > 3 {
+			t.Fatalf("RetryAfterSeconds() = %d, want 1..3", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("300 draws hit only %v — jitter broken", seen)
+	}
+}
+
+// Drain must not return while a flush is still executing: the whole
+// point is that the engine under the batcher is safe to tear down after.
+func TestBatcherDrainWaitsForInflight(t *testing.T) {
+	release := make(chan struct{})
+	var inflight, done atomic.Int32
+	run := func(ctx context.Context, queries [][]float32, w, k int) ([]float32, error) {
+		inflight.Add(1)
+		<-release
+		done.Add(1)
+		return make([]float32, len(queries)), nil
+	}
+	b := NewBatcher(run, BatcherOptions{Window: time.Millisecond, MaxBatch: 4})
+	results := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, _, err := b.Submit(context.Background(), "t", Interactive, 1, []float32{1}, 4, 8)
+			results <- err
+		}()
+	}
+	// Wait until at least one flush is executing or queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for inflight.Load() == 0 && b.QueueDepth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan struct{})
+	go func() { b.Drain(); close(drained) }()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a batch was still blocked in run")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain did not return after batches completed")
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if done.Load() == 0 {
+		t.Fatal("no batch executed")
+	}
+	if _, _, err := b.Submit(context.Background(), "t", Interactive, 1, []float32{1}, 4, 8); err != ErrClosed {
+		t.Fatalf("Submit after Drain: %v, want ErrClosed", err)
+	}
+}

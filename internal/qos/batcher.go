@@ -207,6 +207,7 @@ type Batcher[R any] struct {
 	queuedN int
 	running int
 	closed  bool
+	flushWG sync.WaitGroup // one unit per flush goroutine; Drain waits on it
 }
 
 // NewBatcher returns a batcher that executes flushes through run.
@@ -282,6 +283,7 @@ func (b *Batcher[R]) Submit(ctx context.Context, tenant string, lane Lane, weigh
 		}
 		batch, remaining := b.assemble(c)
 		b.running++
+		b.flushWG.Add(1)
 		b.mu.Unlock()
 		go b.executeAndNext(c, batch, remaining)
 	} else {
@@ -326,6 +328,7 @@ func (b *Batcher[R]) armTimer(c *class[R], d time.Duration) {
 		}
 		batch, remaining := b.assemble(c)
 		b.running++
+		b.flushWG.Add(1)
 		b.mu.Unlock()
 		b.executeAndNext(c, batch, remaining)
 	})
@@ -435,6 +438,7 @@ func (b *Batcher[R]) execute(c *class[R], batch []*waiter[R], remaining int) {
 // waiting another window. Under-full classes with a live timer keep
 // coalescing until it fires.
 func (b *Batcher[R]) executeAndNext(c *class[R], batch []*waiter[R], remaining int) {
+	defer b.flushWG.Done()
 	b.execute(c, batch, remaining)
 	b.mu.Lock()
 	b.running--
@@ -453,6 +457,7 @@ func (b *Batcher[R]) executeAndNext(c *class[R], batch []*waiter[R], remaining i
 			}
 			next, rem := b.assemble(cc)
 			b.running++
+			b.flushWG.Add(1)
 			go b.executeAndNext(cc, next, rem)
 		}
 	}
@@ -487,8 +492,22 @@ func (b *Batcher[R]) Close() {
 			c.timer = nil
 		}
 	}
+	b.flushWG.Add(len(flushes))
 	b.mu.Unlock()
 	for _, f := range flushes {
-		go b.execute(f.c, f.batch, f.remaining)
+		go func(f flush[R]) {
+			defer b.flushWG.Done()
+			b.execute(f.c, f.batch, f.remaining)
+		}(f)
 	}
+}
+
+// Drain closes the batcher (flushing every queued request) and then
+// blocks until every in-flight batch — including the flushes Close
+// spawned — has executed and delivered its outcomes. After Drain
+// returns, no batch goroutine is running and no waiter is parked, so
+// the engine underneath can be torn down safely.
+func (b *Batcher[R]) Drain() {
+	b.Close()
+	b.flushWG.Wait()
 }

@@ -172,6 +172,21 @@ func OpenFile(path string, opt Options, fn func(seq uint64, payload []byte) erro
 	return l, rec, nil
 }
 
+// AppendFrame appends one framed record — header (seq, length, CRC32C)
+// plus payload — to dst and returns the extended slice. It is the
+// single encoder behind Append and the tail-read replication stream, so
+// bytes produced here are always decodable by readRecord/ReplayFrom.
+func AppendFrame(dst []byte, seq uint64, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], seq)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, hdr[0:12])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
 // Append writes one record and applies the sync policy. When it returns
 // nil under SyncAlways, the record is durable. A failed write is rolled
 // back by truncating to the previous record boundary; if even that
@@ -187,16 +202,8 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		return 0, fmt.Errorf("wal: log unusable after write failure: %w", l.broken)
 	}
 	need := headerSize + len(payload)
-	if cap(l.buf) < need {
-		l.buf = make([]byte, need)
-	}
-	b := l.buf[:need]
-	binary.LittleEndian.PutUint64(b[0:8], l.nextSeq)
-	binary.LittleEndian.PutUint32(b[8:12], uint32(len(payload)))
-	crc := crc32.Update(0, castagnoli, b[0:12])
-	crc = crc32.Update(crc, castagnoli, payload)
-	binary.LittleEndian.PutUint32(b[12:16], crc)
-	copy(b[headerSize:], payload)
+	b := AppendFrame(l.buf[:0], l.nextSeq, payload)
+	l.buf = b
 	if _, err := l.f.Write(b); err != nil {
 		// The write may have torn: cut the partial record back off so
 		// the log stays appendable.
@@ -305,6 +312,53 @@ func (l *Log) SetSyncObserver(fn func(time.Duration)) {
 	l.syncObs = fn
 }
 
+// ReadFrom scans the live segment from its beginning and delivers every
+// record with seq >= from to fn, in order. It is the tail-read API the
+// replication layer streams follower catch-up from: a follower that
+// bootstrapped at sequence S asks for [S, Records()). from == Records()
+// is valid and delivers nothing; from > Records() is the caller's error.
+// The scan revalidates every checksum on the way (a linear pass — the
+// live segment is bounded by the snapshot cadence), holds the log lock
+// for its duration (appends wait), and restores the append position
+// before returning; if that restore fails the log is poisoned like a
+// failed Append rollback.
+func (l *Log) ReadFrom(from uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("wal: log unusable after write failure: %w", l.broken)
+	}
+	if from > l.nextSeq {
+		return fmt.Errorf("wal: tail read from %d, log ends at %d", from, l.nextSeq)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	scan := func() error {
+		br := bufio.NewReader(l.f)
+		for seq := uint64(0); seq < l.nextSeq; seq++ {
+			payload, _, err := readRecord(br, seq)
+			if err != nil {
+				return fmt.Errorf("wal: tail read at record %d: %w", seq, err)
+			}
+			if seq >= from && fn != nil {
+				if err := fn(seq, payload); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := scan()
+	if _, serr := l.f.Seek(l.end, io.SeekStart); serr != nil {
+		l.broken = serr
+		if err == nil {
+			err = fmt.Errorf("wal: restoring append position: %w", serr)
+		}
+	}
+	return err
+}
+
 // Records returns the number of records in the live segment.
 func (l *Log) Records() uint64 {
 	l.mu.Lock()
@@ -329,9 +383,18 @@ func (l *Log) Stats() (appends, fsyncs, bytes uint64) {
 // input, wraps ErrCorrupt when a torn or corrupt record stopped the
 // scan, or is fn's error.
 func Replay(r io.Reader, fn func(seq uint64, payload []byte) error) (int, error) {
+	return ReplayFrom(r, 0, fn)
+}
+
+// ReplayFrom is Replay for a stream that starts mid-log: the first
+// record must carry sequence number from (the follower's catch-up
+// position), each subsequent record the next one. This is the decode
+// side of Log.ReadFrom — a tail streamed from sequence S replays with
+// ReplayFrom(r, S, fn).
+func ReplayFrom(r io.Reader, from uint64, fn func(seq uint64, payload []byte) error) (int, error) {
 	br := bufio.NewReader(r)
 	n := 0
-	var seq uint64
+	seq := from
 	for {
 		payload, _, err := readRecord(br, seq)
 		if err == io.EOF {

@@ -1,0 +1,62 @@
+package anna
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"anna/internal/qos"
+)
+
+// ReadinessGate is the boot-time front door of a serving process. A
+// process that is still recovering — loading its snapshot, replaying
+// its WAL, bootstrapping from a peer — can start listening immediately
+// by serving the gate, then swap the real handler in with Ready once
+// recovery finishes:
+//
+//	gate := anna.NewReadinessGate()
+//	go http.ListenAndServe(addr, gate) // answers /healthz, 503s the rest
+//	store, err := anna.OpenStore(dir, opt) // slow: snapshot + WAL replay
+//	...
+//	gate.Ready(srv.Handler())
+//
+// Until Ready: /healthz answers 200 (the process is alive), /readyz
+// answers 503 (it cannot serve correctly yet), and every other path
+// answers 503 with a jittered Retry-After. After Ready, every request —
+// including /readyz, which the Server answers 200 — goes to the real
+// handler. Load balancers and the shard router poll /readyz, so a
+// recovering replica receives no traffic until its state is complete.
+type ReadinessGate struct {
+	inner atomic.Pointer[http.Handler]
+}
+
+// NewReadinessGate returns a gate in the not-ready state.
+func NewReadinessGate() *ReadinessGate {
+	return &ReadinessGate{}
+}
+
+// Ready swaps in the real handler, flipping /readyz to 200. It is safe
+// to call concurrently with requests; calling it again replaces the
+// handler.
+func (g *ReadinessGate) Ready(h http.Handler) {
+	g.inner.Store(&h)
+}
+
+// IsReady reports whether Ready has been called.
+func (g *ReadinessGate) IsReady() bool { return g.inner.Load() != nil }
+
+func (g *ReadinessGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.inner.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Path == "/healthz" {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(qos.RetryAfterSeconds()))
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "recovering")
+}

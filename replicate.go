@@ -1,0 +1,207 @@
+package anna
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"anna/internal/wal"
+)
+
+// Replica follows a durable annaserve instance over its replication
+// endpoints: it bootstraps from a full state download (/admin/state)
+// and then catches up incrementally by replaying WAL frames from its
+// sequence position (/admin/wal/tail). Because the leader's state
+// bytes are byte-deterministic and the apply step is the same
+// applyAddRecord used by local WAL recovery, a replica that has synced
+// to position (epoch, seq) holds a bit-identical index to the leader
+// at that position — Save on either side produces equal bytes.
+//
+// When the leader snapshots, its WAL is trimmed and sequence numbers
+// restart under a new epoch; the replica's next tail request answers
+// 410 Gone and Sync transparently re-bootstraps. The replica therefore
+// needs no state of its own to survive leader checkpoints — position
+// is re-learned from the download's X-Anna-Epoch/X-Anna-Seq stamps.
+//
+// Replica is safe for concurrent use; Sync calls are serialized.
+type Replica struct {
+	base   string
+	client *http.Client
+	logger *slog.Logger
+
+	mu    sync.Mutex
+	idx   *Index
+	epoch int64
+	seq   uint64
+
+	bootstraps  uint64 // full state downloads performed
+	tailRecords uint64 // records applied through tail reads
+}
+
+// ReplicaOptions configure a Replica.
+type ReplicaOptions struct {
+	// Client is the HTTP client for leader requests (default: a client
+	// with a 30s timeout).
+	Client *http.Client
+	// Logger receives bootstrap/catch-up events. Nil silences them.
+	Logger *slog.Logger
+}
+
+// NewReplica returns a follower of the annaserve at base (e.g.
+// "http://10.0.0.7:7080"). No request is made until Sync.
+func NewReplica(base string, opt ReplicaOptions) *Replica {
+	c := opt.Client
+	if c == nil {
+		c = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Replica{base: base, client: c, logger: opt.Logger}
+}
+
+// Index returns the replica's current index (nil before the first
+// successful Sync). The returned index is live — a concurrent Sync
+// mutates it — so callers that serve from it must coordinate, e.g. by
+// pausing Syncs or snapshotting with Save.
+func (r *Replica) Index() *Index {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.idx
+}
+
+// Position returns the replication position the replica has applied up
+// to: the leader snapshot epoch and the number of WAL records applied
+// on top of it.
+func (r *Replica) Position() (epoch int64, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch, r.seq
+}
+
+// Stats returns how many full bootstraps and incremental tail records
+// this replica has performed — the observable split between the
+// expensive path and the cheap one.
+func (r *Replica) Stats() (bootstraps, tailRecords uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bootstraps, r.tailRecords
+}
+
+// Sync brings the replica up to the leader's current position. The
+// first call (or any call after the leader trimmed past the replica's
+// position) downloads the full state; subsequent calls replay only the
+// WAL tail. It returns the number of add records applied this call.
+func (r *Replica) Sync(ctx context.Context) (applied int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.idx == nil {
+		if err := r.bootstrapLocked(ctx); err != nil {
+			return 0, err
+		}
+		// The bootstrap bytes already contain everything up to the
+		// stamped position; fall through to pick up records appended
+		// while the download was in flight.
+	}
+	n, err := r.tailLocked(ctx)
+	if err == errReplicaGone {
+		// The leader snapshotted since our last position: sequence
+		// numbers restarted, so re-learn position from a fresh download.
+		if err := r.bootstrapLocked(ctx); err != nil {
+			return 0, err
+		}
+		n, err = r.tailLocked(ctx)
+	}
+	return n, err
+}
+
+// errReplicaGone is the internal marker for a 410 tail response.
+var errReplicaGone = fmt.Errorf("replica: %w", ErrTailGone)
+
+// bootstrapLocked downloads the leader's full state and adopts its
+// stamped position. Caller holds r.mu.
+func (r *Replica) bootstrapLocked(ctx context.Context) error {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/admin/state", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: downloading state: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica: /admin/state answered %s", resp.Status)
+	}
+	epoch, err := strconv.ParseInt(resp.Header.Get(headerEpoch), 10, 64)
+	if err != nil {
+		return fmt.Errorf("replica: bad %s header: %w", headerEpoch, err)
+	}
+	seq, err := strconv.ParseUint(resp.Header.Get(headerSeq), 10, 64)
+	if err != nil {
+		return fmt.Errorf("replica: bad %s header: %w", headerSeq, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("replica: reading state: %w", err)
+	}
+	idx, err := LoadIndex(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("replica: loading state: %w", err)
+	}
+	r.idx, r.epoch, r.seq = idx, epoch, seq
+	r.bootstraps++
+	if r.logger != nil {
+		r.logger.Info("replica bootstrapped", "leader", r.base,
+			"vectors", idx.Len(), "bytes", len(body),
+			"epoch", epoch, "seq", seq, "duration", time.Since(start))
+	}
+	return nil
+}
+
+// tailLocked fetches and applies WAL records from the replica's
+// position. Returns errReplicaGone when the leader answered 410.
+// Caller holds r.mu.
+func (r *Replica) tailLocked(ctx context.Context) (applied int, err error) {
+	url := fmt.Sprintf("%s/admin/wal/tail?epoch=%d&from=%d", r.base, r.epoch, r.seq)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("replica: reading tail: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		io.Copy(io.Discard, resp.Body)
+		return 0, errReplicaGone
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("replica: /admin/wal/tail answered %s", resp.Status)
+	}
+	// Buffer before applying: a record half-received over a dying
+	// connection must not leave the index half-advanced relative to seq.
+	frames, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, fmt.Errorf("replica: reading tail body: %w", err)
+	}
+	n, err := wal.ReplayFrom(bytes.NewReader(frames), r.seq, func(seq uint64, payload []byte) error {
+		_, aerr := applyAddRecord(r.idx, payload)
+		return aerr
+	})
+	r.seq += uint64(n)
+	r.tailRecords += uint64(n)
+	if err != nil {
+		return n, fmt.Errorf("replica: applying tail: %w", err)
+	}
+	if r.logger != nil && n > 0 {
+		r.logger.Info("replica caught up", "leader", r.base,
+			"records", n, "epoch", r.epoch, "seq", r.seq)
+	}
+	return n, nil
+}

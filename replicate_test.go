@@ -1,0 +1,132 @@
+package anna
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// leaderForReplication stands up a durable server with a few WAL'd adds.
+func leaderForReplication(t *testing.T) (*Store, *Server, *httptest.Server) {
+	t.Helper()
+	st, err := CreateStore(t.TempDir(), buildDurableBase(t), StoreOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := NewServer(st.Index())
+	srv.Store = st
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return st, srv, ts
+}
+
+// addViaHTTP pushes one batch through the leader's /add (the WAL'd path).
+func addViaHTTP(t *testing.T, url string, seed int64, n int) {
+	t.Helper()
+	resp := postJSON(t, url+"/add", map[string]any{"vectors": randVectors(seed, n, 8)})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add: %d", resp.StatusCode)
+	}
+}
+
+// saveBytes is the bit-exactness oracle: byte-deterministic Save means
+// equal states produce equal bytes.
+func saveBytes(t *testing.T, idx *Index) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := idx.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// A replica bootstraps once, then follows the leader through tail reads
+// alone, staying bit-exact at every step.
+func TestReplicaBootstrapAndTail(t *testing.T) {
+	st, _, ts := leaderForReplication(t)
+	addViaHTTP(t, ts.URL, 11, 7)
+
+	r := NewReplica(ts.URL, ReplicaOptions{})
+	ctx := context.Background()
+	if n, err := r.Sync(ctx); err != nil || n != 0 {
+		// The bootstrap bytes already include the pre-sync add; the
+		// trailing tail read finds nothing new.
+		t.Fatalf("first Sync: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(saveBytes(t, st.Index()), saveBytes(t, r.Index())) {
+		t.Fatal("replica not bit-exact after bootstrap")
+	}
+
+	// Two more leader batches arrive through the cheap path.
+	addViaHTTP(t, ts.URL, 12, 5)
+	addViaHTTP(t, ts.URL, 13, 3)
+	if n, err := r.Sync(ctx); err != nil || n != 2 {
+		t.Fatalf("catch-up Sync: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(saveBytes(t, st.Index()), saveBytes(t, r.Index())) {
+		t.Fatal("replica not bit-exact after tail catch-up")
+	}
+	boots, tails := r.Stats()
+	if boots != 1 || tails != 2 {
+		t.Fatalf("bootstraps=%d tailRecords=%d, want 1 and 2", boots, tails)
+	}
+	if epoch, seq := r.Position(); epoch != st.Epoch() || seq != st.WALRecords() {
+		t.Fatalf("position (%d, %d) != leader (%d, %d)", epoch, seq, st.Epoch(), st.WALRecords())
+	}
+	// An idle Sync is a no-op, not an error.
+	if n, err := r.Sync(ctx); err != nil || n != 0 {
+		t.Fatalf("idle Sync: n=%d err=%v", n, err)
+	}
+}
+
+// A leader snapshot trims the WAL and restarts sequence numbers; the
+// replica's stale position answers 410 and Sync re-bootstraps on its
+// own, landing bit-exact on the new epoch.
+func TestReplicaRebootstrapsAfterLeaderSnapshot(t *testing.T) {
+	st, _, ts := leaderForReplication(t)
+	addViaHTTP(t, ts.URL, 21, 4)
+
+	r := NewReplica(ts.URL, ReplicaOptions{})
+	ctx := context.Background()
+	if _, err := r.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leader checkpoints (old epoch gone), then takes more writes.
+	resp := postJSON(t, ts.URL+"/admin/snapshot", struct{}{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d", resp.StatusCode)
+	}
+	addViaHTTP(t, ts.URL, 22, 6)
+
+	if _, err := r.Sync(ctx); err != nil {
+		t.Fatalf("Sync across snapshot: %v", err)
+	}
+	if !bytes.Equal(saveBytes(t, st.Index()), saveBytes(t, r.Index())) {
+		t.Fatal("replica not bit-exact after re-bootstrap")
+	}
+	boots, _ := r.Stats()
+	if boots != 2 {
+		t.Fatalf("bootstraps=%d, want 2 (initial + post-snapshot)", boots)
+	}
+	if epoch, _ := r.Position(); epoch != st.Epoch() {
+		t.Fatalf("replica epoch %d != leader epoch %d", epoch, st.Epoch())
+	}
+}
+
+// The replica's searches agree with the leader's — the end-to-end check
+// that bit-exact state means bit-exact answers.
+func TestReplicaSearchMatchesLeader(t *testing.T) {
+	st, _, ts := leaderForReplication(t)
+	addViaHTTP(t, ts.URL, 31, 10)
+	r := NewReplica(ts.URL, ReplicaOptions{})
+	if _, err := r.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	expectSameResults(t, st.Index(), r.Index())
+}

@@ -1,6 +1,7 @@
 package anna
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -8,7 +9,6 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
-	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -33,7 +33,13 @@ import (
 //	GET  /stats   -> index statistics + serving latency quantiles
 //	POST /admin/snapshot -> checkpoint the index and trim the WAL
 //	              (requires a Store; see below)
-//	GET  /healthz -> 200 ok
+//	GET  /admin/state -> full serialized index for follower bootstrap,
+//	              stamped X-Anna-Epoch/X-Anna-Seq (requires a Store)
+//	GET  /admin/wal/tail?epoch=E&from=N -> WAL frames from seq N for
+//	              follower catch-up; 410 Gone after a snapshot trim
+//	GET  /healthz -> 200 ok (liveness)
+//	GET  /readyz  -> 200 ready (readiness; a booting process answers
+//	              503 through ReadinessGate until recovery completes)
 //	GET  /metrics -> Prometheus text exposition (see docs/ARCHITECTURE.md
 //	                 for the full metric list)
 //	GET  /debug/queries     -> recent sampled/slow query traces, slowest first
@@ -206,7 +212,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Batcher queue depth observed at each 429 rejection.",
 			metrics.ExpBuckets(1, 2, 16)),
 	}
-	for _, h := range []string{"search", "add", "stats", "snapshot"} {
+	for _, h := range []string{"search", "add", "stats", "snapshot", "state", "tail"} {
 		m.reqDuration[h] = reg.Histogram("anna_request_duration_seconds",
 			"Wall-clock request latency by handler.", nil,
 			metrics.Label{Key: "handler", Value: h})
@@ -384,12 +390,15 @@ func (s *Server) initQoS() {
 	})
 }
 
-// Close releases the server's background resources (the batcher's
-// pending flush timers). In-flight requests complete; the HTTP listener
-// is the caller's to shut down.
+// Close releases the server's background resources: it closes the
+// batcher and waits until every in-flight coalesced batch has executed
+// and fanned its results out, so the index and store underneath can be
+// snapshotted and torn down without racing a pending flush window.
+// Callers shut the HTTP listener down first (http.Server.Shutdown), so
+// by the time Close drains no new Submits arrive.
 func (s *Server) Close() {
 	if b := s.batcher.Load(); b != nil {
-		b.Close()
+		b.Drain()
 	}
 }
 
@@ -455,8 +464,9 @@ func (s *Server) tenantFor(r *http.Request) *qos.Tenant {
 }
 
 // retryAfterJitter picks a 1–3s Retry-After so rejected clients do not
-// re-converge on the same instant.
-func retryAfterJitter() int { return 1 + rand.IntN(3) }
+// re-converge on the same instant. The math lives in qos so the router
+// retry loop shares it.
+func retryAfterJitter() int { return qos.RetryAfterSeconds() }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
@@ -468,9 +478,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/add", s.instrument("add", s.handleAdd))
 	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/admin/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.HandleFunc("/admin/state", s.instrument("state", s.handleAdminState))
+	mux.HandleFunc("/admin/wal/tail", s.instrument("tail", s.handleWALTail))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	})
+	// By the time this handler serves traffic, construction — snapshot
+	// load and WAL replay included — has finished; a booting process
+	// answers 503 through the ReadinessGate wrapper instead.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
 	})
 	mux.Handle("/metrics", s.m.reg.Handler())
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
@@ -1040,6 +1059,87 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		WALRecords: int64(s.Store.WALRecords()),
 		WALBytes:   s.Store.WALSize(),
 	})
+}
+
+// Replication wire headers: every /admin/state response is stamped with
+// the (epoch, seq) position its bytes represent, so the follower knows
+// exactly where to start tailing.
+const (
+	headerEpoch = "X-Anna-Epoch"
+	headerSeq   = "X-Anna-Seq"
+)
+
+// handleAdminState serves a full state download for follower bootstrap:
+// the index in its canonical serialized form (bit-identical to SaveFile,
+// so a follower that loads it and replays the same records converges on
+// byte-equal state), stamped with the replication position the bytes
+// correspond to. Adds are excluded for the duration of the read lock,
+// which makes the (state, epoch, seq) triple consistent.
+func (s *Server) handleAdminState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.Store == nil {
+		s.httpError(w, http.StatusServiceUnavailable, "no durable store configured (run annaserve with -data)")
+		return
+	}
+	s.mu.RLock()
+	epoch, seq := s.Store.TailPosition()
+	var buf bytes.Buffer
+	err := s.idx.Save(&buf)
+	s.mu.RUnlock()
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "serializing state: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set(headerEpoch, strconv.FormatInt(epoch, 10))
+	w.Header().Set(headerSeq, strconv.FormatUint(seq, 10))
+	w.Write(buf.Bytes())
+}
+
+// handleWALTail streams WAL records from a sequence number so a
+// follower can catch up without a full state download:
+//
+//	GET /admin/wal/tail?epoch=E&from=N
+//
+// The response body is wal wire frames (decode with wal.ReplayFrom). A
+// stale epoch or an out-of-range from answers 410 Gone — the log was
+// trimmed by a snapshot since the follower last read, and it must
+// re-bootstrap from /admin/state.
+func (s *Server) handleWALTail(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.Store == nil {
+		s.httpError(w, http.StatusServiceUnavailable, "no durable store configured (run annaserve with -data)")
+		return
+	}
+	epoch, err := strconv.ParseInt(r.URL.Query().Get("epoch"), 10, 64)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad epoch: %v", err)
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	// TailWAL assembles the frames under the store lock and writes them
+	// in one call only on success, so an error here still has the
+	// response status to itself.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.Store.TailWAL(w, epoch, from); err != nil {
+		if errors.Is(err, ErrTailGone) {
+			s.httpError(w, http.StatusGone, "tail position gone; re-bootstrap from /admin/state")
+			return
+		}
+		s.httpError(w, http.StatusInternalServerError, "reading tail: %v", err)
+		return
+	}
 }
 
 // validateAddVectors rejects dimension mismatches and non-finite

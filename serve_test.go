@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"anna/internal/wal"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server, [][]float32) {
@@ -428,4 +430,181 @@ func TestServerConcurrentAccess(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// The readiness contract: a booting process serves the gate while it
+// recovers, so /healthz says alive, /readyz says not-ready, and traffic
+// is refused with a Retry-After — and only after recovery (snapshot
+// load + WAL replay) completes and the real handler is swapped in does
+// /readyz flip to 200.
+func TestReadyzFlipsAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := CreateStore(dir, buildDurableBase(t), StoreOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := randVectors(3, 40, 8)
+	if err := st.LogAdd(st.Index().NextID(), batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Index().Add(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := NewReadinessGate()
+	ts := httptest.NewServer(gate)
+	defer ts.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	// Before recovery: alive but not ready, traffic refused politely.
+	if got := get("/healthz").StatusCode; got != http.StatusOK {
+		t.Fatalf("/healthz before recovery: %d", got)
+	}
+	if got := get("/readyz").StatusCode; got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before recovery: %d, want 503", got)
+	}
+	resp := postJSON(t, ts.URL+"/search", searchRequest{Queries: [][]float32{make([]float32, 8)}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/search before recovery: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("pre-ready 503 carries no Retry-After")
+	}
+	if gate.IsReady() {
+		t.Fatal("gate ready before Ready()")
+	}
+
+	// Recovery: snapshot load + WAL replay, then swap the handler in.
+	re, err := OpenStore(dir, StoreOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.ReplayedRecords() != 1 {
+		t.Fatalf("replayed %d records, want 1", re.ReplayedRecords())
+	}
+	srv := NewServer(re.Index())
+	srv.Store = re
+	gate.Ready(srv.Handler())
+
+	if got := get("/readyz").StatusCode; got != http.StatusOK {
+		t.Fatalf("/readyz after recovery: %d, want 200", got)
+	}
+	resp = postJSON(t, ts.URL+"/search", searchRequest{Queries: [][]float32{make([]float32, 8)}, K: 3})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/search after recovery: %d", resp.StatusCode)
+	}
+}
+
+// The replication endpoints: /admin/state hands out bytes + position a
+// follower can bootstrap from, /admin/wal/tail catches it up from a
+// sequence number, and a snapshot trim turns stale positions into 410s.
+func TestServerAdminStateAndWALTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := CreateStore(dir, buildDurableBase(t), StoreOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st.Index())
+	srv.Store = st
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer st.Close()
+
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/add", map[string]any{"vectors": randVectors(int64(10+i), 5, 8)})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("add %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	// Bootstrap download: position headers + loadable, bit-exact bytes.
+	resp, err := http.Get(ts.URL + "/admin/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/admin/state: %d %v", resp.StatusCode, err)
+	}
+	epoch := resp.Header.Get("X-Anna-Epoch")
+	if resp.Header.Get("X-Anna-Seq") != "2" {
+		t.Fatalf("X-Anna-Seq = %q, want 2", resp.Header.Get("X-Anna-Seq"))
+	}
+	got, err := LoadIndex(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("state bytes do not load: %v", err)
+	}
+	expectSameResults(t, st.Index(), got)
+	var want bytes.Buffer
+	if err := st.Index().Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), body) {
+		t.Fatal("/admin/state bytes differ from Index.Save — bootstrap not bit-exact")
+	}
+
+	// Tail from 0: both records, decodable as wal frames.
+	tail := func(epoch, from string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/admin/wal/tail?epoch=" + epoch + "&from=" + from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+	resp2, frames := tail(epoch, "0")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("tail from 0: %d", resp2.StatusCode)
+	}
+	n, err := wal.ReplayFrom(bytes.NewReader(frames), 0, func(seq uint64, payload []byte) error {
+		if _, _, err := decodeAddRecord(payload); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("tail frames: n=%d err=%v", n, err)
+	}
+	// Caught up: empty 200.
+	resp2, frames = tail(epoch, "2")
+	if resp2.StatusCode != http.StatusOK || len(frames) != 0 {
+		t.Fatalf("caught-up tail: %d, %d bytes", resp2.StatusCode, len(frames))
+	}
+	// Past the end / wrong epoch: 410 — re-bootstrap.
+	if resp2, _ = tail(epoch, "3"); resp2.StatusCode != http.StatusGone {
+		t.Fatalf("past-end tail: %d, want 410", resp2.StatusCode)
+	}
+	if resp2, _ = tail("1", "0"); resp2.StatusCode != http.StatusGone {
+		t.Fatalf("stale-epoch tail: %d, want 410", resp2.StatusCode)
+	}
+	// A snapshot trims the WAL: the old epoch is gone for every seq.
+	sresp := postJSON(t, ts.URL+"/admin/snapshot", struct{}{})
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d", sresp.StatusCode)
+	}
+	if resp2, _ = tail(epoch, "0"); resp2.StatusCode != http.StatusGone {
+		t.Fatalf("post-snapshot tail at old epoch: %d, want 410", resp2.StatusCode)
+	}
 }

@@ -21,7 +21,7 @@ test-noasm:
 	ANNA_NOSIMD=1 $(GO) test ./internal/simd/ ./internal/vecmath/ ./internal/pq/ ./internal/ivf/ ./internal/engine/
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/anna/ ./internal/qos/ ./internal/cluster/... .
+	$(GO) test -race ./internal/engine/ ./internal/anna/ ./internal/adaptive/ ./internal/qos/ ./internal/cluster/... .
 
 # Mirrors .github/workflows/ci.yml exactly (same commands, same package
 # lists) so a green `make ci` means a green CI run. Keep in sync.
@@ -59,7 +59,7 @@ fmt-check:
 # sampler and the concurrent /search + /add cache-invalidation test).
 .PHONY: ci-race
 ci-race:
-	$(GO) test -race ./internal/simd/... ./internal/vecmath/... ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/trace/... ./internal/wal/... ./internal/qos/... ./internal/cluster/... .
+	$(GO) test -race ./internal/simd/... ./internal/vecmath/... ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/trace/... ./internal/wal/... ./internal/qos/... ./internal/adaptive/... ./internal/cluster/... .
 
 # The CI cluster-integration job: the multi-process fault-injection
 # harness (shard processes SIGKILLed mid-load) plus the router's
@@ -82,18 +82,19 @@ fuzz-smoke:
 # The CI bench-smoke job: small-budget benchmark runs recorded as JSON
 # (uploaded as per-PR artifacts in CI; a trajectory, not a gate). The
 # build suite gets a smaller budget — one BenchmarkBuild op trains a
-# full 100k-vector index.
+# full 100k-vector index. The engine suite's adaptive recall-vs-QPS
+# sweep runs at reduced corpus scale (the scalar pass skips it).
 bench-smoke:
-	$(GO) run ./cmd/benchjson -suite engine -benchtime 10x -out bench_ci.json
-	ANNA_NOSIMD=1 $(GO) run ./cmd/benchjson -suite engine -benchtime 10x -out bench_ci_scalar.json
+	$(GO) run ./cmd/benchjson -suite engine -benchtime 10x -sweep-n 6000 -sweep-q 64 -out bench_ci.json
+	ANNA_NOSIMD=1 $(GO) run ./cmd/benchjson -suite engine -benchtime 10x -sweep-n 0 -out bench_ci_scalar.json
 	$(GO) run ./cmd/benchjson -suite build -benchtime 3x -out bench_ci_build.json
 	$(GO) run ./cmd/benchjson -suite serve -benchtime 300ms -out bench_ci_serve.json
 
 # Vet plus race-detected tests of the reworked engine worker pool and the
-# fused scan path.
+# fused scan path (including the adaptive-effort policies).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/engine/... ./internal/ivf/...
+	$(GO) test -race ./internal/engine/... ./internal/ivf/... ./internal/adaptive/...
 
 # Run the benchmark suites and record before/after figures: the CPU
 # engine in BENCH_engine.json, the build/ingest pipeline (train + batch

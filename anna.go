@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"anna/internal/adaptive"
 	"anna/internal/engine"
 	"anna/internal/exact"
 	"anna/internal/ivf"
@@ -295,6 +296,39 @@ const (
 	ClusterMajor
 )
 
+// AdaptiveOptions are the per-query effort policies of the adaptive
+// search layer (see docs/ARCHITECTURE.md §4j). The zero value disables
+// both policies, leaving SearchBatch bit-identical to the fixed path.
+type AdaptiveOptions struct {
+	// StopPatience > 0 stops each query's cluster scan once its running
+	// kth score has gone this many consecutive clusters without
+	// improving; 0 scans all W clusters.
+	StopPatience int
+	// MinClusters is the per-query floor below which early termination
+	// is never taken (values < 1 behave as 1).
+	MinClusters int
+	// EscalateFactor > 1 enables precision escalation: the PQ scan
+	// keeps K*EscalateFactor candidates and the margin band among them
+	// is re-scored in float32 against the SQ8 reconstructions. Requires
+	// an index built with RetainForRerank (silently ignored otherwise).
+	EscalateFactor int
+	// Margin sets the escalation band width as a fraction of the wide
+	// candidate list's score spread; 0 re-scores only the top K.
+	Margin float32
+}
+
+// Enabled reports whether either adaptive policy is active.
+func (a AdaptiveOptions) Enabled() bool { return a.StopPatience > 0 || a.EscalateFactor > 1 }
+
+func (a AdaptiveOptions) internal() adaptive.Params {
+	return adaptive.Params{
+		StopPatience:   a.StopPatience,
+		MinClusters:    a.MinClusters,
+		EscalateFactor: a.EscalateFactor,
+		Margin:         a.Margin,
+	}
+}
+
 // SearchOptions configure SearchBatch.
 type SearchOptions struct {
 	W, K    int
@@ -303,6 +337,10 @@ type SearchOptions struct {
 	// HardwareFaithful rounds LUT entries and scores through binary16,
 	// matching the accelerator datapath exactly.
 	HardwareFaithful bool
+	// Adaptive enables per-query effort policies. When enabled the
+	// engine always runs query-at-a-time (early termination is a
+	// sequential per-query decision), overriding Mode.
+	Adaptive AdaptiveOptions
 }
 
 // BatchReport is the outcome of a software batch search.
@@ -323,6 +361,15 @@ type BatchReport struct {
 	// Elapsed on multi-worker runs). The serving layer records them into
 	// the anna_stage_duration_seconds histograms.
 	SelectTime, ScanTime, MergeTime time.Duration
+	// ClustersScanned counts inverted lists actually scanned —
+	// len(queries)*W on the fixed path, fewer under adaptive early
+	// termination.
+	ClustersScanned int64
+	// Escalations counts candidates re-scored through the SQ8
+	// escalation band; RerankTime is the worker time that took. Both
+	// are zero unless AdaptiveOptions enabled escalation.
+	Escalations int64
+	RerankTime  time.Duration
 }
 
 // SearchBatch runs a batch of queries on the software engine and reports
@@ -353,6 +400,7 @@ func (x *Index) SearchBatchContext(ctx context.Context, queries [][]float32, opt
 	rep, err := x.engine().RunContext(ctx, qm, engine.Options{
 		Mode: mode, W: opt.W, K: opt.K,
 		Workers: opt.Workers, HWF16: opt.HardwareFaithful,
+		Adaptive: opt.Adaptive.internal(),
 	})
 	if err != nil {
 		return nil, err
@@ -365,6 +413,9 @@ func (x *Index) SearchBatchContext(ctx context.Context, queries [][]float32, opt
 		SelectTime:       rep.SelectTime,
 		ScanTime:         rep.ScanTime,
 		MergeTime:        rep.MergeTime,
+		ClustersScanned:  rep.ClustersScanned,
+		Escalations:      rep.Escalations,
+		RerankTime:       rep.RerankTime,
 		Results:          make([][]Result, len(rep.Results)),
 	}
 	for i, rs := range rep.Results {

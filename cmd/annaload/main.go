@@ -16,6 +16,11 @@
 //
 //	go run ./cmd/annaload -addr http://localhost:8080 -concurrency 8,32,128
 //
+// With -adaptive (self-host only) a third curve serves the baseline
+// shape under per-query adaptive effort (early scan termination), so
+// the engine-side win of docs/ARCHITECTURE.md §4j is measured at the
+// serving boundary; adaptive_speedup records it against the baseline.
+//
 // With -router N (self-host only) it additionally splits the corpus
 // across N in-process shard servers behind the scatter-gather router
 // and sweeps that cluster as a "router-N" curve, so the fan-out and
@@ -91,6 +96,10 @@ type output struct {
 	// pressure — at light load coalescing intentionally trades a little
 	// latency for throughput, so the comparison is only fair at load).
 	P99SpeedupAtPeak *float64 `json:"p99_speedup_at_peak,omitempty"`
+	// AdaptiveSpeedup compares the adaptive curve's saturation QPS to
+	// the baseline's (both direct serving, no batcher or cache; >1 means
+	// per-query early termination buys serving throughput).
+	AdaptiveSpeedup *float64 `json:"adaptive_speedup,omitempty"`
 }
 
 // target abstracts where requests go: an in-process handler (self-host)
@@ -377,6 +386,8 @@ func main() {
 		batchWindow = flag.Duration("batch-window", time.Millisecond, "self-host: coalescing window of the batched config")
 		cacheSize   = flag.Int("cache", 4096, "self-host: result-cache entries of the batched config")
 		noBaseline  = flag.Bool("no-baseline", false, "self-host: skip the unbatched/uncached baseline curve")
+		adaptiveOn  = flag.Bool("adaptive", false, "self-host: also sweep an adaptive-effort config (early termination, batcher and cache disabled) against the baseline")
+		stopPat     = flag.Int("stop-patience", 4, "adaptive config: stop a query's scan after this many non-improving clusters")
 		router      = flag.Int("router", 0, "self-host: also sweep a cluster of this many shards (corpus split evenly) behind the scatter-gather router (0 = skip)")
 		seed        = flag.Int64("seed", 1, "workload seed")
 		out         = flag.String("out", "", "write the JSON document here (empty = stdout)")
@@ -433,7 +444,9 @@ func main() {
 		Description: "Serving-path latency vs throughput. 'baseline' serves every request " +
 			"individually (batcher and result cache disabled); 'batched' is the full stack " +
 			"(dynamic coalescing into ClusterMajor engine batches, quantized-query result " +
-			"cache, per-tenant QoS). saturation_speedup = batched/baseline peak QPS.",
+			"cache, per-tenant QoS). saturation_speedup = batched/baseline peak QPS. " +
+			"'adaptive' (with -adaptive) is the baseline shape under per-query early " +
+			"termination; adaptive_speedup = adaptive/baseline peak QPS.",
 	}
 
 	if *addr != "" {
@@ -487,6 +500,19 @@ func main() {
 		doc.Curves = append(doc.Curves, sweep("batched", selfTarget{s.Handler()}, wl, *mode, levels, rates, *duration))
 		s.Close()
 
+		if *adaptiveOn {
+			// Adaptive effort, same direct (unbatched, uncached) serving
+			// shape as the baseline, so the curve isolates the engine-side
+			// win of early termination rather than mixing it with
+			// coalescing and cache hits.
+			as := newSrv(false)
+			as.Adaptive = anna.AdaptiveServing{
+				Policy: anna.AdaptiveOptions{StopPatience: *stopPat, MinClusters: 2},
+			}
+			doc.Curves = append(doc.Curves, sweep("adaptive", selfTarget{as.Handler()}, wl, *mode, levels, rates, *duration))
+			as.Close()
+		}
+
 		if *router > 0 {
 			// Sharded cluster: the same corpus split evenly across N
 			// in-process shards (each the full serving stack behind a
@@ -533,6 +559,14 @@ func main() {
 			}
 		}
 
+		for i := range doc.Curves {
+			if doc.Curves[i].Config == "adaptive" && doc.Curves[0].Config == "baseline" && doc.Curves[0].SaturationQPS > 0 {
+				sp := doc.Curves[i].SaturationQPS / doc.Curves[0].SaturationQPS
+				doc.AdaptiveSpeedup = &sp
+				fmt.Fprintf(os.Stderr, "annaload: adaptive saturation %0.0f vs baseline %0.0f qps (%.2fx)\n",
+					doc.Curves[i].SaturationQPS, doc.Curves[0].SaturationQPS, sp)
+			}
+		}
 		if len(doc.Curves) >= 2 && doc.Curves[0].Config == "baseline" && doc.Curves[0].SaturationQPS > 0 {
 			sp := doc.Curves[1].SaturationQPS / doc.Curves[0].SaturationQPS
 			doc.SaturationSpeedup = &sp

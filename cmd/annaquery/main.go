@@ -6,6 +6,13 @@
 //
 //	annaquery -index sift.anna -queries sift_query.fvecs -w 32 -k 10
 //	annaquery -index sift.anna -random 8 -backend anna -w 32 -k 10
+//	annaquery -index sift.anna -random 8 -adaptive -stop-patience 4
+//
+// With -adaptive the software engine applies per-query effort policies
+// (early scan termination, and SQ8 precision escalation on
+// rerank-enabled indexes); each query then reports how many clusters it
+// actually scanned and how many candidates it escalated, alongside the
+// batch totals.
 package main
 
 import (
@@ -34,6 +41,9 @@ func main() {
 		show      = flag.Int("show", 5, "results printed per query")
 		seed      = flag.Int64("seed", 7, "seed for -random")
 		traceOn   = flag.Bool("trace", false, "print per-stage span timings for the batch (select/scan/merge; rerank and simulate where applicable)")
+		adaptive  = flag.Bool("adaptive", false, "per-query adaptive effort on the software engine: early termination, plus SQ8 escalation on rerank-enabled indexes")
+		stopPat   = flag.Int("stop-patience", 4, "stop a query's cluster scan after this many consecutive non-improving clusters (with -adaptive)")
+		escMargin = flag.Float64("margin", 0.2, "escalation band width as a fraction of the candidate score spread (with -adaptive, rerank-enabled indexes)")
 	)
 	flag.Parse()
 
@@ -83,7 +93,46 @@ func main() {
 	}
 
 	var results [][]anna.Result
+	// Per-query adaptive effort figures (clusters scanned, candidates
+	// escalated), filled by the -adaptive arm.
+	type effortStat struct{ clusters, escalated int64 }
+	var effort []effortStat
 	switch {
+	case *adaptive && *backend == "software" && *rerank == 0:
+		// Queries run one at a time so the report's clusters/escalation
+		// counters are attributable per query, not just batch totals.
+		ao := anna.AdaptiveOptions{
+			StopPatience:   *stopPat,
+			MinClusters:    2,
+			EscalateFactor: 4, // inert on indexes without rerank storage
+			Margin:         float32(*escMargin),
+		}
+		ctx := context.Background()
+		if tr != nil {
+			ctx = trace.NewContext(ctx, tr)
+		}
+		results = make([][]anna.Result, len(qs))
+		effort = make([]effortStat, len(qs))
+		var scanned, clusters, escalated int64
+		start := time.Now()
+		for i, q := range qs {
+			rep, err := idx.SearchBatchContext(ctx, [][]float32{q}, anna.SearchOptions{
+				W: *w, K: *k, Adaptive: ao,
+			})
+			if err != nil {
+				fatalf("adaptive search: %v", err)
+			}
+			results[i] = rep.Results[0]
+			effort[i] = effortStat{clusters: rep.ClustersScanned, escalated: rep.Escalations}
+			scanned += rep.ScannedVectors
+			clusters += rep.ClustersScanned
+			escalated += rep.Escalations
+		}
+		elapsed := time.Since(start)
+		fixed := int64(len(qs) * *w)
+		fmt.Printf("adaptive software engine: %.0f QPS, %d vectors scanned, %d/%d clusters scanned (%.0f%% of fixed W=%d), %d candidates escalated\n",
+			float64(len(qs))/elapsed.Seconds(), scanned, clusters, fixed,
+			100*float64(clusters)/float64(fixed), *w, escalated)
 	case *rerank > 0:
 		base := time.Now()
 		results = make([][]anna.Result, len(qs))
@@ -145,10 +194,20 @@ func main() {
 		if tr.Scanned > 0 {
 			fmt.Printf("  %-10s %d vectors\n", "scanned", tr.Scanned)
 		}
+		if tr.ClustersScanned > 0 {
+			fmt.Printf("  %-10s %d\n", "clusters", tr.ClustersScanned)
+		}
+		if tr.Escalated > 0 {
+			fmt.Printf("  %-10s %d candidates\n", "escalated", tr.Escalated)
+		}
 	}
 
 	for qi, rs := range results {
-		fmt.Printf("query %d:", qi)
+		if effort != nil {
+			fmt.Printf("query %d [clusters=%d escalated=%d]:", qi, effort[qi].clusters, effort[qi].escalated)
+		} else {
+			fmt.Printf("query %d:", qi)
+		}
 		for i, r := range rs {
 			if i >= *show {
 				break

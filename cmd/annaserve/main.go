@@ -47,6 +47,19 @@
 // -slow are logged, and -recall-fvecs starts a shadow recall estimator
 // that re-ranks sampled queries against exact search over that corpus
 // and publishes live recall@k on /metrics.
+//
+// Adaptive effort (docs/ARCHITECTURE.md §4j): -adaptive enables
+// per-query early termination (tuned by -stop-patience) and, on indexes
+// built with rerank storage, precision escalation of a -margin band of
+// candidates through SQ8 re-scoring. -recall-target T goes further and
+// closes the loop: a controller reads the live shadow recall estimate
+// (so -recall-fvecs is required) and walks the effort ladder — effective
+// W, stop patience, escalation margin — to hold recall@k at T with
+// minimum work. Knob changes are logged and exported as
+// anna_adaptive_knob on /metrics:
+//
+//	annaserve -index sift.anna -recall-fvecs sift_base.fvecs \
+//	  -adaptive -recall-target 0.95
 package main
 
 import (
@@ -155,6 +168,10 @@ func main() {
 		recallFvecs = flag.String("recall-fvecs", "", "fvecs reference corpus for live shadow recall estimation (empty = disabled)")
 		recallEvery = flag.Int("recall-every", 100, "shadow-check 1-in-N served queries against exact search (with -recall-fvecs)")
 		recallK     = flag.Int("recall-k", 10, "recall@K depth of the shadow estimator (with -recall-fvecs)")
+		adaptiveOn  = flag.Bool("adaptive", false, "per-query adaptive effort: early scan termination, plus SQ8 precision escalation on rerank-enabled indexes")
+		stopPat     = flag.Int("stop-patience", 4, "stop a query's cluster scan after this many consecutive non-improving clusters (with -adaptive)")
+		escMargin   = flag.Float64("margin", 0.2, "escalation band width as a fraction of the candidate score spread (with -adaptive, rerank-enabled indexes)")
+		recallTgt   = flag.Float64("recall-target", 0, "recall@k SLO in (0,1]: a closed-loop controller tunes adaptive effort against the live estimator (requires -recall-fvecs)")
 	)
 	flag.Parse()
 
@@ -240,6 +257,22 @@ func main() {
 		srv.Recall = est
 		logger.Info("shadow recall estimator running",
 			"corpus", *recallFvecs, "sample_every", *recallEvery, "k", *recallK)
+	}
+	if *recallTgt > 0 && srv.Recall == nil {
+		fatal("-recall-target requires -recall-fvecs: the live estimator is the controller's input")
+	}
+	if *adaptiveOn || *recallTgt > 0 {
+		srv.Adaptive = anna.AdaptiveServing{
+			Policy: anna.AdaptiveOptions{
+				StopPatience:   *stopPat,
+				MinClusters:    2,
+				EscalateFactor: 4, // silently inert on indexes without rerank storage
+				Margin:         float32(*escMargin),
+			},
+			RecallTarget: *recallTgt,
+		}
+		logger.Info("adaptive effort enabled",
+			"stop_patience", *stopPat, "margin", *escMargin, "recall_target", *recallTgt)
 	}
 	if *withAccel {
 		cfg := anna.DefaultAcceleratorConfig()

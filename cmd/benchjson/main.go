@@ -75,6 +75,10 @@ type Output struct {
 	SIMD        *SIMDInfo         `json:"simd,omitempty"`
 	Description string            `json:"description"`
 	Benchmarks  map[string]*Entry `json:"benchmarks"`
+	// AdaptiveSweep (engine suite only) records the recall-vs-QPS
+	// comparison of fixed-W against adaptive per-query effort; see
+	// sweep.go and docs/ARCHITECTURE.md §4j.
+	AdaptiveSweep *AdaptiveSweep `json:"adaptive_sweep,omitempty"`
 }
 
 // queriesPerOp maps benchmarks whose op spans a whole query batch to the
@@ -147,6 +151,8 @@ func main() {
 	out := flag.String("out", "", "output JSON path (default: the suite's BENCH_*.json)")
 	bench := flag.String("bench", "", "benchmark regex (default: the suite's selection)")
 	benchtime := flag.String("benchtime", "", "passed to -benchtime when non-empty")
+	sweepN := flag.Int("sweep-n", 20000, "adaptive sweep corpus size for the engine suite (0 disables the sweep)")
+	sweepQ := flag.Int("sweep-q", 200, "adaptive sweep query count for the engine suite")
 	flag.Parse()
 
 	if *suiteName == "serve" {
@@ -239,6 +245,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks parsed")
 		os.Exit(1)
 	}
+	if *suiteName == "engine" && *sweepN > 0 {
+		doc.AdaptiveSweep = runSweep(*sweepN, *sweepQ)
+	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -258,7 +267,7 @@ func runServe(out, benchtime string) {
 	if out == "" {
 		out = "BENCH_serve.json"
 	}
-	args := []string{"run", "./cmd/annaload", "-out", out, "-router", "3"}
+	args := []string{"run", "./cmd/annaload", "-out", out, "-router", "3", "-adaptive"}
 	if benchtime != "" {
 		args = append(args, "-duration", benchtime)
 	}

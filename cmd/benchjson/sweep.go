@@ -1,0 +1,199 @@
+package main
+
+// The adaptive recall-vs-QPS sweep of the engine suite: fixed-W
+// operating points against adaptive ones (early termination, precision
+// escalation) on the same single-core engine over a seeded synthetic
+// corpus with exact ground truth, so BENCH_engine.json records the
+// iso-recall speedup of per-query effort (docs/ARCHITECTURE.md §4j)
+// next to the kernel benchmarks.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"anna/internal/adaptive"
+	"anna/internal/dataset"
+	"anna/internal/engine"
+	"anna/internal/exact"
+	"anna/internal/ivf"
+	"anna/internal/pq"
+	"anna/internal/recall"
+)
+
+// SweepPoint is one measured operating point of the sweep.
+type SweepPoint struct {
+	Name            string  `json:"name"`
+	W               int     `json:"w"`
+	StopPatience    int     `json:"stop_patience,omitempty"`
+	EscalateFactor  int     `json:"escalate_factor,omitempty"`
+	Margin          float64 `json:"margin,omitempty"`
+	RecallAt10      float64 `json:"recall_at_10"`
+	QPS             float64 `json:"qps"`
+	ClustersPerQry  float64 `json:"clusters_per_query"`
+	EscalatedPerQry float64 `json:"escalated_per_query,omitempty"`
+}
+
+// AdaptiveSweep is the recall-vs-QPS comparison recorded into
+// BENCH_engine.json.
+type AdaptiveSweep struct {
+	Description string       `json:"description"`
+	Dataset     string       `json:"dataset"`
+	Fixed       []SweepPoint `json:"fixed"`
+	Adaptive    []SweepPoint `json:"adaptive"`
+	// IsoRecallSpeedup is the headline: over the fixed Pareto frontier,
+	// the best ratio of (fastest adaptive point with recall@10 no more
+	// than 0.005 below the fixed point's) QPS to the fixed point's QPS.
+	// MatchedRecallDelta is adaptive minus fixed recall for that pair.
+	IsoRecallSpeedup   float64 `json:"iso_recall_speedup"`
+	MatchedAdaptive    string  `json:"matched_adaptive,omitempty"`
+	MatchedFixed       string  `json:"matched_fixed,omitempty"`
+	MatchedRecallDelta float64 `json:"matched_recall_delta,omitempty"`
+}
+
+// runSweep builds the sweep corpus and measures every operating point.
+func runSweep(n, q int) *AdaptiveSweep {
+	const (
+		d         = 64
+		nClusters = 128
+		k         = 10
+	)
+	fmt.Fprintf(os.Stderr, "benchjson: adaptive sweep corpus n=%d q=%d d=%d clusters=%d...\n", n, q, d, nClusters)
+	spec := dataset.SIFTLike(n, q, 1)
+	spec.D = d
+	// Few wide latent groups split across many coarse cells: a query's
+	// neighbours spread over its group's cells, so recall climbs with W
+	// rather than saturating at W=2, and per-query difficulty varies
+	// (boundary queries need many cells) — the regime where per-query
+	// effort matters.
+	spec.Groups = 16
+	spec.Std = 0.5
+	ds := dataset.Generate(spec)
+	// A third of the queries are pushed off the data manifold (extra
+	// isotropic noise), the TTI-style cross-modal tail: their neighbours
+	// scatter across many coarse cells, so a fixed W must be provisioned
+	// for this tail while adaptive effort pays it only on those queries.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < ds.Queries.Rows; i += 3 {
+		row := ds.Queries.Row(i)
+		for j := range row {
+			row[j] += 1.2 * float32(rng.NormFloat64())
+		}
+	}
+	idx := ivf.Build(ds.Base, pq.L2, ivf.Config{
+		NClusters: nClusters, M: 8, Ks: 256, CoarseIters: 8, PQIters: 8, Seed: 1,
+		Rerank: true,
+	})
+	gt := exact.New(pq.L2, ds.Base).GroundTruth(ds.Queries, k)
+	e := engine.New(idx)
+
+	measure := func(name string, w int, ap adaptive.Params) SweepPoint {
+		opt := engine.Options{Mode: engine.QueryAtATime, W: w, K: k, Workers: 1, Adaptive: ap}
+		// One warmup run, then best-of-N over at least ~1s of measurement:
+		// individual runs are tens of milliseconds, so a fixed small rep
+		// count is at the mercy of scheduling and frequency-scaling noise.
+		e.Run(ds.Queries, opt)
+		var best *engine.Report
+		var total time.Duration
+		for r := 0; r < 50 && (r < 5 || total < time.Second); r++ {
+			rep := e.Run(ds.Queries, opt)
+			total += rep.Elapsed
+			if best == nil || rep.QPS > best.QPS {
+				best = rep
+			}
+		}
+		nq := float64(ds.Queries.Rows)
+		p := SweepPoint{
+			Name:            name,
+			W:               w,
+			StopPatience:    ap.StopPatience,
+			EscalateFactor:  ap.EscalateFactor,
+			Margin:          float64(ap.Margin),
+			RecallAt10:      recall.Mean(k, k, gt, best.Results),
+			QPS:             best.QPS,
+			ClustersPerQry:  float64(best.ClustersScanned) / nq,
+			EscalatedPerQry: float64(best.Escalations) / nq,
+		}
+		fmt.Fprintf(os.Stderr, "benchjson:   %-22s recall@10 %.4f  %8.0f qps  %.1f clusters/q  %.0f escalated/q\n",
+			name, p.RecallAt10, p.QPS, p.ClustersPerQry, p.EscalatedPerQry)
+		return p
+	}
+
+	sw := &AdaptiveSweep{
+		Description: "Single-core (Workers=1) recall@10 vs QPS: fixed-W scans against adaptive " +
+			"per-query effort (early termination at full W, optional SQ8 precision escalation). " +
+			"iso_recall_speedup: for each point on the fixed Pareto frontier, the fastest adaptive " +
+			"point at matched recall@10 (within 0.005) replaces it; the best such ratio is recorded.",
+		Dataset: fmt.Sprintf("synthetic sift-like n=%d q=%d d=%d clusters=%d seed=1", n, q, d, nClusters),
+	}
+	for _, w := range []int{2, 4, 8, 16, 32, 64, 128} {
+		sw.Fixed = append(sw.Fixed, measure(fmt.Sprintf("fixed_w%d", w), w, adaptive.Params{}))
+	}
+	// Fixed-effort rerank baselines: every query scans all W clusters and
+	// re-scores the full retained candidate set (Margin 1 = whole band),
+	// through the same escalation code path the adaptive points use.
+	// These are the high-recall fixed operating points.
+	for _, w := range []int{4, 8, 16, 32, 64, 128} {
+		sw.Fixed = append(sw.Fixed, measure(fmt.Sprintf("fixed_w%d_rerank", w), w,
+			adaptive.Params{EscalateFactor: 4, Margin: 1}))
+	}
+	for _, pt := range []struct {
+		name string
+		ap   adaptive.Params
+	}{
+		{"adaptive_p1", adaptive.Params{StopPatience: 1, MinClusters: 2}},
+		{"adaptive_p2", adaptive.Params{StopPatience: 2, MinClusters: 4}},
+		{"adaptive_p4", adaptive.Params{StopPatience: 4, MinClusters: 4}},
+		{"adaptive_p8", adaptive.Params{StopPatience: 8, MinClusters: 4}},
+		{"adaptive_p1_esc", adaptive.Params{StopPatience: 1, MinClusters: 2, EscalateFactor: 4, Margin: 1}},
+		{"adaptive_p2_esc", adaptive.Params{StopPatience: 2, MinClusters: 4, EscalateFactor: 4, Margin: 1}},
+		{"adaptive_p4_esc", adaptive.Params{StopPatience: 4, MinClusters: 4, EscalateFactor: 4, Margin: 1}},
+		{"adaptive_p8_esc", adaptive.Params{StopPatience: 8, MinClusters: 4, EscalateFactor: 4, Margin: 1}},
+	} {
+		sw.Adaptive = append(sw.Adaptive, measure(pt.name, nClusters, pt.ap))
+	}
+
+	// Iso-recall matching, anchored on the fixed Pareto frontier: for
+	// each non-dominated fixed operating point (the config a deployment
+	// would actually provision for its recall target), the fastest
+	// adaptive point delivering at least that recall minus 0.005 is its
+	// adaptive replacement. Restricting baselines to the frontier keeps
+	// dominated fixed points (e.g. W=128 where W=32 already saturates)
+	// from inflating the headline.
+	const tol = 0.005
+	for i := range sw.Fixed {
+		f := &sw.Fixed[i]
+		dominated := false
+		for j := range sw.Fixed {
+			if g := &sw.Fixed[j]; g.RecallAt10 >= f.RecallAt10 && g.QPS > f.QPS {
+				dominated = true
+				break
+			}
+		}
+		if dominated || f.QPS <= 0 {
+			continue
+		}
+		var repl *SweepPoint
+		for j := range sw.Adaptive {
+			if a := &sw.Adaptive[j]; a.RecallAt10 >= f.RecallAt10-tol &&
+				(repl == nil || a.QPS > repl.QPS) {
+				repl = a
+			}
+		}
+		if repl == nil {
+			continue
+		}
+		if sp := repl.QPS / f.QPS; sp > sw.IsoRecallSpeedup {
+			sw.IsoRecallSpeedup = sp
+			sw.MatchedAdaptive = repl.Name
+			sw.MatchedFixed = f.Name
+			sw.MatchedRecallDelta = repl.RecallAt10 - f.RecallAt10
+		}
+	}
+	if sw.IsoRecallSpeedup > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: iso-recall speedup %.2fx (%s vs %s, recall delta %+.4f)\n",
+			sw.IsoRecallSpeedup, sw.MatchedAdaptive, sw.MatchedFixed, sw.MatchedRecallDelta)
+	}
+	return sw
+}

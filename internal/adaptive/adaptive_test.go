@@ -1,0 +1,252 @@
+package adaptive
+
+import (
+	"testing"
+
+	"anna/internal/topk"
+)
+
+func TestTerminationDisabledNeverStops(t *testing.T) {
+	term := Termination{Patience: 0, MinClusters: 1}
+	term.Reset()
+	for i := 0; i < 1000; i++ {
+		if term.Observe(1.0, true) {
+			t.Fatalf("Patience=0 stopped after %d clusters", i+1)
+		}
+	}
+	if term.Scanned() != 1000 {
+		t.Fatalf("Scanned() = %d, want 1000", term.Scanned())
+	}
+}
+
+func TestTerminationStopsAfterPatienceStaleClusters(t *testing.T) {
+	term := Termination{Patience: 3, MinClusters: 1}
+	term.Reset()
+	// Improving thresholds: never stops.
+	for i := 0; i < 10; i++ {
+		if term.Observe(float32(i), true) {
+			t.Fatalf("stopped while improving at cluster %d", i+1)
+		}
+	}
+	// Flat thresholds: stops on exactly the Patience-th stale cluster.
+	if term.Observe(9, true) || term.Observe(9, true) {
+		t.Fatal("stopped before patience exhausted")
+	}
+	if !term.Observe(9, true) {
+		t.Fatal("did not stop after 3 stale clusters")
+	}
+}
+
+func TestTerminationNotFullResetsStale(t *testing.T) {
+	term := Termination{Patience: 2, MinClusters: 1}
+	term.Reset()
+	// While the selector is unfilled every cluster counts as progress.
+	for i := 0; i < 20; i++ {
+		if term.Observe(0, false) {
+			t.Fatalf("stopped while selector unfilled at cluster %d", i+1)
+		}
+	}
+	// First full observation establishes the baseline (progress), the
+	// next two flat ones exhaust patience.
+	if term.Observe(5, true) {
+		t.Fatal("stopped on first full observation")
+	}
+	if term.Observe(5, true) {
+		t.Fatal("stopped after one stale cluster")
+	}
+	if !term.Observe(5, true) {
+		t.Fatal("did not stop after two stale clusters")
+	}
+}
+
+func TestTerminationMinClustersFloor(t *testing.T) {
+	term := Termination{Patience: 1, MinClusters: 8}
+	term.Reset()
+	// Flat from the start: patience is exhausted immediately, but the
+	// floor defers the stop until cluster 8.
+	for i := 0; i < 7; i++ {
+		full := i > 0 // first observation sets the baseline
+		if term.Observe(1, full) {
+			t.Fatalf("stopped at cluster %d, below MinClusters=8", i+1)
+		}
+	}
+	if !term.Observe(1, true) {
+		t.Fatal("did not stop at the MinClusters floor")
+	}
+}
+
+func TestTerminationResetClearsState(t *testing.T) {
+	term := Termination{Patience: 1, MinClusters: 1}
+	term.Reset()
+	term.Observe(1, true)
+	if !term.Observe(1, true) {
+		t.Fatal("setup: expected stop")
+	}
+	term.Reset()
+	if term.Scanned() != 0 {
+		t.Fatalf("Scanned() = %d after Reset", term.Scanned())
+	}
+	if term.Observe(1, true) {
+		t.Fatal("stopped immediately after Reset (stale state leaked)")
+	}
+}
+
+func band(scores []float32, k int, margin float32) int {
+	cands := make([]topk.Result, len(scores))
+	for i, s := range scores {
+		cands[i] = topk.Result{ID: int64(i), Score: s}
+	}
+	return Band(cands, k, margin)
+}
+
+func TestBand(t *testing.T) {
+	scores := []float32{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	cases := []struct {
+		k      int
+		margin float32
+		want   int
+	}{
+		{k: 3, margin: 0, want: 3},    // zero margin: exactly top k
+		{k: 3, margin: 0.25, want: 5}, // cut = 8 - 0.25*9 = 5.75 → scores ≥ 6
+		{k: 3, margin: 0.5, want: 7},  // cut = 8 - 0.5*9 = 3.5 → scores ≥ 4
+		{k: 3, margin: 100, want: 10}, // huge margin: everything
+		{k: 10, margin: 0, want: 10},  // k == len
+		{k: 20, margin: 0, want: 10},  // k > len: clamped
+		{k: 0, margin: 0, want: 1},    // k < 1 behaves as 1
+		{k: 3, margin: -1, want: 3},   // negative margin behaves as 0
+		{k: 1, margin: 0.25, want: 3}, // cut = 10 - 2.25 → scores ≥ 8
+	}
+	for _, c := range cases {
+		if got := band(scores, c.k, c.margin); got != c.want {
+			t.Errorf("Band(k=%d, margin=%g) = %d, want %d", c.k, c.margin, got, c.want)
+		}
+	}
+}
+
+func TestBandTiedScores(t *testing.T) {
+	// All candidates tied with the kth must be included regardless of margin.
+	if got := band([]float32{5, 5, 5, 5, 5}, 2, 0); got != 5 {
+		t.Fatalf("Band over tied scores = %d, want 5", got)
+	}
+}
+
+func TestControllerKnobsInterpolation(t *testing.T) {
+	c := NewController(ControllerConfig{
+		Target: 0.9,
+		Levels: 4,
+		Start:  0,
+		Low:    Knobs{W: 8, StopPatience: 1, MinClusters: 2, EscalateFactor: 2, Margin: 0},
+		High:   Knobs{W: 32, StopPatience: 9, MinClusters: 2, EscalateFactor: 4, Margin: 0.4},
+	})
+	if k := c.Knobs(); k != (Knobs{W: 8, StopPatience: 1, MinClusters: 2, EscalateFactor: 2, Margin: 0}) {
+		t.Fatalf("level 0 knobs = %+v, want Low endpoint", k)
+	}
+	c.level = 4
+	if k := c.Knobs(); k != (Knobs{W: 32, StopPatience: 9, MinClusters: 2, EscalateFactor: 4, Margin: 0.4}) {
+		t.Fatalf("level max knobs = %+v, want High endpoint", k)
+	}
+	c.level = 2
+	k := c.Knobs()
+	if k.W != 20 || k.StopPatience != 5 || k.EscalateFactor != 3 {
+		t.Fatalf("midpoint knobs = %+v, want W=20 patience=5 factor=3", k)
+	}
+	if k.Margin < 0.19 || k.Margin > 0.21 {
+		t.Fatalf("midpoint margin = %g, want 0.2", k.Margin)
+	}
+}
+
+func TestControllerRaisesEffortBelowTarget(t *testing.T) {
+	c := NewController(ControllerConfig{
+		Target: 0.9, Hysteresis: 2, MinSamples: 10, Levels: 4, Start: 1,
+		Low:  Knobs{W: 8},
+		High: Knobs{W: 32},
+	})
+	samples := uint64(100)
+	// First decision needs MinSamples fresh samples AND Hysteresis
+	// consecutive below-target observations.
+	if _, changed := c.Observe(0.5, 5); changed {
+		t.Fatal("stepped without fresh samples")
+	}
+	if _, changed := c.Observe(0.5, samples); changed {
+		t.Fatal("stepped before hysteresis")
+	}
+	if _, changed := c.Observe(0.5, samples); !changed {
+		t.Fatal("did not step after hysteresis below target")
+	}
+	if c.Level() != 2 {
+		t.Fatalf("level = %d, want 2", c.Level())
+	}
+	// The step re-anchors the sample gate: no further action until
+	// MinSamples new samples arrive.
+	if _, changed := c.Observe(0.5, samples+5); changed {
+		t.Fatal("stepped again without fresh samples")
+	}
+	// Drive to the top: the level saturates at Levels.
+	for i := 0; i < 20; i++ {
+		samples += 10
+		c.Observe(0.5, samples)
+	}
+	if c.Level() != 4 {
+		t.Fatalf("level = %d, want saturation at 4", c.Level())
+	}
+}
+
+func TestControllerLowersEffortWithHeadroom(t *testing.T) {
+	c := NewController(ControllerConfig{
+		Target: 0.9, Deadband: 0.02, Hysteresis: 2, MinSamples: 1, Levels: 4, Start: 4,
+		Low:  Knobs{W: 8},
+		High: Knobs{W: 32},
+	})
+	samples := uint64(1)
+	// Recall inside the deadband: hold.
+	for i := 0; i < 10; i++ {
+		samples++
+		if _, changed := c.Observe(0.91, samples); changed {
+			t.Fatal("stepped inside the deadband")
+		}
+	}
+	// Clear headroom: steps down one level per hysteresis run.
+	for i := 0; i < 2; i++ {
+		samples++
+		c.Observe(0.99, samples)
+	}
+	if c.Level() != 3 {
+		t.Fatalf("level = %d, want 3", c.Level())
+	}
+	// Mixed signal resets the run: below-target clears the above count.
+	samples++
+	c.Observe(0.99, samples)
+	samples++
+	c.Observe(0.5, samples)
+	samples++
+	if _, changed := c.Observe(0.99, samples); changed {
+		t.Fatal("hysteresis run survived an opposite observation")
+	}
+	// Floor at level 0.
+	for i := 0; i < 20; i++ {
+		samples++
+		c.Observe(0.99, samples)
+	}
+	if c.Level() != 0 {
+		t.Fatalf("level = %d, want floor at 0", c.Level())
+	}
+}
+
+func TestControllerStepsBounded(t *testing.T) {
+	// One decision moves at most one level, however far recall is from
+	// target.
+	c := NewController(ControllerConfig{
+		Target: 0.95, Hysteresis: 1, MinSamples: 1, Levels: 8, Start: 4,
+		Low:  Knobs{W: 4},
+		High: Knobs{W: 64},
+	})
+	if _, changed := c.Observe(0.0, 10); !changed {
+		t.Fatal("expected a step")
+	}
+	if c.Level() != 5 {
+		t.Fatalf("level = %d, want 5 (bounded step)", c.Level())
+	}
+	if c.Steps() != 1 {
+		t.Fatalf("Steps() = %d, want 1", c.Steps())
+	}
+}

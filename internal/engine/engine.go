@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"anna/internal/adaptive"
 	"anna/internal/ivf"
 	"anna/internal/pq"
 	"anna/internal/simd"
@@ -71,6 +72,13 @@ type Options struct {
 	// HWF16 matches the accelerator's half-precision LUT/score rounding,
 	// for bit-exact comparisons against the simulator.
 	HWF16 bool
+	// Adaptive enables per-query effort policies (early termination of
+	// the cluster scan and/or SQ8 precision escalation — see
+	// internal/adaptive). When enabled the run always uses the
+	// query-at-a-time discipline regardless of Mode: termination is a
+	// per-query sequential decision over that query's clusters, which
+	// cluster-major's cross-query scan order cannot honour.
+	Adaptive adaptive.Params
 }
 
 // Report is the outcome of a run.
@@ -95,6 +103,16 @@ type Report struct {
 	// see internal/simd) — fixed per process, recorded so benchmark
 	// reports and A/B comparisons can't silently mix kernel classes.
 	SIMD string
+	// ClustersScanned counts inverted lists actually scanned across the
+	// batch: n*W on the fixed path (and in cluster-major, where it
+	// counts (query, cluster) visits), possibly fewer under adaptive
+	// early termination.
+	ClustersScanned int64
+	// Escalations counts candidates re-scored through the SQ8
+	// escalation band; RerankTime is the worker time that took (zero
+	// unless Options.Adaptive enabled escalation).
+	Escalations int64
+	RerankTime  time.Duration
 }
 
 // Engine wraps an index for repeated searches. It pools per-worker
@@ -223,9 +241,16 @@ func (e *Engine) RunContext(ctx context.Context, queries *vecmath.Matrix, opt Op
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
 	queries = e.idx.PrepQueries(queries) // OPQ rotation, when trained with one
+	mode := opt.Mode
+	if opt.Adaptive.Enabled() {
+		// Per-query early termination is sequential in one query's
+		// cluster order; cluster-major interleaves clusters across
+		// queries, so adaptive runs force the query-at-a-time discipline.
+		mode = QueryAtATime
+	}
 	var rep *Report
 	var err error
-	switch opt.Mode {
+	switch mode {
 	case QueryAtATime:
 		rep, err = e.runQueryMajor(ctx, queries, opt)
 	case ClusterMajor:
@@ -238,8 +263,13 @@ func (e *Engine) RunContext(ctx context.Context, queries *vecmath.Matrix, opt Op
 		if tr := trace.FromContext(ctx); tr != nil {
 			tr.AddSpan("select", rep.SelectTime)
 			tr.AddSpan("scan", rep.ScanTime)
+			if rep.RerankTime > 0 {
+				tr.AddSpan("rerank", rep.RerankTime)
+			}
 			tr.AddSpan("merge", rep.MergeTime)
 			tr.Scanned += rep.ScannedVectors
+			tr.ClustersScanned += rep.ClustersScanned
+			tr.Escalated += rep.Escalations
 		}
 	}
 	return rep, err
@@ -264,6 +294,7 @@ func (e *Engine) runQueryMajor(ctx context.Context, queries *vecmath.Matrix, opt
 	var statsMu sync.Mutex
 	atomic.AddInt64(&e.queued, int64(n))
 	p := ivf.SearchParams{W: opt.W, K: opt.K, HWF16: opt.HWF16}
+	adapt := opt.Adaptive.Enabled()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
@@ -280,7 +311,11 @@ func (e *Engine) runQueryMajor(ctx context.Context, queries *vecmath.Matrix, opt
 				atomic.AddInt64(&e.queued, -1)
 				atomic.AddInt64(&e.inflight, 1)
 				slot := arena[qi*opt.K : qi*opt.K : (qi+1)*opt.K]
-				rep.Results[qi] = s.SearchPreppedStats(slot, queries.Row(qi), p, &st)
+				if adapt {
+					rep.Results[qi] = s.SearchAdaptiveStats(slot, queries.Row(qi), p, opt.Adaptive, &st)
+				} else {
+					rep.Results[qi] = s.SearchPreppedStats(slot, queries.Row(qi), p, &st)
+				}
 				atomic.AddInt64(&e.inflight, -1)
 				done++
 			}
@@ -302,6 +337,9 @@ func (e *Engine) runQueryMajor(ctx context.Context, queries *vecmath.Matrix, opt
 	rep.SelectTime = stats.Select
 	rep.ScanTime = stats.Scan
 	rep.MergeTime = stats.Merge
+	rep.ClustersScanned = stats.Clusters
+	rep.Escalations = stats.Escalated
+	rep.RerankTime = stats.Rerank
 	if rep.Elapsed > 0 {
 		rep.QPS = float64(n) / rep.Elapsed.Seconds()
 	}
@@ -501,6 +539,7 @@ func (e *Engine) runClusterMajor(ctx context.Context, queries *vecmath.Matrix, o
 	rep.Elapsed = time.Since(start)
 	rep.ScannedVectors = scanned
 	rep.ListBytesTouched = bytes
+	rep.ClustersScanned = int64(total) // (query, cluster) visits; W per query
 	rep.SelectTime = time.Duration(selectNs)
 	rep.ScanTime = time.Duration(scanNs)
 	if rep.Elapsed > 0 {

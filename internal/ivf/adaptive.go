@@ -1,0 +1,136 @@
+package ivf
+
+// Adaptive per-query effort (ROADMAP open item 4): the fused search of
+// scan.go with two policies from internal/adaptive threaded through it.
+//
+//   - Early termination: clusters are scanned in selection order (most
+//     similar centroid first), and the scan stops once the selector's
+//     kth score has gone StopPatience consecutive clusters without
+//     improving. The stop test rides the Selector.Threshold() value the
+//     scan kernel already maintains, so it costs one comparison per
+//     cluster.
+//   - Precision escalation: the cheap 4-bit/f16 PQ scan keeps an
+//     inflated candidate set (K*EscalateFactor), and only the margin
+//     band among them — candidates whose approximate score lies within
+//     Margin*(top1-kth) of the kth — is re-scored in full float32
+//     precision against the SQ8 reconstructions (the SearchRerank
+//     machinery). The final top-K comes from the re-scored band.
+//
+// Recall contract (replaces the fixed path's bit-exactness guarantee):
+// with both policies disabled the results are bit-identical to
+// SearchPreppedStats (pinned by TestAdaptiveDisabledBitIdentical).
+// With termination enabled, the result set is the fixed-W result set
+// minus anything only found in clusters past the stop point — on
+// clustered data the kth score stabilizes after a few lists, so the
+// loss is bounded by the patience knob. With escalation enabled, the
+// returned top-K is the EXACT float32 ordering over the escalation
+// band, which always contains the approximate top-K; PQ ordering errors
+// inside the band are corrected, errors that kept a true neighbor out
+// of the wide candidate set entirely are not. Deleted IDs can never
+// resurface: escalation re-scores only candidates that survived the
+// tombstone-gated list scan.
+
+import (
+	"time"
+
+	"anna/internal/adaptive"
+	"anna/internal/pq"
+	"anna/internal/topk"
+	"anna/internal/vecmath"
+)
+
+// SearchAdaptive is SearchAdaptiveStats without caller-visible stats.
+func (s *Searcher) SearchAdaptive(q []float32, p SearchParams, ap adaptive.Params) []topk.Result {
+	var st ScanStats
+	return s.SearchAdaptiveStats(nil, q, p, ap, &st)
+}
+
+// SearchAdaptiveStats runs the fused search with adaptive per-query
+// effort, appending the top-K into dst and accumulating work counters
+// into st. Like SearchPrepped, q must already be in index space (the
+// engine rotates batches up front). Escalation silently degrades to the
+// plain PQ ordering when the index retains no SQ8 store.
+func (s *Searcher) SearchAdaptiveStats(dst []topk.Result, q []float32, p SearchParams, ap adaptive.Params, st *ScanStats) []topk.Result {
+	x := s.idx
+	escalate := ap.EscalateFactor > 1 && x.SQ != nil
+	inner := p
+	if escalate {
+		inner.K = p.K * ap.EscalateFactor
+	}
+	s.prepare(inner)
+	t0 := time.Now()
+	x.SelectClustersBatch(s.cs, q)
+	t1 := time.Now()
+	st.Select += t1.Sub(t0)
+
+	s.term.Patience = ap.StopPatience
+	s.term.MinClusters = ap.MinClusters
+	s.term.Reset()
+	if x.Metric == pq.InnerProduct {
+		x.PQ.FillIP(s.lut, q)
+		if p.HWF16 {
+			s.lut.RoundF16()
+		}
+		for i, c := range s.cs.Clusters {
+			x.RebiasLUTFromScore(s.lut, s.cs.Scores[i], p.HWF16)
+			x.ScanListADC(s.sel, s.lut, c, p.HWF16)
+			st.Scanned += int64(x.Lists[c].Len())
+			st.ListBytes += x.ListBytes(c)
+			st.Clusters++
+			if kth, full := s.sel.Threshold(); s.term.Observe(kth, full) {
+				break
+			}
+		}
+	} else {
+		for _, c := range s.cs.Clusters {
+			x.BuildLUT(s.lut, q, c, s.scratch, p.HWF16)
+			x.ScanListADC(s.sel, s.lut, c, p.HWF16)
+			st.Scanned += int64(x.Lists[c].Len())
+			st.ListBytes += x.ListBytes(c)
+			st.Clusters++
+			if kth, full := s.sel.Threshold(); s.term.Observe(kth, full) {
+				break
+			}
+		}
+	}
+	t2 := time.Now()
+	st.Scan += t2.Sub(t1)
+
+	if !escalate {
+		res := s.sel.ResultsAppend(dst)
+		st.Merge += time.Since(t2)
+		return res
+	}
+
+	// Escalation: drain the wide selector (descending approximate
+	// score), cut the margin band, and re-score the band in float32
+	// against the SQ8 reconstructions. Only re-scored candidates can
+	// reach the final top-K, so the returned order is exact over the
+	// band.
+	s.escCands = s.sel.ResultsAppend(s.escCands[:0])
+	band := adaptive.Band(s.escCands, p.K, ap.Margin)
+	if s.escSel == nil || s.escSel.K() != p.K {
+		s.escSel = topk.NewSelector(p.K)
+	} else {
+		s.escSel.Reset()
+	}
+	if len(s.escDec) != x.D {
+		s.escDec = make([]float32, x.D)
+	}
+	for _, c := range s.escCands[:band] {
+		x.SQ.Decode(s.escDec, int(c.ID))
+		var sc float32
+		if x.Metric == pq.InnerProduct {
+			sc = vecmath.Dot(q, s.escDec)
+		} else {
+			sc = -vecmath.L2Sq(q, s.escDec)
+		}
+		s.escSel.Push(c.ID, sc)
+	}
+	st.Escalated += int64(band)
+	t3 := time.Now()
+	st.Rerank += t3.Sub(t2)
+	res := s.escSel.ResultsAppend(dst)
+	st.Merge += time.Since(t3)
+	return res
+}

@@ -127,3 +127,70 @@ func TestRerankFactorFloor(t *testing.T) {
 		t.Fatalf("%d results", len(res))
 	}
 }
+
+// factor < 1 (zero or negative) must clamp to 1: identical results to
+// an explicit factor of 1 — plain re-scoring of the top-K.
+func TestRerankFactorClampBitIdentical(t *testing.T) {
+	idx, ds := buildRerank(t, false)
+	p := SearchParams{W: 8, K: 10}
+	for _, factor := range []int{0, -3} {
+		for qi := 0; qi < ds.Queries.Rows; qi++ {
+			q := ds.Queries.Row(qi)
+			want := idx.SearchRerank(q, p, 1)
+			got := idx.SearchRerank(q, p, factor)
+			if len(got) != len(want) {
+				t.Fatalf("factor=%d q%d: %d results, want %d", factor, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("factor=%d q%d result %d: got %+v, want %+v", factor, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// K larger than the candidate pool: the refined list returns every
+// candidate the probed lists held, in exact descending refined order,
+// without panicking in the SQ decode loop.
+func TestRerankKExceedsCandidates(t *testing.T) {
+	idx, ds := buildRerank(t, false)
+	q := ds.Queries.Row(0)
+	k := idx.NTotal + 10
+	res := idx.SearchRerank(q, SearchParams{W: idx.NClusters(), K: k}, 4)
+	if len(res) != idx.NTotal {
+		t.Fatalf("%d results, want every indexed vector (%d)", len(res), idx.NTotal)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatalf("results not sorted at %d: %g > %g", i, res[i].Score, res[i-1].Score)
+		}
+	}
+}
+
+// Tombstoned IDs must never resurface through the SQ8 shortlist: the
+// rerank candidates come from the tombstone-gated PQ search, and the
+// SQ store (which still holds deleted vectors' codes) is only ever
+// indexed by those surviving candidates.
+func TestRerankTombstonesNeverResurface(t *testing.T) {
+	idx, ds := buildRerank(t, false)
+	p := SearchParams{W: idx.NClusters(), K: 10}
+	q := ds.Queries.Row(0)
+	before := idx.SearchRerank(q, p, 8)
+	dead := make(map[int64]bool)
+	for _, r := range before[:5] {
+		dead[r.ID] = true
+	}
+	for id := range dead {
+		idx.Delete(id)
+	}
+	after := idx.SearchRerank(q, p, 8)
+	if len(after) != p.K {
+		t.Fatalf("%d results after deletes, want %d", len(after), p.K)
+	}
+	for _, r := range after {
+		if dead[r.ID] {
+			t.Fatalf("deleted ID %d resurfaced through the SQ8 shortlist", r.ID)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"anna/internal/adaptive"
 	"anna/internal/f16"
 	"anna/internal/pq"
 	"anna/internal/topk"
@@ -133,6 +134,14 @@ type Searcher struct {
 	scratch []float32 // residual q-c for L2 LUT fills
 	rotBuf  []float32 // OPQ-rotated query
 	sel     *topk.Selector
+
+	// Adaptive-path scratch (see adaptive.go): early-termination state,
+	// the drained wide candidate list, the escalation selector and the
+	// SQ8 decode buffer. Unused (nil) on the fixed path.
+	term     adaptive.Termination
+	escCands []topk.Result
+	escSel   *topk.Selector
+	escDec   []float32
 }
 
 // NewSearcher returns a reusable fused-search context over x. Buffers are
@@ -175,8 +184,15 @@ func (s *Searcher) prepare(p SearchParams) {
 type ScanStats struct {
 	Scanned   int64
 	ListBytes int64
+	// Clusters counts inverted lists actually scanned — W per query on
+	// the fixed path, possibly fewer under adaptive early termination.
+	Clusters int64
+	// Escalated counts candidates re-scored through the SQ8 escalation
+	// band (zero on the fixed path); Rerank is the time that took.
+	Escalated int64
 	Select    time.Duration
 	Scan      time.Duration
+	Rerank    time.Duration
 	Merge     time.Duration
 }
 
@@ -184,8 +200,11 @@ type ScanStats struct {
 func (s *ScanStats) Add(o ScanStats) {
 	s.Scanned += o.Scanned
 	s.ListBytes += o.ListBytes
+	s.Clusters += o.Clusters
+	s.Escalated += o.Escalated
 	s.Select += o.Select
 	s.Scan += o.Scan
+	s.Rerank += o.Rerank
 	s.Merge += o.Merge
 }
 
@@ -254,6 +273,7 @@ func (s *Searcher) SearchPreppedStats(dst []topk.Result, q []float32, p SearchPa
 			st.ListBytes += x.ListBytes(c)
 		}
 	}
+	st.Clusters += int64(len(s.cs.Clusters))
 	t2 := time.Now()
 	st.Scan += t2.Sub(t1)
 	res := s.sel.ResultsAppend(dst)

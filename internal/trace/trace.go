@@ -56,6 +56,16 @@ type Trace struct {
 	Batch int `json:"batch,omitempty"`
 	// CacheHit marks queries answered from the result cache.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// ClustersScanned counts inverted lists actually scanned across the
+	// batch — Queries*W on the fixed path, fewer when adaptive early
+	// termination stopped scans early.
+	ClustersScanned int64 `json:"clusters_scanned,omitempty"`
+	// Escalated counts candidates re-scored through the SQ8 precision
+	// escalation band (zero when escalation is off or nothing escalated).
+	Escalated int64 `json:"escalated,omitempty"`
+	// Effort is the adaptive controller's effort level when the query
+	// was served (0 = lowest rung; only set under -recall-target).
+	Effort int `json:"effort,omitempty"`
 	// Slow marks traces captured because they crossed the slow-query
 	// threshold (as opposed to being sampled or explicitly tagged).
 	Slow  bool   `json:"slow,omitempty"`
@@ -238,7 +248,11 @@ func (rec *Recorder) Record(t *Trace) {
 				"status", t.Status,
 				"select", t.SpanDuration("select"),
 				"scan", t.SpanDuration("scan"),
+				"rerank", t.SpanDuration("rerank"),
 				"merge", t.SpanDuration("merge"),
+				"clusters_scanned", t.ClustersScanned,
+				"escalated", t.Escalated,
+				"effort", t.Effort,
 			)
 		}
 	}

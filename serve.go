@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"anna/internal/adaptive"
 	"anna/internal/metrics"
 	"anna/internal/qos"
 	"anna/internal/trace"
@@ -135,6 +136,19 @@ type Server struct {
 	// share, and the interactive/bulk lane. Nil serves all traffic as
 	// one unlimited interactive tenant.
 	Tenants *qos.Tenants
+	// Adaptive configures per-query effort: a static early-termination /
+	// precision-escalation policy applied to every software search, or —
+	// with RecallTarget set and Recall attached — a closed-loop
+	// controller that tunes the policy against the live recall estimate.
+	// Set before the first request, like the trace knobs.
+	Adaptive AdaptiveServing
+
+	adaptOnce sync.Once                      // registers adaptive metrics / starts the controller once
+	ctrlOnce  sync.Once                      // Close stops the controller exactly once
+	knobs     atomic.Pointer[adaptive.Knobs] // controller operating point (nil = static policy)
+	effort    atomic.Int64                   // controller effort level, surfaced in traces
+	ctrlStop  chan struct{}
+	ctrlDone  chan struct{}
 
 	inflight   atomic.Int64
 	addedSince atomic.Int64 // vectors added since the last snapshot
@@ -156,7 +170,192 @@ type servedRow struct {
 	res              []Result
 	gen              uint64
 	sel, scan, merge time.Duration
+	rerank           time.Duration
 	scanned          int64
+	clusters         int64
+	escalated        int64
+	effort           int
+}
+
+// AdaptiveServing configures the serving layer's per-query effort (see
+// docs/ARCHITECTURE.md §4j). The zero value disables everything.
+type AdaptiveServing struct {
+	// Policy is the static per-query effort policy applied to every
+	// software search. Under a RecallTarget controller it instead seeds
+	// the effort ladder: Policy.StopPatience becomes the cheap end's
+	// patience and Policy.EscalateFactor/Margin the escalation knobs at
+	// full effort.
+	Policy AdaptiveOptions
+	// RecallTarget, in (0, 1], enables the closed-loop controller: it
+	// reads the shadow recall estimator (Server.Recall must be set) and
+	// walks an effort ladder — effective W, stop patience, escalation
+	// margin — to hold the rolling recall at the target with minimum
+	// work. Knob changes are logged and exported as anna_adaptive_knob.
+	RecallTarget float64
+	// Interval is the controller tick (default 1s).
+	Interval time.Duration
+	// MinW / MaxW bound the controller's effective-W ladder (defaults
+	// max(1, DefaultW/8) and DefaultW). The effective W applies only to
+	// requests that do not pin their own "w".
+	MinW, MaxW int
+	// Levels / Hysteresis / MinSamples / Deadband tune the controller
+	// (defaults per adaptive.ControllerConfig).
+	Levels     int
+	Hysteresis int
+	MinSamples uint64
+	Deadband   float64
+}
+
+// active reports whether any adaptive behaviour is configured.
+func (a AdaptiveServing) active() bool {
+	return a.Policy.Enabled() || a.RecallTarget > 0
+}
+
+// adaptiveKnobs returns the operating point for the next search: the
+// controller's current knobs when the closed loop runs, the static
+// policy otherwise. ok is false when adaptive serving is off entirely.
+func (s *Server) adaptiveKnobs() (kn adaptive.Knobs, effort int, ok bool) {
+	if k := s.knobs.Load(); k != nil {
+		return *k, int(s.effort.Load()), true
+	}
+	p := s.Adaptive.Policy
+	if !p.Enabled() {
+		return adaptive.Knobs{}, 0, false
+	}
+	return adaptive.Knobs{
+		StopPatience:   p.StopPatience,
+		MinClusters:    p.MinClusters,
+		EscalateFactor: p.EscalateFactor,
+		Margin:         p.Margin,
+	}, 0, true
+}
+
+// controllerConfig builds the effort ladder from the serving knobs. The
+// cheap end terminates scans aggressively at a narrow W with no
+// escalation; the expensive end scans MaxW clusters with patience equal
+// to the full width (termination effectively off) and the configured
+// escalation margin. Start is the top — the controller relaxes downward
+// from the safe operating point.
+func (s *Server) controllerConfig() adaptive.ControllerConfig {
+	a := s.Adaptive
+	p := a.Policy
+	maxW := a.MaxW
+	if maxW <= 0 {
+		maxW = s.DefaultW
+	}
+	if maxW < 1 {
+		maxW = 32
+	}
+	minW := a.MinW
+	if minW <= 0 {
+		minW = maxW / 8
+	}
+	if minW < 1 {
+		minW = 1
+	}
+	minc := p.MinClusters
+	if minc < 1 {
+		minc = 1
+	}
+	patLow := p.StopPatience
+	if patLow <= 0 {
+		patLow = 1
+	}
+	levels := a.Levels
+	if levels <= 0 {
+		levels = 8
+	}
+	return adaptive.ControllerConfig{
+		Target:     a.RecallTarget,
+		Deadband:   a.Deadband,
+		Hysteresis: a.Hysteresis,
+		MinSamples: a.MinSamples,
+		Low: adaptive.Knobs{W: minW, StopPatience: patLow, MinClusters: minc,
+			EscalateFactor: p.EscalateFactor, Margin: 0},
+		High: adaptive.Knobs{W: maxW, StopPatience: maxW, MinClusters: minc,
+			EscalateFactor: p.EscalateFactor, Margin: p.Margin},
+		Levels: levels,
+		Start:  levels,
+	}
+}
+
+// initAdaptive registers the adaptive instruments and, when a
+// RecallTarget is set with an estimator attached, starts the controller
+// goroutine. Idempotent, called from Handler.
+func (s *Server) initAdaptive() {
+	if !s.Adaptive.active() {
+		return
+	}
+	s.adaptOnce.Do(func() {
+		reg := s.m.reg
+		s.m.adaptClusters = reg.Counter("anna_adaptive_clusters_scanned",
+			"Inverted lists scanned by adaptive searches (fewer than queries*W under early termination).")
+		s.m.adaptEsc = reg.Counter("anna_adaptive_escalations_total",
+			"Candidates re-scored through the SQ8 precision-escalation band.")
+		knob := func(name string, get func(kn adaptive.Knobs, effort int) float64) {
+			reg.GaugeFunc("anna_adaptive_knob",
+				"Current adaptive operating point by knob.",
+				func() float64 { kn, eff, _ := s.adaptiveKnobs(); return get(kn, eff) },
+				metrics.Label{Key: "name", Value: name})
+		}
+		knob("w", func(kn adaptive.Knobs, _ int) float64 {
+			if kn.W > 0 {
+				return float64(kn.W)
+			}
+			return float64(s.DefaultW)
+		})
+		knob("stop_patience", func(kn adaptive.Knobs, _ int) float64 { return float64(kn.StopPatience) })
+		knob("escalate_factor", func(kn adaptive.Knobs, _ int) float64 { return float64(kn.EscalateFactor) })
+		knob("margin", func(kn adaptive.Knobs, _ int) float64 { return float64(kn.Margin) })
+		knob("effort", func(_ adaptive.Knobs, eff int) float64 { return float64(eff) })
+
+		if s.Adaptive.RecallTarget <= 0 || s.Recall == nil {
+			return
+		}
+		ctrl := adaptive.NewController(s.controllerConfig())
+		kn := ctrl.Knobs()
+		s.knobs.Store(&kn)
+		s.effort.Store(int64(ctrl.Level()))
+		interval := s.Adaptive.Interval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		s.ctrlStop = make(chan struct{})
+		s.ctrlDone = make(chan struct{})
+		go s.controllerLoop(ctrl, interval)
+	})
+}
+
+// controllerLoop drives the recall-SLO controller: each tick feeds the
+// estimator's rolling recall and processed-sample count into the state
+// machine and publishes the resulting knobs for searches to pick up.
+func (s *Server) controllerLoop(ctrl *adaptive.Controller, interval time.Duration) {
+	defer close(s.ctrlDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctrlStop:
+			return
+		case <-t.C:
+			rolling := s.Recall.Rolling()
+			_, _, _, processed := s.Recall.Stats()
+			kn, changed := ctrl.Observe(rolling, processed)
+			if !changed {
+				continue
+			}
+			k := kn
+			s.knobs.Store(&k)
+			s.effort.Store(int64(ctrl.Level()))
+			s.slogger().Info("adaptive controller stepped",
+				"recall", rolling,
+				"target", s.Adaptive.RecallTarget,
+				"effort", ctrl.Level(), "max_effort", ctrl.MaxLevel(),
+				"w", kn.W, "stop_patience", kn.StopPatience,
+				"escalate_factor", kn.EscalateFactor, "margin", kn.Margin,
+				"steps", ctrl.Steps())
+		}
+	}
 }
 
 // serverMetrics bundles the registry and the pre-created instruments of
@@ -179,11 +378,16 @@ type serverMetrics struct {
 	walAppend   *metrics.Histogram
 	walFsync    *metrics.Histogram
 	snapDur     *metrics.Histogram
+
+	// adaptive instruments, nil until initAdaptive.
+	adaptClusters *metrics.Counter
+	adaptEsc      *metrics.Counter
 }
 
 // stageNames are the per-request engine stage histograms exported as
-// anna_stage_duration_seconds{stage=...}.
-var stageNames = []string{"select", "scan", "merge"}
+// anna_stage_duration_seconds{stage=...}. rerank only observes non-zero
+// values under adaptive precision escalation.
+var stageNames = []string{"select", "scan", "rerank", "merge"}
 
 func newServerMetrics(s *Server) *serverMetrics {
 	reg := metrics.NewRegistry()
@@ -397,6 +601,10 @@ func (s *Server) initQoS() {
 // Callers shut the HTTP listener down first (http.Server.Shutdown), so
 // by the time Close drains no new Submits arrive.
 func (s *Server) Close() {
+	if s.ctrlStop != nil {
+		s.ctrlOnce.Do(func() { close(s.ctrlStop) })
+		<-s.ctrlDone
+	}
 	if b := s.batcher.Load(); b != nil {
 		b.Drain()
 	}
@@ -408,17 +616,29 @@ func (s *Server) Close() {
 // so a row carrying it can never be stored after an invalidation that
 // its search did not observe.
 func (s *Server) searchLocked(ctx context.Context, queries [][]float32, w, k int) ([]servedRow, *BatchReport, error) {
+	opt := SearchOptions{W: w, K: k, Mode: ClusterMajor}
+	kn, effort, adaptOn := s.adaptiveKnobs()
+	if adaptOn {
+		// The engine forces query-at-a-time under an enabled policy;
+		// disabled knob values keep this bit-identical to the fixed path.
+		opt.Adaptive = AdaptiveOptions{
+			StopPatience:   kn.StopPatience,
+			MinClusters:    kn.MinClusters,
+			EscalateFactor: kn.EscalateFactor,
+			Margin:         kn.Margin,
+		}
+	}
 	s.mu.RLock()
 	var gen uint64
 	if c := s.cache.Load(); c != nil {
 		gen = c.Gen()
 	}
-	rep, err := s.idx.SearchBatchContext(ctx, queries, SearchOptions{W: w, K: k, Mode: ClusterMajor})
+	rep, err := s.idx.SearchBatchContext(ctx, queries, opt)
 	s.mu.RUnlock()
 	if err != nil {
 		return nil, nil, err
 	}
-	s.recordSearch(len(queries), rep)
+	s.recordSearch(len(queries), rep, adaptOn)
 	if s.Recall != nil {
 		s.Recall.OfferBatch(queries, rep.Results)
 	}
@@ -427,7 +647,10 @@ func (s *Server) searchLocked(ctx context.Context, queries [][]float32, w, k int
 		rows[i] = servedRow{
 			res: r, gen: gen,
 			sel: rep.SelectTime, scan: rep.ScanTime, merge: rep.MergeTime,
-			scanned: rep.ScannedVectors,
+			rerank:   rep.RerankTime,
+			scanned:  rep.ScannedVectors,
+			clusters: rep.ClustersScanned, escalated: rep.Escalations,
+			effort: effort,
 		}
 	}
 	return rows, rep, nil
@@ -441,10 +664,21 @@ func (s *Server) runCoalesced(ctx context.Context, queries [][]float32, w, k int
 
 // appendCacheKey builds the result-cache key for one query: the search
 // knobs followed by the index's PQ code of the query. Only the software
-// backend is cached, so the backend is not part of the key.
+// backend is cached, so the backend is not part of the key. When
+// adaptive serving is active the effort knobs join the key, so a
+// controller step makes prior entries unreachable instead of serving
+// results computed at a different operating point. (A step landing
+// inside a request's coalescing window can still cache a row under the
+// neighbouring rung — one window of staleness, one ladder level apart.)
 func (s *Server) appendCacheKey(dst []byte, q []float32, w, k int) []byte {
 	dst = binary.AppendUvarint(dst, uint64(w))
 	dst = binary.AppendUvarint(dst, uint64(k))
+	if kn, _, ok := s.adaptiveKnobs(); ok {
+		dst = binary.AppendUvarint(dst, uint64(kn.StopPatience))
+		dst = binary.AppendUvarint(dst, uint64(kn.MinClusters))
+		dst = binary.AppendUvarint(dst, uint64(kn.EscalateFactor))
+		dst = binary.AppendUvarint(dst, uint64(math.Float32bits(kn.Margin)))
+	}
 	return s.idx.AppendQueryCode(dst, q)
 }
 
@@ -472,6 +706,7 @@ func retryAfterJitter() int { return qos.RetryAfterSeconds() }
 func (s *Server) Handler() http.Handler {
 	s.registerDurable()
 	s.registerRecall()
+	s.initAdaptive()
 	s.initQoS()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.instrument("search", s.handleSearch))
@@ -681,6 +916,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.W <= 0 {
 		req.W = s.DefaultW
+		// Under the recall-SLO controller the effective W is a tuned
+		// knob; a request that pins its own "w" is always honoured.
+		if kn := s.knobs.Load(); kn != nil && kn.W > 0 {
+			req.W = kn.W
+		}
 	}
 	if req.K <= 0 {
 		req.K = s.DefaultK
@@ -803,8 +1043,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 					// Stage spans of the engine batch the query rode in.
 					tr.AddSpan("select", row.sel)
 					tr.AddSpan("scan", row.scan)
+					if row.rerank > 0 {
+						tr.AddSpan("rerank", row.rerank)
+					}
 					tr.AddSpan("merge", row.merge)
 					tr.Scanned = row.scanned
+					tr.ClustersScanned = row.clusters
+					tr.Escalated = row.escalated
+					tr.Effort = row.effort
 				}
 			} else {
 				mrows, rep, err := s.searchLocked(ctx, miss, req.W, req.K)
@@ -823,8 +1069,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 					}
 					tr.AddSpan("select", rep.SelectTime)
 					tr.AddSpan("scan", rep.ScanTime)
+					if rep.RerankTime > 0 {
+						tr.AddSpan("rerank", rep.RerankTime)
+					}
 					tr.AddSpan("merge", rep.MergeTime)
 					tr.Scanned = rep.ScannedVectors
+					tr.ClustersScanned = rep.ClustersScanned
+					tr.Escalated = rep.Escalations
 				}
 			}
 			if cache != nil {
@@ -833,6 +1084,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 					sc.key = s.appendCacheKey(sc.key[:0], q, req.W, req.K)
 					cache.Put(sc.key, q, rows[at], rows[at].gen)
 				}
+			}
+		}
+		// Live traces get clusters_scanned/escalated attached inside the
+		// engine (via the trace context); the effort level is a serving
+		// concern, stamped here.
+		if tr != nil {
+			if _, eff, ok := s.adaptiveKnobs(); ok {
+				tr.Effort = eff
 			}
 		}
 		resp.Results = appendResults(sc, rows)
@@ -919,13 +1178,20 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // recordSearch feeds one software-backend batch report into the metrics.
-func (s *Server) recordSearch(nq int, rep *BatchReport) {
+func (s *Server) recordSearch(nq int, rep *BatchReport, adaptOn bool) {
 	s.m.queries.Add(uint64(nq))
 	s.m.scanned.Add(uint64(rep.ScannedVectors))
 	s.m.listBytes.Add(uint64(rep.ListBytesTouched))
 	s.m.stage["select"].ObserveDuration(rep.SelectTime)
 	s.m.stage["scan"].ObserveDuration(rep.ScanTime)
+	if rep.RerankTime > 0 {
+		s.m.stage["rerank"].ObserveDuration(rep.RerankTime)
+	}
 	s.m.stage["merge"].ObserveDuration(rep.MergeTime)
+	if adaptOn && s.m.adaptClusters != nil {
+		s.m.adaptClusters.Add(uint64(rep.ClustersScanned))
+		s.m.adaptEsc.Add(uint64(rep.Escalations))
+	}
 }
 
 func toSearchResults(in [][]Result) [][]searchResult {
@@ -1190,6 +1456,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if b := s.batcher.Load(); b != nil {
 		resp["batch_queue_depth"] = b.QueueDepth()
+	}
+	if kn, eff, ok := s.adaptiveKnobs(); ok {
+		w := kn.W
+		if w <= 0 {
+			w = s.DefaultW
+		}
+		ad := map[string]any{
+			"w":               w,
+			"stop_patience":   kn.StopPatience,
+			"min_clusters":    kn.MinClusters,
+			"escalate_factor": kn.EscalateFactor,
+			"margin":          kn.Margin,
+		}
+		if s.knobs.Load() != nil {
+			ad["effort"] = eff
+			ad["recall_target"] = s.Adaptive.RecallTarget
+			if s.Recall != nil {
+				ad["recall_rolling"] = s.Recall.Rolling()
+			}
+		}
+		resp["adaptive"] = ad
 	}
 	// Serving latency quantiles, once there is traffic to summarise.
 	if h := s.m.reqDuration["search"]; h.Count() > 0 {

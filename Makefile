@@ -21,7 +21,7 @@ test-noasm:
 	ANNA_NOSIMD=1 $(GO) test ./internal/simd/ ./internal/vecmath/ ./internal/pq/ ./internal/ivf/ ./internal/engine/
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/anna/ ./internal/adaptive/ ./internal/qos/ ./internal/cluster/... .
+	$(GO) test -race ./internal/engine/ ./internal/anna/ ./internal/adaptive/ ./internal/qos/ ./internal/cluster/... ./internal/tsdb/ ./internal/slo/ .
 
 # Mirrors .github/workflows/ci.yml exactly (same commands, same package
 # lists) so a green `make ci` means a green CI run. Keep in sync.
@@ -59,7 +59,7 @@ fmt-check:
 # sampler and the concurrent /search + /add cache-invalidation test).
 .PHONY: ci-race
 ci-race:
-	$(GO) test -race ./internal/simd/... ./internal/vecmath/... ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/trace/... ./internal/wal/... ./internal/qos/... ./internal/adaptive/... ./internal/cluster/... .
+	$(GO) test -race ./internal/simd/... ./internal/vecmath/... ./internal/engine/... ./internal/ivf/... ./internal/pq/... ./internal/kmeans/... ./internal/metrics/... ./internal/trace/... ./internal/wal/... ./internal/qos/... ./internal/adaptive/... ./internal/cluster/... ./internal/tsdb/... ./internal/slo/... .
 
 # The CI cluster-integration job: the multi-process fault-injection
 # harness (shard processes SIGKILLed mid-load) plus the router's
@@ -89,6 +89,7 @@ bench-smoke:
 	ANNA_NOSIMD=1 $(GO) run ./cmd/benchjson -suite engine -benchtime 10x -sweep-n 0 -out bench_ci_scalar.json
 	$(GO) run ./cmd/benchjson -suite build -benchtime 3x -out bench_ci_build.json
 	$(GO) run ./cmd/benchjson -suite serve -benchtime 300ms -out bench_ci_serve.json
+	sh scripts/obs_smoke.sh
 
 # Vet plus race-detected tests of the reworked engine worker pool and the
 # fused scan path (including the adaptive-effort policies).

@@ -188,8 +188,19 @@ func main() {
 	if tr != nil {
 		tr.Finish(0)
 		fmt.Printf("trace %s: %d queries in %v\n", tr.ID, tr.Queries, tr.Total.Round(time.Microsecond))
+		if tr.Parent != "" {
+			fmt.Printf("  %-10s %s\n", "parent", tr.Parent)
+		}
 		for _, sp := range tr.Spans {
 			fmt.Printf("  %-10s %v\n", sp.Name, sp.Duration.Round(time.Microsecond))
+		}
+		for _, hp := range tr.Hops {
+			mark := ""
+			if hp.Winner {
+				mark = " winner"
+			}
+			fmt.Printf("  shard%d/%s attempt %d %v%s\n",
+				hp.Shard, hp.Kind, hp.Attempt, hp.Duration.Round(time.Microsecond), mark)
 		}
 		if tr.Scanned > 0 {
 			fmt.Printf("  %-10s %d vectors\n", "scanned", tr.Scanned)

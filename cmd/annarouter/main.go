@@ -26,6 +26,14 @@
 //	GET  /healthz  router process liveness
 //	GET  /readyz   200 while at least one shard is ready
 //	GET  /metrics  Prometheus text exposition
+//
+// Observability (docs/ARCHITECTURE.md §4k): every routed request
+// carries an X-Request-ID and the X-Anna-Trace context to its shards,
+// so GET /debug/trace/{id} serves the cluster trace stitched with each
+// shard's view of the same request, GET /debug/queries lists recent
+// traces slowest-first with per-shard time breakdowns, GET /debug/tsdb
+// serves the embedded metrics ring, GET /alerts the SLO burn-rate
+// state, and GET /debug/dash a self-contained live dashboard.
 package main
 
 import (
@@ -74,6 +82,13 @@ func main() {
 		breakFailures = flag.Int("breaker-failures", 5, "consecutive failures that open a shard's circuit breaker")
 		breakCooldown = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker waits before its half-open probe")
 
+		slowQuery   = flag.Duration("slow", 250*time.Millisecond, "log and always record /search requests slower than this (negative = never)")
+		traceSample = flag.Int("trace-sample", 64, "trace 1-in-N untagged queries into /debug/queries (negative = only X-Request-ID-tagged queries)")
+		traceRing   = flag.Int("trace-ring", 256, "recent cluster traces buffered for /debug/queries and /debug/trace/{id}")
+		scrapeEvery = flag.Duration("scrape-every", 10*time.Second, "embedded tsdb scrape interval for /debug/tsdb and the SLO engine (negative = disabled)")
+		sloLatency  = flag.Duration("slo-latency-p99", 0, "latency SLO: p99 /search bound evaluated by burn-rate alerts on /alerts (0 = off)")
+		sloAvail    = flag.Float64("slo-availability", 0, "availability SLO objective in (0,1), partial-coverage-aware, e.g. 0.999 (0 = off)")
+
 		grace     = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain window")
 		logFormat = flag.String("log", "text", `structured log format: "text" or "json"`)
 	)
@@ -111,6 +126,15 @@ func main() {
 		DefaultW: *defaultW,
 		DefaultK: *defaultK,
 		MaxBatch: *maxBatch,
+
+		Logger:           logger,
+		SlowQuery:        *slowQuery,
+		TraceSampleEvery: *traceSample,
+		TraceRingSize:    *traceRing,
+		ScrapeEvery:      *scrapeEvery,
+		SLOLatencyP99:    *sloLatency,
+		SLOAvailability:  *sloAvail,
+
 		Shard: cluster.ShardOptions{
 			Timeout:          *shardTimeout,
 			AddTimeout:       *addTimeout,
@@ -158,6 +182,7 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("router error during shutdown", "err", err)
 		}
+		rt.Close()
 		logger.Info("shut down cleanly")
 	}
 }

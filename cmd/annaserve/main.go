@@ -42,11 +42,18 @@
 //	  -batch-window 1ms -cache 8192 \
 //	  -tenants "web=weight:4,lane:interactive;etl=rate:500,burst:1000,lane:bulk"
 //
-// Observability: logs are structured (-log text|json), 1-in-N queries
-// are traced (-trace-sample) into /debug/queries, requests slower than
-// -slow are logged, and -recall-fvecs starts a shadow recall estimator
-// that re-ranks sampled queries against exact search over that corpus
-// and publishes live recall@k on /metrics.
+// Observability (docs/ARCHITECTURE.md §4k): logs are structured (-log
+// text|json), 1-in-N queries are traced (-trace-sample) into
+// /debug/queries, requests slower than -slow are logged, and
+// -recall-fvecs starts a shadow recall estimator that re-ranks sampled
+// queries against exact search over that corpus and publishes live
+// recall@k on /metrics. Requests arriving with an X-Anna-Trace header
+// (from annarouter) are always traced as children of the caller's hop,
+// queryable under the same ID on /debug/trace/{id}. An embedded tsdb
+// snapshots the serving metrics every -scrape-every (/debug/tsdb), and
+// -slo-latency-p99, -slo-availability and -slo-recall enable
+// multi-window burn-rate SLO alerts on /alerts, with a self-contained
+// live dashboard on /debug/dash.
 //
 // Adaptive effort (docs/ARCHITECTURE.md §4j): -adaptive enables
 // per-query early termination (tuned by -stop-patience) and, on indexes
@@ -168,6 +175,10 @@ func main() {
 		recallFvecs = flag.String("recall-fvecs", "", "fvecs reference corpus for live shadow recall estimation (empty = disabled)")
 		recallEvery = flag.Int("recall-every", 100, "shadow-check 1-in-N served queries against exact search (with -recall-fvecs)")
 		recallK     = flag.Int("recall-k", 10, "recall@K depth of the shadow estimator (with -recall-fvecs)")
+		scrapeEvery = flag.Duration("scrape-every", 10*time.Second, "embedded tsdb scrape interval for /debug/tsdb and the SLO engine (negative = disabled)")
+		sloLatency  = flag.Duration("slo-latency-p99", 0, "latency SLO: p99 /search bound evaluated by burn-rate alerts on /alerts (0 = off)")
+		sloAvail    = flag.Float64("slo-availability", 0, "availability SLO objective in (0,1), e.g. 0.999 (0 = off)")
+		sloRecall   = flag.Float64("slo-recall", 0, "recall SLO: rolling shadow recall@k floor in (0,1] (requires -recall-fvecs; 0 = off)")
 		adaptiveOn  = flag.Bool("adaptive", false, "per-query adaptive effort: early scan termination, plus SQ8 precision escalation on rerank-enabled indexes")
 		stopPat     = flag.Int("stop-patience", 4, "stop a query's cluster scan after this many consecutive non-improving clusters (with -adaptive)")
 		escMargin   = flag.Float64("margin", 0.2, "escalation band width as a fraction of the candidate score spread (with -adaptive, rerank-enabled indexes)")
@@ -241,6 +252,10 @@ func main() {
 	srv.BatchMaxSize = *batchMax
 	srv.BatchMaxConcurrent = *batchConc
 	srv.CacheSize = *cacheSize
+	srv.ScrapeEvery = *scrapeEvery
+	srv.SLOLatencyP99 = *sloLatency
+	srv.SLOAvailability = *sloAvail
+	srv.SLORecall = *sloRecall
 	if *tenantsSpec != "" {
 		tenants, terr := qos.ParseTenants(*tenantsSpec)
 		if terr != nil {
@@ -260,6 +275,9 @@ func main() {
 	}
 	if *recallTgt > 0 && srv.Recall == nil {
 		fatal("-recall-target requires -recall-fvecs: the live estimator is the controller's input")
+	}
+	if *sloRecall > 0 && srv.Recall == nil {
+		fatal("-slo-recall requires -recall-fvecs: the shadow estimator feeds the recall SLO")
 	}
 	if *adaptiveOn || *recallTgt > 0 {
 		srv.Adaptive = anna.AdaptiveServing{

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -11,7 +13,10 @@ import (
 	"time"
 
 	"anna/internal/metrics"
+	"anna/internal/slo"
 	"anna/internal/topk"
+	"anna/internal/trace"
+	"anna/internal/tsdb"
 )
 
 // Wire types mirroring the annaserve JSON API. The router speaks the
@@ -70,6 +75,34 @@ type Config struct {
 	MaxBatch int
 	// Shard configures the hardened per-shard client.
 	Shard ShardOptions
+
+	// Logger receives slow-query lines and SLO transitions (default
+	// slog.Default()).
+	Logger *slog.Logger
+	// TraceSampleEvery traces 1-in-N /search requests that did not opt
+	// in with an X-Request-ID header (default 64; negative disables
+	// sampling). A traced request records one hop per shard attempt and
+	// stamps the wire context on every outbound hop, so the shards'
+	// traces stitch under the same ID via /debug/trace/{id}.
+	TraceSampleEvery int
+	// SlowQuery is the latency threshold above which a traced /search is
+	// logged as slow (default 250ms; negative disables).
+	SlowQuery time.Duration
+	// TraceRingSize bounds the buffer behind /debug/queries (default 256).
+	TraceRingSize int
+	// ScrapeEvery is the embedded tsdb's scrape interval (default 10s;
+	// negative disables the tsdb, SLO engine, /alerts and /debug/dash).
+	ScrapeEvery time.Duration
+	// SLOLatencyP99 enables the latency SLO: at most 1% of /search
+	// requests may be slower than this bound. Zero disables it.
+	SLOLatencyP99 time.Duration
+	// SLOAvailability enables the availability SLO with this objective.
+	// On the router the bad-event ratio is partial-coverage-aware: a 5xx
+	// costs a full error, a degraded (partial-coverage) answer half one.
+	// Zero disables it.
+	SLOAvailability float64
+	// SLOOptions override the burn-rate windows (zero = defaults).
+	SLOOptions slo.Options
 }
 
 // Router is the scatter-gather front door of a sharded cluster. It
@@ -89,6 +122,13 @@ type Router struct {
 	partials   *metrics.Counter
 	unservable *metrics.Counter
 	duration   map[string]*metrics.Histogram
+
+	logger   *slog.Logger
+	rec      *trace.Recorder
+	db       *tsdb.DB
+	eng      *slo.Engine
+	resps    atomic.Uint64 // responses served (availability signal)
+	resps5xx atomic.Uint64 // responses with a 5xx status
 }
 
 // New returns a router over the configured shards.
@@ -153,7 +193,30 @@ func New(cfg Config) (*Router, error) {
 				return 0
 			}, lbl)
 	}
+	metrics.RegisterRuntime(rt.reg)
+	rt.logger = cfg.Logger
+	if rt.logger == nil {
+		rt.logger = slog.Default()
+	}
+	sample := cfg.TraceSampleEvery
+	if sample == 0 {
+		sample = 64
+	}
+	slowQ := cfg.SlowQuery
+	if slowQ == 0 {
+		slowQ = 250 * time.Millisecond
+	}
+	rt.rec = trace.NewRecorder(cfg.TraceRingSize, sample, slowQ, rt.logger)
+	rt.initObs(cfg)
 	return rt, nil
+}
+
+// Close stops the router's background scraper. The shard clients hold
+// no goroutines of their own.
+func (rt *Router) Close() {
+	if rt.db != nil {
+		rt.db.Close()
+	}
 }
 
 // Shards exposes the shard clients (metrics, tests, annaload).
@@ -175,6 +238,13 @@ func (rt *Router) Handler() http.Handler {
 	})
 	mux.HandleFunc("/readyz", rt.handleReadyz)
 	mux.Handle("/metrics", rt.reg.Handler())
+	mux.HandleFunc("/debug/queries", rt.handleDebugQueries)
+	mux.HandleFunc("/debug/trace/{id}", rt.handleDebugTrace)
+	if rt.db != nil {
+		mux.Handle("/debug/tsdb", rt.db.Handler())
+		mux.Handle("/alerts", rt.eng.Handler())
+		mux.Handle("/debug/dash", slo.DashHandler("annarouter"))
+	}
 	return mux
 }
 
@@ -194,6 +264,10 @@ func (rt *Router) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		rt.duration[name].ObserveDuration(time.Since(start))
+		rt.resps.Add(1)
+		if sw.code >= 500 {
+			rt.resps5xx.Add(1)
+		}
 		rt.reg.Counter("anna_http_requests_total", "Requests by handler and status code.",
 			metrics.Label{Key: "handler", Value: name},
 			metrics.Label{Key: "code", Value: strconv.Itoa(sw.code)}).Inc()
@@ -215,15 +289,16 @@ type shardReply struct {
 }
 
 // scatter sends the same request to every shard concurrently and
-// returns all replies (indexed by shard).
-func (rt *Router) scatter(r *http.Request, method, path string, body []byte) []shardReply {
+// returns all replies (indexed by shard). ctx carries the request ID
+// (and trace, when sampled) into every hop.
+func (rt *Router) scatter(ctx context.Context, method, path string, body []byte) []shardReply {
 	replies := make([]shardReply, len(rt.shards))
 	var wg sync.WaitGroup
 	for i, s := range rt.shards {
 		wg.Add(1)
 		go func(i int, s *Shard) {
 			defer wg.Done()
-			status, b, err := s.Do(r.Context(), method, path, body, true)
+			status, b, err := s.Do(ctx, method, path, body, true)
 			replies[i] = shardReply{shard: i, status: status, body: b, err: err}
 		}(i, s)
 	}
@@ -241,6 +316,34 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		rt.httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
+	}
+	start := time.Now()
+	// The request ID rides every shard hop and is echoed back, matching
+	// annaserve's contract: the client's ID when it sent one (which also
+	// forces a trace), a generated one otherwise.
+	reqID := r.Header.Get(HeaderRequestID)
+	tagged := reqID != ""
+	if !tagged {
+		reqID = trace.NewID()
+	}
+	w.Header().Set(HeaderRequestID, reqID)
+	ctx := WithRequestID(r.Context(), reqID)
+	var tr *trace.Trace
+	if tagged || rt.rec.ShouldSample() {
+		tr = trace.New(reqID)
+		tr.Start = start
+		// Shard.Do records one hop per attempt into this trace, and
+		// stamps the wire context on each outbound request so the shards'
+		// own traces stitch under the same ID.
+		ctx = trace.NewContext(ctx, tr)
+		defer func() {
+			code := http.StatusOK
+			if sw, ok := w.(*statusWriter); ok {
+				code = sw.code
+			}
+			tr.Finish(code)
+			rt.rec.Record(tr)
+		}()
 	}
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -264,13 +367,16 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = rt.defaultK
 	}
+	if tr != nil {
+		tr.Queries, tr.W, tr.K = len(req.Queries), req.W, req.K
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		rt.httpError(w, http.StatusInternalServerError, "encoding request: %v", err)
 		return
 	}
 
-	replies := rt.scatter(r, http.MethodPost, "/search", body)
+	replies := rt.scatter(ctx, http.MethodPost, "/search", body)
 
 	// A 4xx from any shard means the request itself is bad (shards are
 	// interchangeable for validation); relay the first one verbatim.
@@ -347,6 +453,12 @@ func (rt *Router) handleAdd(w http.ResponseWriter, r *http.Request) {
 		rt.httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	reqID := r.Header.Get(HeaderRequestID)
+	if reqID == "" {
+		reqID = trace.NewID()
+	}
+	w.Header().Set(HeaderRequestID, reqID)
+	ctx := WithRequestID(r.Context(), reqID)
 	var req addRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		rt.httpError(w, http.StatusBadRequest, "decoding request: %v", err)
@@ -364,7 +476,7 @@ func (rt *Router) handleAdd(w http.ResponseWriter, r *http.Request) {
 	start := int(rt.addRR.Add(1)-1) % len(rt.shards)
 	for off := 0; off < len(rt.shards); off++ {
 		s := rt.shards[(start+off)%len(rt.shards)]
-		status, b, err := s.Do(r.Context(), http.MethodPost, "/add", body, false)
+		status, b, err := s.Do(ctx, http.MethodPost, "/add", body, false)
 		if err != nil {
 			if r.Context().Err() != nil {
 				rt.httpError(w, http.StatusGatewayTimeout, "add canceled: %v", err)
@@ -418,7 +530,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		rt.httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	replies := rt.scatter(r, http.MethodGet, "/stats", nil)
+	replies := rt.scatter(r.Context(), http.MethodGet, "/stats", nil)
 	total := 0
 	shards := make([]map[string]any, len(replies))
 	for i, rep := range replies {

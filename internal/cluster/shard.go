@@ -8,16 +8,41 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"anna/internal/qos"
+	"anna/internal/trace"
 )
 
 // ErrShardDown is returned when a shard's circuit breaker is open (or
 // its half-open probe is already taken): the request was not sent.
 var ErrShardDown = errors.New("cluster: shard circuit open")
+
+// HeaderRequestID is the request-ID header propagated from router
+// clients through every shard hop, matching annaserve's contract.
+const HeaderRequestID = "X-Request-ID"
+
+// reqIDKey carries the request ID through a scatter so every shard hop
+// can stamp HeaderRequestID without threading an extra parameter
+// through Shard.Do's many call sites.
+type reqIDKey struct{}
+
+// WithRequestID returns ctx carrying the request ID for outbound hops.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
 
 // ShardOptions configure every remote hop to one shard.
 type ShardOptions struct {
@@ -205,6 +230,18 @@ func (r result) bad() bool { return r.err != nil || r.status >= 500 }
 func (s *Shard) Do(ctx context.Context, method, path string, body []byte, idempotent bool) (int, []byte, error) {
 	if !s.breaker.Allow() {
 		s.stats.FastFails.Add(1)
+		if tr := trace.FromContext(ctx); tr != nil {
+			// Nothing was sent, but the refusal must still be attributed:
+			// a stitched trace with a missing shard and no explanation is
+			// worse than no trace at all.
+			tr.AddHop(trace.Hop{
+				Shard:   s.Index,
+				Kind:    "fastfail",
+				Breaker: s.breaker.State(),
+				Err:     ErrShardDown.Error(),
+				Start:   time.Since(tr.Start),
+			})
+		}
 		return 0, nil, fmt.Errorf("%w: %s", ErrShardDown, s.Base)
 	}
 	s.budget.deposit()
@@ -214,7 +251,7 @@ func (s *Shard) Do(ctx context.Context, method, path string, body []byte, idempo
 	}
 	var last result
 	for try := 0; ; try++ {
-		last = s.attempt(ctx, method, path, body, idempotent)
+		last = s.attempt(ctx, method, path, body, idempotent, try)
 		if !last.bad() {
 			s.breaker.Success()
 			return last.status, last.body, nil
@@ -239,18 +276,38 @@ func (s *Shard) Do(ctx context.Context, method, path string, body []byte, idempo
 
 // attempt runs one logical try: a single request, or — when hedging is
 // enabled and the primary is slow — a primary/hedge race where the
-// first acceptable response wins and the loser is canceled.
-func (s *Shard) attempt(ctx context.Context, method, path string, body []byte, idempotent bool) result {
+// first acceptable response wins and the loser is canceled. try numbers
+// logical tries from 0 and shapes the recorded hop kind.
+func (s *Shard) attempt(ctx context.Context, method, path string, body []byte, idempotent bool, try int) result {
+	tr := trace.FromContext(ctx)
+	kind := "primary"
+	if try > 0 {
+		kind = "retry"
+	}
 	if !idempotent || s.opt.HedgeAfter <= 0 {
-		return s.once(ctx, method, path, body, idempotent)
+		start := time.Now()
+		r := s.once(ctx, method, path, body, idempotent)
+		s.recordHop(tr, r, kind, try+1, start, !r.bad())
+		return r
 	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	ch := make(chan result, 2)
-	launch := func() {
-		ch <- s.once(actx, method, path, body, idempotent)
+	// raced carries the attempt's kind and start alongside its result so
+	// the coordinator — the only goroutine that records hops — can
+	// attribute whatever it reads. A canceled loser's result is sent into
+	// the buffer but never read, so it never records a hop: a trace shows
+	// exactly the attempts whose outcome mattered.
+	type raced struct {
+		res   result
+		kind  string
+		start time.Time
 	}
-	go launch()
+	ch := make(chan raced, 2)
+	launch := func(k string) {
+		st := time.Now()
+		ch <- raced{res: s.once(actx, method, path, body, idempotent), kind: k, start: st}
+	}
+	go launch(kind)
 	outstanding := 1
 	hedged := false
 	timer := time.NewTimer(s.hedgeDelay())
@@ -258,12 +315,14 @@ func (s *Shard) attempt(ctx context.Context, method, path string, body []byte, i
 	var last result
 	for {
 		select {
-		case r := <-ch:
+		case rr := <-ch:
 			outstanding--
-			if !r.bad() {
-				return r // cancel (deferred) reels the loser in
+			win := !rr.res.bad()
+			s.recordHop(tr, rr.res, rr.kind, try+1, rr.start, win)
+			if win {
+				return rr.res // cancel (deferred) reels the loser in
 			}
-			last = r
+			last = rr.res
 			if outstanding == 0 {
 				return last
 			}
@@ -274,12 +333,35 @@ func (s *Shard) attempt(ctx context.Context, method, path string, body []byte, i
 				hedged = true
 				s.stats.Hedges.Add(1)
 				outstanding++
-				go launch()
+				go launch("hedge")
 			}
 		case <-ctx.Done():
 			return result{err: ctx.Err()}
 		}
 	}
+}
+
+// recordHop attributes one finished attempt to the request's trace.
+// No-op (and allocation-free) when the request is untraced.
+func (s *Shard) recordHop(tr *trace.Trace, r result, kind string, attempt int, start time.Time, winner bool) {
+	if tr == nil {
+		return
+	}
+	h := trace.Hop{
+		Shard:    s.Index,
+		Attempt:  attempt,
+		Kind:     kind,
+		Winner:   winner,
+		Breaker:  s.breaker.State(),
+		Status:   r.status,
+		Bytes:    int64(len(r.body)),
+		Start:    start.Sub(tr.Start),
+		Duration: time.Since(start),
+	}
+	if r.err != nil {
+		h.Err = r.err.Error()
+	}
+	tr.AddHop(h)
 }
 
 // hedgeDelay is the observed p99 clamped to [HedgeAfter, HedgeMax];
@@ -316,6 +398,15 @@ func (s *Shard) once(ctx context.Context, method, path string, body []byte, idem
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		req.Header.Set(HeaderRequestID, id)
+	}
+	if tr := trace.FromContext(ctx); tr != nil {
+		// Cross-process trace context: the shard's own trace adopts this
+		// ID and names its parent span, so the router can stitch the
+		// shard-side view into its cluster trace afterwards.
+		req.Header.Set(trace.HeaderWire, trace.FormatWire(tr.ID, "shard"+strconv.Itoa(s.Index)))
 	}
 	s.stats.Requests.Add(1)
 	start := time.Now()

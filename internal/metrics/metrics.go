@@ -343,6 +343,34 @@ func (h *Histogram) BucketCounts() []uint64 {
 	return out
 }
 
+// CountLE returns the cumulative number of observations in buckets
+// whose upper bound is <= bound — the histogram's exact count of
+// values known to be at or under bound, the way a Prometheus
+// `le="bound"` bucket series reads. Callers building latency-SLO
+// signals pass a bucket bound (see NearestBound); a bound between
+// bucket edges undercounts by the partial bucket.
+func (h *Histogram) CountLE(bound float64) uint64 {
+	var cum uint64
+	for i, up := range h.upper {
+		if up > bound {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return cum
+}
+
+// NearestBound returns the smallest bucket upper bound >= v (clamped to
+// the largest finite bound), i.e. the tightest threshold CountLE can
+// answer exactly for this histogram.
+func (h *Histogram) NearestBound(v float64) float64 {
+	i := sort.SearchFloat64s(h.upper, v)
+	if i == len(h.upper) {
+		i = len(h.upper) - 1
+	}
+	return h.upper[i]
+}
+
 // Quantile estimates the q-th quantile (0 < q <= 1) by linear
 // interpolation inside the bucket containing it, the same estimate
 // Prometheus's histogram_quantile computes. Values in the +Inf bucket

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	rm "runtime/metrics"
+	"sync"
+)
+
+// Runtime-health gauges sourced from the runtime/metrics package: the
+// four signals that explain most "the process feels sick" reports —
+// goroutine count (leak or stall fan-out), heap in use (live set
+// growth), GC pause p99 (latency spikes stolen by the collector), and
+// scheduler latency p99 (CPU starvation: runnable goroutines waiting
+// for a thread).
+
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGCPauses   = "/gc/pauses:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+// runtimeSampler reads the four series in one runtime/metrics.Read call
+// per scrape, shared by the gauges so a /metrics render is one read,
+// not four.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	samples []rm.Sample
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	s := &runtimeSampler{samples: make([]rm.Sample, 4)}
+	for i, name := range []string{rmGoroutines, rmHeapBytes, rmGCPauses, rmSchedLat} {
+		s.samples[i].Name = name
+	}
+	return s
+}
+
+// value reads all series and returns the sample at index i: a plain
+// float for counters/gauges, the p99 for histogram-valued series.
+func (s *runtimeSampler) value(i int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rm.Read(s.samples)
+	v := s.samples[i].Value
+	switch v.Kind() {
+	case rm.KindUint64:
+		return float64(v.Uint64())
+	case rm.KindFloat64:
+		return v.Float64()
+	case rm.KindFloat64Histogram:
+		return histQuantile(v.Float64Histogram(), 0.99)
+	default:
+		return 0
+	}
+}
+
+// histQuantile estimates the q-th quantile of a runtime/metrics
+// cumulative histogram, returning the upper edge of the bucket holding
+// the rank (0 when empty; +Inf edges clamp to the last finite edge).
+// runtime histograms are cumulative over the process lifetime, so this
+// is a lifetime p99, not a windowed one — stable, and exactly what a
+// "has this process ever been starved" gauge should read.
+func histQuantile(h *rm.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			// Bucket i spans Buckets[i] .. Buckets[i+1].
+			edge := h.Buckets[i+1]
+			if math.IsInf(edge, 1) {
+				edge = h.Buckets[i]
+			}
+			return edge
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// RegisterRuntime exposes the Go runtime health gauges on r:
+// anna_go_goroutines, anna_go_heap_inuse_bytes,
+// anna_go_gc_pause_p99_seconds and anna_go_sched_latency_p99_seconds.
+// Safe to call more than once on the same registry (get-or-create).
+func RegisterRuntime(r *Registry) {
+	s := newRuntimeSampler()
+	r.GaugeFunc("anna_go_goroutines",
+		"Live goroutines (runtime/metrics /sched/goroutines).",
+		func() float64 { return s.value(0) })
+	r.GaugeFunc("anna_go_heap_inuse_bytes",
+		"Bytes occupied by live and dead heap objects (/memory/classes/heap/objects).",
+		func() float64 { return s.value(1) })
+	r.GaugeFunc("anna_go_gc_pause_p99_seconds",
+		"p99 stop-the-world GC pause over the process lifetime (/gc/pauses).",
+		func() float64 { return s.value(2) })
+	r.GaugeFunc("anna_go_sched_latency_p99_seconds",
+		"p99 time runnable goroutines waited for a thread, process lifetime (/sched/latencies).",
+		func() float64 { return s.value(3) })
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	RegisterRuntime(reg) // idempotent: get-or-create, no panic
+
+	// Force some GC history so the pause histogram has samples.
+	runtime.GC()
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	out := b.String()
+	for _, name := range []string{
+		"anna_go_goroutines",
+		"anna_go_heap_inuse_bytes",
+		"anna_go_gc_pause_p99_seconds",
+		"anna_go_sched_latency_p99_seconds",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+
+	s := newRuntimeSampler()
+	if g := s.value(0); g < 1 {
+		t.Errorf("goroutines gauge %v, want >= 1", g)
+	}
+	if h := s.value(1); h <= 0 {
+		t.Errorf("heap gauge %v, want > 0", h)
+	}
+	if p := s.value(2); p < 0 {
+		t.Errorf("gc pause p99 %v, want >= 0", p)
+	}
+}
+
+func TestHistogramCountLE(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t", "", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	if got := h.CountLE(0.01); got != 2 {
+		t.Errorf("CountLE(0.01) = %d, want 2", got)
+	}
+	if got := h.CountLE(0.1); got != 3 {
+		t.Errorf("CountLE(0.1) = %d, want 3", got)
+	}
+	// A mid-bucket bound only counts fully-contained buckets.
+	if got := h.CountLE(0.05); got != 2 {
+		t.Errorf("CountLE(0.05) = %d, want 2", got)
+	}
+	if got := h.NearestBound(0.05); got != 0.1 {
+		t.Errorf("NearestBound(0.05) = %v, want 0.1", got)
+	}
+	if got := h.NearestBound(5); got != 0.1 {
+		t.Errorf("NearestBound(5) = %v, want clamp to 0.1", got)
+	}
+}

@@ -1,0 +1,135 @@
+package slo
+
+import "net/http"
+
+// DashHandler serves /debug/dash: a single self-contained HTML page —
+// no external assets, styles and script inline — that polls the
+// process's own /alerts, /debug/tsdb and /debug/queries endpoints and
+// renders SLO state, error-budget bars, sparklines per series, and the
+// slowest recent traces. The same page works for annaserve and
+// annarouter because it only speaks those three endpoints.
+func DashHandler(title string) http.Handler {
+	page := []byte(`<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>` + title + ` — anna dashboard</title>
+<style>
+ body{font:13px/1.5 -apple-system,"Segoe UI",Roboto,sans-serif;margin:0;background:#0d1117;color:#c9d1d9}
+ header{padding:10px 18px;background:#161b22;border-bottom:1px solid #30363d;display:flex;gap:14px;align-items:baseline}
+ header h1{font-size:15px;margin:0;color:#e6edf3}
+ header .sub{color:#8b949e;font-size:12px}
+ main{padding:14px 18px;max-width:1100px}
+ h2{font-size:13px;color:#8b949e;text-transform:uppercase;letter-spacing:.06em;margin:18px 0 8px}
+ .cards{display:flex;flex-wrap:wrap;gap:10px}
+ .card{background:#161b22;border:1px solid #30363d;border-radius:6px;padding:10px 14px;min-width:220px}
+ .card .name{font-weight:600;color:#e6edf3}
+ .state{display:inline-block;padding:1px 8px;border-radius:10px;font-size:11px;font-weight:600;margin-left:8px}
+ .state.ok{background:#1a7f37;color:#fff}.state.pending{background:#9e6a03;color:#fff}.state.firing{background:#da3633;color:#fff}
+ .budget{height:6px;background:#30363d;border-radius:3px;margin-top:8px;overflow:hidden}
+ .budget i{display:block;height:100%;background:#2ea043}
+ .budget i.low{background:#da3633}
+ .burns{color:#8b949e;font-size:11px;margin-top:6px}
+ table{border-collapse:collapse;width:100%}
+ td,th{padding:3px 10px 3px 0;text-align:left;font-size:12px;border-bottom:1px solid #21262d}
+ th{color:#8b949e;font-weight:500}
+ td.num{font-variant-numeric:tabular-nums}
+ .spark{display:grid;grid-template-columns:repeat(auto-fill,minmax(240px,1fr));gap:10px}
+ .spark .card{min-width:0}
+ .spark .name{font-size:11px;color:#8b949e;font-weight:500;word-break:break-all}
+ svg{display:block;margin-top:4px}
+ .err{color:#f85149}
+ a{color:#58a6ff;text-decoration:none}
+</style>
+</head>
+<body>
+<header><h1>` + title + `</h1><span class="sub" id="updated">loading…</span></header>
+<main>
+<h2>SLOs</h2><div class="cards" id="slos"><span class="sub">no SLO engine configured</span></div>
+<h2>Series</h2><div class="spark" id="series"></div>
+<h2>Slowest queries</h2><div id="queries"><span class="sub">no traces yet</span></div>
+</main>
+<script>
+"use strict";
+function esc(s){return String(s).replace(/[&<>"]/g,c=>({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));}
+function fmtMs(ns){return (ns/1e6).toFixed(2)+"ms";}
+function sparkline(pts){
+  const w=230,h=36;
+  if(!pts||pts.length<2)return '<svg width="'+w+'" height="'+h+'"></svg>';
+  let min=Infinity,max=-Infinity;
+  for(const p of pts){if(p.v<min)min=p.v;if(p.v>max)max=p.v;}
+  if(max===min){max=min+1;}
+  const t0=pts[0].t,t1=pts[pts.length-1].t||t0+1;
+  const xy=pts.map(p=>{
+    const x=t1===t0?0:(p.t-t0)/(t1-t0)*(w-2)+1;
+    const y=h-2-((p.v-min)/(max-min))*(h-4);
+    return x.toFixed(1)+","+y.toFixed(1);
+  }).join(" ");
+  const last=pts[pts.length-1].v;
+  return '<svg width="'+w+'" height="'+h+'" viewBox="0 0 '+w+' '+h+'">'+
+    '<polyline fill="none" stroke="#58a6ff" stroke-width="1.2" points="'+xy+'"/></svg>'+
+    '<span class="sub">last '+(Math.abs(last)>=1000?last.toExponential(2):+last.toPrecision(4))+'</span>';
+}
+async function getJSON(url){
+  const r=await fetch(url,{cache:"no-store"});
+  if(!r.ok)throw new Error(url+" → "+r.status);
+  return r.json();
+}
+async function refresh(){
+  const errs=[];
+  try{
+    const a=await getJSON("/alerts");
+    const el=document.getElementById("slos");
+    if(a.slos&&a.slos.length){
+      el.innerHTML=a.slos.map(s=>{
+        const pct=Math.round(s.budget_remaining*100);
+        const burns=s.burn_rates.map(b=>b.window+": "+b.burn_rate.toFixed(2)+"x").join(" · ");
+        return '<div class="card"><span class="name">'+esc(s.slo)+'</span>'+
+          '<span class="state '+esc(s.state)+'">'+esc(s.state)+'</span>'+
+          '<div class="budget"><i class="'+(pct<25?"low":"")+'" style="width:'+pct+'%"></i></div>'+
+          '<div class="sub">budget remaining '+pct+'% · objective '+s.objective+'</div>'+
+          '<div class="burns">'+esc(burns)+'</div></div>';
+      }).join("");
+    }
+  }catch(e){errs.push(e.message);}
+  try{
+    const t=await getJSON("/debug/tsdb");
+    const names=Object.keys(t.series).sort();
+    document.getElementById("series").innerHTML=names.map(n=>
+      '<div class="card"><span class="name">'+esc(n)+'</span>'+sparkline(t.series[n])+'</div>'
+    ).join("");
+  }catch(e){errs.push(e.message);}
+  try{
+    const q=await getJSON("/debug/queries?n=10");
+    // annaserve returns trace objects; annarouter wraps each as
+    // {trace, shard_ns} — unwrap either shape.
+    const list=(Array.isArray(q)?q:(q.traces||[])).map(e=>e&&e.trace?e.trace:e);
+    if(list.length){
+      document.getElementById("queries").innerHTML=
+        '<table><tr><th>trace</th><th>total</th><th>spans / hops</th></tr>'+
+        list.map(tr=>{
+          const parts=[];
+          for(const sp of (tr.spans||[]))parts.push(esc(sp.name)+" "+fmtMs(sp.duration_ns));
+          for(const hp of (tr.hops||[]))parts.push("shard"+hp.shard+"/"+esc(hp.kind)+(hp.winner?"*":"")+" "+fmtMs(hp.duration_ns));
+          return '<tr><td><a href="/debug/trace/'+esc(tr.id)+'">'+esc(tr.id)+'</a></td>'+
+            '<td class="num">'+fmtMs(tr.total_ns)+'</td><td>'+parts.join(" · ")+'</td></tr>';
+        }).join("")+'</table>';
+    }
+  }catch(e){errs.push(e.message);}
+  document.getElementById("updated").innerHTML=
+    errs.length?'<span class="err">'+esc(errs.join("; "))+'</span>':"updated "+new Date().toLocaleTimeString();
+}
+refresh();setInterval(refresh,2000);
+</script>
+</body>
+</html>
+`)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(page)
+	})
+}

@@ -1,0 +1,371 @@
+// Package slo evaluates service-level objectives over the embedded
+// tsdb (internal/tsdb) with multi-window burn-rate alerting, the
+// SRE-workbook shape: an alert fires when both windows of a pair burn
+// error budget faster than the pair's threshold — a fast pair (default
+// 5m/1h at 14.4x budget) that pages quickly on hard outages, and a slow
+// pair (default 30m/6h at 6x) that catches sustained simmering burn.
+// The short window of each pair also clears the alert promptly once the
+// condition ends.
+//
+// Every SLO is expressed the same way: an objective (the good-event
+// ratio target, e.g. 0.999) and a BadRatio function returning the
+// bad-event ratio over a window. Burn rate = bad ratio / (1 −
+// objective): burning exactly the budget is 1.0, a total outage on a
+// 99.9% objective is 1000.
+package slo
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"anna/internal/metrics"
+	"anna/internal/tsdb"
+)
+
+// State is an alert's lifecycle position.
+type State string
+
+const (
+	OK State = "ok"
+	// Pending means a short window is burning hot but its pair's long
+	// window has not confirmed yet — the stage before firing.
+	Pending State = "pending"
+	Firing  State = "firing"
+)
+
+// Options shape the engine's windows and thresholds. Zero values take
+// the documented defaults.
+type Options struct {
+	FastShort, FastLong time.Duration // default 5m, 1h
+	SlowShort, SlowLong time.Duration // default 30m, 6h
+	FastBurn, SlowBurn  float64       // default 14.4, 6
+	// Logger receives fire/clear transitions (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.FastShort <= 0 {
+		o.FastShort = 5 * time.Minute
+	}
+	if o.FastLong <= 0 {
+		o.FastLong = time.Hour
+	}
+	if o.SlowShort <= 0 {
+		o.SlowShort = 30 * time.Minute
+	}
+	if o.SlowLong <= 0 {
+		o.SlowLong = 6 * time.Hour
+	}
+	if o.FastBurn <= 0 {
+		o.FastBurn = 14.4
+	}
+	if o.SlowBurn <= 0 {
+		o.SlowBurn = 6
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// BadRatioFunc returns the bad-event ratio (0..1) over the window
+// ending at now; ok=false means the window holds no signal (no traffic,
+// no scrapes yet) and the engine treats it as not burning.
+type BadRatioFunc func(window time.Duration, now time.Time) (bad float64, ok bool)
+
+// SLO is one objective under watch.
+type SLO struct {
+	// Name labels the alert, metrics and log lines ("latency_p99",
+	// "availability", "recall").
+	Name string
+	// Objective is the good-ratio target in (0,1); the error budget is
+	// 1 − Objective.
+	Objective float64
+	// BadRatio supplies the windowed bad-event ratio.
+	BadRatio BadRatioFunc
+}
+
+// WindowBurn is one window's burn rate in an Alert.
+type WindowBurn struct {
+	Window string  `json:"window"`
+	Burn   float64 `json:"burn_rate"`
+}
+
+// Alert is one SLO's evaluated state, the /alerts wire shape.
+type Alert struct {
+	SLO       string  `json:"slo"`
+	State     State   `json:"state"`
+	Objective float64 `json:"objective"`
+	// BudgetRemaining is the fraction of the error budget left over the
+	// slow-long window (clamped to [0,1]).
+	BudgetRemaining float64      `json:"budget_remaining"`
+	Burn            []WindowBurn `json:"burn_rates"`
+	// SinceMS is when the current state was entered (UnixMilli).
+	SinceMS int64 `json:"since_ms,omitempty"`
+}
+
+// sloState is the engine's mutable per-SLO record.
+type sloState struct {
+	state  State
+	since  time.Time
+	burns  [4]float64 // fastShort, fastLong, slowShort, slowLong
+	budget float64    // remaining fraction
+}
+
+// Engine evaluates a set of SLOs. Hook EvaluateAt to a tsdb scraper
+// (db.OnScrape(e.EvaluateAt)) so evaluation ticks with the data.
+type Engine struct {
+	opt  Options
+	slos []SLO
+
+	mu     sync.Mutex
+	states []sloState
+	lastAt time.Time
+}
+
+// New returns an engine over the given SLOs.
+func New(opt Options, slos ...SLO) *Engine {
+	e := &Engine{opt: opt.withDefaults(), slos: slos, states: make([]sloState, len(slos))}
+	for i := range e.states {
+		e.states[i] = sloState{state: OK, budget: 1}
+	}
+	return e
+}
+
+// windows returns the four evaluation windows in burn-slot order.
+func (e *Engine) windows() [4]time.Duration {
+	return [4]time.Duration{e.opt.FastShort, e.opt.FastLong, e.opt.SlowShort, e.opt.SlowLong}
+}
+
+// EvaluateAt runs one evaluation tick at the given time. It is
+// deterministic: same tsdb contents and now, same resulting state.
+func (e *Engine) EvaluateAt(now time.Time) {
+	wins := e.windows()
+	type verdict struct {
+		burns  [4]float64
+		budget float64
+		state  State
+	}
+	verdicts := make([]verdict, len(e.slos))
+	for i, s := range e.slos {
+		budget := 1 - s.Objective
+		if budget <= 0 {
+			budget = 1e-9 // a 100% objective burns instantly on any error
+		}
+		var v verdict
+		for w, win := range wins {
+			if bad, ok := s.BadRatio(win, now); ok {
+				v.burns[w] = bad / budget
+			}
+		}
+		v.budget = 1 - v.burns[3] // slow-long burn is budget consumption over the budget window
+		if v.budget < 0 {
+			v.budget = 0
+		}
+		if v.budget > 1 {
+			v.budget = 1
+		}
+		fastHot := v.burns[0] >= e.opt.FastBurn
+		fastFiring := fastHot && v.burns[1] >= e.opt.FastBurn
+		slowHot := v.burns[2] >= e.opt.SlowBurn
+		slowFiring := slowHot && v.burns[3] >= e.opt.SlowBurn
+		switch {
+		case fastFiring || slowFiring:
+			v.state = Firing
+		case fastHot || slowHot:
+			v.state = Pending
+		default:
+			v.state = OK
+		}
+		verdicts[i] = v
+	}
+
+	e.mu.Lock()
+	e.lastAt = now
+	type transition struct {
+		slo      string
+		from, to State
+		burns    [4]float64
+	}
+	var trans []transition
+	for i := range e.slos {
+		v := verdicts[i]
+		st := &e.states[i]
+		if v.state != st.state {
+			trans = append(trans, transition{slo: e.slos[i].Name, from: st.state, to: v.state, burns: v.burns})
+			st.state = v.state
+			st.since = now
+		} else if st.since.IsZero() {
+			st.since = now
+		}
+		st.burns = v.burns
+		st.budget = v.budget
+	}
+	e.mu.Unlock()
+
+	for _, tr := range trans {
+		attrs := []any{
+			"slo", tr.slo, "from", string(tr.from), "to", string(tr.to),
+			"burn_fast_short", tr.burns[0], "burn_fast_long", tr.burns[1],
+			"burn_slow_short", tr.burns[2], "burn_slow_long", tr.burns[3],
+		}
+		switch tr.to {
+		case Firing:
+			e.opt.Logger.Warn("slo alert firing", attrs...)
+		case OK:
+			e.opt.Logger.Info("slo alert cleared", attrs...)
+		default:
+			e.opt.Logger.Info("slo alert pending", attrs...)
+		}
+	}
+}
+
+// Status returns every SLO's current alert, in registration order.
+func (e *Engine) Status() []Alert {
+	wins := e.windows()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, len(e.slos))
+	for i, s := range e.slos {
+		st := e.states[i]
+		a := Alert{
+			SLO:             s.Name,
+			State:           st.state,
+			Objective:       s.Objective,
+			BudgetRemaining: st.budget,
+			Burn:            make([]WindowBurn, 4),
+		}
+		for w := range wins {
+			a.Burn[w] = WindowBurn{Window: wins[w].String(), Burn: st.burns[w]}
+		}
+		if !st.since.IsZero() {
+			a.SinceMS = st.since.UnixMilli()
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// Handler serves GET /alerts: the engine's full state as JSON.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, `{"error":"GET required"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		e.mu.Lock()
+		at := e.lastAt
+		e.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"evaluated_ms": at.UnixMilli(),
+			"slos":         e.Status(),
+		})
+	})
+}
+
+// Register publishes the engine's gauges on reg:
+// anna_slo_burn_rate{slo,window}, anna_slo_budget_remaining{slo} and
+// anna_slo_state{slo} (0 ok, 1 pending, 2 firing).
+func (e *Engine) Register(reg *metrics.Registry) {
+	wins := e.windows()
+	for i := range e.slos {
+		i := i
+		lbl := metrics.Label{Key: "slo", Value: e.slos[i].Name}
+		for w := range wins {
+			w := w
+			reg.GaugeFunc("anna_slo_burn_rate",
+				"Error-budget burn rate per SLO and window (1.0 = burning exactly the budget).",
+				func() float64 {
+					e.mu.Lock()
+					defer e.mu.Unlock()
+					return e.states[i].burns[w]
+				}, lbl, metrics.Label{Key: "window", Value: wins[w].String()})
+		}
+		reg.GaugeFunc("anna_slo_budget_remaining",
+			"Fraction of the error budget left over the slow-long window.",
+			func() float64 {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				return e.states[i].budget
+			}, lbl)
+		reg.GaugeFunc("anna_slo_state",
+			"Alert state per SLO: 0 ok, 1 pending, 2 firing.",
+			func() float64 {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				switch e.states[i].state {
+				case Firing:
+					return 2
+				case Pending:
+					return 1
+				}
+				return 0
+			}, lbl)
+	}
+}
+
+// BadShare builds a BadRatioFunc from counter-delta series in db: the
+// weighted sum of the bad series over the total series within the
+// window. The canonical availability signal is
+// BadShare(db, "requests", Part{"errors_5xx", 1}); a router adds
+// Part{"partials", 0.5} to make availability partial-coverage-aware —
+// a degraded answer costs half an error.
+func BadShare(db *tsdb.DB, total string, parts ...Part) BadRatioFunc {
+	return func(window time.Duration, now time.Time) (float64, bool) {
+		tot, n := db.Sum(total, window, now)
+		if n == 0 || tot <= 0 {
+			return 0, false
+		}
+		var bad float64
+		for _, p := range parts {
+			v, _ := db.Sum(p.Series, window, now)
+			bad += p.Weight * v
+		}
+		ratio := bad / tot
+		if ratio < 0 {
+			ratio = 0
+		}
+		if ratio > 1 {
+			ratio = 1
+		}
+		return ratio, true
+	}
+}
+
+// Part is one weighted bad-event series for BadShare.
+type Part struct {
+	Series string
+	Weight float64
+}
+
+// BadBelow builds a BadRatioFunc over a gauge series: the fraction of
+// scrapes in the window where the gauge sat below min — the recall-SLO
+// signal ("the rolling recall estimate must not dip under target").
+// Scrapes with no data (zero-valued before the source produced a
+// signal) can be excluded by passing skipZero.
+func BadBelow(db *tsdb.DB, series string, min float64, skipZero bool) BadRatioFunc {
+	return func(window time.Duration, now time.Time) (float64, bool) {
+		pts, ok := db.Query(series, window, now)
+		if !ok || len(pts) == 0 {
+			return 0, false
+		}
+		bad, n := 0, 0
+		for _, p := range pts {
+			if skipZero && p.V == 0 {
+				continue
+			}
+			n++
+			if p.V < min {
+				bad++
+			}
+		}
+		if n == 0 {
+			return 0, false
+		}
+		return float64(bad) / float64(n), true
+	}
+}

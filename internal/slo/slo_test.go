@@ -1,0 +1,236 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anna/internal/metrics"
+	"anna/internal/tsdb"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// buildScenario replays a deterministic 20-scrape timeline: 10 healthy
+// seconds, then 10 seconds at a 50% error rate with recall dipping
+// under target. Returns the engine after its final evaluation and the
+// timestamp of that evaluation.
+func buildScenario(t *testing.T, logger *slog.Logger) (*Engine, time.Time) {
+	t.Helper()
+	var reqs, errs atomic.Uint64
+	var recallMilli atomic.Uint64
+	db := tsdb.New(64,
+		tsdb.Series{Name: "requests", Kind: tsdb.CounterKind, Sample: func() float64 { return float64(reqs.Load()) }},
+		tsdb.Series{Name: "errors_5xx", Kind: tsdb.CounterKind, Sample: func() float64 { return float64(errs.Load()) }},
+		tsdb.Series{Name: "recall", Kind: tsdb.GaugeKind, Sample: func() float64 { return float64(recallMilli.Load()) / 1000 }},
+	)
+	eng := New(Options{
+		FastShort: 2 * time.Second, FastLong: 8 * time.Second,
+		SlowShort: 4 * time.Second, SlowLong: 16 * time.Second,
+		Logger: logger,
+	},
+		SLO{Name: "availability", Objective: 0.99, BadRatio: BadShare(db, "requests", Part{Series: "errors_5xx", Weight: 1})},
+		SLO{Name: "recall", Objective: 0.99, BadRatio: BadBelow(db, "recall", 0.99, true)},
+	)
+	db.OnScrape(eng.EvaluateAt)
+
+	base := time.UnixMilli(1_700_000_000_000)
+	var at time.Time
+	for i := 0; i < 20; i++ {
+		reqs.Add(100)
+		if i >= 10 {
+			errs.Add(50)
+			recallMilli.Store(950)
+		} else {
+			recallMilli.Store(995)
+		}
+		at = base.Add(time.Duration(i) * time.Second)
+		db.ScrapeAt(at)
+	}
+	return eng, at
+}
+
+func TestAlertsGolden(t *testing.T) {
+	eng, _ := buildScenario(t, quietLogger())
+
+	rec := httptest.NewRecorder()
+	eng.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/alerts", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, rec.Body.Bytes(), "", "  "); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+
+	golden := filepath.Join("testdata", "alerts.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, pretty.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(pretty.Bytes(), want) {
+		t.Errorf("alerts JSON drifted from golden:\ngot:\n%s\nwant:\n%s", pretty.Bytes(), want)
+	}
+}
+
+func TestScenarioFires(t *testing.T) {
+	var log bytes.Buffer
+	eng, _ := buildScenario(t, slog.New(slog.NewTextHandler(&log, nil)))
+	byName := map[string]Alert{}
+	for _, a := range eng.Status() {
+		byName[a.SLO] = a
+	}
+	if byName["availability"].State != Firing {
+		t.Errorf("availability state %s, want firing", byName["availability"].State)
+	}
+	if byName["recall"].State != Firing {
+		t.Errorf("recall state %s, want firing", byName["recall"].State)
+	}
+	if b := byName["availability"].BudgetRemaining; b != 0 {
+		t.Errorf("availability budget remaining %v, want 0 under 50%% errors", b)
+	}
+	if !strings.Contains(log.String(), "slo alert firing") {
+		t.Errorf("fire transition not logged:\n%s", log.String())
+	}
+}
+
+// The core acceptance shape: ok while healthy, firing under sustained
+// errors, back to ok once the fault clears and the windows drain.
+func TestTransitionsOKFiringOK(t *testing.T) {
+	var reqs, errs atomic.Uint64
+	db := tsdb.New(256,
+		tsdb.Series{Name: "requests", Kind: tsdb.CounterKind, Sample: func() float64 { return float64(reqs.Load()) }},
+		tsdb.Series{Name: "errors_5xx", Kind: tsdb.CounterKind, Sample: func() float64 { return float64(errs.Load()) }},
+	)
+	var log bytes.Buffer
+	eng := New(Options{
+		FastShort: 2 * time.Second, FastLong: 6 * time.Second,
+		SlowShort: 4 * time.Second, SlowLong: 10 * time.Second,
+		Logger: slog.New(slog.NewTextHandler(&log, nil)),
+	}, SLO{Name: "availability", Objective: 0.99, BadRatio: BadShare(db, "requests", Part{Series: "errors_5xx", Weight: 1})})
+	db.OnScrape(eng.EvaluateAt)
+
+	base := time.UnixMilli(0)
+	state := func() State { return eng.Status()[0].State }
+	step := func(i int, bad bool) {
+		reqs.Add(100)
+		if bad {
+			errs.Add(50)
+		}
+		db.ScrapeAt(base.Add(time.Duration(i) * time.Second))
+	}
+	i := 0
+	for ; i < 10; i++ {
+		step(i, false)
+	}
+	if got := state(); got != OK {
+		t.Fatalf("healthy phase state %s, want ok", got)
+	}
+	for ; i < 20; i++ {
+		step(i, true)
+	}
+	if got := state(); got != Firing {
+		t.Fatalf("fault phase state %s, want firing", got)
+	}
+	// Fault clears; after the fast-short window drains of bad scrapes the
+	// fast pair stops confirming, and once every window drains we are ok.
+	for ; i < 40; i++ {
+		step(i, false)
+	}
+	if got := state(); got != OK {
+		t.Fatalf("recovered state %s, want ok", got)
+	}
+	if !strings.Contains(log.String(), "slo alert cleared") {
+		t.Errorf("clear transition not logged:\n%s", log.String())
+	}
+}
+
+func TestNoTrafficIsNotBurning(t *testing.T) {
+	db := tsdb.New(16,
+		tsdb.Series{Name: "requests", Kind: tsdb.CounterKind, Sample: func() float64 { return 0 }},
+	)
+	eng := New(Options{Logger: quietLogger()},
+		SLO{Name: "availability", Objective: 0.999, BadRatio: BadShare(db, "requests")})
+	db.OnScrape(eng.EvaluateAt)
+	for i := 0; i < 5; i++ {
+		db.ScrapeAt(time.UnixMilli(int64(i) * 1000))
+	}
+	a := eng.Status()[0]
+	if a.State != OK || a.BudgetRemaining != 1 {
+		t.Errorf("idle service: state %s budget %v, want ok/1", a.State, a.BudgetRemaining)
+	}
+}
+
+func TestPartialWeight(t *testing.T) {
+	var reqs, partials atomic.Uint64
+	db := tsdb.New(16,
+		tsdb.Series{Name: "requests", Kind: tsdb.CounterKind, Sample: func() float64 { return float64(reqs.Load()) }},
+		tsdb.Series{Name: "partials", Kind: tsdb.CounterKind, Sample: func() float64 { return float64(partials.Load()) }},
+	)
+	bad := BadShare(db, "requests", Part{Series: "partials", Weight: 0.5})
+	base := time.UnixMilli(0)
+	db.ScrapeAt(base)
+	reqs.Add(100)
+	partials.Add(10)
+	db.ScrapeAt(base.Add(time.Second))
+	got, ok := bad(time.Minute, base.Add(time.Second))
+	if !ok || got != 0.05 {
+		t.Errorf("partial-weighted bad ratio = %v ok=%v, want 0.05", got, ok)
+	}
+}
+
+func TestRegisterPublishesGauges(t *testing.T) {
+	eng, _ := buildScenario(t, quietLogger())
+	reg := metrics.NewRegistry()
+	eng.Register(reg)
+	var b strings.Builder
+	reg.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`anna_slo_burn_rate{slo="availability",window="2s"}`,
+		`anna_slo_budget_remaining{slo="recall"}`,
+		`anna_slo_state{slo="availability"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDashHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	DashHandler("annaserve test").ServeHTTP(rec, httptest.NewRequest("GET", "/debug/dash", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"annaserve test", "/alerts", "/debug/tsdb", "/debug/queries"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dash page missing %q", want)
+		}
+	}
+	if strings.Contains(body, "http://") || strings.Contains(body, "https://") {
+		t.Error("dash page references external assets; must be self-contained")
+	}
+}

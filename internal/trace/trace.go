@@ -20,6 +20,8 @@ import (
 	"encoding/hex"
 	"log/slog"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -32,8 +34,37 @@ type Span struct {
 	Duration time.Duration `json:"duration_ns"`
 }
 
+// Hop is one remote shard attempt of a routed request: the
+// cluster-side child span the router records per try (primary, retry,
+// or hedge), attributed with everything an operator needs to explain
+// the hop — which shard, which attempt, whether it won the race, the
+// breaker's state at the time, and the bytes read back.
+type Hop struct {
+	Shard int `json:"shard"`
+	// Attempt numbers logical tries from 1; a hedge shares its
+	// primary's attempt number (it races within the same try).
+	Attempt int `json:"attempt"`
+	// Kind is "primary", "retry", "hedge", or "fastfail" (the breaker
+	// refused the request locally; nothing was sent).
+	Kind string `json:"kind"`
+	// Winner marks the attempt whose response the caller used.
+	Winner bool `json:"winner,omitempty"`
+	// Breaker is the shard breaker's state when the hop finished.
+	Breaker string `json:"breaker,omitempty"`
+	Status  int    `json:"status,omitempty"`
+	Err     string `json:"error,omitempty"`
+	// Bytes is the response body size read from the shard.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Start is the hop's offset from the trace start; with Duration it
+	// places the hop on the request's timeline.
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
 // Trace is the record of one served query batch. A Trace is built and
-// mutated by a single goroutine (the request handler) and becomes
+// mutated by a single goroutine (the request handler) — except Hops,
+// which AddHop guards with a mutex because a scatter-gather router
+// records them from concurrent per-shard goroutines — and becomes
 // visible to concurrent readers only after Recorder.Record publishes it
 // to the ring; it must not be mutated afterwards.
 type Trace struct {
@@ -70,6 +101,14 @@ type Trace struct {
 	// threshold (as opposed to being sampled or explicitly tagged).
 	Slow  bool   `json:"slow,omitempty"`
 	Spans []Span `json:"spans,omitempty"`
+	// Parent names the upstream span this trace is a child of, parsed
+	// from the X-Anna-Trace wire header (e.g. "shard2" when an
+	// annarouter hop produced this shard-side trace).
+	Parent string `json:"parent,omitempty"`
+	// Hops are the cluster-side child spans: one per shard attempt.
+	Hops []Hop `json:"hops,omitempty"`
+
+	hopMu sync.Mutex
 }
 
 // New returns a Trace started now with the given query ID.
@@ -80,6 +119,15 @@ func New(id string) *Trace {
 // AddSpan appends one named stage duration.
 func (t *Trace) AddSpan(name string, d time.Duration) {
 	t.Spans = append(t.Spans, Span{Name: name, Duration: d})
+}
+
+// AddHop appends one cluster hop. Unlike AddSpan it is safe for
+// concurrent use: a router's scatter records hops from one goroutine
+// per shard.
+func (t *Trace) AddHop(h Hop) {
+	t.hopMu.Lock()
+	t.Hops = append(t.Hops, h)
+	t.hopMu.Unlock()
 }
 
 // SpanDuration returns the duration of the named span, or zero.
@@ -125,6 +173,40 @@ var (
 // monotonic counter.
 func NewID() string {
 	return idPrefix + "-" + strconv.FormatUint(idCounter.Add(1), 16)
+}
+
+// HeaderWire is the cross-process trace-context header: a router (or
+// any other upstream) stamps it on outbound shard requests so the
+// shard's trace shares the caller's ID and names its parent span. The
+// value is "<trace-id>;parent=<span>"; the parent part is optional.
+const HeaderWire = "X-Anna-Trace"
+
+// wireParentPrefix separates the trace ID from the parent span name in
+// HeaderWire values.
+const wireParentPrefix = ";parent="
+
+// FormatWire renders a HeaderWire value carrying id and, when non-empty,
+// the parent span name. Only traced requests pay this allocation.
+func FormatWire(id, parent string) string {
+	if parent == "" {
+		return id
+	}
+	return id + wireParentPrefix + parent
+}
+
+// ParseWire splits a HeaderWire value into trace ID and parent span
+// name. Absent or malformed headers yield ("", ""). The empty-header
+// path allocates nothing (substring slicing only), so servers may call
+// it unconditionally on every request — pinned, with FromContext, by
+// TestUnsampledPathAllocs.
+func ParseWire(h string) (id, parent string) {
+	if h == "" {
+		return "", ""
+	}
+	if i := strings.Index(h, wireParentPrefix); i >= 0 {
+		return h[:i], h[i+len(wireParentPrefix):]
+	}
+	return h, ""
 }
 
 // Ring is a lock-free fixed-capacity buffer of the most recent traces.

@@ -226,10 +226,14 @@ func (lw lockedWriter) Write(p []byte) (int, error) {
 
 // The acceptance bar for the whole layer: a query that is not sampled
 // must not allocate in the tracing layer — one atomic add for the
-// sampling decision and one context lookup, nothing else.
+// sampling decision, one context lookup, and the (absent) wire-header
+// parse, nothing else.
 func TestUnsampledPathAllocs(t *testing.T) {
 	rec := NewRecorder(256, 1000000, time.Hour, nil)
 	ctx := context.Background()
+	// An untagged request carries no X-Anna-Trace header; a shard client
+	// re-parsing a bare ID must also stay allocation-free.
+	bareID := NewID()
 	allocs := testing.AllocsPerRun(1000, func() {
 		if rec.ShouldSample() {
 			t.Fatal("sampled inside alloc window")
@@ -238,9 +242,52 @@ func TestUnsampledPathAllocs(t *testing.T) {
 			t.Fatal("trace in background context")
 		}
 		_ = rec.IsSlow(time.Microsecond)
+		if id, parent := ParseWire(""); id != "" || parent != "" {
+			t.Fatal("empty wire header parsed non-empty")
+		}
+		if id, _ := ParseWire(bareID); id != bareID {
+			t.Fatal("bare wire header did not round-trip")
+		}
 	})
 	if allocs != 0 {
 		t.Fatalf("unsampled hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	cases := []struct{ id, parent string }{
+		{"abc-1", "shard2"},
+		{"abc-2", ""},
+	}
+	for _, c := range cases {
+		id, parent := ParseWire(FormatWire(c.id, c.parent))
+		if id != c.id || parent != c.parent {
+			t.Errorf("FormatWire(%q,%q) round-tripped to (%q,%q)", c.id, c.parent, id, parent)
+		}
+	}
+	if id, parent := ParseWire("x;parent="); id != "x" || parent != "" {
+		t.Errorf("empty parent parsed as (%q,%q)", id, parent)
+	}
+}
+
+// Hops are recorded from one goroutine per shard; AddHop must be safe
+// under -race and lose nothing.
+func TestAddHopConcurrent(t *testing.T) {
+	tr := New("hops")
+	var wg sync.WaitGroup
+	const shards, hops = 8, 50
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < hops; i++ {
+				tr.AddHop(Hop{Shard: s, Attempt: i + 1, Kind: "primary"})
+			}
+		}(s)
+	}
+	wg.Wait()
+	if len(tr.Hops) != shards*hops {
+		t.Fatalf("recorded %d hops, want %d", len(tr.Hops), shards*hops)
 	}
 }
 

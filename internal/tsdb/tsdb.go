@@ -1,0 +1,262 @@
+// Package tsdb is an embedded, stdlib-only time-series store for the
+// serving path's own metrics: a fixed-size ring of periodic snapshots
+// of selected series — counter deltas, gauge values, histogram
+// quantiles — scraped on a configurable interval and queryable as JSON
+// through /debug/tsdb. It is deliberately tiny: one process, one ring,
+// float64 samples, no persistence. Its consumers are the SLO burn-rate
+// engine (internal/slo), the /debug/dash sparklines, and an operator
+// with curl; a real TSDB scrapes /metrics for everything else.
+package tsdb
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind says how a series' raw samples become stored points.
+type Kind int
+
+const (
+	// GaugeKind stores each sample as-is (pool depths, quantiles).
+	GaugeKind Kind = iota
+	// CounterKind stores the delta since the previous scrape of a
+	// monotonically non-decreasing sample (requests, errors). The first
+	// scrape stores 0; a source reset (restart) clamps at 0.
+	CounterKind
+)
+
+// Series is one scraped signal. Sample is called once per scrape and
+// must be safe to call from the scraper goroutine.
+type Series struct {
+	Name   string
+	Kind   Kind
+	Sample func() float64
+}
+
+// Point is one stored sample: UnixMilli timestamp and value.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// DB is the ring of snapshots. All methods are safe for concurrent use.
+type DB struct {
+	mu       sync.Mutex
+	defs     []Series
+	byName   map[string]int
+	last     []float64 // previous raw sample, per CounterKind series
+	seeded   bool      // first scrape taken (counter baselines set)
+	times    []int64   // ring of scrape timestamps, UnixMilli
+	vals     [][]float64
+	pos, n   int // next write slot, filled count
+	interval time.Duration
+	onScrape []func(time.Time)
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New returns a DB retaining the last capacity scrapes of the given
+// series (capacity minimum 16).
+func New(capacity int, series ...Series) *DB {
+	if capacity < 16 {
+		capacity = 16
+	}
+	db := &DB{
+		defs:   series,
+		byName: make(map[string]int, len(series)),
+		last:   make([]float64, len(series)),
+		times:  make([]int64, capacity),
+		vals:   make([][]float64, len(series)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i, s := range series {
+		db.byName[s.Name] = i
+		db.vals[i] = make([]float64, capacity)
+	}
+	return db
+}
+
+// Names returns the registered series names, sorted.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.defs))
+	for _, s := range db.defs {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Interval returns the scrape interval Start was called with (0 before).
+func (db *DB) Interval() time.Duration {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.interval
+}
+
+// OnScrape registers fn to run after every scrape (same goroutine as
+// the scraper), with the scrape's timestamp. The SLO engine hooks its
+// evaluation tick here so burn rates are exactly as fresh as the data.
+func (db *DB) OnScrape(fn func(now time.Time)) {
+	db.mu.Lock()
+	db.onScrape = append(db.onScrape, fn)
+	db.mu.Unlock()
+}
+
+// Start launches the scraper goroutine on the given interval
+// (minimum 10ms). Call Close to stop it. Start is idempotent.
+func (db *DB) Start(interval time.Duration) {
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	db.startOnce.Do(func() {
+		db.mu.Lock()
+		db.interval = interval
+		db.mu.Unlock()
+		go func() {
+			defer close(db.done)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-db.stop:
+					return
+				case now := <-tick.C:
+					db.ScrapeAt(now)
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the scraper goroutine and waits for it to exit. Safe to
+// call more than once; a DB that was never started closes immediately.
+func (db *DB) Close() {
+	db.closeOnce.Do(func() { close(db.stop) })
+	db.startOnce.Do(func() { close(db.done) }) // never started: nothing to wait for
+	<-db.done
+}
+
+// ScrapeAt takes one snapshot stamped now. Exported so tests (and the
+// SLO golden test) can drive deterministic timelines without a ticker.
+func (db *DB) ScrapeAt(now time.Time) {
+	db.mu.Lock()
+	for i, s := range db.defs {
+		raw := s.Sample()
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			raw = 0
+		}
+		v := raw
+		if s.Kind == CounterKind {
+			v = raw - db.last[i]
+			if !db.seeded || v < 0 { // first scrape, or source reset
+				v = 0
+			}
+			db.last[i] = raw
+		}
+		db.vals[i][db.pos] = v
+	}
+	db.times[db.pos] = now.UnixMilli()
+	db.pos = (db.pos + 1) % len(db.times)
+	if db.n < len(db.times) {
+		db.n++
+	}
+	db.seeded = true
+	hooks := db.onScrape
+	db.mu.Unlock()
+	for _, fn := range hooks {
+		fn(now)
+	}
+}
+
+// Query returns the stored points of the named series within the window
+// ending at now, oldest first; ok is false for an unknown series. A
+// zero window returns everything retained.
+func (db *DB) Query(name string, window time.Duration, now time.Time) (pts []Point, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	i, ok := db.byName[name]
+	if !ok {
+		return nil, false
+	}
+	cutoff := int64(math.MinInt64)
+	if window > 0 {
+		cutoff = now.Add(-window).UnixMilli()
+	}
+	pts = make([]Point, 0, db.n)
+	for j := 0; j < db.n; j++ {
+		// Oldest first: the ring's oldest entry sits at pos when full.
+		slot := (db.pos - db.n + j + len(db.times)) % len(db.times)
+		t := db.times[slot]
+		if t < cutoff || t > now.UnixMilli() {
+			continue
+		}
+		pts = append(pts, Point{T: t, V: db.vals[i][slot]})
+	}
+	return pts, true
+}
+
+// Sum returns the sum of the named series' points within the window and
+// how many points contributed — the burn-rate engine's counter reducer.
+func (db *DB) Sum(name string, window time.Duration, now time.Time) (sum float64, n int) {
+	pts, ok := db.Query(name, window, now)
+	if !ok {
+		return 0, 0
+	}
+	for _, p := range pts {
+		sum += p.V
+	}
+	return sum, len(pts)
+}
+
+// Handler serves the store as JSON:
+//
+//	GET /debug/tsdb?series=a,b&window=5m
+//
+// series defaults to every registered series; window defaults to the
+// full retention. The response maps series name to points plus the
+// scrape interval, so clients can rate() counter deltas themselves.
+func (db *DB) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, `{"error":"GET required"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		window := time.Duration(0)
+		if ws := r.URL.Query().Get("window"); ws != "" {
+			d, err := time.ParseDuration(ws)
+			if err != nil || d < 0 {
+				http.Error(w, `{"error":"bad window"}`, http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		names := db.Names()
+		if ss := r.URL.Query().Get("series"); ss != "" {
+			names = strings.Split(ss, ",")
+		}
+		now := time.Now()
+		series := make(map[string][]Point, len(names))
+		for _, name := range names {
+			pts, ok := db.Query(name, window, now)
+			if !ok {
+				http.Error(w, `{"error":"unknown series `+name+`"}`, http.StatusNotFound)
+				return
+			}
+			series[name] = pts
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"interval_ms": db.Interval().Milliseconds(),
+			"series":      series,
+		})
+	})
+}

@@ -1,0 +1,156 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCounterDeltasAndGauges(t *testing.T) {
+	var c atomic.Uint64
+	var g atomic.Int64
+	db := New(16,
+		Series{Name: "reqs", Kind: CounterKind, Sample: func() float64 { return float64(c.Load()) }},
+		Series{Name: "depth", Kind: GaugeKind, Sample: func() float64 { return float64(g.Load()) }},
+	)
+	base := time.UnixMilli(1_000_000)
+	c.Store(10)
+	g.Store(3)
+	db.ScrapeAt(base) // first scrape: counter baseline, delta 0
+	c.Store(25)
+	g.Store(7)
+	db.ScrapeAt(base.Add(time.Second))
+	c.Store(5) // source reset (restart): clamp delta to 0
+	db.ScrapeAt(base.Add(2 * time.Second))
+
+	now := base.Add(2 * time.Second)
+	pts, ok := db.Query("reqs", 0, now)
+	if !ok || len(pts) != 3 {
+		t.Fatalf("reqs points %v ok=%v", pts, ok)
+	}
+	if pts[0].V != 0 || pts[1].V != 15 || pts[2].V != 0 {
+		t.Errorf("counter deltas %v, want [0 15 0]", pts)
+	}
+	gp, _ := db.Query("depth", 0, now)
+	if gp[0].V != 3 || gp[1].V != 7 {
+		t.Errorf("gauge values %v, want [3 7 7]", gp)
+	}
+	if sum, n := db.Sum("reqs", time.Second, now); sum != 15 || n != 2 {
+		// Window of 1s ending at t=2s covers the scrapes at 1s and 2s.
+		t.Errorf("windowed Sum = %v over %d points, want 15 over 2", sum, n)
+	}
+	if _, ok := db.Query("nope", 0, now); ok {
+		t.Error("unknown series reported ok")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	db := New(16, Series{Name: "g", Kind: GaugeKind, Sample: func() float64 { return 1 }})
+	base := time.UnixMilli(0)
+	for i := 0; i < 40; i++ {
+		db.ScrapeAt(base.Add(time.Duration(i) * time.Second))
+	}
+	pts, _ := db.Query("g", 0, base.Add(40*time.Second))
+	if len(pts) != 16 {
+		t.Fatalf("retained %d points, want 16", len(pts))
+	}
+	// Oldest retained is scrape 24; order must be oldest first.
+	if pts[0].T != base.Add(24*time.Second).UnixMilli() || pts[15].T != base.Add(39*time.Second).UnixMilli() {
+		t.Errorf("retained window [%d, %d]", pts[0].T, pts[15].T)
+	}
+}
+
+func TestNaNSamplesStoreZero(t *testing.T) {
+	db := New(16, Series{Name: "q", Kind: GaugeKind, Sample: func() float64 { return math.NaN() }})
+	db.ScrapeAt(time.UnixMilli(1000))
+	pts, _ := db.Query("q", 0, time.UnixMilli(1000))
+	if len(pts) != 1 || pts[0].V != 0 {
+		t.Fatalf("NaN sample stored as %v", pts)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	var c atomic.Uint64
+	db := New(16,
+		Series{Name: "reqs", Kind: CounterKind, Sample: func() float64 { return float64(c.Load()) }},
+		Series{Name: "depth", Kind: GaugeKind, Sample: func() float64 { return 2 }},
+	)
+	now := time.Now()
+	db.ScrapeAt(now.Add(-time.Second))
+	c.Store(8)
+	db.ScrapeAt(now)
+	h := db.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/tsdb", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		IntervalMS int64              `json:"interval_ms"`
+		Series     map[string][]Point `json:"series"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Series) != 2 || len(resp.Series["reqs"]) != 2 {
+		t.Fatalf("response %+v", resp)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/tsdb?series=depth&window=10m", nil))
+	if rec.Code != 200 {
+		t.Fatalf("filtered status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/tsdb?series=missing", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown series status %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/tsdb?window=banana", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad window status %d, want 400", rec.Code)
+	}
+}
+
+// The scraper runs on its own goroutine while handlers query — run
+// under -race.
+func TestScrapeConcurrent(t *testing.T) {
+	var c atomic.Uint64
+	db := New(64, Series{Name: "c", Kind: CounterKind, Sample: func() float64 { return float64(c.Load()) }})
+	var ticks atomic.Int64
+	db.OnScrape(func(time.Time) { ticks.Add(1) })
+	db.Start(10 * time.Millisecond)
+	defer db.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Add(1)
+				db.Query("c", time.Minute, time.Now())
+				db.Sum("c", time.Minute, time.Now())
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for ticks.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ticks.Load() == 0 {
+		t.Fatal("scraper never ticked")
+	}
+}
+
+func TestCloseWithoutStart(t *testing.T) {
+	db := New(16)
+	db.Close()
+	db.Close() // idempotent
+}

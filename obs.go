@@ -1,0 +1,112 @@
+package anna
+
+import (
+	"runtime"
+	"time"
+
+	"anna/internal/slo"
+	"anna/internal/tsdb"
+)
+
+// Serving-path observability (docs/ARCHITECTURE.md §4k): the embedded
+// tsdb snapshots the serving counters on a fixed interval, and the SLO
+// burn-rate engine evaluates multi-window burn over those snapshots on
+// every scrape. Both hang off the Server and share its lifecycle: built
+// at Handler time, stopped by Close.
+
+// obsInterval resolves the scrape interval (0 = 10s default).
+func obsInterval(d time.Duration) time.Duration {
+	if d == 0 {
+		return 10 * time.Second
+	}
+	return d
+}
+
+// obsCapacity sizes the tsdb ring to retain at least the slow-long burn
+// window, clamped to [256, 4096] scrapes.
+func obsCapacity(slowLong, interval time.Duration) int {
+	if slowLong <= 0 {
+		slowLong = 6 * time.Hour
+	}
+	n := int(slowLong/interval) + 8
+	if n < 256 {
+		n = 256
+	}
+	if n > 4096 {
+		n = 4096
+	}
+	return n
+}
+
+// initObs builds the tsdb and SLO engine from the Scrape*/SLO* knobs,
+// once, at Handler time. A negative ScrapeEvery disables everything.
+func (s *Server) initObs() {
+	s.obsOnce.Do(func() {
+		if s.ScrapeEvery < 0 {
+			return
+		}
+		interval := obsInterval(s.ScrapeEvery)
+		opt := s.SLOOptions
+		if opt.Logger == nil {
+			opt.Logger = s.slogger()
+		}
+
+		searchHist := s.m.reqDuration["search"]
+		series := []tsdb.Series{
+			{Name: "requests", Kind: tsdb.CounterKind, Sample: func() float64 { return float64(s.resps.Load()) }},
+			{Name: "errors_5xx", Kind: tsdb.CounterKind, Sample: func() float64 { return float64(s.resps5xx.Load()) }},
+			{Name: "queries", Kind: tsdb.CounterKind, Sample: func() float64 { return float64(s.m.queries.Value()) }},
+			{Name: "latency_p99_ms", Kind: tsdb.GaugeKind, Sample: func() float64 { return searchHist.Quantile(0.99) * 1000 }},
+			{Name: "inflight", Kind: tsdb.GaugeKind, Sample: func() float64 { return float64(s.inflight.Load()) }},
+			{Name: "goroutines", Kind: tsdb.GaugeKind, Sample: func() float64 { return float64(runtime.NumGoroutine()) }},
+		}
+		var slos []slo.SLO
+
+		if s.SLOLatencyP99 > 0 {
+			// The latency SLO is windowed, not cumulative: "slow" and
+			// "total" are counters derived from the latency histogram's
+			// bucket counts, so the burn rate reads the share of requests
+			// over the bound within each window — and recovers once the
+			// slowness stops (a cumulative p99 never forgets). The bound
+			// snaps to the nearest histogram bucket edge, the tightest
+			// threshold the buckets can answer exactly.
+			bound := searchHist.NearestBound(s.SLOLatencyP99.Seconds())
+			series = append(series,
+				tsdb.Series{Name: "latency_slow", Kind: tsdb.CounterKind,
+					Sample: func() float64 { return float64(searchHist.Count() - searchHist.CountLE(bound)) }},
+				tsdb.Series{Name: "latency_total", Kind: tsdb.CounterKind,
+					Sample: func() float64 { return float64(searchHist.Count()) }},
+			)
+			slos = append(slos, slo.SLO{
+				Name: "latency_p99", Objective: 0.99,
+				BadRatio: nil, // bound after db exists, below
+			})
+		}
+		if s.SLOAvailability > 0 {
+			slos = append(slos, slo.SLO{Name: "availability", Objective: s.SLOAvailability})
+		}
+		if s.SLORecall > 0 && s.Recall != nil {
+			series = append(series, tsdb.Series{Name: "recall", Kind: tsdb.GaugeKind, Sample: s.Recall.Rolling})
+			slos = append(slos, slo.SLO{Name: "recall", Objective: 0.99})
+		}
+
+		db := tsdb.New(obsCapacity(opt.SlowLong, interval), series...)
+		for i := range slos {
+			switch slos[i].Name {
+			case "latency_p99":
+				slos[i].BadRatio = slo.BadShare(db, "latency_total", slo.Part{Series: "latency_slow", Weight: 1})
+			case "availability":
+				slos[i].BadRatio = slo.BadShare(db, "requests", slo.Part{Series: "errors_5xx", Weight: 1})
+			case "recall":
+				// Zero scrapes are "no shadow samples yet", not zero
+				// recall — skip them rather than fire on an idle server.
+				slos[i].BadRatio = slo.BadBelow(db, "recall", s.SLORecall, true)
+			}
+		}
+		eng := slo.New(opt, slos...)
+		eng.Register(s.m.reg)
+		db.OnScrape(eng.EvaluateAt)
+		db.Start(interval)
+		s.db, s.sloEng = db, eng
+	})
+}

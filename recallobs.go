@@ -20,7 +20,11 @@ import (
 // shadow-re-ranks a 1-in-N sample of served queries against exhaustive
 // exact search (internal/exact) on a bounded async worker — never on
 // the query path — and publishes a rolling recall@k gauge plus a recall
-// histogram through the server's /metrics endpoint.
+// histogram through the server's /metrics endpoint. The rolling
+// estimate also feeds the recall SLO when Server.SLORecall is set: the
+// embedded tsdb scrapes it as the "recall" series and the burn-rate
+// engine alerts on /alerts when it sinks below the floor (obs.go,
+// docs/ARCHITECTURE.md §4k).
 
 // RecallEstimatorOptions configure a RecallEstimator.
 type RecallEstimatorOptions struct {

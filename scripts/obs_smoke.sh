@@ -1,0 +1,71 @@
+#!/bin/sh
+# Observability smoke (docs/ARCHITECTURE.md §4k): boot a real annaserve
+# with the scraper and SLO engine on, then require the monitoring
+# surface to answer — /debug/dash, /debug/tsdb, /alerts and /metrics
+# must all return 200 with non-empty bodies. Run from the repo root;
+# invoked by `make bench-smoke` and the CI bench-smoke job.
+set -eu
+
+GO=${GO:-go}
+ADDR=${OBS_SMOKE_ADDR:-127.0.0.1:18080}
+DIR=$(mktemp -d)
+SRV_PID=
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "obs-smoke: training a small synthetic index"
+$GO run ./cmd/annatrain -synthetic sift -n 4000 -c 32 -iters 3 -o "$DIR/smoke.anna" >/dev/null
+
+echo "obs-smoke: starting annaserve on $ADDR"
+# A built binary, not `go run`: the trap must kill the server itself,
+# and its output must not hold this script's stdout pipe open.
+$GO build -o "$DIR/annaserve" ./cmd/annaserve
+"$DIR/annaserve" -index "$DIR/smoke.anna" -addr "$ADDR" \
+    -scrape-every 100ms -slo-latency-p99 50ms -slo-availability 0.999 \
+    >"$DIR/serve.log" 2>&1 &
+SRV_PID=$!
+
+for i in $(seq 1 100); do
+    if curl -fs "http://$ADDR/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    if [ "$i" -eq 100 ]; then
+        echo "obs-smoke: server never became ready" >&2
+        cat "$DIR/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# Some traffic so the scraper has counters to snapshot.
+payload='{"queries": [['$(seq -s, 1 128)']], "k": 5}'
+for i in 1 2 3 4 5; do
+    curl -fs -X POST -d "$payload" "http://$ADDR/search" >/dev/null
+done
+sleep 0.5 # a few 100ms scrape ticks
+
+fail=0
+for path in /debug/dash /debug/tsdb /alerts /metrics; do
+    body=$(curl -fs "http://$ADDR$path") || {
+        echo "obs-smoke: GET $path failed (non-200)" >&2
+        fail=1
+        continue
+    }
+    if [ -z "$body" ]; then
+        echo "obs-smoke: GET $path returned an empty body" >&2
+        fail=1
+    else
+        echo "obs-smoke: $path ok ($(printf %s "$body" | wc -c) bytes)"
+    fi
+done
+
+# The tsdb must actually hold scraped points for the serving series.
+if ! curl -fs "http://$ADDR/debug/tsdb?series=requests" | grep -q '"v"'; then
+    echo "obs-smoke: tsdb has no scraped points for the requests series" >&2
+    fail=1
+fi
+
+exit $fail

@@ -21,7 +21,9 @@ import (
 	"anna/internal/adaptive"
 	"anna/internal/metrics"
 	"anna/internal/qos"
+	"anna/internal/slo"
 	"anna/internal/trace"
+	"anna/internal/tsdb"
 )
 
 // Server wraps an Index behind an HTTP JSON API — the deployment shape
@@ -142,6 +144,27 @@ type Server struct {
 	// controller that tunes the policy against the live recall estimate.
 	// Set before the first request, like the trace knobs.
 	Adaptive AdaptiveServing
+	// ScrapeEvery is the embedded tsdb's scrape interval: how often the
+	// serving counters are snapshotted into the ring behind /debug/tsdb
+	// and the SLO burn-rate engine ticks (default 10s; negative disables
+	// the tsdb, the SLO engine, /alerts and /debug/dash entirely). Read
+	// once at Handler time, like the trace knobs.
+	ScrapeEvery time.Duration
+	// SLOLatencyP99 enables the latency SLO: at most 1% of /search
+	// requests may be slower than this bound (the bound snaps to the
+	// nearest latency-histogram bucket edge). Zero disables it.
+	SLOLatencyP99 time.Duration
+	// SLOAvailability enables the availability SLO with this objective
+	// (e.g. 0.999 = at most 0.1% of requests may end in 5xx). Zero
+	// disables it.
+	SLOAvailability float64
+	// SLORecall enables the recall SLO: the rolling shadow-recall
+	// estimate (requires Recall) must not dip under this target on more
+	// than 1% of scrapes. Zero disables it.
+	SLORecall float64
+	// SLOOptions override the burn-rate windows and thresholds (zero
+	// values = the 5m/1h + 30m/6h defaults); tests shrink them.
+	SLOOptions slo.Options
 
 	adaptOnce sync.Once                      // registers adaptive metrics / starts the controller once
 	ctrlOnce  sync.Once                      // Close stops the controller exactly once
@@ -160,6 +183,12 @@ type Server struct {
 	batcher    atomic.Pointer[qos.Batcher[servedRow]]
 	cache      atomic.Pointer[qos.Cache[servedRow]]
 	m          *serverMetrics
+
+	obsOnce  sync.Once // builds the tsdb + SLO engine exactly once
+	db       *tsdb.DB
+	sloEng   *slo.Engine
+	resps    atomic.Uint64 // responses served (tsdb availability signal)
+	resps5xx atomic.Uint64 // responses with a 5xx status
 }
 
 // servedRow is one query's served results plus the cache generation
@@ -470,6 +499,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 		cacheStat(func(_, _, e, _ uint64) uint64 { return e }))
 	reg.CounterFunc("anna_cache_invalidations_total", "Result-cache invalidations (corpus changes).",
 		cacheStat(func(_, _, _, i uint64) uint64 { return i }))
+	metrics.RegisterRuntime(reg)
 	return m
 }
 
@@ -608,6 +638,9 @@ func (s *Server) Close() {
 	if b := s.batcher.Load(); b != nil {
 		b.Drain()
 	}
+	if s.db != nil {
+		s.db.Close()
+	}
 }
 
 // searchLocked runs one software-backend engine batch under the read
@@ -708,6 +741,7 @@ func (s *Server) Handler() http.Handler {
 	s.registerRecall()
 	s.initAdaptive()
 	s.initQoS()
+	s.initObs()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.instrument("search", s.handleSearch))
 	mux.HandleFunc("/add", s.instrument("add", s.handleAdd))
@@ -729,6 +763,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", s.m.reg.Handler())
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("/debug/trace/{id}", s.handleDebugTrace)
+	if s.db != nil {
+		mux.Handle("/debug/tsdb", s.db.Handler())
+		mux.Handle("/alerts", s.sloEng.Handler())
+		mux.Handle("/debug/dash", slo.DashHandler("annaserve"))
+	}
 	if !s.DisablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -758,6 +797,10 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		s.m.reqDuration[name].ObserveDuration(time.Since(start))
+		s.resps.Add(1)
+		if sw.code >= 500 {
+			s.resps5xx.Add(1)
+		}
 		s.m.reg.Counter("anna_http_requests_total", "Requests by handler and status code.",
 			metrics.Label{Key: "handler", Value: name},
 			metrics.Label{Key: "code", Value: strconv.Itoa(sw.code)}).Inc()
@@ -886,7 +929,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Add(-1)
 
 	start := time.Now()
+	// Wire trace context (X-Anna-Trace) arrives from an upstream router
+	// hop: adopting its ID keys this shard-side trace for stitching, and
+	// the parent names which hop span it hangs under. Both parses are
+	// allocation-free on the common (absent-header) path.
+	wireID, wireParent := trace.ParseWire(r.Header.Get(trace.HeaderWire))
 	reqID := r.Header.Get(requestIDHeader)
+	if reqID == "" {
+		reqID = wireID
+	}
 	tagged := reqID != ""
 	if !tagged {
 		reqID = trace.NewID()
@@ -952,6 +1003,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if tagged || rec.ShouldSample() {
 		tr = trace.New(reqID)
 		tr.Start = start
+		tr.Parent = wireParent
 		tr.Queries, tr.W, tr.K, tr.Backend = len(req.Queries), req.W, req.K, backend
 		if tnt != nil {
 			tr.Tenant = tnt.Name
